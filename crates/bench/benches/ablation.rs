@@ -1,0 +1,226 @@
+//! **Ablations** — one knob per Section 3.3 optimization, measured on the
+//! kernels where it bites. Prints code size (and, where relevant, cycles
+//! or pass-specific metrics) with the optimization on and off, then times
+//! a default compile.
+
+use std::collections::HashMap;
+
+use criterion::{black_box, Criterion};
+use record::{CompileOptions, Compiler};
+use record_bench::criterion;
+use record_ir::transform::RuleSet;
+use record_ir::Symbol;
+use record_opt::modes::ModeStrategy;
+use record_sim::run_program;
+
+fn words(compiler: &Compiler, lir: &record_ir::lir::Lir, opts: &CompileOptions) -> u32 {
+    compiler.compile_with(lir, opts).unwrap().size_words()
+}
+
+fn cycles(
+    compiler: &Compiler,
+    lir: &record_ir::lir::Lir,
+    opts: &CompileOptions,
+    inputs: &HashMap<Symbol, Vec<i64>>,
+) -> u64 {
+    let code = compiler.compile_with(lir, opts).unwrap();
+    run_program(&code, compiler.target(), inputs).unwrap().1.cycles
+}
+
+fn print_ablations() {
+    let tic25 = Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
+    let d56k = Compiler::for_target(record_isa::targets::dsp56k::target()).unwrap();
+    let lir_of = |name: &str| {
+        let k = record_dspstone::kernel(name).unwrap();
+        record_ir::lower::lower(&record_ir::dfl::parse(k.source).unwrap()).unwrap()
+    };
+
+    println!("\nAblation: each optimization on/off (code words)");
+    println!("{:-<72}", "");
+
+    // 1. algebraic variants (Section 4.3.3): 2*x covers as a 1-word
+    // load-with-shift only after the mul->shift rewrite
+    let _fir = lir_of("fir");
+    let on = CompileOptions::default();
+    let off = CompileOptions { rules: RuleSet::none(), variant_limit: 1, ..on.clone() };
+    let shifty = record_ir::lower::lower(
+        &record_ir::dfl::parse(
+            "program s; const N = 8; in x: fix[N]; out y: fix[N];
+             begin for i in 0..N-1 loop y[i] := 2 * x[i]; end loop; end",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    println!(
+        "{:<44} {:>5} -> {:>5}",
+        "algebraic tree variants (2*x loop, off->on)",
+        words(&tic25, &shifty, &off),
+        words(&tic25, &shifty, &on),
+    );
+
+    // 2. compaction / fusion on tic25 (LTA/LTP/LTS)
+    let cm = lir_of("complex_multiply");
+    let no_compact = CompileOptions { compact: false, ..CompileOptions::default() };
+    println!(
+        "{:<44} {:>5} -> {:>5}",
+        "instruction fusion (complex_multiply)",
+        words(&tic25, &cm, &no_compact),
+        words(&tic25, &cm, &CompileOptions::default()),
+    );
+
+    // 3. parallel-move packing on dsp56k
+    println!(
+        "{:<44} {:>5} -> {:>5}",
+        "parallel-move packing (dsp56k, complex_mul)",
+        words(&d56k, &cm, &no_compact),
+        words(&d56k, &cm, &CompileOptions::default()),
+    );
+
+    // 4. bank assignment enables packing (dsp56k)
+    let no_banks = CompileOptions { bank_assignment: false, ..CompileOptions::default() };
+    println!(
+        "{:<44} {:>5} -> {:>5}",
+        "memory-bank assignment (dsp56k, complex_mul)",
+        words(&d56k, &cm, &no_banks),
+        words(&d56k, &cm, &CompileOptions::default()),
+    );
+
+    // 5. loop-invariant hoisting + hardware repeat: a constant fill loop
+    // compacts to LACK; RPTK; SACL *+
+    let fill = record_ir::lower::lower(
+        &record_ir::dfl::parse(
+            "program fill; const N = 32; out a: fix[N];
+             begin for i in 0..N-1 loop a[i] := 7; end loop; end",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let no_rpt = CompileOptions { use_rpt: false, compact: false, ..CompileOptions::default() };
+    println!(
+        "{:<44} {:>5} -> {:>5}   (cycles)",
+        "invariant hoist + hardware repeat (fill)",
+        cycles(&tic25, &fill, &no_rpt, &HashMap::new()),
+        cycles(&tic25, &fill, &CompileOptions::default(), &HashMap::new()),
+    );
+    println!(
+        "{:<44} {:>5} -> {:>5}   (words)",
+        "invariant hoist + hardware repeat (fill)",
+        words(&tic25, &fill, &no_rpt),
+        words(&tic25, &fill, &CompileOptions::default()),
+    );
+
+    // 6. offset assignment: AR traffic on a 56k-style machine
+    let acc_seq: Vec<Symbol> =
+        "a b a b c d c d a b".split_whitespace().map(Symbol::new).collect();
+    let decl: Vec<Symbol> = "a c b d".split_whitespace().map(Symbol::new).collect();
+    let soa = record_opt::soa_order(&acc_seq);
+    println!(
+        "{:<44} {:>5} -> {:>5}   (AR ops, 1 pointer)",
+        "simple offset assignment (synthetic chain)",
+        record_opt::soa_cost(&decl, &acc_seq, 1),
+        record_opt::soa_cost(&soa, &acc_seq, 1),
+    );
+
+    // 6b. general offset assignment: more pointers, fewer AR operations
+    let goa_seq: Vec<Symbol> =
+        "a b c a b c a b c d e d e".split_whitespace().map(Symbol::new).collect();
+    let (_, g1) = record_opt::goa(&goa_seq, 1, 1);
+    let (_, g2) = record_opt::goa(&goa_seq, 2, 1);
+    println!(
+        "{:<44} {:>5} -> {:>5}   (AR ops, 1 vs 2 pointers)",
+        "general offset assignment (synthetic)",
+        g1,
+        g2,
+    );
+
+    // 7. mode-change minimization: two saturating updates per iteration —
+    // lazy switching hoists one SOVM before the loop; per-use pays twice
+    // per statement per iteration
+    let sat_src = "
+        program sat_mix;
+        const N = 8;
+        in a: fix[N]; in b: fix[N];
+        out y: fix; out z: fix;
+        begin
+          y := 0; z := 0;
+          for i in 0..N-1 loop
+            y := sadd(y, a[i]);
+            z := sadd(z, b[i]);
+          end loop;
+        end";
+    let sat_lir = record_ir::lower::lower(&record_ir::dfl::parse(sat_src).unwrap()).unwrap();
+    let per_use = CompileOptions {
+        mode_strategy: ModeStrategy::PerUse,
+        ..CompileOptions::default()
+    };
+    println!(
+        "{:<44} {:>5} -> {:>5}",
+        "mode minimization (mixed sat/wrap loop)",
+        words(&tic25, &sat_lir, &per_use),
+        words(&tic25, &sat_lir, &CompileOptions::default()),
+    );
+
+    // 8. CSE (tree sharing): a computed subexpression used by two
+    // statements is computed once with sharing on
+    let shared = record_ir::lower::lower(
+        &record_ir::dfl::parse(
+            "program sh; in a, b: fix; out u, v: fix;
+             begin
+               u := (a + b) * (a + b);
+               v := (a + b) * 3;
+             end",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let no_cse = CompileOptions { cse: false, ..CompileOptions::default() };
+    println!(
+        "{:<44} {:>5} -> {:>5}",
+        "DFG sharing / treeify (shared (a+b))",
+        words(&tic25, &shared, &no_cse),
+        words(&tic25, &shared, &CompileOptions::default()),
+    );
+
+    // 9. scheduling: list vs branch-and-bound bundles (dsp56k)
+    let sched_list = CompileOptions {
+        schedule: Some(record_opt::ScheduleMode::List),
+        ..CompileOptions::default()
+    };
+    let sched_bb = CompileOptions {
+        schedule: Some(record_opt::ScheduleMode::BranchAndBound { max_segment: 10 }),
+        ..CompileOptions::default()
+    };
+    println!(
+        "{:<44} {:>5} -> {:>5}",
+        "list vs optimal B&B scheduling (dsp56k)",
+        words(&d56k, &cm, &sched_list),
+        words(&d56k, &cm, &sched_bb),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let compiler = Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
+    let kernel = record_dspstone::kernel("fir").unwrap();
+    let lir = record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
+    let mut group = c.benchmark_group("ablation_compile");
+    group.bench_function("fir_all_optimizations", |b| {
+        b.iter(|| black_box(compiler.compile(black_box(&lir)).unwrap()))
+    });
+    group.bench_function("fir_no_optimizations", |b| {
+        b.iter(|| {
+            black_box(
+                compiler
+                    .compile_with(black_box(&lir), &CompileOptions::nothing())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn main() {
+    print_ablations();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,70 @@
+//! **Figs. 4–5** — covering data-flow trees with instruction patterns:
+//! prints the figures' cover and a cover-cost series over growing
+//! multiply-accumulate chains, then times labelling + reduction.
+
+use criterion::{black_box, Criterion};
+use record_bench::criterion;
+use record_burg::Matcher;
+use record_ir::{BinOp, Tree};
+
+/// `y + c1*x1 + c2*x2 + …` — the canonical DSP chain, `k` products long.
+fn mac_chain(k: usize) -> Tree {
+    let mut tree = Tree::var("y");
+    for i in 0..k {
+        tree = Tree::bin(
+            BinOp::Add,
+            tree,
+            Tree::bin(
+                BinOp::Mul,
+                Tree::var(format!("c{i}")),
+                Tree::var(format!("x{i}")),
+            ),
+        );
+    }
+    tree
+}
+
+fn print_series() {
+    let target = record_isa::targets::tic25::target();
+    let matcher = Matcher::new(&target);
+    let acc = target.nt("acc").unwrap();
+
+    println!("\nFig. 5 cover of the Fig. 4 tree ((x*y)+9):");
+    let fig_tree = Tree::bin(
+        BinOp::Add,
+        Tree::bin(BinOp::Mul, Tree::var("x"), Tree::var("y")),
+        Tree::constant(9),
+    );
+    let cover = matcher.cover(&fig_tree, acc).unwrap();
+    println!("  {}", cover.root.dump(&target));
+    println!("  cost: {} words, {} covering patterns", cover.cost.words, cover.pattern_count(&target));
+
+    println!("\ncover cost vs MAC-chain length (tic25):");
+    println!("{:>8} {:>8} {:>10}", "products", "nodes", "words");
+    for k in [1usize, 2, 4, 8, 16] {
+        let tree = mac_chain(k);
+        let cover = matcher.cover(&tree, acc).unwrap();
+        println!("{k:>8} {:>8} {:>10}", tree.node_count(), cover.cost.words);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let target = record_isa::targets::tic25::target();
+    let matcher = Matcher::new(&target);
+    let acc = target.nt("acc").unwrap();
+    let mut group = c.benchmark_group("covering");
+    for k in [1usize, 4, 16] {
+        let tree = mac_chain(k);
+        group.bench_function(format!("label_reduce_mac{k}"), |b| {
+            b.iter(|| black_box(matcher.cover(black_box(&tree), acc).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    print_series();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

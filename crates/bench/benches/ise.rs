@@ -1,0 +1,92 @@
+//! **Fig. 3** — instruction-set extraction: reproduces the figure's
+//! extraction on its netlist, prints the extracted-instruction counts as
+//! the netlist's ALU operation repertoire grows, and times extraction.
+
+use criterion::{black_box, Criterion};
+use record_bench::criterion;
+use record_ir::{BinOp, Op};
+use record_isa::netlist::{AluOp, Netlist};
+
+/// An accumulator machine whose ALU supports `n_ops` operations — the
+/// scaling axis for extraction (each op multiplies the justified paths).
+fn scaled_netlist(n_ops: usize) -> Netlist {
+    let ops = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Mul,
+        BinOp::Min,
+        BinOp::Max,
+    ];
+    let mut n = Netlist::new();
+    let acc = n.register("acc", 16);
+    let mem = n.memory("mem", 256, 16);
+    let addr = n.instr_field("addr", 8);
+    let imm = n.instr_field("imm", 8);
+    let f_op = n.instr_field("f_op", 3);
+    let f_src = n.instr_field("f_src", 1);
+    let f_wb = n.instr_field("f_wb", 1);
+    let alu = n.alu(
+        "alu",
+        16,
+        ops.iter()
+            .take(n_ops)
+            .enumerate()
+            .map(|(i, op)| AluOp { op: Op::Bin(*op), sel: i as u64 })
+            .collect(),
+    );
+    let src_mux = n.mux("src_mux", 16, 2);
+    let wb_mux = n.mux("wb_mux", 16, 2);
+    n.connect(addr, "y", mem, "ra");
+    n.connect(addr, "y", mem, "wa");
+    n.connect(mem, "q", src_mux, "i0");
+    n.connect(imm, "y", src_mux, "i1");
+    n.connect(f_src, "y", src_mux, "sel");
+    n.connect(acc, "q", alu, "a");
+    n.connect(src_mux, "y", alu, "b");
+    n.connect(f_op, "y", alu, "op");
+    n.connect(alu, "y", wb_mux, "i0");
+    n.connect(src_mux, "y", wb_mux, "i1");
+    n.connect(f_wb, "y", wb_mux, "sel");
+    n.connect(wb_mux, "y", acc, "d");
+    n.connect(acc, "q", mem, "d");
+    n
+}
+
+fn print_series() {
+    println!("\nFig. 3 reproduction:");
+    for insn in record_ise::extract(&record_ise::demo::fig3_netlist()).unwrap() {
+        println!("  {insn}");
+    }
+    println!("\nextracted instructions vs ALU repertoire (justification scaling):");
+    println!("{:>8} {:>14}", "ALU ops", "instructions");
+    for n_ops in [1, 2, 4, 8] {
+        let netlist = scaled_netlist(n_ops);
+        let insns = record_ise::extract(&netlist).unwrap();
+        println!("{n_ops:>8} {:>14}", insns.len());
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ise_extract");
+    for n_ops in [1usize, 4, 8] {
+        let netlist = scaled_netlist(n_ops);
+        group.bench_function(format!("alu_ops_{n_ops}"), |b| {
+            b.iter(|| black_box(record_ise::extract(black_box(&netlist)).unwrap()))
+        });
+    }
+    let fig3 = record_ise::demo::fig3_netlist();
+    group.bench_function("fig3", |b| {
+        b.iter(|| black_box(record_ise::extract(black_box(&fig3)).unwrap()))
+    });
+    group.finish();
+}
+
+fn main() {
+    print_series();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,66 @@
+//! **Section 3.1** — the DSPStone claim that compiled code carries a
+//! 2×–8× cycle overhead over hand assembly: prints the per-kernel
+//! overhead factors of the target-specific baseline compiler, then times
+//! the simulator (the measuring instrument itself).
+
+use std::collections::HashMap;
+
+use criterion::{black_box, Criterion};
+use record_bench::criterion;
+use record_ir::Symbol;
+use record_sim::run_program;
+
+fn print_table() {
+    let target = record_isa::targets::tic25::target();
+    println!("\nSection 3.1: cycle overhead of compiled code (baseline vs hand asm):");
+    println!("{:<26} {:>10} {:>10} {:>9}", "kernel", "hand", "baseline", "factor");
+    let mut in_band = 0;
+    let mut rows = 0;
+    for kernel in record_dspstone::kernels() {
+        let lir =
+            record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
+        let base = record::baseline::compile(&lir).unwrap();
+        let hand = record::handasm::hand_code(kernel.name).unwrap();
+        let inputs = kernel.inputs(1);
+        let (_, hand_run) = run_program(&hand, &target, &inputs).unwrap();
+        let (_, base_run) = run_program(&base, &target, &inputs).unwrap();
+        let factor = base_run.cycles as f64 / hand_run.cycles.max(1) as f64;
+        rows += 1;
+        if (2.0..=8.0).contains(&factor) {
+            in_band += 1;
+        }
+        println!(
+            "{:<26} {:>10} {:>10} {:>8.1}x",
+            kernel.name, hand_run.cycles, base_run.cycles, factor
+        );
+    }
+    println!("{in_band}/{rows} kernels inside the paper's 2-8x band");
+    println!("(straight-line kernels sit below the band: direct addressing is");
+    println!(" equally available to both compilers, so only loop kernels expose");
+    println!(" the addressing/loop-overhead deficiencies the paper describes)");
+}
+
+fn bench(c: &mut Criterion) {
+    let target = record_isa::targets::tic25::target();
+    let kernel = record_dspstone::kernel("fir").unwrap();
+    let lir = record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
+    let base = record::baseline::compile(&lir).unwrap();
+    let hand = record::handasm::hand_code("fir").unwrap();
+    let inputs: HashMap<Symbol, Vec<i64>> = kernel.inputs(1);
+
+    let mut group = c.benchmark_group("overhead_simulation");
+    group.bench_function("simulate_hand_fir", |b| {
+        b.iter(|| black_box(run_program(black_box(&hand), &target, &inputs).unwrap()))
+    });
+    group.bench_function("simulate_baseline_fir", |b| {
+        b.iter(|| black_box(run_program(black_box(&base), &target, &inputs).unwrap()))
+    });
+    group.finish();
+}
+
+fn main() {
+    print_table();
+    let mut c = criterion();
+    bench(&mut c);
+    c.final_summary();
+}

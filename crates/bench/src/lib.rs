@@ -1,0 +1,29 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench binary in `benches/` regenerates one table or figure of
+//! the paper: it first *prints* the reproduced rows/series (so `cargo
+//! bench` output doubles as the experiment log recorded in
+//! EXPERIMENTS.md), then times the underlying machinery with Criterion.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+
+/// A Criterion instance tuned for this suite: small samples and short
+/// measurement windows, because the interesting output is the reproduced
+/// table, not picosecond precision.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900))
+        .configure_from_args()
+}
+
+/// Compiles a DSPStone kernel with the RECORD pipeline for `tic25`.
+pub fn compile_kernel(name: &str) -> record_isa::Code {
+    let kernel = record_dspstone::kernel(name).expect("known kernel");
+    let lir = record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
+    let compiler = record::Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
+    compiler.compile(&lir).unwrap()
+}

@@ -1,0 +1,100 @@
+//! Covers: the output of reduction — which rule fires where, with what
+//! operands (Fig. 5 of the paper).
+
+use std::fmt;
+
+use record_ir::{MemRef, Symbol};
+use record_isa::{Cost, RuleId, TargetDesc};
+
+/// One operand of a rule application, aligned with
+/// [`Rule::leaves`](record_isa::Rule::leaves).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    /// A sub-derivation: the operand value is produced by this cover
+    /// (its rule's lhs nonterminal is the leaf's nonterminal).
+    Derived(CoverNode),
+    /// A constant bound directly from the subject tree.
+    Const(i64),
+    /// A memory reference bound directly from the subject tree.
+    Mem(MemRef),
+    /// A temporary bound directly from the subject tree.
+    Temp(Symbol),
+}
+
+/// A rule application with its operands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CoverNode {
+    /// The rule applied.
+    pub rule: RuleId,
+    /// Operands, one per rhs leaf in pre-order.
+    pub operands: Vec<Operand>,
+}
+
+impl CoverNode {
+    /// Total cost: this rule plus all sub-derivations.
+    pub fn cost(&self, target: &TargetDesc) -> Cost {
+        let mut total = target.rule(self.rule).cost;
+        for op in &self.operands {
+            if let Operand::Derived(child) = op {
+                total = total.add(child.cost(target));
+            }
+        }
+        total
+    }
+
+    /// The number of rule applications with non-zero cost — "the number of
+    /// covering patterns" in the paper's phrasing.
+    pub fn pattern_count(&self, target: &TargetDesc) -> usize {
+        let own = usize::from(target.rule(self.rule).cost.weight() > 0);
+        own + self
+            .operands
+            .iter()
+            .map(|op| match op {
+                Operand::Derived(c) => c.pattern_count(target),
+                _ => 0,
+            })
+            .sum::<usize>()
+    }
+
+    /// Renders the derivation as an S-expression of rule assembly
+    /// templates — handy in tests and examples.
+    pub fn dump(&self, target: &TargetDesc) -> String {
+        let rule = target.rule(self.rule);
+        let mut parts: Vec<String> = Vec::new();
+        for op in &self.operands {
+            match op {
+                Operand::Derived(c) => parts.push(c.dump(target)),
+                Operand::Const(v) => parts.push(format!("#{v}")),
+                Operand::Mem(m) => parts.push(m.to_string()),
+                Operand::Temp(t) => parts.push(t.to_string()),
+            }
+        }
+        if parts.is_empty() {
+            format!("({})", rule.asm)
+        } else {
+            format!("({} {})", rule.asm, parts.join(" "))
+        }
+    }
+}
+
+impl fmt::Display for CoverNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cover[{}]", self.rule)
+    }
+}
+
+/// A complete cover: the root derivation plus its total cost.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cover {
+    /// The root rule application.
+    pub root: CoverNode,
+    /// Total cost (cached at reduction time).
+    pub cost: Cost,
+}
+
+impl Cover {
+    /// See [`CoverNode::pattern_count`].
+    pub fn pattern_count(&self, target: &TargetDesc) -> usize {
+        self.root.pattern_count(target)
+    }
+}

@@ -1,0 +1,56 @@
+//! Labels: the per-node dynamic-programming state.
+
+use record_ir::Tree;
+use record_isa::{Cost, NonTermId, RuleId};
+
+/// The cheapest known derivation of a node to one nonterminal.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Entry {
+    /// Total cost of deriving the node (including subtrees) to the
+    /// nonterminal.
+    pub cost: Cost,
+    /// The rule applied at this node to achieve it.
+    pub rule: RuleId,
+}
+
+/// A labelled tree: the subject tree plus, for every node, the best entry
+/// per nonterminal.
+///
+/// Produced by [`Matcher::label`](crate::Matcher::label); consumed by
+/// [`Matcher::reduce`](crate::Matcher::reduce).
+#[derive(Clone, Debug)]
+pub struct Labeled<'a> {
+    /// The tree node this label belongs to.
+    pub tree: &'a Tree,
+    /// Labels of the node's children, in order.
+    pub children: Vec<Labeled<'a>>,
+    /// `entries[nt]` is the best derivation to nonterminal `nt`, if any.
+    pub entries: Vec<Option<Entry>>,
+}
+
+impl<'a> Labeled<'a> {
+    /// The best cost of deriving this node to `nt`, if derivable.
+    pub fn cost(&self, nt: NonTermId) -> Option<Cost> {
+        self.entries[nt.index()].map(|e| e.cost)
+    }
+
+    /// The winning rule for `nt`, if derivable.
+    pub fn rule(&self, nt: NonTermId) -> Option<RuleId> {
+        self.entries[nt.index()].map(|e| e.rule)
+    }
+
+    /// The nonterminals this node can be derived to.
+    pub fn derivable(&self) -> Vec<NonTermId> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_some())
+            .map(|(i, _)| NonTermId(i as u16))
+            .collect()
+    }
+
+    /// Total number of nodes in the labelled tree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+}

@@ -1,0 +1,497 @@
+//! The matcher: table generation, bottom-up labelling, top-down reduction.
+
+use record_ir::{Op, Tree};
+use record_isa::{
+    Cost, NonTermId, PatNode, Predicate, Rhs, RuleId, TargetDesc,
+};
+
+use crate::cover::{Cover, CoverNode, Operand};
+use crate::label::{Entry, Labeled};
+
+/// A generated pattern matcher for one target grammar.
+///
+/// Construction indexes the grammar (the "generation" step that iburg
+/// performs offline); [`label`](Matcher::label) and
+/// [`reduce`](Matcher::reduce) then run in time linear in the tree size
+/// (times the number of nonterminals).
+///
+/// # Example
+///
+/// ```
+/// use record_burg::Matcher;
+/// use record_ir::{BinOp, Tree};
+///
+/// let target = record_isa::targets::tic25::target();
+/// let m = Matcher::new(&target);
+/// // acc := x * y  on a C25 takes LT x; MPY y; PAC
+/// let tree = Tree::bin(BinOp::Mul, Tree::var("x"), Tree::var("y"));
+/// let acc = target.nt("acc").unwrap();
+/// let cover = m.cover(&tree, acc).expect("derivable");
+/// assert_eq!(cover.cost.words, 3);
+/// ```
+#[derive(Debug)]
+pub struct Matcher<'t> {
+    target: &'t TargetDesc,
+    /// Pattern rules indexed by root operator (`Op::index`).
+    rules_by_op: Vec<Vec<RuleId>>,
+    /// Chain rules indexed by *source* nonterminal.
+    chains: Vec<RuleId>,
+    n_nts: usize,
+}
+
+impl<'t> Matcher<'t> {
+    /// Generates a matcher for the target grammar.
+    pub fn new(target: &'t TargetDesc) -> Self {
+        let mut rules_by_op: Vec<Vec<RuleId>> = vec![Vec::new(); Op::COUNT];
+        let mut chains = Vec::new();
+        for rule in &target.rules {
+            match &rule.rhs {
+                Rhs::Pat(PatNode::Op(op, _)) => rules_by_op[op.index()].push(rule.id),
+                Rhs::Pat(PatNode::Nt(_)) => {
+                    // A bare-nonterminal pattern is just a chain rule in
+                    // disguise; treat it as such.
+                    chains.push(rule.id);
+                }
+                Rhs::Chain(_) => chains.push(rule.id),
+            }
+        }
+        Matcher { target, rules_by_op, chains, n_nts: target.nonterms.len() }
+    }
+
+    /// The target this matcher was generated for.
+    pub fn target(&self) -> &TargetDesc {
+        self.target
+    }
+
+    /// Labels a tree bottom-up: computes, per node and nonterminal, the
+    /// cheapest derivation.
+    pub fn label<'a>(&self, tree: &'a Tree) -> Labeled<'a> {
+        let children: Vec<Labeled<'a>> =
+            tree.children().into_iter().map(|c| self.label(c)).collect();
+        let mut entries: Vec<Option<Entry>> = vec![None; self.n_nts];
+
+        // 1. structural pattern rules rooted at this operator
+        for rule_id in &self.rules_by_op[tree.op().index()] {
+            let rule = self.target.rule(*rule_id);
+            let pat = match &rule.rhs {
+                Rhs::Pat(p) => p,
+                Rhs::Chain(_) => unreachable!("indexed as pattern"),
+            };
+            if let Some(cost) = self.match_cost(pat, tree, &children, rule.pred) {
+                let total = cost.add(rule.cost);
+                improve(&mut entries, rule.lhs, total, *rule_id);
+            }
+        }
+
+        // 2. chain-rule closure to a fixpoint
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for rule_id in &self.chains {
+                let rule = self.target.rule(*rule_id);
+                let src = match &rule.rhs {
+                    Rhs::Chain(nt) => *nt,
+                    Rhs::Pat(PatNode::Nt(nt)) => *nt,
+                    _ => unreachable!("indexed as chain"),
+                };
+                if let Some(e) = entries[src.index()] {
+                    let total = e.cost.add(rule.cost);
+                    if improve(&mut entries, rule.lhs, total, *rule_id) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        Labeled { tree, children, entries }
+    }
+
+    /// The cost of matching `pat` structurally at a node given by its
+    /// `tree` and already-labelled `children` (sum of leaf derivation
+    /// costs), or `None` if it does not match.
+    ///
+    /// `pred`, if present, is checked against the first constant the
+    /// pattern binds.
+    fn match_cost(
+        &self,
+        pat: &PatNode,
+        tree: &Tree,
+        children: &[Labeled<'_>],
+        pred: Option<Predicate>,
+    ) -> Option<Cost> {
+        let mut consts = Vec::new();
+        let (op, pat_children) = match pat {
+            PatNode::Op(op, c) => (*op, c),
+            PatNode::Nt(_) => unreachable!("bare-Nt patterns are indexed as chains"),
+        };
+        if tree.op() != op {
+            return None;
+        }
+        if let Tree::Const(v) = tree {
+            consts.push(*v);
+        }
+        let mut cost = Cost::zero();
+        for (pc, nc) in pat_children.iter().zip(children.iter()) {
+            cost = cost.add(self.match_rec(pc, nc, &mut consts)?);
+        }
+        if let Some(p) = pred {
+            let first = consts.first()?;
+            if !p.check_const(*first) {
+                return None;
+            }
+        }
+        Some(cost)
+    }
+
+    fn match_rec(
+        &self,
+        pat: &PatNode,
+        node: &Labeled<'_>,
+        consts: &mut Vec<i64>,
+    ) -> Option<Cost> {
+        match pat {
+            PatNode::Nt(nt) => node.cost(*nt),
+            PatNode::Op(op, children) => {
+                if node.tree.op() != *op {
+                    return None;
+                }
+                if let Tree::Const(v) = node.tree {
+                    consts.push(*v);
+                }
+                let mut total = Cost::zero();
+                for (pc, nc) in children.iter().zip(node.children.iter()) {
+                    total = total.add(self.match_rec(pc, nc, consts)?);
+                }
+                Some(total)
+            }
+        }
+    }
+
+    /// Reduces a labelled tree to the cover that achieves the label's cost
+    /// for `goal`.
+    ///
+    /// Returns `None` when the tree is not derivable to `goal` — for a
+    /// complete grammar that means the program uses an operator the target
+    /// has no instruction for.
+    pub fn reduce(&self, labeled: &Labeled<'_>, goal: NonTermId) -> Option<CoverNode> {
+        let entry = labeled.entries[goal.index()]?;
+        let rule = self.target.rule(entry.rule);
+        match &rule.rhs {
+            Rhs::Chain(src) | Rhs::Pat(PatNode::Nt(src)) => {
+                let inner = self.reduce(labeled, *src)?;
+                Some(CoverNode { rule: entry.rule, operands: vec![Operand::Derived(inner)] })
+            }
+            Rhs::Pat(pat) => {
+                let mut operands = Vec::new();
+                self.reduce_pattern(pat, labeled, &mut operands)?;
+                Some(CoverNode { rule: entry.rule, operands })
+            }
+        }
+    }
+
+    fn reduce_pattern(
+        &self,
+        pat: &PatNode,
+        node: &Labeled<'_>,
+        operands: &mut Vec<Operand>,
+    ) -> Option<()> {
+        match pat {
+            PatNode::Nt(nt) => {
+                let child = self.reduce(node, *nt)?;
+                operands.push(Operand::Derived(child));
+                Some(())
+            }
+            PatNode::Op(op, children) => {
+                debug_assert_eq!(node.tree.op(), *op, "reduce follows the label");
+                match node.tree {
+                    Tree::Const(v) => operands.push(Operand::Const(*v)),
+                    Tree::Mem(m) => operands.push(Operand::Mem(m.clone())),
+                    Tree::Temp(t) => operands.push(Operand::Temp(t.clone())),
+                    _ => {}
+                }
+                for (pc, nc) in children.iter().zip(node.children.iter()) {
+                    self.reduce_pattern(pc, nc, operands)?;
+                }
+                Some(())
+            }
+        }
+    }
+
+    /// Labels and reduces in one step.
+    pub fn cover(&self, tree: &Tree, goal: NonTermId) -> Option<Cover> {
+        let labeled = self.label(tree);
+        let cost = labeled.cost(goal)?;
+        let root = self.reduce(&labeled, goal)?;
+        Some(Cover { root, cost })
+    }
+
+    /// The cheapest nonterminal among `candidates` a tree derives to,
+    /// with its cover. Used by the selector to choose among store rules.
+    pub fn best_cover(
+        &self,
+        tree: &Tree,
+        candidates: &[(NonTermId, Cost)],
+    ) -> Option<(NonTermId, Cover)> {
+        let labeled = self.label(tree);
+        let mut best: Option<(NonTermId, Cost, Cost)> = None; // (nt, derive, total)
+        for (nt, extra) in candidates {
+            if let Some(c) = labeled.cost(*nt) {
+                let total = c.add(*extra);
+                let better = match &best {
+                    None => true,
+                    Some((_, _, bt)) => total.weight() < bt.weight(),
+                };
+                if better {
+                    best = Some((*nt, c, total));
+                }
+            }
+        }
+        let (nt, derive_cost, _) = best?;
+        let root = self.reduce(&labeled, nt)?;
+        Some((nt, Cover { root, cost: derive_cost }))
+    }
+}
+
+fn improve(entries: &mut [Option<Entry>], nt: NonTermId, cost: Cost, rule: RuleId) -> bool {
+    let slot = &mut entries[nt.index()];
+    let better = match slot {
+        None => true,
+        Some(e) => cost.weight() < e.cost.weight(),
+    };
+    if better {
+        *slot = Some(Entry { cost, rule });
+    }
+    better
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_ir::{BinOp, Index, MemRef};
+    use record_isa::target::TargetBuilder;
+    use record_isa::PatNode as P;
+
+    /// The paper's Fig. 4 pattern set: move-to-register, load-constant,
+    /// add-immediate-to-memory, multiply-immediate-with-memory, and the
+    /// big add-immediate-to-memory-addressed-by-product pattern.
+    fn fig4_target() -> TargetDesc {
+        let mut b = TargetBuilder::new("fig4", 16);
+        let r_c = b.reg_class("reg", 4);
+        let reg = b.nt_reg("reg", r_c);
+        let mem = b.nt_mem("mem");
+        let imm = b.nt_imm("imm", 16);
+        b.base_mem_rules(mem);
+        b.base_imm_rule(imm);
+        // (move from memory to register)
+        b.chain(reg, mem, "MOVE {0}", Cost::new(1, 1));
+        // (load constant into register)
+        b.chain(reg, imm, "LDC {0}", Cost::new(1, 1));
+        // (add immediate to memory, register indirect): reg := reg + imm
+        b.pat(
+            reg,
+            P::op(Op::Bin(BinOp::Add), vec![P::nt(reg), P::nt(imm)]),
+            "ADDI {1}",
+            Cost::new(1, 1),
+        );
+        // (multiply immediate with memory direct): reg := mem * imm
+        b.pat(
+            reg,
+            P::op(Op::Bin(BinOp::Mul), vec![P::nt(mem), P::nt(imm)]),
+            "MULI {0},{1}",
+            Cost::new(1, 1),
+        );
+        // (add immediate to memory addressed by the product of two
+        // registers): reg := (reg*reg) + imm — a 2-operator pattern
+        b.pat(
+            reg,
+            P::op(
+                Op::Bin(BinOp::Add),
+                vec![
+                    P::op(Op::Bin(BinOp::Mul), vec![P::nt(reg), P::nt(reg)]),
+                    P::nt(imm),
+                ],
+            ),
+            "MADDI {0},{1},{2}",
+            Cost::new(1, 1),
+        );
+        b.store(reg, "ST {d}", Cost::new(1, 1));
+        b.build().unwrap()
+    }
+
+    /// The Fig. 4 subject tree: (ref + 5) * 7 ... we use the paper's
+    /// shape: ((a[i] + 5) * 7) + 9 over two memory refs.
+    fn fig4_tree() -> Tree {
+        Tree::bin(
+            BinOp::Add,
+            Tree::bin(
+                BinOp::Mul,
+                Tree::bin(
+                    BinOp::Add,
+                    Tree::mem(MemRef::array("a", Index::Const(0))),
+                    Tree::constant(5),
+                ),
+                Tree::constant(7),
+            ),
+            Tree::constant(9),
+        )
+    }
+
+    #[test]
+    fn fig4_tree_is_coverable() {
+        let t = fig4_target();
+        let m = Matcher::new(&t);
+        let reg = t.nt("reg").unwrap();
+        let cover = m.cover(&fig4_tree(), reg).expect("coverable");
+        // one optimal cover: MOVE a[0]; ADDI 5; (reuse) ...; the big MADDI
+        // pattern covers mul+add in one instruction:
+        //   r1 := MOVE a[0]; r1 := ADDI 5; r2 := LDC 7; r := MADDI(r1,r2,9)
+        assert_eq!(cover.cost.words, 4, "{}", cover.root.dump(&t));
+    }
+
+    #[test]
+    fn multi_level_pattern_beats_composition() {
+        let t = fig4_target();
+        let m = Matcher::new(&t);
+        let reg = t.nt("reg").unwrap();
+        // (x*y) + 9 : MADDI covers both operators in one instruction
+        let tree = Tree::bin(
+            BinOp::Add,
+            Tree::bin(BinOp::Mul, Tree::var("x"), Tree::var("y")),
+            Tree::constant(9),
+        );
+        let cover = m.cover(&tree, reg).unwrap();
+        // MOVE x; MOVE y; MADDI = 3 words
+        assert_eq!(cover.cost.words, 3);
+        let dump = cover.root.dump(&t);
+        assert!(dump.contains("MADDI"), "{dump}");
+    }
+
+    #[test]
+    fn chain_closure_reaches_mem_via_store() {
+        // tic25: a value computed in acc can reach the `mem` nonterminal
+        // via the SACL spill chain.
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let mem = t.nt("mem").unwrap();
+        let tree = Tree::bin(BinOp::Add, Tree::var("x"), Tree::var("y"));
+        let labeled = m.label(&tree);
+        // LAC x; ADD y = 2 words to acc, +1 SACL to mem
+        assert_eq!(labeled.cost(t.nt("acc").unwrap()).unwrap().words, 2);
+        assert_eq!(labeled.cost(mem).unwrap().words, 3);
+    }
+
+    #[test]
+    fn tic25_mac_shape() {
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let acc = t.nt("acc").unwrap();
+        // y + c*x : LAC y; LT c; MPY x; APAC = 4 words
+        let tree = Tree::bin(
+            BinOp::Add,
+            Tree::var("y"),
+            Tree::bin(BinOp::Mul, Tree::var("c"), Tree::var("x")),
+        );
+        let cover = m.cover(&tree, acc).unwrap();
+        assert_eq!(cover.cost.words, 4, "{}", cover.root.dump(&t));
+        assert!(cover.root.dump(&t).contains("APAC"));
+    }
+
+    #[test]
+    fn tic25_double_acc_tree_spills() {
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let acc = t.nt("acc").unwrap();
+        // (a+b) * (c+d): both factors need the accumulator; the matcher
+        // must route one through memory (SACL) and t.
+        let tree = Tree::bin(
+            BinOp::Mul,
+            Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b")),
+            Tree::bin(BinOp::Add, Tree::var("c"), Tree::var("d")),
+        );
+        let cover = m.cover(&tree, acc).expect("legalizable via spill chains");
+        let dump = cover.root.dump(&t);
+        assert!(dump.contains("SACL"), "expected a spill: {dump}");
+        // LAC a; ADD b; SACL s0; LT s0; LAC c; ADD d; SACL s1; MPY s1; PAC
+        // = 9 words
+        assert_eq!(cover.cost.words, 9, "{dump}");
+    }
+
+    #[test]
+    fn predicates_gate_immediate_rules() {
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let acc = t.nt("acc").unwrap();
+        // small constant: LACK (1 word)
+        let small = m.cover(&Tree::constant(5), acc).unwrap();
+        assert_eq!(small.cost.words, 1);
+        // big constant: LALK (2 words)
+        let big = m.cover(&Tree::constant(3000), acc).unwrap();
+        assert_eq!(big.cost.words, 2);
+    }
+
+    #[test]
+    fn sfl_only_matches_shift_by_one() {
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let acc = t.nt("acc").unwrap();
+        let by1 = Tree::bin(BinOp::Shl, Tree::var("x"), Tree::constant(1));
+        let c1 = m.cover(&by1, acc).unwrap();
+        // covered by LAC x,1 (load with shift): 1 word
+        assert_eq!(c1.cost.words, 1);
+        let by3 = Tree::bin(BinOp::Shl, Tree::var("x"), Tree::constant(3));
+        let c3 = m.cover(&by3, acc).unwrap();
+        // LAC x,3 also 1 word (shift 0..15)
+        assert_eq!(c3.cost.words, 1);
+        // shift of an acc expression by 1: SFL
+        let expr = Tree::bin(
+            BinOp::Shl,
+            Tree::bin(BinOp::Add, Tree::var("x"), Tree::var("y")),
+            Tree::constant(1),
+        );
+        let ce = m.cover(&expr, acc).unwrap();
+        assert!(ce.root.dump(&t).contains("SFL"));
+    }
+
+    #[test]
+    fn underivable_operator_returns_none() {
+        let t = fig4_target();
+        let m = Matcher::new(&t);
+        let reg = t.nt("reg").unwrap();
+        // fig4 grammar has no Div rule
+        let tree = Tree::bin(BinOp::Div, Tree::var("x"), Tree::var("y"));
+        assert!(m.cover(&tree, reg).is_none());
+    }
+
+    #[test]
+    fn best_cover_picks_cheapest_store_candidate() {
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let acc = t.nt("acc").unwrap();
+        let mem = t.nt("mem").unwrap();
+        let tree = Tree::var("x");
+        // candidates: store-from-acc costs 1 extra; "already in mem" is 0
+        let (nt, cover) = m
+            .best_cover(&tree, &[(acc, Cost::new(1, 1)), (mem, Cost::zero())])
+            .unwrap();
+        assert_eq!(nt, mem);
+        assert_eq!(cover.cost.words, 0);
+    }
+
+    #[test]
+    fn cover_cost_matches_recomputation() {
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let acc = t.nt("acc").unwrap();
+        let tree = fig4_tree();
+        if let Some(cover) = m.cover(&tree, acc) {
+            assert_eq!(cover.cost, cover.root.cost(&t));
+        }
+        let tree2 = Tree::bin(
+            BinOp::Add,
+            Tree::var("y"),
+            Tree::bin(BinOp::Mul, Tree::var("c"), Tree::var("x")),
+        );
+        let cover = m.cover(&tree2, acc).unwrap();
+        assert_eq!(cover.cost, cover.root.cost(&t));
+    }
+}

@@ -1,0 +1,148 @@
+//! The classical BURS guarantee: for a fixed grammar the matcher's cover
+//! is cost-minimal. Checked against an independent brute-force coverer
+//! (top-down enumeration with bounded chain depth) on random trees over
+//! the tic25 grammar.
+
+use proptest::prelude::*;
+use record_burg::Matcher;
+use record_ir::{BinOp, Op, Tree, UnOp};
+use record_isa::{NonTermId, PatNode, Predicate, Rhs, TargetDesc};
+
+/// Brute-force minimal derivation cost of `tree` to `goal`, or None.
+/// `chain_budget` bounds chain-rule applications per node (any optimal
+/// derivation applies each chain at most once per node).
+fn brute(target: &TargetDesc, tree: &Tree, goal: NonTermId, chain_budget: usize) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    for rule in &target.rules {
+        if rule.lhs != goal {
+            continue;
+        }
+        let cost = match &rule.rhs {
+            Rhs::Chain(src) | Rhs::Pat(PatNode::Nt(src)) => {
+                if chain_budget == 0 {
+                    continue;
+                }
+                brute(target, tree, *src, chain_budget - 1)
+                    .map(|c| c + rule.cost.weight())
+            }
+            Rhs::Pat(pat) => {
+                brute_match(target, pat, tree, rule.pred).map(|c| c + rule.cost.weight())
+            }
+        };
+        if let Some(c) = cost {
+            if best.map(|b| c < b).unwrap_or(true) {
+                best = Some(c);
+            }
+        }
+    }
+    best
+}
+
+fn brute_match(
+    target: &TargetDesc,
+    pat: &PatNode,
+    tree: &Tree,
+    pred: Option<Predicate>,
+) -> Option<u64> {
+    let mut consts = Vec::new();
+    let cost = brute_match_rec(target, pat, tree, &mut consts)?;
+    if let Some(p) = pred {
+        if !p.check_const(*consts.first()?) {
+            return None;
+        }
+    }
+    Some(cost)
+}
+
+fn brute_match_rec(
+    target: &TargetDesc,
+    pat: &PatNode,
+    tree: &Tree,
+    consts: &mut Vec<i64>,
+) -> Option<u64> {
+    match pat {
+        PatNode::Nt(nt) => brute(target, tree, *nt, target.nonterms.len()),
+        PatNode::Op(op, kids) => {
+            if tree.op() != *op {
+                return None;
+            }
+            if let Tree::Const(v) = tree {
+                consts.push(*v);
+            }
+            let tkids = tree.children();
+            let mut total = 0u64;
+            for (p, t) in kids.iter().zip(tkids) {
+                total += brute_match_rec(target, p, t, consts)?;
+            }
+            Some(total)
+        }
+    }
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Tree::var),
+        (-200i64..200).prop_map(Tree::constant),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::And),
+                    Just(BinOp::Shl),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Tree::bin(op, a, b)),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Abs)], inner)
+                .prop_map(|(op, a)| Tree::un(op, a)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dp_cover_cost_is_minimal(tree in arb_tree()) {
+        let target = record_isa::targets::tic25::target();
+        let matcher = Matcher::new(&target);
+        let acc = target.nt("acc").unwrap();
+        let dp = matcher.cover(&tree, acc).map(|c| c.cost.weight());
+        let bf = brute(&target, &tree, acc, target.nonterms.len());
+        prop_assert_eq!(dp, bf, "tree {}", tree);
+    }
+
+    #[test]
+    fn reduce_recomputes_the_label_cost(tree in arb_tree()) {
+        let target = record_isa::targets::tic25::target();
+        let matcher = Matcher::new(&target);
+        for nt_name in ["acc", "p", "t", "mem"] {
+            let nt = target.nt(nt_name).unwrap();
+            if let Some(cover) = matcher.cover(&tree, nt) {
+                prop_assert_eq!(cover.cost, cover.root.cost(&target));
+            }
+        }
+    }
+}
+
+#[test]
+fn brute_force_agrees_on_the_figure_tree() {
+    let target = record_isa::targets::tic25::target();
+    let matcher = Matcher::new(&target);
+    let acc = target.nt("acc").unwrap();
+    let tree = Tree::bin(
+        BinOp::Add,
+        Tree::var("y"),
+        Tree::bin(BinOp::Mul, Tree::var("c"), Tree::var("x")),
+    );
+    let dp = matcher.cover(&tree, acc).unwrap().cost.weight();
+    let bf = brute(&target, &tree, acc, target.nonterms.len()).unwrap();
+    assert_eq!(dp, bf);
+    // sanity: the op vocabulary index covers the ops used here
+    assert!(Op::Bin(BinOp::Mul).index() < Op::COUNT);
+}

@@ -1,0 +1,82 @@
+//! Compiler-level errors.
+
+use std::fmt;
+
+/// An error raised while compiling a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The frontend (lexer/parser/semantic analysis/lowering) failed.
+    Frontend(record_ir::Error),
+    /// No rule cover exists for a statement — the target lacks an
+    /// instruction for one of its operators.
+    Uncoverable {
+        /// The offending statement, rendered.
+        stmt: String,
+        /// The target name.
+        target: String,
+    },
+    /// A register class ran out of members while emitting a statement.
+    OutOfRegisters {
+        /// The register class name.
+        class: String,
+        /// The offending statement, rendered.
+        stmt: String,
+    },
+    /// Data layout failed (overflow, duplicates, bad bank request).
+    Layout(String),
+    /// Address assignment failed (out of address registers, no AGU, …).
+    Address(String),
+    /// The target description is inconsistent.
+    Target(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "{e}"),
+            CompileError::Uncoverable { stmt, target } => {
+                write!(f, "no instruction cover on `{target}` for: {stmt}")
+            }
+            CompileError::OutOfRegisters { class, stmt } => {
+                write!(f, "register class `{class}` exhausted while emitting: {stmt}")
+            }
+            CompileError::Layout(m) => write!(f, "data layout error: {m}"),
+            CompileError::Address(m) => write!(f, "address assignment error: {m}"),
+            CompileError::Target(m) => write!(f, "invalid target description: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Frontend(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<record_ir::Error> for CompileError {
+    fn from(e: record_ir::Error) -> Self {
+        CompileError::Frontend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompileError::Uncoverable { stmt: "y := (a / b)".into(), target: "tic25".into() };
+        assert!(e.to_string().contains("tic25"));
+        assert!(e.to_string().contains("a / b"));
+    }
+
+    #[test]
+    fn frontend_errors_convert() {
+        let ir_err = record_ir::dfl::parse("program").unwrap_err();
+        let e: CompileError = ir_err.into();
+        assert!(matches!(e, CompileError::Frontend(_)));
+    }
+}

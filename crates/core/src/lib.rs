@@ -1,0 +1,61 @@
+//! RECORD — a retargetable compiler (generator) for DSP core processors.
+//!
+//! This crate is the reproduction of the system of Section 4.3 of
+//! P. Marwedel, *"Code Generation for Core Processors"*, DAC 1997 — the
+//! RECORD compiler, whose global flow (Fig. 2 of the paper) is:
+//!
+//! ```text
+//!  DFL program ──parse──▶ flow graph ──treeify──▶ trees
+//!                                                  │ algebraic variants
+//!  processor model ──ISE──▶ instruction set        ▼
+//!        (RT netlist or instruction set) ──▶ BURS matcher ──▶ cover
+//!                                                  │
+//!            compaction / address assignment / bank assignment /
+//!                    mode minimization  ──▶ executable code
+//! ```
+//!
+//! * [`Compiler`] is the generator: build one with
+//!   [`Compiler::for_target`] from an explicit instruction-set description
+//!   or with [`Compiler::from_netlist`] from an RT-level structural model
+//!   (instruction-set extraction closes "the gap … between electronic CAD
+//!   and compiler generation"),
+//! * [`CompileOptions`] exposes every optimization the paper catalogues,
+//!   each individually toggleable for the ablation benches,
+//! * [`baseline`] is the *target-specific comparison compiler* standing in
+//!   for the mid-90s TI C compiler of Table 1: no algebraic variants, no
+//!   AGU streams, a memory-resident loop counter and per-access address
+//!   arithmetic,
+//! * [`handasm`] provides expert hand-assembly references for the ten
+//!   DSPStone kernels (the 100 % line of Table 1),
+//! * [`selftest`] generates processor self-test programs (Section 4.5),
+//! * [`report`] regenerates Table 1.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use record::Compiler;
+//!
+//! let target = record_isa::targets::tic25::target();
+//! let compiler = Compiler::for_target(target)?;
+//! let code = compiler.compile_source(
+//!     "program p;
+//!      var a, b, y: fix;
+//!      begin y := a + b * a; end",
+//! )?;
+//! assert!(code.size_words() > 0);
+//! println!("{}", code.render());
+//! # Ok::<(), record::CompileError>(())
+//! ```
+
+pub mod baseline;
+pub mod emit;
+pub mod handasm;
+pub mod pipeline;
+pub mod report;
+pub mod select;
+pub mod selftest;
+
+mod error;
+
+pub use error::CompileError;
+pub use pipeline::{CompileOptions, Compiler};

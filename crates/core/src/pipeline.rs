@@ -1,0 +1,644 @@
+//! The RECORD compiler pipeline (Fig. 2 of the paper).
+
+use std::collections::HashMap;
+
+use record_ir::lir::{Lir, LirItem, StorageKind, VarInfo};
+use record_ir::transform::RuleSet;
+use record_ir::{dfl, lower, AssignStmt, Bank, Symbol};
+use record_isa::netlist::Netlist;
+use record_isa::{Code, Insn, InsnKind, Loc, TargetDesc};
+use record_ise::ToTargetOptions;
+use record_opt::compact::ScheduleMode;
+use record_opt::modes::ModeStrategy;
+
+use crate::select::Emitter;
+use crate::CompileError;
+
+/// Everything a compilation can toggle — one knob per optimization the
+/// paper catalogues, so the ablation benches can isolate each design
+/// choice.
+#[derive(Clone, Debug)]
+pub struct CompileOptions {
+    /// Algebraic rewrite rules used for variant enumeration.
+    pub rules: RuleSet,
+    /// Maximum number of tree variants matched per statement.
+    pub variant_limit: usize,
+    /// Apply constant folding first. **Off by default**: the paper states
+    /// RECORD "does not contain any standard optimization technique (such
+    /// as constant folding)" and Table 1 was measured that way.
+    pub fold_constants: bool,
+    /// Share common subexpressions via data-flow-graph value numbering
+    /// before tree decomposition.
+    pub cse: bool,
+    /// Apply instruction fusion / parallel-move packing.
+    pub compact: bool,
+    /// Order scalars by simple offset assignment (vs declaration order).
+    pub offset_assignment: bool,
+    /// Optimize memory-bank assignment on dual-bank targets.
+    pub bank_assignment: bool,
+    /// How mode-change instructions are inserted.
+    pub mode_strategy: ModeStrategy,
+    /// Convert eligible single-instruction loops to hardware repeat.
+    pub use_rpt: bool,
+    /// Bundle-schedule straight-line segments (parallel-move targets);
+    /// `None` uses the cheaper adjacent-packing pass.
+    pub schedule: Option<ScheduleMode>,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            rules: RuleSet::all(),
+            variant_limit: 32,
+            fold_constants: false,
+            cse: true,
+            compact: true,
+            offset_assignment: true,
+            bank_assignment: true,
+            mode_strategy: ModeStrategy::Lazy,
+            use_rpt: true,
+            schedule: None,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Every optimization off — the configuration closest to a naive
+    /// macro expander (used as one end of the ablation axis).
+    pub fn nothing() -> Self {
+        CompileOptions {
+            rules: RuleSet::none(),
+            variant_limit: 1,
+            fold_constants: false,
+            cse: false,
+            compact: false,
+            offset_assignment: false,
+            bank_assignment: false,
+            mode_strategy: ModeStrategy::PerUse,
+            use_rpt: false,
+            schedule: None,
+        }
+    }
+}
+
+/// A generated compiler for one target.
+///
+/// See the [crate docs](crate) for the full picture; in short:
+///
+/// ```
+/// use record::Compiler;
+///
+/// let compiler = Compiler::for_target(record_isa::targets::tic25::target())?;
+/// let code = compiler.compile_source(
+///     "program p; var x, y: fix; begin y := x + 1; end",
+/// )?;
+/// assert_eq!(code.target, "tic25");
+/// # Ok::<(), record::CompileError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    target: TargetDesc,
+}
+
+impl Compiler {
+    /// Generates a compiler from an explicit instruction-set description.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Target`] if the description fails validation.
+    pub fn for_target(target: TargetDesc) -> Result<Self, CompileError> {
+        target.validate().map_err(CompileError::Target)?;
+        Ok(Compiler { target })
+    }
+
+    /// Generates a compiler from an RT-level netlist via instruction-set
+    /// extraction — the full left branch of Fig. 2.
+    ///
+    /// Returns the compiler and the number of extracted instructions that
+    /// could not be mapped to grammar rules.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Target`] if extraction or conversion fails.
+    pub fn from_netlist(
+        name: &str,
+        netlist: &Netlist,
+        opts: &ToTargetOptions,
+    ) -> Result<(Self, usize), CompileError> {
+        let insns = record_ise::normalize(record_ise::extract(netlist).map_err(CompileError::Target)?);
+        let (target, skipped) =
+            record_ise::to_target(name, netlist, &insns, opts).map_err(CompileError::Target)?;
+        Ok((Compiler { target }, skipped))
+    }
+
+    /// The target this compiler was generated for.
+    pub fn target(&self) -> &TargetDesc {
+        &self.target
+    }
+
+    /// Compiles a lowered program with default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(&self, lir: &Lir) -> Result<Code, CompileError> {
+        self.compile_with(lir, &CompileOptions::default())
+    }
+
+    /// Parses, lowers and compiles a mini-DFL source text.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_source(&self, source: &str) -> Result<Code, CompileError> {
+        let ast = dfl::parse(source)?;
+        let lir = lower::lower(&ast)?;
+        self.compile(&lir)
+    }
+
+    /// Compiles with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_with(&self, lir: &Lir, opts: &CompileOptions) -> Result<Code, CompileError> {
+        let mut emitter = Emitter::new(&self.target);
+        let mut temps: Vec<Symbol> = Vec::new();
+        let mut next_temp = 0usize;
+        let mut insns: Vec<Insn> = Vec::new();
+        emit_items(
+            &lir.body,
+            &self.target,
+            &mut emitter,
+            opts,
+            &mut next_temp,
+            &mut temps,
+            &mut insns,
+        )?;
+
+        let mut code = Code {
+            insns,
+            layout: Default::default(),
+            target: self.target.name.clone(),
+            name: lir.name.to_string(),
+        };
+
+        // --- storage: program variables + treeify temps + spill scratch ---
+        let mut vars: Vec<VarInfo> = lir.vars.clone();
+        for t in &temps {
+            vars.push(VarInfo {
+                name: t.clone(),
+                len: 1,
+                kind: StorageKind::Var,
+                bank: None,
+                is_fix: true,
+            });
+        }
+        for s in emitter.scratch_symbols() {
+            vars.push(VarInfo {
+                name: s.clone(),
+                len: 1,
+                kind: StorageKind::Var,
+                bank: None,
+                is_fix: true,
+            });
+        }
+
+        // --- layout (offset assignment orders the scalars) -----------------
+        let ordered = order_vars(&vars, &code, opts.offset_assignment);
+        code.layout = record_opt::layout::layout_in_order(
+            ordered.iter().map(|v| (v.name.clone(), v.len, v.bank)),
+            &self.target,
+        )
+        .map_err(CompileError::Layout)?;
+
+        // --- bank assignment ------------------------------------------------
+        if self.target.memory.banks == 2 && opts.bank_assignment {
+            let fixed: HashMap<Symbol, Bank> = vars
+                .iter()
+                .filter_map(|v| v.bank.map(|b| (v.name.clone(), b)))
+                .collect();
+            record_opt::assign_banks(&mut code, &self.target, &fixed);
+        }
+
+        // --- addressing -------------------------------------------------------
+        record_opt::assign_addresses(&mut code, &self.target).map_err(CompileError::Address)?;
+
+        // --- compaction ---------------------------------------------------------
+        if opts.compact {
+            record_opt::fuse(&mut code, &self.target);
+            match opts.schedule {
+                Some(mode) => {
+                    record_opt::schedule(&mut code, &self.target, mode);
+                }
+                None => {
+                    record_opt::pack_moves(&mut code, &self.target);
+                }
+            }
+        }
+
+        // --- loop-invariant hoisting + hardware repeat conversion ---------------
+        if opts.compact {
+            record_opt::hoist_invariant_prefix(&mut code);
+        }
+        if opts.use_rpt {
+            convert_rpt(&mut code, &self.target);
+        }
+
+        // --- mode-change insertion -----------------------------------------------
+        record_opt::insert_mode_changes(&mut code, &self.target, opts.mode_strategy);
+
+        code.check_structure().map_err(CompileError::Layout)?;
+        Ok(code)
+    }
+}
+
+/// Recursively emits a LIR item list.
+#[allow(clippy::too_many_arguments)]
+fn emit_items(
+    items: &[LirItem],
+    target: &TargetDesc,
+    emitter: &mut Emitter<'_>,
+    opts: &CompileOptions,
+    next_temp: &mut usize,
+    temps: &mut Vec<Symbol>,
+    out: &mut Vec<Insn>,
+) -> Result<(), CompileError> {
+    // group consecutive assignments into straight-line blocks
+    let mut block: Vec<AssignStmt> = Vec::new();
+    let flush = |block: &mut Vec<AssignStmt>,
+                 emitter: &mut Emitter<'_>,
+                 next_temp: &mut usize,
+                 temps: &mut Vec<Symbol>,
+                 out: &mut Vec<Insn>|
+     -> Result<(), CompileError> {
+        if block.is_empty() {
+            return Ok(());
+        }
+        let stmts: Vec<AssignStmt> = if opts.cse {
+            let (forest, next) = record_ir::treeify::treeify(block, *next_temp);
+            *next_temp = next;
+            temps.extend(forest.temps.iter().cloned());
+            forest.assigns
+        } else {
+            block.clone()
+        };
+        block.clear();
+        for stmt in &stmts {
+            let (insns, _) = emitter.emit_assign(
+                stmt,
+                &opts.rules,
+                opts.variant_limit,
+                opts.fold_constants,
+            )?;
+            out.extend(insns);
+        }
+        Ok(())
+    };
+
+    for item in items {
+        match item {
+            LirItem::Assign(a) => block.push(a.clone()),
+            LirItem::Loop { var, count, body } => {
+                flush(&mut block, emitter, next_temp, temps, out)?;
+                let init = target.loop_ctrl.init_cost;
+                out.push(Insn::ctrl(
+                    InsnKind::LoopStart { var: var.clone(), count: *count },
+                    format!("LOOP #{count}"),
+                    init.words,
+                    init.cycles,
+                ));
+                emit_items(body, target, emitter, opts, next_temp, temps, out)?;
+                let end = target.loop_ctrl.end_cost;
+                out.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLP", end.words, end.cycles));
+            }
+        }
+    }
+    flush(&mut block, emitter, next_temp, temps, out)
+}
+
+/// Orders variables for layout: scalars first (SOA order when enabled,
+/// else declaration order), then arrays.
+fn order_vars(vars: &[VarInfo], code: &Code, soa: bool) -> Vec<VarInfo> {
+    let by_name: HashMap<&Symbol, &VarInfo> = vars.iter().map(|v| (&v.name, v)).collect();
+    let mut out: Vec<VarInfo> = Vec::with_capacity(vars.len());
+    if soa {
+        // scalar access sequence, in code order
+        let mut accesses: Vec<Symbol> = Vec::new();
+        for insn in &code.insns {
+            collect_scalar_accesses(insn, &by_name, &mut accesses);
+        }
+        let order = record_opt::soa_order(&accesses);
+        for sym in &order {
+            if let Some(v) = by_name.get(sym) {
+                out.push((*v).clone());
+            }
+        }
+    }
+    // remaining scalars in declaration order, then arrays
+    for v in vars {
+        if v.len == 1 && !out.iter().any(|o| o.name == v.name) {
+            out.push(v.clone());
+        }
+    }
+    for v in vars {
+        if v.len > 1 {
+            out.push(v.clone());
+        }
+    }
+    out
+}
+
+fn collect_scalar_accesses(
+    insn: &Insn,
+    by_name: &HashMap<&Symbol, &VarInfo>,
+    out: &mut Vec<Symbol>,
+) {
+    if let InsnKind::Compute { dst, expr } = &insn.kind {
+        for l in expr.reads() {
+            if let Loc::Mem(m) = l {
+                if m.index.is_none() && by_name.get(&m.base).map(|v| v.len) == Some(1) {
+                    out.push(m.base.clone());
+                }
+            }
+        }
+        if let Loc::Mem(m) = dst {
+            if m.index.is_none() && by_name.get(&m.base).map(|v| v.len) == Some(1) {
+                out.push(m.base.clone());
+            }
+        }
+    }
+    for p in &insn.parallel {
+        collect_scalar_accesses(p, by_name, out);
+    }
+}
+
+/// Replaces `[LoopStart; single repeatable insn; LoopEnd]` with
+/// `[Rpt; insn]` where the target supports hardware repeat; returns the
+/// number of conversions.
+pub fn convert_rpt(code: &mut Code, target: &TargetDesc) -> u32 {
+    let Some(rpt) = &target.loop_ctrl.rpt else {
+        return 0;
+    };
+    let mut converted = 0u32;
+    let insns = std::mem::take(&mut code.insns);
+    let mut out: Vec<Insn> = Vec::with_capacity(insns.len());
+    let mut i = 0usize;
+    while i < insns.len() {
+        if i + 2 < insns.len() {
+            if let (
+                InsnKind::LoopStart { var, count },
+                InsnKind::Compute { .. },
+                InsnKind::LoopEnd,
+            ) = (&insns[i].kind, &insns[i + 1].kind, &insns[i + 2].kind)
+            {
+                let body = &insns[i + 1];
+                let eligible = *count >= 1
+                    && *count <= rpt.max_count
+                    && !references_counter(body, var);
+                if eligible {
+                    out.push(Insn::ctrl(
+                        InsnKind::Rpt { count: *count },
+                        format!("RPTK #{count}"),
+                        rpt.cost.words,
+                        rpt.cost.cycles,
+                    ));
+                    out.push(body.clone());
+                    converted += 1;
+                    i += 3;
+                    continue;
+                }
+            }
+        }
+        out.push(insns[i].clone());
+        i += 1;
+    }
+    code.insns = out;
+    converted
+}
+
+/// `true` if any operand still resolves through the loop counter
+/// symbolically (such a loop cannot become a hardware repeat).
+fn references_counter(insn: &Insn, var: &Symbol) -> bool {
+    if let InsnKind::Compute { dst, expr } = &insn.kind {
+        let unresolved = |m: &record_isa::MemLoc| {
+            m.index.as_ref() == Some(var) && m.mode == record_isa::AddrMode::Unresolved
+        };
+        if expr
+            .reads()
+            .iter()
+            .any(|l| l.as_mem().map(unresolved).unwrap_or(false))
+        {
+            return true;
+        }
+        if let Loc::Mem(m) = dst {
+            if unresolved(m) {
+                return true;
+            }
+        }
+    }
+    insn.parallel.iter().any(|p| references_counter(p, var))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_sim::run_program;
+    use std::collections::HashMap as Map;
+
+    fn tic25_compiler() -> Compiler {
+        Compiler::for_target(record_isa::targets::tic25::target()).unwrap()
+    }
+
+    const FIR_SRC: &str = "
+        program fir;
+        const N = 8;
+        in x: fix[N];
+        in c: fix[N];
+        out y: fix;
+        begin
+          y := 0;
+          for i in 0..N-1 loop
+            y := y + c[i] * x[i];
+          end loop;
+        end
+    ";
+
+    #[test]
+    fn compiles_and_validates_fir() {
+        let compiler = tic25_compiler();
+        let code = compiler.compile_source(FIR_SRC).unwrap();
+        code.check_structure().unwrap();
+        // run against the reference dot product
+        let x: Vec<i64> = (1..=8).collect();
+        let c: Vec<i64> = (1..=8).map(|v| v * 3).collect();
+        let expect: i64 = x.iter().zip(&c).map(|(a, b)| a * b).sum();
+        let inputs: Map<Symbol, Vec<i64>> =
+            [(Symbol::new("x"), x), (Symbol::new("c"), c)].into_iter().collect();
+        let (out, result) = run_program(&code, compiler.target(), &inputs).unwrap();
+        assert_eq!(out[&Symbol::new("y")], vec![expect]);
+        assert!(result.cycles > 0);
+    }
+
+    #[test]
+    fn optimized_is_never_larger_than_unoptimized() {
+        let compiler = tic25_compiler();
+        let ast = dfl::parse(FIR_SRC).unwrap();
+        let lir = lower::lower(&ast).unwrap();
+        let optimized = compiler.compile_with(&lir, &CompileOptions::default()).unwrap();
+        let plain = compiler.compile_with(&lir, &CompileOptions::nothing()).unwrap();
+        assert!(
+            optimized.size_words() <= plain.size_words(),
+            "opt {} vs plain {}",
+            optimized.size_words(),
+            plain.size_words()
+        );
+    }
+
+    #[test]
+    fn options_produce_equivalent_results() {
+        let compiler = tic25_compiler();
+        let ast = dfl::parse(FIR_SRC).unwrap();
+        let lir = lower::lower(&ast).unwrap();
+        let x: Vec<i64> = (0..8).map(|v| v * 7 - 11).collect();
+        let c: Vec<i64> = (0..8).map(|v| 5 - v).collect();
+        let inputs: Map<Symbol, Vec<i64>> =
+            [(Symbol::new("x"), x.clone()), (Symbol::new("c"), c.clone())]
+                .into_iter()
+                .collect();
+        let expect: i64 = x.iter().zip(&c).map(|(a, b)| a * b).sum();
+        for opts in [
+            CompileOptions::default(),
+            CompileOptions::nothing(),
+            CompileOptions { compact: false, ..CompileOptions::default() },
+            CompileOptions { use_rpt: false, ..CompileOptions::default() },
+            CompileOptions { offset_assignment: false, ..CompileOptions::default() },
+            CompileOptions { fold_constants: true, ..CompileOptions::default() },
+        ] {
+            let code = compiler.compile_with(&lir, &opts).unwrap();
+            let (out, _) = run_program(&code, compiler.target(), &inputs).unwrap();
+            assert_eq!(out[&Symbol::new("y")], vec![expect], "opts {opts:?}");
+        }
+    }
+
+    #[test]
+    fn from_netlist_end_to_end() {
+        // Fig. 2's left branch: netlist → ISE → compiler → code → simulator
+        let netlist = record_ise::demo::acc_machine_netlist();
+        let (compiler, _skipped) =
+            Compiler::from_netlist("accgen", &netlist, &Default::default()).unwrap();
+        let code = compiler
+            .compile_source("program p; var a, b, y: fix; begin y := a + b - 3; end")
+            .unwrap();
+        let inputs: Map<Symbol, Vec<i64>> =
+            [(Symbol::new("a"), vec![10]), (Symbol::new("b"), vec![20])]
+                .into_iter()
+                .collect();
+        let (out, _) = run_program(&code, compiler.target(), &inputs).unwrap();
+        assert_eq!(out[&Symbol::new("y")], vec![27]);
+    }
+
+    #[test]
+    fn rpt_conversion_fires_on_single_insn_loops() {
+        let compiler = tic25_compiler();
+        // y-accumulation compiles to >1 body insn; a pure copy loop
+        // becomes LAC/SACL per element — still 2 insns. A constant fill
+        // is 2 insns too (LACK/SACL). Use an array copy shifted so the
+        // body after selection is LAC *ar+ ; SACL *ar+ — 2 insns; RPT
+        // cannot fire. So check the negative case is handled gracefully
+        // and the positive case via a hand-built loop.
+        let code = compiler
+            .compile_source(
+                "program p; const N = 4; var a: fix[N]; var b: fix[N];
+                 begin for i in 0..N-1 loop b[i] := a[i]; end loop; end",
+            )
+            .unwrap();
+        code.check_structure().unwrap();
+
+        // hand-built single-insn loop
+        let target = compiler.target().clone();
+        let mut code2 = Code::default();
+        code2.layout.place(Symbol::new("a"), 0, 4, Bank::X);
+        code2.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 4 },
+            "LOOP #4",
+            2,
+            2,
+        ));
+        code2.insns.push(Insn::mov(
+            Loc::Mem(record_isa::MemLoc {
+                base: Symbol::new("a"),
+                disp: 0,
+                index: None,
+                down: false,
+                bank: Bank::X,
+                mode: record_isa::AddrMode::Indirect { ar: 0, post: 1 },
+            }),
+            Loc::Imm(7),
+            "FILL",
+            1,
+            1,
+        ));
+        code2.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLP", 2, 3));
+        let before = code2.size_words();
+        let n = convert_rpt(&mut code2, &target);
+        assert_eq!(n, 1);
+        assert!(code2.size_words() < before);
+        assert!(matches!(code2.insns[0].kind, InsnKind::Rpt { count: 4 }));
+    }
+
+    #[test]
+    fn invalid_target_rejected() {
+        let mut t = record_isa::targets::tic25::target();
+        t.memory.banks = 3;
+        assert!(matches!(Compiler::for_target(t), Err(CompileError::Target(_))));
+    }
+
+    #[test]
+    fn nested_loop_program_runs() {
+        let compiler = tic25_compiler();
+        let code = compiler
+            .compile_source(
+                "program p; const N = 3; var a: fix[N]; out y: fix;
+                 begin
+                   for i in 0..N-1 loop
+                     for j in 0..N-1 loop
+                       y := y + a[j];
+                     end loop;
+                   end loop;
+                 end",
+            )
+            .unwrap();
+        let inputs: Map<Symbol, Vec<i64>> =
+            [(Symbol::new("a"), vec![1, 2, 3])].into_iter().collect();
+        let (out, _) = run_program(&code, compiler.target(), &inputs).unwrap();
+        assert_eq!(out[&Symbol::new("y")], vec![18]); // 3 * (1+2+3)
+    }
+
+    #[test]
+    fn dsp56k_pipeline_produces_parallel_bundles() {
+        let compiler =
+            Compiler::for_target(record_isa::targets::dsp56k::target()).unwrap();
+        let src = "
+            program cm;
+            in ar, ai, br, bi: fix;
+            out cr, ci: fix;
+            begin
+              cr := ar * br - ai * bi;
+              ci := ar * bi + ai * br;
+            end
+        ";
+        let code = compiler.compile_source(src).unwrap();
+        let inputs: Map<Symbol, Vec<i64>> = [
+            (Symbol::new("ar"), vec![3]),
+            (Symbol::new("ai"), vec![4]),
+            (Symbol::new("br"), vec![5]),
+            (Symbol::new("bi"), vec![6]),
+        ]
+        .into_iter()
+        .collect();
+        let (out, _) = run_program(&code, compiler.target(), &inputs).unwrap();
+        assert_eq!(out[&Symbol::new("cr")], vec![3 * 5 - 4 * 6]);
+        assert_eq!(out[&Symbol::new("ci")], vec![3 * 6 + 4 * 5]);
+    }
+}

@@ -1,0 +1,770 @@
+//! Instruction selection: from covers to concrete instructions.
+//!
+//! The [`Emitter`] owns the generated matcher and turns each assignment
+//! into machine instructions:
+//!
+//! 1. enumerate algebraic variants of the right-hand-side tree
+//!    ([`record_ir::transform`]),
+//! 2. match every variant against every store candidate and keep the
+//!    cheapest total cover — "the tree requiring the smallest number of
+//!    covering patterns is then selected",
+//! 3. walk the winning cover bottom-up, allocating registers for
+//!    multi-member classes and scratch memory words for spill chains, and
+//!    emit instructions in each rule's operand evaluation order.
+//!
+//! Register allocation here is the *tree-parsing* style for heterogeneous
+//! register sets: the BURS nonterminals already decided which class each
+//! value lives in; the emitter only picks member indices.
+
+use record_burg::{CoverNode, Matcher, Operand};
+use record_ir::transform::{variants, RuleSet};
+use record_ir::{fold, AssignStmt, Symbol, Tree};
+use record_isa::{
+    Cost, Insn, InsnKind, Loc, MemLoc, NonTermKind, PatNode, RegId, Rhs, SemExpr, TargetDesc,
+};
+
+use crate::CompileError;
+
+/// Per-statement selection statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SelectStats {
+    /// Variants enumerated.
+    pub variants: usize,
+    /// Variants that produced a legal cover.
+    pub covered: usize,
+}
+
+/// The instruction selector for one target.
+pub struct Emitter<'t> {
+    target: &'t TargetDesc,
+    matcher: Matcher<'t>,
+    /// Scratch memory words allocated for spill chains, reused across
+    /// statements.
+    scratch_pool: Vec<Symbol>,
+    scratch_free: Vec<Symbol>,
+    /// Per-class register occupancy (multi-member classes only).
+    reg_used: Vec<Vec<bool>>,
+    /// Per-class rotating allocation cursor. Round-robin allocation
+    /// spreads consecutive values across class members, which gives the
+    /// parallel-move scheduler independent registers to bundle.
+    reg_cursor: Vec<u16>,
+}
+
+impl<'t> Emitter<'t> {
+    /// Generates the matcher and prepares the allocators.
+    pub fn new(target: &'t TargetDesc) -> Self {
+        let reg_used = target
+            .reg_classes
+            .iter()
+            .map(|c| vec![false; c.count as usize])
+            .collect();
+        let reg_cursor = vec![0u16; target.reg_classes.len()];
+        Emitter {
+            target,
+            matcher: Matcher::new(target),
+            scratch_pool: Vec::new(),
+            scratch_free: Vec::new(),
+            reg_used,
+            reg_cursor,
+        }
+    }
+
+    /// The scratch symbols allocated so far (each one data word); the
+    /// pipeline adds them to the layout.
+    pub fn scratch_symbols(&self) -> &[Symbol] {
+        &self.scratch_pool
+    }
+
+    /// The matcher (for diagnostics and benches).
+    pub fn matcher(&self) -> &Matcher<'t> {
+        &self.matcher
+    }
+
+    /// Selects and emits one assignment.
+    ///
+    /// `rules`/`variant_limit` control the algebraic enumeration;
+    /// `fold_constants` applies [`record_ir::fold`] first (off in the
+    /// paper's configuration).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Uncoverable`] when no variant derives to any store
+    /// candidate; [`CompileError::OutOfRegisters`] when a class runs dry.
+    pub fn emit_assign(
+        &mut self,
+        stmt: &AssignStmt,
+        rules: &RuleSet,
+        variant_limit: usize,
+        fold_constants: bool,
+    ) -> Result<(Vec<Insn>, SelectStats), CompileError> {
+        let mut total_stats = SelectStats::default();
+        let mut out = Vec::new();
+        // Worklist of statements; a statement whose emitted code fails
+        // verification is split at an operand boundary and re-tried.
+        let mut work: Vec<AssignStmt> = vec![stmt.clone()];
+        while let Some(cur) = work.pop() {
+            let (insns, stats) = self.emit_one(&cur, rules, variant_limit, fold_constants)?;
+            total_stats.variants += stats.variants;
+            total_stats.covered += stats.covered;
+            if self.verify_statement(&cur, &insns) {
+                out.extend(insns);
+                continue;
+            }
+            // Clobber hazard: the cover routed two values through the same
+            // special register in a conflicting order. Split one non-leaf
+            // operand into an explicit memory temporary and retry — each
+            // split strictly shrinks the tree, so this terminates.
+            let Some((first, second)) = self.split_statement(&cur) else {
+                return Err(CompileError::Target(format!(
+                    "statement `{cur}` miscompiles and cannot be split further"
+                )));
+            };
+            // process `first` next, then re-attempt `second` (LIFO order)
+            work.push(second);
+            work.push(first);
+        }
+        self.scratch_free = self.scratch_pool.clone();
+        Ok((out, total_stats))
+    }
+
+    /// Splits `dst := f(..., subtree, ...)` into
+    /// `$sN := subtree; dst := f(..., Temp($sN), ...)`, choosing the first
+    /// non-leaf operand of the root.
+    fn split_statement(&mut self, stmt: &AssignStmt) -> Option<(AssignStmt, AssignStmt)> {
+        enum Shape {
+            Bin(record_ir::BinOp),
+            Un(record_ir::UnOp),
+        }
+        let (op_trees, shape): (Vec<Tree>, Shape) = match &stmt.src {
+            Tree::Bin(op, a, b) => (vec![(**a).clone(), (**b).clone()], Shape::Bin(*op)),
+            Tree::Un(op, a) => (vec![(**a).clone()], Shape::Un(*op)),
+            _ => return None,
+        };
+        // prefer a computed operand; a constant leaf can also clobber
+        // (it may route through the accumulator on its way to memory),
+        // while memory leaves are always safe to read in place
+        let split_ix = op_trees
+            .iter()
+            .position(|t| !t.is_leaf())
+            .or_else(|| op_trees.iter().position(|t| matches!(t, Tree::Const(_))))?;
+        // a dedicated, never-recycled cell (it lives across two statements)
+        let name = Symbol::new(format!("$s{}", self.scratch_pool.len()));
+        self.scratch_pool.push(name.clone());
+        let first = AssignStmt {
+            dst: record_ir::MemRef::Scalar(name.clone()),
+            src: op_trees[split_ix].clone(),
+        };
+        let mut kids = op_trees;
+        kids[split_ix] = Tree::Temp(name);
+        let src = match shape {
+            Shape::Bin(op) => Tree::bin(op, kids[0].clone(), kids[1].clone()),
+            Shape::Un(op) => Tree::un(op, kids[0].clone()),
+        };
+        let second = AssignStmt { dst: stmt.dst.clone(), src };
+        Some((first, second))
+    }
+
+    /// Executes the emitted instructions on the simulator with
+    /// pseudo-random operand values and compares the destination against
+    /// the tree's reference evaluation. Returns `true` when they agree on
+    /// every probe.
+    fn verify_statement(&self, stmt: &AssignStmt, insns: &[Insn]) -> bool {
+        use std::collections::HashMap;
+        // Collect every symbol the statement and its code touch.
+        let mut lens: HashMap<Symbol, i64> = HashMap::new();
+        let mut index_vars: Vec<Symbol> = Vec::new();
+        {
+            let mut note = |base: &Symbol, disp: i64| {
+                let e = lens.entry(base.clone()).or_insert(1);
+                *e = (*e).max(disp.abs() + 1);
+            };
+            for insn in insns {
+                if let InsnKind::Compute { dst, expr } = &insn.kind {
+                    for l in expr.reads().into_iter().chain(std::iter::once(dst)) {
+                        if let Loc::Mem(m) = l {
+                            note(&m.base, m.disp);
+                            if let Some(v) = &m.index {
+                                if !index_vars.contains(v) {
+                                    index_vars.push(v.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let dst_loc = MemLoc::from_mem_ref(&stmt.dst);
+            note(&dst_loc.base, dst_loc.disp);
+        }
+        let dst_loc = MemLoc::from_mem_ref(&stmt.dst);
+
+        for seed in [0x5EED_u64, 0xBEEF, 0x1234_5678, 0xFEED_F00D] {
+            // deterministic, bit-rich per-symbol-element values: full-width
+            // patterns make value coincidences (a clobbered computation
+            // accidentally matching the reference) vanishingly unlikely
+            let width = self.target.word_width;
+            let value_of = move |sym: &Symbol, ix: i64| -> i64 {
+                let mut h = seed;
+                for b in sym.as_str().bytes() {
+                    h = h.wrapping_mul(1099511628211).wrapping_add(b as u64);
+                }
+                h = h.wrapping_mul(1099511628211).wrapping_add(ix as u64);
+                // splitmix64 finalizer: every input bit reaches every
+                // output bit, so distinct symbols get unrelated values
+                h ^= h >> 30;
+                h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+                h ^= h >> 27;
+                h = h.wrapping_mul(0x94d049bb133111eb);
+                h ^= h >> 31;
+                record_ir::ops::wrap_to_width(h as i64, width)
+            };
+
+            // reference evaluation (index vars are 0 under the probe loop)
+            let mut read_mem = |r: &record_ir::MemRef| {
+                let m = MemLoc::from_mem_ref(r);
+                value_of(&m.base, m.disp)
+            };
+            let mut read_temp = |s: &Symbol| value_of(s, 0);
+            let expect = stmt.src.eval(self.target.word_width, &mut read_mem, &mut read_temp);
+
+            // build the probe program
+            let mut code = record_isa::Code {
+                insns: Vec::new(),
+                layout: Default::default(),
+                target: self.target.name.clone(),
+                name: "verify".into(),
+            };
+            let mut addr = 0u16;
+            let mut placed: Vec<(&Symbol, i64)> = lens.iter().map(|(k, v)| (k, *v)).collect();
+            placed.sort();
+            for (sym, len) in &placed {
+                code.layout.place((*sym).clone(), addr, *len as u32, record_ir::Bank::X);
+                addr += *len as u16;
+            }
+            for v in &index_vars {
+                code.insns.push(Insn::ctrl(
+                    InsnKind::LoopStart { var: v.clone(), count: 1 },
+                    "probe-loop",
+                    0,
+                    0,
+                ));
+            }
+            code.insns.extend(insns.iter().cloned());
+            for _ in &index_vars {
+                code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "probe-end", 0, 0));
+            }
+            record_opt::insert_mode_changes(
+                &mut code,
+                self.target,
+                record_opt::ModeStrategy::Lazy,
+            );
+
+            let mut machine = record_sim::Machine::new(self.target);
+            for (sym, len) in &placed {
+                for ix in 0..*len {
+                    if machine.poke(sym, ix as u32, value_of(sym, ix), &code).is_err() {
+                        return true; // unplaceable probe: skip verification
+                    }
+                }
+            }
+            if machine.run(&code).is_err() {
+                return false;
+            }
+            let got = machine.peek(&dst_loc.base, dst_loc.disp.max(0) as u32, &code);
+            if got != Some(record_ir::ops::wrap_to_width(expect, self.target.word_width)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Emits one statement without the verification/split loop.
+    fn emit_one(
+        &mut self,
+        stmt: &AssignStmt,
+        rules: &RuleSet,
+        variant_limit: usize,
+        fold_constants: bool,
+    ) -> Result<(Vec<Insn>, SelectStats), CompileError> {
+        let mut stats = SelectStats::default();
+        let base = if fold_constants {
+            fold::fold(&stmt.src, self.target.word_width)
+        } else {
+            stmt.src.clone()
+        };
+        let candidates: Vec<_> = self
+            .target
+            .stores
+            .iter()
+            .map(|s| (s.nt, s.cost))
+            .collect();
+        if candidates.is_empty() {
+            return Err(CompileError::Target(format!(
+                "target {} has no store rules",
+                self.target.name
+            )));
+        }
+
+        let mut best: Option<(Cost, usize, record_burg::Cover, Tree)> = None;
+        let all = variants(&base, rules, variant_limit);
+        stats.variants = all.len();
+        for tree in all {
+            if let Some((nt, cover)) = self.matcher.best_cover(&tree, &candidates) {
+                stats.covered += 1;
+                let store_ix = self
+                    .target
+                    .stores
+                    .iter()
+                    .position(|s| s.nt == nt)
+                    .expect("candidate came from stores");
+                let total = cover.cost.add(self.target.stores[store_ix].cost);
+                let better = match &best {
+                    None => true,
+                    Some((bc, ..)) => total.weight() < bc.weight(),
+                };
+                if better {
+                    best = Some((total, store_ix, cover, tree));
+                }
+            }
+        }
+        let Some((_, store_ix, cover, _)) = best else {
+            return Err(CompileError::Uncoverable {
+                stmt: stmt.to_string(),
+                target: self.target.name.clone(),
+            });
+        };
+
+        let mut insns = Vec::new();
+        let value = self.emit_cover(&cover.root, &mut insns, &stmt.to_string())?;
+
+        // the store
+        let store = &self.target.stores[store_ix];
+        let dst = MemLoc::from_mem_ref(&stmt.dst);
+        let text = store
+            .asm
+            .replace("{d}", &dst.to_string())
+            .replace("{0}", &self.loc_text(&value));
+        let mut insn = Insn::compute(Loc::Mem(dst), SemExpr::Loc(value.clone()), text, store.cost.words, store.cost.cycles);
+        insn.units = store.units;
+        insns.push(insn);
+        self.release(&value);
+        debug_assert!(
+            self.reg_used.iter().all(|c| c.iter().all(|u| !u)),
+            "register leak after statement"
+        );
+        Ok((insns, stats))
+    }
+
+    /// Emits the instructions of a cover node; returns the location of
+    /// its value.
+    fn emit_cover(
+        &mut self,
+        node: &CoverNode,
+        out: &mut Vec<Insn>,
+        stmt_text: &str,
+    ) -> Result<Loc, CompileError> {
+        let rule = self.target.rule(node.rule).clone();
+
+        // Identity (base) rules: a leaf pattern with zero cost just
+        // forwards its binding.
+        if rule.cost.weight() == 0 {
+            if let Rhs::Pat(PatNode::Op(op, _)) = &rule.rhs {
+                if op.is_leaf() {
+                    return Ok(self.operand_loc(&node.operands[0]));
+                }
+            }
+        }
+
+        // evaluate operands in the rule's order
+        let n = node.operands.len();
+        let order: Vec<usize> = rule
+            .eval_order
+            .clone()
+            .map(|o| o.iter().map(|i| *i as usize).collect())
+            .unwrap_or_else(|| (0..n).collect());
+        let mut locs: Vec<Option<Loc>> = vec![None; n];
+        for &i in &order {
+            let loc = match &node.operands[i] {
+                Operand::Derived(child) => self.emit_cover(child, out, stmt_text)?,
+                other => self.operand_loc(other),
+            };
+            locs[i] = Some(loc);
+        }
+        let locs: Vec<Loc> = locs.into_iter().map(|l| l.expect("all operands visited")).collect();
+
+        // destination for the produced value
+        let dst = self.lhs_loc(&rule, stmt_text)?;
+
+        // semantics from the pattern shape
+        let expr = match &rule.rhs {
+            Rhs::Chain(_) | Rhs::Pat(PatNode::Nt(_)) => SemExpr::Loc(locs[0].clone()),
+            Rhs::Pat(pat) => {
+                let mut next = 0usize;
+                sem_from_pattern(pat, &locs, &mut next)
+            }
+        };
+
+        // render assembly text
+        let mut text = rule.asm.clone();
+        text = text.replace("{d}", &self.loc_text(&dst));
+        for (i, loc) in locs.iter().enumerate() {
+            text = text.replace(&format!("{{{i}}}"), &self.loc_text(loc));
+        }
+
+        let mut insn = Insn::compute(dst.clone(), expr, text, rule.cost.words, rule.cost.cycles);
+        insn.rule = Some(rule.id);
+        insn.units = rule.units;
+        insn.mode_sensitive = rule.mode_sensitive;
+        insn.mode_req = rule.mode.or_else(|| {
+            if rule.mode_sensitive {
+                self.target.sat_mode().map(|m| (m, false))
+            } else {
+                None
+            }
+        });
+        out.push(insn);
+
+        // operands are dead now
+        for loc in &locs {
+            self.release(loc);
+        }
+        Ok(dst)
+    }
+
+    /// The location a rule's lhs value materializes in.
+    fn lhs_loc(&mut self, rule: &record_isa::Rule, stmt_text: &str) -> Result<Loc, CompileError> {
+        match self.target.nonterm(rule.lhs).kind {
+            NonTermKind::Reg(class) => {
+                let decl = self.target.class(class);
+                if decl.is_singleton() {
+                    return Ok(Loc::Reg(RegId::singleton(class)));
+                }
+                let count = decl.count;
+                let cursor = &mut self.reg_cursor[class.0 as usize];
+                let used = &mut self.reg_used[class.0 as usize];
+                let mut pick = None;
+                for k in 0..count {
+                    let ix = ((*cursor + k) % count) as usize;
+                    if !used[ix] {
+                        pick = Some(ix);
+                        break;
+                    }
+                }
+                match pick {
+                    Some(ix) => {
+                        used[ix] = true;
+                        *cursor = (ix as u16 + 1) % count;
+                        Ok(Loc::Reg(RegId::new(class, ix as u16)))
+                    }
+                    None => Err(CompileError::OutOfRegisters {
+                        class: decl.name.clone(),
+                        stmt: stmt_text.to_string(),
+                    }),
+                }
+            }
+            NonTermKind::Mem => {
+                // spill chain: allocate a scratch word
+                let sym = match self.scratch_free.pop() {
+                    Some(s) => s,
+                    None => {
+                        let s = Symbol::new(format!("$s{}", self.scratch_pool.len()));
+                        self.scratch_pool.push(s.clone());
+                        s
+                    }
+                };
+                Ok(Loc::Mem(MemLoc::scalar(sym)))
+            }
+            NonTermKind::Imm { .. } => Err(CompileError::Target(format!(
+                "rule {} produces an immediate",
+                rule.id
+            ))),
+        }
+    }
+
+    fn operand_loc(&self, op: &Operand) -> Loc {
+        match op {
+            Operand::Const(v) => Loc::Imm(*v),
+            Operand::Mem(m) => Loc::Mem(MemLoc::from_mem_ref(m)),
+            Operand::Temp(t) => Loc::Mem(MemLoc::scalar(t.clone())),
+            Operand::Derived(_) => unreachable!("derived operands are emitted"),
+        }
+    }
+
+    /// Releases a multi-member register (singletons and memory are
+    /// unaffected; scratch reuse is per-statement).
+    fn release(&mut self, loc: &Loc) {
+        if let Loc::Reg(r) = loc {
+            let class = &self.target.reg_classes[r.class.0 as usize];
+            if !class.is_singleton() {
+                self.reg_used[r.class.0 as usize][r.index as usize] = false;
+            }
+        }
+    }
+
+    fn loc_text(&self, loc: &Loc) -> String {
+        match loc {
+            Loc::Reg(r) => self.target.class(r.class).member_name(r.index),
+            Loc::Mem(m) => m.to_string(),
+            Loc::Imm(v) => format!("{v}"),
+        }
+    }
+}
+
+fn sem_from_pattern(pat: &PatNode, locs: &[Loc], next: &mut usize) -> SemExpr {
+    match pat {
+        PatNode::Nt(_) => {
+            let l = locs[*next].clone();
+            *next += 1;
+            SemExpr::Loc(l)
+        }
+        PatNode::Op(op, children) => {
+            if op.is_leaf() {
+                let l = locs[*next].clone();
+                *next += 1;
+                return SemExpr::Loc(l);
+            }
+            match op {
+                record_ir::Op::Bin(b) => {
+                    let a = sem_from_pattern(&children[0], locs, next);
+                    let c = sem_from_pattern(&children[1], locs, next);
+                    SemExpr::bin(*b, a, c)
+                }
+                record_ir::Op::Un(u) => {
+                    let a = sem_from_pattern(&children[0], locs, next);
+                    SemExpr::un(*u, a)
+                }
+                _ => unreachable!("leaf ops handled above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_ir::{BinOp, MemRef};
+
+    fn assign(dst: &str, src: Tree) -> AssignStmt {
+        AssignStmt { dst: MemRef::scalar(dst), src }
+    }
+
+    fn texts(insns: &[Insn]) -> Vec<String> {
+        insns.iter().map(|i| i.text.clone()).collect()
+    }
+
+    #[test]
+    fn emits_mac_sequence_on_tic25() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        // y := y + c * x
+        let stmt = assign(
+            "y",
+            Tree::bin(
+                BinOp::Add,
+                Tree::var("y"),
+                Tree::bin(BinOp::Mul, Tree::var("c"), Tree::var("x")),
+            ),
+        );
+        let (insns, stats) = e
+            .emit_assign(&stmt, &RuleSet::none(), 1, false)
+            .expect("coverable");
+        assert_eq!(
+            texts(&insns),
+            vec!["LAC y", "LT c", "MPY x", "APAC", "SACL y"],
+        );
+        assert_eq!(stats.variants, 1);
+    }
+
+    #[test]
+    fn variant_selection_improves_covers() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        // y := 2 * x — as written, the constant must take the scenic
+        // route through the accumulator and a scratch word to reach the
+        // multiplier input (6 words); the mul-to-shift variant covers the
+        // whole thing with one load-with-shift (2 words).
+        let stmt = assign(
+            "y",
+            Tree::bin(BinOp::Mul, Tree::constant(2), Tree::var("x")),
+        );
+        let (no_variants, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
+        let words = |v: &[Insn]| v.iter().map(|i| i.words).sum::<u32>();
+        assert_eq!(words(&no_variants), 6, "{:?}", texts(&no_variants));
+        let (with_variants, stats) =
+            e.emit_assign(&stmt, &RuleSet::all(), 32, false).unwrap();
+        assert!(stats.variants > 1);
+        assert_eq!(texts(&with_variants), vec!["LAC x,1", "SACL y"]);
+    }
+
+    #[test]
+    fn spills_route_through_scratch_memory() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        // (a+b) * (c+d) forces one factor through memory
+        let stmt = assign(
+            "y",
+            Tree::bin(
+                BinOp::Mul,
+                Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b")),
+                Tree::bin(BinOp::Add, Tree::var("c"), Tree::var("d")),
+            ),
+        );
+        let (insns, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
+        assert!(
+            texts(&insns).iter().any(|t| t.starts_with("SACL $s")),
+            "{:?}",
+            texts(&insns)
+        );
+        assert!(!e.scratch_symbols().is_empty());
+    }
+
+    #[test]
+    fn scratch_is_reused_across_statements() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        let spilly = |dst: &str| {
+            assign(
+                dst,
+                Tree::bin(
+                    BinOp::Mul,
+                    Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b")),
+                    Tree::bin(BinOp::Add, Tree::var("c"), Tree::var("d")),
+                ),
+            )
+        };
+        e.emit_assign(&spilly("y"), &RuleSet::none(), 1, false).unwrap();
+        let n1 = e.scratch_symbols().len();
+        e.emit_assign(&spilly("z"), &RuleSet::none(), 1, false).unwrap();
+        assert_eq!(e.scratch_symbols().len(), n1, "pool reused");
+    }
+
+    #[test]
+    fn multi_register_allocation_on_risc() {
+        let t = record_isa::targets::simple_risc::target(8);
+        let mut e = Emitter::new(&t);
+        let stmt = assign(
+            "y",
+            Tree::bin(
+                BinOp::Add,
+                Tree::bin(BinOp::Mul, Tree::var("a"), Tree::var("b")),
+                Tree::bin(BinOp::Sub, Tree::var("c"), Tree::var("d")),
+            ),
+        );
+        let (insns, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
+        // loads into distinct registers, computes, stores
+        let t0 = texts(&insns);
+        assert!(t0.iter().any(|s| s.starts_with("LW r0,")), "{t0:?}");
+        assert!(t0.iter().any(|s| s.starts_with("LW r1,")), "{t0:?}");
+        assert!(t0.last().unwrap().starts_with("SW "));
+    }
+
+    #[test]
+    fn out_of_registers_is_reported() {
+        // a 2-register RISC cannot hold three concurrently live values
+        // (the right-leaning tree keeps r0 live while the inner product
+        // needs two more registers)
+        let t = record_isa::targets::simple_risc::target(2);
+        let mut e = Emitter::new(&t);
+        let stmt = assign(
+            "y",
+            Tree::bin(
+                BinOp::Mul,
+                Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b")),
+                Tree::bin(
+                    BinOp::Mul,
+                    Tree::bin(BinOp::Add, Tree::var("c"), Tree::var("d")),
+                    Tree::bin(BinOp::Add, Tree::var("e"), Tree::var("f")),
+                ),
+            ),
+        );
+        let err = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap_err();
+        assert!(matches!(err, CompileError::OutOfRegisters { .. }), "{err}");
+    }
+
+    #[test]
+    fn uncoverable_reports_statement() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        // the C25 model has no division instruction
+        let stmt = assign("y", Tree::bin(BinOp::Div, Tree::var("a"), Tree::var("b")));
+        let err = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap_err();
+        match err {
+            CompileError::Uncoverable { stmt, target } => {
+                assert!(stmt.contains("/"));
+                assert_eq!(target, "tic25");
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn constant_folding_is_optional() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        let stmt = assign(
+            "y",
+            Tree::bin(BinOp::Add, Tree::constant(2), Tree::constant(3)),
+        );
+        let (unfolded, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
+        let (folded, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, true).unwrap();
+        let words = |v: &[Insn]| v.iter().map(|i| i.words).sum::<u32>();
+        assert!(words(&folded) <= words(&unfolded));
+        assert!(texts(&folded).contains(&"LACK 5".to_string()));
+    }
+
+    #[test]
+    fn saturating_add_requires_ovm() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        let stmt = assign(
+            "y",
+            Tree::bin(BinOp::SatAdd, Tree::var("y"), Tree::var("x")),
+        );
+        let (insns, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
+        let ovm = t.mode("ovm").unwrap();
+        assert!(insns.iter().any(|i| i.mode_req == Some((ovm, true))));
+    }
+
+    #[test]
+    fn plain_add_requires_ovm_clear() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        let stmt = assign("y", Tree::bin(BinOp::Add, Tree::var("y"), Tree::var("x")));
+        let (insns, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
+        let ovm = t.mode("ovm").unwrap();
+        assert!(insns.iter().any(|i| i.mode_req == Some((ovm, false))));
+    }
+
+    #[test]
+    fn verifier_rejects_clobbered_covers() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        let stmt = assign(
+            "v1",
+            Tree::bin(
+                BinOp::And,
+                Tree::un(record_ir::UnOp::Not, Tree::var("v1")),
+                Tree::un(record_ir::UnOp::Not, Tree::var("v2")),
+            ),
+        );
+        // raw emission (no verify loop)
+        let (insns, _) = e.emit_one(&stmt, &RuleSet::none(), 1, false).unwrap();
+        let ok = e.verify_statement(&stmt, &insns);
+        // the naive cover clobbers the accumulator; the verifier must say no
+        assert!(!ok, "{:?}", texts(&insns));
+        // and the public entry point must produce correct code
+        let (fixed, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
+        assert!(e.verify_statement(&stmt, &fixed), "{:?}", texts(&fixed));
+    }
+
+    #[test]
+    fn temp_operands_read_their_memory_cell() {
+        let t = record_isa::targets::tic25::target();
+        let mut e = Emitter::new(&t);
+        let stmt = assign(
+            "y",
+            Tree::bin(BinOp::Add, Tree::temp("$t0"), Tree::var("x")),
+        );
+        let (insns, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
+        assert_eq!(texts(&insns)[0], "LAC $t0");
+    }
+}

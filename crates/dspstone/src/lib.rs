@@ -1,0 +1,639 @@
+//! The DSPStone kernels (Živojnović/Velarde/Schläger, Aachen 1994) as
+//! mini-DFL sources with bit-exact Rust reference implementations.
+//!
+//! DSPStone is the benchmark suite behind both evaluations in the paper:
+//! the Section 3.1 claim that compiled code carries a 2×–8× overhead over
+//! hand assembly, and Table 1's RECORD-vs-TI-compiler comparison. The ten
+//! kernels here are the ten rows of Table 1.
+//!
+//! Every kernel provides:
+//!
+//! * [`Kernel::source`] — the mini-DFL program the compilers consume,
+//! * [`Kernel::inputs`] — deterministic pseudo-random stimulus,
+//! * [`Kernel::reference`] — the expected values of every output variable,
+//!   computed with the same 16-bit wrap-around arithmetic the simulator
+//!   uses, so compiled code can be validated bit-exactly.
+
+use std::collections::HashMap;
+
+use record_ir::ops::wrap_to_width;
+use record_ir::Symbol;
+
+/// The array length used by the `N`-parameterized kernels (DSPStone used
+/// 16 taps for fir; we use one consistent size).
+pub const N: usize = 16;
+
+/// Number of biquad sections in `iir_biquad_n_sections`.
+pub const SECTIONS: usize = 4;
+
+/// Wraps to the 16-bit simulation width.
+fn w16(v: i64) -> i64 {
+    wrap_to_width(v, 16)
+}
+
+fn wadd(a: i64, b: i64) -> i64 {
+    w16(a.wrapping_add(b))
+}
+
+fn wsub(a: i64, b: i64) -> i64 {
+    w16(a.wrapping_sub(b))
+}
+
+fn wmul(a: i64, b: i64) -> i64 {
+    w16(a.wrapping_mul(b))
+}
+
+/// One benchmark kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct Kernel {
+    /// Table 1 row name.
+    pub name: &'static str,
+    /// The mini-DFL program.
+    pub source: &'static str,
+    /// Input variable names and lengths.
+    inputs: &'static [(&'static str, usize)],
+    /// Output variable names and lengths.
+    outputs: &'static [(&'static str, usize)],
+    /// The reference semantics.
+    #[allow(clippy::type_complexity)]
+    compute: fn(&HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>>,
+}
+
+impl Kernel {
+    /// Deterministic stimulus for the kernel (a simple LCG keyed by
+    /// `seed`; values stay small enough that fir-class sums cannot wrap,
+    /// which keeps failures easy to diagnose — wrap behaviour has its own
+    /// dedicated tests).
+    pub fn inputs(&self, seed: u64) -> HashMap<Symbol, Vec<i64>> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(12345);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i64 % 17) - 8
+        };
+        self.inputs
+            .iter()
+            .map(|(name, len)| (Symbol::new(*name), (0..*len).map(|_| next()).collect()))
+            .collect()
+    }
+
+    /// The expected value of every output variable.
+    pub fn reference(&self, inputs: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+        (self.compute)(inputs)
+    }
+
+    /// Output variable names and lengths.
+    pub fn outputs(&self) -> &'static [(&'static str, usize)] {
+        self.outputs
+    }
+
+    /// Input variable names and lengths.
+    pub fn input_decls(&self) -> &'static [(&'static str, usize)] {
+        self.inputs
+    }
+}
+
+fn get<'m>(m: &'m HashMap<Symbol, Vec<i64>>, k: &str) -> &'m [i64] {
+    m.get(&Symbol::new(k)).map(|v| v.as_slice()).unwrap_or(&[])
+}
+
+fn s(k: &str, v: Vec<i64>) -> (Symbol, Vec<i64>) {
+    (Symbol::new(k), v)
+}
+
+// ---------------------------------------------------------------------------
+// 1. real_update: d = c + a * b
+// ---------------------------------------------------------------------------
+
+const REAL_UPDATE_SRC: &str = "
+program real_update;
+in a, b, c: fix;
+out d: fix;
+begin
+  d := c + a * b;
+end
+";
+
+fn real_update(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let (a, b, c) = (get(m, "a")[0], get(m, "b")[0], get(m, "c")[0]);
+    [s("d", vec![wadd(c, wmul(a, b))])].into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// 2. complex_multiply: c = a * b (complex)
+// ---------------------------------------------------------------------------
+
+const COMPLEX_MULTIPLY_SRC: &str = "
+program complex_multiply;
+in ar, ai, br, bi: fix;
+out cr, ci: fix;
+begin
+  cr := ar * br - ai * bi;
+  ci := ar * bi + ai * br;
+end
+";
+
+fn complex_multiply(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let (ar, ai) = (get(m, "ar")[0], get(m, "ai")[0]);
+    let (br, bi) = (get(m, "br")[0], get(m, "bi")[0]);
+    [
+        s("cr", vec![wsub(wmul(ar, br), wmul(ai, bi))]),
+        s("ci", vec![wadd(wmul(ar, bi), wmul(ai, br))]),
+    ]
+    .into_iter()
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 3. complex_update: d = c + a * b (complex)
+// ---------------------------------------------------------------------------
+
+const COMPLEX_UPDATE_SRC: &str = "
+program complex_update;
+in ar, ai, br, bi, cr, ci: fix;
+out dr, di: fix;
+begin
+  dr := cr + ar * br - ai * bi;
+  di := ci + ar * bi + ai * br;
+end
+";
+
+fn complex_update(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let (ar, ai) = (get(m, "ar")[0], get(m, "ai")[0]);
+    let (br, bi) = (get(m, "br")[0], get(m, "bi")[0]);
+    let (cr, ci) = (get(m, "cr")[0], get(m, "ci")[0]);
+    [
+        s("dr", vec![wsub(wadd(cr, wmul(ar, br)), wmul(ai, bi))]),
+        s("di", vec![wadd(wadd(ci, wmul(ar, bi)), wmul(ai, br))]),
+    ]
+    .into_iter()
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 4. n_real_updates: d[i] = c[i] + a[i] * b[i]
+// ---------------------------------------------------------------------------
+
+const N_REAL_UPDATES_SRC: &str = "
+program n_real_updates;
+const N = 16;
+in a: fix[N]; in b: fix[N]; in c: fix[N];
+out d: fix[N];
+begin
+  for i in 0..N-1 loop
+    d[i] := c[i] + a[i] * b[i];
+  end loop;
+end
+";
+
+fn n_real_updates(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let (a, b, c) = (get(m, "a"), get(m, "b"), get(m, "c"));
+    let d = (0..N).map(|i| wadd(c[i], wmul(a[i], b[i]))).collect();
+    [s("d", d)].into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// 5. n_complex_updates
+// ---------------------------------------------------------------------------
+
+const N_COMPLEX_UPDATES_SRC: &str = "
+program n_complex_updates;
+const N = 16;
+in ar: fix[N]; in ai: fix[N];
+in br: fix[N]; in bi: fix[N];
+in cr: fix[N]; in ci: fix[N];
+out dr: fix[N]; out di: fix[N];
+begin
+  for i in 0..N-1 loop
+    dr[i] := cr[i] + ar[i] * br[i] - ai[i] * bi[i];
+    di[i] := ci[i] + ar[i] * bi[i] + ai[i] * br[i];
+  end loop;
+end
+";
+
+fn n_complex_updates(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let (ar, ai) = (get(m, "ar"), get(m, "ai"));
+    let (br, bi) = (get(m, "br"), get(m, "bi"));
+    let (cr, ci) = (get(m, "cr"), get(m, "ci"));
+    let dr = (0..N)
+        .map(|i| wsub(wadd(cr[i], wmul(ar[i], br[i])), wmul(ai[i], bi[i])))
+        .collect();
+    let di = (0..N)
+        .map(|i| wadd(wadd(ci[i], wmul(ar[i], bi[i])), wmul(ai[i], br[i])))
+        .collect();
+    [s("dr", dr), s("di", di)].into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// 6. fir: one sample of a 16-tap FIR filter
+// ---------------------------------------------------------------------------
+
+const FIR_SRC: &str = "
+program fir;
+const N = 16;
+in u: fix;
+in c: fix[N];
+in x: fix[N];
+out y: fix;
+begin
+  y := u * c[0];
+  for i in 1..N-1 loop
+    y := y + c[i] * x[i];
+  end loop;
+end
+";
+
+fn fir(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let (u, c, x) = (get(m, "u")[0], get(m, "c"), get(m, "x"));
+    let mut y = wmul(u, c[0]);
+    for i in 1..N {
+        y = wadd(y, wmul(c[i], x[i]));
+    }
+    [s("y", vec![y])].into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// 7. iir_biquad_one_section (direct form II, delayed signals)
+// ---------------------------------------------------------------------------
+
+const IIR_BIQUAD_ONE_SECTION_SRC: &str = "
+program iir_biquad_one_section;
+in x: fix;
+in a1, a2, b0, b1, b2: fix;
+in w1, w2: fix;
+var w: fix;
+out y: fix;
+begin
+  w := x - a1 * w1 - a2 * w2;
+  y := b0 * w + b1 * w1 + b2 * w2;
+  w2 := w1;
+  w1 := w;
+end
+";
+
+fn iir_biquad_one_section(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let x = get(m, "x")[0];
+    let (a1, a2) = (get(m, "a1")[0], get(m, "a2")[0]);
+    let (b0, b1, b2) = (get(m, "b0")[0], get(m, "b1")[0], get(m, "b2")[0]);
+    let (w1, w2) = (get(m, "w1")[0], get(m, "w2")[0]);
+    let w = wsub(wsub(x, wmul(a1, w1)), wmul(a2, w2));
+    let y = wadd(wadd(wmul(b0, w), wmul(b1, w1)), wmul(b2, w2));
+    [s("y", vec![y]), s("w", vec![w]), s("w1", vec![w]), s("w2", vec![w1])]
+        .into_iter()
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 8. iir_biquad_n_sections (cascade of 4 sections)
+// ---------------------------------------------------------------------------
+
+const IIR_BIQUAD_N_SECTIONS_SRC: &str = "
+program iir_biquad_n_sections;
+const S = 4;
+in x: fix;
+in a1: fix[S]; in a2: fix[S];
+in b0: fix[S]; in b1: fix[S]; in b2: fix[S];
+in w1: fix[S]; in w2: fix[S];
+var w: fix;
+out y: fix;
+begin
+  y := x;
+  for i in 0..S-1 loop
+    w := y - a1[i] * w1[i] - a2[i] * w2[i];
+    y := b0[i] * w + b1[i] * w1[i] + b2[i] * w2[i];
+    w2[i] := w1[i];
+    w1[i] := w;
+  end loop;
+end
+";
+
+fn iir_biquad_n_sections(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let x = get(m, "x")[0];
+    let (a1, a2) = (get(m, "a1"), get(m, "a2"));
+    let (b0, b1, b2) = (get(m, "b0"), get(m, "b1"), get(m, "b2"));
+    let mut w1 = get(m, "w1").to_vec();
+    let mut w2 = get(m, "w2").to_vec();
+    let mut y = x;
+    let mut w_last = 0;
+    for i in 0..SECTIONS {
+        let w = wsub(wsub(y, wmul(a1[i], w1[i])), wmul(a2[i], w2[i]));
+        y = wadd(wadd(wmul(b0[i], w), wmul(b1[i], w1[i])), wmul(b2[i], w2[i]));
+        w2[i] = w1[i];
+        w1[i] = w;
+        w_last = w;
+    }
+    [s("y", vec![y]), s("w", vec![w_last]), s("w1", w1), s("w2", w2)]
+        .into_iter()
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// 9. dot_product
+// ---------------------------------------------------------------------------
+
+const DOT_PRODUCT_SRC: &str = "
+program dot_product;
+const N = 16;
+in a: fix[N]; in b: fix[N];
+out y: fix;
+begin
+  y := 0;
+  for i in 0..N-1 loop
+    y := y + a[i] * b[i];
+  end loop;
+end
+";
+
+fn dot_product(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let (a, b) = (get(m, "a"), get(m, "b"));
+    let mut y = 0;
+    for i in 0..N {
+        y = wadd(y, wmul(a[i], b[i]));
+    }
+    [s("y", vec![y])].into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// 10. convolution: y = Σ x[i] * h[N-1-i] — one operand walks backward
+// ---------------------------------------------------------------------------
+
+const CONVOLUTION_SRC: &str = "
+program convolution;
+const N = 16;
+in x: fix[N]; in h: fix[N];
+out y: fix;
+begin
+  y := 0;
+  for i in 0..N-1 loop
+    y := y + x[i] * h[N-1-i];
+  end loop;
+end
+";
+
+fn convolution(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let (x, h) = (get(m, "x"), get(m, "h"));
+    let mut y = 0;
+    for i in 0..N {
+        y = wadd(y, wmul(x[i], h[N - 1 - i]));
+    }
+    [s("y", vec![y])].into_iter().collect()
+}
+
+// ---------------------------------------------------------------------------
+// extension: lms (a DSPStone member beyond the paper's Table 1)
+// ---------------------------------------------------------------------------
+
+const LMS_SRC: &str = "
+program lms;
+const N = 16;
+in d: fix;
+in mu: fix;
+in x: fix[N];
+in h: fix[N];
+out y: fix;
+out e: fix;
+begin
+  y := 0;
+  for i in 0..N-1 loop
+    y := y + h[i] * x[i];
+  end loop;
+  e := mu * (d - y);
+  for i in 0..N-1 loop
+    h[i] := h[i] + e * x[i];
+  end loop;
+end
+";
+
+fn lms(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>> {
+    let d = get(m, "d")[0];
+    let mu = get(m, "mu")[0];
+    let x = get(m, "x");
+    let mut h = get(m, "h").to_vec();
+    let mut y = 0;
+    for i in 0..N {
+        y = wadd(y, wmul(h[i], x[i]));
+    }
+    let e = wmul(mu, wsub(d, y));
+    for i in 0..N {
+        h[i] = wadd(h[i], wmul(e, x[i]));
+    }
+    [s("y", vec![y]), s("e", vec![e]), s("h", h)].into_iter().collect()
+}
+
+/// DSPStone kernels the paper's Table 1 does not include but the full
+/// suite has — used by the extension tests and benches.
+pub fn extension_kernels() -> Vec<Kernel> {
+    vec![Kernel {
+        name: "lms",
+        source: LMS_SRC,
+        inputs: &[("d", 1), ("mu", 1), ("x", N), ("h", N)],
+        outputs: &[("y", 1), ("e", 1), ("h", N)],
+        compute: lms,
+    }]
+}
+
+// ---------------------------------------------------------------------------
+
+/// The ten Table 1 kernels, in the table's row order.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "real_update",
+            source: REAL_UPDATE_SRC,
+            inputs: &[("a", 1), ("b", 1), ("c", 1)],
+            outputs: &[("d", 1)],
+            compute: real_update,
+        },
+        Kernel {
+            name: "complex_multiply",
+            source: COMPLEX_MULTIPLY_SRC,
+            inputs: &[("ar", 1), ("ai", 1), ("br", 1), ("bi", 1)],
+            outputs: &[("cr", 1), ("ci", 1)],
+            compute: complex_multiply,
+        },
+        Kernel {
+            name: "complex_update",
+            source: COMPLEX_UPDATE_SRC,
+            inputs: &[("ar", 1), ("ai", 1), ("br", 1), ("bi", 1), ("cr", 1), ("ci", 1)],
+            outputs: &[("dr", 1), ("di", 1)],
+            compute: complex_update,
+        },
+        Kernel {
+            name: "n_real_updates",
+            source: N_REAL_UPDATES_SRC,
+            inputs: &[("a", N), ("b", N), ("c", N)],
+            outputs: &[("d", N)],
+            compute: n_real_updates,
+        },
+        Kernel {
+            name: "n_complex_updates",
+            source: N_COMPLEX_UPDATES_SRC,
+            inputs: &[("ar", N), ("ai", N), ("br", N), ("bi", N), ("cr", N), ("ci", N)],
+            outputs: &[("dr", N), ("di", N)],
+            compute: n_complex_updates,
+        },
+        Kernel {
+            name: "fir",
+            source: FIR_SRC,
+            inputs: &[("u", 1), ("c", N), ("x", N)],
+            outputs: &[("y", 1)],
+            compute: fir,
+        },
+        Kernel {
+            name: "iir_biquad_one_section",
+            source: IIR_BIQUAD_ONE_SECTION_SRC,
+            inputs: &[
+                ("x", 1),
+                ("a1", 1),
+                ("a2", 1),
+                ("b0", 1),
+                ("b1", 1),
+                ("b2", 1),
+                ("w1", 1),
+                ("w2", 1),
+            ],
+            outputs: &[("y", 1), ("w1", 1), ("w2", 1)],
+            compute: iir_biquad_one_section,
+        },
+        Kernel {
+            name: "iir_biquad_n_sections",
+            source: IIR_BIQUAD_N_SECTIONS_SRC,
+            inputs: &[
+                ("x", 1),
+                ("a1", SECTIONS),
+                ("a2", SECTIONS),
+                ("b0", SECTIONS),
+                ("b1", SECTIONS),
+                ("b2", SECTIONS),
+                ("w1", SECTIONS),
+                ("w2", SECTIONS),
+            ],
+            outputs: &[("y", 1), ("w1", SECTIONS), ("w2", SECTIONS)],
+            compute: iir_biquad_n_sections,
+        },
+        Kernel {
+            name: "dot_product",
+            source: DOT_PRODUCT_SRC,
+            inputs: &[("a", N), ("b", N)],
+            outputs: &[("y", 1)],
+            compute: dot_product,
+        },
+        Kernel {
+            name: "convolution",
+            source: CONVOLUTION_SRC,
+            inputs: &[("x", N), ("h", N)],
+            outputs: &[("y", 1)],
+            compute: convolution,
+        },
+    ]
+}
+
+/// Looks a kernel up by its Table 1 row name.
+pub fn kernel(name: &str) -> Option<Kernel> {
+    kernels().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_kernels_in_table_order() {
+        let names: Vec<&str> = kernels().iter().map(|k| k.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "real_update",
+                "complex_multiply",
+                "complex_update",
+                "n_real_updates",
+                "n_complex_updates",
+                "fir",
+                "iir_biquad_one_section",
+                "iir_biquad_n_sections",
+                "dot_product",
+                "convolution",
+            ]
+        );
+    }
+
+    #[test]
+    fn extension_kernels_parse_and_validate_shapes() {
+        for k in extension_kernels() {
+            let ast = record_ir::dfl::parse(k.source).unwrap();
+            record_ir::lower::lower(&ast).unwrap();
+            let inputs = k.inputs(1);
+            let out = k.reference(&inputs);
+            for (name, len) in k.outputs() {
+                assert_eq!(out[&Symbol::new(*name)].len(), *len);
+            }
+        }
+    }
+
+    #[test]
+    fn sources_parse_and_lower() {
+        for k in kernels() {
+            let ast = record_ir::dfl::parse(k.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            record_ir::lower::lower(&ast).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn inputs_are_deterministic_and_sized() {
+        for k in kernels() {
+            let a = k.inputs(7);
+            let b = k.inputs(7);
+            assert_eq!(a, b, "{}", k.name);
+            for (name, len) in k.input_decls() {
+                assert_eq!(a[&Symbol::new(*name)].len(), *len, "{}.{}", k.name, name);
+            }
+        }
+    }
+
+    #[test]
+    fn references_cover_all_outputs() {
+        for k in kernels() {
+            let inputs = k.inputs(3);
+            let outputs = k.reference(&inputs);
+            for (name, len) in k.outputs() {
+                let v = outputs
+                    .get(&Symbol::new(*name))
+                    .unwrap_or_else(|| panic!("{} missing output {}", k.name, name));
+                assert_eq!(v.len(), *len, "{}.{}", k.name, name);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_product_reference_sanity() {
+        let k = kernel("dot_product").unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert(Symbol::new("a"), vec![1; N]);
+        inputs.insert(Symbol::new("b"), vec![2; N]);
+        let out = k.reference(&inputs);
+        assert_eq!(out[&Symbol::new("y")], vec![2 * N as i64]);
+    }
+
+    #[test]
+    fn convolution_reverses_one_operand() {
+        let k = kernel("convolution").unwrap();
+        let mut inputs = HashMap::new();
+        let mut x = vec![0i64; N];
+        x[0] = 5;
+        let mut h = vec![0i64; N];
+        h[N - 1] = 3;
+        inputs.insert(Symbol::new("x"), x);
+        inputs.insert(Symbol::new("h"), h);
+        let out = k.reference(&inputs);
+        assert_eq!(out[&Symbol::new("y")], vec![15], "x[0]*h[N-1] pairs up");
+    }
+
+    #[test]
+    fn biquad_cascade_shifts_state() {
+        let k = kernel("iir_biquad_n_sections").unwrap();
+        let mut inputs = k.inputs(1);
+        inputs.insert(Symbol::new("w1"), vec![1, 2, 3, 4]);
+        let out = k.reference(&inputs);
+        assert_eq!(out[&Symbol::new("w2")], vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,55 @@
+//! The mini-DFL frontend.
+//!
+//! DFL (Data Flow Language) was the DSP-specific input language of the
+//! original RECORD compiler; it was a proprietary Mentor Graphics product,
+//! so this reproduction defines a small language with the same flavour:
+//! fixed-point scalars and arrays, bounded counting loops, delayed signals
+//! (`x@1`) and saturating operators as intrinsics.
+//!
+//! ```text
+//! program fir;
+//! const N = 16;
+//! var x: fix[N];
+//! var c: fix[N];
+//! var y: fix;
+//! begin
+//!   y := 0;
+//!   for i in 0..N-1 loop
+//!     y := y + c[i] * x[i];
+//!   end loop;
+//! end
+//! ```
+//!
+//! Use [`parse`] to obtain an [`ast::Program`], then
+//! [`lower`](crate::lower::lower) to produce the linear IR consumed by the
+//! back end.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::Program;
+
+use crate::Error;
+
+/// Parses a mini-DFL source text into an AST.
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] or [`Error::Parse`] with the offending line on
+/// malformed input.
+///
+/// # Example
+///
+/// ```
+/// let program = record_ir::dfl::parse(
+///     "program p; var a: fix; begin a := 1; end",
+/// )?;
+/// assert_eq!(program.name, "p");
+/// # Ok::<(), record_ir::Error>(())
+/// ```
+pub fn parse(source: &str) -> Result<Program, Error> {
+    let tokens = lexer::lex(source)?;
+    parser::parse_tokens(&tokens)
+}

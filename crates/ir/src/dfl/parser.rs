@@ -1,0 +1,477 @@
+//! Recursive-descent parser for the mini-DFL language.
+
+use crate::{Bank, BinOp, Error, UnOp};
+
+use super::ast::{BaseTy, Decl, Expr, LValue, Program, Stmt, VarDecl, VarKind};
+use super::token::{Keyword, Token, TokenKind};
+
+/// Parses a token stream (as produced by [`lexer::lex`](super::lexer::lex))
+/// into an AST.
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] with the offending line on malformed input.
+pub fn parse_tokens(tokens: &[Token]) -> Result<Program, Error> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let t = &self.tokens[self.pos].kind;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), Error> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(Error::parse(self.line(), format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), Error> {
+        self.expect(TokenKind::Keyword(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, Error> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(Error::parse(self.line(), format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, Error> {
+        self.expect_keyword(Keyword::Program)?;
+        let name = self.ident()?;
+        self.expect(TokenKind::Semi)?;
+
+        let mut decls = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(Keyword::Const) => {
+                    self.bump();
+                    let name = self.ident()?;
+                    // Accept both `=`-less form `const N = e;` — the lexer has
+                    // no `=` token, so we spell it `const N := e;` or reuse
+                    // `:` `=`; we accept `:=` for uniformity.
+                    self.expect(TokenKind::Assign).map_err(|_| Error::parse(
+                            self.line(),
+                            "expected `:=` after constant name (e.g. `const N := 16;`)",
+                        ))?;
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    decls.push(Decl::Const { name, value });
+                }
+                TokenKind::Keyword(Keyword::Var)
+                | TokenKind::Keyword(Keyword::In)
+                | TokenKind::Keyword(Keyword::Out) => {
+                    decls.push(Decl::Var(self.var_decl()?));
+                }
+                _ => break,
+            }
+        }
+
+        self.expect_keyword(Keyword::Begin)?;
+        let body = self.stmt_list(&[Keyword::End])?;
+        self.expect_keyword(Keyword::End)?;
+        // optional trailing semicolon / EOF
+        let _ = self.eat(&TokenKind::Semi);
+        self.expect(TokenKind::Eof)?;
+        Ok(Program { name, decls, body })
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, Error> {
+        let line = self.line();
+        let kind = match self.bump() {
+            TokenKind::Keyword(Keyword::Var) => VarKind::Var,
+            TokenKind::Keyword(Keyword::In) => VarKind::In,
+            TokenKind::Keyword(Keyword::Out) => VarKind::Out,
+            _ => unreachable!("caller checked"),
+        };
+        let mut names = vec![self.ident()?];
+        while self.eat(&TokenKind::Comma) {
+            names.push(self.ident()?);
+        }
+        self.expect(TokenKind::Colon)?;
+        let ty = match self.bump() {
+            TokenKind::Keyword(Keyword::Fix) => BaseTy::Fix,
+            TokenKind::Keyword(Keyword::Int) => BaseTy::Int,
+            other => {
+                let msg = format!("expected type `fix` or `int`, found {other}");
+                return Err(Error::parse(line, msg));
+            }
+        };
+        let len = if self.eat(&TokenKind::LBracket) {
+            let e = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            Some(e)
+        } else {
+            None
+        };
+        let bank = if self.eat(&TokenKind::Keyword(Keyword::Bank)) {
+            let b = self.ident()?;
+            match b.as_str() {
+                "X" | "x" => Some(Bank::X),
+                "Y" | "y" => Some(Bank::Y),
+                other => {
+                    return Err(Error::parse(line, format!("unknown bank `{other}` (use X or Y)")))
+                }
+            }
+        } else {
+            None
+        };
+        self.expect(TokenKind::Semi)?;
+        Ok(VarDecl { names, kind, ty, len, bank, line })
+    }
+
+    /// Parses statements until one of the stop keywords is next.
+    fn stmt_list(&mut self, stops: &[Keyword]) -> Result<Vec<Stmt>, Error> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Keyword(k) if stops.contains(k) => return Ok(out),
+                TokenKind::Eof => return Ok(out),
+                _ => out.push(self.stmt()?),
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Error> {
+        let line = self.line();
+        if self.eat(&TokenKind::Keyword(Keyword::For)) {
+            let var = self.ident()?;
+            self.expect_keyword(Keyword::In)?;
+            let lo = self.expr()?;
+            self.expect(TokenKind::DotDot)?;
+            let hi = self.expr()?;
+            // `loop` or `do` introduces the body
+            if !self.eat(&TokenKind::Keyword(Keyword::Loop)) {
+                self.expect_keyword(Keyword::Do)?;
+            }
+            let body = self.stmt_list(&[Keyword::End])?;
+            self.expect_keyword(Keyword::End)?;
+            let _ = self.eat(&TokenKind::Keyword(Keyword::Loop));
+            let _ = self.eat(&TokenKind::Semi);
+            return Ok(Stmt::For { var, lo, hi, body, line });
+        }
+        // assignment
+        let name = self.ident()?;
+        let dst = if self.eat(&TokenKind::LBracket) {
+            let idx = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            LValue::Elem(name, idx)
+        } else {
+            LValue::Scalar(name)
+        };
+        self.expect(TokenKind::Assign)?;
+        let value = self.expr()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::Assign { dst, value, line })
+    }
+
+    /// Expression grammar, lowest precedence first:
+    /// `|` < `^` < `&` < `<< >>` < `+ -` < `* /` < unary.
+    fn expr(&mut self) -> Result<Expr, Error> {
+        self.bitor()
+    }
+
+    fn bitor(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.bitxor()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.bitxor()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.bitand()?;
+        while self.eat(&TokenKind::Caret) {
+            let rhs = self.bitand()?;
+            lhs = Expr::bin(BinOp::Xor, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn bitand(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.shift()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.shift()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.additive()?;
+        loop {
+            if self.eat(&TokenKind::Shl) {
+                let rhs = self.additive()?;
+                lhs = Expr::bin(BinOp::Shl, lhs, rhs);
+            } else if self.eat(&TokenKind::Shr) {
+                let rhs = self.additive()?;
+                lhs = Expr::bin(BinOp::Shr, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            if self.eat(&TokenKind::Plus) {
+                let rhs = self.multiplicative()?;
+                lhs = Expr::bin(BinOp::Add, lhs, rhs);
+            } else if self.eat(&TokenKind::Minus) {
+                let rhs = self.multiplicative()?;
+                lhs = Expr::bin(BinOp::Sub, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat(&TokenKind::Star) {
+                let rhs = self.unary()?;
+                lhs = Expr::bin(BinOp::Mul, lhs, rhs);
+            } else if self.eat(&TokenKind::Slash) {
+                let rhs = self.unary()?;
+                lhs = Expr::bin(BinOp::Div, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, Error> {
+        if self.eat(&TokenKind::Minus) {
+            return Ok(Expr::un(UnOp::Neg, self.unary()?));
+        }
+        if self.eat(&TokenKind::Tilde) {
+            return Ok(Expr::un(UnOp::Not, self.unary()?));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, Error> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Num(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    return self.intrinsic(&name, line);
+                }
+                if self.eat(&TokenKind::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    return Ok(Expr::Elem(name, Box::new(idx)));
+                }
+                if self.eat(&TokenKind::At) {
+                    match self.bump().clone() {
+                        TokenKind::Num(k) if k >= 1 => return Ok(Expr::Delay(name, k as u32)),
+                        other => {
+                            return Err(Error::parse(
+                                line,
+                                format!("delay `@` needs a positive literal, found {other}"),
+                            ))
+                        }
+                    }
+                }
+                Ok(Expr::Name(name))
+            }
+            other => Err(Error::parse(line, format!("expected expression, found {other}"))),
+        }
+    }
+
+    /// Resolves intrinsic calls: `sat`, `abs`, `round` (unary);
+    /// `sadd`, `ssub`, `min`, `max` (binary).
+    fn intrinsic(&mut self, name: &str, line: u32) -> Result<Expr, Error> {
+        let mut args = vec![self.expr()?];
+        while self.eat(&TokenKind::Comma) {
+            args.push(self.expr()?);
+        }
+        self.expect(TokenKind::RParen)?;
+        let arity_err = |want: usize| {
+            Error::parse(line, format!("intrinsic `{name}` takes {want} argument(s)"))
+        };
+        match name {
+            "sat" | "abs" | "round" => {
+                if args.len() != 1 {
+                    return Err(arity_err(1));
+                }
+                let op = match name {
+                    "sat" => UnOp::Sat,
+                    "abs" => UnOp::Abs,
+                    _ => UnOp::Round,
+                };
+                Ok(Expr::un(op, args.pop().expect("checked length")))
+            }
+            "sadd" | "ssub" | "min" | "max" => {
+                if args.len() != 2 {
+                    return Err(arity_err(2));
+                }
+                let op = match name {
+                    "sadd" => BinOp::SatAdd,
+                    "ssub" => BinOp::SatSub,
+                    "min" => BinOp::Min,
+                    _ => BinOp::Max,
+                };
+                let b = args.pop().expect("checked length");
+                let a = args.pop().expect("checked length");
+                Ok(Expr::bin(op, a, b))
+            }
+            other => Err(Error::parse(line, format!("unknown intrinsic `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parse;
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("program p; var a: fix; begin a := 1; end").unwrap();
+        assert_eq!(p.name, "p");
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_const_with_walrus() {
+        let p = parse("program p; const N := 8; var a: fix[N]; begin a[0] := N; end").unwrap();
+        assert_eq!(p.consts().count(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse("program p; var a,b,c,y: fix; begin y := a + b * c; end").unwrap();
+        match &p.body[0] {
+            Stmt::Assign { value: Expr::Bin(BinOp::Add, _, rhs), .. } => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop_with_array_access() {
+        let p = parse(
+            "program p; const N := 4; var a: fix[N]; var y: fix;
+             begin for i in 0..N-1 loop y := y + a[i]; end loop; end",
+        )
+        .unwrap();
+        assert!(matches!(p.body[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_intrinsics() {
+        let p = parse("program p; var a,b,y: fix; begin y := sadd(a, b) + sat(a * b); end");
+        assert!(p.is_ok(), "{p:?}");
+    }
+
+    #[test]
+    fn parses_delay() {
+        let p = parse("program p; var x,y: fix; begin y := x@1 + x@2; end").unwrap();
+        match &p.body[0] {
+            Stmt::Assign { value: Expr::Bin(BinOp::Add, a, b), .. } => {
+                assert_eq!(**a, Expr::Delay("x".into(), 1));
+                assert_eq!(**b, Expr::Delay("x".into(), 2));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bank_hint() {
+        let p = parse("program p; var a: fix[4] bank Y; var y: fix; begin y := a[0]; end")
+            .unwrap();
+        let v = p.vars().next().unwrap();
+        assert_eq!(v.bank, Some(crate::Bank::Y));
+    }
+
+    #[test]
+    fn rejects_unknown_intrinsic() {
+        let e = parse("program p; var y: fix; begin y := frob(1); end").unwrap_err();
+        assert!(e.to_string().contains("unknown intrinsic"));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse("program p; var y: fix; begin y := 1 end").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_delay() {
+        assert!(parse("program p; var x,y: fix; begin y := x@0; end").is_err());
+    }
+
+    #[test]
+    fn unary_minus_and_not() {
+        let p = parse("program p; var a,y: fix; begin y := -a + ~a; end").unwrap();
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops() {
+        let p = parse(
+            "program p; var a: fix[4]; var y: fix;
+             begin
+               for i in 0..1 loop
+                 for j in 0..1 loop
+                   y := y + a[j];
+                 end loop;
+               end loop;
+             end",
+        )
+        .unwrap();
+        match &p.body[0] {
+            Stmt::For { body, .. } => assert!(matches!(body[0], Stmt::For { .. })),
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The error type shared by the frontend and lowering stages.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing, checking or lowering a
+/// mini-DFL program.
+///
+/// The variants mirror the pipeline stage that failed; every variant
+/// carries a human-readable message and, where available, a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The lexer met a character or token it cannot represent.
+    Lex { line: u32, message: String },
+    /// The parser met an unexpected token.
+    Parse { line: u32, message: String },
+    /// Name resolution or type checking failed.
+    Sema { message: String },
+    /// Lowering to the linear IR failed (e.g. a loop bound is not a
+    /// compile-time constant).
+    Lower { message: String },
+}
+
+impl Error {
+    pub(crate) fn lex(line: u32, message: impl Into<String>) -> Self {
+        Error::Lex { line, message: message.into() }
+    }
+
+    pub(crate) fn parse(line: u32, message: impl Into<String>) -> Self {
+        Error::Parse { line, message: message.into() }
+    }
+
+    pub(crate) fn sema(message: impl Into<String>) -> Self {
+        Error::Sema { message: message.into() }
+    }
+
+    pub(crate) fn lower(message: impl Into<String>) -> Self {
+        Error::Lower { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            Error::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            Error::Sema { message } => write!(f, "semantic error: {message}"),
+            Error::Lower { message } => write!(f, "lowering error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_stage_and_line() {
+        let e = Error::lex(3, "stray `%`");
+        assert_eq!(e.to_string(), "lex error at line 3: stray `%`");
+        let e = Error::sema("unknown variable `q`");
+        assert!(e.to_string().contains("semantic error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<Error>();
+    }
+}

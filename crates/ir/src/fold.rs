@@ -1,0 +1,165 @@
+//! Constant folding and algebraic identity simplification.
+//!
+//! The paper is explicit that RECORD "does not contain any standard
+//! optimization technique (such as constant folding)", and Table 1 was
+//! measured that way — so the RECORD pipeline leaves this pass **off by
+//! default**. It exists because a production user would want it, and
+//! because the ablation benches quantify what it buys.
+
+use crate::{BinOp, Tree, UnOp};
+
+/// Folds constant subexpressions and applies simple identities
+/// (`x+0`, `x*1`, `x*0`, `x-0`, `x<<0`, double negation).
+///
+/// Arithmetic is performed with `width`-bit wrap-around semantics so the
+/// folded program is bit-identical to the unfolded one on the target.
+///
+/// # Example
+///
+/// ```
+/// use record_ir::{fold::fold, BinOp, Tree};
+///
+/// let t = Tree::bin(
+///     BinOp::Add,
+///     Tree::bin(BinOp::Mul, Tree::var("x"), Tree::constant(1)),
+///     Tree::bin(BinOp::Sub, Tree::constant(7), Tree::constant(3)),
+/// );
+/// assert_eq!(fold(&t, 16).to_string(), "(x + 4)");
+/// ```
+pub fn fold(tree: &Tree, width: u32) -> Tree {
+    match tree {
+        Tree::Const(_) | Tree::Mem(_) | Tree::Temp(_) => tree.clone(),
+        Tree::Un(op, a) => {
+            let fa = fold(a, width);
+            if let Tree::Const(v) = fa {
+                return Tree::Const(op.eval(v, width));
+            }
+            // neg(neg(x)) = x ; not(not(x)) = x
+            if let Tree::Un(inner, x) = &fa {
+                if (op, inner) == (&UnOp::Neg, &UnOp::Neg) || (op, inner) == (&UnOp::Not, &UnOp::Not)
+                {
+                    return (**x).clone();
+                }
+            }
+            Tree::un(*op, fa)
+        }
+        Tree::Bin(op, a, b) => {
+            let fa = fold(a, width);
+            let fb = fold(b, width);
+            if let (Tree::Const(va), Tree::Const(vb)) = (&fa, &fb) {
+                return Tree::Const(op.eval(*va, *vb, width));
+            }
+            if let Some(simplified) = identity(*op, &fa, &fb) {
+                return simplified;
+            }
+            Tree::bin(*op, fa, fb)
+        }
+    }
+}
+
+/// Identity simplifications on already-folded operands.
+fn identity(op: BinOp, a: &Tree, b: &Tree) -> Option<Tree> {
+    let is_const = |t: &Tree, v: i64| matches!(t, Tree::Const(c) if *c == v);
+    match op {
+        BinOp::Add | BinOp::SatAdd => {
+            if is_const(b, 0) {
+                return Some(a.clone());
+            }
+            if is_const(a, 0) {
+                return Some(b.clone());
+            }
+        }
+        BinOp::Sub | BinOp::SatSub
+            if is_const(b, 0) => {
+                return Some(a.clone());
+            }
+        BinOp::Mul => {
+            if is_const(b, 1) {
+                return Some(a.clone());
+            }
+            if is_const(a, 1) {
+                return Some(b.clone());
+            }
+            if is_const(a, 0) || is_const(b, 0) {
+                return Some(Tree::Const(0));
+            }
+        }
+        BinOp::Shl | BinOp::Shr
+            if is_const(b, 0) => {
+                return Some(a.clone());
+            }
+        BinOp::And
+            if (is_const(a, 0) || is_const(b, 0)) => {
+                return Some(Tree::Const(0));
+            }
+        BinOp::Or | BinOp::Xor => {
+            if is_const(b, 0) {
+                return Some(a.clone());
+            }
+            if is_const(a, 0) {
+                return Some(b.clone());
+            }
+        }
+        _ => {}
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemRef, Symbol};
+
+    fn eval(t: &Tree, x: i64) -> i64 {
+        let mut mem = |_: &MemRef| x;
+        let mut tmp = |_: &Symbol| 0;
+        t.eval(16, &mut mem, &mut tmp)
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let t = Tree::bin(BinOp::Mul, Tree::constant(6), Tree::constant(7));
+        assert_eq!(fold(&t, 16), Tree::Const(42));
+    }
+
+    #[test]
+    fn folds_with_wraparound() {
+        let t = Tree::bin(BinOp::Add, Tree::constant(30000), Tree::constant(10000));
+        assert_eq!(fold(&t, 16), Tree::Const(crate::ops::wrap_to_width(40000, 16)));
+    }
+
+    #[test]
+    fn removes_identities() {
+        let t = Tree::bin(BinOp::Add, Tree::var("x"), Tree::constant(0));
+        assert_eq!(fold(&t, 16), Tree::var("x"));
+        let t = Tree::bin(BinOp::Mul, Tree::constant(1), Tree::var("x"));
+        assert_eq!(fold(&t, 16), Tree::var("x"));
+        let t = Tree::bin(BinOp::Mul, Tree::var("x"), Tree::constant(0));
+        assert_eq!(fold(&t, 16), Tree::Const(0));
+    }
+
+    #[test]
+    fn cancels_double_negation() {
+        let t = Tree::un(UnOp::Neg, Tree::un(UnOp::Neg, Tree::var("x")));
+        assert_eq!(fold(&t, 16), Tree::var("x"));
+    }
+
+    #[test]
+    fn folding_preserves_semantics() {
+        let t = Tree::bin(
+            BinOp::Add,
+            Tree::bin(BinOp::Mul, Tree::var("x"), Tree::constant(3)),
+            Tree::bin(BinOp::Shl, Tree::constant(1), Tree::constant(4)),
+        );
+        let f = fold(&t, 16);
+        for x in [-5, 0, 7, 1000] {
+            assert_eq!(eval(&t, x), eval(&f, x));
+        }
+    }
+
+    #[test]
+    fn leaves_nonconstant_alone() {
+        let t = Tree::bin(BinOp::Add, Tree::var("x"), Tree::var("y"));
+        assert_eq!(fold(&t, 16), t);
+    }
+}

@@ -1,0 +1,62 @@
+//! Intermediate representation for the RECORD reproduction.
+//!
+//! This crate provides everything that sits *in front of* the retargetable
+//! back end described in Marwedel's DAC'97 tutorial "Code Generation for
+//! Core Processors":
+//!
+//! * a small DSP-oriented source language in the spirit of DFL
+//!   (module [`dfl`]): fixed-point scalars and arrays, bounded `for` loops,
+//!   delayed signals (`x@1`) and saturating operators,
+//! * data-flow graphs ([`dfg`]) and expression trees ([`tree`]) over a
+//!   shared operator vocabulary ([`ops`]),
+//! * decomposition of data-flow graphs into trees at multi-use points
+//!   ([`treeify`]), the standard preprocessing step before BURS covering,
+//! * algebraic transformation rules and bounded variant enumeration
+//!   ([`transform`]), which RECORD uses to offer the tree matcher several
+//!   equivalent trees and keep the cheapest cover,
+//! * optional constant folding ([`fold`]) — *disabled by default*, because
+//!   the paper points out that RECORD contains no standard optimizations
+//!   such as constant folding.
+//!
+//! # Example
+//!
+//! ```
+//! use record_ir::dfl;
+//!
+//! let src = "
+//!     program dot;
+//!     const N = 4;
+//!     var a: fix[N]; var b: fix[N]; var y: fix;
+//!     begin
+//!       y := 0;
+//!       for i in 0..N-1 loop
+//!         y := y + a[i] * b[i];
+//!       end loop;
+//!     end
+//! ";
+//! let program = dfl::parse(src)?;
+//! let lir = record_ir::lower::lower(&program)?;
+//! assert_eq!(lir.name.as_str(), "dot");
+//! # Ok::<(), record_ir::Error>(())
+//! ```
+
+pub mod dfg;
+pub mod dfl;
+pub mod fold;
+pub mod lir;
+pub mod lower;
+pub mod mem;
+pub mod ops;
+pub mod symbol;
+pub mod transform;
+pub mod tree;
+pub mod treeify;
+
+mod error;
+
+pub use error::Error;
+pub use lir::{AssignStmt, Lir, LirItem};
+pub use mem::{Bank, Index, MemRef};
+pub use ops::{BinOp, Op, UnOp};
+pub use symbol::Symbol;
+pub use tree::Tree;

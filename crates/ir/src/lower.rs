@@ -1,0 +1,600 @@
+//! Lowering: AST → linear IR.
+//!
+//! Responsibilities:
+//!
+//! * evaluate `const` declarations and fold constant expressions that
+//!   appear in array bounds, loop bounds and indexes (note: folding inside
+//!   *value* expressions is NOT performed — the paper states RECORD has no
+//!   standard optimizations; use [`fold`](crate::fold) explicitly if you
+//!   want it),
+//! * check that every name is declared, arrays are indexed and scalars are
+//!   not, and index expressions fall in the `c` / `i + c` class,
+//! * materialize delayed signals `x@k` as shadow scalars `x@k` that are
+//!   shifted at the end of the program body (`x@2 := x@1; x@1 := x;`),
+//! * rebase loop counters to zero.
+
+use std::collections::HashMap;
+
+use crate::dfl::ast::{BaseTy, Decl, Expr, LValue, Program, Stmt, VarKind};
+use crate::lir::{AssignStmt, Lir, LirItem, StorageKind, VarInfo};
+use crate::{BinOp, Error, Index, MemRef, Symbol, Tree, UnOp};
+
+/// Lowers a parsed program to the linear IR.
+///
+/// # Errors
+///
+/// Returns [`Error::Sema`] for undeclared names, bad indexing or
+/// non-constant bounds, and [`Error::Lower`] for structural problems
+/// (e.g. an empty loop range).
+///
+/// # Example
+///
+/// ```
+/// let ast = record_ir::dfl::parse(
+///     "program p; var x, y: fix; begin y := x@1 + x; end",
+/// )?;
+/// let lir = record_ir::lower::lower(&ast)?;
+/// // the delay shadow is declared and updated at the end of the body
+/// assert!(lir.var(&record_ir::Symbol::new("x@1")).is_some());
+/// assert_eq!(lir.assign_count(), 2);
+/// # Ok::<(), record_ir::Error>(())
+/// ```
+pub fn lower(program: &Program) -> Result<Lir, Error> {
+    Lowerer::new(program)?.run(program)
+}
+
+struct LoweredVar {
+    len: u32,
+    kind: StorageKind,
+    bank: Option<crate::Bank>,
+    is_fix: bool,
+}
+
+struct Lowerer {
+    consts: HashMap<String, i64>,
+    vars: HashMap<String, LoweredVar>,
+    var_order: Vec<String>,
+    /// (signal, max delay) pairs for `x@k` uses.
+    delays: HashMap<String, u32>,
+    /// Loop counters currently in scope.
+    loop_vars: Vec<Symbol>,
+    /// Per active loop counter, the lower bound that zero-based counters
+    /// must be displaced by when used in array indexes.
+    rebase: HashMap<String, i64>,
+}
+
+impl Lowerer {
+    fn new(program: &Program) -> Result<Self, Error> {
+        let mut me = Lowerer {
+            consts: HashMap::new(),
+            vars: HashMap::new(),
+            var_order: Vec::new(),
+            delays: HashMap::new(),
+            loop_vars: Vec::new(),
+            rebase: HashMap::new(),
+        };
+        for decl in &program.decls {
+            match decl {
+                Decl::Const { name, value } => {
+                    let v = me.eval_const(value).ok_or_else(|| {
+                        Error::sema(format!("constant `{name}` is not compile-time evaluable"))
+                    })?;
+                    if me.consts.insert(name.clone(), v).is_some() {
+                        return Err(Error::sema(format!("constant `{name}` declared twice")));
+                    }
+                }
+                Decl::Var(v) => {
+                    let len = match &v.len {
+                        None => 1,
+                        Some(e) => {
+                            let n = me.eval_const(e).ok_or_else(|| {
+                                Error::sema(format!(
+                                    "array length of `{}` is not constant",
+                                    v.names.join(", ")
+                                ))
+                            })?;
+                            if !(1..=1 << 20).contains(&n) {
+                                return Err(Error::sema(format!(
+                                    "array length {n} out of range for `{}`",
+                                    v.names.join(", ")
+                                )));
+                            }
+                            n as u32
+                        }
+                    };
+                    for name in &v.names {
+                        if me.vars.contains_key(name) || me.consts.contains_key(name) {
+                            return Err(Error::sema(format!("`{name}` declared twice")));
+                        }
+                        me.vars.insert(
+                            name.clone(),
+                            LoweredVar {
+                                len,
+                                kind: match v.kind {
+                                    VarKind::Var => StorageKind::Var,
+                                    VarKind::In => StorageKind::In,
+                                    VarKind::Out => StorageKind::Out,
+                                },
+                                bank: v.bank,
+                                is_fix: v.ty == BaseTy::Fix,
+                            },
+                        );
+                        me.var_order.push(name.clone());
+                    }
+                }
+            }
+        }
+        Ok(me)
+    }
+
+    fn run(mut self, program: &Program) -> Result<Lir, Error> {
+        let mut body = Vec::new();
+        for stmt in &program.body {
+            body.push(self.stmt(stmt)?);
+        }
+
+        // Delay-line maintenance: for each delayed signal x with max delay
+        // D, append `x@D := x@(D-1); ...; x@1 := x;` so that the *next*
+        // sample sees shifted history. This mirrors how DFL programs model
+        // one sample of a streaming computation.
+        let mut delayed: Vec<(String, u32)> =
+            self.delays.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        delayed.sort();
+        for (signal, max_d) in &delayed {
+            for d in (1..=*max_d).rev() {
+                let dst = MemRef::scalar(delay_name(signal, d));
+                let src = if d == 1 {
+                    Tree::var(signal.as_str())
+                } else {
+                    Tree::var(delay_name(signal, d - 1))
+                };
+                body.push(LirItem::Assign(AssignStmt { dst, src }));
+            }
+        }
+
+        let mut vars: Vec<VarInfo> = self
+            .var_order
+            .iter()
+            .map(|name| {
+                let v = &self.vars[name];
+                VarInfo {
+                    name: Symbol::new(name),
+                    len: v.len,
+                    kind: v.kind,
+                    bank: v.bank,
+                    is_fix: v.is_fix,
+                }
+            })
+            .collect();
+        for (signal, max_d) in &delayed {
+            let is_fix = self.vars.get(signal).map(|v| v.is_fix).unwrap_or(true);
+            for d in 1..=*max_d {
+                vars.push(VarInfo {
+                    name: Symbol::new(delay_name(signal, d)),
+                    len: 1,
+                    kind: StorageKind::Var,
+                    bank: None,
+                    is_fix,
+                });
+            }
+        }
+
+        Ok(Lir { name: Symbol::new(&program.name), vars, body })
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<LirItem, Error> {
+        match stmt {
+            Stmt::Assign { dst, value, line } => {
+                let dst = self.lvalue(dst, *line)?;
+                let src = self.expr(value)?;
+                Ok(LirItem::Assign(AssignStmt { dst, src }))
+            }
+            Stmt::For { var, lo, hi, body, line } => {
+                let lo_v = self.eval_const(lo).ok_or_else(|| {
+                    Error::sema(format!("line {line}: loop lower bound is not constant"))
+                })?;
+                let hi_v = self.eval_const(hi).ok_or_else(|| {
+                    Error::sema(format!("line {line}: loop upper bound is not constant"))
+                })?;
+                if hi_v < lo_v {
+                    return Err(Error::lower(format!(
+                        "line {line}: empty loop range {lo_v}..{hi_v}"
+                    )));
+                }
+                let count = (hi_v - lo_v + 1) as u32;
+                if self.vars.contains_key(var) || self.consts.contains_key(var) {
+                    return Err(Error::sema(format!(
+                        "line {line}: loop variable `{var}` shadows a declaration"
+                    )));
+                }
+                let sym = Symbol::new(var);
+                self.loop_vars.push(sym.clone());
+                // While lowering the body, indexes `var + c` are rebased by
+                // +lo_v, so a zero-based counter is correct.
+                let prev_base = self.rebase.insert(var.clone(), lo_v);
+                let mut items = Vec::new();
+                for s in body {
+                    items.push(self.stmt(s)?);
+                }
+                match prev_base {
+                    Some(b) => {
+                        self.rebase.insert(var.clone(), b);
+                    }
+                    None => {
+                        self.rebase.remove(var);
+                    }
+                }
+                self.loop_vars.pop();
+                Ok(LirItem::Loop { var: sym, count, body: items })
+            }
+        }
+    }
+
+    fn lvalue(&mut self, lv: &LValue, line: u32) -> Result<MemRef, Error> {
+        match lv {
+            LValue::Scalar(name) => {
+                let v = self.lookup_var(name, line)?;
+                if v.len != 1 {
+                    return Err(Error::sema(format!(
+                        "line {line}: array `{name}` assigned without an index"
+                    )));
+                }
+                Ok(MemRef::scalar(name.as_str()))
+            }
+            LValue::Elem(name, idx) => {
+                let len = {
+                    let v = self.lookup_var(name, line)?;
+                    if v.len == 1 {
+                        return Err(Error::sema(format!(
+                            "line {line}: scalar `{name}` indexed like an array"
+                        )));
+                    }
+                    v.len
+                };
+                let index = self.index(idx, name, len, line)?;
+                Ok(MemRef::array(name.as_str(), index))
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Tree, Error> {
+        match e {
+            Expr::Num(n) => Ok(Tree::constant(*n)),
+            Expr::Name(name) => {
+                if let Some(v) = self.consts.get(name) {
+                    return Ok(Tree::constant(*v));
+                }
+                if self.loop_vars.iter().any(|l| l.as_str() == name) {
+                    return Err(Error::sema(format!(
+                        "loop counter `{name}` may only be used as an array index"
+                    )));
+                }
+                let v = self.lookup_var(name, 0)?;
+                if v.len != 1 {
+                    return Err(Error::sema(format!("array `{name}` used without an index")));
+                }
+                Ok(Tree::var(name.as_str()))
+            }
+            Expr::Elem(name, idx) => {
+                let len = {
+                    let v = self.lookup_var(name, 0)?;
+                    if v.len == 1 {
+                        return Err(Error::sema(format!("scalar `{name}` indexed like an array")));
+                    }
+                    v.len
+                };
+                let index = self.index(idx, name, len, 0)?;
+                Ok(Tree::elem(name.as_str(), index))
+            }
+            Expr::Delay(name, k) => {
+                let v = self.lookup_var(name, 0)?;
+                if v.len != 1 {
+                    return Err(Error::sema(format!("delay applied to array `{name}`")));
+                }
+                let entry = self.delays.entry(name.clone()).or_insert(0);
+                *entry = (*entry).max(*k);
+                Ok(Tree::var(delay_name(name, *k)))
+            }
+            Expr::Bin(op, a, b) => {
+                let ta = self.expr(a)?;
+                let tb = self.expr(b)?;
+                Ok(Tree::bin(*op, ta, tb))
+            }
+            // `sat(e)` means "evaluate e with saturating arithmetic" — the
+            // semantics of a DSP's overflow mode. We rewrite every Add/Sub
+            // inside to its saturating counterpart and drop the wrapper;
+            // note that sat(wrap(a+b)) would be a different (useless)
+            // operation.
+            Expr::Un(UnOp::Sat, a) => {
+                let ta = self.expr(a)?;
+                Ok(saturate_ops(ta))
+            }
+            Expr::Un(op, a) => {
+                let ta = self.expr(a)?;
+                Ok(Tree::un(*op, ta))
+            }
+        }
+    }
+
+    /// Lowers an index expression into the `c` / `i + c` class, applying
+    /// the loop rebase and checking constant indexes against the bound.
+    fn index(&mut self, idx: &Expr, array: &str, len: u32, line: u32) -> Result<Index, Error> {
+        if let Some(c) = self.eval_const(idx) {
+            if c < 0 || c >= len as i64 {
+                return Err(Error::sema(format!(
+                    "line {line}: index {c} out of bounds for `{array}[{len}]`"
+                )));
+            }
+            return Ok(Index::Const(c));
+        }
+        // i, i + c, i - c, c + i, or the descending c - i, with `i` a loop
+        // counter in scope
+        let (var, offset, down) = self.split_affine(idx).ok_or_else(|| {
+            Error::sema(format!(
+                "line {line}: index of `{array}` must be constant, `i ± c`, or `c - i` \
+                 with a loop counter"
+            ))
+        })?;
+        let base = *self.rebase.get(var.as_str()).unwrap_or(&0);
+        if down {
+            // actual counter = i0 + base, so  offset - i  =  (offset - base) - i0
+            let offset = offset - base;
+            if offset < 0 || offset >= len as i64 {
+                return Err(Error::sema(format!(
+                    "line {line}: descending index starts at {offset}, outside `{array}[{len}]`"
+                )));
+            }
+            Ok(Index::RevVar { var, offset })
+        } else {
+            Ok(Index::Var { var, offset: offset + base })
+        }
+    }
+
+    /// Splits `i`, `i + c`, `i - c`, `c + i` into (counter, c, false) and
+    /// the descending `c - i` into (counter, c, true).
+    fn split_affine(&self, e: &Expr) -> Option<(Symbol, i64, bool)> {
+        let counter = |name: &str| -> Option<Symbol> {
+            self.loop_vars.iter().find(|l| l.as_str() == name).cloned()
+        };
+        match e {
+            Expr::Name(n) => counter(n).map(|s| (s, 0, false)),
+            Expr::Bin(BinOp::Add, a, b) => match (&**a, &**b) {
+                (Expr::Name(n), rhs) => {
+                    let c = self.eval_const(rhs)?;
+                    counter(n).map(|s| (s, c, false))
+                }
+                (lhs, Expr::Name(n)) => {
+                    let c = self.eval_const(lhs)?;
+                    counter(n).map(|s| (s, c, false))
+                }
+                _ => None,
+            },
+            Expr::Bin(BinOp::Sub, a, b) => match (&**a, &**b) {
+                (Expr::Name(n), rhs) => {
+                    let c = self.eval_const(rhs)?;
+                    counter(n).map(|s| (s, -c, false))
+                }
+                (lhs, Expr::Name(n)) => {
+                    let c = self.eval_const(lhs)?;
+                    counter(n).map(|s| (s, c, true))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn lookup_var(&self, name: &str, line: u32) -> Result<&LoweredVar, Error> {
+        self.vars.get(name).ok_or_else(|| {
+            if line > 0 {
+                Error::sema(format!("line {line}: `{name}` is not declared"))
+            } else {
+                Error::sema(format!("`{name}` is not declared"))
+            }
+        })
+    }
+
+    /// Evaluates an expression if it only involves literals and constants.
+    fn eval_const(&self, e: &Expr) -> Option<i64> {
+        match e {
+            Expr::Num(n) => Some(*n),
+            Expr::Name(n) => self.consts.get(n).copied(),
+            Expr::Bin(op, a, b) => {
+                let va = self.eval_const(a)?;
+                let vb = self.eval_const(b)?;
+                Some(op.eval(va, vb, 64))
+            }
+            Expr::Un(op, a) => {
+                let va = self.eval_const(a)?;
+                Some(op.eval(va, 64))
+            }
+            Expr::Elem(..) | Expr::Delay(..) => None,
+        }
+    }
+}
+
+fn delay_name(signal: &str, k: u32) -> String {
+    format!("{signal}@{k}")
+}
+
+/// Rewrites wrap-around additions and subtractions to their saturating
+/// counterparts, recursively — the lowering of `sat(e)`.
+fn saturate_ops(tree: Tree) -> Tree {
+    match tree {
+        Tree::Bin(op, a, b) => {
+            let op = match op {
+                BinOp::Add => BinOp::SatAdd,
+                BinOp::Sub => BinOp::SatSub,
+                other => other,
+            };
+            Tree::bin(op, saturate_ops(*a), saturate_ops(*b))
+        }
+        Tree::Un(op, a) => Tree::un(op, saturate_ops(*a)),
+        leaf => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfl;
+
+    fn lower_src(src: &str) -> Lir {
+        lower(&dfl::parse(src).unwrap()).unwrap()
+    }
+
+    fn lower_err(src: &str) -> Error {
+        lower(&dfl::parse(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn lowers_simple_assignment() {
+        let l = lower_src("program p; var a, y: fix; begin y := a + 1; end");
+        assert_eq!(l.assign_count(), 1);
+        assert_eq!(l.body.len(), 1);
+    }
+
+    #[test]
+    fn folds_constants_in_bounds_but_not_values() {
+        let l = lower_src(
+            "program p; const N = 3; var a: fix[N+1]; var y: fix;
+             begin y := N + 0; end",
+        );
+        assert_eq!(l.var(&Symbol::new("a")).unwrap().len, 4);
+        // N is folded (it is a constant reference), but `+ 0` survives:
+        // RECORD performs no algebraic simplification by default.
+        match &l.body[0] {
+            LirItem::Assign(a) => assert_eq!(a.src.to_string(), "(3 + 0)"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rebases_loop_counters() {
+        let l = lower_src(
+            "program p; var a: fix[8]; var y: fix;
+             begin for i in 2..5 loop y := y + a[i]; end loop; end",
+        );
+        match &l.body[0] {
+            LirItem::Loop { count, body, .. } => {
+                assert_eq!(*count, 4);
+                match &body[0] {
+                    LirItem::Assign(a) => {
+                        assert_eq!(a.src.to_string(), "(y + a[i+2])");
+                    }
+                    other => panic!("unexpected: {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn materializes_delays() {
+        let l = lower_src("program p; var x, y: fix; begin y := x@2 + x; end");
+        assert!(l.var(&Symbol::new("x@1")).is_some());
+        assert!(l.var(&Symbol::new("x@2")).is_some());
+        // one user assignment + two shift assignments
+        assert_eq!(l.assign_count(), 3);
+        // the last shift is x@1 := x
+        match l.body.last().unwrap() {
+            LirItem::Assign(a) => assert_eq!(a.to_string(), "x@1 := x"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_constant_index() {
+        let e = lower_err("program p; var a: fix[4]; var y: fix; begin y := a[4]; end");
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_undeclared() {
+        let e = lower_err("program p; var y: fix; begin y := q; end");
+        assert!(e.to_string().contains("not declared"));
+    }
+
+    #[test]
+    fn rejects_scalar_indexing() {
+        let e = lower_err("program p; var y, z: fix; begin y := z[0]; end");
+        assert!(e.to_string().contains("indexed like an array"));
+    }
+
+    #[test]
+    fn rejects_array_without_index() {
+        let e = lower_err("program p; var a: fix[4]; var y: fix; begin y := a; end");
+        assert!(e.to_string().contains("without an index"));
+    }
+
+    #[test]
+    fn rejects_nonaffine_index() {
+        let e = lower_err(
+            "program p; var a: fix[4]; var y: fix;
+             begin for i in 0..3 loop y := a[i*2]; end loop; end",
+        );
+        assert!(e.to_string().contains("must be constant"));
+    }
+
+    #[test]
+    fn rejects_loop_counter_as_value() {
+        let e = lower_err(
+            "program p; var y: fix;
+             begin for i in 0..3 loop y := i; end loop; end",
+        );
+        assert!(e.to_string().contains("array index"));
+    }
+
+    #[test]
+    fn rejects_empty_range() {
+        let e = lower_err(
+            "program p; var y: fix; begin for i in 3..1 loop y := 0; end loop; end",
+        );
+        assert!(matches!(e, Error::Lower { .. }));
+    }
+
+    #[test]
+    fn sat_rewrites_inner_additions() {
+        let l = lower_src("program p; var a, b, y: fix; begin y := sat(a + b * a); end");
+        match &l.body[0] {
+            LirItem::Assign(a) => assert_eq!(a.src.to_string(), "(a +s (b * a))"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sadd_intrinsic_lowers_directly() {
+        let l = lower_src("program p; var a, b, y: fix; begin y := sadd(a, b); end");
+        match &l.body[0] {
+            LirItem::Assign(a) => assert_eq!(a.src.to_string(), "(a +s b)"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_loop_indexes() {
+        let l = lower_src(
+            "program p; var a: fix[16]; var y: fix;
+             begin
+               for i in 0..3 loop
+                 for j in 1..2 loop
+                   y := y + a[j];
+                 end loop;
+               end loop;
+             end",
+        );
+        match &l.body[0] {
+            LirItem::Loop { body, .. } => match &body[0] {
+                LirItem::Loop { count, body, .. } => {
+                    assert_eq!(*count, 2);
+                    match &body[0] {
+                        LirItem::Assign(a) => assert_eq!(a.src.to_string(), "(y + a[j+1])"),
+                        other => panic!("unexpected: {other:?}"),
+                    }
+                }
+                other => panic!("unexpected: {other:?}"),
+            },
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Memory references: how trees name scalar variables and array elements.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Symbol;
+
+/// The memory bank a variable is assigned to, for targets with dual data
+/// memories (e.g. the Motorola 56000 family's X/Y memories).
+///
+/// Single-memory targets ignore the bank. The bank-assignment pass in
+/// `record-opt` chooses banks so that as many binary operations as possible
+/// find their operands in *different* banks, enabling parallel fetches —
+/// the optimization the paper attributes to Sudarsanam.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub enum Bank {
+    /// The default/only data memory, or the X memory of a dual-bank target.
+    #[default]
+    X,
+    /// The Y memory of a dual-bank target.
+    Y,
+}
+
+impl Bank {
+    /// Returns the other bank.
+    pub fn other(self) -> Bank {
+        match self {
+            Bank::X => Bank::Y,
+            Bank::Y => Bank::X,
+        }
+    }
+}
+
+impl fmt::Display for Bank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bank::X => f.write_str("X"),
+            Bank::Y => f.write_str("Y"),
+        }
+    }
+}
+
+/// An array index expression after lowering.
+///
+/// The mini-DFL frontend only accepts indexes of the form `c`, `i`, or
+/// `i + c` where `i` is the innermost loop counter and `c` a constant; this
+/// is exactly the class of accesses that DSP address-generation units
+/// handle with post-increment/decrement addressing, and it is what the
+/// offset-assignment pass in `record-opt` optimizes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Index {
+    /// A constant element index.
+    Const(i64),
+    /// A loop-counter index, possibly displaced by a constant: `i + offset`.
+    Var {
+        /// The loop induction variable.
+        var: Symbol,
+        /// The constant displacement added to the variable.
+        offset: i64,
+    },
+    /// A *descending* loop-counter index: `offset - i`. This is how
+    /// convolution-style kernels read one operand backward; on AGU targets
+    /// it becomes a post-decrement stream.
+    RevVar {
+        /// The loop induction variable.
+        var: Symbol,
+        /// The constant the counter is subtracted from.
+        offset: i64,
+    },
+}
+
+impl Index {
+    /// Creates a plain loop-counter index `i + 0`.
+    pub fn var(var: impl Into<Symbol>) -> Self {
+        Index::Var { var: var.into(), offset: 0 }
+    }
+
+    /// Returns the constant value if the index is compile-time constant.
+    pub fn as_const(&self) -> Option<i64> {
+        match self {
+            Index::Const(c) => Some(*c),
+            Index::Var { .. } | Index::RevVar { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Index::Const(c) => write!(f, "{c}"),
+            Index::Var { var, offset: 0 } => write!(f, "{var}"),
+            Index::Var { var, offset } if *offset > 0 => write!(f, "{var}+{offset}"),
+            Index::Var { var, offset } => write!(f, "{var}{offset}"),
+            Index::RevVar { var, offset } => write!(f, "{offset}-{var}"),
+        }
+    }
+}
+
+/// A reference to a memory location: either a scalar variable or an array
+/// element.
+///
+/// `MemRef` is the payload of `Op::Mem` leaves in [`Tree`](crate::Tree)s
+/// and the destination of assignments. Delayed signals (`x@k` in DFL) are
+/// lowered to scalar references to a compiler-named shadow location, so by
+/// the time the back end sees a `MemRef`, delays have disappeared.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum MemRef {
+    /// A scalar variable.
+    Scalar(Symbol),
+    /// An element of an array.
+    Array {
+        /// The array variable.
+        base: Symbol,
+        /// The element index.
+        index: Index,
+    },
+}
+
+impl MemRef {
+    /// Creates a scalar reference.
+    pub fn scalar(name: impl Into<Symbol>) -> Self {
+        MemRef::Scalar(name.into())
+    }
+
+    /// Creates an array-element reference.
+    pub fn array(base: impl Into<Symbol>, index: Index) -> Self {
+        MemRef::Array { base: base.into(), index }
+    }
+
+    /// The variable this reference ultimately names (array base for array
+    /// accesses).
+    pub fn base(&self) -> &Symbol {
+        match self {
+            MemRef::Scalar(s) => s,
+            MemRef::Array { base, .. } => base,
+        }
+    }
+
+    /// Returns `true` if the reference is a scalar variable.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, MemRef::Scalar(_))
+    }
+
+    /// Returns `true` if two references may name the same location.
+    ///
+    /// Scalars alias iff equal; array elements of the same base alias
+    /// unless both indexes are constants that differ; distinct bases never
+    /// alias (mini-DFL has no pointers).
+    pub fn may_alias(&self, other: &MemRef) -> bool {
+        match (self, other) {
+            (MemRef::Scalar(a), MemRef::Scalar(b)) => a == b,
+            (MemRef::Array { base: a, index: ia }, MemRef::Array { base: b, index: ib }) => {
+                if a != b {
+                    return false;
+                }
+                match (ia.as_const(), ib.as_const()) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => {
+                        // `i+c1` vs `i+c2` with the same variable alias iff
+                        // the displacements are equal; likewise descending
+                        // pairs. Mixed directions are conservatively
+                        // aliased.
+                        match (ia, ib) {
+                            (
+                                Index::Var { var: va, offset: oa },
+                                Index::Var { var: vb, offset: ob },
+                            )
+                            | (
+                                Index::RevVar { var: va, offset: oa },
+                                Index::RevVar { var: vb, offset: ob },
+                            ) if va == vb => oa == ob,
+                            _ => true,
+                        }
+                    }
+                }
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemRef::Scalar(s) => write!(f, "{s}"),
+            MemRef::Array { base, index } => write!(f, "{base}[{index}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MemRef::scalar("y").to_string(), "y");
+        assert_eq!(MemRef::array("a", Index::Const(3)).to_string(), "a[3]");
+        assert_eq!(MemRef::array("a", Index::var("i")).to_string(), "a[i]");
+        assert_eq!(
+            MemRef::array("a", Index::Var { var: "i".into(), offset: -1 }).to_string(),
+            "a[i-1]"
+        );
+    }
+
+    #[test]
+    fn scalar_aliasing() {
+        let y = MemRef::scalar("y");
+        assert!(y.may_alias(&MemRef::scalar("y")));
+        assert!(!y.may_alias(&MemRef::scalar("z")));
+        assert!(!y.may_alias(&MemRef::array("y", Index::Const(0))));
+    }
+
+    #[test]
+    fn array_aliasing() {
+        let a0 = MemRef::array("a", Index::Const(0));
+        let a1 = MemRef::array("a", Index::Const(1));
+        let ai = MemRef::array("a", Index::var("i"));
+        let ai1 = MemRef::array("a", Index::Var { var: "i".into(), offset: 1 });
+        let b0 = MemRef::array("b", Index::Const(0));
+        assert!(!a0.may_alias(&a1));
+        assert!(a0.may_alias(&ai)); // unknown index may hit 0
+        assert!(!ai.may_alias(&ai1)); // i != i+1
+        assert!(ai.may_alias(&ai));
+        assert!(!a0.may_alias(&b0));
+    }
+
+    #[test]
+    fn bank_other() {
+        assert_eq!(Bank::X.other(), Bank::Y);
+        assert_eq!(Bank::Y.other(), Bank::X);
+        assert_eq!(Bank::default(), Bank::X);
+    }
+}

@@ -1,0 +1,392 @@
+//! The operator vocabulary shared by expression trees, data-flow graphs
+//! and target instruction patterns.
+//!
+//! Instruction patterns in `record-isa` are trees over the same [`Op`]
+//! codes that IR trees report via [`Tree::op`](crate::Tree::op), which is
+//! what makes BURS matching in `record-burg` a purely structural affair.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Binary operators of the mini-DFL language and of target patterns.
+///
+/// The saturating variants ([`BinOp::SatAdd`], [`BinOp::SatSub`]) model the
+/// saturating arithmetic modes the paper lists among DSP-specific features;
+/// targets usually implement them with the *same* ALU instruction under a
+/// different operation mode (residual control), which is exactly what the
+/// mode-minimization pass in `record-opt` exploits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrap-around addition.
+    Add,
+    /// Wrap-around subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (rare on DSP cores; usually expanded or library code).
+    Div,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Left shift by a constant or register amount.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+    /// Saturating addition.
+    SatAdd,
+    /// Saturating subtraction.
+    SatSub,
+    /// Two's-complement minimum.
+    Min,
+    /// Two's-complement maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Returns `true` for operators where `a op b == b op a`.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::Xor
+                | BinOp::SatAdd
+                | BinOp::Min
+                | BinOp::Max
+        )
+    }
+
+    /// Returns `true` for operators where `(a op b) op c == a op (b op c)`.
+    ///
+    /// Saturating addition is deliberately *not* associative: re-association
+    /// changes intermediate saturation points, so the variant generator must
+    /// never re-associate it.
+    pub fn is_associative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Min | BinOp::Max
+        )
+    }
+
+    /// Evaluates the operator on `width`-bit two's-complement values.
+    ///
+    /// Inputs and the result are kept sign-extended in `i64`. Division by
+    /// zero yields zero (the convention of our reference simulator). Shift
+    /// amounts are masked to the word width.
+    pub fn eval(self, a: i64, b: i64, width: u32) -> i64 {
+        let wrap = |v: i64| wrap_to_width(v, width);
+        match self {
+            BinOp::Add => wrap(a.wrapping_add(b)),
+            BinOp::Sub => wrap(a.wrapping_sub(b)),
+            BinOp::Mul => wrap(a.wrapping_mul(b)),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    wrap(a.wrapping_div(b))
+                }
+            }
+            BinOp::And => wrap(a & b),
+            BinOp::Or => wrap(a | b),
+            BinOp::Xor => wrap(a ^ b),
+            BinOp::Shl => wrap(a.wrapping_shl((b as u32) % width.max(1))),
+            BinOp::Shr => wrap(a.wrapping_shr((b as u32) % width.max(1))),
+            BinOp::SatAdd => saturate(a + b, width),
+            BinOp::SatSub => saturate(a - b, width),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    /// The assembly-ish spelling used by `Display` implementations.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::SatAdd => "+s",
+            BinOp::SatSub => "-s",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+
+    /// All binary operators, in a fixed order (useful for property tests
+    /// and for building operator-indexed rule tables).
+    pub const ALL: [BinOp; 13] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::SatAdd,
+        BinOp::SatSub,
+        BinOp::Min,
+        BinOp::Max,
+    ];
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+    /// Absolute value.
+    Abs,
+    /// Saturate an (assumed wider) accumulator value to the word width.
+    Sat,
+    /// Round: add 1/2 ulp before a truncation; modelled as identity on
+    /// integer words but kept distinct so targets can map it to rounding
+    /// hardware.
+    Round,
+}
+
+impl UnOp {
+    /// Evaluates the operator on a `width`-bit two's-complement value.
+    pub fn eval(self, a: i64, width: u32) -> i64 {
+        match self {
+            UnOp::Neg => wrap_to_width(a.wrapping_neg(), width),
+            UnOp::Not => wrap_to_width(!a, width),
+            UnOp::Abs => saturate(a.wrapping_abs(), width),
+            UnOp::Sat => saturate(a, width),
+            UnOp::Round => wrap_to_width(a, width),
+        }
+    }
+
+    /// The assembly-ish spelling used by `Display` implementations.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+            UnOp::Abs => "abs",
+            UnOp::Sat => "sat",
+            UnOp::Round => "round",
+        }
+    }
+
+    /// All unary operators, in a fixed order.
+    pub const ALL: [UnOp; 5] = [UnOp::Neg, UnOp::Not, UnOp::Abs, UnOp::Sat, UnOp::Round];
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The flattened operator code of a tree node, used as the primary index of
+/// BURS rule tables.
+///
+/// `Const`, `Mem` and `Temp` are the three leaf operators; everything else
+/// carries one or two children.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Op {
+    /// An integer literal leaf.
+    Const,
+    /// A memory operand leaf (scalar variable or array element).
+    Mem,
+    /// A reference to the value of an earlier tree in the same forest
+    /// (created by [`treeify`](crate::treeify) at multi-use points).
+    Temp,
+    /// A binary operator node.
+    Bin(BinOp),
+    /// A unary operator node.
+    Un(UnOp),
+}
+
+impl Op {
+    /// The number of children a node with this operator carries.
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Const | Op::Mem | Op::Temp => 0,
+            Op::Un(_) => 1,
+            Op::Bin(_) => 2,
+        }
+    }
+
+    /// Returns `true` for leaf operators.
+    pub fn is_leaf(self) -> bool {
+        self.arity() == 0
+    }
+
+    /// A dense index used to address operator-indexed tables.
+    ///
+    /// The mapping is stable across a process: leaves first, then binary
+    /// operators in [`BinOp::ALL`] order, then unary operators in
+    /// [`UnOp::ALL`] order.
+    pub fn index(self) -> usize {
+        match self {
+            Op::Const => 0,
+            Op::Mem => 1,
+            Op::Temp => 2,
+            Op::Bin(b) => 3 + BinOp::ALL.iter().position(|x| *x == b).expect("listed"),
+            Op::Un(u) => {
+                3 + BinOp::ALL.len() + UnOp::ALL.iter().position(|x| *x == u).expect("listed")
+            }
+        }
+    }
+
+    /// The number of distinct operator codes; `Op::index` is always below
+    /// this bound.
+    pub const COUNT: usize = 3 + 13 + 5;
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Const => f.write_str("#"),
+            Op::Mem => f.write_str("ref"),
+            Op::Temp => f.write_str("tmp"),
+            Op::Bin(b) => write!(f, "{b}"),
+            Op::Un(u) => write!(f, "{u}"),
+        }
+    }
+}
+
+/// Sign-extends the low `width` bits of `v`, i.e. wraps `v` to a
+/// `width`-bit two's-complement value.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or larger than 64.
+pub fn wrap_to_width(v: i64, width: u32) -> i64 {
+    assert!((1..=64).contains(&width), "word width out of range");
+    if width == 64 {
+        return v;
+    }
+    let shift = 64 - width;
+    (v << shift) >> shift
+}
+
+/// Clamps `v` to the representable range of a `width`-bit two's-complement
+/// word, the semantics of DSP saturating arithmetic modes.
+pub fn saturate(v: i64, width: u32) -> i64 {
+    assert!((1..=64).contains(&width), "word width out of range");
+    if width == 64 {
+        return v;
+    }
+    let max = (1i64 << (width - 1)) - 1;
+    let min = -(1i64 << (width - 1));
+    v.clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_matches_16_bit_arithmetic() {
+        assert_eq!(wrap_to_width(0x8000, 16), -32768);
+        assert_eq!(wrap_to_width(0x7fff, 16), 32767);
+        assert_eq!(wrap_to_width(0x1_0000, 16), 0);
+        assert_eq!(wrap_to_width(-1, 16), -1);
+    }
+
+    #[test]
+    fn saturate_clamps() {
+        assert_eq!(saturate(40000, 16), 32767);
+        assert_eq!(saturate(-40000, 16), -32768);
+        assert_eq!(saturate(123, 16), 123);
+    }
+
+    #[test]
+    fn add_wraps_but_sat_add_saturates() {
+        assert_eq!(BinOp::Add.eval(30000, 10000, 16), wrap_to_width(40000, 16));
+        assert_eq!(BinOp::SatAdd.eval(30000, 10000, 16), 32767);
+        assert_eq!(BinOp::SatSub.eval(-30000, 10000, 16), -32768);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        assert_eq!(BinOp::Div.eval(7, 0, 16), 0);
+        assert_eq!(BinOp::Div.eval(7, 2, 16), 3);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(BinOp::Shl.eval(1, 4, 16), 16);
+        // shift of 16 is masked to 0 for a 16-bit word
+        assert_eq!(BinOp::Shl.eval(1, 16, 16), 1);
+        assert_eq!(BinOp::Shr.eval(-16, 2, 16), -4);
+    }
+
+    #[test]
+    fn commutativity_and_associativity_flags() {
+        assert!(BinOp::Add.is_commutative());
+        assert!(BinOp::Add.is_associative());
+        assert!(BinOp::SatAdd.is_commutative());
+        assert!(!BinOp::SatAdd.is_associative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(!BinOp::Shl.is_commutative());
+    }
+
+    #[test]
+    fn op_index_is_dense_and_unique() {
+        let mut seen = [false; Op::COUNT];
+        let mut all = vec![Op::Const, Op::Mem, Op::Temp];
+        all.extend(BinOp::ALL.iter().map(|b| Op::Bin(*b)));
+        all.extend(UnOp::ALL.iter().map(|u| Op::Un(*u)));
+        assert_eq!(all.len(), Op::COUNT);
+        for op in all {
+            let i = op.index();
+            assert!(i < Op::COUNT);
+            assert!(!seen[i], "duplicate index for {op:?}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn arity_matches_structure() {
+        assert_eq!(Op::Const.arity(), 0);
+        assert_eq!(Op::Un(UnOp::Neg).arity(), 1);
+        assert_eq!(Op::Bin(BinOp::Add).arity(), 2);
+        assert!(Op::Mem.is_leaf());
+        assert!(!Op::Bin(BinOp::Mul).is_leaf());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Op::Const.to_string(), "#");
+        assert_eq!(Op::Mem.to_string(), "ref");
+        assert_eq!(Op::Bin(BinOp::Mul).to_string(), "*");
+        assert_eq!(Op::Un(UnOp::Abs).to_string(), "abs");
+    }
+
+    #[test]
+    fn min_max_eval() {
+        assert_eq!(BinOp::Min.eval(3, -5, 16), -5);
+        assert_eq!(BinOp::Max.eval(3, -5, 16), 3);
+    }
+
+    #[test]
+    fn abs_saturates_most_negative() {
+        // |INT16_MIN| overflows a 16-bit word; DSP ABS instructions saturate.
+        assert_eq!(UnOp::Abs.eval(-32768, 16), 32767);
+        assert_eq!(UnOp::Neg.eval(-32768, 16), -32768); // wraps
+    }
+}

@@ -1,0 +1,110 @@
+//! Interned-style names for variables, arrays and loop counters.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A cheap-to-clone name used throughout the IR for variables, arrays,
+/// loop induction variables and compiler-generated temporaries.
+///
+/// # Example
+///
+/// ```
+/// use record_ir::Symbol;
+///
+/// let x = Symbol::new("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x.to_string(), "x");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Creates a symbol from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the symbol's textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Creates a compiler-generated temporary symbol with the given index.
+    ///
+    /// Generated names start with `$`, which the DFL lexer rejects in user
+    /// programs, so temporaries can never collide with user variables.
+    pub fn temp(index: usize) -> Self {
+        Symbol::new(format!("$t{index}"))
+    }
+
+    /// Returns `true` if this symbol was produced by [`Symbol::temp`] or
+    /// another compiler-internal generator.
+    pub fn is_generated(&self) -> bool {
+        self.0.starts_with('$')
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_roundtrip() {
+        let s = Symbol::new("alpha");
+        assert_eq!(s.as_str(), "alpha");
+        assert_eq!(s, Symbol::from("alpha"));
+        assert_ne!(s, Symbol::new("beta"));
+    }
+
+    #[test]
+    fn temp_symbols_are_generated() {
+        let t = Symbol::temp(3);
+        assert_eq!(t.as_str(), "$t3");
+        assert!(t.is_generated());
+        assert!(!Symbol::new("x").is_generated());
+    }
+
+    #[test]
+    fn symbols_order_lexicographically() {
+        assert!(Symbol::new("a") < Symbol::new("b"));
+    }
+
+    #[test]
+    fn symbols_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Symbol>();
+    }
+}

@@ -1,0 +1,362 @@
+//! Algebraic tree transformations and bounded variant enumeration.
+//!
+//! Section 4.3.3 of the paper: *"In order to generate optimized code,
+//! RECORD uses algebraic rules for transforming the original data flow
+//! tree into equivalent ones and calls the iburg-matcher with each tree.
+//! The tree requiring the smallest number of covering patterns is then
+//! selected."*
+//!
+//! [`variants`] performs exactly that enumeration: starting from the input
+//! tree it applies semantics-preserving rewrite rules breadth-first,
+//! de-duplicating structurally equal trees, until a caller-provided limit
+//! is reached. The caller (the instruction selector in `record`) matches
+//! each variant and keeps the cheapest cover.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use crate::{BinOp, Tree, UnOp};
+
+/// Which rewrite rules the enumerator may apply.
+///
+/// The default enables every semantics-preserving rule. Saturating
+/// operators are never re-associated (re-association moves intermediate
+/// saturation points), and `Div`/`Shl`/`Shr` are never commuted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Swap operands of commutative operators.
+    pub commutativity: bool,
+    /// Re-associate chains of associative operators.
+    pub associativity: bool,
+    /// Rewrite `x * 2^k` to `x << k` and back.
+    pub mul_shift: bool,
+    /// Rewrite `a - b` to `a + neg(b)` and back.
+    pub sub_neg: bool,
+}
+
+impl RuleSet {
+    /// Every rule enabled (same as `Default`).
+    pub fn all() -> Self {
+        RuleSet { commutativity: true, associativity: true, mul_shift: true, sub_neg: true }
+    }
+
+    /// No rules enabled; [`variants`] returns only the original tree.
+    /// This is the ablation configuration "no algebraic transformations".
+    pub fn none() -> Self {
+        RuleSet { commutativity: false, associativity: false, mul_shift: false, sub_neg: false }
+    }
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet::all()
+    }
+}
+
+/// Enumerates semantically equivalent variants of `tree`.
+///
+/// The original tree is always first. Enumeration is breadth-first over
+/// single-rule applications and stops when `limit` distinct trees have
+/// been produced, so the result is deterministic and bounded.
+///
+/// # Example
+///
+/// ```
+/// use record_ir::transform::{variants, RuleSet};
+/// use record_ir::{BinOp, Tree};
+///
+/// // a + b*c  has the commuted forms  b*c + a,  a + c*b,  c*b + a ...
+/// let t = Tree::bin(
+///     BinOp::Add,
+///     Tree::var("a"),
+///     Tree::bin(BinOp::Mul, Tree::var("b"), Tree::var("c")),
+/// );
+/// let vs = variants(&t, &RuleSet::all(), 16);
+/// assert_eq!(vs[0], t);
+/// assert!(vs.len() >= 4);
+/// ```
+pub fn variants(tree: &Tree, rules: &RuleSet, limit: usize) -> Vec<Tree> {
+    let mut seen: HashSet<Tree> = HashSet::new();
+    let mut out: Vec<Tree> = Vec::new();
+    let mut queue: VecDeque<Tree> = VecDeque::new();
+    seen.insert(tree.clone());
+    out.push(tree.clone());
+    queue.push_back(tree.clone());
+
+    while let Some(cur) = queue.pop_front() {
+        if out.len() >= limit {
+            break;
+        }
+        for next in single_step(&cur, rules) {
+            if out.len() >= limit {
+                break;
+            }
+            if seen.insert(next.clone()) {
+                out.push(next.clone());
+                queue.push_back(next);
+            }
+        }
+    }
+    out
+}
+
+/// All trees reachable from `tree` by applying exactly one rule at exactly
+/// one node.
+pub fn single_step(tree: &Tree, rules: &RuleSet) -> Vec<Tree> {
+    let mut out = Vec::new();
+    rewrite_at_each_node(tree, rules, &mut out);
+    out
+}
+
+/// Applies root rules at every node, rebuilding the spine each time.
+fn rewrite_at_each_node(tree: &Tree, rules: &RuleSet, out: &mut Vec<Tree>) {
+    // Rules applied at the root of this subtree.
+    for r in root_rewrites(tree, rules) {
+        out.push(r);
+    }
+    // Recurse into children, splicing rewritten children back in.
+    match tree {
+        Tree::Bin(op, a, b) => {
+            let mut ra = Vec::new();
+            rewrite_at_each_node(a, rules, &mut ra);
+            for na in ra {
+                out.push(Tree::bin(*op, na, (**b).clone()));
+            }
+            let mut rb = Vec::new();
+            rewrite_at_each_node(b, rules, &mut rb);
+            for nb in rb {
+                out.push(Tree::bin(*op, (**a).clone(), nb));
+            }
+        }
+        Tree::Un(op, a) => {
+            let mut ra = Vec::new();
+            rewrite_at_each_node(a, rules, &mut ra);
+            for na in ra {
+                out.push(Tree::un(*op, na));
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The rewrites applicable at the root of `tree`.
+fn root_rewrites(tree: &Tree, rules: &RuleSet) -> Vec<Tree> {
+    let mut out = Vec::new();
+    match tree {
+        Tree::Bin(op, a, b) => {
+            if rules.commutativity && op.is_commutative() {
+                out.push(Tree::bin(*op, (**b).clone(), (**a).clone()));
+            }
+            if rules.associativity && op.is_associative() {
+                // (x op y) op b  ->  x op (y op b)
+                if let Tree::Bin(inner, x, y) = &**a {
+                    if inner == op {
+                        out.push(Tree::bin(
+                            *op,
+                            (**x).clone(),
+                            Tree::bin(*op, (**y).clone(), (**b).clone()),
+                        ));
+                    }
+                }
+                // a op (x op y)  ->  (a op x) op y
+                if let Tree::Bin(inner, x, y) = &**b {
+                    if inner == op {
+                        out.push(Tree::bin(
+                            *op,
+                            Tree::bin(*op, (**a).clone(), (**x).clone()),
+                            (**y).clone(),
+                        ));
+                    }
+                }
+            }
+            if rules.mul_shift && *op == BinOp::Mul {
+                // x * 2^k -> x << k (and the mirrored operand order)
+                if let Tree::Const(c) = &**b {
+                    if let Some(k) = exact_log2(*c) {
+                        out.push(Tree::bin(BinOp::Shl, (**a).clone(), Tree::constant(k)));
+                    }
+                }
+                if let Tree::Const(c) = &**a {
+                    if let Some(k) = exact_log2(*c) {
+                        out.push(Tree::bin(BinOp::Shl, (**b).clone(), Tree::constant(k)));
+                    }
+                }
+            }
+            if rules.mul_shift && *op == BinOp::Shl {
+                // x << k -> x * 2^k for small k
+                if let Tree::Const(k) = &**b {
+                    if (0..=30).contains(k) {
+                        out.push(Tree::bin(
+                            BinOp::Mul,
+                            (**a).clone(),
+                            Tree::constant(1i64 << *k),
+                        ));
+                    }
+                }
+            }
+            if rules.sub_neg && *op == BinOp::Sub {
+                // a - b -> a + neg(b)
+                out.push(Tree::bin(
+                    BinOp::Add,
+                    (**a).clone(),
+                    Tree::un(UnOp::Neg, (**b).clone()),
+                ));
+            }
+            if rules.sub_neg && *op == BinOp::Add {
+                // a + neg(b) -> a - b ; neg(a) + b -> b - a
+                if let Tree::Un(UnOp::Neg, inner) = &**b {
+                    out.push(Tree::bin(BinOp::Sub, (**a).clone(), (**inner).clone()));
+                }
+                if let Tree::Un(UnOp::Neg, inner) = &**a {
+                    out.push(Tree::bin(BinOp::Sub, (**b).clone(), (**inner).clone()));
+                }
+            }
+        }
+        Tree::Un(UnOp::Neg, a)
+            // neg(neg(x)) -> x
+            if rules.sub_neg => {
+                if let Tree::Un(UnOp::Neg, inner) = &**a {
+                    out.push((**inner).clone());
+                }
+            }
+        _ => {}
+    }
+    out
+}
+
+fn exact_log2(c: i64) -> Option<i64> {
+    if c >= 2 && (c as u64).is_power_of_two() {
+        Some(c.trailing_zeros() as i64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemRef;
+    use crate::Symbol;
+
+    fn v(name: &str) -> Tree {
+        Tree::var(name)
+    }
+
+    /// Evaluates with a fixed environment; used to check that every variant
+    /// is semantically equivalent.
+    fn eval(t: &Tree) -> i64 {
+        let mut mem = |r: &MemRef| match r.base().as_str() {
+            "a" => 17,
+            "b" => -4,
+            "c" => 9,
+            "d" => 3,
+            _ => 1,
+        };
+        let mut tmp = |_: &Symbol| 0;
+        t.eval(32, &mut mem, &mut tmp)
+    }
+
+    #[test]
+    fn original_is_first_and_always_present() {
+        let t = Tree::bin(BinOp::Add, v("a"), v("b"));
+        let vs = variants(&t, &RuleSet::all(), 10);
+        assert_eq!(vs[0], t);
+    }
+
+    #[test]
+    fn none_ruleset_yields_only_original() {
+        let t = Tree::bin(BinOp::Add, v("a"), v("b"));
+        let vs = variants(&t, &RuleSet::none(), 10);
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn commutativity_generates_swap() {
+        let t = Tree::bin(BinOp::Add, v("a"), v("b"));
+        let vs = variants(&t, &RuleSet::all(), 10);
+        assert!(vs.contains(&Tree::bin(BinOp::Add, v("b"), v("a"))));
+    }
+
+    #[test]
+    fn subtraction_is_not_commuted() {
+        let t = Tree::bin(BinOp::Sub, v("a"), v("b"));
+        let vs = variants(&t, &RuleSet::all(), 50);
+        assert!(!vs.contains(&Tree::bin(BinOp::Sub, v("b"), v("a"))));
+    }
+
+    #[test]
+    fn associativity_rotates() {
+        // (a+b)+c -> a+(b+c)
+        let t = Tree::bin(BinOp::Add, Tree::bin(BinOp::Add, v("a"), v("b")), v("c"));
+        let vs = variants(&t, &RuleSet::all(), 64);
+        assert!(vs.contains(&Tree::bin(BinOp::Add, v("a"), Tree::bin(BinOp::Add, v("b"), v("c")))));
+    }
+
+    #[test]
+    fn mul_by_power_of_two_becomes_shift() {
+        let t = Tree::bin(BinOp::Mul, v("a"), Tree::constant(8));
+        let vs = variants(&t, &RuleSet::all(), 16);
+        assert!(vs.contains(&Tree::bin(BinOp::Shl, v("a"), Tree::constant(3))));
+    }
+
+    #[test]
+    fn sub_becomes_add_neg_and_back() {
+        let t = Tree::bin(BinOp::Sub, v("a"), v("b"));
+        let vs = variants(&t, &RuleSet::all(), 16);
+        let addneg = Tree::bin(BinOp::Add, v("a"), Tree::un(UnOp::Neg, v("b")));
+        assert!(vs.contains(&addneg));
+        // and the reverse direction restores the original
+        let back = variants(&addneg, &RuleSet::all(), 16);
+        assert!(back.contains(&t));
+    }
+
+    #[test]
+    fn all_variants_are_semantically_equal() {
+        let t = Tree::bin(
+            BinOp::Add,
+            Tree::bin(BinOp::Mul, v("a"), Tree::constant(4)),
+            Tree::bin(BinOp::Sub, v("c"), Tree::bin(BinOp::Mul, v("b"), v("d"))),
+        );
+        let reference = eval(&t);
+        for variant in variants(&t, &RuleSet::all(), 200) {
+            assert_eq!(eval(&variant), reference, "variant {variant} diverges");
+        }
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let t = Tree::bin(
+            BinOp::Add,
+            Tree::bin(BinOp::Add, v("a"), v("b")),
+            Tree::bin(BinOp::Add, v("c"), v("d")),
+        );
+        let vs = variants(&t, &RuleSet::all(), 5);
+        assert_eq!(vs.len(), 5);
+    }
+
+    #[test]
+    fn saturating_add_commutes_but_does_not_associate() {
+        let t = Tree::bin(
+            BinOp::SatAdd,
+            Tree::bin(BinOp::SatAdd, v("a"), v("b")),
+            v("c"),
+        );
+        let vs = variants(&t, &RuleSet::all(), 100);
+        // no right-rotated version
+        let rotated = Tree::bin(
+            BinOp::SatAdd,
+            v("a"),
+            Tree::bin(BinOp::SatAdd, v("b"), v("c")),
+        );
+        assert!(!vs.contains(&rotated));
+        // but commuted versions exist
+        assert!(vs.iter().any(|x| x != &t));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let t = Tree::un(UnOp::Neg, Tree::un(UnOp::Neg, v("a")));
+        let vs = variants(&t, &RuleSet::all(), 10);
+        assert!(vs.contains(&v("a")));
+    }
+}

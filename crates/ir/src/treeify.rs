@@ -1,0 +1,238 @@
+//! Decomposition of data-flow graphs into trees (Fig. 5 preprocessing).
+//!
+//! Optimal covering of general graphs is NP-complete, so — like the
+//! original RECORD and most practical code generators — we cut the graph
+//! at every multi-use node, assign the shared value to a compiler
+//! temporary, and cover the resulting trees independently.
+
+use crate::dfg::{Dfg, NodeId, NodeKind};
+use crate::{AssignStmt, MemRef, Symbol, Tree};
+
+/// The result of tree decomposition: a forest in dependency order plus the
+/// temporaries it introduced.
+#[derive(Clone, Debug, Default)]
+pub struct Forest {
+    /// Assignments, in an order that defines every temporary before use.
+    pub assigns: Vec<AssignStmt>,
+    /// Temporaries created by the decomposition.
+    pub temps: Vec<Symbol>,
+}
+
+impl Forest {
+    /// Total tree nodes across the forest.
+    pub fn node_count(&self) -> usize {
+        self.assigns.iter().map(|a| a.src.node_count()).sum()
+    }
+}
+
+/// Decomposes a straight-line assignment sequence into a forest of trees,
+/// introducing a temporary for every internal node used more than once.
+///
+/// `next_temp` seeds temporary numbering so callers can keep names unique
+/// across blocks; the function returns the updated counter.
+///
+/// # Example
+///
+/// ```
+/// use record_ir::{treeify, AssignStmt, BinOp, MemRef, Tree};
+///
+/// // y := (a*b) + (a*b)  — the product is shared
+/// let ab = Tree::bin(BinOp::Mul, Tree::var("a"), Tree::var("b"));
+/// let stmt = AssignStmt {
+///     dst: MemRef::scalar("y"),
+///     src: Tree::bin(BinOp::Add, ab.clone(), ab),
+/// };
+/// let (forest, next) = treeify::treeify(&[stmt], 0);
+/// assert_eq!(forest.assigns.len(), 2); // $t0 := a*b; y := $t0 + $t0
+/// assert_eq!(forest.temps.len(), 1);
+/// assert_eq!(next, 1);
+/// ```
+pub fn treeify(assigns: &[AssignStmt], next_temp: usize) -> (Forest, usize) {
+    let dfg = Dfg::from_assigns(assigns);
+    treeify_dfg(&dfg, next_temp)
+}
+
+/// Decomposes an already-built data-flow graph. See [`treeify`].
+pub fn treeify_dfg(dfg: &Dfg, mut next_temp: usize) -> (Forest, usize) {
+    let mut forest = Forest::default();
+    // Map from shared node to the temp that carries its value.
+    let mut temp_of: std::collections::HashMap<NodeId, Symbol> = std::collections::HashMap::new();
+    let shared: std::collections::HashSet<NodeId> = dfg.shared_nodes().into_iter().collect();
+
+    // Assign temp names up front (in creation order) but emit each
+    // definition lazily, immediately before its *first user* store. This
+    // placement is what makes sharing sound in the presence of memory
+    // writes: a shared load of version v of some location only ever
+    // appears in statements lowered after the store that created v, so
+    // defining the temp right before its first user is always after that
+    // store — while defining all temps at the head of the block (the
+    // naive order) would read pre-store values.
+    for (id, _) in dfg.iter() {
+        if shared.contains(&id) {
+            let name = Symbol::temp(next_temp);
+            next_temp += 1;
+            forest.temps.push(name.clone());
+            temp_of.insert(id, name);
+        }
+    }
+
+    let mut emitted: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    for store in dfg.stores() {
+        emit_needed_temps(dfg, store.value, &shared, &temp_of, &mut emitted, &mut forest);
+        let tree = build_tree(dfg, store.value, &temp_of, false);
+        forest.assigns.push(AssignStmt { dst: store.dst.clone(), src: tree });
+    }
+    (forest, next_temp)
+}
+
+/// Emits (recursively, in dependency order) the definitions of any
+/// not-yet-emitted temps the subtree rooted at `id` uses.
+fn emit_needed_temps(
+    dfg: &Dfg,
+    id: NodeId,
+    shared: &std::collections::HashSet<NodeId>,
+    temp_of: &std::collections::HashMap<NodeId, Symbol>,
+    emitted: &mut std::collections::HashSet<NodeId>,
+    forest: &mut Forest,
+) {
+    // visit operands first so inner temps are defined before outer ones
+    for arg in &dfg.node(id).args {
+        emit_needed_temps(dfg, *arg, shared, temp_of, emitted, forest);
+    }
+    if shared.contains(&id) && !emitted.contains(&id) {
+        emitted.insert(id);
+        let name = temp_of[&id].clone();
+        let tree = build_tree(dfg, id, temp_of, /*as_def=*/ true);
+        forest
+            .assigns
+            .push(AssignStmt { dst: MemRef::Scalar(name), src: tree });
+    }
+}
+
+fn build_tree(
+    dfg: &Dfg,
+    id: NodeId,
+    temp_of: &std::collections::HashMap<NodeId, Symbol>,
+    as_def: bool,
+) -> Tree {
+    if !as_def {
+        if let Some(t) = temp_of.get(&id) {
+            return Tree::Temp(t.clone());
+        }
+    }
+    let node = dfg.node(id);
+    match &node.kind {
+        NodeKind::Const(c) => Tree::Const(*c),
+        NodeKind::Load(m, _) => Tree::Mem(m.clone()),
+        NodeKind::Temp(s) => Tree::Temp(s.clone()),
+        NodeKind::Bin(op) => {
+            let a = build_tree(dfg, node.args[0], temp_of, false);
+            let b = build_tree(dfg, node.args[1], temp_of, false);
+            Tree::bin(*op, a, b)
+        }
+        NodeKind::Un(op) => {
+            let a = build_tree(dfg, node.args[0], temp_of, false);
+            Tree::un(*op, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BinOp;
+
+    fn assign(dst: &str, src: Tree) -> AssignStmt {
+        AssignStmt { dst: MemRef::scalar(dst), src }
+    }
+
+    #[test]
+    fn no_sharing_passes_through() {
+        let stmts = vec![assign("y", Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b")))];
+        let (forest, next) = treeify(&stmts, 0);
+        assert_eq!(forest.assigns.len(), 1);
+        assert!(forest.temps.is_empty());
+        assert_eq!(next, 0);
+        assert_eq!(forest.assigns[0].to_string(), "y := (a + b)");
+    }
+
+    #[test]
+    fn shared_product_becomes_temp() {
+        let ab = Tree::bin(BinOp::Mul, Tree::var("a"), Tree::var("b"));
+        let stmts = vec![
+            assign("y", Tree::bin(BinOp::Add, ab.clone(), Tree::constant(1))),
+            assign("z", Tree::bin(BinOp::Sub, ab, Tree::constant(2))),
+        ];
+        let (forest, _) = treeify(&stmts, 0);
+        assert_eq!(forest.assigns.len(), 3);
+        assert_eq!(forest.assigns[0].to_string(), "$t0 := (a * b)");
+        assert_eq!(forest.assigns[1].to_string(), "y := ($t0 + 1)");
+        assert_eq!(forest.assigns[2].to_string(), "z := ($t0 - 2)");
+    }
+
+    #[test]
+    fn nested_sharing_defines_inner_temp_first() {
+        // s = a + b used twice; t = s * s used twice
+        let s = Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b"));
+        let t = Tree::bin(BinOp::Mul, s.clone(), s.clone());
+        let stmts = vec![assign("y", Tree::bin(BinOp::Add, t.clone(), t))];
+        let (forest, _) = treeify(&stmts, 0);
+        // $t0 := a+b; $t1 := $t0*$t0; y := $t1+$t1
+        assert_eq!(forest.assigns.len(), 3);
+        assert_eq!(forest.assigns[0].to_string(), "$t0 := (a + b)");
+        assert_eq!(forest.assigns[1].to_string(), "$t1 := ($t0 * $t0)");
+        assert_eq!(forest.assigns[2].to_string(), "y := ($t1 + $t1)");
+    }
+
+    #[test]
+    fn post_store_computations_are_defined_after_the_store() {
+        // w := a + b;  y := (w*w) + (w*w);  z := w
+        // The shared product reads the *stored* w, so its temp definition
+        // must appear after `w := ...`, not at block start.
+        let ww = Tree::bin(BinOp::Mul, Tree::var("w"), Tree::var("w"));
+        let stmts = vec![
+            assign("w", Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b"))),
+            assign("y", Tree::bin(BinOp::Add, ww.clone(), ww)),
+            assign("z", Tree::var("w")),
+        ];
+        let (forest, _) = treeify(&stmts, 0);
+        let texts: Vec<String> = forest.assigns.iter().map(|a| a.to_string()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "w := (a + b)",
+                "$t0 := (w * w)",
+                "y := ($t0 + $t0)",
+                "z := w"
+            ],
+            "temp def must follow the store it depends on"
+        );
+    }
+
+    #[test]
+    fn shared_leaves_are_not_cut() {
+        // the load of `a` is used twice but stays a plain re-read
+        let stmts = vec![assign(
+            "y",
+            Tree::bin(BinOp::Mul, Tree::var("a"), Tree::var("a")),
+        )];
+        let (forest, _) = treeify(&stmts, 0);
+        assert!(forest.temps.is_empty());
+        assert_eq!(forest.assigns[0].to_string(), "y := (a * a)");
+    }
+
+    #[test]
+    fn temp_counter_threads_across_calls() {
+        let ab = Tree::bin(BinOp::Mul, Tree::var("a"), Tree::var("b"));
+        let stmts = vec![assign("y", Tree::bin(BinOp::Add, ab.clone(), ab))];
+        let (_, next) = treeify(&stmts, 7);
+        assert_eq!(next, 8);
+    }
+
+    #[test]
+    fn forest_node_count() {
+        let stmts = vec![assign("y", Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b")))];
+        let (forest, _) = treeify(&stmts, 0);
+        assert_eq!(forest.node_count(), 3);
+    }
+}

@@ -1,0 +1,274 @@
+//! Concrete value locations: where a bound operand actually lives.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use record_ir::{Bank, Index, MemRef, Symbol};
+
+use crate::regs::RegId;
+
+/// How a memory operand is addressed in the emitted instruction.
+///
+/// Code leaves the instruction selector with every operand [`AddrMode::Unresolved`];
+/// the layout/address-assignment phase in `record-opt` rewrites operands to
+/// direct or AGU-indirect modes. The simulator executes whichever mode is
+/// present, so tests can validate code both before and after address
+/// assignment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum AddrMode {
+    /// Not yet assigned; simulators resolve the symbolic address.
+    #[default]
+    Unresolved,
+    /// Direct addressing with an absolute data address.
+    Direct(u16),
+    /// Register-indirect through address register `ar`, post-modified by
+    /// `post` after the access (0 = no modification) — the free
+    /// post-increment/decrement of a DSP address-generation unit.
+    Indirect {
+        /// Address-register number.
+        ar: u16,
+        /// Signed post-modification applied after the access.
+        post: i8,
+    },
+}
+
+impl fmt::Display for AddrMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrMode::Unresolved => f.write_str("?"),
+            AddrMode::Direct(a) => write!(f, "@{a}"),
+            AddrMode::Indirect { ar, post: 0 } => write!(f, "*ar{ar}"),
+            AddrMode::Indirect { ar, post } if *post > 0 => write!(f, "*ar{ar}+{post}"),
+            AddrMode::Indirect { ar, post } => write!(f, "*ar{ar}{post}"),
+        }
+    }
+}
+
+/// A concrete memory operand: symbolic identity plus (eventually) an
+/// addressing mode.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MemLoc {
+    /// The variable or array the operand belongs to.
+    pub base: Symbol,
+    /// Constant element displacement from the start of `base`.
+    pub disp: i64,
+    /// Loop counter for loop-variant accesses (`a[i+disp]`), if any.
+    pub index: Option<Symbol>,
+    /// `true` when the access walks *down* (`a[disp - i]`): a descending
+    /// stream that an AGU serves with post-decrement.
+    pub down: bool,
+    /// The memory bank the operand is (or will be) placed in.
+    pub bank: Bank,
+    /// The resolved addressing mode.
+    pub mode: AddrMode,
+}
+
+impl MemLoc {
+    /// Creates an unresolved memory location from an IR memory reference.
+    pub fn from_mem_ref(r: &MemRef) -> Self {
+        match r {
+            MemRef::Scalar(s) => MemLoc {
+                base: s.clone(),
+                disp: 0,
+                index: None,
+                down: false,
+                bank: Bank::X,
+                mode: AddrMode::Unresolved,
+            },
+            MemRef::Array { base, index } => match index {
+                Index::Const(c) => MemLoc {
+                    base: base.clone(),
+                    disp: *c,
+                    index: None,
+                    down: false,
+                    bank: Bank::X,
+                    mode: AddrMode::Unresolved,
+                },
+                Index::Var { var, offset } => MemLoc {
+                    base: base.clone(),
+                    disp: *offset,
+                    index: Some(var.clone()),
+                    down: false,
+                    bank: Bank::X,
+                    mode: AddrMode::Unresolved,
+                },
+                Index::RevVar { var, offset } => MemLoc {
+                    base: base.clone(),
+                    disp: *offset,
+                    index: Some(var.clone()),
+                    down: true,
+                    bank: Bank::X,
+                    mode: AddrMode::Unresolved,
+                },
+            },
+        }
+    }
+
+    /// Creates an unresolved scalar location.
+    pub fn scalar(name: impl Into<Symbol>) -> Self {
+        MemLoc {
+            base: name.into(),
+            disp: 0,
+            index: None,
+            down: false,
+            bank: Bank::X,
+            mode: AddrMode::Unresolved,
+        }
+    }
+
+    /// Returns `true` if the access address varies with a loop counter.
+    pub fn is_loop_variant(&self) -> bool {
+        self.index.is_some()
+    }
+
+    /// The symbolic identity `(base, disp, index)`, ignoring bank and
+    /// addressing mode — useful as a map key.
+    pub fn key(&self) -> (Symbol, i64, Option<Symbol>, bool) {
+        (self.base.clone(), self.disp, self.index.clone(), self.down)
+    }
+
+    /// Returns `true` if two operands may name the same word. Distinct
+    /// bases never alias (the IR has no pointers); same-base operands
+    /// alias unless their displacements provably differ under the same
+    /// index variable, or both are constant-indexed and differ.
+    pub fn may_alias(&self, other: &MemLoc) -> bool {
+        if self.base != other.base {
+            return false;
+        }
+        match (&self.index, &other.index) {
+            (None, None) => self.disp == other.disp,
+            (Some(a), Some(b)) if a == b && self.down == other.down => {
+                self.disp == other.disp
+            }
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for MemLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.index, self.disp) {
+            (None, 0) => write!(f, "{}", self.base)?,
+            (None, d) => write!(f, "{}[{}]", self.base, d)?,
+            (Some(i), d) if self.down => write!(f, "{}[{}-{}]", self.base, d, i)?,
+            (Some(i), 0) => write!(f, "{}[{}]", self.base, i)?,
+            (Some(i), d) if d > 0 => write!(f, "{}[{}+{}]", self.base, i, d)?,
+            (Some(i), d) => write!(f, "{}[{}{}]", self.base, i, d)?,
+        }
+        if self.mode != AddrMode::Unresolved {
+            write!(f, "({})", self.mode)?;
+        }
+        Ok(())
+    }
+}
+
+/// A concrete operand location: register, memory or immediate.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Loc {
+    /// A register.
+    Reg(RegId),
+    /// A memory word.
+    Mem(MemLoc),
+    /// An immediate constant baked into the instruction.
+    Imm(i64),
+}
+
+impl Loc {
+    /// Returns the memory operand if this is one.
+    pub fn as_mem(&self) -> Option<&MemLoc> {
+        match self {
+            Loc::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the memory operand if this is one.
+    pub fn as_mem_mut(&mut self) -> Option<&mut MemLoc> {
+        match self {
+            Loc::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the register if this is one.
+    pub fn as_reg(&self) -> Option<RegId> {
+        match self {
+            Loc::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Reg(r) => write!(f, "{r}"),
+            Loc::Mem(m) => write!(f, "{m}"),
+            Loc::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+impl From<RegId> for Loc {
+    fn from(r: RegId) -> Self {
+        Loc::Reg(r)
+    }
+}
+
+impl From<MemLoc> for Loc {
+    fn from(m: MemLoc) -> Self {
+        Loc::Mem(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regs::RegClassId;
+
+    #[test]
+    fn from_mem_ref_variants() {
+        let s = MemLoc::from_mem_ref(&MemRef::scalar("y"));
+        assert_eq!(s.base.as_str(), "y");
+        assert!(!s.is_loop_variant());
+
+        let c = MemLoc::from_mem_ref(&MemRef::array("a", Index::Const(3)));
+        assert_eq!(c.disp, 3);
+        assert!(!c.is_loop_variant());
+
+        let v = MemLoc::from_mem_ref(&MemRef::array(
+            "a",
+            Index::Var { var: "i".into(), offset: -1 },
+        ));
+        assert_eq!(v.disp, -1);
+        assert!(v.is_loop_variant());
+    }
+
+    #[test]
+    fn display_shows_mode_when_resolved() {
+        let mut m = MemLoc::scalar("y");
+        assert_eq!(m.to_string(), "y");
+        m.mode = AddrMode::Direct(17);
+        assert_eq!(m.to_string(), "y(@17)");
+        m.mode = AddrMode::Indirect { ar: 2, post: 1 };
+        assert_eq!(m.to_string(), "y(*ar2+1)");
+    }
+
+    #[test]
+    fn loc_accessors() {
+        let r = Loc::Reg(RegId::new(RegClassId(0), 0));
+        assert!(r.as_reg().is_some());
+        assert!(r.as_mem().is_none());
+        let m = Loc::Mem(MemLoc::scalar("x"));
+        assert!(m.as_mem().is_some());
+        assert_eq!(Loc::Imm(5).to_string(), "#5");
+    }
+
+    #[test]
+    fn keys_distinguish_displacements() {
+        let a = MemLoc::from_mem_ref(&MemRef::array("a", Index::Const(0)));
+        let b = MemLoc::from_mem_ref(&MemRef::array("a", Index::Const(1)));
+        assert_ne!(a.key(), b.key());
+    }
+}

@@ -1,0 +1,394 @@
+//! RT-level structural processor models.
+//!
+//! RECORD accepts target descriptions "at different levels of abstraction
+//! … from an RT-level netlist to an instruction set description" (Section
+//! 4.3.1); the netlist form is what instruction-set extraction
+//! (`record-ise`, Fig. 3) consumes. A [`Netlist`] is a set of components
+//! (registers, register files, memories, ALUs, multiplexers, constants and
+//! instruction fields) wired output-port → input-port.
+//!
+//! Port naming convention:
+//!
+//! | component | inputs | outputs | control inputs |
+//! |---|---|---|---|
+//! | `Register` | `d` | `q` | — |
+//! | `RegFile` | `d` | `q` | `ra` (read addr), `wa` (write addr) |
+//! | `Memory` | `d` | `q` | `ra`, `wa` |
+//! | `Alu` | `a`, `b` | `y` | `op` |
+//! | `Mux` | `i0`…`iN` | `y` | `sel` |
+//! | `ConstVal` | — | `y` | — |
+//! | `InstrField` | — | `y` | — |
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use record_ir::Op;
+
+/// Identifies a component within its netlist.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct CompId(pub u32);
+
+impl CompId {
+    /// Index into the component table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CompId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// One selectable operation of an ALU: the operator performed when the
+/// control input carries `sel`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AluOp {
+    /// The operator (binary operators use both inputs, unary only `a`).
+    pub op: Op,
+    /// The control value on port `op` that selects this operation.
+    pub sel: u64,
+}
+
+/// The kind (and parameters) of a component.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum CompKind {
+    /// A single data register.
+    Register {
+        /// Bit width.
+        width: u32,
+    },
+    /// An addressable register file.
+    RegFile {
+        /// Number of registers.
+        words: u32,
+        /// Bit width.
+        width: u32,
+    },
+    /// A data memory.
+    Memory {
+        /// Number of words.
+        words: u32,
+        /// Bit width.
+        width: u32,
+    },
+    /// An arithmetic/logic unit with a control-selected operation.
+    Alu {
+        /// Bit width.
+        width: u32,
+        /// The selectable operations.
+        ops: Vec<AluOp>,
+    },
+    /// A multiplexer; input `iK` is routed to `y` when `sel` carries `K`.
+    Mux {
+        /// Bit width.
+        width: u32,
+        /// Number of data inputs.
+        inputs: u32,
+    },
+    /// A hard-wired constant generator.
+    ConstVal {
+        /// The constant.
+        value: i64,
+        /// Bit width.
+        width: u32,
+    },
+    /// A field of the instruction word (control source or immediate).
+    InstrField {
+        /// Field width in bits.
+        bits: u32,
+    },
+}
+
+impl CompKind {
+    /// Returns `true` for storage components (extraction destinations and
+    /// operand leaves).
+    pub fn is_storage(&self) -> bool {
+        matches!(
+            self,
+            CompKind::Register { .. } | CompKind::RegFile { .. } | CompKind::Memory { .. }
+        )
+    }
+}
+
+/// A netlist component: a kind plus an instance name.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Component {
+    /// Instance name (unique within the netlist).
+    pub name: String,
+    /// Kind and parameters.
+    pub kind: CompKind,
+}
+
+/// A directed connection: `(from, from_port) → (to, to_port)`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Conn {
+    /// Driving component.
+    pub from: CompId,
+    /// Output port of the driver.
+    pub from_port: String,
+    /// Driven component.
+    pub to: CompId,
+    /// Input port of the driven component.
+    pub to_port: String,
+}
+
+/// An RT-level netlist.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    components: Vec<Component>,
+    conns: Vec<Conn>,
+    driver_index: HashMap<(CompId, String), usize>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance name is already in use.
+    pub fn add(&mut self, name: impl Into<String>, kind: CompKind) -> CompId {
+        let name = name.into();
+        assert!(
+            self.find(&name).is_none(),
+            "component name `{name}` already in use"
+        );
+        let id = CompId(self.components.len() as u32);
+        self.components.push(Component { name, kind });
+        id
+    }
+
+    /// Convenience: adds a `width`-bit register.
+    pub fn register(&mut self, name: &str, width: u32) -> CompId {
+        self.add(name, CompKind::Register { width })
+    }
+
+    /// Convenience: adds a register file.
+    pub fn reg_file(&mut self, name: &str, words: u32, width: u32) -> CompId {
+        self.add(name, CompKind::RegFile { words, width })
+    }
+
+    /// Convenience: adds a memory.
+    pub fn memory(&mut self, name: &str, words: u32, width: u32) -> CompId {
+        self.add(name, CompKind::Memory { words, width })
+    }
+
+    /// Convenience: adds an ALU.
+    pub fn alu(&mut self, name: &str, width: u32, ops: Vec<AluOp>) -> CompId {
+        self.add(name, CompKind::Alu { width, ops })
+    }
+
+    /// Convenience: adds a multiplexer.
+    pub fn mux(&mut self, name: &str, width: u32, inputs: u32) -> CompId {
+        self.add(name, CompKind::Mux { width, inputs })
+    }
+
+    /// Convenience: adds a constant generator.
+    pub fn constant(&mut self, name: &str, value: i64, width: u32) -> CompId {
+        self.add(name, CompKind::ConstVal { value, width })
+    }
+
+    /// Convenience: adds an instruction field.
+    pub fn instr_field(&mut self, name: &str, bits: u32) -> CompId {
+        self.add(name, CompKind::InstrField { bits })
+    }
+
+    /// Connects `from.from_port` to `to.to_port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input port already has a driver.
+    pub fn connect(&mut self, from: CompId, from_port: &str, to: CompId, to_port: &str) {
+        let key = (to, to_port.to_string());
+        assert!(
+            !self.driver_index.contains_key(&key),
+            "input {}.{to_port} already driven",
+            self.comp(to).name
+        );
+        self.driver_index.insert(key, self.conns.len());
+        self.conns.push(Conn {
+            from,
+            from_port: from_port.to_string(),
+            to,
+            to_port: to_port.to_string(),
+        });
+    }
+
+    /// The component for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn comp(&self, id: CompId) -> &Component {
+        &self.components[id.index()]
+    }
+
+    /// Finds a component by instance name.
+    pub fn find(&self, name: &str) -> Option<CompId> {
+        self.components
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| CompId(i as u32))
+    }
+
+    /// The driver of an input port, if connected.
+    pub fn driver(&self, comp: CompId, port: &str) -> Option<(CompId, &str)> {
+        self.driver_index
+            .get(&(comp, port.to_string()))
+            .map(|i| (self.conns[*i].from, self.conns[*i].from_port.as_str()))
+    }
+
+    /// Iterates over all components.
+    pub fn components(&self) -> impl Iterator<Item = (CompId, &Component)> {
+        self.components
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CompId(i as u32), c))
+    }
+
+    /// All connections.
+    pub fn conns(&self) -> &[Conn] {
+        &self.conns
+    }
+
+    /// Storage components (registers, register files, memories) — the
+    /// extraction destinations.
+    pub fn storages(&self) -> Vec<CompId> {
+        self.components()
+            .filter(|(_, c)| c.kind.is_storage())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Validates the netlist: connection endpoints in range, mux selector
+    /// widths plausible, every storage data input driven.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for conn in &self.conns {
+            if conn.from.index() >= self.components.len()
+                || conn.to.index() >= self.components.len()
+            {
+                return Err("connection endpoint out of range".into());
+            }
+        }
+        for id in self.storages() {
+            if self.driver(id, "d").is_none() {
+                return Err(format!(
+                    "storage `{}` has no data-input driver",
+                    self.comp(id).name
+                ));
+            }
+        }
+        for (id, c) in self.components() {
+            if let CompKind::Mux { inputs, .. } = c.kind {
+                if self.driver(id, "sel").is_none() {
+                    return Err(format!("mux `{}` has no selector", c.name));
+                }
+                for i in 0..inputs {
+                    if self.driver(id, &format!("i{i}")).is_none() {
+                        return Err(format!("mux `{}` input i{i} undriven", c.name));
+                    }
+                }
+            }
+            if let CompKind::Alu { ref ops, .. } = c.kind {
+                if ops.is_empty() {
+                    return Err(format!("alu `{}` has no operations", c.name));
+                }
+                if self.driver(id, "a").is_none() {
+                    return Err(format!("alu `{}` input a undriven", c.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_ir::BinOp;
+
+    /// A minimal accumulator machine: acc := acc + mem, selected by field.
+    fn acc_machine() -> Netlist {
+        let mut n = Netlist::new();
+        let acc = n.register("acc", 16);
+        let mem = n.memory("mem", 256, 16);
+        let alu = n.alu(
+            "alu",
+            16,
+            vec![AluOp { op: Op::Bin(BinOp::Add), sel: 0 }, AluOp { op: Op::Bin(BinOp::Sub), sel: 1 }],
+        );
+        let f_op = n.instr_field("f_op", 1);
+        n.connect(acc, "q", alu, "a");
+        n.connect(mem, "q", alu, "b");
+        n.connect(f_op, "y", alu, "op");
+        n.connect(alu, "y", acc, "d");
+        // memory written from acc
+        n.connect(acc, "q", mem, "d");
+        n
+    }
+
+    #[test]
+    fn build_and_query() {
+        let n = acc_machine();
+        let acc = n.find("acc").unwrap();
+        let alu = n.find("alu").unwrap();
+        assert_eq!(n.driver(acc, "d"), Some((alu, "y")));
+        assert_eq!(n.storages().len(), 2);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "already driven")]
+    fn double_driver_panics() {
+        let mut n = acc_machine();
+        let acc = n.find("acc").unwrap();
+        let mem = n.find("mem").unwrap();
+        n.connect(mem, "q", acc, "d");
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn duplicate_name_panics() {
+        let mut n = acc_machine();
+        n.register("acc", 16);
+    }
+
+    #[test]
+    fn validate_catches_undriven_storage() {
+        let mut n = Netlist::new();
+        n.register("r", 16);
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_selectorless_mux() {
+        let mut n = Netlist::new();
+        let r = n.register("r", 16);
+        let m = n.mux("m", 16, 2);
+        let c = n.constant("zero", 0, 16);
+        n.connect(c, "y", m, "i0");
+        n.connect(r, "q", m, "i1");
+        n.connect(m, "y", r, "d");
+        let err = n.validate().unwrap_err();
+        assert!(err.contains("no selector"));
+    }
+
+    #[test]
+    fn storage_classification() {
+        assert!(CompKind::Register { width: 16 }.is_storage());
+        assert!(CompKind::Memory { words: 4, width: 16 }.is_storage());
+        assert!(!CompKind::InstrField { bits: 4 }.is_storage());
+    }
+}

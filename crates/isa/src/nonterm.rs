@@ -1,0 +1,127 @@
+//! BURS nonterminals.
+//!
+//! A nonterminal names a *place a value can live*: a register of some
+//! class, a memory word, or an immediate field of the instruction word.
+//! Rules rewrite trees to nonterminals; the dynamic-programming matcher in
+//! `record-burg` computes, per tree node, the cheapest way to make the
+//! node's value available in every nonterminal.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::regs::RegClassId;
+
+/// Identifies a nonterminal within its target grammar.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct NonTermId(pub u16);
+
+impl NonTermId {
+    /// The index into the target's nonterminal table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NonTermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nt{}", self.0)
+    }
+}
+
+/// What kind of place a nonterminal denotes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NonTermKind {
+    /// A register of the given class.
+    Reg(RegClassId),
+    /// A data-memory word.
+    Mem,
+    /// An immediate constant of at most `bits` bits (signed two's
+    /// complement).
+    Imm {
+        /// Maximum encodable width in bits.
+        bits: u32,
+    },
+}
+
+/// A nonterminal declaration.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NonTerm {
+    /// Grammar-level name, e.g. `"acc"`, `"mem"`, `"imm8"`.
+    pub name: String,
+    /// What the nonterminal denotes.
+    pub kind: NonTermKind,
+}
+
+impl NonTerm {
+    /// Creates a register nonterminal.
+    pub fn reg(name: impl Into<String>, class: RegClassId) -> Self {
+        NonTerm { name: name.into(), kind: NonTermKind::Reg(class) }
+    }
+
+    /// Creates the memory nonterminal.
+    pub fn mem(name: impl Into<String>) -> Self {
+        NonTerm { name: name.into(), kind: NonTermKind::Mem }
+    }
+
+    /// Creates an immediate nonterminal of the given bit width.
+    pub fn imm(name: impl Into<String>, bits: u32) -> Self {
+        NonTerm { name: name.into(), kind: NonTermKind::Imm { bits } }
+    }
+
+    /// Returns the register class if this is a register nonterminal.
+    pub fn reg_class(&self) -> Option<RegClassId> {
+        match self.kind {
+            NonTermKind::Reg(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for NonTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Checks whether a constant value fits in a signed immediate field of
+/// `bits` bits. Unsigned values that fit in the field are also accepted
+/// (DSP assemblers typically allow both readings).
+pub fn const_fits(value: i64, bits: u32) -> bool {
+    if bits >= 64 {
+        return true;
+    }
+    let smin = -(1i64 << (bits - 1));
+    let smax = (1i64 << (bits - 1)) - 1;
+    let umax = (1i64 << bits) - 1;
+    (value >= smin && value <= smax) || (value >= 0 && value <= umax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(NonTerm::reg("acc", RegClassId(0)).reg_class(), Some(RegClassId(0)));
+        assert_eq!(NonTerm::mem("mem").kind, NonTermKind::Mem);
+        assert_eq!(NonTerm::imm("imm8", 8).kind, NonTermKind::Imm { bits: 8 });
+        assert_eq!(NonTerm::mem("mem").reg_class(), None);
+    }
+
+    #[test]
+    fn const_fits_signed_and_unsigned() {
+        assert!(const_fits(127, 8));
+        assert!(const_fits(-128, 8));
+        assert!(const_fits(255, 8)); // unsigned reading
+        assert!(!const_fits(256, 8));
+        assert!(!const_fits(-129, 8));
+        assert!(const_fits(i64::MIN, 64));
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(NonTerm::imm("imm13", 13).to_string(), "imm13");
+        assert_eq!(NonTermId(4).to_string(), "nt4");
+    }
+}

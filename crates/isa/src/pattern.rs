@@ -1,0 +1,349 @@
+//! Instruction patterns: the rules of a target's BURS grammar.
+//!
+//! A rule rewrites either a structural tree pattern (a [`PatNode`]) or a
+//! single nonterminal (a *chain rule* — register transfers, loads, spills)
+//! to its left-hand-side nonterminal. Rules carry everything downstream
+//! phases need: code-size and cycle costs, an assembly template, operand
+//! evaluation order, functional-unit usage for compaction, and mode
+//! (residual-control) requirements.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use record_ir::Op;
+
+use crate::nonterm::{const_fits, NonTermId};
+
+/// Identifies a rule within its target grammar.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct RuleId(pub u32);
+
+impl RuleId {
+    /// The index into the target's rule table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A structural pattern node: an operator with sub-patterns, or a
+/// nonterminal leaf.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PatNode {
+    /// An operator that must match the tree node's operator; children
+    /// match recursively. Leaf operators (`Const`, `Mem`, `Temp`) have no
+    /// children and bind the node's payload.
+    Op(Op, Vec<PatNode>),
+    /// A nonterminal leaf: the subtree below must be derivable to this
+    /// nonterminal (its cost is looked up in the BURS label).
+    Nt(NonTermId),
+}
+
+/// A binding-producing leaf of a pattern, in pre-order.
+///
+/// Nonterminal leaves bind the location of an independently derived
+/// subtree; `Const`/`Mem`/`Temp` operator leaves bind the payload of the
+/// matched tree node directly (an immediate value or a memory operand).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PatLeaf {
+    /// A nonterminal leaf.
+    Nt(NonTermId),
+    /// A directly bound constant (`Op::Const` in the pattern).
+    Const,
+    /// A directly bound memory operand (`Op::Mem` in the pattern).
+    Mem,
+    /// A directly bound temporary (`Op::Temp` in the pattern).
+    Temp,
+}
+
+impl PatNode {
+    /// An operator pattern node.
+    pub fn op(op: Op, children: Vec<PatNode>) -> Self {
+        PatNode::Op(op, children)
+    }
+
+    /// A nonterminal leaf.
+    pub fn nt(id: NonTermId) -> Self {
+        PatNode::Nt(id)
+    }
+
+    /// Collects the nonterminal leaves in pre-order.
+    pub fn nt_leaves(&self) -> Vec<NonTermId> {
+        self.leaves()
+            .into_iter()
+            .filter_map(|l| match l {
+                PatLeaf::Nt(id) => Some(id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Collects every binding-producing leaf in pre-order — the binding
+    /// order used by assembly templates and by `eval_order`.
+    pub fn leaves(&self) -> Vec<PatLeaf> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<PatLeaf>) {
+        match self {
+            PatNode::Nt(id) => out.push(PatLeaf::Nt(*id)),
+            PatNode::Op(Op::Const, _) => out.push(PatLeaf::Const),
+            PatNode::Op(Op::Mem, _) => out.push(PatLeaf::Mem),
+            PatNode::Op(Op::Temp, _) => out.push(PatLeaf::Temp),
+            PatNode::Op(_, children) => {
+                for c in children {
+                    c.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    /// The number of operator nodes in the pattern (its "size" in the
+    /// sense of Figs. 4–5: how much of the subject tree one instruction
+    /// covers).
+    pub fn op_count(&self) -> usize {
+        match self {
+            PatNode::Nt(_) => 0,
+            PatNode::Op(_, children) => {
+                1 + children.iter().map(|c| c.op_count()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// The right-hand side of a rule.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Rhs {
+    /// A chain rule: derive the lhs from another nonterminal (a data
+    /// transfer such as a load, a register move, or a spill store).
+    Chain(NonTermId),
+    /// A structural pattern rooted at an operator.
+    Pat(PatNode),
+}
+
+/// A semantic predicate evaluated on the matched subtree.
+///
+/// Predicates restrict leaf-operator rules, e.g. "this constant fits the
+/// 8-bit immediate field".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Predicate {
+    /// The matched `Const` value fits in a `bits`-wide immediate field.
+    ConstFits {
+        /// Field width in bits.
+        bits: u32,
+    },
+    /// The matched `Const` equals exactly this value (e.g. shift-by-one
+    /// instructions like the TMS320C25's `SFL`).
+    ConstEquals(i64),
+    /// The matched `Const` is a power of two (used by multiplier-less
+    /// ASIP configurations that implement `*2^k` with shifters).
+    ConstPow2,
+}
+
+impl Predicate {
+    /// Evaluates the predicate against a matched constant.
+    pub fn check_const(self, value: i64) -> bool {
+        match self {
+            Predicate::ConstFits { bits } => const_fits(value, bits),
+            Predicate::ConstEquals(v) => value == v,
+            Predicate::ConstPow2 => value >= 1 && (value as u64).is_power_of_two(),
+        }
+    }
+}
+
+/// Rule cost: code words (the Table 1 metric) and execution cycles.
+///
+/// Costs are compared through [`Cost::weight`], which prioritizes words —
+/// the paper's selector picks "the tree requiring the smallest number of
+/// covering patterns", and compact code is requirement #1 in Section 3.2.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Cost {
+    /// Instruction words occupied in program memory.
+    pub words: u32,
+    /// Cycles per execution.
+    pub cycles: u32,
+}
+
+impl Cost {
+    /// Creates a cost.
+    pub fn new(words: u32, cycles: u32) -> Self {
+        Cost { words, cycles }
+    }
+
+    /// Zero cost (base rules that emit no code).
+    pub fn zero() -> Self {
+        Cost::default()
+    }
+
+    /// The scalar the dynamic programming minimizes: words dominate,
+    /// cycles break ties.
+    pub fn weight(self) -> u64 {
+        self.words as u64 * 256 + self.cycles as u64
+    }
+
+    /// Component-wise sum.
+    #[allow(clippy::should_implement_trait)] // by-value helper mirroring weight()
+    pub fn add(self, other: Cost) -> Cost {
+        Cost { words: self.words + other.words, cycles: self.cycles + other.cycles }
+    }
+}
+
+/// Bitmask of functional units an instruction occupies during its cycle —
+/// the resource model for compaction. Unit indices are target-defined;
+/// two instructions can be packed into one cycle iff their masks are
+/// disjoint (and the target has a parallel instruction format for them).
+pub type UnitMask = u32;
+
+/// Conventional unit-mask bits shared by the bundled targets. Targets are
+/// free to define their own; these merely keep the bundled descriptions
+/// consistent.
+pub mod units {
+    /// Main ALU / adder.
+    pub const ALU: u32 = 1;
+    /// Multiplier.
+    pub const MUL: u32 = 2;
+    /// Data move / memory port.
+    pub const MOVE: u32 = 4;
+    /// Multiplier input register path.
+    pub const TREG: u32 = 8;
+    /// Address-generation unit.
+    pub const AGU: u32 = 16;
+}
+
+/// A grammar rule: `lhs ::= rhs`, with everything downstream phases need.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Rule {
+    /// The rule's id (index in the target's rule table).
+    pub id: RuleId,
+    /// The nonterminal produced.
+    pub lhs: NonTermId,
+    /// The pattern or chain consumed.
+    pub rhs: Rhs,
+    /// Code size and speed cost.
+    pub cost: Cost,
+    /// Assembly template; `{0}`, `{1}`, … substitute the bound leaf
+    /// operands in pre-order, `{d}` the destination.
+    pub asm: String,
+    /// Optional predicate on matched leaf constants.
+    pub pred: Option<Predicate>,
+    /// Evaluation order of the nonterminal leaves (indices into the
+    /// pre-order leaf list). `None` means left-to-right. Rules whose
+    /// operands live in conflicting registers set this explicitly — e.g.
+    /// the C25's `APAC`-covered `acc + p` evaluates the `acc` operand
+    /// before the `p` operand because computing a product clobbers `t`/`p`
+    /// but not `acc`.
+    pub eval_order: Option<Vec<u8>>,
+    /// Functional units occupied (for compaction).
+    pub units: UnitMask,
+    /// Index of the operation mode this instruction requires to be ON
+    /// (e.g. saturation mode), if any; `Some((mode, true))` requires the
+    /// mode set, `Some((mode, false))` requires it clear.
+    pub mode: Option<(usize, bool)>,
+    /// `true` if the instruction's arithmetic changes behaviour with the
+    /// target's saturation mode (the simulator consults this).
+    pub mode_sensitive: bool,
+}
+
+impl Rule {
+    /// The nonterminal leaves of the rhs in pre-order (empty for leaf-
+    /// operator rules, single-element for chains).
+    pub fn nt_leaves(&self) -> Vec<NonTermId> {
+        match &self.rhs {
+            Rhs::Chain(nt) => vec![*nt],
+            Rhs::Pat(p) => p.nt_leaves(),
+        }
+    }
+
+    /// Every binding-producing leaf of the rhs in pre-order — the operand
+    /// list of the emitted instruction.
+    pub fn leaves(&self) -> Vec<PatLeaf> {
+        match &self.rhs {
+            Rhs::Chain(nt) => vec![PatLeaf::Nt(*nt)],
+            Rhs::Pat(p) => p.leaves(),
+        }
+    }
+
+    /// Returns `true` for chain rules.
+    pub fn is_chain(&self) -> bool {
+        matches!(self.rhs, Rhs::Chain(_))
+    }
+
+    /// The root operator for pattern rules.
+    pub fn root_op(&self) -> Option<Op> {
+        match &self.rhs {
+            Rhs::Pat(PatNode::Op(op, _)) => Some(*op),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_ir::BinOp;
+
+    fn nt(i: u16) -> NonTermId {
+        NonTermId(i)
+    }
+
+    #[test]
+    fn leaf_collection_is_preorder() {
+        // Add(Nt0, Mul(Nt1, Nt2))
+        let p = PatNode::op(
+            Op::Bin(BinOp::Add),
+            vec![
+                PatNode::nt(nt(0)),
+                PatNode::op(Op::Bin(BinOp::Mul), vec![PatNode::nt(nt(1)), PatNode::nt(nt(2))]),
+            ],
+        );
+        assert_eq!(p.nt_leaves(), vec![nt(0), nt(1), nt(2)]);
+        assert_eq!(p.op_count(), 2);
+    }
+
+    #[test]
+    fn cost_weight_prefers_words() {
+        let small = Cost::new(1, 200);
+        let big = Cost::new(2, 0);
+        assert!(small.weight() < big.weight());
+        assert_eq!(Cost::new(1, 2).add(Cost::new(3, 4)), Cost::new(4, 6));
+        assert_eq!(Cost::zero().weight(), 0);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Predicate::ConstFits { bits: 8 }.check_const(100));
+        assert!(!Predicate::ConstFits { bits: 8 }.check_const(300));
+        assert!(Predicate::ConstEquals(1).check_const(1));
+        assert!(!Predicate::ConstEquals(1).check_const(2));
+        assert!(Predicate::ConstPow2.check_const(8));
+        assert!(!Predicate::ConstPow2.check_const(6));
+        assert!(!Predicate::ConstPow2.check_const(0));
+    }
+
+    #[test]
+    fn chain_rule_leaves() {
+        let r = Rule {
+            id: RuleId(0),
+            lhs: nt(1),
+            rhs: Rhs::Chain(nt(2)),
+            cost: Cost::new(1, 1),
+            asm: "LAC {0}".into(),
+            pred: None,
+            eval_order: None,
+            units: 0,
+            mode: None,
+            mode_sensitive: false,
+        };
+        assert!(r.is_chain());
+        assert_eq!(r.nt_leaves(), vec![nt(2)]);
+        assert_eq!(r.root_op(), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Heterogeneous register classes.
+//!
+//! Embedded processors "usually come with heterogenous register sets (not
+//! all registers have the same functionality)" — Section 3.3 of the paper.
+//! We model this directly: a target declares named classes, each with a
+//! member count; a class with a single member (the accumulator, the
+//! product register) binds trivially, while multi-member classes (address
+//! registers, general-purpose files) are allocated at reduce time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a register class within its target.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct RegClassId(pub u16);
+
+impl fmt::Display for RegClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rc{}", self.0)
+    }
+}
+
+/// A register class declaration.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RegClass {
+    /// The class name, e.g. `"acc"`, `"ar"`, `"r"`.
+    pub name: String,
+    /// Number of member registers.
+    pub count: u16,
+}
+
+impl RegClass {
+    /// Creates a class with the given name and member count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(name: impl Into<String>, count: u16) -> Self {
+        assert!(count > 0, "register class must have at least one member");
+        RegClass { name: name.into(), count }
+    }
+
+    /// Returns `true` if the class has exactly one member (and thus never
+    /// needs allocation).
+    pub fn is_singleton(&self) -> bool {
+        self.count == 1
+    }
+
+    /// The assembly name of member `index`: the class name for singleton
+    /// classes, `name` + index otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn member_name(&self, index: u16) -> String {
+        assert!(index < self.count, "register index out of range");
+        if self.is_singleton() {
+            self.name.clone()
+        } else {
+            format!("{}{}", self.name, index)
+        }
+    }
+}
+
+/// A concrete register: class plus member index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct RegId {
+    /// The class the register belongs to.
+    pub class: RegClassId,
+    /// The member index within the class.
+    pub index: u16,
+}
+
+impl RegId {
+    /// Creates a register id.
+    pub fn new(class: RegClassId, index: u16) -> Self {
+        RegId { class, index }
+    }
+
+    /// The single member of a singleton class.
+    pub fn singleton(class: RegClassId) -> Self {
+        RegId { class, index: 0 }
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.class, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_member_name_is_bare() {
+        let acc = RegClass::new("acc", 1);
+        assert!(acc.is_singleton());
+        assert_eq!(acc.member_name(0), "acc");
+    }
+
+    #[test]
+    fn multi_member_names_are_indexed() {
+        let ar = RegClass::new("ar", 8);
+        assert!(!ar.is_singleton());
+        assert_eq!(ar.member_name(0), "ar0");
+        assert_eq!(ar.member_name(7), "ar7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn member_name_bounds_checked() {
+        RegClass::new("ar", 2).member_name(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_class_rejected() {
+        RegClass::new("none", 0);
+    }
+
+    #[test]
+    fn reg_id_equality() {
+        let a = RegId::new(RegClassId(0), 1);
+        let b = RegId::new(RegClassId(0), 1);
+        let c = RegId::new(RegClassId(1), 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(RegId::singleton(RegClassId(2)).index, 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Concrete processor models.
+//!
+//! * [`tic25`] — a TMS320C25-like fixed-point DSP core (the Table 1 target),
+//! * [`dsp56k`] — a dual-bank, parallel-move DSP in the Motorola 56000 mould,
+//! * [`simple_risc`] — a homogeneous load/store RISC core,
+//! * [`asip`] — a parametric ASIP generator (generic parameters per
+//!   Section 4.2: bitwidth, register count, optional functional units).
+
+pub mod asip;
+pub mod dsp56k;
+pub mod simple_risc;
+pub mod tic25;

@@ -1,0 +1,144 @@
+//! A small homogeneous load/store RISC core (MiniRISC/CW4001 flavour).
+//!
+//! This is the counterpoint to the DSP models: a single general-purpose
+//! register file, three-operand register-register arithmetic, explicit
+//! loads and stores, no product/multiplier-input registers, no free
+//! post-increment addressing and no operation modes. It exercises the
+//! multi-register allocation path of the back end (the `r` class has more
+//! than one member, so the reducer must allocate) and serves as the
+//! "homogeneous register architecture" reference the paper contrasts
+//! heterogeneous DSPs with.
+
+use record_ir::{BinOp, Op, UnOp};
+
+use crate::pattern::{units, Cost, PatNode};
+use crate::target::{AguDesc, LoopCtrl, TargetBuilder, TargetDesc};
+
+/// Builds the RISC core description with the given register-file size.
+///
+/// # Panics
+///
+/// Panics if `n_regs` is zero.
+///
+/// # Example
+///
+/// ```
+/// let t = record_isa::targets::simple_risc::target(8);
+/// assert_eq!(t.name, "risc8");
+/// assert_eq!(t.class(t.reg_class("r").unwrap()).count, 8);
+/// ```
+pub fn target(n_regs: u16) -> TargetDesc {
+    let mut b = TargetBuilder::new(format!("risc{n_regs}"), 16);
+
+    let r_c = b.reg_class("r", n_regs);
+    let r = b.nt_reg("r", r_c);
+    let mem = b.nt_mem("mem");
+    let imm16 = b.nt_imm("imm16", 16);
+
+    b.base_mem_rules(mem);
+    b.base_imm_rule(imm16);
+
+    let lw = b.chain(r, mem, "LW {d},{0}", Cost::new(1, 1));
+    b.with_units(lw, units::MOVE);
+    let li = b.chain(r, imm16, "LI {d},{0}", Cost::new(1, 1));
+    b.with_units(li, units::ALU);
+    let sw = b.chain(mem, r, "SW {0},{d}", Cost::new(1, 1));
+    b.with_units(sw, units::MOVE);
+
+    // Three-operand register-register ALU operations.
+    for (op, name) in [
+        (BinOp::Add, "ADD"),
+        (BinOp::Sub, "SUB"),
+        (BinOp::And, "AND"),
+        (BinOp::Or, "OR"),
+        (BinOp::Xor, "XOR"),
+        (BinOp::Shl, "SLL"),
+        (BinOp::Shr, "SRA"),
+        (BinOp::Min, "MIN"),
+        (BinOp::Max, "MAX"),
+    ] {
+        let rule = b.pat(
+            r,
+            PatNode::op(Op::Bin(op), vec![PatNode::nt(r), PatNode::nt(r)]),
+            &format!("{name} {{d}},{{0}},{{1}}"),
+            Cost::new(1, 1),
+        );
+        b.with_units(rule, units::ALU);
+    }
+    // Multiply exists but is multi-cycle (typical embedded RISC).
+    let mul = b.pat(
+        r,
+        PatNode::op(Op::Bin(BinOp::Mul), vec![PatNode::nt(r), PatNode::nt(r)]),
+        "MUL {d},{0},{1}",
+        Cost::new(1, 4),
+    );
+    b.with_units(mul, units::MUL);
+
+    for (op, name) in [(UnOp::Neg, "NEG"), (UnOp::Not, "NOT"), (UnOp::Abs, "ABS")] {
+        let rule = b.pat(
+            r,
+            PatNode::op(Op::Un(op), vec![PatNode::nt(r)]),
+            &format!("{name} {{d}},{{0}}"),
+            Cost::new(1, 1),
+        );
+        b.with_units(rule, units::ALU);
+    }
+
+    b.store(r, "SW {0},{d}", Cost::new(1, 1));
+
+    b.memory(1, 4096);
+    // Pointer registers exist but post-modification is a real ADDI
+    // (post_range = 0 means nothing is free).
+    b.agu(AguDesc {
+        n_ars: 4,
+        post_range: 0,
+        ar_load_cost: Cost::new(1, 1),
+        ar_add_cost: Cost::new(1, 1),
+    });
+    b.loop_ctrl(LoopCtrl {
+        init_cost: Cost::new(1, 1),
+        end_cost: Cost::new(2, 2),
+        rpt: None,
+    });
+
+    b.build().expect("risc description is internally consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_is_valid() {
+        target(8).validate().unwrap();
+        target(4).validate().unwrap();
+    }
+
+    #[test]
+    fn homogeneous_single_class() {
+        let t = target(8);
+        assert_eq!(t.reg_classes.len(), 1);
+        assert!(!t.reg_classes[0].is_singleton());
+    }
+
+    #[test]
+    fn no_free_post_increment() {
+        let t = target(8);
+        assert_eq!(t.agu.as_ref().unwrap().post_range, 0);
+        assert!(t.loop_ctrl.rpt.is_none());
+        assert!(t.modes.is_empty());
+        assert!(t.fusions.is_empty());
+    }
+
+    #[test]
+    fn multiply_is_slow() {
+        let t = target(8);
+        let mul = t.rules.iter().find(|r| r.asm.starts_with("MUL")).unwrap();
+        assert!(mul.cost.cycles > 1);
+    }
+
+    #[test]
+    fn name_reflects_register_count() {
+        assert_eq!(target(16).name, "risc16");
+    }
+}

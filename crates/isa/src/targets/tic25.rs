@@ -1,0 +1,483 @@
+//! A TMS320C25-like fixed-point DSP core — the target of the paper's
+//! Table 1 comparison.
+//!
+//! The model captures the C25 traits that drive code generation:
+//!
+//! * a **heterogeneous register set**: one accumulator `acc`, a product
+//!   register `p` that only the multiplier writes, and a multiplier input
+//!   register `t` that must be loaded before any multiply,
+//! * multiply–accumulate via the `MPY`/`APAC`/`SPAC`/`PAC` family, with
+//!   the fused `LTA`/`LTP`/`LTS` combinations available to compaction,
+//! * eight address registers with free post-increment/decrement
+//!   (`*AR+`/`*AR-` indirect addressing),
+//! * a saturation ("overflow") mode `ovm` toggled by `SOVM`/`ROVM` —
+//!   residual control in the paper's terms,
+//! * `RPTK`-style hardware repeat of a single instruction,
+//! * one data-memory bank.
+//!
+//! Instruction mnemonics follow the C25 assembler; word/cycle costs are
+//! the single-cycle, single-word baseline of the C25 data sheet with
+//! two-word long-immediate and branch instructions.
+//!
+//! This is a behavioural reproduction for compiler research, not a
+//! datasheet-exact model: the accumulator is modelled at the data word
+//! width and the P-register shift modes are omitted.
+
+use record_ir::{BinOp, Op, UnOp};
+
+use crate::pattern::{units, Cost, PatNode, Predicate};
+use crate::target::{AguDesc, LoopCtrl, ModeDesc, RptDesc, TargetBuilder, TargetDesc};
+
+/// Builds the TMS320C25-like target description.
+///
+/// # Example
+///
+/// ```
+/// let t = record_isa::targets::tic25::target();
+/// assert_eq!(t.name, "tic25");
+/// assert!(t.nt("acc").is_some());
+/// assert!(t.agu.is_some());
+/// t.validate().expect("bundled target is valid");
+/// ```
+pub fn target() -> TargetDesc {
+    let mut b = TargetBuilder::new("tic25", 16);
+
+    // --- register classes & nonterminals -------------------------------
+    let acc_c = b.reg_class("acc", 1);
+    let p_c = b.reg_class("p", 1);
+    let t_c = b.reg_class("t", 1);
+
+    let acc = b.nt_reg("acc", acc_c);
+    let p = b.nt_reg("p", p_c);
+    let t = b.nt_reg("t", t_c);
+    let mem = b.nt_mem("mem");
+    let imm8 = b.nt_imm("imm8", 8);
+    let imm13 = b.nt_imm("imm13", 13);
+    let imm16 = b.nt_imm("imm16", 16);
+
+    // --- base rules -----------------------------------------------------
+    b.base_mem_rules(mem);
+    b.base_imm_rule(imm8);
+    b.base_imm_rule(imm13);
+    b.base_imm_rule(imm16);
+
+    // --- loads / transfers (chain rules) --------------------------------
+    let lac = b.chain(acc, mem, "LAC {0}", Cost::new(1, 1));
+    b.with_units(lac, units::ALU | units::MOVE);
+    let lack = b.chain(acc, imm8, "LACK {0}", Cost::new(1, 1));
+    b.with_units(lack, units::ALU);
+    let lalk = b.chain(acc, imm16, "LALK {0}", Cost::new(2, 2));
+    b.with_units(lalk, units::ALU);
+    let pac = b.chain(acc, p, "PAC", Cost::new(1, 1));
+    b.with_units(pac, units::ALU);
+    let lt = b.chain(t, mem, "LT {0}", Cost::new(1, 1));
+    b.with_units(lt, units::TREG | units::MOVE);
+    // Spill chain: route a value through a scratch memory word. This is
+    // how the matcher legalizes trees that need the accumulator twice.
+    let sacl_chain = b.chain(mem, acc, "SACL {d}", Cost::new(1, 1));
+    b.with_units(sacl_chain, units::MOVE);
+
+    // --- multiplier -----------------------------------------------------
+    let mpy = b.pat(
+        p,
+        PatNode::op(Op::Bin(BinOp::Mul), vec![PatNode::nt(t), PatNode::nt(mem)]),
+        "MPY {1}",
+        Cost::new(1, 1),
+    );
+    b.with_units(mpy, units::MUL);
+    let mpy_rev = b.pat(
+        p,
+        PatNode::op(Op::Bin(BinOp::Mul), vec![PatNode::nt(mem), PatNode::nt(t)]),
+        "MPY {0}",
+        Cost::new(1, 1),
+    );
+    // evaluate the t operand (index 1) before the mem operand
+    b.with_units(mpy_rev, units::MUL).with_eval_order(mpy_rev, vec![1, 0]);
+    let mpyk = b.pat(
+        p,
+        PatNode::op(Op::Bin(BinOp::Mul), vec![PatNode::nt(t), PatNode::nt(imm13)]),
+        "MPYK {1}",
+        Cost::new(1, 1),
+    );
+    b.with_units(mpyk, units::MUL);
+
+    // --- accumulator arithmetic -----------------------------------------
+    let apac = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::Add), vec![PatNode::nt(acc), PatNode::nt(p)]),
+        "APAC",
+        Cost::new(1, 1),
+    );
+    b.with_units(apac, units::ALU).mode_sensitive(apac);
+    let spac = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::Sub), vec![PatNode::nt(acc), PatNode::nt(p)]),
+        "SPAC",
+        Cost::new(1, 1),
+    );
+    b.with_units(spac, units::ALU).mode_sensitive(spac);
+
+    let add = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::Add), vec![PatNode::nt(acc), PatNode::nt(mem)]),
+        "ADD {1}",
+        Cost::new(1, 1),
+    );
+    b.with_units(add, units::ALU).mode_sensitive(add);
+    let sub = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::Sub), vec![PatNode::nt(acc), PatNode::nt(mem)]),
+        "SUB {1}",
+        Cost::new(1, 1),
+    );
+    b.with_units(sub, units::ALU).mode_sensitive(sub);
+
+    let addk = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::Add), vec![PatNode::nt(acc), PatNode::nt(imm8)]),
+        "ADDK {1}",
+        Cost::new(1, 1),
+    );
+    b.with_units(addk, units::ALU);
+    let subk = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::Sub), vec![PatNode::nt(acc), PatNode::nt(imm8)]),
+        "SUBK {1}",
+        Cost::new(1, 1),
+    );
+    b.with_units(subk, units::ALU);
+    let adlk = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::Add), vec![PatNode::nt(acc), PatNode::nt(imm16)]),
+        "ADLK {1}",
+        Cost::new(2, 2),
+    );
+    b.with_units(adlk, units::ALU);
+    let sblk = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::Sub), vec![PatNode::nt(acc), PatNode::nt(imm16)]),
+        "SBLK {1}",
+        Cost::new(2, 2),
+    );
+    b.with_units(sblk, units::ALU);
+
+    for (op, name) in [(BinOp::And, "AND"), (BinOp::Or, "OR"), (BinOp::Xor, "XOR")] {
+        let r = b.pat(
+            acc,
+            PatNode::op(Op::Bin(op), vec![PatNode::nt(acc), PatNode::nt(mem)]),
+            &format!("{name} {{1}}"),
+            Cost::new(1, 1),
+        );
+        b.with_units(r, units::ALU);
+    }
+
+    let neg = b.pat(
+        acc,
+        PatNode::op(Op::Un(UnOp::Neg), vec![PatNode::nt(acc)]),
+        "NEG",
+        Cost::new(1, 1),
+    );
+    b.with_units(neg, units::ALU);
+    let abs = b.pat(
+        acc,
+        PatNode::op(Op::Un(UnOp::Abs), vec![PatNode::nt(acc)]),
+        "ABS",
+        Cost::new(1, 1),
+    );
+    b.with_units(abs, units::ALU);
+    let cmpl = b.pat(
+        acc,
+        PatNode::op(Op::Un(UnOp::Not), vec![PatNode::nt(acc)]),
+        "CMPL",
+        Cost::new(1, 1),
+    );
+    b.with_units(cmpl, units::ALU);
+
+    // --- shifts ----------------------------------------------------------
+    // single-bit accumulator shifts
+    let sfl = b.pat(
+        acc,
+        PatNode::op(
+            Op::Bin(BinOp::Shl),
+            vec![PatNode::nt(acc), PatNode::op(Op::Const, vec![])],
+        ),
+        "SFL",
+        Cost::new(1, 1),
+    );
+    b.with_pred(sfl, Predicate::ConstEquals(1)).with_units(sfl, units::ALU);
+    let sfr = b.pat(
+        acc,
+        PatNode::op(
+            Op::Bin(BinOp::Shr),
+            vec![PatNode::nt(acc), PatNode::op(Op::Const, vec![])],
+        ),
+        "SFR",
+        Cost::new(1, 1),
+    );
+    b.with_pred(sfr, Predicate::ConstEquals(1)).with_units(sfr, units::ALU);
+    // load with shift: acc := mem << k, 0 <= k <= 15
+    let lac_shift = b.pat(
+        acc,
+        PatNode::op(
+            Op::Bin(BinOp::Shl),
+            vec![PatNode::op(Op::Mem, vec![]), PatNode::op(Op::Const, vec![])],
+        ),
+        "LAC {0},{1}",
+        Cost::new(1, 1),
+    );
+    b.with_pred(lac_shift, Predicate::ConstFits { bits: 4 })
+        .with_units(lac_shift, units::ALU | units::MOVE);
+    // add with shift: acc := acc + (mem << k)
+    let add_shift = b.pat(
+        acc,
+        PatNode::op(
+            Op::Bin(BinOp::Add),
+            vec![
+                PatNode::nt(acc),
+                PatNode::op(
+                    Op::Bin(BinOp::Shl),
+                    vec![PatNode::op(Op::Mem, vec![]), PatNode::op(Op::Const, vec![])],
+                ),
+            ],
+        ),
+        "ADD {1},{2}",
+        Cost::new(1, 1),
+    );
+    b.with_pred(add_shift, Predicate::ConstFits { bits: 4 })
+        .with_units(add_shift, units::ALU | units::MOVE);
+
+    // --- saturating arithmetic under OVM ---------------------------------
+    let ovm = b.mode(ModeDesc {
+        name: "ovm".into(),
+        set_asm: "SOVM".into(),
+        clear_asm: "ROVM".into(),
+        cost: Cost::new(1, 1),
+        default_on: false,
+    });
+    let sat_add = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::SatAdd), vec![PatNode::nt(acc), PatNode::nt(mem)]),
+        "ADD {1}",
+        Cost::new(1, 1),
+    );
+    b.with_mode(sat_add, ovm, true).with_units(sat_add, units::ALU).mode_sensitive(sat_add);
+    let sat_sub = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::SatSub), vec![PatNode::nt(acc), PatNode::nt(mem)]),
+        "SUB {1}",
+        Cost::new(1, 1),
+    );
+    b.with_mode(sat_sub, ovm, true).with_units(sat_sub, units::ALU).mode_sensitive(sat_sub);
+    let sat_apac = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::SatAdd), vec![PatNode::nt(acc), PatNode::nt(p)]),
+        "APAC",
+        Cost::new(1, 1),
+    );
+    b.with_mode(sat_apac, ovm, true).with_units(sat_apac, units::ALU).mode_sensitive(sat_apac);
+    let sat_spac = b.pat(
+        acc,
+        PatNode::op(Op::Bin(BinOp::SatSub), vec![PatNode::nt(acc), PatNode::nt(p)]),
+        "SPAC",
+        Cost::new(1, 1),
+    );
+    b.with_mode(sat_spac, ovm, true).with_units(sat_spac, units::ALU).mode_sensitive(sat_spac);
+    // Wrap-around Add/Sub (the plain rules above) are left mode-free: DFL
+    // kernels are either saturating or not, and the mode-minimization pass
+    // inserts the minimal SOVM/ROVM sequence for mixed programs.
+
+    // --- stores -----------------------------------------------------------
+    b.store(acc, "SACL {d}", Cost::new(1, 1));
+
+    // --- machine parameters ------------------------------------------------
+    b.memory(1, 544);
+    b.agu(AguDesc {
+        n_ars: 8,
+        post_range: 1,
+        ar_load_cost: Cost::new(2, 2),
+        ar_add_cost: Cost::new(1, 1),
+    });
+    b.loop_ctrl(LoopCtrl {
+        init_cost: Cost::new(2, 2),
+        end_cost: Cost::new(2, 3),
+        rpt: Some(RptDesc { cost: Cost::new(1, 1), max_count: 256 }),
+    });
+
+    // --- fusions (compaction on the C25 = combo instructions) --------------
+    // LT x ; APAC   =>  LTA x
+    b.fusion(lt, apac, "LTA {a}", Cost::new(1, 1));
+    // LT x ; PAC    =>  LTP x
+    b.fusion(lt, pac, "LTP {a}", Cost::new(1, 1));
+    // LT x ; SPAC   =>  LTS x
+    b.fusion(lt, spac, "LTS {a}", Cost::new(1, 1));
+
+    b.build().expect("tic25 description is internally consistent")
+}
+
+
+/// An RT-level netlist of the C25 datapath core — the *structural* form
+/// of (the heart of) this target, for instruction-set extraction.
+///
+/// The paper's point is that RECORD accepts the processor "at different
+/// levels of abstraction … from an RT-level netlist to an instruction set
+/// description". This netlist models the accumulator path: the `t`
+/// register feeds the multiplier into `p`; the main ALU combines the
+/// accumulator (or zero) with memory, `p`, or an immediate field. Running
+/// `record-ise` over it recovers the MAC instruction family — `LAC` is
+/// `acc := 0 + mem`, `PAC` is `acc := 0 + p`, `APAC` is `acc := acc + p`,
+/// and so on.
+///
+/// # Example
+///
+/// ```
+/// let n = record_isa::targets::tic25::netlist();
+/// n.validate().expect("structurally sound");
+/// assert!(n.find("acc").is_some());
+/// ```
+pub fn netlist() -> crate::netlist::Netlist {
+    use crate::netlist::{AluOp, Netlist};
+    use record_ir::Op as IrOp;
+
+    let mut n = Netlist::new();
+    let acc = n.register("acc", 16);
+    let t = n.register("t", 16);
+    let p = n.register("p", 16);
+    let mem = n.memory("mem", 544, 16);
+
+    // instruction fields
+    let dma = n.instr_field("dma", 10); // data memory address
+    let imm8 = n.instr_field("imm8", 8); // short immediate
+    let imm13 = n.instr_field("imm13", 13); // multiplier immediate
+    let f_a = n.instr_field("f_a", 1); // ALU input a: acc / zero
+    let f_b = n.instr_field("f_b", 2); // ALU input b: mem / p / imm8
+    let f_op = n.instr_field("f_op", 3); // ALU operation
+    let f_m = n.instr_field("f_m", 1); // multiplier operand: mem / imm13
+
+    let zero = n.constant("zero", 0, 16);
+
+    // memory addressing
+    n.connect(dma, "y", mem, "ra");
+    n.connect(dma, "y", mem, "wa");
+
+    // multiplier: p := t * (mem | imm13)
+    let m_mul = n.mux("m_mul", 16, 2);
+    n.connect(mem, "q", m_mul, "i0");
+    n.connect(imm13, "y", m_mul, "i1");
+    n.connect(f_m, "y", m_mul, "sel");
+    let mul = n.alu("mul", 16, vec![AluOp { op: IrOp::Bin(BinOp::Mul), sel: 0 }]);
+    n.connect(t, "q", mul, "a");
+    n.connect(m_mul, "y", mul, "b");
+    n.connect(mul, "y", p, "d");
+
+    // main ALU: acc := (acc | 0) op (mem | p | imm8)
+    let m_a = n.mux("m_a", 16, 2);
+    n.connect(acc, "q", m_a, "i0");
+    n.connect(zero, "y", m_a, "i1");
+    n.connect(f_a, "y", m_a, "sel");
+    let m_b = n.mux("m_b", 16, 3);
+    n.connect(mem, "q", m_b, "i0");
+    n.connect(p, "q", m_b, "i1");
+    n.connect(imm8, "y", m_b, "i2");
+    n.connect(f_b, "y", m_b, "sel");
+    let alu = n.alu(
+        "alu",
+        16,
+        vec![
+            AluOp { op: IrOp::Bin(BinOp::Add), sel: 0 },
+            AluOp { op: IrOp::Bin(BinOp::Sub), sel: 1 },
+            AluOp { op: IrOp::Bin(BinOp::And), sel: 2 },
+            AluOp { op: IrOp::Bin(BinOp::Or), sel: 3 },
+            AluOp { op: IrOp::Bin(BinOp::Xor), sel: 4 },
+        ],
+    );
+    n.connect(m_a, "y", alu, "a");
+    n.connect(m_b, "y", alu, "b");
+    n.connect(f_op, "y", alu, "op");
+    n.connect(alu, "y", acc, "d");
+
+    // t loads from memory; memory stores the accumulator
+    n.connect(mem, "q", t, "d");
+    n.connect(acc, "q", mem, "d");
+
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonterm::NonTermKind;
+
+    #[test]
+    fn target_is_valid() {
+        let t = target();
+        assert!(t.validate().is_ok());
+        assert_eq!(t.word_width, 16);
+    }
+
+    #[test]
+    fn heterogeneous_register_set() {
+        let t = target();
+        // three singleton classes: acc, p, t — the C25's heterogeneity
+        assert_eq!(t.reg_classes.len(), 3);
+        assert!(t.reg_classes.iter().all(|c| c.is_singleton()));
+    }
+
+    #[test]
+    fn has_mac_family() {
+        let t = target();
+        let texts: Vec<&str> = t.rules.iter().map(|r| r.asm.as_str()).collect();
+        for m in ["MPY {1}", "APAC", "SPAC", "PAC", "LT {0}", "LAC {0}", "SACL {d}"] {
+            assert!(texts.contains(&m), "missing {m}");
+        }
+    }
+
+    #[test]
+    fn immediate_widths() {
+        let t = target();
+        for (name, bits) in [("imm8", 8), ("imm13", 13), ("imm16", 16)] {
+            let nt = t.nt(name).unwrap();
+            assert_eq!(t.nonterm(nt).kind, NonTermKind::Imm { bits });
+        }
+    }
+
+    #[test]
+    fn agu_and_rpt_present() {
+        let t = target();
+        let agu = t.agu.as_ref().unwrap();
+        assert_eq!(agu.n_ars, 8);
+        assert_eq!(agu.post_range, 1);
+        assert!(t.loop_ctrl.rpt.is_some());
+    }
+
+    #[test]
+    fn ovm_mode_with_saturating_rules() {
+        let t = target();
+        let ovm = t.mode("ovm").unwrap();
+        let sat_rules: Vec<_> =
+            t.rules.iter().filter(|r| r.mode == Some((ovm, true))).collect();
+        assert!(sat_rules.len() >= 4);
+    }
+
+    #[test]
+    fn fusions_reference_lt() {
+        let t = target();
+        assert_eq!(t.fusions.len(), 3);
+        for f in &t.fusions {
+            assert_eq!(t.rule(f.first).asm, "LT {0}");
+        }
+    }
+
+    #[test]
+    fn netlist_is_structurally_sound() {
+        let n = netlist();
+        n.validate().unwrap();
+        assert_eq!(n.storages().len(), 4); // acc, t, p, mem
+    }
+
+    #[test]
+    fn long_immediates_cost_two_words() {
+        let t = target();
+        let lalk = t.rules.iter().find(|r| r.asm.starts_with("LALK")).unwrap();
+        assert_eq!(lalk.cost.words, 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! The "processor cube" of Fig. 1: a three-axis classification of
+//! processors by availability form, domain-specific features and
+//! application-specific features.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Axis 1 — the form in which the processor is available.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Availability {
+    /// A completely fabricated, packaged part.
+    Package,
+    /// A cell in a CAD system — a *core* processor.
+    Core,
+}
+
+/// Axis 2 — domain-specific features (e.g. DSP: MAC instructions,
+/// heterogeneous register sets, AGUs, saturating arithmetic).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum DomainFeatures {
+    /// General-purpose architecture.
+    None,
+    /// Domain-specific features present (digital signal processing,
+    /// control-dominated, …).
+    Dsp,
+}
+
+/// Axis 3 — application-specific features.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AppFeatures {
+    /// Fixed architecture (off-the-shelf layout).
+    Fixed,
+    /// Application-specific instruction set / generic parameters still
+    /// open (an ASIP).
+    Configurable,
+}
+
+/// A point in the processor cube.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct CubePoint {
+    /// Availability axis.
+    pub availability: Availability,
+    /// Domain axis.
+    pub domain: DomainFeatures,
+    /// Application axis.
+    pub app: AppFeatures,
+}
+
+impl CubePoint {
+    /// Creates a cube point.
+    pub fn new(availability: Availability, domain: DomainFeatures, app: AppFeatures) -> Self {
+        CubePoint { availability, domain, app }
+    }
+
+    /// The conventional name of the cube corner, following the figure:
+    /// packaged+fixed+general = "off-the-shelf processor",
+    /// core+DSP+configurable = "ASSP core", and so on.
+    pub fn label(&self) -> &'static str {
+        use AppFeatures as A;
+        use Availability as V;
+        use DomainFeatures as D;
+        match (self.availability, self.domain, self.app) {
+            (V::Package, D::None, A::Fixed) => "off-the-shelf processor",
+            (V::Package, D::Dsp, A::Fixed) => "DSP",
+            (V::Package, D::None, A::Configurable) => "ASIP",
+            (V::Package, D::Dsp, A::Configurable) => "ASSP",
+            (V::Core, D::None, A::Fixed) => "processor core",
+            (V::Core, D::Dsp, A::Fixed) => "DSP core",
+            (V::Core, D::None, A::Configurable) => "ASIP core",
+            (V::Core, D::Dsp, A::Configurable) => "ASSP core",
+        }
+    }
+
+    /// All eight corners of the cube.
+    pub fn corners() -> [CubePoint; 8] {
+        let mut out = [CubePoint::new(
+            Availability::Package,
+            DomainFeatures::None,
+            AppFeatures::Fixed,
+        ); 8];
+        let mut i = 0;
+        for v in [Availability::Package, Availability::Core] {
+            for d in [DomainFeatures::None, DomainFeatures::Dsp] {
+                for a in [AppFeatures::Fixed, AppFeatures::Configurable] {
+                    out[i] = CubePoint::new(v, d, a);
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CubePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A classified example processor, used by the Fig. 1 example binary.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ProcessorExample {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Cube classification.
+    pub point: CubePoint,
+    /// One-line description.
+    pub notes: &'static str,
+}
+
+/// The example processors the paper mentions, classified on the cube.
+pub fn paper_examples() -> Vec<ProcessorExample> {
+    use AppFeatures as A;
+    use Availability as V;
+    use DomainFeatures as D;
+    vec![
+        ProcessorExample {
+            name: "LSI Logic CW4001 (MiniRISC)",
+            point: CubePoint::new(V::Core, D::None, A::Fixed),
+            notes: "MIPS-compatible core: 4 mm² at 0.5 µm, 40 mW at 25 MHz",
+        },
+        ProcessorExample {
+            name: "ARM7 core",
+            point: CubePoint::new(V::Core, D::None, A::Fixed),
+            notes: "known for low power requirement",
+        },
+        ProcessorExample {
+            name: "TI TMS320C25",
+            point: CubePoint::new(V::Package, D::Dsp, A::Fixed),
+            notes: "fixed-point DSP, the Table 1 target",
+        },
+        ProcessorExample {
+            name: "Motorola MC56000",
+            point: CubePoint::new(V::Package, D::Dsp, A::Fixed),
+            notes: "parallel move operations alongside arithmetic",
+        },
+        ProcessorExample {
+            name: "Philips EPICS",
+            point: CubePoint::new(V::Core, D::Dsp, A::Configurable),
+            notes: "flexible embedded DSP core approach (ASSP core)",
+        },
+        ProcessorExample {
+            name: "generic parametric ASIP",
+            point: CubePoint::new(V::Core, D::None, A::Configurable),
+            notes: "bitwidth / register count / optional units open",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_distinct_corners() {
+        let corners = CubePoint::corners();
+        for (i, a) in corners.iter().enumerate() {
+            for b in corners.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        let labels: std::collections::HashSet<_> =
+            corners.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn labels_match_figure() {
+        assert_eq!(
+            CubePoint::new(Availability::Package, DomainFeatures::Dsp, AppFeatures::Fixed)
+                .label(),
+            "DSP"
+        );
+        assert_eq!(
+            CubePoint::new(Availability::Core, DomainFeatures::Dsp, AppFeatures::Configurable)
+                .label(),
+            "ASSP core"
+        );
+        assert_eq!(
+            CubePoint::new(Availability::Package, DomainFeatures::None, AppFeatures::Fixed)
+                .label(),
+            "off-the-shelf processor"
+        );
+    }
+
+    #[test]
+    fn paper_examples_cover_multiple_corners() {
+        let ex = paper_examples();
+        assert!(ex.len() >= 5);
+        let corners: std::collections::HashSet<_> = ex.iter().map(|e| e.point).collect();
+        assert!(corners.len() >= 4);
+    }
+}

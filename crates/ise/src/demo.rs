@@ -1,0 +1,137 @@
+//! Demonstration netlists, including the paper's Fig. 3 structure.
+
+use record_ir::{BinOp, Op};
+use record_isa::netlist::{AluOp, Netlist};
+
+/// The netlist of the paper's Fig. 3.
+///
+/// A register file `Reg` (read address = field `aa`, write address =
+/// field `bb`) and an accumulator `acc` feed an adder through two
+/// multiplexers:
+///
+/// * mux `m1` (selector `c1`): input 0 = `Reg[aa]`, input 1 = constant 0,
+/// * mux `m2` (selector `c2`): input 0 = `acc`, input 1 = immediate field
+///   `im`.
+///
+/// The adder output drives `Reg`'s data input. With `c1 = 0`, `c2 = 0`
+/// extraction yields exactly the figure's instruction
+/// `Reg[bb] := Reg[aa] + acc` with bits `/aa-0-0-bb/`.
+pub fn fig3_netlist() -> Netlist {
+    let mut n = Netlist::new();
+    let reg = n.reg_file("Reg", 16, 16);
+    let acc = n.register("acc", 16);
+    let zero = n.constant("zero", 0, 16);
+    let aa = n.instr_field("aa", 4);
+    let bb = n.instr_field("bb", 4);
+    let c1 = n.instr_field("c1", 1);
+    let c2 = n.instr_field("c2", 1);
+    let im = n.instr_field("im", 8);
+    let m1 = n.mux("m1", 16, 2);
+    let m2 = n.mux("m2", 16, 2);
+    let add = n.alu("adder", 16, vec![AluOp { op: Op::Bin(BinOp::Add), sel: 0 }]);
+
+    n.connect(aa, "y", reg, "ra");
+    n.connect(bb, "y", reg, "wa");
+    n.connect(reg, "q", m1, "i0");
+    n.connect(zero, "y", m1, "i1");
+    n.connect(c1, "y", m1, "sel");
+    n.connect(acc, "q", m2, "i0");
+    n.connect(im, "y", m2, "i1");
+    n.connect(c2, "y", m2, "sel");
+    n.connect(m1, "y", add, "a");
+    n.connect(m2, "y", add, "b");
+    n.connect(add, "y", reg, "d");
+    // the accumulator is reloadable from the adder as well
+    n.connect(add, "y", acc, "d");
+    n
+}
+
+/// A netlist where both ALU input muxes share one selector field, so only
+/// the "aligned" input combinations are justifiable — exercises the
+/// conflict-pruning (justification) logic.
+pub fn conflict_netlist() -> Netlist {
+    let mut n = Netlist::new();
+    let r = n.register("r", 16);
+    let s = n.register("s", 16);
+    let t = n.register("t", 16);
+    let share = n.instr_field("share", 1);
+    let m1 = n.mux("m1", 16, 2);
+    let m2 = n.mux("m2", 16, 2);
+    let add = n.alu("adder", 16, vec![AluOp { op: Op::Bin(BinOp::Add), sel: 0 }]);
+
+    n.connect(s, "q", m1, "i0");
+    n.connect(t, "q", m1, "i1");
+    n.connect(share, "y", m1, "sel");
+    n.connect(t, "q", m2, "i0");
+    n.connect(s, "q", m2, "i1");
+    n.connect(share, "y", m2, "sel");
+    n.connect(m1, "y", add, "a");
+    n.connect(m2, "y", add, "b");
+    n.connect(add, "y", r, "d");
+    // s and t are loadable from r so every storage input is driven
+    n.connect(r, "q", s, "d");
+    n.connect(r, "q", t, "d");
+    n
+}
+
+/// A small accumulator machine: `acc := acc ± mem[addr]`, `mem[addr] :=
+/// acc`, `acc := imm` — enough structure that [`crate::to_target()`] yields
+/// a usable compiler target.
+pub fn acc_machine_netlist() -> Netlist {
+    let mut n = Netlist::new();
+    let acc = n.register("acc", 16);
+    let mem = n.memory("mem", 256, 16);
+    let addr = n.instr_field("addr", 8);
+    let imm = n.instr_field("imm", 8);
+    let f_op = n.instr_field("f_op", 2);
+    let f_src = n.instr_field("f_src", 1);
+    let f_wb = n.instr_field("f_wb", 1);
+    let alu = n.alu(
+        "alu",
+        16,
+        vec![
+            AluOp { op: Op::Bin(BinOp::Add), sel: 0 },
+            AluOp { op: Op::Bin(BinOp::Sub), sel: 1 },
+            AluOp { op: Op::Bin(BinOp::And), sel: 2 },
+            AluOp { op: Op::Bin(BinOp::Mul), sel: 3 },
+        ],
+    );
+    let src_mux = n.mux("src_mux", 16, 2);
+    let wb_mux = n.mux("wb_mux", 16, 2);
+
+    n.connect(addr, "y", mem, "ra");
+    n.connect(addr, "y", mem, "wa");
+    n.connect(mem, "q", src_mux, "i0");
+    n.connect(imm, "y", src_mux, "i1");
+    n.connect(f_src, "y", src_mux, "sel");
+    n.connect(acc, "q", alu, "a");
+    n.connect(src_mux, "y", alu, "b");
+    n.connect(f_op, "y", alu, "op");
+    // write-back mux: ALU result (f_wb=0) or a plain load (f_wb=1)
+    n.connect(alu, "y", wb_mux, "i0");
+    n.connect(src_mux, "y", wb_mux, "i1");
+    n.connect(f_wb, "y", wb_mux, "sel");
+    n.connect(wb_mux, "y", acc, "d");
+    n.connect(acc, "q", mem, "d");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_netlists_validate() {
+        fig3_netlist().validate().unwrap();
+        conflict_netlist().validate().unwrap();
+        acc_machine_netlist().validate().unwrap();
+    }
+
+    #[test]
+    fn fig3_has_expected_shape() {
+        let n = fig3_netlist();
+        assert!(n.find("Reg").is_some());
+        assert!(n.find("acc").is_some());
+        assert_eq!(n.storages().len(), 2);
+    }
+}

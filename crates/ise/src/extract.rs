@@ -1,0 +1,477 @@
+//! The backward-traversal extraction algorithm with instruction-bit
+//! justification.
+
+use std::fmt;
+
+use record_ir::{BinOp, Op, UnOp};
+use record_isa::netlist::{CompId, CompKind, Netlist};
+
+/// A reference to a storage element as an operand or destination.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StorageRef {
+    /// A single register, by instance name.
+    Reg(String),
+    /// A register-file access whose register number comes from an
+    /// instruction field (Fig. 3's `Reg[aa]`).
+    RegFile {
+        /// Register-file instance name.
+        name: String,
+        /// Instruction field carrying the register number.
+        addr_field: String,
+    },
+    /// A data-memory access.
+    Mem {
+        /// Memory instance name.
+        name: String,
+        /// Instruction field carrying the address, if field-addressed.
+        addr_field: Option<String>,
+    },
+}
+
+impl fmt::Display for StorageRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageRef::Reg(n) => write!(f, "{n}"),
+            StorageRef::RegFile { name, addr_field } => write!(f, "{name}[{addr_field}]"),
+            StorageRef::Mem { name, addr_field: Some(a) } => write!(f, "{name}[{a}]"),
+            StorageRef::Mem { name, addr_field: None } => write!(f, "{name}[..]"),
+        }
+    }
+}
+
+/// An extracted expression tree: the transformation applied to data on
+/// one justified path through the netlist.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExtTree {
+    /// A storage read.
+    Read(StorageRef),
+    /// An instruction field used as data — an immediate operand.
+    ImmField {
+        /// Field name.
+        field: String,
+        /// Field width in bits.
+        bits: u32,
+    },
+    /// A hard-wired constant.
+    Const(i64),
+    /// A binary transformation.
+    Bin(BinOp, Box<ExtTree>, Box<ExtTree>),
+    /// A unary transformation.
+    Un(UnOp, Box<ExtTree>),
+}
+
+impl ExtTree {
+    /// Number of operator nodes.
+    pub fn op_count(&self) -> usize {
+        match self {
+            ExtTree::Read(_) | ExtTree::ImmField { .. } | ExtTree::Const(_) => 0,
+            ExtTree::Bin(_, a, b) => 1 + a.op_count() + b.op_count(),
+            ExtTree::Un(_, a) => 1 + a.op_count(),
+        }
+    }
+}
+
+impl fmt::Display for ExtTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtTree::Read(s) => write!(f, "{s}"),
+            ExtTree::ImmField { field, .. } => write!(f, "#{field}"),
+            ExtTree::Const(c) => write!(f, "{c}"),
+            ExtTree::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            ExtTree::Un(op, a) => write!(f, "{op}({a})"),
+        }
+    }
+}
+
+/// One justified instruction-bit requirement: `field = value`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FieldSetting {
+    /// Instruction-field name.
+    pub field: String,
+    /// Required value.
+    pub value: u64,
+}
+
+impl fmt::Display for FieldSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.field, self.value)
+    }
+}
+
+/// One extracted instruction: a destination, the assignable expression,
+/// and the instruction-bit settings that select it.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExtractedInsn {
+    /// The written storage.
+    pub dst: StorageRef,
+    /// The expression assigned.
+    pub pattern: ExtTree,
+    /// The justified instruction bits, sorted by field name.
+    pub fields: Vec<FieldSetting>,
+}
+
+impl fmt::Display for ExtractedInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} := {}", self.dst, self.pattern)?;
+        if !self.fields.is_empty() {
+            let parts: Vec<String> = self.fields.iter().map(|s| s.to_string()).collect();
+            write!(f, "  /{}/", parts.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Upper bound on the alternatives explored per storage destination; a
+/// netlist with a wide mux/ALU cross product is truncated (deterministic:
+/// first-found order) rather than allowed to explode.
+const MAX_ALTERNATIVES: usize = 4096;
+
+/// Extracts the instruction set of a netlist.
+///
+/// For every storage (register, register file, memory), the algorithm
+/// enumerates every justified path from the storage's data input backward
+/// to storage outputs, constants or instruction fields, branching at
+/// multiplexers (recording the selector requirement) and ALUs (recording
+/// the operation-select requirement). Paths whose requirements conflict —
+/// the same field needed at two different values — are pruned: that is
+/// the *justification* step.
+///
+/// # Errors
+///
+/// Returns an error if the netlist fails [`Netlist::validate`].
+///
+/// # Example
+///
+/// ```
+/// let netlist = record_ise::demo::fig3_netlist();
+/// let insns = record_ise::extract(&netlist)?;
+/// assert!(insns.iter().any(|i| i.to_string().contains("acc")));
+/// # Ok::<(), String>(())
+/// ```
+pub fn extract(netlist: &Netlist) -> Result<Vec<ExtractedInsn>, String> {
+    netlist.validate()?;
+    let mut out = Vec::new();
+    for storage in netlist.storages() {
+        let dst = storage_write_ref(netlist, storage)?;
+        let Some((drv, drv_port)) = netlist.driver(storage, "d") else {
+            continue;
+        };
+        let alts = walk(netlist, drv, drv_port, &Constraints::new())?;
+        for (tree, constraints) in alts {
+            let mut fields = constraints.settings;
+            fields.sort_by(|a, b| a.field.cmp(&b.field));
+            out.push(ExtractedInsn { dst: dst.clone(), pattern: tree, fields });
+        }
+    }
+    Ok(out)
+}
+
+fn storage_write_ref(netlist: &Netlist, id: CompId) -> Result<StorageRef, String> {
+    let comp = netlist.comp(id);
+    Ok(match &comp.kind {
+        CompKind::Register { .. } => StorageRef::Reg(comp.name.clone()),
+        CompKind::RegFile { .. } => {
+            let addr_field = ctrl_field(netlist, id, "wa")?;
+            StorageRef::RegFile { name: comp.name.clone(), addr_field }
+        }
+        CompKind::Memory { .. } => {
+            let addr_field = ctrl_field(netlist, id, "wa").ok();
+            StorageRef::Mem { name: comp.name.clone(), addr_field }
+        }
+        other => return Err(format!("`{}` is not a storage: {other:?}", comp.name)),
+    })
+}
+
+/// Resolves a control port that must be fed by an instruction field.
+fn ctrl_field(netlist: &Netlist, id: CompId, port: &str) -> Result<String, String> {
+    let (drv, _) = netlist
+        .driver(id, port)
+        .ok_or_else(|| format!("control port {}.{port} undriven", netlist.comp(id).name))?;
+    match &netlist.comp(drv).kind {
+        CompKind::InstrField { .. } => Ok(netlist.comp(drv).name.clone()),
+        other => Err(format!(
+            "control port {}.{port} driven by non-field {other:?}",
+            netlist.comp(id).name
+        )),
+    }
+}
+
+#[derive(Clone, Default)]
+struct Constraints {
+    settings: Vec<FieldSetting>,
+}
+
+impl Constraints {
+    fn new() -> Self {
+        Constraints::default()
+    }
+
+    /// Adds `field = value`; `None` on conflict (justification failure).
+    fn with(&self, field: &str, value: u64) -> Option<Constraints> {
+        for s in &self.settings {
+            if s.field == field {
+                return if s.value == value { Some(self.clone()) } else { None };
+            }
+        }
+        let mut next = self.clone();
+        next.settings.push(FieldSetting { field: field.to_string(), value });
+        Some(next)
+    }
+}
+
+/// Walks backward from an output port, returning every justified
+/// (expression, constraints) alternative.
+fn walk(
+    netlist: &Netlist,
+    comp: CompId,
+    _port: &str,
+    constraints: &Constraints,
+) -> Result<Vec<(ExtTree, Constraints)>, String> {
+    let c = netlist.comp(comp);
+    let mut out: Vec<(ExtTree, Constraints)> = Vec::new();
+    match &c.kind {
+        CompKind::Register { .. } => {
+            out.push((ExtTree::Read(StorageRef::Reg(c.name.clone())), constraints.clone()));
+        }
+        CompKind::RegFile { .. } => {
+            let addr_field = ctrl_field(netlist, comp, "ra")?;
+            out.push((
+                ExtTree::Read(StorageRef::RegFile { name: c.name.clone(), addr_field }),
+                constraints.clone(),
+            ));
+        }
+        CompKind::Memory { .. } => {
+            let addr_field = ctrl_field(netlist, comp, "ra").ok();
+            out.push((
+                ExtTree::Read(StorageRef::Mem { name: c.name.clone(), addr_field }),
+                constraints.clone(),
+            ));
+        }
+        CompKind::ConstVal { value, .. } => {
+            out.push((ExtTree::Const(*value), constraints.clone()));
+        }
+        CompKind::InstrField { bits } => {
+            out.push((
+                ExtTree::ImmField { field: c.name.clone(), bits: *bits },
+                constraints.clone(),
+            ));
+        }
+        CompKind::Mux { inputs, .. } => {
+            let (sel, _) = netlist
+                .driver(comp, "sel")
+                .ok_or_else(|| format!("mux `{}` has no selector", c.name))?;
+            for i in 0..*inputs {
+                let branch = match &netlist.comp(sel).kind {
+                    CompKind::InstrField { .. } => {
+                        constraints.with(&netlist.comp(sel).name, i as u64)
+                    }
+                    CompKind::ConstVal { value, .. } => {
+                        // hard-wired selector: only that input is reachable
+                        if *value as u64 == i as u64 {
+                            Some(constraints.clone())
+                        } else {
+                            None
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "mux `{}` selector driven by {other:?}",
+                            c.name
+                        ))
+                    }
+                };
+                let Some(branch) = branch else { continue };
+                let (drv, drv_port) = netlist
+                    .driver(comp, &format!("i{i}"))
+                    .ok_or_else(|| format!("mux `{}` input i{i} undriven", c.name))?;
+                for alt in walk(netlist, drv, drv_port, &branch)? {
+                    if out.len() >= MAX_ALTERNATIVES {
+                        return Ok(out);
+                    }
+                    out.push(alt);
+                }
+            }
+        }
+        CompKind::Alu { ops, .. } => {
+            let sel_drv = netlist.driver(comp, "op");
+            for alu_op in ops {
+                // justify the operation select
+                let branch = match sel_drv {
+                    None => {
+                        if ops.len() == 1 {
+                            Some(constraints.clone())
+                        } else {
+                            return Err(format!(
+                                "alu `{}` has several ops but no op selector",
+                                c.name
+                            ));
+                        }
+                    }
+                    Some((sel, _)) => match &netlist.comp(sel).kind {
+                        CompKind::InstrField { .. } => {
+                            constraints.with(&netlist.comp(sel).name, alu_op.sel)
+                        }
+                        CompKind::ConstVal { value, .. } => {
+                            if *value as u64 == alu_op.sel {
+                                Some(constraints.clone())
+                            } else {
+                                None
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "alu `{}` op select driven by {other:?}",
+                                c.name
+                            ))
+                        }
+                    },
+                };
+                let Some(branch) = branch else { continue };
+                let (a_drv, a_port) = netlist
+                    .driver(comp, "a")
+                    .ok_or_else(|| format!("alu `{}` input a undriven", c.name))?;
+                let lefts = walk(netlist, a_drv, a_port, &branch)?;
+                match alu_op.op {
+                    Op::Bin(bin) => {
+                        let (b_drv, b_port) = netlist
+                            .driver(comp, "b")
+                            .ok_or_else(|| format!("alu `{}` input b undriven", c.name))?;
+                        for (lt, lc) in &lefts {
+                            let rights = walk(netlist, b_drv, b_port, lc)?;
+                            for (rt, rc) in rights {
+                                if out.len() >= MAX_ALTERNATIVES {
+                                    return Ok(out);
+                                }
+                                out.push((
+                                    ExtTree::Bin(bin, Box::new(lt.clone()), Box::new(rt)),
+                                    rc,
+                                ));
+                            }
+                        }
+                    }
+                    Op::Un(un) => {
+                        for (lt, lc) in lefts {
+                            if out.len() >= MAX_ALTERNATIVES {
+                                return Ok(out);
+                            }
+                            out.push((ExtTree::Un(un, Box::new(lt)), lc));
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "alu `{}` lists non-computational op {other:?}",
+                            c.name
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo;
+
+    #[test]
+    fn fig3_extraction_reproduces_the_paper() {
+        // Fig. 3: Reg[bb] := Reg[aa] + acc with instruction bits
+        // /aa-0-0-bb/ (c1 = 0 selects Reg[aa]; c2 = 0 selects acc).
+        let n = demo::fig3_netlist();
+        let insns = extract(&n).unwrap();
+        let add = insns
+            .iter()
+            .find(|i| i.to_string().starts_with("Reg[bb] := (Reg[aa] + acc)"))
+            .unwrap_or_else(|| panic!("missing the Fig. 3 instruction: {insns:#?}"));
+        assert_eq!(
+            add.fields,
+            vec![
+                FieldSetting { field: "c1".into(), value: 0 },
+                FieldSetting { field: "c2".into(), value: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn fig3_also_extracts_the_alternative_paths() {
+        let n = demo::fig3_netlist();
+        let insns = extract(&n).unwrap();
+        let texts: Vec<String> = insns.iter().map(|i| i.to_string()).collect();
+        // c1 = 1 routes the '0' constant into the adder: a move of acc
+        assert!(
+            texts.iter().any(|t| t.contains("(0 + acc)")),
+            "expected constant-input path: {texts:#?}"
+        );
+        // c2 = 1 routes the immediate field
+        assert!(
+            texts.iter().any(|t| t.contains("#im")),
+            "expected immediate path: {texts:#?}"
+        );
+    }
+
+    #[test]
+    fn justification_prunes_conflicts() {
+        // A mux whose two legs require the SAME field at different values
+        // cannot produce a both-legs pattern; every extracted alternative
+        // must carry consistent settings.
+        let n = demo::conflict_netlist();
+        let insns = extract(&n).unwrap();
+        for insn in &insns {
+            let mut seen = std::collections::HashMap::new();
+            for s in &insn.fields {
+                if let Some(prev) = seen.insert(&s.field, s.value) {
+                    assert_eq!(prev, s.value, "conflicting settings in {insn}");
+                }
+            }
+        }
+        // both ALU inputs are fed by muxes sharing selector `share`; only
+        // the aligned combinations (s+t at share=0, t+s at share=1)
+        // survive for r — the cross terms s+s and t+t are unjustifiable.
+        let r_insns: Vec<_> = insns
+            .iter()
+            .filter(|i| matches!(&i.dst, StorageRef::Reg(n) if n == "r"))
+            .collect();
+        assert_eq!(r_insns.len(), 2, "{r_insns:#?}");
+    }
+
+    #[test]
+    fn accumulator_machine_extracts_add_and_sub() {
+        let n = demo::acc_machine_netlist();
+        let insns = extract(&n).unwrap();
+        let texts: Vec<String> = insns.iter().map(|i| i.to_string()).collect();
+        assert!(texts.iter().any(|t| t.contains("(acc + mem")));
+        assert!(texts.iter().any(|t| t.contains("(acc - mem")));
+        // memory writeback path
+        assert!(texts.iter().any(|t| t.starts_with("mem")));
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let n = demo::fig3_netlist();
+        let a = extract(&n).unwrap();
+        let b = extract(&n).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_formats_fields_like_the_figure() {
+        let insn = ExtractedInsn {
+            dst: StorageRef::RegFile { name: "Reg".into(), addr_field: "bb".into() },
+            pattern: ExtTree::Bin(
+                BinOp::Add,
+                Box::new(ExtTree::Read(StorageRef::RegFile {
+                    name: "Reg".into(),
+                    addr_field: "aa".into(),
+                })),
+                Box::new(ExtTree::Read(StorageRef::Reg("acc".into()))),
+            ),
+            fields: vec![
+                FieldSetting { field: "c1".into(), value: 0 },
+                FieldSetting { field: "c2".into(), value: 0 },
+            ],
+        };
+        assert_eq!(insn.to_string(), "Reg[bb] := (Reg[aa] + acc)  /c1=0,c2=0/");
+    }
+}

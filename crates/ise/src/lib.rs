@@ -1,0 +1,26 @@
+//! Instruction-set extraction (ISE) from RT-level netlists.
+//!
+//! Section 4.3.2 of the paper: *"For each memory or register input, ISE
+//! traverses the netlist from that input to memory or register outputs
+//! (opposite to the direction of the data-flow). For each traversal, it
+//! collects the transformations that are applied to the data (e.g. add
+//! operations) and also the control requirements (e.g. set ALU input to
+//! '0' to perform an add). Control requirements have to be met by proper
+//! conditions for instruction bits, which can be found by justification.
+//! The net effect of ISE is to generate, for each register or memory, a
+//! list of assignable expressions and the corresponding instruction bit
+//! settings."*
+//!
+//! [`extract()`](extract()) implements exactly that traversal; [`to_target()`](to_target()) closes
+//! "the gap which so far existed between electronic CAD and compiler
+//! generation" by turning the extracted instruction set into a
+//! [`record_isa::TargetDesc`] the rest of the tool chain retargets to.
+
+pub mod demo;
+pub mod extract;
+pub mod normalize;
+pub mod to_target;
+
+pub use extract::{extract, ExtTree, ExtractedInsn, FieldSetting, StorageRef};
+pub use normalize::normalize;
+pub use to_target::{to_target, ToTargetOptions};

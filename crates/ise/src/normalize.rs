@@ -1,0 +1,165 @@
+//! Behavioural normalization of extracted instruction sets.
+//!
+//! Section 4.3.2's special case: when the processor description is already
+//! behavioural, "ISE essentially just generates a normalized description
+//! of the processor behaviour, making the processor description more or
+//! less independent of syntactical and other variances of the description
+//! style."
+//!
+//! [`normalize`] is that step for this reproduction: two structurally
+//! different netlists that implement the same behaviour (e.g. with mux
+//! inputs listed in a different order, or commutative ALU operands wired
+//! the other way around) normalize to the same instruction list:
+//!
+//! * commutative operator subtrees are put in a canonical operand order,
+//! * alternatives that differ only in instruction-bit settings (several
+//!   encodings of the same transfer) are merged, keeping the first
+//!   justified setting,
+//! * the list is sorted by destination and pattern text.
+
+use record_ir::BinOp;
+
+use crate::extract::{ExtTree, ExtractedInsn};
+
+/// Normalizes an extracted instruction list. See the module docs.
+///
+/// # Example
+///
+/// ```
+/// let netlist = record_ise::demo::acc_machine_netlist();
+/// let insns = record_ise::extract(&netlist)?;
+/// let normalized = record_ise::normalize(insns.clone());
+/// // idempotent
+/// assert_eq!(record_ise::normalize(normalized.clone()), normalized);
+/// # Ok::<(), String>(())
+/// ```
+pub fn normalize(insns: Vec<ExtractedInsn>) -> Vec<ExtractedInsn> {
+    let mut out: Vec<ExtractedInsn> = Vec::new();
+    for mut insn in insns {
+        insn.pattern = canonical(insn.pattern);
+        // merge encodings of the same behaviour
+        if !out
+            .iter()
+            .any(|seen| seen.dst == insn.dst && seen.pattern == insn.pattern)
+        {
+            out.push(insn);
+        }
+    }
+    out.sort_by(|a, b| {
+        (a.dst.to_string(), a.pattern.to_string())
+            .cmp(&(b.dst.to_string(), b.pattern.to_string()))
+    });
+    out
+}
+
+/// Canonical operand order for commutative operators: the textually
+/// smaller operand goes left.
+fn canonical(tree: ExtTree) -> ExtTree {
+    match tree {
+        ExtTree::Bin(op, a, b) => {
+            let a = canonical(*a);
+            let b = canonical(*b);
+            let commutative = matches!(
+                op,
+                BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+                    | BinOp::SatAdd | BinOp::Min | BinOp::Max
+            );
+            if commutative && b.to_string() < a.to_string() {
+                ExtTree::Bin(op, Box::new(b), Box::new(a))
+            } else {
+                ExtTree::Bin(op, Box::new(a), Box::new(b))
+            }
+        }
+        ExtTree::Un(op, a) => ExtTree::Un(op, Box::new(canonical(*a))),
+        leaf => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use record_ir::Op;
+    use record_isa::netlist::{AluOp, Netlist};
+
+    /// Two netlists implementing `r := s + t`, wired with the operands
+    /// swapped and the mux inputs permuted.
+    fn adder(swap: bool) -> Netlist {
+        let mut n = Netlist::new();
+        let r = n.register("r", 16);
+        let s = n.register("s", 16);
+        let t = n.register("t", 16);
+        let add = n.alu("adder", 16, vec![AluOp { op: Op::Bin(BinOp::Add), sel: 0 }]);
+        if swap {
+            n.connect(t, "q", add, "a");
+            n.connect(s, "q", add, "b");
+        } else {
+            n.connect(s, "q", add, "a");
+            n.connect(t, "q", add, "b");
+        }
+        n.connect(add, "y", r, "d");
+        n.connect(r, "q", s, "d");
+        n.connect(r, "q", t, "d");
+        n
+    }
+
+    #[test]
+    fn operand_order_variance_normalizes_away() {
+        let a = normalize(extract(&adder(false)).unwrap());
+        let b = normalize(extract(&adder(true)).unwrap());
+        let ta: Vec<String> = a.iter().map(|i| format!("{} := {}", i.dst, i.pattern)).collect();
+        let tb: Vec<String> = b.iter().map(|i| format!("{} := {}", i.dst, i.pattern)).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn redundant_encodings_merge() {
+        // the fig3 netlist extracts `acc := 0 + acc` reachable through two
+        // different mux settings on the Reg path — after normalization,
+        // behaviourally identical alternatives appear once per dst
+        let insns = extract(&crate::demo::fig3_netlist()).unwrap();
+        let normalized = normalize(insns.clone());
+        assert!(normalized.len() <= insns.len());
+        // no duplicate (dst, pattern) pairs remain
+        for (i, a) in normalized.iter().enumerate() {
+            for b in &normalized[i + 1..] {
+                assert!(
+                    !(a.dst == b.dst && a.pattern == b.pattern),
+                    "duplicate {} := {}",
+                    a.dst,
+                    a.pattern
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_is_idempotent_and_sorted() {
+        let insns = extract(&crate::demo::acc_machine_netlist()).unwrap();
+        let once = normalize(insns);
+        let twice = normalize(once.clone());
+        assert_eq!(once, twice);
+        let keys: Vec<String> =
+            once.iter().map(|i| format!("{}|{}", i.dst, i.pattern)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn noncommutative_operands_are_preserved() {
+        let mut n = Netlist::new();
+        let r = n.register("r", 16);
+        let s = n.register("s", 16);
+        let t = n.register("t", 16);
+        let alu = n.alu("alu", 16, vec![AluOp { op: Op::Bin(BinOp::Sub), sel: 0 }]);
+        n.connect(t, "q", alu, "a");
+        n.connect(s, "q", alu, "b");
+        n.connect(alu, "y", r, "d");
+        n.connect(r, "q", s, "d");
+        n.connect(r, "q", t, "d");
+        let normalized = normalize(extract(&n).unwrap());
+        let texts: Vec<String> = normalized.iter().map(|i| i.pattern.to_string()).collect();
+        assert!(texts.contains(&"(t - s)".to_string()), "{texts:?}");
+    }
+}

@@ -1,0 +1,825 @@
+//! Addressing-mode assignment: rewrite symbolic memory operands into
+//! direct or AGU-indirect accesses, inserting the address-register
+//! bookkeeping instructions.
+//!
+//! Strategy:
+//!
+//! * **loop-variant accesses** (`a[i+d]`) become *streams*: each distinct
+//!   `(base, displacement)` pair in a loop gets a dedicated address
+//!   register, loaded once in the loop preheader and advanced once per
+//!   iteration — by a free post-increment on the stream's last access when
+//!   the AGU allows it, otherwise by an explicit `ArAdd` before the back
+//!   edge;
+//! * **loop-invariant accesses** use the one-word direct mode when the
+//!   target has one ([`record_isa::target::MemoryDesc::has_direct`]);
+//! * on targets **without direct addressing** (56k-style), scalar accesses
+//!   are chained through one reserved pointer register whose free
+//!   post-modify follows the access sequence — the machinery whose cost
+//!   the [`offset`](crate::offset) pass minimizes by reordering storage.
+
+use std::collections::HashMap;
+
+use record_ir::Symbol;
+use record_isa::target::AguDesc;
+use record_isa::{AddrMode, Code, DataLayout, Insn, InsnKind, Loc, MemLoc, TargetDesc};
+
+/// Counters describing what address assignment did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AddressStats {
+    /// Address-register load instructions inserted.
+    pub ar_loads: u32,
+    /// Explicit address-register adjust instructions inserted.
+    pub ar_adds: u32,
+    /// Operands resolved to direct addressing.
+    pub direct: u32,
+    /// Operands resolved to register-indirect addressing.
+    pub indirect: u32,
+}
+
+/// Assigns addressing modes to every memory operand of `code` in place.
+///
+/// Expects `code.layout` to already place every referenced symbol (see
+/// [`crate::layout`]); operand banks are refreshed from the layout.
+///
+/// # Errors
+///
+/// Returns an error when a symbol is unplaced, when loop-variant accesses
+/// exist but the target has no AGU (or runs out of address registers), or
+/// when a target without direct addressing lacks an AGU.
+pub fn assign_addresses(code: &mut Code, target: &TargetDesc) -> Result<AddressStats, String> {
+    let mut stats = AddressStats::default();
+    let layout = code.layout.clone();
+    let insns = std::mem::take(&mut code.insns);
+    let nodes = parse_structure(insns)?;
+
+    let mut ctx = Ctx {
+        target,
+        layout: &layout,
+        agu: target.agu.as_ref(),
+        stats: &mut stats,
+        next_stream_ar: 0,
+        // the scalar-chain pointer is only needed when there is no
+        // direct addressing mode; reserving it otherwise would waste a
+        // stream register
+        scalar_ar: if target.memory.has_direct {
+            None
+        } else {
+            target.agu.as_ref().map(|a| a.n_ars.saturating_sub(1))
+        },
+        has_direct: target.memory.has_direct,
+        next_cell: 0,
+        new_cells: Vec::new(),
+    };
+    if !ctx.has_direct && ctx.agu.is_none() {
+        return Err(format!(
+            "target {} has neither direct addressing nor an AGU",
+            target.name
+        ));
+    }
+
+    let mut out = Vec::new();
+    let exit = ctx.process_seq(nodes, &mut out, None)?;
+    let _ = exit;
+    let new_cells = std::mem::take(&mut ctx.new_cells);
+    drop(ctx);
+    code.insns = out;
+    for cell in new_cells {
+        code.layout.append(cell, 1, record_ir::Bank::X);
+    }
+    Ok(stats)
+}
+
+/// Structured view of the flat instruction list.
+#[allow(clippy::large_enum_variant)] // Plain is the overwhelmingly common case
+enum Node {
+    Plain(Insn),
+    Loop { start: Insn, body: Vec<Node>, end: Insn },
+}
+
+fn parse_structure(insns: Vec<Insn>) -> Result<Vec<Node>, String> {
+    let mut stack: Vec<(Insn, Vec<Node>)> = Vec::new();
+    let mut cur: Vec<Node> = Vec::new();
+    for insn in insns {
+        match &insn.kind {
+            InsnKind::LoopStart { .. } => {
+                stack.push((insn, std::mem::take(&mut cur)));
+            }
+            InsnKind::LoopEnd => {
+                let (start, outer) = stack
+                    .pop()
+                    .ok_or_else(|| "unmatched LoopEnd".to_string())?;
+                let body = std::mem::replace(&mut cur, outer);
+                cur.push(Node::Loop { start, body, end: insn });
+            }
+            _ => cur.push(Node::Plain(insn)),
+        }
+    }
+    if !stack.is_empty() {
+        return Err("unclosed LoopStart".into());
+    }
+    Ok(cur)
+}
+
+struct Ctx<'a> {
+    target: &'a TargetDesc,
+    layout: &'a DataLayout,
+    agu: Option<&'a AguDesc>,
+    stats: &'a mut AddressStats,
+    /// Next stream AR to hand out (stream ARs grow from 0; the scalar
+    /// pointer, if any, is the highest-numbered AR).
+    next_stream_ar: u16,
+    scalar_ar: Option<u16>,
+    has_direct: bool,
+    /// Counter for pointer spill cells.
+    next_cell: u32,
+    /// Spill cells created; appended to the layout afterwards.
+    new_cells: Vec<Symbol>,
+}
+
+/// Position of the scalar pointer register, threaded through the walk.
+type ScalarPos = Option<i64>;
+
+impl<'a> Ctx<'a> {
+    fn addr_of(&self, sym: &Symbol, disp: i64) -> Result<(record_ir::Bank, u16), String> {
+        self.layout
+            .addr_of(sym, disp)
+            .ok_or_else(|| format!("symbol `{sym}` not placed in data layout"))
+    }
+
+    /// Processes a sequence of nodes, appending rewritten instructions to
+    /// `out`. `pos` tracks the scalar pointer position (targets without
+    /// direct addressing). Returns the exit position.
+    fn process_seq(
+        &mut self,
+        nodes: Vec<Node>,
+        out: &mut Vec<Insn>,
+        mut pos: ScalarPos,
+    ) -> Result<ScalarPos, String> {
+        // Pre-scan: the scalar accesses of this sequence in order, so each
+        // access can set its post-modify toward the next one.
+        let mut idx = 0usize;
+        let accesses = scalar_access_addrs(&nodes, self)?;
+        for node in nodes {
+            match node {
+                Node::Plain(mut insn) => {
+                    pos = self.rewrite_insn(&mut insn, &accesses, &mut idx, pos, out)?;
+                    out.push(insn);
+                }
+                Node::Loop { start, body, end } => {
+                    pos = self.process_loop(start, body, end, out, pos)?;
+                }
+            }
+        }
+        Ok(pos)
+    }
+
+    /// Rewrites one instruction's memory operands. Scalar (loop-invariant)
+    /// operands use direct mode or the scalar-pointer chain; returns the
+    /// updated pointer position. `ar_of_stream` assignments for loop
+    /// streams were already applied by the caller via `stream_mode`.
+    fn rewrite_insn(
+        &mut self,
+        insn: &mut Insn,
+        accesses: &[i64],
+        idx: &mut usize,
+        mut pos: ScalarPos,
+        out: &mut Vec<Insn>,
+    ) -> Result<ScalarPos, String> {
+        let mut mems = insn_mem_operands(insn);
+        for m in mems.iter_mut() {
+            if m.mode != AddrMode::Unresolved {
+                continue; // already assigned (stream operand)
+            }
+            if m.index.is_some() {
+                return Err(format!(
+                    "loop-variant operand {m} outside any loop or without a stream register"
+                ));
+            }
+            let (bank, addr) = self.addr_of(&m.base, m.disp)?;
+            m.bank = bank;
+            if self.has_direct {
+                m.mode = AddrMode::Direct(addr);
+                self.stats.direct += 1;
+                continue;
+            }
+            // scalar-pointer chain
+            let ar = self
+                .scalar_ar
+                .ok_or_else(|| "no address register available for scalars".to_string())?;
+            let agu = self.agu.expect("checked: !has_direct implies AGU");
+            if pos != Some(addr as i64) {
+                out.push(ar_load(self.target, ar, &m.base, m.disp));
+                self.stats.ar_loads += 1;
+            }
+            // post-modify toward the next scalar access if within range
+            let next = accesses.get(*idx + 1).copied();
+            let post = match next {
+                Some(n) if (n - addr as i64).abs() <= agu.post_range as i64 => {
+                    (n - addr as i64) as i8
+                }
+                _ => 0,
+            };
+            m.mode = AddrMode::Indirect { ar, post };
+            self.stats.indirect += 1;
+            pos = Some(addr as i64 + post as i64);
+            *idx += 1;
+        }
+        Ok(pos)
+    }
+
+    fn process_loop(
+        &mut self,
+        start: Insn,
+        body: Vec<Node>,
+        end: Insn,
+        out: &mut Vec<Insn>,
+        pos: ScalarPos,
+    ) -> Result<ScalarPos, String> {
+        let var = match &start.kind {
+            InsnKind::LoopStart { var, .. } => var.clone(),
+            _ => unreachable!("loop node starts with LoopStart"),
+        };
+
+        // 1. discover this loop's streams
+        let mut streams: Vec<(Symbol, i64, bool)> = Vec::new();
+        collect_streams(&body, &var, &mut streams);
+        let agu = if streams.is_empty() {
+            self.agu
+        } else {
+            Some(self.agu.ok_or_else(|| {
+                format!("loop-variant accesses on target {} without AGU", self.target.name)
+            })?)
+        };
+
+        // 2. allocate + preload a register per stream; when streams
+        // outnumber the available registers, the excess streams keep their
+        // pointers in memory cells and share one spare register (the
+        // LAR/SAR spill idiom of real accumulator-machine compilers)
+        let first_stream_ar = self.next_stream_ar;
+        let mut stream_ars: HashMap<(Symbol, i64, bool), u16> = HashMap::new();
+        let ar_limit = self.scalar_ar.unwrap_or_else(|| {
+            self.agu.map(|a| a.n_ars).unwrap_or(0)
+        });
+        let capacity = ar_limit.saturating_sub(first_stream_ar) as usize;
+        let (n_dedicated, spare) = if streams.len() <= capacity {
+            (streams.len(), None)
+        } else {
+            if capacity == 0 {
+                return Err(format!(
+                    "out of address registers: no register left for loop streams on {}",
+                    self.target.name
+                ));
+            }
+            (capacity - 1, Some(first_stream_ar + capacity as u16 - 1))
+        };
+        let mut spilled: HashMap<(Symbol, i64, bool), Symbol> = HashMap::new();
+        for (base, disp, down) in &streams[..n_dedicated] {
+            let ar = self.next_stream_ar;
+            self.next_stream_ar += 1;
+            stream_ars.insert((base.clone(), *disp, *down), ar);
+            out.push(ar_load(self.target, ar, base, *disp));
+            self.stats.ar_loads += 1;
+        }
+        if spare.is_some() {
+            self.next_stream_ar += 1; // reserve the spare
+        }
+        for (base, disp, down) in &streams[n_dedicated..] {
+            let cell = Symbol::new(format!("$ptr{}", self.next_cell));
+            self.next_cell += 1;
+            self.new_cells.push(cell.clone());
+            spilled.insert((base.clone(), *disp, *down), cell.clone());
+            out.push(ptr_init(self.target, &cell, base, *disp));
+            self.stats.ar_loads += 1;
+        }
+
+        // 3. rewrite stream operands inside the body (any depth); mark the
+        // last top-level access of each stream for the free post-increment
+        let mut body = body;
+        let post_range = agu.map(|a| a.post_range).unwrap_or(0);
+        let mut last_access: HashMap<u16, (usize, usize, bool)> = HashMap::new();
+        rewrite_streams(&mut body, &var, &stream_ars, self.layout, &mut last_access, self.stats)?;
+        let mut advanced: Vec<u16> = Vec::new();
+        if post_range >= 1 {
+            for (ar, (node_ix, mem_ix, down)) in &last_access {
+                if let Node::Plain(insn) = &mut body[*node_ix] {
+                    let mut mems = insn_mem_operands(insn);
+                    if let AddrMode::Indirect { post, .. } = &mut mems[*mem_ix].mode {
+                        *post = if *down { -1 } else { 1 };
+                        advanced.push(*ar);
+                    }
+                }
+            }
+        }
+
+        // 3b. spilled streams: reload the spare register from the pointer
+        // cell before every access (the operand itself stays post-free;
+        // the advance happens once per iteration below)
+        if let Some(spare_ar) = spare {
+            body = rewrite_spilled(body, &var, &spilled, spare_ar, self.layout, self.stats)?;
+        }
+
+        // 4. recurse into the body for scalars and nested loops. The
+        // scalar pointer must re-enter each iteration at the same
+        // position: we pin it by reloading at loop entry if the body uses
+        // it at all.
+        let mut body_out: Vec<Insn> = Vec::new();
+        let body_scalars = scalar_access_addrs(&body, self)?;
+        let entry_pos = if self.has_direct || body_scalars.is_empty() {
+            pos
+        } else {
+            // force a deterministic entry state: unknown, so the first
+            // access inside reloads
+            None
+        };
+        let exit_pos = self.process_seq(body, &mut body_out, entry_pos)?;
+
+        // 5. advance streams that did not get a free post-increment
+        out.push(start);
+        out.extend(body_out);
+        for ((_, _, down), ar) in &stream_ars {
+            if !advanced.contains(ar) {
+                out.push(ar_add(self.target, *ar, if *down { -1 } else { 1 }));
+                self.stats.ar_adds += 1;
+            }
+        }
+        // 5b. advance spilled stream pointers: load, adjust, store back
+        if let Some(spare_ar) = spare {
+            let mut cells: Vec<(&(Symbol, i64, bool), &Symbol)> = spilled.iter().collect();
+            cells.sort_by(|a, b| a.1.cmp(b.1));
+            for ((_, _, down), cell) in cells {
+                out.push(ar_load_mem(spare_ar, cell));
+                out.push(ar_add(self.target, spare_ar, if *down { -1 } else { 1 }));
+                out.push(ar_store(spare_ar, cell));
+                self.stats.ar_adds += 1;
+            }
+        }
+        out.push(end);
+
+        // release stream registers
+        self.next_stream_ar = first_stream_ar;
+
+        // after the loop the scalar pointer position is whatever the last
+        // iteration left (exit_pos), unless the body had no scalar
+        // accesses, in which case it is unchanged
+        Ok(if body_scalars.is_empty() { pos } else { exit_pos })
+    }
+}
+
+fn ar_load(target: &TargetDesc, ar: u16, base: &Symbol, disp: i64) -> Insn {
+    let cost = target
+        .agu
+        .as_ref()
+        .map(|a| a.ar_load_cost)
+        .unwrap_or(record_isa::Cost::new(2, 2));
+    let text = if disp == 0 {
+        format!("LRLK AR{ar},#{base}")
+    } else {
+        format!("LRLK AR{ar},#{base}+{disp}")
+    };
+    Insn::ctrl(
+        InsnKind::ArLoad { ar, base: base.clone(), disp },
+        text,
+        cost.words,
+        cost.cycles,
+    )
+}
+
+fn ar_add(target: &TargetDesc, ar: u16, delta: i64) -> Insn {
+    let cost = target
+        .agu
+        .as_ref()
+        .map(|a| a.ar_add_cost)
+        .unwrap_or(record_isa::Cost::new(1, 1));
+    Insn::ctrl(
+        InsnKind::ArAdd { ar, delta },
+        format!("ADRK AR{ar},#{delta}"),
+        cost.words,
+        cost.cycles,
+    )
+}
+
+fn ar_load_mem(ar: u16, cell: &Symbol) -> Insn {
+    Insn::ctrl(
+        InsnKind::ArLoadMem { ar, cell: cell.clone() },
+        format!("LAR AR{ar},{cell}"),
+        1,
+        1,
+    )
+}
+
+fn ar_store(ar: u16, cell: &Symbol) -> Insn {
+    Insn::ctrl(
+        InsnKind::ArStore { ar, cell: cell.clone() },
+        format!("SAR AR{ar},{cell}"),
+        1,
+        1,
+    )
+}
+
+fn ptr_init(target: &TargetDesc, cell: &Symbol, base: &Symbol, disp: i64) -> Insn {
+    let cost = target
+        .agu
+        .as_ref()
+        .map(|a| a.ar_load_cost.add(record_isa::Cost::new(1, 1)))
+        .unwrap_or(record_isa::Cost::new(3, 3));
+    Insn::ctrl(
+        InsnKind::PtrInit { cell: cell.clone(), base: base.clone(), disp },
+        format!("LALK #{base}+{disp}; SACL {cell}"),
+        cost.words,
+        cost.cycles,
+    )
+}
+
+/// Rewrites spilled-stream operands: a reload of the spare register from
+/// the pointer cell is inserted before each containing instruction, and
+/// the operand becomes plain indirect through the spare.
+fn rewrite_spilled(
+    nodes: Vec<Node>,
+    var: &Symbol,
+    spilled: &HashMap<(Symbol, i64, bool), Symbol>,
+    spare: u16,
+    layout: &DataLayout,
+    stats: &mut AddressStats,
+) -> Result<Vec<Node>, String> {
+    let mut out = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        match node {
+            Node::Plain(mut insn) => {
+                let mut cell_needed: Option<Symbol> = None;
+                for m in insn_mem_operands(&mut insn) {
+                    if m.index.as_ref() != Some(var) {
+                        continue;
+                    }
+                    let key = (m.base.clone(), m.disp, m.down);
+                    let Some(cell) = spilled.get(&key) else { continue };
+                    if let Some(prev) = &cell_needed {
+                        if prev != cell {
+                            return Err(format!(
+                                "instruction `{}` reads two spilled streams; \
+                                 out of address registers",
+                                insn.text
+                            ));
+                        }
+                    }
+                    let (bank, _) = layout
+                        .addr_of(&m.base, m.disp)
+                        .ok_or_else(|| format!("symbol `{}` not placed", m.base))?;
+                    m.bank = bank;
+                    m.mode = AddrMode::Indirect { ar: spare, post: 0 };
+                    stats.indirect += 1;
+                    cell_needed = Some(cell.clone());
+                }
+                if let Some(cell) = cell_needed {
+                    out.push(Node::Plain(ar_load_mem(spare, &cell)));
+                }
+                out.push(Node::Plain(insn));
+            }
+            Node::Loop { start, body, end } => {
+                let body = rewrite_spilled(body, var, spilled, spare, layout, stats)?;
+                out.push(Node::Loop { start, body, end });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Mutable references to every memory operand of an instruction
+/// (reads in evaluation order, then the destination), including parallel
+/// sub-instructions.
+fn insn_mem_operands(insn: &mut Insn) -> Vec<&mut MemLoc> {
+    let mut out = Vec::new();
+    collect_mems(insn, &mut out);
+    out
+}
+
+fn collect_mems<'i>(insn: &'i mut Insn, out: &mut Vec<&'i mut MemLoc>) {
+    if let InsnKind::Compute { dst, expr } = &mut insn.kind {
+        for l in expr.reads_mut() {
+            if let Loc::Mem(m) = l {
+                out.push(m);
+            }
+        }
+        if let Loc::Mem(m) = dst {
+            out.push(m);
+        }
+    }
+    for p in &mut insn.parallel {
+        collect_mems(p, out);
+    }
+}
+
+/// The addresses of the scalar (unresolved, loop-invariant) accesses of a
+/// node sequence, in execution order, *stopping at loop boundaries* (loop
+/// bodies handle their own chains).
+fn scalar_access_addrs(nodes: &[Node], ctx: &Ctx<'_>) -> Result<Vec<i64>, String> {
+    let mut out = Vec::new();
+    for node in nodes {
+        if let Node::Plain(insn) = node {
+            let mut insn = insn.clone();
+            for m in insn_mem_operands(&mut insn) {
+                if m.mode == AddrMode::Unresolved && m.index.is_none() {
+                    let (_, addr) = ctx.addr_of(&m.base, m.disp)?;
+                    out.push(addr as i64);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn collect_streams(nodes: &[Node], var: &Symbol, streams: &mut Vec<(Symbol, i64, bool)>) {
+    for node in nodes {
+        match node {
+            Node::Plain(insn) => {
+                let mut insn = insn.clone();
+                for m in insn_mem_operands(&mut insn) {
+                    if m.index.as_ref() == Some(var) {
+                        let key = (m.base.clone(), m.disp, m.down);
+                        if !streams.contains(&key) {
+                            streams.push(key);
+                        }
+                    }
+                }
+            }
+            Node::Loop { body, .. } => collect_streams(body, var, streams),
+        }
+    }
+}
+
+/// Rewrites stream operands to indirect mode (post 0 for now) and records
+/// the position — `(top-level node index, operand index)` — of the last
+/// top-level operand of each stream so the caller can flip its
+/// post-increment.
+fn rewrite_streams(
+    nodes: &mut [Node],
+    var: &Symbol,
+    stream_ars: &HashMap<(Symbol, i64, bool), u16>,
+    layout: &DataLayout,
+    last_access: &mut HashMap<u16, (usize, usize, bool)>,
+    stats: &mut AddressStats,
+) -> Result<(), String> {
+    for (node_ix, node) in nodes.iter_mut().enumerate() {
+        match node {
+            Node::Plain(insn) => {
+                for (mem_ix, m) in insn_mem_operands(insn).into_iter().enumerate() {
+                    if m.index.as_ref() == Some(var) {
+                        // spilled streams are handled by rewrite_spilled
+                        let Some(ar) = stream_ars.get(&(m.base.clone(), m.disp, m.down))
+                        else {
+                            continue;
+                        };
+                        let ar = *ar;
+                        let (bank, _) = layout
+                            .addr_of(&m.base, m.disp)
+                            .ok_or_else(|| format!("symbol `{}` not placed", m.base))?;
+                        m.bank = bank;
+                        m.mode = AddrMode::Indirect { ar, post: 0 };
+                        stats.indirect += 1;
+                        last_access.insert(ar, (node_ix, mem_ix, m.down));
+                    }
+                }
+            }
+            Node::Loop { body, .. } => {
+                // nested accesses of the outer stream advance only per
+                // outer iteration: rewrite but never mark as last
+                // (the ArAdd fallback advances them)
+                let mut dummy = HashMap::new();
+                rewrite_streams(body, var, stream_ars, layout, &mut dummy, stats)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_ir::Bank;
+    use record_isa::SemExpr;
+
+    fn mem(name: &str) -> MemLoc {
+        MemLoc::scalar(name)
+    }
+
+    fn stream(base: &str, var: &str, disp: i64) -> MemLoc {
+        MemLoc {
+            base: Symbol::new(base),
+            disp,
+            index: Some(Symbol::new(var)),
+            down: false,
+            bank: Bank::X,
+            mode: AddrMode::Unresolved,
+        }
+    }
+
+    fn mov(dst: MemLoc, src: MemLoc) -> Insn {
+        Insn::mov(Loc::Mem(dst), Loc::Mem(src), "MOV", 1, 1)
+    }
+
+    fn layout_for(code: &mut Code, syms: &[(&str, u32)]) {
+        let mut addr = 0u16;
+        for (s, len) in syms {
+            code.layout.place(Symbol::new(*s), addr, *len, Bank::X);
+            addr += *len as u16;
+        }
+    }
+
+    #[test]
+    fn direct_mode_on_c25_scalars() {
+        let t = record_isa::targets::tic25::target();
+        let mut code = Code::default();
+        code.insns.push(mov(mem("y"), mem("x")));
+        layout_for(&mut code, &[("x", 1), ("y", 1)]);
+        let stats = assign_addresses(&mut code, &t).unwrap();
+        assert_eq!(stats.direct, 2);
+        assert_eq!(stats.ar_loads, 0);
+        match &code.insns[0].kind {
+            InsnKind::Compute { dst, expr } => {
+                assert_eq!(dst.as_mem().unwrap().mode, AddrMode::Direct(1));
+                match &expr {
+                    SemExpr::Loc(Loc::Mem(m)) => assert_eq!(m.mode, AddrMode::Direct(0)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_streams_get_dedicated_ars_with_post_increment() {
+        let t = record_isa::targets::tic25::target();
+        let mut code = Code::default();
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 4 },
+            "LOOP 4",
+            2,
+            2,
+        ));
+        code.insns.push(mov(mem("y"), stream("a", "i", 0)));
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 2, 3));
+        layout_for(&mut code, &[("a", 4), ("y", 1)]);
+        let stats = assign_addresses(&mut code, &t).unwrap();
+        assert_eq!(stats.ar_loads, 1, "{:#?}", code.insns);
+        assert_eq!(stats.ar_adds, 0, "free post-increment covers the advance");
+        // preheader load precedes LoopStart
+        assert!(matches!(code.insns[0].kind, InsnKind::ArLoad { ar: 0, .. }));
+        // the access is indirect with post +1
+        let m = match &code.insns[2].kind {
+            InsnKind::Compute { expr: SemExpr::Loc(Loc::Mem(m)), .. } => m,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(m.mode, AddrMode::Indirect { ar: 0, post: 1 });
+    }
+
+    #[test]
+    fn two_streams_two_registers() {
+        let t = record_isa::targets::tic25::target();
+        let mut code = Code::default();
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 4 },
+            "LOOP 4",
+            2,
+            2,
+        ));
+        code.insns.push(mov(stream("b", "i", 0), stream("a", "i", 0)));
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 2, 3));
+        layout_for(&mut code, &[("a", 4), ("b", 4)]);
+        let stats = assign_addresses(&mut code, &t).unwrap();
+        assert_eq!(stats.ar_loads, 2);
+        assert_eq!(stats.indirect, 2);
+    }
+
+    #[test]
+    fn distinct_displacements_are_distinct_streams() {
+        // a[i] and a[i+1] advance independently
+        let t = record_isa::targets::tic25::target();
+        let mut code = Code::default();
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 3 },
+            "LOOP 3",
+            2,
+            2,
+        ));
+        code.insns.push(mov(mem("y"), stream("a", "i", 1)));
+        code.insns.push(mov(stream("a", "i", 0), mem("y")));
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 2, 3));
+        layout_for(&mut code, &[("a", 4), ("y", 1)]);
+        let stats = assign_addresses(&mut code, &t).unwrap();
+        assert_eq!(stats.ar_loads, 2);
+    }
+
+    #[test]
+    fn no_direct_mode_chains_scalars_through_pointer() {
+        let t = record_isa::targets::dsp56k::target();
+        let mut code = Code::default();
+        // x and y adjacent: second access reachable by post-increment
+        code.insns.push(mov(mem("y"), mem("x")));
+        layout_for(&mut code, &[("x", 1), ("y", 1)]);
+        let stats = assign_addresses(&mut code, &t).unwrap();
+        assert_eq!(stats.direct, 0);
+        assert_eq!(stats.indirect, 2);
+        // one pointer load for x; y reached by the post-modify
+        assert_eq!(stats.ar_loads, 1, "{:#?}", code.insns);
+    }
+
+    #[test]
+    fn no_direct_mode_distant_scalars_need_reloads() {
+        let t = record_isa::targets::dsp56k::target();
+        let mut code = Code::default();
+        code.insns.push(mov(mem("y"), mem("x")));
+        layout_for(&mut code, &[("x", 1), ("gap", 10), ("y", 1)]);
+        let stats = assign_addresses(&mut code, &t).unwrap();
+        assert_eq!(stats.ar_loads, 2, "distance 11 defeats the post-modify");
+    }
+
+    #[test]
+    fn unplaced_symbol_is_an_error() {
+        let t = record_isa::targets::tic25::target();
+        let mut code = Code::default();
+        code.insns.push(mov(mem("y"), mem("x")));
+        let err = assign_addresses(&mut code, &t).unwrap_err();
+        assert!(err.contains("not placed"));
+    }
+
+    #[test]
+    fn loop_variant_access_outside_loop_is_an_error() {
+        let t = record_isa::targets::tic25::target();
+        let mut code = Code::default();
+        code.insns.push(mov(mem("y"), stream("a", "i", 0)));
+        layout_for(&mut code, &[("a", 4), ("y", 1)]);
+        let err = assign_addresses(&mut code, &t).unwrap_err();
+        assert!(err.contains("outside any loop"));
+    }
+
+    #[test]
+    fn excess_streams_spill_their_pointers_to_memory() {
+        // 10 distinct streams on an 8-AR machine: 7 dedicated + 1 spare
+        // shared by 3 spilled streams whose pointers live in $ptr cells
+        let t = record_isa::targets::tic25::target();
+        let mut code = Code::default();
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 4 },
+            "LOOP 4",
+            2,
+            2,
+        ));
+        for k in 0..10 {
+            code.insns.push(mov(mem("y"), stream(&format!("a{k}"), "i", 0)));
+        }
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 2, 3));
+        let mut addr = 0u16;
+        code.layout.place(Symbol::new("y"), addr, 1, Bank::X);
+        addr += 1;
+        for k in 0..10 {
+            code.layout.place(Symbol::new(format!("a{k}")), addr, 4, Bank::X);
+            addr += 4;
+        }
+        let stats = assign_addresses(&mut code, &t).unwrap();
+        assert_eq!(stats.ar_loads, 10, "7 LRLK + 3 PtrInit");
+        // spill machinery present
+        assert!(code
+            .insns
+            .iter()
+            .any(|i| matches!(i.kind, InsnKind::PtrInit { .. })));
+        assert!(code
+            .insns
+            .iter()
+            .any(|i| matches!(i.kind, InsnKind::ArLoadMem { .. })));
+        assert!(code
+            .insns
+            .iter()
+            .any(|i| matches!(i.kind, InsnKind::ArStore { .. })));
+        // the cells were added to the layout
+        assert!(code.layout.entry(&Symbol::new("$ptr0")).is_some());
+        assert!(code.layout.entry(&Symbol::new("$ptr2")).is_some());
+    }
+
+    #[test]
+    fn nested_loops_release_registers() {
+        let t = record_isa::targets::tic25::target();
+        let mut code = Code::default();
+        for outer in 0..2 {
+            code.insns.push(Insn::ctrl(
+                InsnKind::LoopStart { var: Symbol::new(format!("i{outer}")), count: 2 },
+                "LOOP",
+                2,
+                2,
+            ));
+            code.insns.push(mov(mem("y"), stream("a", &format!("i{outer}"), 0)));
+            code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "END", 2, 3));
+        }
+        layout_for(&mut code, &[("a", 4), ("y", 1)]);
+        let stats = assign_addresses(&mut code, &t).unwrap();
+        assert_eq!(stats.ar_loads, 2);
+        // both loops use AR0 (released between them)
+        let loads: Vec<u16> = code
+            .insns
+            .iter()
+            .filter_map(|i| match i.kind {
+                InsnKind::ArLoad { ar, .. } => Some(ar),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loads, vec![0, 0]);
+    }
+}

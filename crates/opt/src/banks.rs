@@ -1,0 +1,304 @@
+//! Memory-bank assignment (Sudarsanam/Malik style).
+//!
+//! "A few DSPs support multiple memory banks. Whenever the arguments of a
+//! binary operation are available in two different memory banks, the
+//! operation executes faster. Assigning variables to memory banks such
+//! that as many operations as possible will find their operands in
+//! different banks is an optimization that can be more easily performed
+//! by a compiler than by an assembly language programmer." (Section 3.3.)
+//!
+//! We build a weighted *conflict graph*: an edge between two symbols for
+//! every instruction window in which their values are wanted together
+//! (same instruction, or adjacent move+arithmetic pairs that parallel
+//! packing could merge). Greedy placement in decreasing weight order
+//! followed by a local-improvement (flip) pass maximizes the weight of
+//! cross-bank edges. Source-level `bank` hints are honoured as fixed.
+
+use std::collections::HashMap;
+
+use record_ir::{Bank, Symbol};
+use record_isa::code::LayoutEntry;
+use record_isa::{Code, InsnKind, Loc, TargetDesc};
+
+/// Statistics from bank assignment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Total pair weight observed.
+    pub total_weight: u32,
+    /// Pair weight placed in different banks (the maximized objective).
+    pub cross_bank_weight: u32,
+    /// Number of symbols moved to bank Y.
+    pub moved_to_y: u32,
+}
+
+/// Assigns banks to unhinted symbols to maximize cross-bank operand
+/// pairs; rewrites the layout and the bank attribute of every memory
+/// operand. Single-bank targets are returned unchanged.
+///
+/// `fixed` lists symbols whose bank must not change (source hints).
+pub fn assign_banks(
+    code: &mut Code,
+    target: &TargetDesc,
+    fixed: &HashMap<Symbol, Bank>,
+) -> BankStats {
+    let mut stats = BankStats::default();
+    if target.memory.banks < 2 {
+        return stats;
+    }
+
+    // --- gather pair weights ---------------------------------------------
+    let mut weights: HashMap<(Symbol, Symbol), u32> = HashMap::new();
+    let mut bump = |a: &Symbol, b: &Symbol| {
+        if a == b {
+            return;
+        }
+        let key = if a < b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+        *weights.entry(key).or_insert(0) += 1;
+    };
+    let windows: Vec<Vec<Symbol>> = operand_windows(code);
+    for w in &windows {
+        for i in 0..w.len() {
+            for j in i + 1..w.len() {
+                bump(&w[i], &w[j]);
+            }
+        }
+    }
+    stats.total_weight = weights.values().sum();
+
+    // --- greedy placement ---------------------------------------------------
+    let mut assignment: HashMap<Symbol, Bank> = fixed.clone();
+    let mut symbols: Vec<Symbol> = code.layout.entries().iter().map(|e| e.sym.clone()).collect();
+    // order by total incident weight, heaviest first
+    let incident = |s: &Symbol| -> u32 {
+        weights
+            .iter()
+            .filter(|((a, b), _)| a == s || b == s)
+            .map(|(_, w)| *w)
+            .sum()
+    };
+    symbols.sort_by(|a, b| incident(b).cmp(&incident(a)).then(a.cmp(b)));
+    for sym in &symbols {
+        if assignment.contains_key(sym) {
+            continue;
+        }
+        // gain of each bank = weight to already-placed neighbours in the
+        // other bank
+        let mut gain = [0i64, 0i64];
+        for ((a, b), w) in &weights {
+            let other = if a == sym {
+                b
+            } else if b == sym {
+                a
+            } else {
+                continue;
+            };
+            if let Some(bank) = assignment.get(other) {
+                gain[bank.other() as usize] += *w as i64;
+            }
+        }
+        let bank = if gain[Bank::Y as usize] > gain[Bank::X as usize] { Bank::Y } else { Bank::X };
+        assignment.insert(sym.clone(), bank);
+    }
+
+    // --- local improvement (flip while it helps) ----------------------------
+    let cross = |assignment: &HashMap<Symbol, Bank>| -> u32 {
+        weights
+            .iter()
+            .filter(|((a, b), _)| assignment.get(a) != assignment.get(b))
+            .map(|(_, w)| *w)
+            .sum()
+    };
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for sym in &symbols {
+            if fixed.contains_key(sym) {
+                continue;
+            }
+            let before = cross(&assignment);
+            let old = assignment[sym];
+            assignment.insert(sym.clone(), old.other());
+            if cross(&assignment) > before {
+                improved = true;
+            } else {
+                assignment.insert(sym.clone(), old);
+            }
+        }
+    }
+    stats.cross_bank_weight = cross(&assignment);
+
+    // --- rewrite layout and operands -----------------------------------------
+    let entries: Vec<LayoutEntry> = {
+        let mut next = [0u16, 0u16];
+        code.layout
+            .entries()
+            .iter()
+            .map(|e| {
+                let bank = *assignment.get(&e.sym).unwrap_or(&Bank::X);
+                let addr = next[bank as usize];
+                next[bank as usize] += e.len as u16;
+                LayoutEntry { sym: e.sym.clone(), addr, len: e.len, bank }
+            })
+            .collect()
+    };
+    stats.moved_to_y = entries.iter().filter(|e| e.bank == Bank::Y).count() as u32;
+    code.layout.replace_entries(entries);
+    for insn in &mut code.insns {
+        rewrite_banks(insn, &assignment);
+    }
+    stats
+}
+
+fn rewrite_banks(insn: &mut record_isa::Insn, assignment: &HashMap<Symbol, Bank>) {
+    if let InsnKind::Compute { dst, expr } = &mut insn.kind {
+        for l in expr.reads_mut() {
+            if let Loc::Mem(m) = l {
+                if let Some(b) = assignment.get(&m.base) {
+                    m.bank = *b;
+                }
+            }
+        }
+        if let Loc::Mem(m) = dst {
+            if let Some(b) = assignment.get(&m.base) {
+                m.bank = *b;
+            }
+        }
+    }
+    for p in &mut insn.parallel {
+        rewrite_banks(p, assignment);
+    }
+}
+
+/// The "wanted together" windows: the distinct memory bases read by each
+/// instruction, and by each adjacent (move, compute) pair.
+fn operand_windows(code: &Code) -> Vec<Vec<Symbol>> {
+    let mut windows = Vec::new();
+    let insn_bases = |insn: &record_isa::Insn| -> Vec<Symbol> {
+        let mut v: Vec<Symbol> = insn
+            .srcs()
+            .iter()
+            .filter_map(|l| l.as_mem().map(|m| m.base.clone()))
+            .collect();
+        v.dedup();
+        v
+    };
+    for (i, insn) in code.insns.iter().enumerate() {
+        let own = insn_bases(insn);
+        if own.len() >= 2 {
+            windows.push(own.clone());
+        }
+        if let Some(next) = code.insns.get(i + 1) {
+            let mut joint = own;
+            joint.extend(insn_bases(next));
+            joint.sort();
+            joint.dedup();
+            if joint.len() >= 2 {
+                windows.push(joint);
+            }
+        }
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_isa::{Insn, MemLoc};
+
+    fn mem(name: &str) -> Loc {
+        Loc::Mem(MemLoc::scalar(name))
+    }
+
+    fn mul(dst: &str, a: &str, b: &str) -> Insn {
+        Insn::compute(
+            mem(dst),
+            record_isa::SemExpr::bin(
+                record_ir::BinOp::Mul,
+                record_isa::SemExpr::loc(mem(a)),
+                record_isa::SemExpr::loc(mem(b)),
+            ),
+            format!("MUL {dst},{a},{b}"),
+            1,
+            1,
+        )
+    }
+
+    fn code_with(insns: Vec<Insn>, syms: &[&str]) -> Code {
+        let mut code = Code::default();
+        for (addr, s) in syms.iter().enumerate() {
+            code.layout.place(Symbol::new(*s), addr as u16, 1, Bank::X);
+        }
+        code.insns = insns;
+        code
+    }
+
+    #[test]
+    fn single_bank_target_is_untouched() {
+        let t = record_isa::targets::tic25::target();
+        let mut code = code_with(vec![mul("y", "a", "b")], &["a", "b", "y"]);
+        let stats = assign_banks(&mut code, &t, &HashMap::new());
+        assert_eq!(stats, BankStats::default());
+    }
+
+    #[test]
+    fn operand_pairs_split_across_banks() {
+        let t = record_isa::targets::dsp56k::target();
+        let mut code = code_with(vec![mul("y", "a", "b")], &["a", "b", "y"]);
+        let stats = assign_banks(&mut code, &t, &HashMap::new());
+        assert!(stats.cross_bank_weight >= 1);
+        let a = code.layout.entry(&Symbol::new("a")).unwrap().bank;
+        let b = code.layout.entry(&Symbol::new("b")).unwrap().bank;
+        assert_ne!(a, b, "multiplication operands should land in different banks");
+    }
+
+    #[test]
+    fn hints_are_respected() {
+        let t = record_isa::targets::dsp56k::target();
+        let mut code = code_with(vec![mul("y", "a", "b")], &["a", "b", "y"]);
+        let fixed: HashMap<Symbol, Bank> =
+            [(Symbol::new("a"), Bank::Y)].into_iter().collect();
+        assign_banks(&mut code, &t, &fixed);
+        assert_eq!(code.layout.entry(&Symbol::new("a")).unwrap().bank, Bank::Y);
+        assert_eq!(code.layout.entry(&Symbol::new("b")).unwrap().bank, Bank::X);
+    }
+
+    #[test]
+    fn operand_banks_rewritten_in_code() {
+        let t = record_isa::targets::dsp56k::target();
+        let mut code = code_with(vec![mul("y", "a", "b")], &["a", "b", "y"]);
+        assign_banks(&mut code, &t, &HashMap::new());
+        let banks: Vec<Bank> = code.insns[0]
+            .srcs()
+            .iter()
+            .filter_map(|l| l.as_mem().map(|m| m.bank))
+            .collect();
+        assert_eq!(banks.len(), 2);
+        assert_ne!(banks[0], banks[1]);
+    }
+
+    #[test]
+    fn chain_of_pairs_alternates() {
+        // a-b, b-c, c-d pairs: optimal alternation a,c vs b,d
+        let t = record_isa::targets::dsp56k::target();
+        let insns = vec![mul("t1", "a", "b"), mul("t2", "b", "c"), mul("t3", "c", "d")];
+        let mut code = code_with(insns, &["a", "b", "c", "d", "t1", "t2", "t3"]);
+        let stats = assign_banks(&mut code, &t, &HashMap::new());
+        let bank = |s: &str| code.layout.entry(&Symbol::new(s)).unwrap().bank;
+        assert_ne!(bank("a"), bank("b"));
+        assert_ne!(bank("b"), bank("c"));
+        assert_ne!(bank("c"), bank("d"));
+        assert!(stats.cross_bank_weight >= 3);
+    }
+
+    #[test]
+    fn addresses_repacked_per_bank() {
+        let t = record_isa::targets::dsp56k::target();
+        let mut code = code_with(vec![mul("y", "a", "b")], &["a", "b", "y"]);
+        assign_banks(&mut code, &t, &HashMap::new());
+        // addresses must start at 0 in each bank and not collide
+        let mut seen: HashMap<(Bank, u16), &Symbol> = HashMap::new();
+        for e in code.layout.entries() {
+            assert!(seen.insert((e.bank, e.addr), &e.sym).is_none());
+        }
+    }
+}

@@ -1,0 +1,1007 @@
+//! Code compaction: exploiting instruction-level parallelism in the
+//! instruction format.
+//!
+//! Three mechanisms, matching what real DSP families offer:
+//!
+//! * [`fuse`] — combo instructions (TMS320C25 `LT`+`APAC` = `LTA`):
+//!   adjacent independent instruction pairs listed in the target's fusion
+//!   table are merged into one word, in either order;
+//! * [`pack_moves`] — parallel moves (DSP56k): an arithmetic instruction
+//!   absorbs up to `max_moves` following independent move instructions
+//!   (subject to the distinct-bank constraint, which is why bank
+//!   assignment runs first);
+//! * [`schedule`] — bundle scheduling over straight-line segments with a
+//!   dependence DAG: a list-scheduling heuristic, or exhaustive
+//!   branch-and-bound for provably minimal bundle counts on small
+//!   segments ("compiler algorithms, which so far have been rejected due
+//!   to their complexity, should be reconsidered" — Section 3.2).
+
+use record_isa::target::ParallelDesc;
+use record_isa::{Code, Insn, InsnKind, Loc, MemLoc, RegId, TargetDesc};
+
+/// Which scheduling algorithm [`schedule`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScheduleMode {
+    /// Critical-path list scheduling (fast, near-optimal).
+    List,
+    /// Exhaustive branch-and-bound (optimal bundle count; falls back to
+    /// list scheduling on segments longer than the given limit).
+    BranchAndBound {
+        /// Maximum segment length explored exhaustively.
+        max_segment: usize,
+    },
+}
+
+/// Read/write effects of an instruction, for dependence tests.
+#[derive(Default, Debug)]
+struct Effects {
+    reg_reads: Vec<RegId>,
+    reg_writes: Vec<RegId>,
+    mem_reads: Vec<MemLoc>,
+    mem_writes: Vec<MemLoc>,
+    /// `(ar, modifies)` pairs for address-register usage.
+    ars: Vec<(u16, bool)>,
+}
+
+fn effects(insn: &Insn) -> Effects {
+    let mut e = Effects::default();
+    collect_effects(insn, &mut e);
+    e
+}
+
+fn note_mem(e: &mut Effects, m: &MemLoc, write: bool) {
+    if write {
+        e.mem_writes.push(m.clone());
+    } else {
+        e.mem_reads.push(m.clone());
+    }
+    if let record_isa::AddrMode::Indirect { ar, post } = m.mode {
+        e.ars.push((ar, post != 0));
+    }
+}
+
+fn collect_effects(insn: &Insn, e: &mut Effects) {
+    match &insn.kind {
+        InsnKind::Compute { dst, expr } => {
+            for l in expr.reads() {
+                match l {
+                    Loc::Reg(r) => e.reg_reads.push(*r),
+                    Loc::Mem(m) => note_mem(e, m, false),
+                    Loc::Imm(_) => {}
+                }
+            }
+            match dst {
+                Loc::Reg(r) => e.reg_writes.push(*r),
+                Loc::Mem(m) => note_mem(e, m, true),
+                Loc::Imm(_) => {}
+            }
+        }
+        InsnKind::ArLoad { ar, .. } | InsnKind::ArAdd { ar, .. } => {
+            e.ars.push((*ar, true));
+        }
+        InsnKind::ArLoadIndexed { ar, index, .. } => {
+            e.ars.push((*ar, true));
+            e.mem_reads.push(MemLoc::scalar(index.clone()));
+        }
+        InsnKind::ArLoadMem { ar, cell } => {
+            e.ars.push((*ar, true));
+            e.mem_reads.push(MemLoc::scalar(cell.clone()));
+        }
+        InsnKind::ArStore { ar, cell } => {
+            e.ars.push((*ar, false));
+            e.mem_writes.push(MemLoc::scalar(cell.clone()));
+        }
+        InsnKind::PtrInit { cell, .. } => {
+            e.mem_writes.push(MemLoc::scalar(cell.clone()));
+        }
+        _ => {}
+    }
+    for p in &insn.parallel {
+        collect_effects(p, e);
+    }
+}
+
+/// `true` if the two instructions can execute in either order or in
+/// parallel with identical results.
+fn independent(a: &Insn, b: &Insn) -> bool {
+    if !matches!(a.kind, InsnKind::Compute { .. }) || !matches!(b.kind, InsnKind::Compute { .. })
+    {
+        return false;
+    }
+    let ea = effects(a);
+    let eb = effects(b);
+    // register conflicts: any write vs. read/write of the same register
+    let reg_conflict = |w: &[RegId], other_r: &[RegId], other_w: &[RegId]| {
+        w.iter().any(|r| other_r.contains(r) || other_w.contains(r))
+    };
+    if reg_conflict(&ea.reg_writes, &eb.reg_reads, &eb.reg_writes)
+        || reg_conflict(&eb.reg_writes, &ea.reg_reads, &ea.reg_writes)
+    {
+        return false;
+    }
+    // memory conflicts
+    let mem_conflict = |w: &[MemLoc], other_r: &[MemLoc], other_w: &[MemLoc]| {
+        w.iter().any(|m| {
+            other_r.iter().any(|o| m.may_alias(o)) || other_w.iter().any(|o| m.may_alias(o))
+        })
+    };
+    if mem_conflict(&ea.mem_writes, &eb.mem_reads, &eb.mem_writes)
+        || mem_conflict(&eb.mem_writes, &ea.mem_reads, &ea.mem_writes)
+    {
+        return false;
+    }
+    // address-register conflicts: sharing an AR is fine only if neither
+    // side modifies it
+    for (ar, amod) in &ea.ars {
+        for (br, bmod) in &eb.ars {
+            if ar == br && (*amod || *bmod) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The operand part of an assembly text (everything after the mnemonic).
+fn operand_part(text: &str) -> &str {
+    text.split_once(' ').map(|(_, rest)| rest).unwrap_or("")
+}
+
+/// Applies the target's fusion table to adjacent instruction pairs,
+/// repeatedly, until a fixpoint; returns the number of fusions performed.
+///
+/// A pair `(x, y)` fuses when the table lists `(x.rule, y.rule)` directly,
+/// or lists `(y.rule, x.rule)` and the two instructions are independent
+/// (so they may be swapped). Both cases also require independence, since
+/// the fused instruction executes both effects in the same cycle.
+pub fn fuse(code: &mut Code, target: &TargetDesc) -> u32 {
+    let mut fused_total = 0u32;
+    loop {
+        let mut fused_this_round = 0u32;
+        let insns = std::mem::take(&mut code.insns);
+        let mut out: Vec<Insn> = Vec::with_capacity(insns.len());
+        let mut it = insns.into_iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(b) = it.peek() else {
+                out.push(a);
+                continue;
+            };
+            let (Some(ra), Some(rb)) = (a.rule, b.rule) else {
+                out.push(a);
+                continue;
+            };
+            let direct = target
+                .fusions
+                .iter()
+                .find(|f| f.first == ra && f.second == rb);
+            let swapped = target
+                .fusions
+                .iter()
+                .find(|f| f.first == rb && f.second == ra);
+            let chosen = match (direct, swapped) {
+                (Some(f), _) if independent(&a, b) => Some((f, false)),
+                (_, Some(f)) if independent(&a, b) => Some((f, true)),
+                _ => None,
+            };
+            if let Some((f, swap)) = chosen {
+                let b = it.next().expect("peeked");
+                let (first, second) = if swap { (b, a) } else { (a, b) };
+                let text = f
+                    .asm
+                    .replace("{a}", operand_part(&first.text))
+                    .replace("{b}", operand_part(&second.text));
+                let mut fusedi = second.clone();
+                fusedi.rule = None;
+                fusedi.text = text.trim().to_string();
+                fusedi.words = f.cost.words;
+                fusedi.cycles = f.cost.cycles;
+                fusedi.units = first.units | second.units;
+                let mut firstp = first;
+                firstp.words = 0;
+                firstp.cycles = 0;
+                // the fused text already names both halves
+                firstp.text = String::new();
+                fusedi.parallel.push(firstp);
+                out.push(fusedi);
+                fused_this_round += 1;
+            } else {
+                out.push(a);
+            }
+        }
+        code.insns = out;
+        fused_total += fused_this_round;
+        if fused_this_round == 0 {
+            break;
+        }
+    }
+    fused_total
+}
+
+fn is_pure_move(insn: &Insn, pd: &ParallelDesc) -> bool {
+    insn.units & pd.move_units != 0
+        && matches!(&insn.kind, InsnKind::Compute { expr, .. } if matches!(expr, record_isa::SemExpr::Loc(_)))
+}
+
+/// The memory banks touched by an instruction (reads and writes).
+fn banks_touched(insn: &Insn) -> Vec<record_ir::Bank> {
+    let e = effects(insn);
+    e.mem_reads
+        .iter()
+        .chain(e.mem_writes.iter())
+        .map(|m| m.bank)
+        .collect()
+}
+
+/// Packs following move instructions into arithmetic instructions on
+/// parallel-move targets; returns the number of moves absorbed.
+///
+/// A move packs into the closest preceding arithmetic instruction when it
+/// is independent of it (and of every move already packed there), the
+/// move budget is not exhausted, and — when the target demands it — the
+/// packed moves address distinct banks.
+pub fn pack_moves(code: &mut Code, target: &TargetDesc) -> u32 {
+    let Some(pd) = &target.parallel else {
+        return 0;
+    };
+    let insns = std::mem::take(&mut code.insns);
+    let mut out: Vec<Insn> = Vec::with_capacity(insns.len());
+    let mut packed = 0u32;
+    for insn in insns {
+        let can_pack = !out.is_empty() && is_pure_move(&insn, pd);
+        if can_pack {
+            let host = out.last_mut().expect("non-empty");
+            let host_ok = matches!(host.kind, InsnKind::Compute { .. })
+                && !is_pure_move(host, pd)
+                && host.parallel.len() < pd.max_moves as usize
+                && independent(host, &insn);
+            let banks_ok = !pd.moves_need_distinct_banks || {
+                let mut banks = banks_touched(&insn);
+                for p in &host.parallel {
+                    banks.extend(banks_touched(p));
+                }
+                banks.sort();
+                let before = banks.len();
+                banks.dedup();
+                banks.len() == before
+            };
+            if host_ok && banks_ok {
+                let mut m = insn;
+                m.words = 0;
+                m.cycles = 0;
+                let host = out.last_mut().expect("non-empty");
+                host.units |= m.units;
+                host.parallel.push(m);
+                packed += 1;
+                continue;
+            }
+        }
+        out.push(insn);
+    }
+    code.insns = out;
+    packed
+}
+
+/// Hoists loop-invariant leading instructions out of loop bodies.
+///
+/// A leading body instruction moves to the preheader when it only reads
+/// loop-invariant operands (no loop-counter indexing, no memory written
+/// inside the body), writes a register that no other body instruction
+/// writes, and does not read its own destination. The classic payoff is a
+/// constant load (`LACK k`) ahead of a store loop: the remaining
+/// single-instruction body becomes eligible for hardware repeat.
+///
+/// Returns the number of instructions hoisted.
+pub fn hoist_invariant_prefix(code: &mut Code) -> u32 {
+    let mut hoisted = 0u32;
+    loop {
+        let mut changed = false;
+        let insns = std::mem::take(&mut code.insns);
+        let mut out: Vec<Insn> = Vec::with_capacity(insns.len());
+        let mut i = 0usize;
+        while i < insns.len() {
+            let insn = &insns[i];
+            if let InsnKind::LoopStart { var, .. } = &insn.kind {
+                // find the matching end
+                let mut depth = 1;
+                let mut j = i + 1;
+                while j < insns.len() && depth > 0 {
+                    match insns[j].kind {
+                        InsnKind::LoopStart { .. } => depth += 1,
+                        InsnKind::LoopEnd => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let body = &insns[i + 1..j - 1];
+                if let Some(first) = body.first() {
+                    if hoistable(first, &body[1..], var) {
+                        out.push(first.clone()); // preheader
+                        out.push(insn.clone()); // LoopStart
+                        out.extend(body[1..].iter().cloned());
+                        out.push(insns[j - 1].clone()); // LoopEnd
+                        i = j;
+                        hoisted += 1;
+                        changed = true;
+                        continue;
+                    }
+                }
+                out.extend(insns[i..j].iter().cloned());
+                i = j;
+                continue;
+            }
+            out.push(insn.clone());
+            i += 1;
+        }
+        code.insns = out;
+        if !changed {
+            return hoisted;
+        }
+    }
+}
+
+fn hoistable(first: &Insn, rest: &[Insn], loop_var: &record_ir::Symbol) -> bool {
+    let InsnKind::Compute { dst, expr } = &first.kind else {
+        return false;
+    };
+    if !first.parallel.is_empty() {
+        return false;
+    }
+    // destination must be a register no other body instruction writes
+    let Loc::Reg(dst_reg) = dst else { return false };
+    // reads must be loop-invariant: immediates or memory with no loop-var
+    // index, and the instruction must not read its own destination
+    for l in expr.reads() {
+        match l {
+            Loc::Imm(_) => {}
+            Loc::Reg(r) => {
+                if r == dst_reg {
+                    return false;
+                }
+                let written_later = rest.iter().any(|o| {
+                    let e = effects(o);
+                    e.reg_writes.contains(r)
+                });
+                if written_later {
+                    return false;
+                }
+            }
+            Loc::Mem(m) => {
+                if m.index.is_some() {
+                    return false;
+                }
+                let written_later = rest.iter().any(|o| {
+                    let e = effects(o);
+                    e.mem_writes.iter().any(|w| w.may_alias(m))
+                });
+                if written_later {
+                    return false;
+                }
+            }
+        }
+    }
+    let _ = loop_var;
+    // no body instruction may write the destination, and saturation-mode
+    // boundaries inside the body would make the hoisted value's context
+    // ambiguous — be conservative
+    for o in rest {
+        let e = effects(o);
+        if e.reg_writes.contains(dst_reg) {
+            return false;
+        }
+        if matches!(o.kind, InsnKind::SetMode { .. }) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Scheduling statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Instructions before bundling.
+    pub insns_before: usize,
+    /// Bundles after scheduling.
+    pub bundles_after: usize,
+}
+
+/// Bundle-schedules every straight-line segment of the code; returns the
+/// aggregate statistics. Only targets with a parallel-move format are
+/// affected (others are returned unchanged with equal counts).
+pub fn schedule(code: &mut Code, target: &TargetDesc, mode: ScheduleMode) -> ScheduleStats {
+    let mut stats = ScheduleStats::default();
+    let Some(pd) = target.parallel.clone() else {
+        let n = code.insns.len();
+        return ScheduleStats { insns_before: n, bundles_after: n };
+    };
+    let insns = std::mem::take(&mut code.insns);
+    let mut out = Vec::with_capacity(insns.len());
+    let mut segment: Vec<Insn> = Vec::new();
+    for insn in insns {
+        if matches!(insn.kind, InsnKind::Compute { .. }) {
+            segment.push(insn);
+        } else {
+            flush_segment(&mut segment, &pd, mode, &mut out, &mut stats);
+            out.push(insn);
+        }
+    }
+    flush_segment(&mut segment, &pd, mode, &mut out, &mut stats);
+    code.insns = out;
+    stats
+}
+
+fn flush_segment(
+    segment: &mut Vec<Insn>,
+    pd: &ParallelDesc,
+    mode: ScheduleMode,
+    out: &mut Vec<Insn>,
+    stats: &mut ScheduleStats,
+) {
+    if segment.is_empty() {
+        return;
+    }
+    let seg = std::mem::take(segment);
+    stats.insns_before += seg.len();
+    let bundles = match mode {
+        ScheduleMode::List => list_schedule(&seg, pd),
+        ScheduleMode::BranchAndBound { max_segment } if seg.len() <= max_segment => {
+            branch_and_bound(&seg, pd)
+        }
+        ScheduleMode::BranchAndBound { .. } => list_schedule(&seg, pd),
+    };
+    stats.bundles_after += bundles.len();
+    for bundle in bundles {
+        out.push(build_bundle(&seg, bundle));
+    }
+}
+
+/// A bundle: indices into the segment; the first is the host.
+type Bundle = Vec<usize>;
+
+fn dep_matrix(seg: &[Insn]) -> Vec<Vec<bool>> {
+    let n = seg.len();
+    let mut dep = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in i + 1..n {
+            dep[i][j] = !independent(&seg[i], &seg[j]);
+        }
+    }
+    dep
+}
+
+/// Can `cand` join `bundle`? At most one non-move, move budget, distinct
+/// banks, pairwise independence.
+fn fits(seg: &[Insn], pd: &ParallelDesc, bundle: &Bundle, cand: usize) -> bool {
+    let moves_in = |ix: usize| is_pure_move(&seg[ix], pd);
+    let n_moves =
+        bundle.iter().filter(|&&i| moves_in(i)).count() + usize::from(moves_in(cand));
+    let n_arith = bundle.len() + 1 - n_moves;
+    if n_arith > 1 || n_moves > pd.max_moves as usize {
+        return false;
+    }
+    for &i in bundle {
+        if !independent(&seg[i], &seg[cand]) {
+            return false;
+        }
+    }
+    if pd.moves_need_distinct_banks {
+        let mut banks = Vec::new();
+        for &i in bundle.iter().chain(std::iter::once(&cand)) {
+            if moves_in(i) {
+                banks.extend(banks_touched(&seg[i]));
+            }
+        }
+        banks.sort();
+        let before = banks.len();
+        banks.dedup();
+        if banks.len() != before {
+            return false;
+        }
+    }
+    true
+}
+
+fn list_schedule(seg: &[Insn], pd: &ParallelDesc) -> Vec<Bundle> {
+    let n = seg.len();
+    let dep = dep_matrix(seg);
+    // critical-path priority
+    let mut height = vec![1usize; n];
+    for i in (0..n).rev() {
+        for j in i + 1..n {
+            if dep[i][j] {
+                height[i] = height[i].max(height[j] + 1);
+            }
+        }
+    }
+    let mut scheduled = vec![false; n];
+    let mut done = 0usize;
+    let mut bundles = Vec::new();
+    while done < n {
+        // ready: unscheduled with all predecessors scheduled
+        let ready: Vec<usize> = (0..n)
+            .filter(|&i| !scheduled[i] && (0..i).all(|p| !dep[p][i] || scheduled[p]))
+            .collect();
+        debug_assert!(!ready.is_empty(), "DAG always has a ready node");
+        let mut order = ready.clone();
+        order.sort_by(|a, b| height[*b].cmp(&height[*a]).then(a.cmp(b)));
+        let mut bundle: Bundle = vec![order[0]];
+        for &cand in &order[1..] {
+            if fits(seg, pd, &bundle, cand) {
+                bundle.push(cand);
+            }
+        }
+        for &i in &bundle {
+            scheduled[i] = true;
+            done += 1;
+        }
+        bundles.push(bundle);
+    }
+    bundles
+}
+
+fn branch_and_bound(seg: &[Insn], pd: &ParallelDesc) -> Vec<Bundle> {
+    let n = seg.len();
+    let dep = dep_matrix(seg);
+    let mut best: Vec<Bundle> = list_schedule(seg, pd);
+    let width = 1 + pd.max_moves as usize;
+    let mut current: Vec<Bundle> = Vec::new();
+    let mut scheduled = vec![false; n];
+
+    fn enumerate_bundles(
+        seg: &[Insn],
+        pd: &ParallelDesc,
+        ready: &[usize],
+        start: usize,
+        bundle: &mut Bundle,
+        out: &mut Vec<Bundle>,
+    ) {
+        for (k, &cand) in ready.iter().enumerate().skip(start) {
+            if bundle.is_empty() || fits(seg, pd, bundle, cand) {
+                bundle.push(cand);
+                out.push(bundle.clone());
+                enumerate_bundles(seg, pd, ready, k + 1, bundle, out);
+                bundle.pop();
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        seg: &[Insn],
+        pd: &ParallelDesc,
+        dep: &[Vec<bool>],
+        scheduled: &mut Vec<bool>,
+        done: usize,
+        current: &mut Vec<Bundle>,
+        best: &mut Vec<Bundle>,
+        width: usize,
+    ) {
+        let n = seg.len();
+        if done == n {
+            if current.len() < best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        // lower bound prune
+        let remaining = n - done;
+        let lb = current.len() + remaining.div_ceil(width);
+        if lb >= best.len() {
+            return;
+        }
+        let ready: Vec<usize> = (0..n)
+            .filter(|&i| !scheduled[i] && (0..i).all(|p| !dep[p][i] || scheduled[p]))
+            .collect();
+        let mut candidates = Vec::new();
+        let mut scratch = Vec::new();
+        enumerate_bundles(seg, pd, &ready, 0, &mut scratch, &mut candidates);
+        // try bigger bundles first
+        candidates.sort_by_key(|b| std::cmp::Reverse(b.len()));
+        for bundle in candidates {
+            for &i in &bundle {
+                scheduled[i] = true;
+            }
+            current.push(bundle.clone());
+            dfs(seg, pd, dep, scheduled, done + bundle.len(), current, best, width);
+            current.pop();
+            for &i in &bundle {
+                scheduled[i] = false;
+            }
+        }
+    }
+
+    dfs(seg, pd, &dep, &mut scheduled, 0, &mut current, &mut best, width);
+    best
+}
+
+fn build_bundle(seg: &[Insn], bundle: Bundle) -> Insn {
+    // host: the non-move if present, else the first member
+    let host_ix = bundle
+        .iter()
+        .copied()
+        .find(|&i| !matches!(&seg[i].kind, InsnKind::Compute { expr, .. } if matches!(expr, record_isa::SemExpr::Loc(_))))
+        .unwrap_or(bundle[0]);
+    let mut host = seg[host_ix].clone();
+    for &i in &bundle {
+        if i == host_ix {
+            continue;
+        }
+        let mut m = seg[i].clone();
+        m.words = 0;
+        m.cycles = 0;
+        host.units |= m.units;
+        host.parallel.push(m);
+    }
+    host
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // Code::default() + .insns is the clearest test setup
+mod tests {
+    use super::*;
+    use record_ir::{BinOp, Symbol};
+    use record_isa::{RegClassId, SemExpr};
+
+    fn reg(class: u16, ix: u16) -> Loc {
+        Loc::Reg(RegId::new(RegClassId(class), ix))
+    }
+
+    fn mem(name: &str) -> Loc {
+        Loc::Mem(MemLoc::scalar(name))
+    }
+
+    #[test]
+    fn independent_detects_reg_conflicts() {
+        let a = Insn::mov(reg(0, 0), mem("x"), "LD r0,x", 1, 1);
+        let b = Insn::mov(reg(0, 0), mem("y"), "LD r0,y", 1, 1); // same dst
+        assert!(!independent(&a, &b));
+        let c = Insn::mov(reg(0, 1), mem("y"), "LD r1,y", 1, 1);
+        assert!(independent(&a, &c));
+        let d = Insn::compute(
+            reg(0, 2),
+            SemExpr::bin(BinOp::Add, SemExpr::loc(reg(0, 0)), SemExpr::loc(reg(0, 1))),
+            "ADD r2,r0,r1",
+            1,
+            1,
+        );
+        assert!(!independent(&a, &d), "d reads a's destination");
+    }
+
+    #[test]
+    fn independent_detects_memory_aliasing() {
+        let a = Insn::mov(mem("x"), reg(0, 0), "ST x", 1, 1);
+        let b = Insn::mov(reg(0, 1), mem("x"), "LD x", 1, 1);
+        assert!(!independent(&a, &b));
+        let c = Insn::mov(reg(0, 1), mem("z"), "LD z", 1, 1);
+        assert!(independent(&a, &c));
+    }
+
+    #[test]
+    fn independent_respects_ar_post_modify() {
+        let walk = MemLoc {
+            base: Symbol::new("a"),
+            disp: 0,
+            index: Some(Symbol::new("i")),
+            down: false,
+            bank: record_ir::Bank::X,
+            mode: record_isa::AddrMode::Indirect { ar: 0, post: 1 },
+        };
+        let same_ar = MemLoc {
+            base: Symbol::new("b"),
+            disp: 0,
+            index: Some(Symbol::new("i")),
+            down: false,
+            bank: record_ir::Bank::X,
+            mode: record_isa::AddrMode::Indirect { ar: 0, post: 0 },
+        };
+        let a = Insn::mov(reg(0, 0), Loc::Mem(walk), "LD *ar0+", 1, 1);
+        let b = Insn::mov(reg(0, 1), Loc::Mem(same_ar), "LD *ar0", 1, 1);
+        assert!(!independent(&a, &b), "post-modify orders accesses via ar0");
+    }
+
+    #[test]
+    fn fuse_applies_lt_apac_as_lta() {
+        let t = record_isa::targets::tic25::target();
+        let lt_rule = t.rules.iter().find(|r| r.asm == "LT {0}").unwrap().id;
+        let apac_rule = t.rules.iter().find(|r| r.asm == "APAC").unwrap().id;
+        let acc = t.reg_class("acc").unwrap();
+        let p = t.reg_class("p").unwrap();
+        let tr = t.reg_class("t").unwrap();
+
+        let mut lt = Insn::mov(
+            Loc::Reg(RegId::singleton(tr)),
+            mem("c"),
+            "LT c",
+            1,
+            1,
+        );
+        lt.rule = Some(lt_rule);
+        let mut apac = Insn::compute(
+            Loc::Reg(RegId::singleton(acc)),
+            SemExpr::bin(
+                BinOp::Add,
+                SemExpr::loc(Loc::Reg(RegId::singleton(acc))),
+                SemExpr::loc(Loc::Reg(RegId::singleton(p))),
+            ),
+            "APAC",
+            1,
+            1,
+        );
+        apac.rule = Some(apac_rule);
+
+        // direct order LT;APAC
+        let mut code = Code::default();
+        code.insns = vec![lt.clone(), apac.clone()];
+        assert_eq!(fuse(&mut code, &t), 1);
+        assert_eq!(code.insns.len(), 1);
+        assert_eq!(code.insns[0].text, "LTA c");
+        assert_eq!(code.insns[0].words, 1);
+        assert_eq!(code.insns[0].parallel.len(), 1);
+
+        // swapped order APAC;LT also fuses (independent)
+        let mut code = Code::default();
+        code.insns = vec![apac, lt];
+        assert_eq!(fuse(&mut code, &t), 1);
+        assert_eq!(code.insns[0].text, "LTA c");
+    }
+
+    #[test]
+    fn fuse_refuses_dependent_pairs() {
+        let t = record_isa::targets::tic25::target();
+        let lt_rule = t.rules.iter().find(|r| r.asm == "LT {0}").unwrap().id;
+        let tr = t.reg_class("t").unwrap();
+        // two LTs write the same register: dependent, no fusion even if a
+        // (LT, LT) fusion existed; also (LT, LT) is not in the table.
+        let mut a = Insn::mov(Loc::Reg(RegId::singleton(tr)), mem("x"), "LT x", 1, 1);
+        a.rule = Some(lt_rule);
+        let mut code = Code::default();
+        code.insns = vec![a.clone(), a];
+        assert_eq!(fuse(&mut code, &t), 0);
+        assert_eq!(code.insns.len(), 2);
+    }
+
+    fn dsp_move(dst: Loc, src: &str, bank: record_ir::Bank) -> Insn {
+        let mut m = MemLoc::scalar(src);
+        m.bank = bank;
+        let mut i = Insn::mov(dst, Loc::Mem(m), format!("MOVE {src}"), 1, 1);
+        i.units = record_isa::pattern::units::MOVE;
+        i
+    }
+
+    #[test]
+    fn pack_moves_absorbs_following_independent_moves() {
+        let t = record_isa::targets::dsp56k::target();
+        let a_cl = t.reg_class("a").unwrap();
+        let x_cl = t.reg_class("x").unwrap();
+        let y_cl = t.reg_class("y").unwrap();
+        let arith = Insn::compute(
+            Loc::Reg(RegId::new(a_cl, 0)),
+            SemExpr::bin(
+                BinOp::Mul,
+                SemExpr::loc(Loc::Reg(RegId::new(x_cl, 0))),
+                SemExpr::loc(Loc::Reg(RegId::new(y_cl, 0))),
+            ),
+            "MPY x0,y0,a0",
+            1,
+            1,
+        );
+        // two moves loading the *other* input registers (x1/y1), one per bank
+        let mv1 = dsp_move(Loc::Reg(RegId::new(x_cl, 1)), "p", record_ir::Bank::X);
+        let mv2 = dsp_move(Loc::Reg(RegId::new(y_cl, 1)), "q", record_ir::Bank::Y);
+        let mut code = Code::default();
+        code.insns = vec![arith, mv1, mv2];
+        let packed = pack_moves(&mut code, &t);
+        assert_eq!(packed, 2, "{:#?}", code.insns);
+        assert_eq!(code.insns.len(), 1);
+        assert_eq!(code.insns[0].parallel.len(), 2);
+        assert_eq!(code.size_words(), 1);
+    }
+
+    #[test]
+    fn pack_moves_respects_bank_constraint() {
+        let t = record_isa::targets::dsp56k::target();
+        let a_cl = t.reg_class("a").unwrap();
+        let x_cl = t.reg_class("x").unwrap();
+        let arith = Insn::compute(
+            Loc::Reg(RegId::new(a_cl, 0)),
+            SemExpr::un(record_ir::UnOp::Neg, SemExpr::loc(Loc::Reg(RegId::new(a_cl, 0)))),
+            "NEG a0",
+            1,
+            1,
+        );
+        // both moves in bank X: only the first can pack
+        let mv1 = dsp_move(Loc::Reg(RegId::new(x_cl, 0)), "p", record_ir::Bank::X);
+        let mv2 = dsp_move(Loc::Reg(RegId::new(x_cl, 1)), "q", record_ir::Bank::X);
+        let mut code = Code::default();
+        code.insns = vec![arith, mv1, mv2];
+        let packed = pack_moves(&mut code, &t);
+        assert_eq!(packed, 1);
+        assert_eq!(code.insns.len(), 2);
+    }
+
+    #[test]
+    fn pack_moves_refuses_dependent_move() {
+        let t = record_isa::targets::dsp56k::target();
+        let a_cl = t.reg_class("a").unwrap();
+        let x_cl = t.reg_class("x").unwrap();
+        let arith = Insn::compute(
+            Loc::Reg(RegId::new(a_cl, 0)),
+            SemExpr::bin(
+                BinOp::Add,
+                SemExpr::loc(Loc::Reg(RegId::new(a_cl, 0))),
+                SemExpr::loc(Loc::Reg(RegId::new(x_cl, 0))),
+            ),
+            "ADD x0,a0",
+            1,
+            1,
+        );
+        // move overwrites x0 which the arithmetic reads — packing would
+        // change semantics under parallel (read-old) rules only if the
+        // arithmetic were after; our model forbids any write/read overlap.
+        let mv = dsp_move(Loc::Reg(RegId::new(x_cl, 0)), "p", record_ir::Bank::X);
+        let mut code = Code::default();
+        code.insns = vec![arith, mv];
+        assert_eq!(pack_moves(&mut code, &t), 0);
+    }
+
+    #[test]
+    fn schedule_bundles_independent_ops() {
+        let t = record_isa::targets::dsp56k::target();
+        let a_cl = t.reg_class("a").unwrap();
+        let x_cl = t.reg_class("x").unwrap();
+        let y_cl = t.reg_class("y").unwrap();
+        let arith = Insn::compute(
+            Loc::Reg(RegId::new(a_cl, 0)),
+            SemExpr::un(record_ir::UnOp::Neg, SemExpr::loc(Loc::Reg(RegId::new(a_cl, 0)))),
+            "NEG a0",
+            1,
+            1,
+        );
+        let mv1 = dsp_move(Loc::Reg(RegId::new(x_cl, 0)), "p", record_ir::Bank::X);
+        let mv2 = dsp_move(Loc::Reg(RegId::new(y_cl, 0)), "q", record_ir::Bank::Y);
+        let mut code = Code::default();
+        // moves BEFORE the arithmetic: pack_moves cannot absorb them, the
+        // scheduler can (it reorders within the dependence DAG)
+        code.insns = vec![mv1, mv2, arith];
+        let stats = schedule(&mut code, &t, ScheduleMode::List);
+        assert_eq!(stats.insns_before, 3);
+        assert_eq!(stats.bundles_after, 1, "{:#?}", code.insns);
+    }
+
+    #[test]
+    fn branch_and_bound_never_worse_than_list() {
+        let t = record_isa::targets::dsp56k::target();
+        let a_cl = t.reg_class("a").unwrap();
+        let x_cl = t.reg_class("x").unwrap();
+        let y_cl = t.reg_class("y").unwrap();
+        let mk_arith = |ix: u16, name: &str| {
+            Insn::compute(
+                Loc::Reg(RegId::new(a_cl, ix)),
+                SemExpr::un(
+                    record_ir::UnOp::Neg,
+                    SemExpr::loc(Loc::Reg(RegId::new(a_cl, ix))),
+                ),
+                name,
+                1,
+                1,
+            )
+        };
+        let seg = vec![
+            dsp_move(Loc::Reg(RegId::new(x_cl, 0)), "p", record_ir::Bank::X),
+            mk_arith(0, "NEG a0"),
+            dsp_move(Loc::Reg(RegId::new(y_cl, 0)), "q", record_ir::Bank::Y),
+            mk_arith(1, "NEG a1"),
+            dsp_move(Loc::Reg(RegId::new(x_cl, 1)), "r", record_ir::Bank::X),
+        ];
+        let mut list_code = Code::default();
+        list_code.insns = seg.clone();
+        let ls = schedule(&mut list_code, &t, ScheduleMode::List);
+        let mut bb_code = Code::default();
+        bb_code.insns = seg;
+        let bb = schedule(&mut bb_code, &t, ScheduleMode::BranchAndBound { max_segment: 10 });
+        assert!(bb.bundles_after <= ls.bundles_after);
+        assert!(bb.bundles_after >= 2, "two arithmetic ops cannot share a bundle");
+    }
+
+    #[test]
+    fn hoist_moves_invariant_constant_load_out() {
+        let t = record_isa::targets::tic25::target();
+        let acc = t.reg_class("acc").unwrap();
+        let mut code = Code::default();
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 4 },
+            "LOOP 4",
+            2,
+            2,
+        ));
+        // LACK 7 ; SACL a[i]  — the load is invariant
+        code.insns.push(Insn::mov(
+            Loc::Reg(RegId::singleton(acc)),
+            Loc::Imm(7),
+            "LACK 7",
+            1,
+            1,
+        ));
+        let a_i = MemLoc {
+            base: Symbol::new("a"),
+            disp: 0,
+            index: Some(Symbol::new("i")),
+            down: false,
+            bank: record_ir::Bank::X,
+            mode: record_isa::AddrMode::Unresolved,
+        };
+        code.insns.push(Insn::mov(
+            Loc::Mem(a_i),
+            Loc::Reg(RegId::singleton(acc)),
+            "SACL a[i]",
+            1,
+            1,
+        ));
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLP", 2, 3));
+        let n = hoist_invariant_prefix(&mut code);
+        assert_eq!(n, 1);
+        assert_eq!(code.insns[0].text, "LACK 7");
+        assert!(matches!(code.insns[1].kind, InsnKind::LoopStart { .. }));
+        code.check_structure().unwrap();
+    }
+
+    #[test]
+    fn hoist_refuses_variant_or_clobbered_loads() {
+        let t = record_isa::targets::tic25::target();
+        let acc = t.reg_class("acc").unwrap();
+        let mk_loop = |body: Vec<Insn>| {
+            let mut code = Code::default();
+            code.insns.push(Insn::ctrl(
+                InsnKind::LoopStart { var: Symbol::new("i"), count: 4 },
+                "LOOP",
+                2,
+                2,
+            ));
+            code.insns.extend(body);
+            code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "END", 2, 3));
+            code
+        };
+        // loop-variant operand: not hoistable
+        let a_i = MemLoc {
+            base: Symbol::new("a"),
+            disp: 0,
+            index: Some(Symbol::new("i")),
+            down: false,
+            bank: record_ir::Bank::X,
+            mode: record_isa::AddrMode::Unresolved,
+        };
+        let mut code = mk_loop(vec![
+            Insn::mov(Loc::Reg(RegId::singleton(acc)), Loc::Mem(a_i), "LAC a[i]", 1, 1),
+            Insn::mov(mem("y"), Loc::Reg(RegId::singleton(acc)), "SACL y", 1, 1),
+        ]);
+        assert_eq!(hoist_invariant_prefix(&mut code), 0);
+
+        // destination rewritten later in the body: not hoistable
+        let mut code = mk_loop(vec![
+            Insn::mov(Loc::Reg(RegId::singleton(acc)), Loc::Imm(7), "LACK 7", 1, 1),
+            Insn::mov(mem("y"), Loc::Reg(RegId::singleton(acc)), "SACL y", 1, 1),
+            Insn::mov(Loc::Reg(RegId::singleton(acc)), Loc::Imm(9), "LACK 9", 1, 1),
+            Insn::mov(mem("z"), Loc::Reg(RegId::singleton(acc)), "SACL z", 1, 1),
+        ]);
+        assert_eq!(hoist_invariant_prefix(&mut code), 0);
+
+        // source memory written by the body tail: not hoistable
+        let mut code = mk_loop(vec![
+            Insn::mov(Loc::Reg(RegId::singleton(acc)), mem("y"), "LAC y", 1, 1),
+            Insn::mov(mem("y"), Loc::Imm(0), "CLR y", 1, 1),
+        ]);
+        assert_eq!(hoist_invariant_prefix(&mut code), 0);
+    }
+
+    #[test]
+    fn schedule_respects_dependences() {
+        let t = record_isa::targets::dsp56k::target();
+        let x_cl = t.reg_class("x").unwrap();
+        // chain: LD x0 <- p ; ST p <- x0 must stay ordered
+        let a = dsp_move(Loc::Reg(RegId::new(x_cl, 0)), "p", record_ir::Bank::X);
+        let b = Insn::mov(mem("p"), Loc::Reg(RegId::new(x_cl, 0)).clone(), "MOVE x0,p", 1, 1);
+        let mut code = Code::default();
+        code.insns = vec![a, b];
+        let stats = schedule(&mut code, &t, ScheduleMode::BranchAndBound { max_segment: 10 });
+        assert_eq!(stats.bundles_after, 2);
+    }
+}

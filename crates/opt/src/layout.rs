@@ -1,0 +1,138 @@
+//! Data-memory layout construction.
+
+use record_ir::lir::VarInfo;
+use record_ir::{Bank, Symbol};
+use record_isa::{DataLayout, TargetDesc};
+
+/// Places variables in declaration order, packing each bank from address
+/// zero. Bank hints from the source are honoured; unhinted variables go
+/// to bank X (single-bank targets ignore banks entirely).
+///
+/// This is the baseline the offset- and bank-assignment passes improve on.
+///
+/// # Errors
+///
+/// Returns an error if a bank overflows the target's memory.
+///
+/// # Example
+///
+/// ```
+/// use record_ir::lir::{StorageKind, VarInfo};
+/// use record_ir::Symbol;
+///
+/// let vars = vec![VarInfo {
+///     name: Symbol::new("x"),
+///     len: 4,
+///     kind: StorageKind::Var,
+///     bank: None,
+///     is_fix: true,
+/// }];
+/// let target = record_isa::targets::tic25::target();
+/// let layout = record_opt::declaration_layout(&vars, &target)?;
+/// assert_eq!(layout.addr_of(&Symbol::new("x"), 0), Some((record_ir::Bank::X, 0)));
+/// # Ok::<(), String>(())
+/// ```
+pub fn declaration_layout(vars: &[VarInfo], target: &TargetDesc) -> Result<DataLayout, String> {
+    layout_in_order(vars.iter().map(|v| (v.name.clone(), v.len, v.bank)), target)
+}
+
+/// Places variables in the given order; `bank` of `None` means bank X.
+///
+/// # Errors
+///
+/// Returns an error if a bank overflows, a variable appears twice, or a
+/// Y-bank placement is requested on a single-bank target.
+pub fn layout_in_order(
+    vars: impl IntoIterator<Item = (Symbol, u32, Option<Bank>)>,
+    target: &TargetDesc,
+) -> Result<DataLayout, String> {
+    let mut layout = DataLayout::new();
+    let mut next = [0u32; 2];
+    for (sym, len, bank) in vars {
+        let bank = bank.unwrap_or(Bank::X);
+        if bank == Bank::Y && target.memory.banks < 2 {
+            return Err(format!(
+                "`{sym}` requests bank Y but target {} has one bank",
+                target.name
+            ));
+        }
+        let slot = bank as usize;
+        let addr = next[slot];
+        if addr + len > target.memory.words_per_bank as u32 {
+            return Err(format!(
+                "bank {bank} overflows: `{sym}` needs {len} words at {addr}"
+            ));
+        }
+        if layout.entry(&sym).is_some() {
+            return Err(format!("`{sym}` declared twice"));
+        }
+        layout.place(sym, addr as u16, len, bank);
+        next[slot] += len;
+    }
+    Ok(layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    #[test]
+    fn packs_sequentially() {
+        let t = record_isa::targets::tic25::target();
+        let l = layout_in_order(
+            vec![(sym("a"), 4, None), (sym("b"), 1, None), (sym("c"), 2, None)],
+            &t,
+        )
+        .unwrap();
+        assert_eq!(l.addr_of(&sym("a"), 0), Some((Bank::X, 0)));
+        assert_eq!(l.addr_of(&sym("b"), 0), Some((Bank::X, 4)));
+        assert_eq!(l.addr_of(&sym("c"), 1), Some((Bank::X, 6)));
+    }
+
+    #[test]
+    fn dual_bank_packs_independently() {
+        let t = record_isa::targets::dsp56k::target();
+        let l = layout_in_order(
+            vec![
+                (sym("a"), 4, Some(Bank::X)),
+                (sym("b"), 4, Some(Bank::Y)),
+                (sym("c"), 1, Some(Bank::X)),
+            ],
+            &t,
+        )
+        .unwrap();
+        assert_eq!(l.addr_of(&sym("b"), 0), Some((Bank::Y, 0)));
+        assert_eq!(l.addr_of(&sym("c"), 0), Some((Bank::X, 4)));
+    }
+
+    #[test]
+    fn rejects_bank_y_on_single_bank_target() {
+        let t = record_isa::targets::tic25::target();
+        let err =
+            layout_in_order(vec![(sym("a"), 1, Some(Bank::Y))], &t).unwrap_err();
+        assert!(err.contains("one bank"));
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        let t = record_isa::targets::tic25::target();
+        let words = t.memory.words_per_bank as u32;
+        let err = layout_in_order(vec![(sym("big"), words + 1, None)], &t).unwrap_err();
+        assert!(err.contains("overflows"));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let t = record_isa::targets::tic25::target();
+        let err = layout_in_order(
+            vec![(sym("a"), 1, None), (sym("a"), 1, None)],
+            &t,
+        )
+        .unwrap_err();
+        assert!(err.contains("twice"));
+    }
+}

@@ -1,0 +1,38 @@
+//! Embedded-specific code optimizations — the catalogue of Section 3.3 of
+//! the paper, implemented as passes over [`record_isa::Code`]:
+//!
+//! * [`layout`] — data-memory placement (the substrate the next two passes
+//!   rewrite),
+//! * [`offset`] — simple offset assignment (Bartley/Liao/Leupers): order
+//!   scalars so consecutive accesses sit in adjacent words and an
+//!   address-generation unit's free post-increment does the addressing,
+//! * [`address`] — addressing-mode assignment: direct where available,
+//!   AGU-indirect with post-modify for array streams and (on targets
+//!   without direct addressing) for scalars,
+//! * [`banks`] — memory-bank assignment (Sudarsanam/Malik): place operand
+//!   pairs in different banks so parallel moves can fetch them together,
+//! * [`compact`] — code compaction: C25-style instruction fusion
+//!   (`LT`+`APAC` = `LTA`), 56k-style parallel-move packing, and a
+//!   bundle scheduler with both a list-scheduling heuristic and an
+//!   exhaustive branch-and-bound mode ("compiler algorithms, which so far
+//!   have been rejected due to their complexity, should be reconsidered"),
+//! * [`modes`] — mode-change (residual control) minimization (Liao):
+//!   insert the fewest `SOVM`/`ROVM`-style instructions that satisfy every
+//!   instruction's mode requirement.
+//!
+//! Every pass both mutates the code and returns a statistics struct, so
+//! the ablation benches in `record-bench` can quantify each design choice.
+
+pub mod address;
+pub mod banks;
+pub mod compact;
+pub mod layout;
+pub mod modes;
+pub mod offset;
+
+pub use address::{assign_addresses, AddressStats};
+pub use banks::{assign_banks, BankStats};
+pub use compact::{fuse, hoist_invariant_prefix, pack_moves, schedule, ScheduleMode};
+pub use layout::declaration_layout;
+pub use modes::{insert_mode_changes, ModeStrategy};
+pub use offset::{goa, soa_cost, soa_order};

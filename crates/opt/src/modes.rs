@@ -1,0 +1,288 @@
+//! Mode-change (residual control) minimization.
+//!
+//! "Many DSPs have multiple operation modes … Switching from one mode to
+//! the other requires executing mode changing instructions. The issue for
+//! compilers is to minimize the number of mode-changing instructions."
+//! (Section 3.3, citing Liao.)
+//!
+//! Instructions carry their requirement in
+//! [`Insn::mode_req`](record_isa::Insn::mode_req). For a linear sequence
+//! and independent binary modes, lazy switching — change only when the
+//! next requirement differs from the current state — is optimal; loops
+//! additionally get single-polarity requirements hoisted into the
+//! preheader and mixed-polarity bodies a restoring change before the back
+//! edge so that every iteration enters in the same state.
+
+use record_isa::{Code, Insn, InsnKind, TargetDesc};
+
+/// How mode changes are inserted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModeStrategy {
+    /// Switch only when the required state differs from the tracked state
+    /// (with loop hoisting) — the optimized strategy.
+    Lazy,
+    /// Switch before *every* requiring instruction and restore the default
+    /// after it — the naive baseline the ablation bench compares against.
+    PerUse,
+}
+
+/// Inserts mode-change instructions so that every instruction's
+/// requirement is met; returns how many were inserted.
+///
+/// Programs whose instructions carry no requirements are returned
+/// untouched (cost 0) — the common case for non-saturating kernels.
+pub fn insert_mode_changes(code: &mut Code, target: &TargetDesc, strategy: ModeStrategy) -> u32 {
+    if target.modes.is_empty() {
+        return 0;
+    }
+    let insns = std::mem::take(&mut code.insns);
+    let mut state: Vec<bool> = target.modes.iter().map(|m| m.default_on).collect();
+    let mut out = Vec::with_capacity(insns.len());
+    let mut inserted = 0u32;
+
+    match strategy {
+        ModeStrategy::PerUse => {
+            for insn in insns {
+                if let Some((mode, on)) = insn.mode_req {
+                    let default = target.modes[mode].default_on;
+                    if on != default {
+                        out.push(set_mode(target, mode, on));
+                        out.push(insn);
+                        out.push(set_mode(target, mode, default));
+                        inserted += 2;
+                        continue;
+                    }
+                }
+                out.push(insn);
+            }
+        }
+        ModeStrategy::Lazy => {
+            inserted = lazy(&insns, target, &mut state, &mut out);
+        }
+    }
+    code.insns = out;
+    inserted
+}
+
+fn set_mode(target: &TargetDesc, mode: usize, on: bool) -> Insn {
+    let desc = &target.modes[mode];
+    let text = if on { desc.set_asm.clone() } else { desc.clear_asm.clone() };
+    Insn::ctrl(InsnKind::SetMode { mode, on }, text, desc.cost.words, desc.cost.cycles)
+}
+
+/// Lazy insertion over a (possibly loop-structured) instruction sequence.
+fn lazy(insns: &[Insn], target: &TargetDesc, state: &mut [bool], out: &mut Vec<Insn>) -> u32 {
+    let mut inserted = 0u32;
+    let mut i = 0usize;
+    while i < insns.len() {
+        let insn = &insns[i];
+        match &insn.kind {
+            InsnKind::LoopStart { .. } => {
+                // find the matching end
+                let mut depth = 1;
+                let mut j = i + 1;
+                while j < insns.len() && depth > 0 {
+                    match insns[j].kind {
+                        InsnKind::LoopStart { .. } => depth += 1,
+                        InsnKind::LoopEnd => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let body = &insns[i + 1..j - 1];
+
+                // hoist single-polarity requirements
+                #[allow(clippy::needless_range_loop)] // mode indexes two tables
+                for mode in 0..target.modes.len() {
+                    if let Some(polarity) = single_polarity(body, mode) {
+                        if state[mode] != polarity {
+                            out.push(set_mode(target, mode, polarity));
+                            state[mode] = polarity;
+                            inserted += 1;
+                        }
+                    }
+                }
+                out.push(insn.clone());
+                let entry = state.to_vec();
+                let mut body_out = Vec::new();
+                inserted += lazy(body, target, state, &mut body_out);
+                out.extend(body_out);
+                // restore entry state so every iteration sees it
+                #[allow(clippy::needless_range_loop)] // two slices indexed in lockstep
+                for mode in 0..target.modes.len() {
+                    if state[mode] != entry[mode] {
+                        out.push(set_mode(target, mode, entry[mode]));
+                        state[mode] = entry[mode];
+                        inserted += 1;
+                    }
+                }
+                out.push(insns[j - 1].clone());
+                i = j;
+                continue;
+            }
+            InsnKind::SetMode { mode, on } => {
+                // pre-existing changes update tracking
+                state[*mode] = *on;
+                out.push(insn.clone());
+            }
+            _ => {
+                if let Some((mode, on)) = insn.mode_req {
+                    if state[mode] != on {
+                        out.push(set_mode(target, mode, on));
+                        state[mode] = on;
+                        inserted += 1;
+                    }
+                }
+                out.push(insn.clone());
+            }
+        }
+        i += 1;
+    }
+    inserted
+}
+
+/// If every requirement on `mode` inside `body` has the same polarity,
+/// returns it.
+fn single_polarity(body: &[Insn], mode: usize) -> Option<bool> {
+    let mut polarity: Option<bool> = None;
+    for insn in body {
+        if let Some((m, on)) = insn.mode_req {
+            if m == mode {
+                match polarity {
+                    None => polarity = Some(on),
+                    Some(p) if p != on => return None,
+                    _ => {}
+                }
+            }
+        }
+    }
+    polarity
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_isa::{Loc, MemLoc};
+
+    fn t() -> TargetDesc {
+        record_isa::targets::tic25::target()
+    }
+
+    fn req(on: bool) -> Insn {
+        let mut i = Insn::mov(
+            Loc::Mem(MemLoc::scalar("y")),
+            Loc::Mem(MemLoc::scalar("x")),
+            if on { "SAT-OP" } else { "WRAP-OP" },
+            1,
+            1,
+        );
+        i.mode_req = Some((0, on));
+        i
+    }
+
+    fn count_setmodes(code: &Code) -> usize {
+        code.insns
+            .iter()
+            .filter(|i| matches!(i.kind, InsnKind::SetMode { .. }))
+            .count()
+    }
+
+    #[test]
+    fn no_requirements_no_changes() {
+        let mut code = Code::default();
+        code.insns.push(Insn::nop());
+        assert_eq!(insert_mode_changes(&mut code, &t(), ModeStrategy::Lazy), 0);
+        assert_eq!(count_setmodes(&code), 0);
+    }
+
+    #[test]
+    fn lazy_switches_once_per_run() {
+        let mut code = Code::default();
+        for _ in 0..3 {
+            code.insns.push(req(true));
+        }
+        for _ in 0..2 {
+            code.insns.push(req(false));
+        }
+        let n = insert_mode_changes(&mut code, &t(), ModeStrategy::Lazy);
+        // one SOVM before the first, one ROVM before the fourth
+        assert_eq!(n, 2);
+        assert!(matches!(code.insns[0].kind, InsnKind::SetMode { on: true, .. }));
+    }
+
+    #[test]
+    fn per_use_pays_per_instruction() {
+        let mut code = Code::default();
+        for _ in 0..3 {
+            code.insns.push(req(true));
+        }
+        let n = insert_mode_changes(&mut code, &t(), ModeStrategy::PerUse);
+        assert_eq!(n, 6, "set + restore around each of the three uses");
+    }
+
+    #[test]
+    fn default_polarity_requirements_are_free_lazily() {
+        let mut code = Code::default();
+        code.insns.push(req(false)); // ovm defaults to off
+        let n = insert_mode_changes(&mut code, &t(), ModeStrategy::Lazy);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn single_polarity_loops_hoist() {
+        let mut code = Code::default();
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: record_ir::Symbol::new("i"), count: 8 },
+            "LOOP 8",
+            2,
+            2,
+        ));
+        code.insns.push(req(true));
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 2, 3));
+        let n = insert_mode_changes(&mut code, &t(), ModeStrategy::Lazy);
+        assert_eq!(n, 1, "{:?}", code.insns.iter().map(|i| &i.text).collect::<Vec<_>>());
+        // the single change precedes the loop
+        assert!(matches!(code.insns[0].kind, InsnKind::SetMode { on: true, .. }));
+        assert!(matches!(code.insns[1].kind, InsnKind::LoopStart { .. }));
+    }
+
+    #[test]
+    fn mixed_polarity_loops_restore_at_back_edge() {
+        let mut code = Code::default();
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: record_ir::Symbol::new("i"), count: 8 },
+            "LOOP 8",
+            2,
+            2,
+        ));
+        code.insns.push(req(true));
+        code.insns.push(req(false));
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 2, 3));
+        let n = insert_mode_changes(&mut code, &t(), ModeStrategy::Lazy);
+        // set before the sat op, clear before the wrap op; state at the
+        // back edge equals entry state (off), so no restore is needed
+        assert_eq!(n, 2);
+        code.check_structure().unwrap();
+    }
+
+    #[test]
+    fn lazy_never_worse_than_per_use() {
+        let patterns: Vec<Vec<bool>> = vec![
+            vec![true, true, false, true],
+            vec![false, false],
+            vec![true],
+            vec![true, false, true, false, true],
+        ];
+        for pat in patterns {
+            let mut lazy_code = Code::default();
+            let mut naive_code = Code::default();
+            for &on in &pat {
+                lazy_code.insns.push(req(on));
+                naive_code.insns.push(req(on));
+            }
+            let nl = insert_mode_changes(&mut lazy_code, &t(), ModeStrategy::Lazy);
+            let nn = insert_mode_changes(&mut naive_code, &t(), ModeStrategy::PerUse);
+            assert!(nl <= nn, "lazy {nl} > per-use {nn} for {pat:?}");
+        }
+    }
+}

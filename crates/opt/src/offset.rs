@@ -1,0 +1,332 @@
+//! Simple offset assignment (SOA).
+//!
+//! On processors with address-generation units, "incrementing an address
+//! register does not require an extra instruction or cycle. As a result,
+//! it is desirable to assign variables to memory such that as many
+//! variable accesses as possible refer to adjacent memory locations"
+//! (Section 3.3). [`soa_order`] implements Liao's classic heuristic:
+//! build the *access graph* (edge weight = number of adjacent access
+//! pairs), then greedily select maximum-weight edges that keep the chosen
+//! set a collection of simple paths; concatenating the paths gives the
+//! storage order. [`soa_cost`] evaluates an order: every adjacent access
+//! pair not reachable by a free post-modify costs one explicit
+//! address-register operation.
+
+use std::collections::HashMap;
+
+use record_ir::Symbol;
+
+/// Computes a storage order for the accessed scalars using Liao's
+/// maximum-weight path-cover heuristic.
+///
+/// Symbols never accessed adjacently still appear (in first-access
+/// order), so the result is a permutation of the distinct symbols in
+/// `accesses`.
+///
+/// # Example
+///
+/// ```
+/// use record_ir::Symbol;
+/// use record_opt::{soa_cost, soa_order};
+///
+/// let s = |n: &str| Symbol::new(n);
+/// // access sequence a b a b c a — a and b should be neighbours
+/// let acc = vec![s("a"), s("b"), s("a"), s("b"), s("c"), s("a")];
+/// let order = soa_order(&acc);
+/// let pos = |x: &str| order.iter().position(|o| o.as_str() == x).unwrap();
+/// assert_eq!((pos("a") as i64 - pos("b") as i64).abs(), 1);
+/// // the optimized order never costs more than declaration order
+/// let decl = vec![s("a"), s("b"), s("c")];
+/// assert!(soa_cost(&order, &acc, 1) <= soa_cost(&decl, &acc, 1));
+/// ```
+pub fn soa_order(accesses: &[Symbol]) -> Vec<Symbol> {
+    let mut first_seen: Vec<Symbol> = Vec::new();
+    let mut index: HashMap<&Symbol, usize> = HashMap::new();
+    for a in accesses {
+        if !index.contains_key(a) {
+            index.insert(a, first_seen.len());
+            first_seen.push(a.clone());
+        }
+    }
+    let n = first_seen.len();
+    if n <= 2 {
+        return first_seen;
+    }
+
+    // access graph
+    let mut weight: HashMap<(usize, usize), u32> = HashMap::new();
+    for pair in accesses.windows(2) {
+        let (u, v) = (index[&pair[0]], index[&pair[1]]);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        *weight.entry(key).or_insert(0) += 1;
+    }
+
+    // greedy max-weight path cover
+    let mut edges: Vec<((usize, usize), u32)> = weight.into_iter().collect();
+    edges.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut degree = vec![0u8; n];
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for ((u, v), _) in edges {
+        if degree[u] >= 2 || degree[v] >= 2 {
+            continue;
+        }
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru == rv {
+            continue; // would close a cycle
+        }
+        parent[ru] = rv;
+        degree[u] += 1;
+        degree[v] += 1;
+        adj[u].push(v);
+        adj[v].push(u);
+    }
+
+    // walk each path from an endpoint; then isolated nodes
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] || degree[start] > 1 {
+            continue;
+        }
+        // endpoint (degree 0 or 1)
+        let mut cur = start;
+        let mut prev = usize::MAX;
+        loop {
+            visited[cur] = true;
+            order.push(first_seen[cur].clone());
+            let next = adj[cur].iter().copied().find(|&x| x != prev && !visited[x]);
+            match next {
+                Some(nx) => {
+                    prev = cur;
+                    cur = nx;
+                }
+                None => break,
+            }
+        }
+    }
+    // safety: anything missed (cycles cannot occur, but be robust)
+    for i in 0..n {
+        if !visited[i] {
+            order.push(first_seen[i].clone());
+        }
+    }
+    order
+}
+
+/// The number of explicit address-register operations a single AGU
+/// pointer needs to serve `accesses` when scalars are stored in `order`:
+/// each step between consecutive accesses whose address distance exceeds
+/// `post_range` costs 1.
+///
+/// Symbols in `accesses` that are missing from `order` are ignored.
+pub fn soa_cost(order: &[Symbol], accesses: &[Symbol], post_range: i8) -> u32 {
+    let pos: HashMap<&Symbol, i64> =
+        order.iter().enumerate().map(|(i, s)| (s, i as i64)).collect();
+    let addrs: Vec<i64> = accesses.iter().filter_map(|a| pos.get(a).copied()).collect();
+    let mut cost = 0;
+    for w in addrs.windows(2) {
+        if (w[1] - w[0]).abs() > post_range as i64 {
+            cost += 1;
+        }
+    }
+    cost
+}
+
+/// General offset assignment (GOA): partitions the access sequence among
+/// `k` address registers and offset-assigns each partition independently
+/// (Leupers' formulation). Returns the per-register variable partitions
+/// and the total residual cost.
+///
+/// The partitioner is the standard greedy: variables are assigned to the
+/// register whose access subsequence they extend most cheaply, seeded by
+/// total access frequency. `k = 1` degenerates to [`soa_order`].
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use record_ir::Symbol;
+/// use record_opt::offset::goa;
+///
+/// let acc: Vec<Symbol> =
+///     "a x a x b y b y".split_whitespace().map(Symbol::new).collect();
+/// // two interleaved chains: two pointers cover them with zero cost
+/// let (parts, cost) = goa(&acc, 2, 1);
+/// assert_eq!(parts.len(), 2);
+/// assert_eq!(cost, 0);
+/// ```
+pub fn goa(accesses: &[Symbol], k: usize, post_range: i8) -> (Vec<Vec<Symbol>>, u32) {
+    assert!(k >= 1, "GOA needs at least one address register");
+    // distinct variables by access frequency, heaviest first
+    let mut freq: HashMap<&Symbol, u32> = HashMap::new();
+    for a in accesses {
+        *freq.entry(a).or_insert(0) += 1;
+    }
+    let mut vars: Vec<&Symbol> = freq.keys().copied().collect();
+    vars.sort_by(|a, b| freq[b].cmp(&freq[a]).then(a.cmp(b)));
+
+    let mut partitions: Vec<Vec<Symbol>> = vec![Vec::new(); k];
+    for var in vars {
+        // try each register; keep the one minimizing the combined cost of
+        // its (re-offset-assigned) partition
+        let mut best: Option<(usize, u32)> = None;
+        #[allow(clippy::needless_range_loop)] // r is also the result index
+        for r in 0..k {
+            let mut trial: Vec<Symbol> = partitions[r].clone();
+            trial.push(var.clone());
+            let cost = partition_cost(&trial, accesses, post_range);
+            if best.map(|(_, c)| cost < c).unwrap_or(true) {
+                best = Some((r, cost));
+            }
+        }
+        let (r, _) = best.expect("k >= 1");
+        partitions[r].push(var.clone());
+    }
+
+    let total = partitions
+        .iter()
+        .map(|p| partition_cost(p, accesses, post_range))
+        .sum();
+    (partitions, total)
+}
+
+/// The SOA cost of the subsequence of `accesses` restricted to `members`,
+/// under the best ordering [`soa_order`] finds for that subsequence.
+fn partition_cost(members: &[Symbol], accesses: &[Symbol], post_range: i8) -> u32 {
+    if members.is_empty() {
+        return 0;
+    }
+    let sub: Vec<Symbol> = accesses
+        .iter()
+        .filter(|a| members.contains(a))
+        .cloned()
+        .collect();
+    let order = soa_order(&sub);
+    soa_cost(&order, &sub, post_range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: &str) -> Symbol {
+        Symbol::new(n)
+    }
+
+    fn seq(names: &str) -> Vec<Symbol> {
+        names.split_whitespace().map(Symbol::new).collect()
+    }
+
+    #[test]
+    fn empty_and_trivial() {
+        assert!(soa_order(&[]).is_empty());
+        assert_eq!(soa_order(&[s("a")]), vec![s("a")]);
+        assert_eq!(soa_order(&seq("a b")).len(), 2);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let acc = seq("a b c d a c b d a");
+        let order = soa_order(&acc);
+        let mut sorted: Vec<String> = order.iter().map(|x| x.to_string()).collect();
+        sorted.sort();
+        assert_eq!(sorted, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn liao_example_improves_over_declaration_order() {
+        // classic SOA example: sequence favouring a-b and c-d adjacency
+        let acc = seq("a b a b c d c d a b");
+        let order = soa_order(&acc);
+        let decl = seq("a c b d");
+        assert!(soa_cost(&order, &acc, 1) < soa_cost(&decl, &acc, 1));
+        // the a-b-c-d chain leaves only the d..a wrap as a costly hop
+        assert_eq!(soa_cost(&order, &acc, 1), 1);
+    }
+
+    #[test]
+    fn heavy_edge_wins() {
+        // x-y adjacent 3 times, x-z once: x must neighbour y
+        let acc = seq("x y x y x y x z");
+        let order = soa_order(&acc);
+        let pos = |n: &str| order.iter().position(|o| o.as_str() == n).unwrap() as i64;
+        assert_eq!((pos("x") - pos("y")).abs(), 1);
+    }
+
+    #[test]
+    fn cost_respects_post_range() {
+        let order = seq("a b c");
+        let acc = seq("a c a c");
+        assert_eq!(soa_cost(&order, &acc, 1), 3); // distance 2 each step
+        assert_eq!(soa_cost(&order, &acc, 2), 0); // range-2 AGU covers it
+    }
+
+    #[test]
+    fn repeated_same_symbol_costs_nothing() {
+        let order = seq("a b");
+        let acc = seq("a a a");
+        assert_eq!(soa_cost(&order, &acc, 0), 0);
+    }
+
+    #[test]
+    fn goa_with_one_register_equals_soa() {
+        let acc = seq("a b a b c d c d a b");
+        let order = soa_order(&acc);
+        let (parts, cost) = goa(&acc, 1, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(cost, soa_cost(&order, &acc, 1));
+    }
+
+    #[test]
+    fn goa_extra_registers_never_hurt() {
+        let acc = seq("a x b y a x b y c z c z");
+        let (_, c1) = goa(&acc, 1, 1);
+        let (_, c2) = goa(&acc, 2, 1);
+        let (_, c4) = goa(&acc, 4, 1);
+        assert!(c2 <= c1, "2 regs {c2} > 1 reg {c1}");
+        assert!(c4 <= c2, "4 regs {c4} > 2 regs {c2}");
+    }
+
+    #[test]
+    fn goa_splits_three_way_cycles() {
+        // a->b->c->a cycles defeat one pointer (the wrap always costs),
+        // but two pointers split the triangle into free chains
+        let acc = seq("a b c a b c a b c");
+        let (_, c1) = goa(&acc, 1, 1);
+        let (parts, c2) = goa(&acc, 2, 1);
+        assert!(c1 > 0);
+        assert!(c2 < c1, "2 regs {c2} vs 1 reg {c1}");
+        let nonempty: Vec<_> = parts.iter().filter(|p| !p.is_empty()).collect();
+        assert_eq!(nonempty.len(), 2);
+    }
+
+    #[test]
+    fn goa_partitions_cover_all_variables() {
+        let acc = seq("p q r s p q r s");
+        let (parts, _) = goa(&acc, 3, 1);
+        let mut all: Vec<String> =
+            parts.iter().flatten().map(|v| v.to_string()).collect();
+        all.sort();
+        assert_eq!(all, vec!["p", "q", "r", "s"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one address register")]
+    fn goa_rejects_zero_registers() {
+        goa(&seq("a"), 0, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Fig. 1 — the processor cube: classify processors along the paper's
+//! three axes (availability form, domain-specific features,
+//! application-specific features) and print the cube with the paper's
+//! example processors placed on it.
+//!
+//! ```sh
+//! cargo run --example processor_cube
+//! ```
+
+use record_isa::taxonomy::{paper_examples, CubePoint};
+
+fn main() {
+    println!("The processor cube (Fig. 1):\n");
+    println!(
+        "{:<12} {:<10} {:<14} class",
+        "available", "domain", "app-specific"
+    );
+    println!("{:-<60}", "");
+    for corner in CubePoint::corners() {
+        println!(
+            "{:<12} {:<10} {:<14} {}",
+            format!("{:?}", corner.availability),
+            format!("{:?}", corner.domain),
+            format!("{:?}", corner.app),
+            corner.label()
+        );
+    }
+
+    println!("\nThe paper's examples, placed on the cube:\n");
+    for ex in paper_examples() {
+        println!("  {:<28} -> {:<24} ({})", ex.name, ex.point.label(), ex.notes);
+    }
+
+    println!("\nThe bundled target models, placed on the cube:");
+    let placements = [
+        ("tic25", "DSP (fixed, packaged, signal-processing features)"),
+        ("dsp56k", "DSP (fixed, packaged, parallel moves + dual banks)"),
+        ("risc8", "processor core (general-purpose, fixed)"),
+        ("asip-*", "ASIP / ASSP core (generic parameters still open)"),
+    ];
+    for (t, c) in placements {
+        println!("  {t:<28} -> {c}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Integration tests for the `recordc` command-line driver.
+
+use std::process::Command;
+
+fn recordc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_recordc"))
+}
+
+#[test]
+fn compiles_fir_to_assembly() {
+    let out = recordc()
+        .args(["examples/dfl/fir.dfl", "--stats"])
+        .output()
+        .expect("recordc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("; fir for tic25"), "{stdout}");
+    assert!(stdout.contains("MPY"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("code size:"), "{stderr}");
+}
+
+#[test]
+fn runs_with_inputs_and_prints_outputs() {
+    let out = recordc()
+        .args([
+            "examples/dfl/fir.dfl",
+            "--run",
+            "--set",
+            "u=1",
+            "--set",
+            "c=1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1",
+            "--set",
+            "x=2,2,2,2,2,2,2,2,2,2,2,2,2,2,2,2",
+        ])
+        .output()
+        .expect("recordc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // y = 1*1 + 15 * (1*2) = 31
+    assert!(stdout.contains("y = 31"), "{stdout}");
+}
+
+#[test]
+fn retargets_to_other_processors() {
+    for target in ["dsp56k", "risc8", "risc4", "asip-dsp", "asip-default"] {
+        let out = recordc()
+            .args(["examples/dfl/biquad.dfl", "--target", target])
+            .output()
+            .expect("recordc runs");
+        assert!(
+            out.status.success(),
+            "target {target}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn emits_binary_images() {
+    let out = recordc()
+        .args(["examples/dfl/biquad.dfl", "--emit", "bin"])
+        .output()
+        .expect("recordc runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("binary image"), "{stdout}");
+}
+
+#[test]
+fn baseline_mode_is_tic25_only() {
+    let out = recordc()
+        .args(["examples/dfl/fir.dfl", "--baseline", "--target", "risc8"])
+        .output()
+        .expect("recordc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("tic25"));
+}
+
+#[test]
+fn reports_unknown_targets_and_files() {
+    let out = recordc()
+        .args(["examples/dfl/fir.dfl", "--target", "pdp11"])
+        .output()
+        .expect("recordc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown target"));
+
+    let out = recordc().args(["no/such/file.dfl"]).output().expect("recordc runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn reports_compile_errors_with_location() {
+    let dir = std::env::temp_dir().join("recordc-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.dfl");
+    std::fs::write(&path, "program p; var y: fix; begin y := q; end").unwrap();
+    let out = recordc()
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("recordc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not declared"));
+}
+
+#[test]
+fn generates_compiler_from_textual_netlist() {
+    let out = recordc()
+        .args([
+            "examples/dfl/straightline.dfl",
+            "--netlist",
+            "examples/netlists/acc_machine.nl",
+            "--run",
+            "--set",
+            "a=29",
+            "--set",
+            "b=5",
+            "--set",
+            "c=10",
+        ])
+        .output()
+        .expect("recordc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("u = 150"), "{stdout}");
+    assert!(stdout.contains("v = 8"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("generated compiler"), "{stderr}");
+}
+
+#[test]
+fn saturating_kernel_saturates_under_simulation() {
+    let out = recordc()
+        .args([
+            "examples/dfl/saturating_mix.dfl",
+            "--run",
+            "--set",
+            "a=30000,30000,30000,30000,30000,30000,30000,30000",
+            "--set",
+            "b=30000,30000,30000,30000,30000,30000,30000,30000",
+        ])
+        .output()
+        .expect("recordc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("acc_sat = 32767"), "{stdout}");
+    // the wrap-around accumulator overflowed instead
+    assert!(!stdout.contains("acc_wrap = 32767"), "{stdout}");
+}

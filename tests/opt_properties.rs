@@ -1,0 +1,226 @@
+//! Property-based tests for the optimization passes: each pass must
+//! preserve the program's observable memory state (checked by running
+//! before/after versions on the simulator), and mode insertion must
+//! satisfy every instruction's requirement.
+
+
+use proptest::prelude::*;
+use record_ir::{BinOp, Symbol};
+use record_isa::{Code, Insn, InsnKind, Loc, MemLoc, RegId, SemExpr, TargetDesc};
+use record_opt::compact::ScheduleMode;
+use record_opt::modes::ModeStrategy;
+use record_sim::Machine;
+
+const MEMS: [&str; 4] = ["m0", "m1", "m2", "m3"];
+
+/// A random straight-line program over the dsp56k register classes:
+/// moves (mem↔reg) and register-register arithmetic.
+#[derive(Clone, Debug)]
+enum Step {
+    LoadX(usize, usize),       // x[i] := mem[j]
+    LoadY(usize, usize),       // y[i] := mem[j]
+    Mac(usize, usize, usize),  // a[k] := a[k] + x[i]*y[j]
+    Add(usize, usize),         // a[k] := a[k] + x[i]
+    Store(usize, usize),       // mem[j] := a[k]
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..2, 0usize..4).prop_map(|(i, j)| Step::LoadX(i, j)),
+        (0usize..2, 0usize..4).prop_map(|(i, j)| Step::LoadY(i, j)),
+        (0usize..2, 0usize..2, 0usize..2).prop_map(|(i, j, k)| Step::Mac(i, j, k)),
+        (0usize..2, 0usize..2).prop_map(|(i, k)| Step::Add(i, k)),
+        (0usize..2, 0usize..4).prop_map(|(k, j)| Step::Store(k, j)),
+    ]
+}
+
+fn build_code(steps: &[Step], target: &TargetDesc) -> Code {
+    let a_cl = target.reg_class("a").unwrap();
+    let x_cl = target.reg_class("x").unwrap();
+    let y_cl = target.reg_class("y").unwrap();
+    let mem = |j: usize| {
+        let mut m = MemLoc::scalar(MEMS[j]);
+        // alternate banks so parallel packing has opportunities
+        m.bank = if j.is_multiple_of(2) { record_ir::Bank::X } else { record_ir::Bank::Y };
+        // resolved direct addressing keeps the passes honest
+        m.mode = record_isa::AddrMode::Direct(j as u16);
+        m
+    };
+    let mut code = Code {
+        insns: Vec::new(),
+        layout: Default::default(),
+        target: target.name.clone(),
+        name: "prop-opt".into(),
+    };
+    for (j, name) in MEMS.iter().enumerate() {
+        code.layout.place(
+            Symbol::new(*name),
+            j as u16,
+            1,
+            if j % 2 == 0 { record_ir::Bank::X } else { record_ir::Bank::Y },
+        );
+    }
+    for step in steps {
+        let insn = match step {
+            Step::LoadX(i, j) => {
+                let mut m = Insn::mov(
+                    Loc::Reg(RegId::new(x_cl, *i as u16)),
+                    Loc::Mem(mem(*j)),
+                    format!("MOVE {},x{i}", MEMS[*j]),
+                    1,
+                    1,
+                );
+                m.units = record_isa::pattern::units::MOVE;
+                m
+            }
+            Step::LoadY(i, j) => {
+                let mut m = Insn::mov(
+                    Loc::Reg(RegId::new(y_cl, *i as u16)),
+                    Loc::Mem(mem(*j)),
+                    format!("MOVE {},y{i}", MEMS[*j]),
+                    1,
+                    1,
+                );
+                m.units = record_isa::pattern::units::MOVE;
+                m
+            }
+            Step::Mac(i, j, k) => {
+                let mut m = Insn::compute(
+                    Loc::Reg(RegId::new(a_cl, *k as u16)),
+                    SemExpr::bin(
+                        BinOp::Add,
+                        SemExpr::loc(Loc::Reg(RegId::new(a_cl, *k as u16))),
+                        SemExpr::bin(
+                            BinOp::Mul,
+                            SemExpr::loc(Loc::Reg(RegId::new(x_cl, *i as u16))),
+                            SemExpr::loc(Loc::Reg(RegId::new(y_cl, *j as u16))),
+                        ),
+                    ),
+                    format!("MAC x{i},y{j},a{k}"),
+                    1,
+                    1,
+                );
+                m.units = record_isa::pattern::units::MUL | record_isa::pattern::units::ALU;
+                m
+            }
+            Step::Add(i, k) => {
+                let mut m = Insn::compute(
+                    Loc::Reg(RegId::new(a_cl, *k as u16)),
+                    SemExpr::bin(
+                        BinOp::Add,
+                        SemExpr::loc(Loc::Reg(RegId::new(a_cl, *k as u16))),
+                        SemExpr::loc(Loc::Reg(RegId::new(x_cl, *i as u16))),
+                    ),
+                    format!("ADD x{i},a{k}"),
+                    1,
+                    1,
+                );
+                m.units = record_isa::pattern::units::ALU;
+                m
+            }
+            Step::Store(k, j) => {
+                let mut m = Insn::mov(
+                    Loc::Mem(mem(*j)),
+                    Loc::Reg(RegId::new(a_cl, *k as u16)),
+                    format!("MOVE a{k},{}", MEMS[*j]),
+                    1,
+                    1,
+                );
+                m.units = record_isa::pattern::units::MOVE;
+                m
+            }
+        };
+        code.insns.push(insn);
+    }
+    code
+}
+
+fn memory_state(code: &Code, target: &TargetDesc) -> Vec<i64> {
+    let mut machine = Machine::new(target);
+    for (j, name) in MEMS.iter().enumerate() {
+        machine
+            .poke(&Symbol::new(*name), 0, (j as i64 + 3) * 17 - 40, code)
+            .unwrap();
+    }
+    machine.run(code).unwrap();
+    MEMS.iter()
+        .map(|n| machine.peek(&Symbol::new(*n), 0, code).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Parallel-move packing preserves the final memory state.
+    #[test]
+    fn pack_moves_preserves_semantics(steps in proptest::collection::vec(arb_step(), 1..12)) {
+        let target = record_isa::targets::dsp56k::target();
+        let original = build_code(&steps, &target);
+        let before = memory_state(&original, &target);
+        let mut packed = original.clone();
+        record_opt::pack_moves(&mut packed, &target);
+        let after = memory_state(&packed, &target);
+        prop_assert_eq!(before, after, "packing changed results:\n{}", packed.render());
+    }
+
+    /// Bundle scheduling (list and branch-and-bound) preserves the final
+    /// memory state, and B&B never produces more bundles than list.
+    #[test]
+    fn scheduling_preserves_semantics(steps in proptest::collection::vec(arb_step(), 1..10)) {
+        let target = record_isa::targets::dsp56k::target();
+        let original = build_code(&steps, &target);
+        let before = memory_state(&original, &target);
+
+        let mut listed = original.clone();
+        let ls = record_opt::schedule(&mut listed, &target, ScheduleMode::List);
+        prop_assert_eq!(memory_state(&listed, &target), before.clone(),
+            "list schedule changed results:\n{}", listed.render());
+
+        let mut bb = original.clone();
+        let bs = record_opt::schedule(
+            &mut bb, &target, ScheduleMode::BranchAndBound { max_segment: 10 });
+        prop_assert_eq!(memory_state(&bb, &target), before,
+            "B&B schedule changed results:\n{}", bb.render());
+        prop_assert!(bs.bundles_after <= ls.bundles_after);
+    }
+
+    /// After lazy insertion every mode requirement is met at its
+    /// instruction, and lazy never inserts more changes than per-use.
+    #[test]
+    fn mode_insertion_is_sound_and_frugal(reqs in proptest::collection::vec(any::<Option<bool>>(), 1..20)) {
+        let target = record_isa::targets::tic25::target();
+        let build = |reqs: &[Option<bool>]| {
+            let mut code = Code::default();
+            for (i, r) in reqs.iter().enumerate() {
+                let mut insn = Insn::mov(
+                    Loc::Mem(MemLoc::scalar(format!("v{i}"))),
+                    Loc::Imm(i as i64),
+                    format!("OP{i}"),
+                    1,
+                    1,
+                );
+                insn.mode_req = r.map(|on| (0usize, on));
+                code.insns.push(insn);
+            }
+            code
+        };
+        let mut lazy = build(&reqs);
+        let n_lazy = record_opt::insert_mode_changes(&mut lazy, &target, ModeStrategy::Lazy);
+        let mut naive = build(&reqs);
+        let n_naive = record_opt::insert_mode_changes(&mut naive, &target, ModeStrategy::PerUse);
+        prop_assert!(n_lazy <= n_naive);
+
+        // soundness: walk the lazy result tracking the mode state
+        let mut state = target.modes[0].default_on;
+        for insn in &lazy.insns {
+            match &insn.kind {
+                InsnKind::SetMode { on, .. } => state = *on,
+                _ => {
+                    if let Some((_, want)) = insn.mode_req {
+                        prop_assert_eq!(state, want, "requirement violated at {}", insn.text);
+                    }
+                }
+            }
+        }
+    }
+}
