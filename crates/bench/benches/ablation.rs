@@ -5,9 +5,9 @@
 
 use std::collections::HashMap;
 
-use criterion::{black_box, Criterion};
 use record::{CompileOptions, Compiler};
 use record_bench::criterion;
+use record_bench::{black_box, Criterion};
 use record_ir::transform::RuleSet;
 use record_ir::Symbol;
 use record_opt::modes::ModeStrategy;
@@ -110,8 +110,7 @@ fn print_ablations() {
     );
 
     // 6. offset assignment: AR traffic on a 56k-style machine
-    let acc_seq: Vec<Symbol> =
-        "a b a b c d c d a b".split_whitespace().map(Symbol::new).collect();
+    let acc_seq: Vec<Symbol> = "a b a b c d c d a b".split_whitespace().map(Symbol::new).collect();
     let decl: Vec<Symbol> = "a c b d".split_whitespace().map(Symbol::new).collect();
     let soa = record_opt::soa_order(&acc_seq);
     println!(
@@ -128,9 +127,7 @@ fn print_ablations() {
     let (_, g2) = record_opt::goa(&goa_seq, 2, 1);
     println!(
         "{:<44} {:>5} -> {:>5}   (AR ops, 1 vs 2 pointers)",
-        "general offset assignment (synthetic)",
-        g1,
-        g2,
+        "general offset assignment (synthetic)", g1, g2,
     );
 
     // 7. mode-change minimization: two saturating updates per iteration —
@@ -149,10 +146,8 @@ fn print_ablations() {
           end loop;
         end";
     let sat_lir = record_ir::lower::lower(&record_ir::dfl::parse(sat_src).unwrap()).unwrap();
-    let per_use = CompileOptions {
-        mode_strategy: ModeStrategy::PerUse,
-        ..CompileOptions::default()
-    };
+    let per_use =
+        CompileOptions { mode_strategy: ModeStrategy::PerUse, ..CompileOptions::default() };
     println!(
         "{:<44} {:>5} -> {:>5}",
         "mode minimization (mixed sat/wrap loop)",
@@ -208,11 +203,7 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("fir_no_optimizations", |b| {
         b.iter(|| {
-            black_box(
-                compiler
-                    .compile_with(black_box(&lir), &CompileOptions::nothing())
-                    .unwrap(),
-            )
+            black_box(compiler.compile_with(black_box(&lir), &CompileOptions::nothing()).unwrap())
         })
     });
     group.finish();

@@ -3,8 +3,8 @@
 //! second) and the cost of enumerating and matching algebraic variants
 //! per statement, which is RECORD's whole selection strategy.
 
-use criterion::{black_box, Criterion};
 use record_bench::criterion;
+use record_bench::{black_box, Criterion};
 use record_burg::Matcher;
 use record_ir::transform::{variants, RuleSet};
 use record_ir::{BinOp, Tree};
@@ -31,11 +31,8 @@ fn print_stats() {
     println!("\nvariant enumeration and matching for `cr + ar*br - ai*bi`:");
     for limit in [1usize, 8, 32, 128] {
         let vs = variants(&tree, &RuleSet::all(), limit);
-        let best = vs
-            .iter()
-            .filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.words))
-            .min()
-            .unwrap();
+        let best =
+            vs.iter().filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.words)).min().unwrap();
         println!("  limit {limit:>4}: {:>4} variants, best cover {best} words", vs.len());
     }
 
@@ -68,9 +65,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("select_over_32_variants", |b| {
         b.iter(|| {
             let vs = variants(black_box(&tree), &RuleSet::all(), 32);
-            vs.iter()
-                .filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.weight()))
-                .min()
+            vs.iter().filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.weight())).min()
         })
     });
     group.finish();

@@ -2,8 +2,8 @@
 //! prints the figures' cover and a cover-cost series over growing
 //! multiply-accumulate chains, then times labelling + reduction.
 
-use criterion::{black_box, Criterion};
 use record_bench::criterion;
+use record_bench::{black_box, Criterion};
 use record_burg::Matcher;
 use record_ir::{BinOp, Tree};
 
@@ -14,11 +14,7 @@ fn mac_chain(k: usize) -> Tree {
         tree = Tree::bin(
             BinOp::Add,
             tree,
-            Tree::bin(
-                BinOp::Mul,
-                Tree::var(format!("c{i}")),
-                Tree::var(format!("x{i}")),
-            ),
+            Tree::bin(BinOp::Mul, Tree::var(format!("c{i}")), Tree::var(format!("x{i}"))),
         );
     }
     tree
@@ -37,7 +33,11 @@ fn print_series() {
     );
     let cover = matcher.cover(&fig_tree, acc).unwrap();
     println!("  {}", cover.root.dump(&target));
-    println!("  cost: {} words, {} covering patterns", cover.cost.words, cover.pattern_count(&target));
+    println!(
+        "  cost: {} words, {} covering patterns",
+        cover.cost.words,
+        cover.pattern_count(&target)
+    );
 
     println!("\ncover cost vs MAC-chain length (tic25):");
     println!("{:>8} {:>8} {:>10}", "products", "nodes", "words");

@@ -2,8 +2,8 @@
 //! extraction on its netlist, prints the extracted-instruction counts as
 //! the netlist's ALU operation repertoire grows, and times extraction.
 
-use criterion::{black_box, Criterion};
 use record_bench::criterion;
+use record_bench::{black_box, Criterion};
 use record_ir::{BinOp, Op};
 use record_isa::netlist::{AluOp, Netlist};
 

@@ -5,8 +5,8 @@
 
 use std::collections::HashMap;
 
-use criterion::{black_box, Criterion};
 use record_bench::criterion;
+use record_bench::{black_box, Criterion};
 use record_ir::Symbol;
 use record_sim::run_program;
 
@@ -17,8 +17,7 @@ fn print_table() {
     let mut in_band = 0;
     let mut rows = 0;
     for kernel in record_dspstone::kernels() {
-        let lir =
-            record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
+        let lir = record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
         let base = record::baseline::compile(&lir).unwrap();
         let hand = record::handasm::hand_code(kernel.name).unwrap();
         let inputs = kernel.inputs(1);

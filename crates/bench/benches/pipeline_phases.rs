@@ -2,8 +2,8 @@
 //! pipeline (parse → lower → treeify → matcher generation → cover →
 //! full compile) on the FIR kernel, printed as a phase table and timed.
 
-use criterion::{black_box, Criterion};
 use record_bench::criterion;
+use record_bench::{black_box, Criterion};
 use record_burg::Matcher;
 
 fn phase_table() {

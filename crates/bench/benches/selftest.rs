@@ -2,9 +2,9 @@
 //! compiler: prints coverage and fault-detection rates for three targets
 //! (including one generated from a netlist), then times generation.
 
-use criterion::{black_box, Criterion};
 use record::selftest::{detects_fault, generate};
 use record_bench::criterion;
+use record_bench::{black_box, Criterion};
 use record_isa::TargetDesc;
 
 fn report(target: &TargetDesc) {
@@ -28,9 +28,7 @@ fn report(target: &TargetDesc) {
 fn print_table() {
     println!("\nSection 4.5: generated self-test programs:");
     report(&record_isa::targets::tic25::target());
-    report(&record_isa::targets::asip::build(
-        &record_isa::targets::asip::AsipParams::dsp(),
-    ));
+    report(&record_isa::targets::asip::build(&record_isa::targets::asip::AsipParams::dsp()));
     let netlist = record_ise::demo::acc_machine_netlist();
     let (compiler, _) =
         record::Compiler::from_netlist("accgen", &netlist, &Default::default()).unwrap();
@@ -41,9 +39,8 @@ fn bench(c: &mut Criterion) {
     let tic25 = record_isa::targets::tic25::target();
     let asip = record_isa::targets::asip::build(&record_isa::targets::asip::AsipParams::dsp());
     let mut group = c.benchmark_group("selftest_generate");
-    group.bench_function("tic25", |b| {
-        b.iter(|| black_box(generate(black_box(&tic25), 1).unwrap()))
-    });
+    group
+        .bench_function("tic25", |b| b.iter(|| black_box(generate(black_box(&tic25), 1).unwrap())));
     group.bench_function("asip_dsp", |b| {
         b.iter(|| black_box(generate(black_box(&asip), 1).unwrap()))
     });

@@ -4,8 +4,8 @@
 //! that longer-than-standard compile times are acceptable is only
 //! meaningful if we can show what they are).
 
-use criterion::{black_box, Criterion};
 use record_bench::criterion;
+use record_bench::{black_box, Criterion};
 
 fn print_table() {
     let table = record::report::table1().expect("all kernels compile and validate");
@@ -13,12 +13,10 @@ fn print_table() {
 }
 
 fn bench(c: &mut Criterion) {
-    let compiler =
-        record::Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
+    let compiler = record::Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
     let mut group = c.benchmark_group("table1_compile");
     for kernel in record_dspstone::kernels() {
-        let lir =
-            record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
+        let lir = record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
         group.bench_function(kernel.name, |b| {
             b.iter(|| black_box(compiler.compile(black_box(&lir)).unwrap().size_words()))
         });

@@ -3,8 +3,8 @@
 //! model per corner family (constructing an explicit target description
 //! is the entry fee of retargetability, so it should be cheap).
 
-use criterion::{black_box, Criterion};
 use record_bench::criterion;
+use record_bench::{black_box, Criterion};
 use record_isa::taxonomy::{paper_examples, CubePoint};
 
 fn print_cube() {
@@ -26,12 +26,8 @@ fn print_cube() {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("target_construction");
-    group.bench_function("tic25", |b| {
-        b.iter(|| black_box(record_isa::targets::tic25::target()))
-    });
-    group.bench_function("dsp56k", |b| {
-        b.iter(|| black_box(record_isa::targets::dsp56k::target()))
-    });
+    group.bench_function("tic25", |b| b.iter(|| black_box(record_isa::targets::tic25::target())));
+    group.bench_function("dsp56k", |b| b.iter(|| black_box(record_isa::targets::dsp56k::target())));
     group.bench_function("risc8", |b| {
         b.iter(|| black_box(record_isa::targets::simple_risc::target(8)))
     });

@@ -1,0 +1,226 @@
+//! A minimal wall-clock benchmark harness with a Criterion-shaped API.
+//!
+//! Implements exactly the subset the benches in this crate use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] and [`black_box`]. Each benchmark warms up for the
+//! configured window, then runs sampling rounds for the measurement
+//! window and reports the best (minimum) and median per-iteration time —
+//! the minimum is the usual low-noise estimator for micro-benchmarks.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness configuration plus the collected results.
+///
+/// API-compatible (for this crate's usage) with `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    results: Vec<Sample>,
+}
+
+/// One finished benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Best observed per-iteration time.
+    pub best: Duration,
+    /// Median per-iteration time across sampling rounds.
+    pub median: Duration,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(900),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of sampling rounds per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up window before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement window, split across the sampling rounds.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for Criterion compatibility; command-line filtering is
+    /// not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample = self.run(id, f);
+        self.results.push(sample);
+        self
+    }
+
+    /// Prints a one-line summary per finished benchmark.
+    pub fn final_summary(&self) {
+        println!("\nbenchmark summary ({} entries):", self.results.len());
+        for s in &self.results {
+            println!(
+                "  {:<44} best {:>12}   median {:>12}   ({} iters)",
+                s.id,
+                fmt_duration(s.best),
+                fmt_duration(s.median),
+                s.iterations
+            );
+        }
+    }
+
+    /// All collected samples, in execution order.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    fn run<F>(&self, id: String, mut f: F) -> Sample
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { spent: Duration::ZERO, iters: 0, budget: self.warm_up };
+        f(&mut b); // warm-up round (timings discarded)
+
+        let per_round = self.measurement / self.sample_size as u32;
+        let mut rounds: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { spent: Duration::ZERO, iters: 0, budget: per_round };
+            f(&mut b);
+            if b.iters > 0 {
+                rounds.push(b.spent / b.iters as u32);
+                total_iters += b.iters;
+            }
+        }
+        rounds.sort();
+        let best = rounds.first().copied().unwrap_or_default();
+        let median = rounds.get(rounds.len() / 2).copied().unwrap_or_default();
+        let sample = Sample { id, best, median, iterations: total_iters };
+        println!(
+            "{:<48} time: {:>12} (median {:>12})",
+            sample.id,
+            fmt_duration(sample.best),
+            fmt_duration(sample.median)
+        );
+        sample
+    }
+}
+
+/// A named set of benchmarks whose ids are prefixed `group/…`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` under this group's configuration.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let sample = self.criterion.run(full, f);
+        self.criterion.results.push(sample);
+        self
+    }
+
+    /// Ends the group (results were recorded as they ran).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; call [`iter`](Self::iter)
+/// with the code under test.
+pub struct Bencher {
+    spent: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Repeatedly executes `f`, timing each call, until the round's time
+    /// budget is exhausted (at least once).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            self.spent += start.elapsed();
+            self.iters += 1;
+            if self.spent >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_sample() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(6));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].iterations > 0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("x", |b| b.iter(|| black_box(42)));
+        g.finish();
+        assert_eq!(c.results()[0].id, "g/x");
+    }
+}

@@ -3,13 +3,21 @@
 //! Every bench binary in `benches/` regenerates one table or figure of
 //! the paper: it first *prints* the reproduced rows/series (so `cargo
 //! bench` output doubles as the experiment log recorded in
-//! EXPERIMENTS.md), then times the underlying machinery with Criterion.
+//! EXPERIMENTS.md), then times the underlying machinery.
+//!
+//! The timing loop lives in [`harness`]: a dependency-free, wall-clock
+//! mini-benchmark with the subset of the Criterion API these benches use
+//! (`benchmark_group` / `bench_function` / `iter` / `black_box`). The
+//! container this repo builds in has no network access to crates.io, so
+//! the harness is vendored rather than pulled in as a dependency.
+
+pub mod harness;
+
+pub use harness::{black_box, Criterion};
 
 use std::time::Duration;
 
-use criterion::Criterion;
-
-/// A Criterion instance tuned for this suite: small samples and short
+/// A harness instance tuned for this suite: small samples and short
 /// measurement windows, because the interesting output is the reproduced
 /// table, not picosecond precision.
 pub fn criterion() -> Criterion {

@@ -29,4 +29,4 @@ pub mod matcher;
 
 pub use cover::{Cover, CoverNode, Operand};
 pub use label::{Entry, Labeled};
-pub use matcher::Matcher;
+pub use matcher::{Matcher, Tables};

@@ -1,19 +1,71 @@
 //! The matcher: table generation, bottom-up labelling, top-down reduction.
 
+use std::sync::Arc;
+
 use record_ir::{Op, Tree};
-use record_isa::{
-    Cost, NonTermId, PatNode, Predicate, Rhs, RuleId, TargetDesc,
-};
+use record_isa::{Cost, NonTermId, PatNode, Predicate, Rhs, RuleId, TargetDesc};
 
 use crate::cover::{Cover, CoverNode, Operand};
 use crate::label::{Entry, Labeled};
+
+/// The generated matcher tables for one target grammar: pattern rules
+/// indexed by root operator and chain rules by source nonterminal.
+///
+/// Building them is the per-target "generation" step iburg performs
+/// offline. They are immutable once built, so a single `Arc<Tables>` can
+/// back any number of [`Matcher`]s — including matchers running
+/// concurrently on different threads.
+#[derive(Debug)]
+pub struct Tables {
+    /// Pattern rules indexed by root operator (`Op::index`).
+    rules_by_op: Vec<Vec<RuleId>>,
+    /// Chain rules indexed by *source* nonterminal.
+    chains: Vec<RuleId>,
+    n_nts: usize,
+}
+
+impl Tables {
+    /// Generates the tables for a target grammar.
+    pub fn build(target: &TargetDesc) -> Self {
+        let mut rules_by_op: Vec<Vec<RuleId>> = vec![Vec::new(); Op::COUNT];
+        let mut chains = Vec::new();
+        for rule in &target.rules {
+            match &rule.rhs {
+                Rhs::Pat(PatNode::Op(op, _)) => rules_by_op[op.index()].push(rule.id),
+                Rhs::Pat(PatNode::Nt(_)) => {
+                    // A bare-nonterminal pattern is just a chain rule in
+                    // disguise; treat it as such.
+                    chains.push(rule.id);
+                }
+                Rhs::Chain(_) => chains.push(rule.id),
+            }
+        }
+        Tables { rules_by_op, chains, n_nts: target.nonterms.len() }
+    }
+
+    /// Number of nonterminals the tables were generated for.
+    pub fn n_nonterms(&self) -> usize {
+        self.n_nts
+    }
+
+    /// Number of indexed pattern rules (diagnostic).
+    pub fn n_pattern_rules(&self) -> usize {
+        self.rules_by_op.iter().map(Vec::len).sum()
+    }
+
+    /// Number of indexed chain rules (diagnostic).
+    pub fn n_chain_rules(&self) -> usize {
+        self.chains.len()
+    }
+}
 
 /// A generated pattern matcher for one target grammar.
 ///
 /// Construction indexes the grammar (the "generation" step that iburg
 /// performs offline); [`label`](Matcher::label) and
 /// [`reduce`](Matcher::reduce) then run in time linear in the tree size
-/// (times the number of nonterminals).
+/// (times the number of nonterminals). Use [`Matcher::with_tables`] to
+/// reuse already-generated [`Tables`] instead of regenerating them.
 ///
 /// # Example
 ///
@@ -32,30 +84,24 @@ use crate::label::{Entry, Labeled};
 #[derive(Debug)]
 pub struct Matcher<'t> {
     target: &'t TargetDesc,
-    /// Pattern rules indexed by root operator (`Op::index`).
-    rules_by_op: Vec<Vec<RuleId>>,
-    /// Chain rules indexed by *source* nonterminal.
-    chains: Vec<RuleId>,
-    n_nts: usize,
+    tables: Arc<Tables>,
 }
 
 impl<'t> Matcher<'t> {
-    /// Generates a matcher for the target grammar.
+    /// Generates a matcher for the target grammar (builds fresh tables).
     pub fn new(target: &'t TargetDesc) -> Self {
-        let mut rules_by_op: Vec<Vec<RuleId>> = vec![Vec::new(); Op::COUNT];
-        let mut chains = Vec::new();
-        for rule in &target.rules {
-            match &rule.rhs {
-                Rhs::Pat(PatNode::Op(op, _)) => rules_by_op[op.index()].push(rule.id),
-                Rhs::Pat(PatNode::Nt(_)) => {
-                    // A bare-nonterminal pattern is just a chain rule in
-                    // disguise; treat it as such.
-                    chains.push(rule.id);
-                }
-                Rhs::Chain(_) => chains.push(rule.id),
-            }
-        }
-        Matcher { target, rules_by_op, chains, n_nts: target.nonterms.len() }
+        Matcher { target, tables: Arc::new(Tables::build(target)) }
+    }
+
+    /// Wraps already-generated tables; `tables` must have been built from
+    /// a structurally identical target description.
+    pub fn with_tables(target: &'t TargetDesc, tables: Arc<Tables>) -> Self {
+        debug_assert_eq!(
+            tables.n_nts,
+            target.nonterms.len(),
+            "tables were generated for a different grammar"
+        );
+        Matcher { target, tables }
     }
 
     /// The target this matcher was generated for.
@@ -63,15 +109,20 @@ impl<'t> Matcher<'t> {
         self.target
     }
 
+    /// The shared tables backing this matcher.
+    pub fn tables(&self) -> &Arc<Tables> {
+        &self.tables
+    }
+
     /// Labels a tree bottom-up: computes, per node and nonterminal, the
     /// cheapest derivation.
     pub fn label<'a>(&self, tree: &'a Tree) -> Labeled<'a> {
         let children: Vec<Labeled<'a>> =
             tree.children().into_iter().map(|c| self.label(c)).collect();
-        let mut entries: Vec<Option<Entry>> = vec![None; self.n_nts];
+        let mut entries: Vec<Option<Entry>> = vec![None; self.tables.n_nts];
 
         // 1. structural pattern rules rooted at this operator
-        for rule_id in &self.rules_by_op[tree.op().index()] {
+        for rule_id in &self.tables.rules_by_op[tree.op().index()] {
             let rule = self.target.rule(*rule_id);
             let pat = match &rule.rhs {
                 Rhs::Pat(p) => p,
@@ -87,7 +138,7 @@ impl<'t> Matcher<'t> {
         let mut changed = true;
         while changed {
             changed = false;
-            for rule_id in &self.chains {
+            for rule_id in &self.tables.chains {
                 let rule = self.target.rule(*rule_id);
                 let src = match &rule.rhs {
                     Rhs::Chain(nt) => *nt,
@@ -143,12 +194,7 @@ impl<'t> Matcher<'t> {
         Some(cost)
     }
 
-    fn match_rec(
-        &self,
-        pat: &PatNode,
-        node: &Labeled<'_>,
-        consts: &mut Vec<i64>,
-    ) -> Option<Cost> {
+    fn match_rec(&self, pat: &PatNode, node: &Labeled<'_>, consts: &mut Vec<i64>) -> Option<Cost> {
         match pat {
             PatNode::Nt(nt) => node.cost(*nt),
             PatNode::Op(op, children) => {
@@ -306,10 +352,7 @@ mod tests {
             reg,
             P::op(
                 Op::Bin(BinOp::Add),
-                vec![
-                    P::op(Op::Bin(BinOp::Mul), vec![P::nt(reg), P::nt(reg)]),
-                    P::nt(imm),
-                ],
+                vec![P::op(Op::Bin(BinOp::Mul), vec![P::nt(reg), P::nt(reg)]), P::nt(imm)],
             ),
             "MADDI {0},{1},{2}",
             Cost::new(1, 1),
@@ -470,9 +513,8 @@ mod tests {
         let mem = t.nt("mem").unwrap();
         let tree = Tree::var("x");
         // candidates: store-from-acc costs 1 extra; "already in mem" is 0
-        let (nt, cover) = m
-            .best_cover(&tree, &[(acc, Cost::new(1, 1)), (mem, Cost::zero())])
-            .unwrap();
+        let (nt, cover) =
+            m.best_cover(&tree, &[(acc, Cost::new(1, 1)), (mem, Cost::zero())]).unwrap();
         assert_eq!(nt, mem);
         assert_eq!(cover.cost.words, 0);
     }

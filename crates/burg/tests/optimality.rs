@@ -3,10 +3,10 @@
 //! (top-down enumeration with bounded chain depth) on random trees over
 //! the tic25 grammar.
 
-use proptest::prelude::*;
 use record_burg::Matcher;
 use record_ir::{BinOp, Op, Tree, UnOp};
 use record_isa::{NonTermId, PatNode, Predicate, Rhs, TargetDesc};
+use record_prop::{run_cases, Rng};
 
 /// Brute-force minimal derivation cost of `tree` to `goal`, or None.
 /// `chain_budget` bounds chain-rule applications per node (any optimal
@@ -22,8 +22,7 @@ fn brute(target: &TargetDesc, tree: &Tree, goal: NonTermId, chain_budget: usize)
                 if chain_budget == 0 {
                     continue;
                 }
-                brute(target, tree, *src, chain_budget - 1)
-                    .map(|c| c + rule.cost.weight())
+                brute(target, tree, *src, chain_budget - 1).map(|c| c + rule.cost.weight())
             }
             Rhs::Pat(pat) => {
                 brute_match(target, pat, tree, rule.pred).map(|c| c + rule.cost.weight())
@@ -79,55 +78,48 @@ fn brute_match_rec(
     }
 }
 
-fn arb_tree() -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(Tree::var),
-        (-200i64..200).prop_map(Tree::constant),
-    ];
-    leaf.prop_recursive(3, 12, 2, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::And),
-                    Just(BinOp::Shl),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| Tree::bin(op, a, b)),
-            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Abs)], inner)
-                .prop_map(|(op, a)| Tree::un(op, a)),
-        ]
-    })
+fn gen_tree(rng: &mut Rng, depth: u32) -> Tree {
+    if depth == 0 || rng.usize(4) == 0 {
+        return if rng.bool() {
+            Tree::var(*rng.pick(&["a", "b", "c"]))
+        } else {
+            Tree::constant(rng.i64_in(-200, 200))
+        };
+    }
+    if rng.usize(3) == 0 {
+        Tree::un(*rng.pick(&[UnOp::Neg, UnOp::Abs]), gen_tree(rng, depth - 1))
+    } else {
+        let op = *rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Shl]);
+        Tree::bin(op, gen_tree(rng, depth - 1), gen_tree(rng, depth - 1))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dp_cover_cost_is_minimal(tree in arb_tree()) {
+#[test]
+fn dp_cover_cost_is_minimal() {
+    run_cases(64, |rng| {
+        let tree = gen_tree(rng, 3);
         let target = record_isa::targets::tic25::target();
         let matcher = Matcher::new(&target);
         let acc = target.nt("acc").unwrap();
         let dp = matcher.cover(&tree, acc).map(|c| c.cost.weight());
         let bf = brute(&target, &tree, acc, target.nonterms.len());
-        prop_assert_eq!(dp, bf, "tree {}", tree);
-    }
+        assert_eq!(dp, bf, "tree {tree}");
+    });
+}
 
-    #[test]
-    fn reduce_recomputes_the_label_cost(tree in arb_tree()) {
+#[test]
+fn reduce_recomputes_the_label_cost() {
+    run_cases(64, |rng| {
+        let tree = gen_tree(rng, 3);
         let target = record_isa::targets::tic25::target();
         let matcher = Matcher::new(&target);
         for nt_name in ["acc", "p", "t", "mem"] {
             let nt = target.nt(nt_name).unwrap();
             if let Some(cover) = matcher.cover(&tree, nt) {
-                prop_assert_eq!(cover.cost, cover.root.cost(&target));
+                assert_eq!(cover.cost, cover.root.cost(&target));
             }
         }
-    }
+    });
 }
 
 #[test]

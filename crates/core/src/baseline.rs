@@ -124,8 +124,7 @@ fn emit_items(
     for item in items {
         match item {
             LirItem::Assign(stmt) => {
-                let (stmt_insns, _) =
-                    emitter.emit_assign(stmt, &RuleSet::none(), 1, false)?;
+                let (stmt_insns, _) = emitter.emit_assign(stmt, &RuleSet::none(), 1, false)?;
                 emit_statement_with_addressing(stmt_insns, out);
             }
             LirItem::Loop { var, count, body } => {
@@ -134,13 +133,7 @@ fn emit_items(
                     counter_syms.push(counter.clone());
                 }
                 // counter := 0 (LACK 0; SACL $i)
-                out.push(Insn::mov(
-                    Loc::Reg(acc_of(target)),
-                    Loc::Imm(0),
-                    "LACK 0",
-                    1,
-                    1,
-                ));
+                out.push(Insn::mov(Loc::Reg(acc_of(target)), Loc::Imm(0), "LACK 0", 1, 1));
                 out.push(Insn::mov(
                     Loc::Mem(record_isa::MemLoc::scalar(counter.clone())),
                     Loc::Reg(acc_of(target)),
@@ -193,11 +186,7 @@ fn emit_items(
 fn acc_of(target: &TargetDesc) -> record_isa::RegId {
     // the first singleton register class is the accumulator in all our
     // accumulator-style targets
-    let class = target
-        .reg_classes
-        .iter()
-        .position(|c| c.is_singleton())
-        .unwrap_or(0);
+    let class = target.reg_classes.iter().position(|c| c.is_singleton()).unwrap_or(0);
     record_isa::RegId::singleton(record_isa::RegClassId(class as u16))
 }
 
@@ -363,11 +352,8 @@ mod tests {
     #[test]
     fn address_macros_present_for_array_accesses() {
         let code = compile_source(FIR_SRC).unwrap();
-        let macros = code
-            .insns
-            .iter()
-            .filter(|i| matches!(i.kind, InsnKind::ArLoadIndexed { .. }))
-            .count();
+        let macros =
+            code.insns.iter().filter(|i| matches!(i.kind, InsnKind::ArLoadIndexed { .. })).count();
         assert_eq!(macros, 2, "one per array stream in the loop body");
     }
 

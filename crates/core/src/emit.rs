@@ -143,18 +143,15 @@ mod tests {
     #[test]
     fn encoding_is_deterministic() {
         let compiler = Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
-        let code = compiler
-            .compile_source("program p; var x, y: fix; begin y := x * x; end")
-            .unwrap();
+        let code =
+            compiler.compile_source("program p; var x, y: fix; begin y := x * x; end").unwrap();
         assert_eq!(encode(&code), encode(&code));
     }
 
     #[test]
     fn rule_instructions_set_the_high_bit() {
         let compiler = Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
-        let code = compiler
-            .compile_source("program p; var x, y: fix; begin y := x; end")
-            .unwrap();
+        let code = compiler.compile_source("program p; var x, y: fix; begin y := x; end").unwrap();
         let image = encode(&code);
         // the first instruction is the LAC (a rule instruction)
         assert!(image[0] & 0x8000 != 0);

@@ -69,9 +69,7 @@ impl Hand {
     }
 
     fn var(&mut self, name: &str, len: u32) {
-        self.code
-            .layout
-            .place(Symbol::new(name), self.next_addr, len, record_ir::Bank::X);
+        self.code.layout.place(Symbol::new(name), self.next_addr, len, record_ir::Bank::X);
         self.next_addr += len as u16;
     }
 
@@ -506,9 +504,12 @@ mod tests {
                 for (name, _) in kernel.outputs() {
                     let sym = Symbol::new(*name);
                     assert_eq!(
-                        out[&sym], expected[&sym],
+                        out[&sym],
+                        expected[&sym],
                         "{} output {} (seed {seed})\n{}",
-                        kernel.name, name, code.render()
+                        kernel.name,
+                        name,
+                        code.render()
                     );
                 }
             }

@@ -54,8 +54,12 @@ pub mod pipeline;
 pub mod report;
 pub mod select;
 pub mod selftest;
+pub mod session;
+pub mod timing;
 
 mod error;
 
 pub use error::CompileError;
 pub use pipeline::{CompileOptions, Compiler};
+pub use session::{Session, SessionStats};
+pub use timing::PhaseTimings;

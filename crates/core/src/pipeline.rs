@@ -1,7 +1,10 @@
 //! The RECORD compiler pipeline (Fig. 2 of the paper).
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
+use record_burg::Tables;
 use record_ir::lir::{Lir, LirItem, StorageKind, VarInfo};
 use record_ir::transform::RuleSet;
 use record_ir::{dfl, lower, AssignStmt, Bank, Symbol};
@@ -12,6 +15,7 @@ use record_opt::compact::ScheduleMode;
 use record_opt::modes::ModeStrategy;
 
 use crate::select::Emitter;
+use crate::timing::PhaseTimings;
 use crate::CompileError;
 
 /// Everything a compilation can toggle — one knob per optimization the
@@ -98,17 +102,26 @@ impl CompileOptions {
 #[derive(Debug, Clone)]
 pub struct Compiler {
     target: TargetDesc,
+    /// BURS matcher tables, generated once per compiler and shared (via
+    /// `Arc`) with every `Emitter` this compiler creates — including
+    /// emitters running concurrently on other threads. Cloning a
+    /// `Compiler` clones the handle, not the tables.
+    tables: Arc<Tables>,
 }
 
 impl Compiler {
     /// Generates a compiler from an explicit instruction-set description.
+    ///
+    /// The BURS matcher tables are generated here, once; every subsequent
+    /// [`compile`](Compiler::compile) reuses them.
     ///
     /// # Errors
     ///
     /// [`CompileError::Target`] if the description fails validation.
     pub fn for_target(target: TargetDesc) -> Result<Self, CompileError> {
         target.validate().map_err(CompileError::Target)?;
-        Ok(Compiler { target })
+        let tables = Arc::new(Tables::build(&target));
+        Ok(Compiler { target, tables })
     }
 
     /// Generates a compiler from an RT-level netlist via instruction-set
@@ -125,15 +138,22 @@ impl Compiler {
         netlist: &Netlist,
         opts: &ToTargetOptions,
     ) -> Result<(Self, usize), CompileError> {
-        let insns = record_ise::normalize(record_ise::extract(netlist).map_err(CompileError::Target)?);
+        let insns =
+            record_ise::normalize(record_ise::extract(netlist).map_err(CompileError::Target)?);
         let (target, skipped) =
             record_ise::to_target(name, netlist, &insns, opts).map_err(CompileError::Target)?;
-        Ok((Compiler { target }, skipped))
+        let tables = Arc::new(Tables::build(&target));
+        Ok((Compiler { target, tables }, skipped))
     }
 
     /// The target this compiler was generated for.
     pub fn target(&self) -> &TargetDesc {
         &self.target
+    }
+
+    /// The generated BURS matcher tables (shared, immutable).
+    pub fn tables(&self) -> &Arc<Tables> {
+        &self.tables
     }
 
     /// Compiles a lowered program with default options.
@@ -151,9 +171,37 @@ impl Compiler {
     ///
     /// See [`CompileError`].
     pub fn compile_source(&self, source: &str) -> Result<Code, CompileError> {
+        self.compile_source_timed(source).map(|(code, _)| code)
+    }
+
+    /// Compiles a lowered program with default options, reporting
+    /// per-phase timings.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_timed(&self, lir: &Lir) -> Result<(Code, PhaseTimings), CompileError> {
+        self.compile_with_timed(lir, &CompileOptions::default())
+    }
+
+    /// Parses, lowers and compiles a mini-DFL source text, reporting
+    /// per-phase timings (including the frontend phases).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_source_timed(&self, source: &str) -> Result<(Code, PhaseTimings), CompileError> {
+        let t_parse = Instant::now();
         let ast = dfl::parse(source)?;
+        let parse = t_parse.elapsed();
+        let t_lower = Instant::now();
         let lir = lower::lower(&ast)?;
-        self.compile(&lir)
+        let lower = t_lower.elapsed();
+        let (code, mut timings) = self.compile_timed(&lir)?;
+        timings.parse = parse;
+        timings.lower = lower;
+        timings.total += parse + lower;
+        Ok((code, timings))
     }
 
     /// Compiles with explicit options.
@@ -162,7 +210,22 @@ impl Compiler {
     ///
     /// See [`CompileError`].
     pub fn compile_with(&self, lir: &Lir, opts: &CompileOptions) -> Result<Code, CompileError> {
-        let mut emitter = Emitter::new(&self.target);
+        self.compile_with_timed(lir, opts).map(|(code, _)| code)
+    }
+
+    /// Compiles with explicit options, reporting per-phase timings.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_with_timed(
+        &self,
+        lir: &Lir,
+        opts: &CompileOptions,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
+        let start = Instant::now();
+        let mut timings = PhaseTimings::default();
+        let mut emitter = Emitter::with_tables(&self.target, Arc::clone(&self.tables));
         let mut temps: Vec<Symbol> = Vec::new();
         let mut next_temp = 0usize;
         let mut insns: Vec<Insn> = Vec::new();
@@ -174,6 +237,7 @@ impl Compiler {
             &mut next_temp,
             &mut temps,
             &mut insns,
+            &mut timings,
         )?;
 
         let mut code = Code {
@@ -205,26 +269,31 @@ impl Compiler {
         }
 
         // --- layout (offset assignment orders the scalars) -----------------
+        let t_layout = Instant::now();
         let ordered = order_vars(&vars, &code, opts.offset_assignment);
         code.layout = record_opt::layout::layout_in_order(
             ordered.iter().map(|v| (v.name.clone(), v.len, v.bank)),
             &self.target,
         )
         .map_err(CompileError::Layout)?;
+        timings.layout = t_layout.elapsed();
 
         // --- bank assignment ------------------------------------------------
+        let t_banks = Instant::now();
         if self.target.memory.banks == 2 && opts.bank_assignment {
-            let fixed: HashMap<Symbol, Bank> = vars
-                .iter()
-                .filter_map(|v| v.bank.map(|b| (v.name.clone(), b)))
-                .collect();
+            let fixed: HashMap<Symbol, Bank> =
+                vars.iter().filter_map(|v| v.bank.map(|b| (v.name.clone(), b))).collect();
             record_opt::assign_banks(&mut code, &self.target, &fixed);
         }
+        timings.banks = t_banks.elapsed();
 
         // --- addressing -------------------------------------------------------
+        let t_address = Instant::now();
         record_opt::assign_addresses(&mut code, &self.target).map_err(CompileError::Address)?;
+        timings.address = t_address.elapsed();
 
         // --- compaction ---------------------------------------------------------
+        let t_compact = Instant::now();
         if opts.compact {
             record_opt::fuse(&mut code, &self.target);
             match opts.schedule {
@@ -237,19 +306,32 @@ impl Compiler {
             }
         }
 
-        // --- loop-invariant hoisting + hardware repeat conversion ---------------
+        // --- loop-invariant hoisting --------------------------------------------
         if opts.compact {
             record_opt::hoist_invariant_prefix(&mut code);
         }
+        timings.compact = t_compact.elapsed();
+
+        // --- mode-change insertion -----------------------------------------------
+        let t_modes = Instant::now();
+        record_opt::insert_mode_changes(&mut code, &self.target, opts.mode_strategy);
+        timings.modes = t_modes.elapsed();
+
+        // --- hardware repeat conversion ------------------------------------------
+        // After mode insertion: the lazy pass hoists a loop body's
+        // single-polarity mode requirement into the preheader, so an
+        // eligible single-instruction body stays single-instruction and a
+        // mode change can never land between RPT and its body.
+        let t_rpt = Instant::now();
         if opts.use_rpt {
             convert_rpt(&mut code, &self.target);
         }
-
-        // --- mode-change insertion -----------------------------------------------
-        record_opt::insert_mode_changes(&mut code, &self.target, opts.mode_strategy);
+        timings.compact += t_rpt.elapsed();
 
         code.check_structure().map_err(CompileError::Layout)?;
-        Ok(code)
+        timings.insns = code.insns.len();
+        timings.total = start.elapsed();
+        Ok((code, timings))
     }
 }
 
@@ -263,6 +345,7 @@ fn emit_items(
     next_temp: &mut usize,
     temps: &mut Vec<Symbol>,
     out: &mut Vec<Insn>,
+    timings: &mut PhaseTimings,
 ) -> Result<(), CompileError> {
     // group consecutive assignments into straight-line blocks
     let mut block: Vec<AssignStmt> = Vec::new();
@@ -270,13 +353,16 @@ fn emit_items(
                  emitter: &mut Emitter<'_>,
                  next_temp: &mut usize,
                  temps: &mut Vec<Symbol>,
-                 out: &mut Vec<Insn>|
+                 out: &mut Vec<Insn>,
+                 timings: &mut PhaseTimings|
      -> Result<(), CompileError> {
         if block.is_empty() {
             return Ok(());
         }
         let stmts: Vec<AssignStmt> = if opts.cse {
+            let t_treeify = Instant::now();
             let (forest, next) = record_ir::treeify::treeify(block, *next_temp);
+            timings.treeify += t_treeify.elapsed();
             *next_temp = next;
             temps.extend(forest.temps.iter().cloned());
             forest.assigns
@@ -284,15 +370,16 @@ fn emit_items(
             block.clone()
         };
         block.clear();
+        let t_select = Instant::now();
         for stmt in &stmts {
-            let (insns, _) = emitter.emit_assign(
-                stmt,
-                &opts.rules,
-                opts.variant_limit,
-                opts.fold_constants,
-            )?;
+            let (insns, stats) =
+                emitter.emit_assign(stmt, &opts.rules, opts.variant_limit, opts.fold_constants)?;
+            timings.variants += stats.variants;
+            timings.covered += stats.covered;
             out.extend(insns);
         }
+        timings.statements += stmts.len();
+        timings.select += t_select.elapsed();
         Ok(())
     };
 
@@ -300,7 +387,7 @@ fn emit_items(
         match item {
             LirItem::Assign(a) => block.push(a.clone()),
             LirItem::Loop { var, count, body } => {
-                flush(&mut block, emitter, next_temp, temps, out)?;
+                flush(&mut block, emitter, next_temp, temps, out, timings)?;
                 let init = target.loop_ctrl.init_cost;
                 out.push(Insn::ctrl(
                     InsnKind::LoopStart { var: var.clone(), count: *count },
@@ -308,20 +395,27 @@ fn emit_items(
                     init.words,
                     init.cycles,
                 ));
-                emit_items(body, target, emitter, opts, next_temp, temps, out)?;
+                emit_items(body, target, emitter, opts, next_temp, temps, out, timings)?;
                 let end = target.loop_ctrl.end_cost;
                 out.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLP", end.words, end.cycles));
             }
         }
     }
-    flush(&mut block, emitter, next_temp, temps, out)
+    flush(&mut block, emitter, next_temp, temps, out, timings)
 }
 
 /// Orders variables for layout: scalars first (SOA order when enabled,
 /// else declaration order), then arrays.
+///
+/// Every variable appears exactly once in the result, even if the input
+/// carries duplicate names (e.g. a program variable colliding with a
+/// generated temporary) or the SOA access sequence mentions a symbol
+/// repeatedly; zero-length variables are kept (they occupy a name but no
+/// storage) rather than silently dropped from the layout.
 fn order_vars(vars: &[VarInfo], code: &Code, soa: bool) -> Vec<VarInfo> {
     let by_name: HashMap<&Symbol, &VarInfo> = vars.iter().map(|v| (&v.name, v)).collect();
     let mut out: Vec<VarInfo> = Vec::with_capacity(vars.len());
+    let mut seen: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
     if soa {
         // scalar access sequence, in code order
         let mut accesses: Vec<Symbol> = Vec::new();
@@ -331,18 +425,21 @@ fn order_vars(vars: &[VarInfo], code: &Code, soa: bool) -> Vec<VarInfo> {
         let order = record_opt::soa_order(&accesses);
         for sym in &order {
             if let Some(v) = by_name.get(sym) {
-                out.push((*v).clone());
+                if seen.insert(v.name.clone()) {
+                    out.push((*v).clone());
+                }
             }
         }
     }
-    // remaining scalars in declaration order, then arrays
+    // remaining scalars (and zero-length placeholders) in declaration
+    // order, then arrays
     for v in vars {
-        if v.len == 1 && !out.iter().any(|o| o.name == v.name) {
+        if v.len <= 1 && seen.insert(v.name.clone()) {
             out.push(v.clone());
         }
     }
     for v in vars {
-        if v.len > 1 {
+        if v.len > 1 && seen.insert(v.name.clone()) {
             out.push(v.clone());
         }
     }
@@ -393,9 +490,8 @@ pub fn convert_rpt(code: &mut Code, target: &TargetDesc) -> u32 {
             ) = (&insns[i].kind, &insns[i + 1].kind, &insns[i + 2].kind)
             {
                 let body = &insns[i + 1];
-                let eligible = *count >= 1
-                    && *count <= rpt.max_count
-                    && !references_counter(body, var);
+                let eligible =
+                    *count >= 1 && *count <= rpt.max_count && !references_counter(body, var);
                 if eligible {
                     out.push(Insn::ctrl(
                         InsnKind::Rpt { count: *count },
@@ -424,11 +520,7 @@ fn references_counter(insn: &Insn, var: &Symbol) -> bool {
         let unresolved = |m: &record_isa::MemLoc| {
             m.index.as_ref() == Some(var) && m.mode == record_isa::AddrMode::Unresolved
         };
-        if expr
-            .reads()
-            .iter()
-            .any(|l| l.as_mem().map(unresolved).unwrap_or(false))
-        {
+        if expr.reads().iter().any(|l| l.as_mem().map(unresolved).unwrap_or(false)) {
             return true;
         }
         if let Loc::Mem(m) = dst {
@@ -503,9 +595,7 @@ mod tests {
         let x: Vec<i64> = (0..8).map(|v| v * 7 - 11).collect();
         let c: Vec<i64> = (0..8).map(|v| 5 - v).collect();
         let inputs: Map<Symbol, Vec<i64>> =
-            [(Symbol::new("x"), x.clone()), (Symbol::new("c"), c.clone())]
-                .into_iter()
-                .collect();
+            [(Symbol::new("x"), x.clone()), (Symbol::new("c"), c.clone())].into_iter().collect();
         let expect: i64 = x.iter().zip(&c).map(|(a, b)| a * b).sum();
         for opts in [
             CompileOptions::default(),
@@ -531,9 +621,7 @@ mod tests {
             .compile_source("program p; var a, b, y: fix; begin y := a + b - 3; end")
             .unwrap();
         let inputs: Map<Symbol, Vec<i64>> =
-            [(Symbol::new("a"), vec![10]), (Symbol::new("b"), vec![20])]
-                .into_iter()
-                .collect();
+            [(Symbol::new("a"), vec![10]), (Symbol::new("b"), vec![20])].into_iter().collect();
         let (out, _) = run_program(&code, compiler.target(), &inputs).unwrap();
         assert_eq!(out[&Symbol::new("y")], vec![27]);
     }
@@ -588,6 +676,70 @@ mod tests {
     }
 
     #[test]
+    fn order_vars_dedups_and_keeps_zero_length_vars() {
+        let mk = |name: &str, len: u32| VarInfo {
+            name: Symbol::new(name),
+            len,
+            kind: StorageKind::Var,
+            bank: None,
+            is_fix: true,
+        };
+        // duplicate scalar, zero-length var, duplicate array
+        let vars = vec![mk("a", 1), mk("a", 1), mk("z", 0), mk("arr", 4), mk("arr", 4), mk("b", 1)];
+        let code = Code::default();
+        for soa in [false, true] {
+            let out = order_vars(&vars, &code, soa);
+            let names: Vec<&str> = out.iter().map(|v| v.name.as_str()).collect();
+            assert_eq!(out.len(), 4, "soa={soa}: {names:?}");
+            for want in ["a", "z", "arr", "b"] {
+                assert_eq!(names.iter().filter(|n| **n == want).count(), 1, "soa={soa}: {names:?}");
+            }
+            // arrays go last
+            assert_eq!(*names.last().unwrap(), "arr", "soa={soa}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn mode_requiring_single_insn_loops_still_become_rpt() {
+        // the pipeline runs mode insertion *before* RPT conversion: the
+        // lazy pass hoists the body's requirement into the preheader, so
+        // the body stays single-instruction and the conversion fires with
+        // no mode change trapped between RPT and its body.
+        use record_isa::SemExpr;
+        let target = record_isa::targets::tic25::target();
+        let mut code = Code::default();
+        code.layout.place(Symbol::new("x"), 0, 1, Bank::X);
+        code.layout.place(Symbol::new("y"), 1, 1, Bank::X);
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 4 },
+            "LOOP #4",
+            2,
+            2,
+        ));
+        let mut body = Insn::compute(
+            Loc::Mem(record_isa::MemLoc::scalar("y")),
+            SemExpr::bin(
+                record_ir::BinOp::Add,
+                SemExpr::loc(Loc::Mem(record_isa::MemLoc::scalar("y"))),
+                SemExpr::loc(Loc::Mem(record_isa::MemLoc::scalar("x"))),
+            ),
+            "SAT-ACC",
+            1,
+            1,
+        );
+        body.mode_req = Some((0, true));
+        code.insns.push(body);
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLP", 2, 3));
+
+        record_opt::insert_mode_changes(&mut code, &target, ModeStrategy::Lazy);
+        let n = convert_rpt(&mut code, &target);
+        assert_eq!(n, 1, "{}", code.render());
+        code.check_structure().unwrap();
+        assert!(matches!(code.insns[0].kind, InsnKind::SetMode { on: true, .. }));
+        assert!(matches!(code.insns[1].kind, InsnKind::Rpt { count: 4 }));
+    }
+
+    #[test]
     fn invalid_target_rejected() {
         let mut t = record_isa::targets::tic25::target();
         t.memory.banks = 3;
@@ -617,8 +769,7 @@ mod tests {
 
     #[test]
     fn dsp56k_pipeline_produces_parallel_bundles() {
-        let compiler =
-            Compiler::for_target(record_isa::targets::dsp56k::target()).unwrap();
+        let compiler = Compiler::for_target(record_isa::targets::dsp56k::target()).unwrap();
         let src = "
             program cm;
             in ar, ai, br, bi: fix;

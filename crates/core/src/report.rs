@@ -12,7 +12,7 @@ use std::fmt;
 use record_ir::{dfl, lower};
 use record_sim::run_program;
 
-use crate::{baseline, handasm, CompileError, Compiler};
+use crate::{baseline, handasm, CompileError, PhaseTimings, Session, SessionStats};
 
 /// One Table 1 row.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,10 +63,7 @@ impl Table1 {
     /// baseline (the paper: "in six out of ten cases, RECORD outperforms
     /// the target-specific compiler").
     pub fn record_wins(&self) -> usize {
-        self.rows
-            .iter()
-            .filter(|r| r.record_words < r.baseline_words)
-            .count()
+        self.rows.iter().filter(|r| r.record_words < r.baseline_words).count()
     }
 
     /// Number of kernels where the baseline's cycle overhead lies in the
@@ -89,22 +86,13 @@ impl fmt::Display for Table1 {
         writeln!(f, "{:<26} {:>12} {:>12}", "Program", "baseline", "RECORD")?;
         writeln!(f, "{:-^66}", "")?;
         for r in &self.rows {
-            writeln!(
-                f,
-                "{:<26} {:>11}% {:>11}%",
-                r.kernel,
-                r.baseline_pct(),
-                r.record_pct()
-            )?;
+            writeln!(f, "{:<26} {:>11}% {:>11}%", r.kernel, r.baseline_pct(), r.record_pct())?;
         }
         writeln!(f, "{:-^66}", "")?;
         writeln!(
             f,
             "RECORD at or below the target-specific compiler on {}/{} kernels",
-            self.rows
-                .iter()
-                .filter(|r| r.record_words <= r.baseline_words)
-                .count(),
+            self.rows.iter().filter(|r| r.record_words <= r.baseline_words).count(),
             self.rows.len()
         )
     }
@@ -119,18 +107,32 @@ impl fmt::Display for Table1 {
 /// [`CompileError::Target`] with the kernel name — a mismatch means a
 /// code-generation bug, not a user error).
 pub fn table1() -> Result<Table1, CompileError> {
+    table1_in(&Session::new())
+}
+
+/// [`table1`] through an existing compilation session: the RECORD column
+/// is compiled as one parallel batch against the session's cached
+/// compiler, so repeated regenerations reuse the generated BURS tables.
+///
+/// # Errors
+///
+/// See [`table1`].
+pub fn table1_in(session: &Session) -> Result<Table1, CompileError> {
     let target = record_isa::targets::tic25::target();
-    let compiler = Compiler::for_target(target.clone())?;
     let mut table = Table1::default();
 
-    for kernel in record_dspstone::kernels() {
-        let ast = dfl::parse(kernel.source)?;
-        let lir = lower::lower(&ast)?;
+    let kernels: Vec<_> = record_dspstone::kernels().into_iter().collect();
+    let lirs = kernels
+        .iter()
+        .map(|k| Ok(lower::lower(&dfl::parse(k.source)?)?))
+        .collect::<Result<Vec<_>, CompileError>>()?;
+    let recs = session.compile_batch(&target, &lirs)?;
 
+    for ((kernel, lir), rec) in kernels.iter().zip(&lirs).zip(recs) {
         let hand = handasm::hand_code(kernel.name)
             .ok_or_else(|| CompileError::Target(format!("no hand code for {}", kernel.name)))?;
-        let base = baseline::compile(&lir)?;
-        let rec = compiler.compile(&lir)?;
+        let base = baseline::compile(lir)?;
+        let rec = rec?;
 
         let mut cycles = [0u64; 3];
         for (ix, code) in [&hand, &base, &rec].into_iter().enumerate() {
@@ -166,6 +168,71 @@ pub fn table1() -> Result<Table1, CompileError> {
     Ok(table)
 }
 
+/// Where compilation time goes: per-kernel and aggregate phase timings
+/// for the DSPStone suite, as collected by a [`Session`].
+#[derive(Clone, Debug)]
+pub struct PhaseBreakdown {
+    /// One entry per kernel, in suite order.
+    pub rows: Vec<(&'static str, PhaseTimings)>,
+    /// The sum over all rows.
+    pub total: PhaseTimings,
+    /// Compiler-cache statistics of the session that produced the rows.
+    pub stats: SessionStats,
+}
+
+impl fmt::Display for PhaseBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Phase timings per kernel (µs)")?;
+        writeln!(f, "{:-^78}", "")?;
+        writeln!(
+            f,
+            "{:<26} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}",
+            "Program", "select", "compact", "other", "total", "stmts", "insns"
+        )?;
+        writeln!(f, "{:-^78}", "")?;
+        let us = |d: std::time::Duration| d.as_secs_f64() * 1e6;
+        for (name, t) in &self.rows {
+            let other = us(t.total) - us(t.select) - us(t.compact);
+            writeln!(
+                f,
+                "{:<26} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>6} {:>6}",
+                name,
+                us(t.select),
+                us(t.compact),
+                other.max(0.0),
+                us(t.total),
+                t.statements,
+                t.insns
+            )?;
+        }
+        writeln!(f, "{:-^78}", "")?;
+        writeln!(f, "aggregate profile:")?;
+        writeln!(f, "{}", self.total)?;
+        write!(
+            f,
+            "  compiler cache: {} hit(s), {} miss(es) across {} compile(s)",
+            self.stats.hits, self.stats.misses, self.stats.compiles
+        )
+    }
+}
+
+/// Compiles every DSPStone kernel through a fresh [`Session`] and reports
+/// where the time went, phase by phase.
+///
+/// # Errors
+///
+/// Any compilation error.
+pub fn phase_breakdown() -> Result<PhaseBreakdown, CompileError> {
+    let target = record_isa::targets::tic25::target();
+    let session = Session::new();
+    let mut rows = Vec::new();
+    for kernel in record_dspstone::kernels() {
+        let (_, timings) = session.compile_source_timed(&target, kernel.source)?;
+        rows.push((kernel.name, timings));
+    }
+    Ok(PhaseBreakdown { rows, total: session.timings(), stats: session.stats() })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,11 +248,7 @@ mod tests {
         }
         // …and the paper's headline: RECORD beats the target-specific
         // compiler on a majority of kernels.
-        assert!(
-            table.record_wins() >= 6,
-            "RECORD wins only {}/10:\n{table}",
-            table.record_wins()
-        );
+        assert!(table.record_wins() >= 6, "RECORD wins only {}/10:\n{table}", table.record_wins());
     }
 
     #[test]
@@ -195,5 +258,30 @@ mod tests {
         for k in record_dspstone::kernels() {
             assert!(text.contains(k.name), "{text}");
         }
+    }
+
+    #[test]
+    fn table1_through_a_shared_session_reuses_the_compiler() {
+        let session = Session::new();
+        let first = table1_in(&session).unwrap();
+        let again = table1_in(&session).unwrap();
+        assert_eq!(first.rows, again.rows);
+        let stats = session.stats();
+        assert_eq!(stats.misses, 1, "one table generation for both runs");
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
+    fn phase_breakdown_covers_every_kernel() {
+        let pb = phase_breakdown().unwrap();
+        assert_eq!(pb.rows.len(), 10);
+        for (name, t) in &pb.rows {
+            assert!(t.statements > 0, "{name} selected no statements");
+            assert!(t.insns > 0, "{name} emitted nothing");
+            assert!(t.total >= t.select, "{name}: total below select");
+        }
+        assert_eq!(pb.stats.compiles, 10);
+        let text = pb.to_string();
+        assert!(text.contains("aggregate profile"), "{text}");
     }
 }

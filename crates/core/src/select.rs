@@ -16,7 +16,9 @@
 //! register sets: the BURS nonterminals already decided which class each
 //! value lives in; the emitter only picks member indices.
 
-use record_burg::{CoverNode, Matcher, Operand};
+use std::sync::Arc;
+
+use record_burg::{CoverNode, Matcher, Operand, Tables};
 use record_ir::transform::{variants, RuleSet};
 use record_ir::{fold, AssignStmt, Symbol, Tree};
 use record_isa::{
@@ -53,15 +55,17 @@ pub struct Emitter<'t> {
 impl<'t> Emitter<'t> {
     /// Generates the matcher and prepares the allocators.
     pub fn new(target: &'t TargetDesc) -> Self {
-        let reg_used = target
-            .reg_classes
-            .iter()
-            .map(|c| vec![false; c.count as usize])
-            .collect();
+        Self::with_tables(target, Arc::new(Tables::build(target)))
+    }
+
+    /// Like [`Emitter::new`] but reuses already-generated matcher tables
+    /// (see [`record_burg::Tables`]) instead of regenerating them.
+    pub fn with_tables(target: &'t TargetDesc, tables: Arc<Tables>) -> Self {
+        let reg_used = target.reg_classes.iter().map(|c| vec![false; c.count as usize]).collect();
         let reg_cursor = vec![0u16; target.reg_classes.len()];
         Emitter {
             target,
-            matcher: Matcher::new(target),
+            matcher: Matcher::with_tables(target, tables),
             scratch_pool: Vec::new(),
             scratch_free: Vec::new(),
             reg_used,
@@ -252,11 +256,7 @@ impl<'t> Emitter<'t> {
             for _ in &index_vars {
                 code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "probe-end", 0, 0));
             }
-            record_opt::insert_mode_changes(
-                &mut code,
-                self.target,
-                record_opt::ModeStrategy::Lazy,
-            );
+            record_opt::insert_mode_changes(&mut code, self.target, record_opt::ModeStrategy::Lazy);
 
             let mut machine = record_sim::Machine::new(self.target);
             for (sym, len) in &placed {
@@ -291,12 +291,7 @@ impl<'t> Emitter<'t> {
         } else {
             stmt.src.clone()
         };
-        let candidates: Vec<_> = self
-            .target
-            .stores
-            .iter()
-            .map(|s| (s.nt, s.cost))
-            .collect();
+        let candidates: Vec<_> = self.target.stores.iter().map(|s| (s.nt, s.cost)).collect();
         if candidates.is_empty() {
             return Err(CompileError::Target(format!(
                 "target {} has no store rules",
@@ -339,11 +334,15 @@ impl<'t> Emitter<'t> {
         // the store
         let store = &self.target.stores[store_ix];
         let dst = MemLoc::from_mem_ref(&stmt.dst);
-        let text = store
-            .asm
-            .replace("{d}", &dst.to_string())
-            .replace("{0}", &self.loc_text(&value));
-        let mut insn = Insn::compute(Loc::Mem(dst), SemExpr::Loc(value.clone()), text, store.cost.words, store.cost.cycles);
+        let text =
+            store.asm.replace("{d}", &dst.to_string()).replace("{0}", &self.loc_text(&value));
+        let mut insn = Insn::compute(
+            Loc::Mem(dst),
+            SemExpr::Loc(value.clone()),
+            text,
+            store.cost.words,
+            store.cost.cycles,
+        );
         insn.units = store.units;
         insns.push(insn);
         self.release(&value);
@@ -473,10 +472,9 @@ impl<'t> Emitter<'t> {
                 };
                 Ok(Loc::Mem(MemLoc::scalar(sym)))
             }
-            NonTermKind::Imm { .. } => Err(CompileError::Target(format!(
-                "rule {} produces an immediate",
-                rule.id
-            ))),
+            NonTermKind::Imm { .. } => {
+                Err(CompileError::Target(format!("rule {} produces an immediate", rule.id)))
+            }
         }
     }
 
@@ -564,13 +562,8 @@ mod tests {
                 Tree::bin(BinOp::Mul, Tree::var("c"), Tree::var("x")),
             ),
         );
-        let (insns, stats) = e
-            .emit_assign(&stmt, &RuleSet::none(), 1, false)
-            .expect("coverable");
-        assert_eq!(
-            texts(&insns),
-            vec!["LAC y", "LT c", "MPY x", "APAC", "SACL y"],
-        );
+        let (insns, stats) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).expect("coverable");
+        assert_eq!(texts(&insns), vec!["LAC y", "LT c", "MPY x", "APAC", "SACL y"],);
         assert_eq!(stats.variants, 1);
     }
 
@@ -582,15 +575,11 @@ mod tests {
         // route through the accumulator and a scratch word to reach the
         // multiplier input (6 words); the mul-to-shift variant covers the
         // whole thing with one load-with-shift (2 words).
-        let stmt = assign(
-            "y",
-            Tree::bin(BinOp::Mul, Tree::constant(2), Tree::var("x")),
-        );
+        let stmt = assign("y", Tree::bin(BinOp::Mul, Tree::constant(2), Tree::var("x")));
         let (no_variants, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
         let words = |v: &[Insn]| v.iter().map(|i| i.words).sum::<u32>();
         assert_eq!(words(&no_variants), 6, "{:?}", texts(&no_variants));
-        let (with_variants, stats) =
-            e.emit_assign(&stmt, &RuleSet::all(), 32, false).unwrap();
+        let (with_variants, stats) = e.emit_assign(&stmt, &RuleSet::all(), 32, false).unwrap();
         assert!(stats.variants > 1);
         assert_eq!(texts(&with_variants), vec!["LAC x,1", "SACL y"]);
     }
@@ -609,11 +598,7 @@ mod tests {
             ),
         );
         let (insns, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
-        assert!(
-            texts(&insns).iter().any(|t| t.starts_with("SACL $s")),
-            "{:?}",
-            texts(&insns)
-        );
+        assert!(texts(&insns).iter().any(|t| t.starts_with("SACL $s")), "{:?}", texts(&insns));
         assert!(!e.scratch_symbols().is_empty());
     }
 
@@ -700,10 +685,7 @@ mod tests {
     fn constant_folding_is_optional() {
         let t = record_isa::targets::tic25::target();
         let mut e = Emitter::new(&t);
-        let stmt = assign(
-            "y",
-            Tree::bin(BinOp::Add, Tree::constant(2), Tree::constant(3)),
-        );
+        let stmt = assign("y", Tree::bin(BinOp::Add, Tree::constant(2), Tree::constant(3)));
         let (unfolded, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
         let (folded, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, true).unwrap();
         let words = |v: &[Insn]| v.iter().map(|i| i.words).sum::<u32>();
@@ -715,10 +697,7 @@ mod tests {
     fn saturating_add_requires_ovm() {
         let t = record_isa::targets::tic25::target();
         let mut e = Emitter::new(&t);
-        let stmt = assign(
-            "y",
-            Tree::bin(BinOp::SatAdd, Tree::var("y"), Tree::var("x")),
-        );
+        let stmt = assign("y", Tree::bin(BinOp::SatAdd, Tree::var("y"), Tree::var("x")));
         let (insns, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
         let ovm = t.mode("ovm").unwrap();
         assert!(insns.iter().any(|i| i.mode_req == Some((ovm, true))));
@@ -760,10 +739,7 @@ mod tests {
     fn temp_operands_read_their_memory_cell() {
         let t = record_isa::targets::tic25::target();
         let mut e = Emitter::new(&t);
-        let stmt = assign(
-            "y",
-            Tree::bin(BinOp::Add, Tree::temp("$t0"), Tree::var("x")),
-        );
+        let stmt = assign("y", Tree::bin(BinOp::Add, Tree::temp("$t0"), Tree::var("x")));
         let (insns, _) = e.emit_assign(&stmt, &RuleSet::none(), 1, false).unwrap();
         assert_eq!(texts(&insns)[0], "LAC $t0");
     }

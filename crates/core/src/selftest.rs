@@ -18,7 +18,6 @@
 //! nonterminal `n`, the generator covers the constant tree `v` with goal
 //! `n`. This is precisely "a special retargetable compiler".
 
-
 use record_burg::Matcher;
 use record_ir::{Symbol, Tree};
 use record_isa::{Code, Insn, NonTermKind, Rhs, RuleId, SemExpr, TargetDesc};
@@ -88,10 +87,8 @@ pub fn generate(target: &TargetDesc, seed: u64) -> Result<SelfTest, CompileError
     };
 
     // a justified, known-nonzero operand cell every probe tree reads
-    let init = record_ir::AssignStmt {
-        dst: record_ir::MemRef::scalar("$j"),
-        src: Tree::constant(21),
-    };
+    let init =
+        record_ir::AssignStmt { dst: record_ir::MemRef::scalar("$j"), src: Tree::constant(21) };
     let (init_insns, _) =
         emitter.emit_assign(&init, &record_ir::transform::RuleSet::none(), 1, false)?;
     code.insns.extend(init_insns);
@@ -120,10 +117,7 @@ pub fn generate(target: &TargetDesc, seed: u64) -> Result<SelfTest, CompileError
         // Emit: value into goal nonterminal, then propagate to memory.
         let dst = Symbol::new(format!("$r{response}"));
         response += 1;
-        let stmt = record_ir::AssignStmt {
-            dst: record_ir::MemRef::Scalar(dst),
-            src: tree,
-        };
+        let stmt = record_ir::AssignStmt { dst: record_ir::MemRef::Scalar(dst), src: tree };
         match emitter.emit_assign(&stmt, &record_ir::transform::RuleSet::none(), 1, false) {
             Ok((insns, _)) => {
                 // ensure the rule under test is actually in the emitted code
@@ -138,10 +132,7 @@ pub fn generate(target: &TargetDesc, seed: u64) -> Result<SelfTest, CompileError
         }
     }
     if covered.is_empty() {
-        return Err(CompileError::Target(format!(
-            "no rule of {} is testable",
-            target.name
-        )));
+        return Err(CompileError::Target(format!("no rule of {} is testable", target.name)));
     }
 
     // place the operand cell, the response words and the scratch cells
@@ -149,8 +140,7 @@ pub fn generate(target: &TargetDesc, seed: u64) -> Result<SelfTest, CompileError
     code.layout.place(Symbol::new("$j"), addr, 1, record_ir::Bank::X);
     addr += 1;
     for i in 0..response {
-        code.layout
-            .place(Symbol::new(format!("$r{i}")), addr, 1, record_ir::Bank::X);
+        code.layout.place(Symbol::new(format!("$r{i}")), addr, 1, record_ir::Bank::X);
         addr += 1;
     }
     for s in emitter.scratch_symbols() {
@@ -167,9 +157,7 @@ pub fn generate(target: &TargetDesc, seed: u64) -> Result<SelfTest, CompileError
         .map_err(|e| CompileError::Target(format!("self-test does not execute: {e}")))?;
     let mut signature = 0i64;
     for i in 0..response {
-        let v = machine
-            .peek(&Symbol::new(format!("$r{i}")), 0, &code)
-            .unwrap_or(0);
+        let v = machine.peek(&Symbol::new(format!("$r{i}")), 0, &code).unwrap_or(0);
         signature = record_ir::ops::wrap_to_width(signature.wrapping_add(v), target.word_width);
     }
 
@@ -231,8 +219,7 @@ fn nt_probe_depth(
                 });
                 if let Some(r) = pattern_rule {
                     if let Rhs::Pat(p) = &r.rhs {
-                        if let Some(tree) = pat_probe_depth(target, p, r, next_val, depth - 1)
-                        {
+                        if let Some(tree) = pat_probe_depth(target, p, r, next_val, depth - 1) {
                             return Some(tree);
                         }
                     }
@@ -324,16 +311,10 @@ pub fn detects_fault(st: &SelfTest, target: &TargetDesc, victim: usize) -> Optio
         return Some(true); // crash is detection too
     }
     let mut signature = 0i64;
-    let responses = faulty
-        .layout
-        .entries()
-        .iter()
-        .filter(|e| e.sym.as_str().starts_with("$r"))
-        .count();
+    let responses =
+        faulty.layout.entries().iter().filter(|e| e.sym.as_str().starts_with("$r")).count();
     for i in 0..responses {
-        let v = machine
-            .peek(&Symbol::new(format!("$r{i}")), 0, &faulty)
-            .unwrap_or(0);
+        let v = machine.peek(&Symbol::new(format!("$r{i}")), 0, &faulty).unwrap_or(0);
         signature = record_ir::ops::wrap_to_width(signature.wrapping_add(v), target.word_width);
     }
     Some(signature != st.signature)
@@ -377,7 +358,8 @@ mod tests {
 
     #[test]
     fn works_on_generated_asip_targets() {
-        let target = record_isa::targets::asip::build(&record_isa::targets::asip::AsipParams::dsp());
+        let target =
+            record_isa::targets::asip::build(&record_isa::targets::asip::AsipParams::dsp());
         let st = generate(&target, 3).unwrap();
         assert!(st.coverage() > 0.7, "uncovered: {:?}", st.uncovered);
     }
@@ -399,9 +381,6 @@ mod tests {
         assert!(tested > 10);
         // most stuck-at-zero faults on computational instructions must
         // perturb the signature
-        assert!(
-            detected * 10 >= tested * 7,
-            "only {detected}/{tested} faults detected"
-        );
+        assert!(detected * 10 >= tested * 7, "only {detected}/{tested} faults detected");
     }
 }

@@ -1,0 +1,462 @@
+//! Compilation as a reusable service.
+//!
+//! Generating a compiler for a target is not free: the BURS matcher
+//! tables must be indexed from the grammar (the step iburg performs
+//! offline). A [`Session`] amortizes that cost — it caches one generated
+//! [`Compiler`] per *structural* target description and hands out shared
+//! `Arc` handles, so the second and every later compile for a target
+//! pays only for the compile itself. Lookup hashes a cheap summary of
+//! the description (name, word width, table dimensions) and confirms
+//! candidates with full structural equality, so a hit is both fast and
+//! exact.
+//!
+//! Sessions are thread-safe (`&Session` can be shared freely) and offer
+//! [`compile_batch`](Session::compile_batch): independent kernels are
+//! compiled concurrently on scoped threads against the *same* cached
+//! tables, with results returned in input order regardless of which
+//! thread finished first.
+//!
+//! Every compile routed through a session also feeds the session-wide
+//! [`PhaseTimings`] aggregate, giving the batch driver a per-phase
+//! profile of where compilation time went.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+
+use record_ir::lir::Lir;
+use record_isa::{Code, TargetDesc};
+
+use crate::timing::PhaseTimings;
+use crate::{CompileError, CompileOptions, Compiler};
+
+/// Cache and counter snapshot of a [`Session`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Compiler-cache hits (a compile reused generated tables).
+    pub hits: usize,
+    /// Compiler-cache misses (tables had to be generated).
+    pub misses: usize,
+    /// Distinct targets currently cached.
+    pub targets: usize,
+    /// Programs compiled through the session (batch or single).
+    pub compiles: usize,
+}
+
+/// A compilation service: per-target compiler cache + parallel batch
+/// driver + phase-timing aggregation.
+///
+/// # Example
+///
+/// ```
+/// use record::Session;
+///
+/// let session = Session::new();
+/// let target = record_isa::targets::tic25::target();
+/// let src = "program p; var x, y: fix; begin y := x + 1; end";
+/// let a = session.compile_source(&target, src)?;
+/// let b = session.compile_source(&target, src)?; // cache hit: tables reused
+/// assert_eq!(a.render(), b.render());
+/// assert_eq!(session.stats().hits, 1);
+/// assert_eq!(session.stats().misses, 1);
+/// # Ok::<(), record::CompileError>(())
+/// ```
+pub struct Session {
+    options: CompileOptions,
+    /// Buckets by [`cache_key`]; entries within a bucket are confirmed
+    /// by full `TargetDesc` equality, so key collisions are harmless.
+    compilers: RwLock<HashMap<u64, Vec<Arc<Compiler>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    compiles: AtomicUsize,
+    timings: Mutex<PhaseTimings>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session compiling with [`CompileOptions::default`].
+    pub fn new() -> Self {
+        Self::with_options(CompileOptions::default())
+    }
+
+    /// A session compiling with explicit options (applied to every
+    /// compile routed through it).
+    pub fn with_options(options: CompileOptions) -> Self {
+        Session {
+            options,
+            compilers: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            compiles: AtomicUsize::new(0),
+            timings: Mutex::new(PhaseTimings::default()),
+        }
+    }
+
+    /// The options every compile in this session uses.
+    pub fn options(&self) -> &CompileOptions {
+        &self.options
+    }
+
+    /// The cached compiler for `target`, generating (and caching) it on
+    /// first use. Two structurally identical descriptions share one
+    /// compiler — and one set of BURS tables.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Target`] if the description fails validation.
+    pub fn compiler_for(&self, target: &TargetDesc) -> Result<Arc<Compiler>, CompileError> {
+        let key = cache_key(target);
+        if let Some(compiler) = self
+            .compilers
+            .read()
+            .expect("cache lock")
+            .get(&key)
+            .and_then(|bucket| bucket.iter().find(|c| c.target() == target))
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(compiler));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiler = Arc::new(Compiler::for_target(target.clone())?);
+        let mut cache = self.compilers.write().expect("cache lock");
+        let bucket = cache.entry(key).or_default();
+        // another thread may have won the race; keep the first entry so
+        // every caller shares the same tables
+        if let Some(existing) = bucket.iter().find(|c| c.target() == target) {
+            return Ok(Arc::clone(existing));
+        }
+        bucket.push(Arc::clone(&compiler));
+        Ok(compiler)
+    }
+
+    /// Compiles a lowered program with the session's options, through the
+    /// compiler cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile(&self, target: &TargetDesc, lir: &Lir) -> Result<Code, CompileError> {
+        let compiler = self.compiler_for(target)?;
+        let (code, timings) = compiler.compile_with_timed(lir, &self.options)?;
+        self.record(&timings);
+        Ok(code)
+    }
+
+    /// Parses, lowers and compiles a mini-DFL source text through the
+    /// compiler cache.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_source(&self, target: &TargetDesc, source: &str) -> Result<Code, CompileError> {
+        self.compile_source_timed(target, source).map(|(code, _)| code)
+    }
+
+    /// Like [`compile_source`](Session::compile_source), additionally
+    /// returning this compile's phase timings (they are also absorbed
+    /// into the session aggregate).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_source_timed(
+        &self,
+        target: &TargetDesc,
+        source: &str,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
+        let compiler = self.compiler_for(target)?;
+        let (code, timings) = Self::compile_one_source(&compiler, &self.options, source)?;
+        self.record(&timings);
+        Ok((code, timings))
+    }
+
+    /// Compiles independent lowered programs concurrently on scoped
+    /// threads, all sharing the cached compiler for `target`.
+    ///
+    /// The result vector is index-aligned with `programs` — slot `i`
+    /// always holds program `i`'s outcome, so the output is deterministic
+    /// regardless of thread scheduling. A program that fails to compile
+    /// yields an `Err` in its slot without disturbing its neighbours.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Target`] if the target description itself is
+    /// invalid (no per-program work happens in that case).
+    pub fn compile_batch(
+        &self,
+        target: &TargetDesc,
+        programs: &[Lir],
+    ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
+        let compiler = self.compiler_for(target)?;
+        self.run_batch(programs.len(), |i| compiler.compile_with_timed(&programs[i], &self.options))
+    }
+
+    /// [`compile_batch`](Session::compile_batch) over source texts:
+    /// parsing, lowering and compiling all happen on the worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Target`] if the target description is invalid.
+    pub fn compile_batch_sources(
+        &self,
+        target: &TargetDesc,
+        sources: &[&str],
+    ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
+        let compiler = self.compiler_for(target)?;
+        self.run_batch(sources.len(), |i| {
+            Self::compile_one_source(&compiler, &self.options, sources[i])
+        })
+    }
+
+    /// Snapshot of the cache and compile counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            targets: self.compilers.read().expect("cache lock").values().map(Vec::len).sum(),
+            compiles: self.compiles.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The accumulated per-phase timings of every successful compile
+    /// routed through this session.
+    pub fn timings(&self) -> PhaseTimings {
+        *self.timings.lock().expect("timings lock")
+    }
+
+    fn record(&self, timings: &PhaseTimings) {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.timings.lock().expect("timings lock").absorb(timings);
+    }
+
+    fn compile_one_source(
+        compiler: &Compiler,
+        options: &CompileOptions,
+        source: &str,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
+        let t_parse = std::time::Instant::now();
+        let ast = record_ir::dfl::parse(source)?;
+        let parse = t_parse.elapsed();
+        let t_lower = std::time::Instant::now();
+        let lir = record_ir::lower::lower(&ast)?;
+        let lower = t_lower.elapsed();
+        let (code, mut timings) = compiler.compile_with_timed(&lir, options)?;
+        timings.parse = parse;
+        timings.lower = lower;
+        timings.total += parse + lower;
+        Ok((code, timings))
+    }
+
+    /// Fans `n` jobs out over scoped worker threads (work-stealing by
+    /// atomic index) and collects the results into index-aligned slots.
+    fn run_batch<F>(
+        &self,
+        n: usize,
+        job: F,
+    ) -> Result<Vec<Result<Code, CompileError>>, CompileError>
+    where
+        F: Fn(usize) -> Result<(Code, PhaseTimings), CompileError> + Sync,
+    {
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+        let slots: Vec<Mutex<Option<Result<Code, CompileError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = match job(i) {
+                        Ok((code, timings)) => {
+                            self.record(&timings);
+                            Ok(code)
+                        }
+                        Err(e) => Err(e),
+                    };
+                    *slots[i].lock().expect("slot lock") = Some(outcome);
+                });
+            }
+        });
+        Ok(slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every batch slot is written before the scope ends")
+            })
+            .collect())
+    }
+}
+
+/// A deliberately shallow hash of the description — name, width and the
+/// dimensions of every table. Hashing the full structure (hundreds of
+/// rule strings) costs as much as a small compile; this summary is a few
+/// dozen bytes, and [`Session::compiler_for`] confirms each candidate
+/// with full structural equality anyway, so a collision merely scans one
+/// extra bucket entry.
+fn cache_key(target: &TargetDesc) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::hash::DefaultHasher::new();
+    target.name.hash(&mut hasher);
+    target.word_width.hash(&mut hasher);
+    target.reg_classes.len().hash(&mut hasher);
+    target.nonterms.len().hash(&mut hasher);
+    target.rules.len().hash(&mut hasher);
+    target.stores.len().hash(&mut hasher);
+    target.fusions.len().hash(&mut hasher);
+    target.modes.len().hash(&mut hasher);
+    target.memory.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use record_ir::Symbol;
+    use record_sim::run_program;
+
+    fn src(i: usize) -> String {
+        format!("program p{i}; var x, y: fix; begin y := x * {} + {i}; end", i + 2)
+    }
+
+    #[test]
+    fn cache_hits_after_first_compile() {
+        let session = Session::new();
+        let target = record_isa::targets::tic25::target();
+        for i in 0..3 {
+            session.compile_source(&target, &src(i)).unwrap();
+        }
+        let stats = session.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.targets, 1);
+        assert_eq!(stats.compiles, 3);
+    }
+
+    #[test]
+    fn distinct_targets_get_distinct_compilers() {
+        let session = Session::new();
+        let t1 = record_isa::targets::tic25::target();
+        let t2 = record_isa::targets::dsp56k::target();
+        let c1 = session.compiler_for(&t1).unwrap();
+        let c2 = session.compiler_for(&t2).unwrap();
+        assert!(!Arc::ptr_eq(&c1, &c2));
+        // same structural target → same compiler instance
+        let c1b = session.compiler_for(&t1.clone()).unwrap();
+        assert!(Arc::ptr_eq(&c1, &c1b));
+        assert_eq!(session.stats().targets, 2);
+    }
+
+    #[test]
+    fn cached_compiler_shares_tables() {
+        let session = Session::new();
+        let target = record_isa::targets::tic25::target();
+        let c1 = session.compiler_for(&target).unwrap();
+        let c2 = session.compiler_for(&target).unwrap();
+        assert!(Arc::ptr_eq(c1.tables(), c2.tables()));
+    }
+
+    #[test]
+    fn same_key_different_structure_gets_a_distinct_compiler() {
+        // same name and table dimensions → same cache key; the equality
+        // confirmation must still tell the two descriptions apart
+        let session = Session::new();
+        let t1 = record_isa::targets::tic25::target();
+        let mut t2 = t1.clone();
+        t2.rules[0].cost.words += 1;
+        assert_eq!(cache_key(&t1), cache_key(&t2));
+        let c1 = session.compiler_for(&t1).unwrap();
+        let c2 = session.compiler_for(&t2).unwrap();
+        assert!(!Arc::ptr_eq(&c1, &c2));
+        assert_eq!(session.stats().targets, 2);
+        assert_eq!(session.stats().misses, 2);
+        assert!(Arc::ptr_eq(&c1, &session.compiler_for(&t1).unwrap()));
+    }
+
+    #[test]
+    fn invalid_target_is_not_cached() {
+        let session = Session::new();
+        let mut bad = record_isa::targets::tic25::target();
+        bad.memory.banks = 3;
+        assert!(session.compiler_for(&bad).is_err());
+        assert_eq!(session.stats().targets, 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_order() {
+        let session = Session::new();
+        let target = record_isa::targets::tic25::target();
+        let sources: Vec<String> = (0..8).map(src).collect();
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let batch = session.compile_batch_sources(&target, &refs).unwrap();
+        assert_eq!(batch.len(), refs.len());
+        let fresh = Compiler::for_target(target.clone()).unwrap();
+        for (i, outcome) in batch.iter().enumerate() {
+            let code = outcome.as_ref().unwrap();
+            assert_eq!(code.name, format!("p{i}"), "slot order is input order");
+            let sequential = fresh.compile_source(refs[i]).unwrap();
+            assert_eq!(code.render(), sequential.render());
+        }
+    }
+
+    #[test]
+    fn batch_isolates_per_program_errors() {
+        let session = Session::new();
+        let target = record_isa::targets::tic25::target();
+        let good = src(0);
+        let sources = [good.as_str(), "program broken; begin nope", good.as_str()];
+        let batch = session.compile_batch_sources(&target, &sources).unwrap();
+        assert!(batch[0].is_ok());
+        assert!(batch[1].is_err());
+        assert!(batch[2].is_ok());
+    }
+
+    #[test]
+    fn batch_of_lirs_runs_correctly() {
+        let session = Session::new();
+        let target = record_isa::targets::tic25::target();
+        let lirs: Vec<Lir> = (0..4)
+            .map(|i| {
+                let ast = record_ir::dfl::parse(&src(i)).unwrap();
+                record_ir::lower::lower(&ast).unwrap()
+            })
+            .collect();
+        let batch = session.compile_batch(&target, &lirs).unwrap();
+        for (i, outcome) in batch.iter().enumerate() {
+            let code = outcome.as_ref().unwrap();
+            let inputs = [(Symbol::new("x"), vec![5i64])].into_iter().collect();
+            let (out, _) = run_program(code, &target, &inputs).unwrap();
+            assert_eq!(out[&Symbol::new("y")], vec![5 * (i as i64 + 2) + i as i64]);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let session = Session::new();
+        let target = record_isa::targets::tic25::target();
+        assert!(session.compile_batch(&target, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let session = Session::new();
+        let target = record_isa::targets::tic25::target();
+        session.compile_source(&target, &src(0)).unwrap();
+        let after_one = session.timings();
+        assert!(after_one.statements > 0);
+        assert!(after_one.total > std::time::Duration::ZERO);
+        session.compile_source(&target, &src(1)).unwrap();
+        assert!(session.timings().statements > after_one.statements);
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-phase instrumentation of the compilation pipeline.
+//!
+//! Every timed compile (see [`Compiler::compile_timed`](crate::Compiler::compile_timed)
+//! and the [`Session`](crate::Session) APIs) fills in a [`PhaseTimings`]:
+//! one wall-clock duration per pipeline phase of Fig. 2 plus a few work
+//! counters. Timings are additive — [`PhaseTimings::absorb`] accumulates
+//! them across statements, kernels or whole batches — so the same struct
+//! serves a single compile and a session-wide aggregate.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Wall-clock time and work counters, broken down by pipeline phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// DFL lexing + parsing (zero when compiling from a prebuilt LIR).
+    pub parse: Duration,
+    /// AST → LIR lowering (zero when compiling from a prebuilt LIR).
+    pub lower: Duration,
+    /// Data-flow tree decomposition / CSE.
+    pub treeify: Duration,
+    /// Variant enumeration + BURS covering + emission (incl. probe
+    /// verification and clobber splitting).
+    pub select: Duration,
+    /// Storage layout / simple offset assignment.
+    pub layout: Duration,
+    /// Memory-bank assignment (dual-bank targets).
+    pub banks: Duration,
+    /// AGU address-register assignment.
+    pub address: Duration,
+    /// Compaction: fusion, scheduling / parallel-move packing, hoisting,
+    /// hardware-repeat conversion.
+    pub compact: Duration,
+    /// Mode-change insertion.
+    pub modes: Duration,
+    /// End-to-end time of the compile (≥ the sum of the phases).
+    pub total: Duration,
+    /// Statements selected (after tree decomposition).
+    pub statements: usize,
+    /// Tree variants enumerated across all statements.
+    pub variants: usize,
+    /// Variants that produced a legal cover.
+    pub covered: usize,
+    /// Instructions in the final code.
+    pub insns: usize,
+}
+
+impl PhaseTimings {
+    /// Adds `other`'s durations and counters into `self`.
+    pub fn absorb(&mut self, other: &PhaseTimings) {
+        self.parse += other.parse;
+        self.lower += other.lower;
+        self.treeify += other.treeify;
+        self.select += other.select;
+        self.layout += other.layout;
+        self.banks += other.banks;
+        self.address += other.address;
+        self.compact += other.compact;
+        self.modes += other.modes;
+        self.total += other.total;
+        self.statements += other.statements;
+        self.variants += other.variants;
+        self.covered += other.covered;
+        self.insns += other.insns;
+    }
+
+    /// The phases in pipeline order, with display names.
+    pub fn phases(&self) -> [(&'static str, Duration); 9] {
+        [
+            ("parse", self.parse),
+            ("lower", self.lower),
+            ("treeify", self.treeify),
+            ("select", self.select),
+            ("layout", self.layout),
+            ("banks", self.banks),
+            ("address", self.address),
+            ("compact", self.compact),
+            ("modes", self.modes),
+        ]
+    }
+}
+
+impl fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total.as_secs_f64().max(1e-12);
+        writeln!(f, "  {:<10} {:>12} {:>7}", "phase", "time", "share")?;
+        for (name, d) in self.phases() {
+            if d.is_zero() {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<10} {:>12} {:>6.1}%",
+                name,
+                format_duration(d),
+                100.0 * d.as_secs_f64() / total
+            )?;
+        }
+        writeln!(f, "  {:<10} {:>12}", "total", format_duration(self.total))?;
+        write!(
+            f,
+            "  {} statements, {} variants ({} covered), {} instructions",
+            self.statements, self.variants, self.covered, self.insns
+        )
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us >= 10_000.0 {
+        format!("{:.2} ms", us / 1000.0)
+    } else {
+        format!("{us:.1} µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_is_additive() {
+        let mut a =
+            PhaseTimings { select: Duration::from_micros(10), statements: 2, ..Default::default() };
+        let b =
+            PhaseTimings { select: Duration::from_micros(5), statements: 3, ..Default::default() };
+        a.absorb(&b);
+        assert_eq!(a.select, Duration::from_micros(15));
+        assert_eq!(a.statements, 5);
+    }
+
+    #[test]
+    fn display_renders_nonempty_phases() {
+        let t = PhaseTimings {
+            select: Duration::from_micros(80),
+            total: Duration::from_micros(100),
+            statements: 1,
+            ..Default::default()
+        };
+        let s = t.to_string();
+        assert!(s.contains("select"), "{s}");
+        assert!(!s.contains("banks"), "zero phases are elided: {s}");
+    }
+}

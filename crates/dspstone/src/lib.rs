@@ -214,12 +214,8 @@ fn n_complex_updates(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i64>>
     let (ar, ai) = (get(m, "ar"), get(m, "ai"));
     let (br, bi) = (get(m, "br"), get(m, "bi"));
     let (cr, ci) = (get(m, "cr"), get(m, "ci"));
-    let dr = (0..N)
-        .map(|i| wsub(wadd(cr[i], wmul(ar[i], br[i])), wmul(ai[i], bi[i])))
-        .collect();
-    let di = (0..N)
-        .map(|i| wadd(wadd(ci[i], wmul(ar[i], bi[i])), wmul(ai[i], br[i])))
-        .collect();
+    let dr = (0..N).map(|i| wsub(wadd(cr[i], wmul(ar[i], br[i])), wmul(ai[i], bi[i]))).collect();
+    let di = (0..N).map(|i| wadd(wadd(ci[i], wmul(ar[i], bi[i])), wmul(ai[i], br[i]))).collect();
     [s("dr", dr), s("di", di)].into_iter().collect()
 }
 
@@ -277,9 +273,7 @@ fn iir_biquad_one_section(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<
     let (w1, w2) = (get(m, "w1")[0], get(m, "w2")[0]);
     let w = wsub(wsub(x, wmul(a1, w1)), wmul(a2, w2));
     let y = wadd(wadd(wmul(b0, w), wmul(b1, w1)), wmul(b2, w2));
-    [s("y", vec![y]), s("w", vec![w]), s("w1", vec![w]), s("w2", vec![w1])]
-        .into_iter()
-        .collect()
+    [s("y", vec![y]), s("w", vec![w]), s("w1", vec![w]), s("w2", vec![w1])].into_iter().collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -321,9 +315,7 @@ fn iir_biquad_n_sections(m: &HashMap<Symbol, Vec<i64>>) -> HashMap<Symbol, Vec<i
         w1[i] = w;
         w_last = w;
     }
-    [s("y", vec![y]), s("w", vec![w_last]), s("w1", w1), s("w2", w2)]
-        .into_iter()
-        .collect()
+    [s("y", vec![y]), s("w", vec![w_last]), s("w1", w1), s("w2", w2)].into_iter().collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -572,8 +564,7 @@ mod tests {
     #[test]
     fn sources_parse_and_lower() {
         for k in kernels() {
-            let ast = record_ir::dfl::parse(k.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let ast = record_ir::dfl::parse(k.source).unwrap_or_else(|e| panic!("{}: {e}", k.name));
             record_ir::lower::lower(&ast).unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }
     }

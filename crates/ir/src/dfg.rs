@@ -108,11 +108,8 @@ impl Dfg {
     /// # Ok::<(), record_ir::Error>(())
     /// ```
     pub fn from_assigns(assigns: &[AssignStmt]) -> Self {
-        let mut b = Builder {
-            dfg: Dfg::new(),
-            value_numbers: HashMap::new(),
-            mem_version: HashMap::new(),
-        };
+        let mut b =
+            Builder { dfg: Dfg::new(), value_numbers: HashMap::new(), mem_version: HashMap::new() };
         for a in assigns {
             let value = b.build(&a.src);
             b.dfg.nodes[value.index()].uses += 1;
@@ -155,9 +152,7 @@ impl Dfg {
     /// a load.
     pub fn shared_nodes(&self) -> Vec<NodeId> {
         self.iter()
-            .filter(|(_, n)| {
-                n.uses > 1 && matches!(n.kind, NodeKind::Bin(_) | NodeKind::Un(_))
-            })
+            .filter(|(_, n)| n.uses > 1 && matches!(n.kind, NodeKind::Bin(_) | NodeKind::Un(_)))
             .map(|(id, _)| id)
             .collect()
     }
@@ -260,10 +255,7 @@ mod tests {
             assign("z", Tree::var("a")),
         ];
         let dfg = Dfg::from_assigns(&assigns);
-        let loads = dfg
-            .iter()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Load(..)))
-            .count();
+        let loads = dfg.iter().filter(|(_, n)| matches!(n.kind, NodeKind::Load(..))).count();
         assert_eq!(loads, 2);
     }
 
@@ -271,17 +263,11 @@ mod tests {
     fn distinct_arrays_do_not_invalidate_each_other() {
         let assigns = vec![
             assign("y", Tree::elem("a", Index::Const(0))),
-            AssignStmt {
-                dst: MemRef::array("b", Index::Const(0)),
-                src: Tree::constant(1),
-            },
+            AssignStmt { dst: MemRef::array("b", Index::Const(0)), src: Tree::constant(1) },
             assign("z", Tree::elem("a", Index::Const(0))),
         ];
         let dfg = Dfg::from_assigns(&assigns);
-        let loads = dfg
-            .iter()
-            .filter(|(_, n)| matches!(n.kind, NodeKind::Load(..)))
-            .count();
+        let loads = dfg.iter().filter(|(_, n)| matches!(n.kind, NodeKind::Load(..))).count();
         assert_eq!(loads, 1, "load of a[0] should be shared:\n{}", dfg.dump());
     }
 
@@ -306,8 +292,7 @@ mod tests {
     #[test]
     fn constants_are_not_cut_points() {
         let five = Tree::constant(5);
-        let assigns =
-            vec![assign("y", Tree::bin(BinOp::Add, five.clone(), five.clone()))];
+        let assigns = vec![assign("y", Tree::bin(BinOp::Add, five.clone(), five.clone()))];
         let dfg = Dfg::from_assigns(&assigns);
         // the constant is shared but is not a candidate for temping
         assert!(dfg.shared_nodes().is_empty());

@@ -178,9 +178,8 @@ fn lex_number(rest: &str, line: u32) -> Result<(i64, usize), Error> {
         while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
             j += 1;
         }
-        let v: i64 = rest[..j]
-            .parse()
-            .map_err(|_| Error::lex(line, "decimal literal overflows 64 bits"))?;
+        let v: i64 =
+            rest[..j].parse().map_err(|_| Error::lex(line, "decimal literal overflows 64 bits"))?;
         Ok((v, j))
     }
 }

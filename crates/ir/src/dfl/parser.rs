@@ -84,10 +84,12 @@ impl<'a> Parser<'a> {
                     // Accept both `=`-less form `const N = e;` — the lexer has
                     // no `=` token, so we spell it `const N := e;` or reuse
                     // `:` `=`; we accept `:=` for uniformity.
-                    self.expect(TokenKind::Assign).map_err(|_| Error::parse(
+                    self.expect(TokenKind::Assign).map_err(|_| {
+                        Error::parse(
                             self.line(),
                             "expected `:=` after constant name (e.g. `const N := 16;`)",
-                        ))?;
+                        )
+                    })?;
                     let value = self.expr()?;
                     self.expect(TokenKind::Semi)?;
                     decls.push(Decl::Const { name, value });
@@ -428,8 +430,7 @@ mod tests {
 
     #[test]
     fn parses_bank_hint() {
-        let p = parse("program p; var a: fix[4] bank Y; var y: fix; begin y := a[0]; end")
-            .unwrap();
+        let p = parse("program p; var a: fix[4] bank Y; var y: fix; begin y := a[0]; end").unwrap();
         let v = p.vars().next().unwrap();
         assert_eq!(v.bank, Some(crate::Bank::Y));
     }

@@ -36,7 +36,8 @@ pub fn fold(tree: &Tree, width: u32) -> Tree {
             }
             // neg(neg(x)) = x ; not(not(x)) = x
             if let Tree::Un(inner, x) = &fa {
-                if (op, inner) == (&UnOp::Neg, &UnOp::Neg) || (op, inner) == (&UnOp::Not, &UnOp::Not)
+                if (op, inner) == (&UnOp::Neg, &UnOp::Neg)
+                    || (op, inner) == (&UnOp::Not, &UnOp::Not)
                 {
                     return (**x).clone();
                 }
@@ -69,10 +70,9 @@ fn identity(op: BinOp, a: &Tree, b: &Tree) -> Option<Tree> {
                 return Some(b.clone());
             }
         }
-        BinOp::Sub | BinOp::SatSub
-            if is_const(b, 0) => {
-                return Some(a.clone());
-            }
+        BinOp::Sub | BinOp::SatSub if is_const(b, 0) => {
+            return Some(a.clone());
+        }
         BinOp::Mul => {
             if is_const(b, 1) {
                 return Some(a.clone());
@@ -84,14 +84,12 @@ fn identity(op: BinOp, a: &Tree, b: &Tree) -> Option<Tree> {
                 return Some(Tree::Const(0));
             }
         }
-        BinOp::Shl | BinOp::Shr
-            if is_const(b, 0) => {
-                return Some(a.clone());
-            }
-        BinOp::And
-            if (is_const(a, 0) || is_const(b, 0)) => {
-                return Some(Tree::Const(0));
-            }
+        BinOp::Shl | BinOp::Shr if is_const(b, 0) => {
+            return Some(a.clone());
+        }
+        BinOp::And if (is_const(a, 0) || is_const(b, 0)) => {
+            return Some(Tree::Const(0));
+        }
         BinOp::Or | BinOp::Xor => {
             if is_const(b, 0) {
                 return Some(a.clone());

@@ -7,12 +7,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Bank, MemRef, Symbol, Tree};
 
 /// The storage role of a variable (mirrors the `var`/`in`/`out` keywords).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum StorageKind {
     /// Ordinary working storage.
     Var,
@@ -23,7 +21,7 @@ pub enum StorageKind {
 }
 
 /// A lowered variable: name, element count and placement hints.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct VarInfo {
     /// The variable name.
     pub name: Symbol,
@@ -39,7 +37,7 @@ pub struct VarInfo {
 }
 
 /// One assignment statement: `dst := src`.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct AssignStmt {
     /// The destination location.
     pub dst: MemRef,
@@ -54,7 +52,7 @@ impl fmt::Display for AssignStmt {
 }
 
 /// An element of the linear IR.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum LirItem {
     /// A single assignment.
     Assign(AssignStmt),
@@ -95,7 +93,7 @@ impl LirItem {
 }
 
 /// A lowered program.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Lir {
     /// Program name.
     pub name: Symbol,

@@ -201,7 +201,15 @@ impl Lowerer {
                         "line {line}: empty loop range {lo_v}..{hi_v}"
                     )));
                 }
-                let count = (hi_v - lo_v + 1) as u32;
+                let count = hi_v
+                    .checked_sub(lo_v)
+                    .and_then(|d| d.checked_add(1))
+                    .and_then(|span| u32::try_from(span).ok())
+                    .ok_or_else(|| {
+                        Error::lower(format!(
+                            "line {line}: loop range {lo_v}..{hi_v} has too many iterations"
+                        ))
+                    })?;
                 if self.vars.contains_key(var) || self.consts.contains_key(var) {
                     return Err(Error::sema(format!(
                         "line {line}: loop variable `{var}` shadows a declaration"
@@ -448,6 +456,17 @@ mod tests {
     }
 
     #[test]
+    fn rejects_oversized_loop_ranges() {
+        // regression: `(hi - lo + 1) as u32` used to wrap silently for
+        // ranges wider than u32::MAX
+        let e = lower_err(
+            "program p; var y: fix;
+             begin for i in 0..5000000000 loop y := y; end loop; end",
+        );
+        assert!(e.to_string().contains("too many iterations"), "{e}");
+    }
+
+    #[test]
     fn lowers_simple_assignment() {
         let l = lower_src("program p; var a, y: fix; begin y := a + 1; end");
         assert_eq!(l.assign_count(), 1);
@@ -547,9 +566,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_range() {
-        let e = lower_err(
-            "program p; var y: fix; begin for i in 3..1 loop y := 0; end loop; end",
-        );
+        let e = lower_err("program p; var y: fix; begin for i in 3..1 loop y := 0; end loop; end");
         assert!(matches!(e, Error::Lower { .. }));
     }
 

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::Symbol;
 
 /// The memory bank a variable is assigned to, for targets with dual data
@@ -13,7 +11,7 @@ use crate::Symbol;
 /// `record-opt` chooses banks so that as many binary operations as possible
 /// find their operands in *different* banks, enabling parallel fetches —
 /// the optimization the paper attributes to Sudarsanam.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum Bank {
     /// The default/only data memory, or the X memory of a dual-bank target.
     #[default]
@@ -48,7 +46,7 @@ impl fmt::Display for Bank {
 /// is exactly the class of accesses that DSP address-generation units
 /// handle with post-increment/decrement addressing, and it is what the
 /// offset-assignment pass in `record-opt` optimizes.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Index {
     /// A constant element index.
     Const(i64),
@@ -104,7 +102,7 @@ impl fmt::Display for Index {
 /// and the destination of assignments. Delayed signals (`x@k` in DFL) are
 /// lowered to scalar references to a compiler-named shadow location, so by
 /// the time the back end sees a `MemRef`, delays have disappeared.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum MemRef {
     /// A scalar variable.
     Scalar(Symbol),

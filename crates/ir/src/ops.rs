@@ -7,8 +7,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Binary operators of the mini-DFL language and of target patterns.
 ///
 /// The saturating variants ([`BinOp::SatAdd`], [`BinOp::SatSub`]) model the
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// targets usually implement them with the *same* ALU instruction under a
 /// different operation mode (residual control), which is exactly what the
 /// mode-minimization pass in `record-opt` exploits.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum BinOp {
     /// Wrap-around addition.
     Add,
@@ -149,7 +147,7 @@ impl fmt::Display for BinOp {
 }
 
 /// Unary operators.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum UnOp {
     /// Two's-complement negation.
     Neg,
@@ -203,7 +201,7 @@ impl fmt::Display for UnOp {
 ///
 /// `Const`, `Mem` and `Temp` are the three leaf operators; everything else
 /// carries one or two children.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Op {
     /// An integer literal leaf.
     Const,

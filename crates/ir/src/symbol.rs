@@ -3,8 +3,6 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// A cheap-to-clone name used throughout the IR for variables, arrays,
 /// loop induction variables and compiler-generated temporaries.
 ///
@@ -17,8 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(x.as_str(), "x");
 /// assert_eq!(x.to_string(), "x");
 /// ```
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Symbol(Arc<str>);
 
 impl Symbol {

@@ -336,18 +336,10 @@ mod tests {
 
     #[test]
     fn saturating_add_commutes_but_does_not_associate() {
-        let t = Tree::bin(
-            BinOp::SatAdd,
-            Tree::bin(BinOp::SatAdd, v("a"), v("b")),
-            v("c"),
-        );
+        let t = Tree::bin(BinOp::SatAdd, Tree::bin(BinOp::SatAdd, v("a"), v("b")), v("c"));
         let vs = variants(&t, &RuleSet::all(), 100);
         // no right-rotated version
-        let rotated = Tree::bin(
-            BinOp::SatAdd,
-            v("a"),
-            Tree::bin(BinOp::SatAdd, v("b"), v("c")),
-        );
+        let rotated = Tree::bin(BinOp::SatAdd, v("a"), Tree::bin(BinOp::SatAdd, v("b"), v("c")));
         assert!(!vs.contains(&rotated));
         // but commuted versions exist
         assert!(vs.iter().any(|x| x != &t));

@@ -3,8 +3,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{BinOp, Index, MemRef, Op, Symbol, UnOp};
 
 /// An expression tree over the shared operator vocabulary.
@@ -28,7 +26,7 @@ use crate::{BinOp, Index, MemRef, Op, Symbol, UnOp};
 /// assert_eq!(t.to_string(), "((a * b) + 9)");
 /// assert_eq!(t.node_count(), 5);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Tree {
     /// An integer constant leaf.
     Const(i64),

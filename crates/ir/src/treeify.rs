@@ -103,9 +103,7 @@ fn emit_needed_temps(
         emitted.insert(id);
         let name = temp_of[&id].clone();
         let tree = build_tree(dfg, id, temp_of, /*as_def=*/ true);
-        forest
-            .assigns
-            .push(AssignStmt { dst: MemRef::Scalar(name), src: tree });
+        forest.assigns.push(AssignStmt { dst: MemRef::Scalar(name), src: tree });
     }
 }
 
@@ -199,12 +197,7 @@ mod tests {
         let texts: Vec<String> = forest.assigns.iter().map(|a| a.to_string()).collect();
         assert_eq!(
             texts,
-            vec![
-                "w := (a + b)",
-                "$t0 := (w * w)",
-                "y := ($t0 + $t0)",
-                "z := w"
-            ],
+            vec!["w := (a + b)", "$t0 := (w * w)", "y := ($t0 + $t0)", "z := w"],
             "temp def must follow the store it depends on"
         );
     }
@@ -212,10 +205,7 @@ mod tests {
     #[test]
     fn shared_leaves_are_not_cut() {
         // the load of `a` is used twice but stays a plain re-read
-        let stmts = vec![assign(
-            "y",
-            Tree::bin(BinOp::Mul, Tree::var("a"), Tree::var("a")),
-        )];
+        let stmts = vec![assign("y", Tree::bin(BinOp::Mul, Tree::var("a"), Tree::var("a")))];
         let (forest, _) = treeify(&stmts, 0);
         assert!(forest.temps.is_empty());
         assert_eq!(forest.assigns[0].to_string(), "y := (a * a)");

@@ -1,38 +1,38 @@
-//! Property-based tests over the frontend and IR transformations.
+//! Property-based tests over the frontend and IR transformations,
+//! driven by the vendored `record-prop` harness.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use record_ir::transform::{variants, RuleSet};
 use record_ir::treeify::treeify;
 use record_ir::{dfl, AssignStmt, BinOp, MemRef, Symbol, Tree, UnOp};
+use record_prop::{run_cases, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The lexer and parser must reject garbage gracefully, never panic.
-    #[test]
-    fn parser_never_panics(input in "\\PC*") {
+/// The lexer and parser must reject garbage gracefully, never panic.
+#[test]
+fn parser_never_panics() {
+    run_cases(256, |rng| {
+        let input = rng.wild_string(120);
         let _ = dfl::parse(&input);
-    }
+    });
+}
 
-    /// Structured fuzzing: programs assembled from plausible fragments
-    /// either parse or produce a located error.
-    #[test]
-    fn fragment_programs_never_panic(
-        name in "[a-z]{1,8}",
-        n in 1u32..64,
-        use_loop in any::<bool>(),
-        expr in "[a-z0-9+*()\\-/&|^ ]{0,40}",
-    ) {
-        let body = if use_loop {
+/// Structured fuzzing: programs assembled from plausible fragments
+/// either parse or produce a located error.
+#[test]
+fn fragment_programs_never_panic() {
+    run_cases(256, |rng| {
+        let name = rng.string_from("abcdefghijklmnopqrstuvwxyz", 8);
+        let name = if name.is_empty() { "p".to_string() } else { name };
+        let n = rng.i64_in(1, 64);
+        let expr = rng.string_from("abcdefghijklmnopqrstuvwxyz0123456789+*()-/&|^ ", 40);
+        let body = if rng.bool() {
             format!("for i in 0..{} loop y := {expr}; end loop;", n - 1)
         } else {
             format!("y := {expr};")
         };
-        let src = format!(
-            "program {name}; const N = {n}; var a: fix[N]; var y: fix; begin {body} end"
-        );
+        let src =
+            format!("program {name}; const N = {n}; var a: fix[N]; var y: fix; begin {body} end");
         match dfl::parse(&src) {
             Ok(ast) => {
                 let _ = record_ir::lower::lower(&ast);
@@ -42,35 +42,35 @@ proptest! {
                 let _ = e.to_string();
             }
         }
-    }
+    });
 }
 
-fn arb_tree(depth: u32) -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        prop_oneof![Just("a"), Just("b"), Just("c"), Just("w")].prop_map(Tree::var),
-        (-50i64..50).prop_map(Tree::constant),
-    ];
-    leaf.prop_recursive(depth, 20, 2, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                    Just(BinOp::Xor),
-                    Just(BinOp::Min),
-                    Just(BinOp::Max),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| Tree::bin(op, a, b)),
-            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Abs), Just(UnOp::Not)], inner)
-                .prop_map(|(op, a)| Tree::un(op, a)),
-        ]
-    })
+const LEAF_VARS: [&str; 4] = ["a", "b", "c", "w"];
+
+fn gen_tree(rng: &mut Rng, depth: u32) -> Tree {
+    if depth == 0 || rng.usize(4) == 0 {
+        return if rng.bool() {
+            Tree::var(*rng.pick(&LEAF_VARS))
+        } else {
+            Tree::constant(rng.i64_in(-50, 50))
+        };
+    }
+    if rng.usize(3) == 0 {
+        let op = *rng.pick(&[UnOp::Neg, UnOp::Abs, UnOp::Not]);
+        Tree::un(op, gen_tree(rng, depth - 1))
+    } else {
+        let op = *rng.pick(&[
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Min,
+            BinOp::Max,
+        ]);
+        Tree::bin(op, gen_tree(rng, depth - 1), gen_tree(rng, depth - 1))
+    }
 }
 
 /// Reference: execute assignments sequentially over an environment.
@@ -83,47 +83,44 @@ fn run_assigns(assigns: &[AssignStmt], env: &mut HashMap<Symbol, i64>) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Tree decomposition preserves the block's observable semantics
-    /// (including stores that later statements re-read).
-    #[test]
-    fn treeify_preserves_block_semantics(
-        trees in proptest::collection::vec((0usize..4, arb_tree(3)), 1..5),
-        init in proptest::array::uniform4(-100i64..100),
-    ) {
-        let vars = ["a", "b", "c", "w"];
-        let assigns: Vec<AssignStmt> = trees
-            .iter()
-            .map(|(d, t)| AssignStmt { dst: MemRef::scalar(vars[*d]), src: t.clone() })
+/// Tree decomposition preserves the block's observable semantics
+/// (including stores that later statements re-read).
+#[test]
+fn treeify_preserves_block_semantics() {
+    run_cases(128, |rng| {
+        let n_stmts = rng.usize(4) + 1;
+        let assigns: Vec<AssignStmt> = (0..n_stmts)
+            .map(|_| AssignStmt {
+                dst: MemRef::scalar(*rng.pick(&LEAF_VARS)),
+                src: gen_tree(rng, 3),
+            })
             .collect();
+        let init: Vec<i64> = (0..4).map(|_| rng.i64_in(-100, 100)).collect();
         let (forest, _) = treeify(&assigns, 0);
 
         let mut env_a: HashMap<Symbol, i64> =
-            vars.iter().zip(init).map(|(v, x)| (Symbol::new(*v), x)).collect();
+            LEAF_VARS.iter().zip(&init).map(|(v, x)| (Symbol::new(*v), *x)).collect();
         let mut env_b = env_a.clone();
         run_assigns(&assigns, &mut env_a);
         run_assigns(&forest.assigns, &mut env_b);
-        for v in vars {
-            prop_assert_eq!(
+        for v in LEAF_VARS {
+            assert_eq!(
                 env_a[&Symbol::new(v)],
                 env_b[&Symbol::new(v)],
-                "variable {} differs after treeify",
-                v
+                "variable {v} differs after treeify"
             );
         }
-    }
+    });
+}
 
-    /// Every enumerated algebraic variant evaluates identically to the
-    /// original under random environments.
-    #[test]
-    fn variants_preserve_semantics(
-        tree in arb_tree(3),
-        vals in proptest::array::uniform4(-100i64..100),
-    ) {
-        let env: HashMap<&str, i64> =
-            ["a", "b", "c", "w"].into_iter().zip(vals).collect();
+/// Every enumerated algebraic variant evaluates identically to the
+/// original under random environments.
+#[test]
+fn variants_preserve_semantics() {
+    run_cases(128, |rng| {
+        let tree = gen_tree(rng, 3);
+        let vals: Vec<i64> = (0..4).map(|_| rng.i64_in(-100, 100)).collect();
+        let env: HashMap<&str, i64> = LEAF_VARS.into_iter().zip(vals).collect();
         let eval = |t: &Tree| {
             let mut mem = |r: &MemRef| *env.get(r.base().as_str()).unwrap_or(&0);
             let mut tmp = |_: &Symbol| 0;
@@ -131,31 +128,31 @@ proptest! {
         };
         let reference = eval(&tree);
         for v in variants(&tree, &RuleSet::all(), 48) {
-            prop_assert_eq!(eval(&v), reference, "variant {} diverges", v);
+            assert_eq!(eval(&v), reference, "variant {v} diverges");
         }
-    }
+    });
+}
 
-    /// `may_alias` is reflexive and symmetric on random references.
-    #[test]
-    fn may_alias_is_reflexive_and_symmetric(
-        b1 in 0usize..2,
-        b2 in 0usize..2,
-        i1 in -3i64..4,
-        i2 in -3i64..4,
-        kind in 0u8..3,
-    ) {
+/// `may_alias` is reflexive and symmetric on random references.
+#[test]
+fn may_alias_is_reflexive_and_symmetric() {
+    run_cases(256, |rng| {
         let bases = ["p", "q"];
+        let b1 = rng.usize(2);
+        let b2 = rng.usize(2);
+        let i1 = rng.i64_in(-3, 4);
+        let i2 = rng.i64_in(-3, 4);
+        let kind = rng.usize(3) as u8;
         let mk = |b: usize, i: i64, k: u8| match k {
             0 => MemRef::scalar(bases[b]),
             1 => MemRef::array(bases[b], record_ir::Index::Const(i.abs())),
-            _ => MemRef::array(
-                bases[b],
-                record_ir::Index::Var { var: Symbol::new("i"), offset: i },
-            ),
+            _ => {
+                MemRef::array(bases[b], record_ir::Index::Var { var: Symbol::new("i"), offset: i })
+            }
         };
         let r1 = mk(b1, i1, kind);
         let r2 = mk(b2, i2, (kind + 1) % 3);
-        prop_assert!(r1.may_alias(&r1));
-        prop_assert_eq!(r1.may_alias(&r2), r2.may_alias(&r1));
-    }
+        assert!(r1.may_alias(&r1));
+        assert_eq!(r1.may_alias(&r2), r2.may_alias(&r1));
+    });
 }

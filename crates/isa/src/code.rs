@@ -14,15 +14,13 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use record_ir::{Bank, BinOp, Symbol, UnOp};
 
 use crate::loc::Loc;
 use crate::pattern::{RuleId, UnitMask};
 
 /// An executable expression over concrete locations.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum SemExpr {
     /// Read a location.
     Loc(Loc),
@@ -53,12 +51,7 @@ impl SemExpr {
     /// When `saturating` is `true`, wrap-around `Add`/`Sub` behave as their
     /// saturating counterparts — the effect of a DSP's saturation
     /// (overflow) mode on mode-sensitive instructions.
-    pub fn eval(
-        &self,
-        width: u32,
-        saturating: bool,
-        read: &mut impl FnMut(&Loc) -> i64,
-    ) -> i64 {
+    pub fn eval(&self, width: u32, saturating: bool, read: &mut impl FnMut(&Loc) -> i64) -> i64 {
         match self {
             SemExpr::Loc(l) => read(l),
             SemExpr::Bin(op, a, b) => {
@@ -140,7 +133,7 @@ impl fmt::Display for SemExpr {
 }
 
 /// The behavioural class of an instruction.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum InsnKind {
     /// `dst := expr` — the general computational instruction.
     Compute {
@@ -236,7 +229,7 @@ pub enum InsnKind {
 }
 
 /// A concrete machine instruction.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Insn {
     /// The grammar rule that produced it (None for synthetic/control
     /// instructions inserted by later phases).
@@ -267,7 +260,13 @@ pub struct Insn {
 
 impl Insn {
     /// Creates a computational instruction.
-    pub fn compute(dst: Loc, expr: SemExpr, text: impl Into<String>, words: u32, cycles: u32) -> Self {
+    pub fn compute(
+        dst: Loc,
+        expr: SemExpr,
+        text: impl Into<String>,
+        words: u32,
+        cycles: u32,
+    ) -> Self {
         Insn {
             rule: None,
             kind: InsnKind::Compute { dst, expr },
@@ -342,7 +341,7 @@ impl fmt::Display for Insn {
 }
 
 /// Placement of one symbol in data memory.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LayoutEntry {
     /// The symbol.
     pub sym: Symbol,
@@ -359,7 +358,7 @@ pub struct LayoutEntry {
 /// Produced by the layout phase; rewritten by offset assignment (which
 /// permutes scalars for auto-increment locality) and bank assignment
 /// (which moves symbols between banks).
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct DataLayout {
     entries: Vec<LayoutEntry>,
     by_sym: HashMap<Symbol, usize>,
@@ -377,10 +376,7 @@ impl DataLayout {
     ///
     /// Panics if the symbol is already placed.
     pub fn place(&mut self, sym: Symbol, addr: u16, len: u32, bank: Bank) {
-        assert!(
-            !self.by_sym.contains_key(&sym),
-            "symbol {sym} placed twice in data layout"
-        );
+        assert!(!self.by_sym.contains_key(&sym), "symbol {sym} placed twice in data layout");
         self.by_sym.insert(sym.clone(), self.entries.len());
         self.entries.push(LayoutEntry { sym, addr, len, bank });
     }
@@ -423,15 +419,14 @@ impl DataLayout {
     /// Rebuilds the layout with new entries (used by offset/bank
     /// assignment when they permute storage).
     pub fn replace_entries(&mut self, entries: Vec<LayoutEntry>) {
-        self.by_sym =
-            entries.iter().enumerate().map(|(i, e)| (e.sym.clone(), i)).collect();
+        self.by_sym = entries.iter().enumerate().map(|(i, e)| (e.sym.clone(), i)).collect();
         assert_eq!(self.by_sym.len(), entries.len(), "duplicate symbol in layout");
         self.entries = entries;
     }
 }
 
 /// A compiled program: instructions plus data layout.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Code {
     /// The instruction sequence with structured loop markers.
     pub insns: Vec<Insn>,
@@ -559,7 +554,12 @@ mod tests {
     fn code_size_sums_words() {
         let mut code = Code::default();
         code.insns.push(Insn::mov(mem("y"), mem("x"), "MOV", 1, 1));
-        code.insns.push(Insn::ctrl(InsnKind::LoopStart { var: Symbol::new("i"), count: 3 }, "LOOP 3", 2, 2));
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 3 },
+            "LOOP 3",
+            2,
+            2,
+        ));
         code.insns.push(Insn::nop());
         code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 2, 2));
         assert_eq!(code.size_words(), 6);
@@ -573,8 +573,12 @@ mod tests {
         assert!(code.check_structure().is_err());
 
         let mut code = Code::default();
-        code.insns
-            .push(Insn::ctrl(InsnKind::LoopStart { var: Symbol::new("i"), count: 3 }, "LOOP", 1, 1));
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 3 },
+            "LOOP",
+            1,
+            1,
+        ));
         assert!(code.check_structure().is_err());
     }
 
@@ -591,8 +595,12 @@ mod tests {
     #[test]
     fn render_indents_loops() {
         let mut code = Code { name: "p".into(), target: "t".into(), ..Code::default() };
-        code.insns
-            .push(Insn::ctrl(InsnKind::LoopStart { var: Symbol::new("i"), count: 2 }, "LOOP 2", 1, 1));
+        code.insns.push(Insn::ctrl(
+            InsnKind::LoopStart { var: Symbol::new("i"), count: 2 },
+            "LOOP 2",
+            1,
+            1,
+        ));
         code.insns.push(Insn::mov(mem("y"), mem("x"), "MOV y,x", 1, 1));
         code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 1, 1));
         let r = code.render();

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use record_ir::{Bank, Index, MemRef, Symbol};
 
 use crate::regs::RegId;
@@ -15,7 +13,7 @@ use crate::regs::RegId;
 /// direct or AGU-indirect modes. The simulator executes whichever mode is
 /// present, so tests can validate code both before and after address
 /// assignment.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum AddrMode {
     /// Not yet assigned; simulators resolve the symbolic address.
     #[default]
@@ -47,7 +45,7 @@ impl fmt::Display for AddrMode {
 
 /// A concrete memory operand: symbolic identity plus (eventually) an
 /// addressing mode.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MemLoc {
     /// The variable or array the operand belongs to.
     pub base: Symbol,
@@ -138,9 +136,7 @@ impl MemLoc {
         }
         match (&self.index, &other.index) {
             (None, None) => self.disp == other.disp,
-            (Some(a), Some(b)) if a == b && self.down == other.down => {
-                self.disp == other.disp
-            }
+            (Some(a), Some(b)) if a == b && self.down == other.down => self.disp == other.disp,
             _ => true,
         }
     }
@@ -164,7 +160,7 @@ impl fmt::Display for MemLoc {
 }
 
 /// A concrete operand location: register, memory or immediate.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Loc {
     /// A register.
     Reg(RegId),
@@ -237,10 +233,8 @@ mod tests {
         assert_eq!(c.disp, 3);
         assert!(!c.is_loop_variant());
 
-        let v = MemLoc::from_mem_ref(&MemRef::array(
-            "a",
-            Index::Var { var: "i".into(), offset: -1 },
-        ));
+        let v =
+            MemLoc::from_mem_ref(&MemRef::array("a", Index::Var { var: "i".into(), offset: -1 }));
         assert_eq!(v.disp, -1);
         assert!(v.is_loop_variant());
     }

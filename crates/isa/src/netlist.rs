@@ -22,12 +22,10 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use record_ir::Op;
 
 /// Identifies a component within its netlist.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CompId(pub u32);
 
 impl CompId {
@@ -45,7 +43,7 @@ impl fmt::Display for CompId {
 
 /// One selectable operation of an ALU: the operator performed when the
 /// control input carries `sel`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct AluOp {
     /// The operator (binary operators use both inputs, unary only `a`).
     pub op: Op,
@@ -54,7 +52,7 @@ pub struct AluOp {
 }
 
 /// The kind (and parameters) of a component.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum CompKind {
     /// A single data register.
     Register {
@@ -115,7 +113,7 @@ impl CompKind {
 }
 
 /// A netlist component: a kind plus an instance name.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Component {
     /// Instance name (unique within the netlist).
     pub name: String,
@@ -124,7 +122,7 @@ pub struct Component {
 }
 
 /// A directed connection: `(from, from_port) → (to, to_port)`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Conn {
     /// Driving component.
     pub from: CompId,
@@ -137,7 +135,7 @@ pub struct Conn {
 }
 
 /// An RT-level netlist.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Netlist {
     components: Vec<Component>,
     conns: Vec<Conn>,
@@ -157,10 +155,7 @@ impl Netlist {
     /// Panics if the instance name is already in use.
     pub fn add(&mut self, name: impl Into<String>, kind: CompKind) -> CompId {
         let name = name.into();
-        assert!(
-            self.find(&name).is_none(),
-            "component name `{name}` already in use"
-        );
+        assert!(self.find(&name).is_none(), "component name `{name}` already in use");
         let id = CompId(self.components.len() as u32);
         self.components.push(Component { name, kind });
         id
@@ -233,10 +228,7 @@ impl Netlist {
 
     /// Finds a component by instance name.
     pub fn find(&self, name: &str) -> Option<CompId> {
-        self.components
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| CompId(i as u32))
+        self.components.iter().position(|c| c.name == name).map(|i| CompId(i as u32))
     }
 
     /// The driver of an input port, if connected.
@@ -248,10 +240,7 @@ impl Netlist {
 
     /// Iterates over all components.
     pub fn components(&self) -> impl Iterator<Item = (CompId, &Component)> {
-        self.components
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (CompId(i as u32), c))
+        self.components.iter().enumerate().map(|(i, c)| (CompId(i as u32), c))
     }
 
     /// All connections.
@@ -262,10 +251,7 @@ impl Netlist {
     /// Storage components (registers, register files, memories) — the
     /// extraction destinations.
     pub fn storages(&self) -> Vec<CompId> {
-        self.components()
-            .filter(|(_, c)| c.kind.is_storage())
-            .map(|(id, _)| id)
-            .collect()
+        self.components().filter(|(_, c)| c.kind.is_storage()).map(|(id, _)| id).collect()
     }
 
     /// Validates the netlist: connection endpoints in range, mux selector
@@ -284,10 +270,7 @@ impl Netlist {
         }
         for id in self.storages() {
             if self.driver(id, "d").is_none() {
-                return Err(format!(
-                    "storage `{}` has no data-input driver",
-                    self.comp(id).name
-                ));
+                return Err(format!("storage `{}` has no data-input driver", self.comp(id).name));
             }
         }
         for (id, c) in self.components() {
@@ -327,7 +310,10 @@ mod tests {
         let alu = n.alu(
             "alu",
             16,
-            vec![AluOp { op: Op::Bin(BinOp::Add), sel: 0 }, AluOp { op: Op::Bin(BinOp::Sub), sel: 1 }],
+            vec![
+                AluOp { op: Op::Bin(BinOp::Add), sel: 0 },
+                AluOp { op: Op::Bin(BinOp::Sub), sel: 1 },
+            ],
         );
         let f_op = n.instr_field("f_op", 1);
         n.connect(acc, "q", alu, "a");

@@ -160,8 +160,7 @@ pub fn parse(text: &str) -> Result<Netlist, String> {
 }
 
 fn parse_num(s: &str, lineno: u32) -> Result<i64, String> {
-    s.parse::<i64>()
-        .map_err(|_| format!("line {lineno}: `{s}` is not a number"))
+    s.parse::<i64>().map_err(|_| format!("line {lineno}: `{s}` is not a number"))
 }
 
 fn op_by_name(name: &str) -> Option<Op> {
@@ -203,9 +202,7 @@ fn endpoint(
     let (comp, port) = spec
         .split_once('.')
         .ok_or_else(|| format!("line {lineno}: expected COMPONENT.PORT, got `{spec}`"))?;
-    let id = n
-        .find(comp)
-        .ok_or_else(|| format!("line {lineno}: unknown component `{comp}`"))?;
+    let id = n.find(comp).ok_or_else(|| format!("line {lineno}: unknown component `{comp}`"))?;
     Ok((id, port.to_string()))
 }
 

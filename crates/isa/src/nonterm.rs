@@ -8,12 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::regs::RegClassId;
 
 /// Identifies a nonterminal within its target grammar.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NonTermId(pub u16);
 
 impl NonTermId {
@@ -30,7 +28,7 @@ impl fmt::Display for NonTermId {
 }
 
 /// What kind of place a nonterminal denotes.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum NonTermKind {
     /// A register of the given class.
     Reg(RegClassId),
@@ -45,7 +43,7 @@ pub enum NonTermKind {
 }
 
 /// A nonterminal declaration.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct NonTerm {
     /// Grammar-level name, e.g. `"acc"`, `"mem"`, `"imm8"`.
     pub name: String,

@@ -9,14 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use record_ir::Op;
 
 use crate::nonterm::{const_fits, NonTermId};
 
 /// Identifies a rule within its target grammar.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RuleId(pub u32);
 
 impl RuleId {
@@ -34,7 +32,7 @@ impl fmt::Display for RuleId {
 
 /// A structural pattern node: an operator with sub-patterns, or a
 /// nonterminal leaf.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum PatNode {
     /// An operator that must match the tree node's operator; children
     /// match recursively. Leaf operators (`Const`, `Mem`, `Temp`) have no
@@ -50,7 +48,7 @@ pub enum PatNode {
 /// Nonterminal leaves bind the location of an independently derived
 /// subtree; `Const`/`Mem`/`Temp` operator leaves bind the payload of the
 /// matched tree node directly (an immediate value or a memory operand).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PatLeaf {
     /// A nonterminal leaf.
     Nt(NonTermId),
@@ -112,15 +110,13 @@ impl PatNode {
     pub fn op_count(&self) -> usize {
         match self {
             PatNode::Nt(_) => 0,
-            PatNode::Op(_, children) => {
-                1 + children.iter().map(|c| c.op_count()).sum::<usize>()
-            }
+            PatNode::Op(_, children) => 1 + children.iter().map(|c| c.op_count()).sum::<usize>(),
         }
     }
 }
 
 /// The right-hand side of a rule.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Rhs {
     /// A chain rule: derive the lhs from another nonterminal (a data
     /// transfer such as a load, a register move, or a spill store).
@@ -133,7 +129,7 @@ pub enum Rhs {
 ///
 /// Predicates restrict leaf-operator rules, e.g. "this constant fits the
 /// 8-bit immediate field".
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Predicate {
     /// The matched `Const` value fits in a `bits`-wide immediate field.
     ConstFits {
@@ -164,7 +160,7 @@ impl Predicate {
 /// Costs are compared through [`Cost::weight`], which prioritizes words —
 /// the paper's selector picks "the tree requiring the smallest number of
 /// covering patterns", and compact code is requirement #1 in Section 3.2.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Cost {
     /// Instruction words occupied in program memory.
     pub words: u32,
@@ -219,7 +215,7 @@ pub mod units {
 }
 
 /// A grammar rule: `lhs ::= rhs`, with everything downstream phases need.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub struct Rule {
     /// The rule's id (index in the target's rule table).
     pub id: RuleId,

@@ -9,10 +9,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a register class within its target.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RegClassId(pub u16);
 
 impl fmt::Display for RegClassId {
@@ -22,7 +20,7 @@ impl fmt::Display for RegClassId {
 }
 
 /// A register class declaration.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct RegClass {
     /// The class name, e.g. `"acc"`, `"ar"`, `"r"`.
     pub name: String,
@@ -64,7 +62,7 @@ impl RegClass {
 }
 
 /// A concrete register: class plus member index.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RegId {
     /// The class the register belongs to.
     pub class: RegClassId,

@@ -1,8 +1,6 @@
 //! The explicit target model: everything the retargetable back end knows
 //! about a processor.
 
-use serde::{Deserialize, Serialize};
-
 use record_ir::Op;
 
 use crate::nonterm::{NonTerm, NonTermId, NonTermKind};
@@ -13,7 +11,7 @@ use crate::regs::{RegClass, RegClassId};
 ///
 /// Store rules are the grammar's roots: an assignment `dst := tree` is
 /// implemented by deriving the tree to `nt` and then emitting this store.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub struct StoreRule {
     /// The nonterminal the stored value must be available in.
     pub nt: NonTermId,
@@ -26,7 +24,7 @@ pub struct StoreRule {
 }
 
 /// Data-memory shape.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct MemoryDesc {
     /// Number of data banks (1, or 2 for X/Y-memory machines).
     pub banks: u8,
@@ -39,7 +37,7 @@ pub struct MemoryDesc {
 }
 
 /// Address-generation unit: address registers with free post-modify.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub struct AguDesc {
     /// Number of address registers.
     pub n_ars: u16,
@@ -53,7 +51,7 @@ pub struct AguDesc {
 }
 
 /// An operation mode (residual control), e.g. saturation/overflow mode.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub struct ModeDesc {
     /// Human-readable name, e.g. `"ovm"`.
     pub name: String,
@@ -68,7 +66,7 @@ pub struct ModeDesc {
 }
 
 /// Hardware single-instruction repeat support (e.g. the C25's `RPTK`).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub struct RptDesc {
     /// Cost of the repeat prefix instruction.
     pub cost: Cost,
@@ -77,7 +75,7 @@ pub struct RptDesc {
 }
 
 /// Loop machinery costs.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub struct LoopCtrl {
     /// Cost of loop initialization (load trip counter).
     pub init_cost: Cost,
@@ -89,7 +87,7 @@ pub struct LoopCtrl {
 
 /// A fusion: two adjacent instructions that the target encodes as one
 /// (e.g. TMS320C25 `LT` + `APAC` = `LTA`). Compaction applies these.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub struct Fusion {
     /// Rule of the first instruction.
     pub first: RuleId,
@@ -103,7 +101,7 @@ pub struct Fusion {
 }
 
 /// Parallel-move packing capability (Motorola 56k style).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub struct ParallelDesc {
     /// How many move operations one arithmetic instruction can carry.
     pub max_moves: u8,
@@ -118,7 +116,7 @@ pub struct ParallelDesc {
 /// Built with [`TargetBuilder`]; consumed by the matcher generator in
 /// `record-burg`, by every optimization in `record-opt`, by the simulator
 /// in `record-sim` and by the compiler pipeline in `record`.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Hash, Debug)]
 pub struct TargetDesc {
     /// Target name, e.g. `"tic25"`.
     pub name: String,
@@ -149,10 +147,7 @@ pub struct TargetDesc {
 impl TargetDesc {
     /// Looks up a nonterminal id by name.
     pub fn nt(&self, name: &str) -> Option<NonTermId> {
-        self.nonterms
-            .iter()
-            .position(|n| n.name == name)
-            .map(|i| NonTermId(i as u16))
+        self.nonterms.iter().position(|n| n.name == name).map(|i| NonTermId(i as u16))
     }
 
     /// The nonterminal declaration for an id.
@@ -166,10 +161,7 @@ impl TargetDesc {
 
     /// Looks up a register class id by name.
     pub fn reg_class(&self, name: &str) -> Option<RegClassId> {
-        self.reg_classes
-            .iter()
-            .position(|c| c.name == name)
-            .map(|i| RegClassId(i as u16))
+        self.reg_classes.iter().position(|c| c.name == name).map(|i| RegClassId(i as u16))
     }
 
     /// The class declaration for an id.
@@ -200,6 +192,24 @@ impl TargetDesc {
     /// requirement implicitly require this mode *clear*.
     pub fn sat_mode(&self) -> Option<usize> {
         self.mode("ovm").or_else(|| self.mode("sat"))
+    }
+
+    /// A structural fingerprint of the description: two targets with the
+    /// same fingerprint describe the same machine (name, grammar, memory,
+    /// AGU, modes, …) with overwhelming probability.
+    ///
+    /// Compilation sessions use this as the cache key for per-target
+    /// generated matcher tables, so it is recomputed on every cache
+    /// lookup and must stay cheap relative to a single compile. It is a
+    /// structural hash over every field; equal descriptions always agree
+    /// and distinct ones collide only with hash probability. The value is
+    /// stable within a process run, which is all a session-lifetime cache
+    /// key needs — do not persist it.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::hash::DefaultHasher::new();
+        self.hash(&mut hasher);
+        hasher.finish()
     }
 
     /// Validates referential integrity: every nonterminal, class and rule

@@ -112,10 +112,7 @@ impl AsipParams {
 /// ```
 pub fn build(params: &AsipParams) -> TargetDesc {
     assert!(params.n_regs > 0, "ASIP needs at least one register");
-    assert!(
-        (1..=64).contains(&params.word_width),
-        "word width out of range"
-    );
+    assert!((1..=64).contains(&params.word_width), "word width out of range");
     let mut name = format!("asip-r{}", params.n_regs);
     if params.has_mac {
         name.push_str("-mac");
@@ -197,10 +194,7 @@ pub fn build(params: &AsipParams) -> TargetDesc {
         // Multiplier-less configurations still handle powers of two.
         let shmul = b.pat(
             r,
-            PatNode::op(
-                Op::Bin(BinOp::Mul),
-                vec![PatNode::nt(r), PatNode::op(Op::Const, vec![])],
-            ),
+            PatNode::op(Op::Bin(BinOp::Mul), vec![PatNode::nt(r), PatNode::op(Op::Const, vec![])]),
             "SHLK {d},{0}",
             Cost::new(1, 1),
         );
@@ -227,10 +221,7 @@ pub fn build(params: &AsipParams) -> TargetDesc {
         for (op, opname) in [(BinOp::Shl, "SHL"), (BinOp::Shr, "SHR")] {
             let rule = b.pat(
                 r,
-                PatNode::op(
-                    Op::Bin(op),
-                    vec![PatNode::nt(r), PatNode::op(Op::Const, vec![])],
-                ),
+                PatNode::op(Op::Bin(op), vec![PatNode::nt(r), PatNode::op(Op::Const, vec![])]),
                 &format!("{opname} {{d}},{{1}}"),
                 Cost::new(1, 1),
             );
@@ -240,10 +231,7 @@ pub fn build(params: &AsipParams) -> TargetDesc {
         for (op, opname) in [(BinOp::Shl, "SHL1"), (BinOp::Shr, "SHR1")] {
             let rule = b.pat(
                 r,
-                PatNode::op(
-                    Op::Bin(op),
-                    vec![PatNode::nt(r), PatNode::op(Op::Const, vec![])],
-                ),
+                PatNode::op(Op::Bin(op), vec![PatNode::nt(r), PatNode::op(Op::Const, vec![])]),
                 &format!("{opname} {{d}}"),
                 Cost::new(1, 1),
             );
@@ -325,11 +313,8 @@ mod tests {
     #[test]
     fn multiplierless_has_only_pow2_mul() {
         let t = build(&AsipParams::minimal());
-        let mul_rules: Vec<_> = t
-            .rules
-            .iter()
-            .filter(|r| r.root_op() == Some(Op::Bin(BinOp::Mul)))
-            .collect();
+        let mul_rules: Vec<_> =
+            t.rules.iter().filter(|r| r.root_op() == Some(Op::Bin(BinOp::Mul))).collect();
         assert_eq!(mul_rules.len(), 1);
         assert_eq!(mul_rules[0].pred, Some(Predicate::ConstPow2));
     }

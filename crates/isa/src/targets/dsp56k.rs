@@ -142,15 +142,11 @@ pub fn target() -> TargetDesc {
     for (op, name) in [(BinOp::Shl, "ASL"), (BinOp::Shr, "ASR")] {
         let rule = b.pat(
             a,
-            PatNode::op(
-                Op::Bin(op),
-                vec![PatNode::nt(a), PatNode::op(Op::Const, vec![])],
-            ),
+            PatNode::op(Op::Bin(op), vec![PatNode::nt(a), PatNode::op(Op::Const, vec![])]),
             &format!("{name} {{d}}"),
             Cost::new(1, 1),
         );
-        b.with_pred(rule, crate::pattern::Predicate::ConstEquals(1))
-            .with_units(rule, units::ALU);
+        b.with_pred(rule, crate::pattern::Predicate::ConstEquals(1)).with_units(rule, units::ALU);
     }
 
     // Saturating arithmetic is the 56k's natural mode for moves out of

@@ -95,11 +95,7 @@ pub fn target(n_regs: u16) -> TargetDesc {
         ar_load_cost: Cost::new(1, 1),
         ar_add_cost: Cost::new(1, 1),
     });
-    b.loop_ctrl(LoopCtrl {
-        init_cost: Cost::new(1, 1),
-        end_cost: Cost::new(2, 2),
-        rpt: None,
-    });
+    b.loop_ctrl(LoopCtrl { init_cost: Cost::new(1, 1), end_cost: Cost::new(2, 2), rpt: None });
 
     b.build().expect("risc description is internally consistent")
 }

@@ -171,46 +171,28 @@ pub fn target() -> TargetDesc {
         b.with_units(r, units::ALU);
     }
 
-    let neg = b.pat(
-        acc,
-        PatNode::op(Op::Un(UnOp::Neg), vec![PatNode::nt(acc)]),
-        "NEG",
-        Cost::new(1, 1),
-    );
+    let neg =
+        b.pat(acc, PatNode::op(Op::Un(UnOp::Neg), vec![PatNode::nt(acc)]), "NEG", Cost::new(1, 1));
     b.with_units(neg, units::ALU);
-    let abs = b.pat(
-        acc,
-        PatNode::op(Op::Un(UnOp::Abs), vec![PatNode::nt(acc)]),
-        "ABS",
-        Cost::new(1, 1),
-    );
+    let abs =
+        b.pat(acc, PatNode::op(Op::Un(UnOp::Abs), vec![PatNode::nt(acc)]), "ABS", Cost::new(1, 1));
     b.with_units(abs, units::ALU);
-    let cmpl = b.pat(
-        acc,
-        PatNode::op(Op::Un(UnOp::Not), vec![PatNode::nt(acc)]),
-        "CMPL",
-        Cost::new(1, 1),
-    );
+    let cmpl =
+        b.pat(acc, PatNode::op(Op::Un(UnOp::Not), vec![PatNode::nt(acc)]), "CMPL", Cost::new(1, 1));
     b.with_units(cmpl, units::ALU);
 
     // --- shifts ----------------------------------------------------------
     // single-bit accumulator shifts
     let sfl = b.pat(
         acc,
-        PatNode::op(
-            Op::Bin(BinOp::Shl),
-            vec![PatNode::nt(acc), PatNode::op(Op::Const, vec![])],
-        ),
+        PatNode::op(Op::Bin(BinOp::Shl), vec![PatNode::nt(acc), PatNode::op(Op::Const, vec![])]),
         "SFL",
         Cost::new(1, 1),
     );
     b.with_pred(sfl, Predicate::ConstEquals(1)).with_units(sfl, units::ALU);
     let sfr = b.pat(
         acc,
-        PatNode::op(
-            Op::Bin(BinOp::Shr),
-            vec![PatNode::nt(acc), PatNode::op(Op::Const, vec![])],
-        ),
+        PatNode::op(Op::Bin(BinOp::Shr), vec![PatNode::nt(acc), PatNode::op(Op::Const, vec![])]),
         "SFR",
         Cost::new(1, 1),
     );
@@ -313,7 +295,6 @@ pub fn target() -> TargetDesc {
 
     b.build().expect("tic25 description is internally consistent")
 }
-
 
 /// An RT-level netlist of the C25 datapath core — the *structural* form
 /// of (the heart of) this target, for instruction-set extraction.
@@ -453,8 +434,7 @@ mod tests {
     fn ovm_mode_with_saturating_rules() {
         let t = target();
         let ovm = t.mode("ovm").unwrap();
-        let sat_rules: Vec<_> =
-            t.rules.iter().filter(|r| r.mode == Some((ovm, true))).collect();
+        let sat_rules: Vec<_> = t.rules.iter().filter(|r| r.mode == Some((ovm, true))).collect();
         assert!(sat_rules.len() >= 4);
     }
 

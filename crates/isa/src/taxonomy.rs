@@ -4,10 +4,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Axis 1 — the form in which the processor is available.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Availability {
     /// A completely fabricated, packaged part.
     Package,
@@ -17,7 +15,7 @@ pub enum Availability {
 
 /// Axis 2 — domain-specific features (e.g. DSP: MAC instructions,
 /// heterogeneous register sets, AGUs, saturating arithmetic).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DomainFeatures {
     /// General-purpose architecture.
     None,
@@ -27,7 +25,7 @@ pub enum DomainFeatures {
 }
 
 /// Axis 3 — application-specific features.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AppFeatures {
     /// Fixed architecture (off-the-shelf layout).
     Fixed,
@@ -37,7 +35,7 @@ pub enum AppFeatures {
 }
 
 /// A point in the processor cube.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CubePoint {
     /// Availability axis.
     pub availability: Availability,
@@ -74,11 +72,8 @@ impl CubePoint {
 
     /// All eight corners of the cube.
     pub fn corners() -> [CubePoint; 8] {
-        let mut out = [CubePoint::new(
-            Availability::Package,
-            DomainFeatures::None,
-            AppFeatures::Fixed,
-        ); 8];
+        let mut out =
+            [CubePoint::new(Availability::Package, DomainFeatures::None, AppFeatures::Fixed); 8];
         let mut i = 0;
         for v in [Availability::Package, Availability::Core] {
             for d in [DomainFeatures::None, DomainFeatures::Dsp] {
@@ -99,7 +94,7 @@ impl fmt::Display for CubePoint {
 }
 
 /// A classified example processor, used by the Fig. 1 example binary.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ProcessorExample {
     /// Marketing name.
     pub name: &'static str,
@@ -160,16 +155,14 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
-        let labels: std::collections::HashSet<_> =
-            corners.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<_> = corners.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 8);
     }
 
     #[test]
     fn labels_match_figure() {
         assert_eq!(
-            CubePoint::new(Availability::Package, DomainFeatures::Dsp, AppFeatures::Fixed)
-                .label(),
+            CubePoint::new(Availability::Package, DomainFeatures::Dsp, AppFeatures::Fixed).label(),
             "DSP"
         );
         assert_eq!(
@@ -178,8 +171,7 @@ mod tests {
             "ASSP core"
         );
         assert_eq!(
-            CubePoint::new(Availability::Package, DomainFeatures::None, AppFeatures::Fixed)
-                .label(),
+            CubePoint::new(Availability::Package, DomainFeatures::None, AppFeatures::Fixed).label(),
             "off-the-shelf processor"
         );
     }

@@ -273,12 +273,7 @@ fn walk(
                             None
                         }
                     }
-                    other => {
-                        return Err(format!(
-                            "mux `{}` selector driven by {other:?}",
-                            c.name
-                        ))
-                    }
+                    other => return Err(format!("mux `{}` selector driven by {other:?}", c.name)),
                 };
                 let Some(branch) = branch else { continue };
                 let (drv, drv_port) = netlist
@@ -319,10 +314,7 @@ fn walk(
                             }
                         }
                         other => {
-                            return Err(format!(
-                                "alu `{}` op select driven by {other:?}",
-                                c.name
-                            ))
+                            return Err(format!("alu `{}` op select driven by {other:?}", c.name))
                         }
                     },
                 };
@@ -405,10 +397,7 @@ mod tests {
             "expected constant-input path: {texts:#?}"
         );
         // c2 = 1 routes the immediate field
-        assert!(
-            texts.iter().any(|t| t.contains("#im")),
-            "expected immediate path: {texts:#?}"
-        );
+        assert!(texts.iter().any(|t| t.contains("#im")), "expected immediate path: {texts:#?}");
     }
 
     #[test]
@@ -429,10 +418,8 @@ mod tests {
         // both ALU inputs are fed by muxes sharing selector `share`; only
         // the aligned combinations (s+t at share=0, t+s at share=1)
         // survive for r — the cross terms s+s and t+t are unjustifiable.
-        let r_insns: Vec<_> = insns
-            .iter()
-            .filter(|i| matches!(&i.dst, StorageRef::Reg(n) if n == "r"))
-            .collect();
+        let r_insns: Vec<_> =
+            insns.iter().filter(|i| matches!(&i.dst, StorageRef::Reg(n) if n == "r")).collect();
         assert_eq!(r_insns.len(), 2, "{r_insns:#?}");
     }
 

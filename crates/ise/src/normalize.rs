@@ -38,16 +38,12 @@ pub fn normalize(insns: Vec<ExtractedInsn>) -> Vec<ExtractedInsn> {
     for mut insn in insns {
         insn.pattern = canonical(insn.pattern);
         // merge encodings of the same behaviour
-        if !out
-            .iter()
-            .any(|seen| seen.dst == insn.dst && seen.pattern == insn.pattern)
-        {
+        if !out.iter().any(|seen| seen.dst == insn.dst && seen.pattern == insn.pattern) {
             out.push(insn);
         }
     }
     out.sort_by(|a, b| {
-        (a.dst.to_string(), a.pattern.to_string())
-            .cmp(&(b.dst.to_string(), b.pattern.to_string()))
+        (a.dst.to_string(), a.pattern.to_string()).cmp(&(b.dst.to_string(), b.pattern.to_string()))
     });
     out
 }
@@ -61,8 +57,14 @@ fn canonical(tree: ExtTree) -> ExtTree {
             let b = canonical(*b);
             let commutative = matches!(
                 op,
-                BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
-                    | BinOp::SatAdd | BinOp::Min | BinOp::Max
+                BinOp::Add
+                    | BinOp::Mul
+                    | BinOp::And
+                    | BinOp::Or
+                    | BinOp::Xor
+                    | BinOp::SatAdd
+                    | BinOp::Min
+                    | BinOp::Max
             );
             if commutative && b.to_string() < a.to_string() {
                 ExtTree::Bin(op, Box::new(b), Box::new(a))
@@ -139,8 +141,7 @@ mod tests {
         let once = normalize(insns);
         let twice = normalize(once.clone());
         assert_eq!(once, twice);
-        let keys: Vec<String> =
-            once.iter().map(|i| format!("{}|{}", i.dst, i.pattern)).collect();
+        let keys: Vec<String> = once.iter().map(|i| format!("{}|{}", i.dst, i.pattern)).collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);

@@ -314,11 +314,7 @@ fn template_text(tree: &ExtTree, next: &mut usize) -> String {
 }
 
 fn fields_text(insn: &ExtractedInsn) -> String {
-    insn.fields
-        .iter()
-        .map(|s| s.to_string())
-        .collect::<Vec<_>>()
-        .join(",")
+    insn.fields.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(",")
 }
 
 #[cfg(test)]

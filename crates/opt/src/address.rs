@@ -71,10 +71,7 @@ pub fn assign_addresses(code: &mut Code, target: &TargetDesc) -> Result<AddressS
         new_cells: Vec::new(),
     };
     if !ctx.has_direct && ctx.agu.is_none() {
-        return Err(format!(
-            "target {} has neither direct addressing nor an AGU",
-            target.name
-        ));
+        return Err(format!("target {} has neither direct addressing nor an AGU", target.name));
     }
 
     let mut out = Vec::new();
@@ -105,9 +102,7 @@ fn parse_structure(insns: Vec<Insn>) -> Result<Vec<Node>, String> {
                 stack.push((insn, std::mem::take(&mut cur)));
             }
             InsnKind::LoopEnd => {
-                let (start, outer) = stack
-                    .pop()
-                    .ok_or_else(|| "unmatched LoopEnd".to_string())?;
+                let (start, outer) = stack.pop().ok_or_else(|| "unmatched LoopEnd".to_string())?;
                 let body = std::mem::replace(&mut cur, outer);
                 cur.push(Node::Loop { start, body, end: insn });
             }
@@ -257,9 +252,7 @@ impl<'a> Ctx<'a> {
         // LAR/SAR spill idiom of real accumulator-machine compilers)
         let first_stream_ar = self.next_stream_ar;
         let mut stream_ars: HashMap<(Symbol, i64, bool), u16> = HashMap::new();
-        let ar_limit = self.scalar_ar.unwrap_or_else(|| {
-            self.agu.map(|a| a.n_ars).unwrap_or(0)
-        });
+        let ar_limit = self.scalar_ar.unwrap_or_else(|| self.agu.map(|a| a.n_ars).unwrap_or(0));
         let capacity = ar_limit.saturating_sub(first_stream_ar) as usize;
         let (n_dedicated, spare) = if streams.len() <= capacity {
             (streams.len(), None)
@@ -336,11 +329,15 @@ impl<'a> Ctx<'a> {
         // 5. advance streams that did not get a free post-increment
         out.push(start);
         out.extend(body_out);
-        for ((_, _, down), ar) in &stream_ars {
-            if !advanced.contains(ar) {
-                out.push(ar_add(self.target, *ar, if *down { -1 } else { 1 }));
-                self.stats.ar_adds += 1;
-            }
+        let mut pending: Vec<(u16, bool)> = stream_ars
+            .iter()
+            .filter(|(_, ar)| !advanced.contains(*ar))
+            .map(|((_, _, down), ar)| (*ar, *down))
+            .collect();
+        pending.sort_unstable();
+        for (ar, down) in pending {
+            out.push(ar_add(self.target, ar, if down { -1 } else { 1 }));
+            self.stats.ar_adds += 1;
         }
         // 5b. advance spilled stream pointers: load, adjust, store back
         if let Some(spare_ar) = spare {
@@ -366,30 +363,17 @@ impl<'a> Ctx<'a> {
 }
 
 fn ar_load(target: &TargetDesc, ar: u16, base: &Symbol, disp: i64) -> Insn {
-    let cost = target
-        .agu
-        .as_ref()
-        .map(|a| a.ar_load_cost)
-        .unwrap_or(record_isa::Cost::new(2, 2));
+    let cost = target.agu.as_ref().map(|a| a.ar_load_cost).unwrap_or(record_isa::Cost::new(2, 2));
     let text = if disp == 0 {
         format!("LRLK AR{ar},#{base}")
     } else {
         format!("LRLK AR{ar},#{base}+{disp}")
     };
-    Insn::ctrl(
-        InsnKind::ArLoad { ar, base: base.clone(), disp },
-        text,
-        cost.words,
-        cost.cycles,
-    )
+    Insn::ctrl(InsnKind::ArLoad { ar, base: base.clone(), disp }, text, cost.words, cost.cycles)
 }
 
 fn ar_add(target: &TargetDesc, ar: u16, delta: i64) -> Insn {
-    let cost = target
-        .agu
-        .as_ref()
-        .map(|a| a.ar_add_cost)
-        .unwrap_or(record_isa::Cost::new(1, 1));
+    let cost = target.agu.as_ref().map(|a| a.ar_add_cost).unwrap_or(record_isa::Cost::new(1, 1));
     Insn::ctrl(
         InsnKind::ArAdd { ar, delta },
         format!("ADRK AR{ar},#{delta}"),
@@ -399,21 +383,11 @@ fn ar_add(target: &TargetDesc, ar: u16, delta: i64) -> Insn {
 }
 
 fn ar_load_mem(ar: u16, cell: &Symbol) -> Insn {
-    Insn::ctrl(
-        InsnKind::ArLoadMem { ar, cell: cell.clone() },
-        format!("LAR AR{ar},{cell}"),
-        1,
-        1,
-    )
+    Insn::ctrl(InsnKind::ArLoadMem { ar, cell: cell.clone() }, format!("LAR AR{ar},{cell}"), 1, 1)
 }
 
 fn ar_store(ar: u16, cell: &Symbol) -> Insn {
-    Insn::ctrl(
-        InsnKind::ArStore { ar, cell: cell.clone() },
-        format!("SAR AR{ar},{cell}"),
-        1,
-        1,
-    )
+    Insn::ctrl(InsnKind::ArStore { ar, cell: cell.clone() }, format!("SAR AR{ar},{cell}"), 1, 1)
 }
 
 fn ptr_init(target: &TargetDesc, cell: &Symbol, base: &Symbol, disp: i64) -> Insn {
@@ -564,8 +538,7 @@ fn rewrite_streams(
                 for (mem_ix, m) in insn_mem_operands(insn).into_iter().enumerate() {
                     if m.index.as_ref() == Some(var) {
                         // spilled streams are handled by rewrite_spilled
-                        let Some(ar) = stream_ars.get(&(m.base.clone(), m.disp, m.down))
-                        else {
+                        let Some(ar) = stream_ars.get(&(m.base.clone(), m.disp, m.down)) else {
                             continue;
                         };
                         let ar = *ar;
@@ -777,21 +750,46 @@ mod tests {
         let stats = assign_addresses(&mut code, &t).unwrap();
         assert_eq!(stats.ar_loads, 10, "7 LRLK + 3 PtrInit");
         // spill machinery present
-        assert!(code
-            .insns
-            .iter()
-            .any(|i| matches!(i.kind, InsnKind::PtrInit { .. })));
-        assert!(code
-            .insns
-            .iter()
-            .any(|i| matches!(i.kind, InsnKind::ArLoadMem { .. })));
-        assert!(code
-            .insns
-            .iter()
-            .any(|i| matches!(i.kind, InsnKind::ArStore { .. })));
+        assert!(code.insns.iter().any(|i| matches!(i.kind, InsnKind::PtrInit { .. })));
+        assert!(code.insns.iter().any(|i| matches!(i.kind, InsnKind::ArLoadMem { .. })));
+        assert!(code.insns.iter().any(|i| matches!(i.kind, InsnKind::ArStore { .. })));
         // the cells were added to the layout
         assert!(code.layout.entry(&Symbol::new("$ptr0")).is_some());
         assert!(code.layout.entry(&Symbol::new("$ptr2")).is_some());
+    }
+
+    #[test]
+    fn stream_advances_are_emitted_in_register_order() {
+        // simple_risc has no free post-increment, so every stream gets an
+        // explicit ArAdd at the loop tail; those must come out sorted by
+        // register, not in HashMap iteration order (regression: the batch
+        // driver exposed run-to-run ADRK reordering)
+        let t = record_isa::targets::simple_risc::target(8);
+        for _ in 0..4 {
+            let mut code = Code::default();
+            code.insns.push(Insn::ctrl(
+                InsnKind::LoopStart { var: Symbol::new("i"), count: 4 },
+                "LOOP 4",
+                2,
+                2,
+            ));
+            for (dst, src) in [("c", "a"), ("d", "b")] {
+                code.insns.push(mov(stream(dst, "i", 0), stream(src, "i", 0)));
+            }
+            code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 2, 3));
+            layout_for(&mut code, &[("a", 4), ("b", 4), ("c", 4), ("d", 4)]);
+            assign_addresses(&mut code, &t).unwrap();
+            let adds: Vec<u16> = code
+                .insns
+                .iter()
+                .filter_map(|i| match i.kind {
+                    InsnKind::ArAdd { ar, .. } => Some(ar),
+                    _ => None,
+                })
+                .collect();
+            assert!(!adds.is_empty(), "expected explicit stream advances");
+            assert!(adds.windows(2).all(|w| w[0] < w[1]), "unsorted: {adds:?}");
+        }
     }
 
     #[test]

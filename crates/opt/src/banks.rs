@@ -70,11 +70,7 @@ pub fn assign_banks(
     let mut symbols: Vec<Symbol> = code.layout.entries().iter().map(|e| e.sym.clone()).collect();
     // order by total incident weight, heaviest first
     let incident = |s: &Symbol| -> u32 {
-        weights
-            .iter()
-            .filter(|((a, b), _)| a == s || b == s)
-            .map(|(_, w)| *w)
-            .sum()
+        weights.iter().filter(|((a, b), _)| a == s || b == s).map(|(_, w)| *w).sum()
     };
     symbols.sort_by(|a, b| incident(b).cmp(&incident(a)).then(a.cmp(b)));
     for sym in &symbols {
@@ -174,11 +170,8 @@ fn rewrite_banks(insn: &mut record_isa::Insn, assignment: &HashMap<Symbol, Bank>
 fn operand_windows(code: &Code) -> Vec<Vec<Symbol>> {
     let mut windows = Vec::new();
     let insn_bases = |insn: &record_isa::Insn| -> Vec<Symbol> {
-        let mut v: Vec<Symbol> = insn
-            .srcs()
-            .iter()
-            .filter_map(|l| l.as_mem().map(|m| m.base.clone()))
-            .collect();
+        let mut v: Vec<Symbol> =
+            insn.srcs().iter().filter_map(|l| l.as_mem().map(|m| m.base.clone())).collect();
         v.dedup();
         v
     };
@@ -255,8 +248,7 @@ mod tests {
     fn hints_are_respected() {
         let t = record_isa::targets::dsp56k::target();
         let mut code = code_with(vec![mul("y", "a", "b")], &["a", "b", "y"]);
-        let fixed: HashMap<Symbol, Bank> =
-            [(Symbol::new("a"), Bank::Y)].into_iter().collect();
+        let fixed: HashMap<Symbol, Bank> = [(Symbol::new("a"), Bank::Y)].into_iter().collect();
         assign_banks(&mut code, &t, &fixed);
         assert_eq!(code.layout.entry(&Symbol::new("a")).unwrap().bank, Bank::Y);
         assert_eq!(code.layout.entry(&Symbol::new("b")).unwrap().bank, Bank::X);
@@ -267,11 +259,8 @@ mod tests {
         let t = record_isa::targets::dsp56k::target();
         let mut code = code_with(vec![mul("y", "a", "b")], &["a", "b", "y"]);
         assign_banks(&mut code, &t, &HashMap::new());
-        let banks: Vec<Bank> = code.insns[0]
-            .srcs()
-            .iter()
-            .filter_map(|l| l.as_mem().map(|m| m.bank))
-            .collect();
+        let banks: Vec<Bank> =
+            code.insns[0].srcs().iter().filter_map(|l| l.as_mem().map(|m| m.bank)).collect();
         assert_eq!(banks.len(), 2);
         assert_ne!(banks[0], banks[1]);
     }

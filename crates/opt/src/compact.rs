@@ -104,8 +104,7 @@ fn collect_effects(insn: &Insn, e: &mut Effects) {
 /// `true` if the two instructions can execute in either order or in
 /// parallel with identical results.
 fn independent(a: &Insn, b: &Insn) -> bool {
-    if !matches!(a.kind, InsnKind::Compute { .. }) || !matches!(b.kind, InsnKind::Compute { .. })
-    {
+    if !matches!(a.kind, InsnKind::Compute { .. }) || !matches!(b.kind, InsnKind::Compute { .. }) {
         return false;
     }
     let ea = effects(a);
@@ -170,14 +169,8 @@ pub fn fuse(code: &mut Code, target: &TargetDesc) -> u32 {
                 out.push(a);
                 continue;
             };
-            let direct = target
-                .fusions
-                .iter()
-                .find(|f| f.first == ra && f.second == rb);
-            let swapped = target
-                .fusions
-                .iter()
-                .find(|f| f.first == rb && f.second == ra);
+            let direct = target.fusions.iter().find(|f| f.first == ra && f.second == rb);
+            let swapped = target.fusions.iter().find(|f| f.first == rb && f.second == ra);
             let chosen = match (direct, swapped) {
                 (Some(f), _) if independent(&a, b) => Some((f, false)),
                 (_, Some(f)) if independent(&a, b) => Some((f, true)),
@@ -225,11 +218,7 @@ fn is_pure_move(insn: &Insn, pd: &ParallelDesc) -> bool {
 /// The memory banks touched by an instruction (reads and writes).
 fn banks_touched(insn: &Insn) -> Vec<record_ir::Bank> {
     let e = effects(insn);
-    e.mem_reads
-        .iter()
-        .chain(e.mem_writes.iter())
-        .map(|m| m.bank)
-        .collect()
+    e.mem_reads.iter().chain(e.mem_writes.iter()).map(|m| m.bank).collect()
 }
 
 /// Packs following move instructions into arithmetic instructions on
@@ -472,8 +461,7 @@ fn dep_matrix(seg: &[Insn]) -> Vec<Vec<bool>> {
 /// banks, pairwise independence.
 fn fits(seg: &[Insn], pd: &ParallelDesc, bundle: &Bundle, cand: usize) -> bool {
     let moves_in = |ix: usize| is_pure_move(&seg[ix], pd);
-    let n_moves =
-        bundle.iter().filter(|&&i| moves_in(i)).count() + usize::from(moves_in(cand));
+    let n_moves = bundle.iter().filter(|&&i| moves_in(i)).count() + usize::from(moves_in(cand));
     let n_arith = bundle.len() + 1 - n_moves;
     if n_arith > 1 || n_moves > pd.max_moves as usize {
         return false;
@@ -707,13 +695,7 @@ mod tests {
         let p = t.reg_class("p").unwrap();
         let tr = t.reg_class("t").unwrap();
 
-        let mut lt = Insn::mov(
-            Loc::Reg(RegId::singleton(tr)),
-            mem("c"),
-            "LT c",
-            1,
-            1,
-        );
+        let mut lt = Insn::mov(Loc::Reg(RegId::singleton(tr)), mem("c"), "LT c", 1, 1);
         lt.rule = Some(lt_rule);
         let mut apac = Insn::compute(
             Loc::Reg(RegId::singleton(acc)),
@@ -876,10 +858,7 @@ mod tests {
         let mk_arith = |ix: u16, name: &str| {
             Insn::compute(
                 Loc::Reg(RegId::new(a_cl, ix)),
-                SemExpr::un(
-                    record_ir::UnOp::Neg,
-                    SemExpr::loc(Loc::Reg(RegId::new(a_cl, ix))),
-                ),
+                SemExpr::un(record_ir::UnOp::Neg, SemExpr::loc(Loc::Reg(RegId::new(a_cl, ix)))),
                 name,
                 1,
                 1,
@@ -914,13 +893,7 @@ mod tests {
             2,
         ));
         // LACK 7 ; SACL a[i]  — the load is invariant
-        code.insns.push(Insn::mov(
-            Loc::Reg(RegId::singleton(acc)),
-            Loc::Imm(7),
-            "LACK 7",
-            1,
-            1,
-        ));
+        code.insns.push(Insn::mov(Loc::Reg(RegId::singleton(acc)), Loc::Imm(7), "LACK 7", 1, 1));
         let a_i = MemLoc {
             base: Symbol::new("a"),
             disp: 0,

@@ -51,17 +51,12 @@ pub fn layout_in_order(
     for (sym, len, bank) in vars {
         let bank = bank.unwrap_or(Bank::X);
         if bank == Bank::Y && target.memory.banks < 2 {
-            return Err(format!(
-                "`{sym}` requests bank Y but target {} has one bank",
-                target.name
-            ));
+            return Err(format!("`{sym}` requests bank Y but target {} has one bank", target.name));
         }
         let slot = bank as usize;
         let addr = next[slot];
         if addr + len > target.memory.words_per_bank as u32 {
-            return Err(format!(
-                "bank {bank} overflows: `{sym}` needs {len} words at {addr}"
-            ));
+            return Err(format!("bank {bank} overflows: `{sym}` needs {len} words at {addr}"));
         }
         if layout.entry(&sym).is_some() {
             return Err(format!("`{sym}` declared twice"));
@@ -112,8 +107,7 @@ mod tests {
     #[test]
     fn rejects_bank_y_on_single_bank_target() {
         let t = record_isa::targets::tic25::target();
-        let err =
-            layout_in_order(vec![(sym("a"), 1, Some(Bank::Y))], &t).unwrap_err();
+        let err = layout_in_order(vec![(sym("a"), 1, Some(Bank::Y))], &t).unwrap_err();
         assert!(err.contains("one bank"));
     }
 
@@ -128,11 +122,7 @@ mod tests {
     #[test]
     fn rejects_duplicates() {
         let t = record_isa::targets::tic25::target();
-        let err = layout_in_order(
-            vec![(sym("a"), 1, None), (sym("a"), 1, None)],
-            &t,
-        )
-        .unwrap_err();
+        let err = layout_in_order(vec![(sym("a"), 1, None), (sym("a"), 1, None)], &t).unwrap_err();
         assert!(err.contains("twice"));
     }
 }

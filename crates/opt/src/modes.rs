@@ -42,18 +42,28 @@ pub fn insert_mode_changes(code: &mut Code, target: &TargetDesc, strategy: ModeS
 
     match strategy {
         ModeStrategy::PerUse => {
-            for insn in insns {
-                if let Some((mode, on)) = insn.mode_req {
+            let mut i = 0usize;
+            while i < insns.len() {
+                let insn = &insns[i];
+                // an RPT and its body are inseparable: any change the body
+                // needs goes *before* the RPT, the restore after the body
+                let (req_insn, span) = match insn.kind {
+                    InsnKind::Rpt { .. } if i + 1 < insns.len() => (&insns[i + 1], 2),
+                    _ => (insn, 1),
+                };
+                if let Some((mode, on)) = req_insn.mode_req {
                     let default = target.modes[mode].default_on;
                     if on != default {
                         out.push(set_mode(target, mode, on));
-                        out.push(insn);
+                        out.extend(insns[i..i + span].iter().cloned());
                         out.push(set_mode(target, mode, default));
                         inserted += 2;
+                        i += span;
                         continue;
                     }
                 }
-                out.push(insn);
+                out.extend(insns[i..i + span].iter().cloned());
+                i += span;
             }
         }
         ModeStrategy::Lazy => {
@@ -120,6 +130,24 @@ fn lazy(insns: &[Insn], target: &TargetDesc, state: &mut [bool], out: &mut Vec<I
                 i = j;
                 continue;
             }
+            InsnKind::Rpt { .. } => {
+                // an RPT and its body are inseparable: satisfy the body's
+                // requirement *before* the RPT, never between the two
+                if let Some(body) = insns.get(i + 1) {
+                    if let Some((mode, on)) = body.mode_req {
+                        if state[mode] != on {
+                            out.push(set_mode(target, mode, on));
+                            state[mode] = on;
+                            inserted += 1;
+                        }
+                    }
+                    out.push(insn.clone());
+                    out.push(body.clone());
+                    i += 2;
+                    continue;
+                }
+                out.push(insn.clone());
+            }
             InsnKind::SetMode { mode, on } => {
                 // pre-existing changes update tracking
                 state[*mode] = *on;
@@ -181,10 +209,7 @@ mod tests {
     }
 
     fn count_setmodes(code: &Code) -> usize {
-        code.insns
-            .iter()
-            .filter(|i| matches!(i.kind, InsnKind::SetMode { .. }))
-            .count()
+        code.insns.iter().filter(|i| matches!(i.kind, InsnKind::SetMode { .. })).count()
     }
 
     #[test]
@@ -263,6 +288,47 @@ mod tests {
         // back edge equals entry state (off), so no restore is needed
         assert_eq!(n, 2);
         code.check_structure().unwrap();
+    }
+
+    #[test]
+    fn rpt_and_its_body_stay_adjacent() {
+        // regression: a mode change required by a hardware-repeat body
+        // must be hoisted above the RPT, never inserted between RPT and
+        // the body (which would repeat the mode change instead).
+        use record_isa::SemExpr;
+        let body = || {
+            let mut i = Insn::compute(
+                Loc::Mem(MemLoc::scalar("y")),
+                SemExpr::loc(Loc::Mem(MemLoc::scalar("x"))),
+                "SAT-OP",
+                1,
+                1,
+            );
+            i.mode_req = Some((0, true));
+            i
+        };
+        for strategy in [ModeStrategy::Lazy, ModeStrategy::PerUse] {
+            let mut code = Code::default();
+            code.insns.push(Insn::ctrl(InsnKind::Rpt { count: 4 }, "RPTK 4", 1, 1));
+            code.insns.push(body());
+            let n = insert_mode_changes(&mut code, &t(), strategy);
+            assert!(n >= 1, "{strategy:?} inserted nothing");
+            code.check_structure().unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+            assert!(matches!(code.insns[0].kind, InsnKind::SetMode { on: true, .. }));
+            assert!(matches!(code.insns[1].kind, InsnKind::Rpt { .. }));
+        }
+    }
+
+    #[test]
+    fn trailing_rpt_without_body_is_preserved() {
+        // degenerate input: RPT as the last instruction must not panic
+        let mut code = Code::default();
+        code.insns.push(Insn::ctrl(InsnKind::Rpt { count: 2 }, "RPTK 2", 1, 1));
+        for strategy in [ModeStrategy::Lazy, ModeStrategy::PerUse] {
+            let mut c = code.clone();
+            insert_mode_changes(&mut c, &t(), strategy);
+            assert_eq!(c.insns.len(), 1);
+        }
     }
 
     #[test]

@@ -131,8 +131,7 @@ pub fn soa_order(accesses: &[Symbol]) -> Vec<Symbol> {
 ///
 /// Symbols in `accesses` that are missing from `order` are ignored.
 pub fn soa_cost(order: &[Symbol], accesses: &[Symbol], post_range: i8) -> u32 {
-    let pos: HashMap<&Symbol, i64> =
-        order.iter().enumerate().map(|(i, s)| (s, i as i64)).collect();
+    let pos: HashMap<&Symbol, i64> = order.iter().enumerate().map(|(i, s)| (s, i as i64)).collect();
     let addrs: Vec<i64> = accesses.iter().filter_map(|a| pos.get(a).copied()).collect();
     let mut cost = 0;
     for w in addrs.windows(2) {
@@ -197,10 +196,7 @@ pub fn goa(accesses: &[Symbol], k: usize, post_range: i8) -> (Vec<Vec<Symbol>>, 
         partitions[r].push(var.clone());
     }
 
-    let total = partitions
-        .iter()
-        .map(|p| partition_cost(p, accesses, post_range))
-        .sum();
+    let total = partitions.iter().map(|p| partition_cost(p, accesses, post_range)).sum();
     (partitions, total)
 }
 
@@ -210,11 +206,7 @@ fn partition_cost(members: &[Symbol], accesses: &[Symbol], post_range: i8) -> u3
     if members.is_empty() {
         return 0;
     }
-    let sub: Vec<Symbol> = accesses
-        .iter()
-        .filter(|a| members.contains(a))
-        .cloned()
-        .collect();
+    let sub: Vec<Symbol> = accesses.iter().filter(|a| members.contains(a)).cloned().collect();
     let order = soa_order(&sub);
     soa_cost(&order, &sub, post_range)
 }
@@ -318,8 +310,7 @@ mod tests {
     fn goa_partitions_cover_all_variables() {
         let acc = seq("p q r s p q r s");
         let (parts, _) = goa(&acc, 3, 1);
-        let mut all: Vec<String> =
-            parts.iter().flatten().map(|v| v.to_string()).collect();
+        let mut all: Vec<String> = parts.iter().flatten().map(|v| v.to_string()).collect();
         all.sort();
         assert_eq!(all, vec!["p", "q", "r", "s"]);
     }

@@ -165,9 +165,10 @@ impl<'t> Machine<'t> {
         *self.regs.get(&r).unwrap_or(&0)
     }
 
-    /// The current state of mode `m`.
+    /// The current state of mode `m`; `false` for modes the target does
+    /// not declare (rather than panicking on a bad index).
     pub fn mode(&self, m: usize) -> bool {
-        self.modes[m]
+        self.modes.get(m).copied().unwrap_or(false)
     }
 
     /// Executes a program to completion.
@@ -208,9 +209,8 @@ impl<'t> Machine<'t> {
                 InsnKind::LoopEnd => {
                     result.cycles += insn.cycles as u64;
                     result.insns += 1;
-                    let (start, count, var, iter) = loops
-                        .pop()
-                        .ok_or_else(|| SimError::Structure("stray LoopEnd".into()))?;
+                    let (start, count, var, iter) =
+                        loops.pop().ok_or_else(|| SimError::Structure("stray LoopEnd".into()))?;
                     let next_iter = iter + 1;
                     if next_iter < count {
                         counters.insert(var.clone(), next_iter as i64);
@@ -241,7 +241,12 @@ impl<'t> Machine<'t> {
                     pc += 2;
                 }
                 InsnKind::SetMode { mode, on } => {
-                    self.modes[*mode] = *on;
+                    let slot = self.modes.get_mut(*mode).ok_or_else(|| {
+                        SimError::Structure(format!(
+                            "SetMode references mode {mode}, but the target declares none such"
+                        ))
+                    })?;
+                    *slot = *on;
                     result.cycles += insn.cycles as u64;
                     result.insns += 1;
                     pc += 1;
@@ -357,10 +362,7 @@ impl<'t> Machine<'t> {
         if (ar as usize) < self.ars.len() {
             Ok(())
         } else {
-            Err(SimError::Structure(format!(
-                "AR{ar} does not exist on {}",
-                self.target.name
-            )))
+            Err(SimError::Structure(format!("AR{ar} does not exist on {}", self.target.name)))
         }
     }
 
@@ -395,15 +397,15 @@ impl<'t> Machine<'t> {
     ) -> Result<(), SimError> {
         if let InsnKind::Compute { dst, expr } = &insn.kind {
             let saturating = insn.mode_sensitive
-                && self.target.sat_mode().map(|m| self.modes[m]).unwrap_or(false);
+                && self.target.sat_mode().and_then(|m| self.modes.get(m).copied()).unwrap_or(false);
             let mut err: Option<SimError> = None;
-            let value = expr.eval(self.target.word_width, saturating, &mut |loc| {
-                match self.read_loc(loc, code, counters, posts) {
-                    Ok(v) => v,
-                    Err(e) => {
-                        err.get_or_insert(e);
-                        0
-                    }
+            let value = expr.eval(self.target.word_width, saturating, &mut |loc| match self
+                .read_loc(loc, code, counters, posts)
+            {
+                Ok(v) => v,
+                Err(e) => {
+                    err.get_or_insert(e);
+                    0
                 }
             });
             if let Some(e) = err {
@@ -503,17 +505,12 @@ impl<'t> Machine<'t> {
     }
 
     fn read_mem(&self, bank: Bank, addr: i64) -> Result<i64, SimError> {
-        let ix = usize::try_from(addr)
-            .map_err(|_| SimError::AddressOutOfRange { bank, addr })?;
-        self.mem[bank as usize]
-            .get(ix)
-            .copied()
-            .ok_or(SimError::AddressOutOfRange { bank, addr })
+        let ix = usize::try_from(addr).map_err(|_| SimError::AddressOutOfRange { bank, addr })?;
+        self.mem[bank as usize].get(ix).copied().ok_or(SimError::AddressOutOfRange { bank, addr })
     }
 
     fn write_mem(&mut self, bank: Bank, addr: i64, value: i64) -> Result<(), SimError> {
-        let ix = usize::try_from(addr)
-            .map_err(|_| SimError::AddressOutOfRange { bank, addr })?;
+        let ix = usize::try_from(addr).map_err(|_| SimError::AddressOutOfRange { bank, addr })?;
         let width = self.target.word_width;
         let slot = self.mem[bank as usize]
             .get_mut(ix)
@@ -528,7 +525,9 @@ impl<'t> Machine<'t> {
 ///
 /// # Errors
 ///
-/// Propagates any [`SimError`]; unknown input symbols are an error.
+/// Propagates any [`SimError`]; unknown input symbols are an error, as is
+/// a layout entry whose storage cannot be read back (a malformed layout
+/// must not be silently reported as zeros).
 pub fn run_program(
     code: &Code,
     target: &TargetDesc,
@@ -545,7 +544,10 @@ pub fn run_program(
     for entry in code.layout.entries() {
         let mut values = Vec::with_capacity(entry.len as usize);
         for i in 0..entry.len {
-            values.push(machine.peek(&entry.sym, i, code).unwrap_or(0));
+            let v = machine
+                .peek(&entry.sym, i, code)
+                .ok_or_else(|| SimError::UnplacedSymbol(format!("{}[{i}]", entry.sym)))?;
+            values.push(v);
         }
         outputs.insert(entry.sym.clone(), values);
     }
@@ -605,9 +607,7 @@ mod tests {
             2,
         ));
         let inputs: HashMap<Symbol, Vec<i64>> =
-            [(Symbol::new("x"), vec![20]), (Symbol::new("y"), vec![22])]
-                .into_iter()
-                .collect();
+            [(Symbol::new("x"), vec![20]), (Symbol::new("y"), vec![22])].into_iter().collect();
         let (out, result) = run_program(&code, &target, &inputs).unwrap();
         assert_eq!(out[&Symbol::new("z")], vec![42]);
         assert_eq!(result.cycles, 2);
@@ -690,9 +690,7 @@ mod tests {
         main.parallel.push(Insn::mov(mem("y"), mem("x"), "MOV y,x", 0, 0));
         code.insns.push(main);
         let inputs: HashMap<Symbol, Vec<i64>> =
-            [(Symbol::new("x"), vec![1]), (Symbol::new("y"), vec![2])]
-                .into_iter()
-                .collect();
+            [(Symbol::new("x"), vec![1]), (Symbol::new("y"), vec![2])].into_iter().collect();
         let (out, _) = run_program(&code, &target, &inputs).unwrap();
         assert_eq!(out[&Symbol::new("x")], vec![2]);
         assert_eq!(out[&Symbol::new("y")], vec![1]);
@@ -702,8 +700,7 @@ mod tests {
     fn saturation_mode_affects_mode_sensitive_insns() {
         let target = t();
         let mut code = code_with_layout(&[("x", 1), ("y", 1), ("z", 1)]);
-        code.insns
-            .push(Insn::ctrl(InsnKind::SetMode { mode: 0, on: true }, "SOVM", 1, 1));
+        code.insns.push(Insn::ctrl(InsnKind::SetMode { mode: 0, on: true }, "SOVM", 1, 1));
         let mut add = Insn::compute(
             mem("z"),
             SemExpr::bin(BinOp::Add, SemExpr::loc(mem("x")), SemExpr::loc(mem("y"))),
@@ -724,10 +721,7 @@ mod tests {
         let mut code2 = code_with_layout(&[("x", 1), ("y", 1), ("z", 1)]);
         code2.insns.push(add);
         let (out2, _) = run_program(&code2, &target, &inputs).unwrap();
-        assert_eq!(
-            out2[&Symbol::new("z")],
-            vec![record_ir::ops::wrap_to_width(40000, 16)]
-        );
+        assert_eq!(out2[&Symbol::new("z")], vec![record_ir::ops::wrap_to_width(40000, 16)]);
     }
 
     #[test]
@@ -794,6 +788,46 @@ mod tests {
         code.insns.push(Insn::mov(mem("y"), Loc::Imm(1), "MOV", 1, 1));
         let mut m = Machine::new(&target);
         assert!(matches!(m.run(&code), Err(SimError::UnplacedSymbol(_))));
+    }
+
+    #[test]
+    fn setmode_on_undeclared_mode_is_an_error_not_a_panic() {
+        // a target with no modes at all
+        let target = record_isa::targets::simple_risc::target(8);
+        assert!(target.modes.is_empty());
+        let mut code = Code::default();
+        code.insns.push(Insn::ctrl(InsnKind::SetMode { mode: 0, on: true }, "SOVM", 1, 1));
+        let mut m = Machine::new(&target);
+        assert!(matches!(m.run(&code), Err(SimError::Structure(_))));
+        // out-of-range mode index on a target that does have modes
+        let target2 = t();
+        let mut code2 = Code::default();
+        code2.insns.push(Insn::ctrl(
+            InsnKind::SetMode { mode: target2.modes.len(), on: true },
+            "S??",
+            1,
+            1,
+        ));
+        let mut m2 = Machine::new(&target2);
+        assert!(matches!(m2.run(&code2), Err(SimError::Structure(_))));
+    }
+
+    #[test]
+    fn mode_accessor_tolerates_bad_index() {
+        let target = record_isa::targets::simple_risc::target(8);
+        let m = Machine::new(&target);
+        assert!(!m.mode(7));
+    }
+
+    #[test]
+    fn unreadable_outputs_are_an_error_not_zeros() {
+        let target = t();
+        let mut code = Code::default();
+        // placed beyond the end of bank memory: nothing can read it back
+        let far = target.memory.words_per_bank;
+        code.layout.place(Symbol::new("ghost"), far + 100, 1, Bank::X);
+        let err = run_program(&code, &target, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, SimError::UnplacedSymbol(ref s) if s.contains("ghost")), "{err:?}");
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! Regenerates the paper's Table 1: size of compiled programs in relation
 //! to assembly code (%), for the target-specific baseline compiler and
 //! for RECORD, over the ten DSPStone kernels — plus the Section 3.1 cycle
-//! overhead factors.
+//! overhead factors and a per-phase timing profile of the compiler
+//! itself (parse → lower → treeify → select → layout → address →
+//! compact → modes), gathered through a shared compilation [`Session`].
+//!
+//! [`Session`]: record::Session
 //!
 //! Every row is validated on the simulator against the kernel's reference
 //! implementation before being printed.
@@ -34,5 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "RECORD strictly outperforms the target-specific compiler on {}/10 kernels",
         table.record_wins()
     );
+
+    println!("\nWhere compilation time goes (tic25, one Session, cached BURS tables):");
+    let breakdown = record::report::phase_breakdown()?;
+    println!("{breakdown}");
     Ok(())
 }

@@ -53,12 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("\n{}", code.render());
 
-    let inputs: HashMap<Symbol, Vec<i64>> = [
-        (Symbol::new("a"), vec![7]),
-        (Symbol::new("b"), vec![3]),
-    ]
-    .into_iter()
-    .collect();
+    let inputs: HashMap<Symbol, Vec<i64>> =
+        [(Symbol::new("a"), vec![7]), (Symbol::new("b"), vec![3])].into_iter().collect();
     let (out, run) = run_program(&code, compiler.target(), &inputs)?;
     println!(
         "u = {}, v = {}   ({} cycles)",

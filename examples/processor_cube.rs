@@ -11,10 +11,7 @@ use record_isa::taxonomy::{paper_examples, CubePoint};
 
 fn main() {
     println!("The processor cube (Fig. 1):\n");
-    println!(
-        "{:<12} {:<10} {:<14} class",
-        "available", "domain", "app-specific"
-    );
+    println!("{:<12} {:<10} {:<14} class", "available", "domain", "app-specific");
     println!("{:-<60}", "");
     for corner in CubePoint::corners() {
         println!(

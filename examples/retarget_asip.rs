@@ -49,12 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }),
     ];
 
-    let inputs: HashMap<Symbol, Vec<i64>> = [
-        (Symbol::new("c"), (1..=8).collect()),
-        (Symbol::new("x"), (1..=8).rev().collect()),
-    ]
-    .into_iter()
-    .collect();
+    let inputs: HashMap<Symbol, Vec<i64>> =
+        [(Symbol::new("c"), (1..=8).collect()), (Symbol::new("x"), (1..=8).rev().collect())]
+            .into_iter()
+            .collect();
     let expected: i64 = (1..=8i64).zip((1..=8i64).rev()).map(|(a, b)| a * b).sum();
 
     println!("{:<24} {:>6} {:>8} {:>8}", "configuration", "words", "cycles", "y");

@@ -24,11 +24,7 @@ fn demo(target: &TargetDesc) -> Result<(), Box<dyn std::error::Error>> {
         st.code.size_words()
     );
     if !st.uncovered.is_empty() {
-        let names: Vec<&str> = st
-            .uncovered
-            .iter()
-            .map(|r| target.rule(*r).asm.as_str())
-            .collect();
+        let names: Vec<&str> = st.uncovered.iter().map(|r| target.rule(*r).asm.as_str()).collect();
         println!("untestable (shadowed by structurally identical rules): {names:?}");
     }
     println!("fault-free signature: {:#06x}", st.signature & 0xffff);
@@ -47,9 +43,7 @@ fn demo(target: &TargetDesc) -> Result<(), Box<dyn std::error::Error>> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     demo(&record_isa::targets::tic25::target())?;
-    demo(&record_isa::targets::asip::build(
-        &record_isa::targets::asip::AsipParams::dsp(),
-    ))?;
+    demo(&record_isa::targets::asip::build(&record_isa::targets::asip::AsipParams::dsp()))?;
     // even a compiler generated from a netlist can test its own processor
     let netlist = record_ise::demo::acc_machine_netlist();
     let (compiler, _) = record::Compiler::from_netlist("accgen", &netlist, &Default::default())?;

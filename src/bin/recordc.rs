@@ -89,8 +89,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--set" => {
                 let spec = it.next().ok_or("--set needs VAR=v,v,...")?;
-                let (name, values) =
-                    spec.split_once('=').ok_or("--set needs VAR=v,v,...")?;
+                let (name, values) = spec.split_once('=').ok_or("--set needs VAR=v,v,...")?;
                 let values: Result<Vec<i64>, _> =
                     values.split(',').map(|v| v.trim().parse::<i64>()).collect();
                 args.sets.push((
@@ -139,16 +138,14 @@ fn real_main() -> Result<(), String> {
     let Some(source_path) = &args.source else {
         return Err(usage().to_string());
     };
-    let source = std::fs::read_to_string(source_path)
-        .map_err(|e| format!("{source_path}: {e}"))?;
+    let source = std::fs::read_to_string(source_path).map_err(|e| format!("{source_path}: {e}"))?;
 
     let ast = dfl::parse(&source).map_err(|e| format!("{source_path}: {e}"))?;
     let lir = lower::lower(&ast).map_err(|e| format!("{source_path}: {e}"))?;
 
     let compiler = match &args.netlist {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let netlist =
                 record_isa::netlist_text::parse(&text).map_err(|e| format!("{path}: {e}"))?;
             let name = std::path::Path::new(path)
@@ -164,8 +161,7 @@ fn real_main() -> Result<(), String> {
             );
             compiler
         }
-        None => Compiler::for_target(resolve_target(&args.target)?)
-            .map_err(|e| e.to_string())?,
+        None => Compiler::for_target(resolve_target(&args.target)?).map_err(|e| e.to_string())?,
     };
     let target = compiler.target().clone();
 
@@ -232,11 +228,8 @@ fn real_main() -> Result<(), String> {
         };
         eprintln!("executed in {} cycles ({} instructions)", result.cycles, result.insns);
         // print the program's outputs (and plain vars), inputs elided
-        let mut names: Vec<&record_ir::lir::VarInfo> = lir
-            .vars
-            .iter()
-            .filter(|v| v.kind != record_ir::lir::StorageKind::In)
-            .collect();
+        let mut names: Vec<&record_ir::lir::VarInfo> =
+            lir.vars.iter().filter(|v| v.kind != record_ir::lir::StorageKind::In).collect();
         names.sort_by(|a, b| a.name.cmp(&b.name));
         for v in names {
             if v.name.is_generated() {

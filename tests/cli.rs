@@ -8,10 +8,7 @@ fn recordc() -> Command {
 
 #[test]
 fn compiles_fir_to_assembly() {
-    let out = recordc()
-        .args(["examples/dfl/fir.dfl", "--stats"])
-        .output()
-        .expect("recordc runs");
+    let out = recordc().args(["examples/dfl/fir.dfl", "--stats"]).output().expect("recordc runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("; fir for tic25"), "{stdout}");
@@ -48,11 +45,7 @@ fn retargets_to_other_processors() {
             .args(["examples/dfl/biquad.dfl", "--target", target])
             .output()
             .expect("recordc runs");
-        assert!(
-            out.status.success(),
-            "target {target}: {}",
-            String::from_utf8_lossy(&out.stderr)
-        );
+        assert!(out.status.success(), "target {target}: {}", String::from_utf8_lossy(&out.stderr));
     }
 }
 
@@ -96,10 +89,7 @@ fn reports_compile_errors_with_location() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("bad.dfl");
     std::fs::write(&path, "program p; var y: fix; begin y := q; end").unwrap();
-    let out = recordc()
-        .arg(path.to_str().unwrap())
-        .output()
-        .expect("recordc runs");
+    let out = recordc().arg(path.to_str().unwrap()).output().expect("recordc runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("not declared"));
 }

@@ -28,7 +28,8 @@ fn validate(
     for (name, _) in kernel.outputs() {
         let sym = Symbol::new(*name);
         assert_eq!(
-            out[&sym], expected[&sym],
+            out[&sym],
+            expected[&sym],
             "{what}/{} output {} differs (seed {seed})\n{}",
             kernel.name,
             name,
@@ -87,10 +88,7 @@ fn every_option_combination_is_semantics_preserving() {
         CompileOptions { fold_constants: true, ..CompileOptions::default() },
         CompileOptions { variant_limit: 1, ..CompileOptions::default() },
         CompileOptions { variant_limit: 128, ..CompileOptions::default() },
-        CompileOptions {
-            mode_strategy: ModeStrategy::PerUse,
-            ..CompileOptions::default()
-        },
+        CompileOptions { mode_strategy: ModeStrategy::PerUse, ..CompileOptions::default() },
     ];
     for kernel in record_dspstone::kernels() {
         let lir = lower::lower(&dfl::parse(kernel.source).unwrap()).unwrap();
@@ -109,9 +107,8 @@ fn kernels_compile_on_the_dsp56k_model() {
     let compiler = Compiler::for_target(target.clone()).unwrap();
     for kernel in record_dspstone::kernels() {
         let lir = lower::lower(&dfl::parse(kernel.source).unwrap()).unwrap();
-        let code = compiler
-            .compile(&lir)
-            .unwrap_or_else(|e| panic!("{} on dsp56k: {e}", kernel.name));
+        let code =
+            compiler.compile(&lir).unwrap_or_else(|e| panic!("{} on dsp56k: {e}", kernel.name));
         for seed in 1..=3 {
             validate(&code, &target, &kernel, seed, "dsp56k");
         }
@@ -124,9 +121,8 @@ fn kernels_compile_on_the_risc_model() {
     let compiler = Compiler::for_target(target.clone()).unwrap();
     for kernel in record_dspstone::kernels() {
         let lir = lower::lower(&dfl::parse(kernel.source).unwrap()).unwrap();
-        let code = compiler
-            .compile(&lir)
-            .unwrap_or_else(|e| panic!("{} on risc8: {e}", kernel.name));
+        let code =
+            compiler.compile(&lir).unwrap_or_else(|e| panic!("{} on risc8: {e}", kernel.name));
         validate(&code, &target, &kernel, 7, "risc8");
     }
 }
@@ -231,10 +227,8 @@ fn wraparound_inputs_still_match_references() {
     let lir = lower::lower(&dfl::parse(kernel.source).unwrap()).unwrap();
     let code = compiler.compile(&lir).unwrap();
     let mut inputs: HashMap<Symbol, Vec<i64>> = HashMap::new();
-    inputs.insert(
-        Symbol::new("a"),
-        (0..record_dspstone::N as i64).map(|i| 30000 + i * 17).collect(),
-    );
+    inputs
+        .insert(Symbol::new("a"), (0..record_dspstone::N as i64).map(|i| 30000 + i * 17).collect());
     inputs.insert(
         Symbol::new("b"),
         (0..record_dspstone::N as i64).map(|i| -28000 - i * 23).collect(),

@@ -39,15 +39,13 @@ fn netlist_generated_compiler_matches_hand_described_target() {
     let netlist = record_isa::targets::tic25::netlist();
     let (generated, _) =
         Compiler::from_netlist("tic25-from-netlist", &netlist, &Default::default()).unwrap();
-    let hand_described =
-        Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
+    let hand_described = Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
 
     // straight-line DSPStone statements (the generated target has no AGU,
     // so loop kernels are compared on the hand-described target only)
     for kernel_name in ["real_update", "complex_multiply", "complex_update"] {
         let kernel = record_dspstone::kernel(kernel_name).unwrap();
-        let lir =
-            record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
+        let lir = record_ir::lower::lower(&record_ir::dfl::parse(kernel.source).unwrap()).unwrap();
         let gen_code = generated
             .compile(&lir)
             .unwrap_or_else(|e| panic!("{kernel_name} on generated target: {e}"));
@@ -56,8 +54,7 @@ fn netlist_generated_compiler_matches_hand_described_target() {
         let inputs = kernel.inputs(5);
         let expected = kernel.reference(&inputs);
         let (gen_out, _) = run_program(&gen_code, generated.target(), &inputs).unwrap();
-        let (hand_out, _) =
-            run_program(&hand_code, hand_described.target(), &inputs).unwrap();
+        let (hand_out, _) = run_program(&hand_code, hand_described.target(), &inputs).unwrap();
         for (name, _) in kernel.outputs() {
             let sym = Symbol::new(*name);
             assert_eq!(gen_out[&sym], expected[&sym], "{kernel_name}.{name} (generated)");
@@ -85,13 +82,10 @@ fn generated_compiler_handles_expressions_the_figure_promises() {
              begin y := (a - b) & (c + 3); end",
         )
         .unwrap();
-    let inputs: HashMap<Symbol, Vec<i64>> = [
-        (Symbol::new("a"), vec![29]),
-        (Symbol::new("b"), vec![5]),
-        (Symbol::new("c"), vec![10]),
-    ]
-    .into_iter()
-    .collect();
+    let inputs: HashMap<Symbol, Vec<i64>> =
+        [(Symbol::new("a"), vec![29]), (Symbol::new("b"), vec![5]), (Symbol::new("c"), vec![10])]
+            .into_iter()
+            .collect();
     let (out, _) = run_program(&code, compiler.target(), &inputs).unwrap();
     assert_eq!(out[&Symbol::new("y")], vec![(29 - 5) & (10 + 3)]);
 }

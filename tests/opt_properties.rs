@@ -3,12 +3,11 @@
 //! before/after versions on the simulator), and mode insertion must
 //! satisfy every instruction's requirement.
 
-
-use proptest::prelude::*;
 use record_ir::{BinOp, Symbol};
 use record_isa::{Code, Insn, InsnKind, Loc, MemLoc, RegId, SemExpr, TargetDesc};
 use record_opt::compact::ScheduleMode;
 use record_opt::modes::ModeStrategy;
+use record_prop::{run_cases, Rng};
 use record_sim::Machine;
 
 const MEMS: [&str; 4] = ["m0", "m1", "m2", "m3"];
@@ -17,21 +16,26 @@ const MEMS: [&str; 4] = ["m0", "m1", "m2", "m3"];
 /// moves (mem↔reg) and register-register arithmetic.
 #[derive(Clone, Debug)]
 enum Step {
-    LoadX(usize, usize),       // x[i] := mem[j]
-    LoadY(usize, usize),       // y[i] := mem[j]
-    Mac(usize, usize, usize),  // a[k] := a[k] + x[i]*y[j]
-    Add(usize, usize),         // a[k] := a[k] + x[i]
-    Store(usize, usize),       // mem[j] := a[k]
+    LoadX(usize, usize),      // x[i] := mem[j]
+    LoadY(usize, usize),      // y[i] := mem[j]
+    Mac(usize, usize, usize), // a[k] := a[k] + x[i]*y[j]
+    Add(usize, usize),        // a[k] := a[k] + x[i]
+    Store(usize, usize),      // mem[j] := a[k]
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0usize..2, 0usize..4).prop_map(|(i, j)| Step::LoadX(i, j)),
-        (0usize..2, 0usize..4).prop_map(|(i, j)| Step::LoadY(i, j)),
-        (0usize..2, 0usize..2, 0usize..2).prop_map(|(i, j, k)| Step::Mac(i, j, k)),
-        (0usize..2, 0usize..2).prop_map(|(i, k)| Step::Add(i, k)),
-        (0usize..2, 0usize..4).prop_map(|(k, j)| Step::Store(k, j)),
-    ]
+fn gen_step(rng: &mut Rng) -> Step {
+    match rng.usize(5) {
+        0 => Step::LoadX(rng.usize(2), rng.usize(4)),
+        1 => Step::LoadY(rng.usize(2), rng.usize(4)),
+        2 => Step::Mac(rng.usize(2), rng.usize(2), rng.usize(2)),
+        3 => Step::Add(rng.usize(2), rng.usize(2)),
+        _ => Step::Store(rng.usize(2), rng.usize(4)),
+    }
+}
+
+fn gen_steps(rng: &mut Rng, max: usize) -> Vec<Step> {
+    let n = rng.usize(max - 1) + 1;
+    (0..n).map(|_| gen_step(rng)).collect()
 }
 
 fn build_code(steps: &[Step], target: &TargetDesc) -> Code {
@@ -138,56 +142,75 @@ fn build_code(steps: &[Step], target: &TargetDesc) -> Code {
 fn memory_state(code: &Code, target: &TargetDesc) -> Vec<i64> {
     let mut machine = Machine::new(target);
     for (j, name) in MEMS.iter().enumerate() {
-        machine
-            .poke(&Symbol::new(*name), 0, (j as i64 + 3) * 17 - 40, code)
-            .unwrap();
+        machine.poke(&Symbol::new(*name), 0, (j as i64 + 3) * 17 - 40, code).unwrap();
     }
     machine.run(code).unwrap();
-    MEMS.iter()
-        .map(|n| machine.peek(&Symbol::new(*n), 0, code).unwrap())
-        .collect()
+    MEMS.iter().map(|n| machine.peek(&Symbol::new(*n), 0, code).unwrap()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Parallel-move packing preserves the final memory state.
-    #[test]
-    fn pack_moves_preserves_semantics(steps in proptest::collection::vec(arb_step(), 1..12)) {
+/// Parallel-move packing preserves the final memory state.
+#[test]
+fn pack_moves_preserves_semantics() {
+    run_cases(96, |rng| {
+        let steps = gen_steps(rng, 12);
         let target = record_isa::targets::dsp56k::target();
         let original = build_code(&steps, &target);
         let before = memory_state(&original, &target);
         let mut packed = original.clone();
         record_opt::pack_moves(&mut packed, &target);
         let after = memory_state(&packed, &target);
-        prop_assert_eq!(before, after, "packing changed results:\n{}", packed.render());
-    }
+        assert_eq!(before, after, "packing changed results:\n{}", packed.render());
+    });
+}
 
-    /// Bundle scheduling (list and branch-and-bound) preserves the final
-    /// memory state, and B&B never produces more bundles than list.
-    #[test]
-    fn scheduling_preserves_semantics(steps in proptest::collection::vec(arb_step(), 1..10)) {
+/// Bundle scheduling (list and branch-and-bound) preserves the final
+/// memory state, and B&B never produces more bundles than list.
+#[test]
+fn scheduling_preserves_semantics() {
+    run_cases(96, |rng| {
+        let steps = gen_steps(rng, 10);
         let target = record_isa::targets::dsp56k::target();
         let original = build_code(&steps, &target);
         let before = memory_state(&original, &target);
 
         let mut listed = original.clone();
         let ls = record_opt::schedule(&mut listed, &target, ScheduleMode::List);
-        prop_assert_eq!(memory_state(&listed, &target), before.clone(),
-            "list schedule changed results:\n{}", listed.render());
+        assert_eq!(
+            memory_state(&listed, &target),
+            before,
+            "list schedule changed results:\n{}",
+            listed.render()
+        );
 
         let mut bb = original.clone();
         let bs = record_opt::schedule(
-            &mut bb, &target, ScheduleMode::BranchAndBound { max_segment: 10 });
-        prop_assert_eq!(memory_state(&bb, &target), before,
-            "B&B schedule changed results:\n{}", bb.render());
-        prop_assert!(bs.bundles_after <= ls.bundles_after);
-    }
+            &mut bb,
+            &target,
+            ScheduleMode::BranchAndBound { max_segment: 10 },
+        );
+        assert_eq!(
+            memory_state(&bb, &target),
+            before,
+            "B&B schedule changed results:\n{}",
+            bb.render()
+        );
+        assert!(bs.bundles_after <= ls.bundles_after);
+    });
+}
 
-    /// After lazy insertion every mode requirement is met at its
-    /// instruction, and lazy never inserts more changes than per-use.
-    #[test]
-    fn mode_insertion_is_sound_and_frugal(reqs in proptest::collection::vec(any::<Option<bool>>(), 1..20)) {
+/// After lazy insertion every mode requirement is met at its
+/// instruction, and lazy never inserts more changes than per-use.
+#[test]
+fn mode_insertion_is_sound_and_frugal() {
+    run_cases(96, |rng| {
+        let n = rng.usize(19) + 1;
+        let reqs: Vec<Option<bool>> = (0..n)
+            .map(|_| match rng.usize(3) {
+                0 => None,
+                1 => Some(false),
+                _ => Some(true),
+            })
+            .collect();
         let target = record_isa::targets::tic25::target();
         let build = |reqs: &[Option<bool>]| {
             let mut code = Code::default();
@@ -208,7 +231,7 @@ proptest! {
         let n_lazy = record_opt::insert_mode_changes(&mut lazy, &target, ModeStrategy::Lazy);
         let mut naive = build(&reqs);
         let n_naive = record_opt::insert_mode_changes(&mut naive, &target, ModeStrategy::PerUse);
-        prop_assert!(n_lazy <= n_naive);
+        assert!(n_lazy <= n_naive);
 
         // soundness: walk the lazy result tracking the mode state
         let mut state = target.modes[0].default_on;
@@ -217,10 +240,10 @@ proptest! {
                 InsnKind::SetMode { on, .. } => state = *on,
                 _ => {
                     if let Some((_, want)) = insn.mode_req {
-                        prop_assert_eq!(state, want, "requirement violated at {}", insn.text);
+                        assert_eq!(state, want, "requirement violated at {}", insn.text);
                     }
                 }
             }
         }
-    }
+    });
 }

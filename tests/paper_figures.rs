@@ -32,9 +32,7 @@ fn figure3_instruction_extraction() {
     let insns = record_ise::extract(&netlist).unwrap();
     let texts: Vec<String> = insns.iter().map(|i| i.to_string()).collect();
     assert!(
-        texts
-            .iter()
-            .any(|t| t == "Reg[bb] := (Reg[aa] + acc)  /c1=0,c2=0/"),
+        texts.iter().any(|t| t == "Reg[bb] := (Reg[aa] + acc)  /c1=0,c2=0/"),
         "Fig. 3 instruction missing from: {texts:#?}"
     );
 }
@@ -141,12 +139,9 @@ fn variant_enumeration_reduces_cover_cost() {
         Tree::bin(BinOp::Mul, Tree::var("c"), Tree::var("x")),
         Tree::var("y"),
     );
-    let variants =
-        record_ir::transform::variants(&tree, &record_ir::transform::RuleSet::all(), 32);
-    let costs: Vec<u32> = variants
-        .iter()
-        .filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.words))
-        .collect();
+    let variants = record_ir::transform::variants(&tree, &record_ir::transform::RuleSet::all(), 32);
+    let costs: Vec<u32> =
+        variants.iter().filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.words)).collect();
     let best = costs.iter().min().unwrap();
     assert!(
         best <= costs.first().unwrap(),
@@ -156,11 +151,8 @@ fn variant_enumeration_reduces_cover_cost() {
     let tree2 = Tree::bin(BinOp::Mul, Tree::constant(2), Tree::var("x"));
     let variants2 =
         record_ir::transform::variants(&tree2, &record_ir::transform::RuleSet::all(), 32);
-    let best2 = variants2
-        .iter()
-        .filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.words))
-        .min()
-        .unwrap();
+    let best2 =
+        variants2.iter().filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.words)).min().unwrap();
     assert_eq!(best2, 1);
 }
 
@@ -177,12 +169,10 @@ fn figure2_netlist_to_running_code() {
              begin y := a * b + 7 - a; end",
         )
         .unwrap();
-    let inputs: std::collections::HashMap<record_ir::Symbol, Vec<i64>> = [
-        (record_ir::Symbol::new("a"), vec![6]),
-        (record_ir::Symbol::new("b"), vec![9]),
-    ]
-    .into_iter()
-    .collect();
+    let inputs: std::collections::HashMap<record_ir::Symbol, Vec<i64>> =
+        [(record_ir::Symbol::new("a"), vec![6]), (record_ir::Symbol::new("b"), vec![9])]
+            .into_iter()
+            .collect();
     let (out, _) = record_sim::run_program(&code, compiler.target(), &inputs).unwrap();
     assert_eq!(out[&record_ir::Symbol::new("y")], vec![6 * 9 + 7 - 6]);
 }

@@ -4,49 +4,43 @@
 //!
 //! This exercises the whole stack — variant enumeration, BURS covering,
 //! spill chains, register allocation, layout, addressing, compaction and
-//! the simulator — against thousands of machine-generated programs.
+//! the simulator — against hundreds of machine-generated programs.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use record::Compiler;
 use record_ir::lir::{Lir, LirItem, StorageKind, VarInfo};
 use record_ir::{AssignStmt, BinOp, MemRef, Symbol, Tree, UnOp};
+use record_prop::{run_cases, Rng};
 use record_sim::run_program;
 
 const VARS: [&str; 4] = ["v0", "v1", "v2", "v3"];
 
-fn arb_tree(depth: u32) -> impl Strategy<Value = Tree> {
-    let leaf = prop_oneof![
-        (0..VARS.len()).prop_map(|i| Tree::var(VARS[i])),
-        (-100i64..100).prop_map(Tree::constant),
-    ];
-    leaf.prop_recursive(depth, 24, 2, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                    Just(BinOp::Xor),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, a, b)| Tree::bin(op, a, b)),
-            (
-                prop_oneof![Just(UnOp::Neg), Just(UnOp::Abs), Just(UnOp::Not)],
-                inner
-            )
-                .prop_map(|(op, a)| Tree::un(op, a)),
-        ]
-    })
+fn gen_tree(rng: &mut Rng, depth: u32) -> Tree {
+    if depth == 0 || rng.usize(4) == 0 {
+        return if rng.bool() {
+            Tree::var(*rng.pick(&VARS))
+        } else {
+            Tree::constant(rng.i64_in(-100, 100))
+        };
+    }
+    if rng.usize(3) == 0 {
+        let op = *rng.pick(&[UnOp::Neg, UnOp::Abs, UnOp::Not]);
+        Tree::un(op, gen_tree(rng, depth - 1))
+    } else {
+        let op =
+            *rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor]);
+        Tree::bin(op, gen_tree(rng, depth - 1), gen_tree(rng, depth - 1))
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = Vec<(usize, Tree)>> {
-    proptest::collection::vec(((0..VARS.len()), arb_tree(3)), 1..5)
+fn gen_program(rng: &mut Rng) -> Vec<(usize, Tree)> {
+    let n = rng.usize(4) + 1;
+    (0..n).map(|_| (rng.usize(VARS.len()), gen_tree(rng, 3))).collect()
+}
+
+fn gen_init(rng: &mut Rng) -> [i64; 4] {
+    [(); 4].map(|_| rng.i64_in(-300, 300))
 }
 
 /// Reference semantics: execute the assignment list over a variable map
@@ -83,10 +77,7 @@ fn lir_of(stmts: &[(usize, Tree)]) -> Lir {
         body: stmts
             .iter()
             .map(|(dst, tree)| {
-                LirItem::Assign(AssignStmt {
-                    dst: MemRef::scalar(VARS[*dst]),
-                    src: tree.clone(),
-                })
+                LirItem::Assign(AssignStmt { dst: MemRef::scalar(VARS[*dst]), src: tree.clone() })
             })
             .collect(),
     }
@@ -102,11 +93,8 @@ fn check_on(target: record_isa::TargetDesc, stmts: &[(usize, Tree)], init: [i64;
         Err(record::CompileError::OutOfRegisters { .. }) => return,
         Err(e) => panic!("{}: {e}", target.name),
     };
-    let inputs: HashMap<Symbol, Vec<i64>> = VARS
-        .iter()
-        .zip(init)
-        .map(|(v, x)| (Symbol::new(*v), vec![x]))
-        .collect();
+    let inputs: HashMap<Symbol, Vec<i64>> =
+        VARS.iter().zip(init).map(|(v, x)| (Symbol::new(*v), vec![x])).collect();
     let (out, _) = run_program(&code, &target, &inputs)
         .unwrap_or_else(|e| panic!("{}: {e}\n{}", target.name, code.render()));
     let expect = reference(stmts, &init);
@@ -121,53 +109,68 @@ fn check_on(target: record_isa::TargetDesc, stmts: &[(usize, Tree)], init: [i64;
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn tic25_matches_reference(stmts in arb_program(), init in proptest::array::uniform4(-300i64..300)) {
+#[test]
+fn tic25_matches_reference() {
+    run_cases(96, |rng| {
+        let stmts = gen_program(rng);
+        let init = gen_init(rng);
         check_on(record_isa::targets::tic25::target(), &stmts, init);
-    }
+    });
+}
 
-    #[test]
-    fn risc8_matches_reference(stmts in arb_program(), init in proptest::array::uniform4(-300i64..300)) {
+#[test]
+fn risc8_matches_reference() {
+    run_cases(96, |rng| {
+        let stmts = gen_program(rng);
+        let init = gen_init(rng);
         check_on(record_isa::targets::simple_risc::target(8), &stmts, init);
-    }
+    });
+}
 
-    #[test]
-    fn dsp56k_matches_reference(stmts in arb_program(), init in proptest::array::uniform4(-300i64..300)) {
+#[test]
+fn dsp56k_matches_reference() {
+    run_cases(96, |rng| {
+        let stmts = gen_program(rng);
+        let init = gen_init(rng);
         check_on(record_isa::targets::dsp56k::target(), &stmts, init);
-    }
+    });
+}
 
-    #[test]
-    fn variants_never_increase_cost(tree in arb_tree(3)) {
+#[test]
+fn variants_never_increase_cost() {
+    run_cases(96, |rng| {
         // covering any enumerated variant never beats the selector's pick
+        let tree = gen_tree(rng, 3);
         let target = record_isa::targets::tic25::target();
         let matcher = record_burg::Matcher::new(&target);
         let acc = target.nt("acc").unwrap();
-        let all = record_ir::transform::variants(
-            &tree, &record_ir::transform::RuleSet::all(), 24);
-        let costs: Vec<u64> = all.iter()
-            .filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.weight()))
-            .collect();
+        let all = record_ir::transform::variants(&tree, &record_ir::transform::RuleSet::all(), 24);
+        let costs: Vec<u64> =
+            all.iter().filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.weight())).collect();
         if let (Some(first), Some(min)) = (costs.first(), costs.iter().min()) {
-            prop_assert!(min <= first);
+            assert!(min <= first);
         }
-    }
+    });
+}
 
-    #[test]
-    fn every_variant_is_coverable_iff_original_is(tree in arb_tree(3)) {
+#[test]
+fn every_variant_is_coverable_iff_original_is() {
+    run_cases(96, |rng| {
         // algebraic rewriting must not lose coverability on tic25 for the
         // operators this generator emits (all have direct rules)
+        let tree = gen_tree(rng, 3);
         let target = record_isa::targets::tic25::target();
         let matcher = record_burg::Matcher::new(&target);
         let acc = target.nt("acc").unwrap();
-        let orig = matcher.cover(&tree, acc).is_some();
-        prop_assert!(orig, "generator only emits coverable operators");
-    }
+        assert!(matcher.cover(&tree, acc).is_some(), "generator only emits coverable operators");
+    });
+}
 
-    #[test]
-    fn fold_preserves_semantics_on_random_trees(tree in arb_tree(4), init in proptest::array::uniform4(-300i64..300)) {
+#[test]
+fn fold_preserves_semantics_on_random_trees() {
+    run_cases(96, |rng| {
+        let tree = gen_tree(rng, 4);
+        let init = gen_init(rng);
         let folded = record_ir::fold::fold(&tree, 16);
         let env: HashMap<&str, i64> = VARS.iter().copied().zip(init).collect();
         let mut mem = |r: &MemRef| *env.get(r.base().as_str()).unwrap_or(&0);
@@ -176,6 +179,6 @@ proptest! {
         let mut mem2 = |r: &MemRef| *env.get(r.base().as_str()).unwrap_or(&0);
         let mut tmp2 = |_: &Symbol| 0;
         let b = folded.eval(16, &mut mem2, &mut tmp2);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
 }
