@@ -39,7 +39,7 @@ fn phase_table() {
 
     let compiler = record::Compiler::for_target(target.clone()).unwrap();
     let t0 = Instant::now();
-    let code = compiler.compile(&lir).unwrap();
+    let (code, timings) = compiler.compile_timed(&lir).unwrap();
     let t_compile = t0.elapsed();
 
     println!("\nFig. 2 pipeline phases on `fir` ({} words out):", code.size_words());
@@ -48,6 +48,16 @@ fn phase_table() {
     println!("  matcher generation   {t_gen:>12?}");
     println!("  label+reduce (1 tree){t_cover:>12?}   ({} words cover)", cover.cost.words);
     println!("  full compile         {t_compile:>12?}");
+    println!("  pass trace:");
+    for p in &timings.passes {
+        println!(
+            "    {:<8} {:>10.1}µs   {:>3} -> {:>3} insns",
+            p.name,
+            p.time.as_secs_f64() * 1e6,
+            p.before.insns,
+            p.after.insns
+        );
+    }
 }
 
 fn bench(c: &mut Criterion) {

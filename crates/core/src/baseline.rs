@@ -106,7 +106,7 @@ pub fn compile_for(lir: &Lir, target: &TargetDesc) -> Result<Code, CompileError>
 
     resolve_direct(&mut code, target)?;
     record_opt::insert_mode_changes(&mut code, target, ModeStrategy::PerUse);
-    code.check_structure().map_err(CompileError::Layout)?;
+    code.verify().map_err(|e| CompileError::Verify { pass: "baseline".into(), error: e })?;
     Ok(code)
 }
 
@@ -276,9 +276,11 @@ fn resolve_insn(insn: &mut Insn, layout: &record_isa::DataLayout) -> Result<(), 
     if let InsnKind::Compute { dst, expr } = &mut insn.kind {
         let fix = |m: &mut record_isa::MemLoc| -> Result<(), CompileError> {
             if m.mode == AddrMode::Unresolved {
-                let (bank, addr) = layout
-                    .addr_of(&m.base, m.disp)
-                    .ok_or_else(|| CompileError::Address(format!("`{}` unplaced", m.base)))?;
+                let (bank, addr) = layout.addr_of(&m.base, m.disp).ok_or_else(|| {
+                    CompileError::Address(record_opt::AddressError::Unplaced {
+                        sym: m.base.clone(),
+                    })
+                })?;
                 m.bank = bank;
                 m.mode = AddrMode::Direct(addr);
             }

@@ -2,6 +2,90 @@
 
 use std::fmt;
 
+use record_isa::StructureError;
+use record_opt::{AddressError, LayoutError};
+
+/// A target-description or target-level failure, structured by cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetError {
+    /// The target description itself is inconsistent (validation or
+    /// instruction-set extraction failed).
+    Invalid(String),
+    /// A statement miscompiles (clobber hazard) and cannot be split into
+    /// smaller statements.
+    Unsplittable {
+        /// The offending statement, rendered.
+        stmt: String,
+    },
+    /// The target declares no store rule, so results cannot reach memory.
+    NoStoreRules {
+        /// The target name.
+        target: String,
+    },
+    /// A rule's result nonterminal is an immediate.
+    RuleProducesImmediate {
+        /// The rule id, rendered.
+        rule: String,
+    },
+    /// No hand-written reference code exists for a kernel.
+    NoHandCode {
+        /// The kernel name.
+        kernel: String,
+    },
+    /// A kernel failed to simulate while building a report.
+    SimulationFailed {
+        /// The kernel name.
+        kernel: String,
+        /// The simulator error, rendered.
+        detail: String,
+    },
+    /// A kernel variant computed the wrong outputs.
+    OutputMismatch {
+        /// The pre-formatted mismatch description.
+        detail: String,
+    },
+    /// No rule of the target can be exercised by the self-test generator.
+    NoTestableRule {
+        /// The target name.
+        target: String,
+    },
+    /// The generated self-test program does not execute.
+    SelfTest {
+        /// The simulator error, rendered.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetError::Invalid(m) => f.write_str(m),
+            TargetError::Unsplittable { stmt } => {
+                write!(f, "statement `{stmt}` miscompiles and cannot be split further")
+            }
+            TargetError::NoStoreRules { target } => {
+                write!(f, "target {target} has no store rules")
+            }
+            TargetError::RuleProducesImmediate { rule } => {
+                write!(f, "rule {rule} produces an immediate")
+            }
+            TargetError::NoHandCode { kernel } => write!(f, "no hand code for {kernel}"),
+            TargetError::SimulationFailed { kernel, detail } => {
+                write!(f, "{kernel} simulation failed: {detail}")
+            }
+            TargetError::OutputMismatch { detail } => f.write_str(detail),
+            TargetError::NoTestableRule { target } => {
+                write!(f, "no rule of {target} is testable")
+            }
+            TargetError::SelfTest { detail } => {
+                write!(f, "self-test does not execute: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargetError {}
+
 /// An error raised while compiling a program.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
@@ -23,11 +107,19 @@ pub enum CompileError {
         stmt: String,
     },
     /// Data layout failed (overflow, duplicates, bad bank request).
-    Layout(String),
+    Layout(LayoutError),
     /// Address assignment failed (out of address registers, no AGU, …).
-    Address(String),
+    Address(AddressError),
     /// The target description is inconsistent.
-    Target(String),
+    Target(TargetError),
+    /// A pass produced structurally invalid code — caught by the
+    /// inter-pass verifier at the offending pass's own boundary.
+    Verify {
+        /// Name of the pass whose output failed verification.
+        pass: String,
+        /// What the verifier found.
+        error: StructureError,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -43,6 +135,9 @@ impl fmt::Display for CompileError {
             CompileError::Layout(m) => write!(f, "data layout error: {m}"),
             CompileError::Address(m) => write!(f, "address assignment error: {m}"),
             CompileError::Target(m) => write!(f, "invalid target description: {m}"),
+            CompileError::Verify { pass, error } => {
+                write!(f, "pass `{pass}` broke a structural invariant: {error}")
+            }
         }
     }
 }
@@ -51,6 +146,10 @@ impl std::error::Error for CompileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CompileError::Frontend(e) => Some(e),
+            CompileError::Layout(e) => Some(e),
+            CompileError::Address(e) => Some(e),
+            CompileError::Target(e) => Some(e),
+            CompileError::Verify { error, .. } => Some(error),
             _ => None,
         }
     }
@@ -59,6 +158,24 @@ impl std::error::Error for CompileError {
 impl From<record_ir::Error> for CompileError {
     fn from(e: record_ir::Error) -> Self {
         CompileError::Frontend(e)
+    }
+}
+
+impl From<LayoutError> for CompileError {
+    fn from(e: LayoutError) -> Self {
+        CompileError::Layout(e)
+    }
+}
+
+impl From<AddressError> for CompileError {
+    fn from(e: AddressError) -> Self {
+        CompileError::Address(e)
+    }
+}
+
+impl From<TargetError> for CompileError {
+    fn from(e: TargetError) -> Self {
+        CompileError::Target(e)
     }
 }
 
@@ -78,5 +195,15 @@ mod tests {
         let ir_err = record_ir::dfl::parse("program").unwrap_err();
         let e: CompileError = ir_err.into();
         assert!(matches!(e, CompileError::Frontend(_)));
+    }
+
+    #[test]
+    fn structured_payloads_render_the_legacy_text() {
+        let e = CompileError::Target(TargetError::NoStoreRules { target: "tic25".into() });
+        assert_eq!(e.to_string(), "invalid target description: target tic25 has no store rules");
+        let e =
+            CompileError::Verify { pass: "compact".into(), error: StructureError::StrayLoopEnd };
+        assert!(e.to_string().contains("compact"));
+        assert!(e.to_string().contains("stray LoopEnd"));
     }
 }

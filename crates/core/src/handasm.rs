@@ -495,7 +495,7 @@ mod tests {
         for kernel in record_dspstone::kernels() {
             let code = hand_code(kernel.name)
                 .unwrap_or_else(|| panic!("missing hand code for {}", kernel.name));
-            code.check_structure().unwrap();
+            code.verify().unwrap();
             for seed in [1u64, 2, 3] {
                 let inputs = kernel.inputs(seed);
                 let expected = kernel.reference(&inputs);

@@ -21,6 +21,11 @@
 //!   and compiler generation"),
 //! * [`CompileOptions`] exposes every optimization the paper catalogues,
 //!   each individually toggleable for the ablation benches,
+//! * [`PassPlan`] is the pipeline itself as data: every backend phase is
+//!   a named [`Pass`] over a [`CompilationUnit`]; plans are built from
+//!   options, from the `O0`/`O1`/`O2` presets, or edited per pass by
+//!   name, and in strict mode the runner verifies structural invariants
+//!   between passes,
 //! * [`baseline`] is the *target-specific comparison compiler* standing in
 //!   for the mid-90s TI C compiler of Table 1: no algebraic variants, no
 //!   AGU streams, a memory-resident loop counter and per-access address
@@ -50,6 +55,7 @@
 pub mod baseline;
 pub mod emit;
 pub mod handasm;
+pub mod pass;
 pub mod pipeline;
 pub mod report;
 pub mod select;
@@ -59,7 +65,8 @@ pub mod timing;
 
 mod error;
 
-pub use error::CompileError;
+pub use error::{CompileError, TargetError};
+pub use pass::{CompilationUnit, Pass, PassPlan};
 pub use pipeline::{CompileOptions, Compiler};
 pub use session::{Session, SessionStats};
-pub use timing::PhaseTimings;
+pub use timing::{CodeStats, PassRecord, PhaseTimings};

@@ -1,0 +1,718 @@
+//! The pass manager: the pipeline of Fig. 2 as first-class objects.
+//!
+//! Each phase of the backend — constant folding, CSE/treeify, BURS
+//! selection, storage layout, offset assignment, bank assignment, AGU
+//! addressing, compaction, invariant hoisting, mode insertion, hardware
+//! repeat — is a named [`Pass`] over a [`CompilationUnit`]. A
+//! [`PassPlan`] is an ordered list of passes; plans are built from
+//! [`CompileOptions`] (the backward-compatible path), from the `O0`/`O1`/
+//! `O2` presets, or edited per pass by name ([`PassPlan::without`],
+//! [`PassPlan::with_pass`]).
+//!
+//! In *strict* mode (the default in debug builds and tests) the runner
+//! verifies the unit between passes: [`Code::verify`] plus each pass's
+//! own [`Pass::postcondition`]. A pass that breaks a structural invariant
+//! therefore fails at its own boundary — as
+//! [`CompileError::Verify`] carrying the pass name — instead of
+//! surfacing later in the simulator.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use record_burg::Tables;
+use record_ir::lir::{Lir, LirItem, StorageKind, VarInfo};
+use record_ir::transform::RuleSet;
+use record_ir::{fold, AssignStmt, Bank, Symbol};
+use record_isa::{AddrMode, Code, Insn, InsnKind, Loc, StructureError, TargetDesc};
+use record_opt::compact::ScheduleMode;
+use record_opt::modes::ModeStrategy;
+
+use crate::pipeline::{convert_rpt, order_vars, CompileOptions};
+use crate::select::Emitter;
+use crate::timing::{CodeStats, PassRecord, PhaseTimings};
+use crate::CompileError;
+
+/// The state a compilation threads through the passes: the (rewritable)
+/// LIR, the storage variables it accumulates, and the output [`Code`].
+///
+/// LIR-level passes (`fold`, `treeify`) rewrite [`lir`](Self::lir);
+/// `select` consumes it into [`code`](Self::code); every later pass
+/// rewrites `code` in place.
+pub struct CompilationUnit<'a> {
+    /// The target being compiled for.
+    pub target: &'a TargetDesc,
+    /// Shared BURS matcher tables for the target.
+    pub tables: &'a Arc<Tables>,
+    /// The program, in lowered form; LIR passes rewrite it.
+    pub lir: Lir,
+    /// Storage to lay out: program variables plus generated temporaries
+    /// and spill scratch, in creation order.
+    pub vars: Vec<VarInfo>,
+    /// The output machine code (empty until `select` runs).
+    pub code: Code,
+    /// Statements selected (after tree decomposition).
+    pub statements: usize,
+    /// Tree variants enumerated across all statements.
+    pub variants: usize,
+    /// Variants that produced a legal cover.
+    pub covered: usize,
+}
+
+impl<'a> CompilationUnit<'a> {
+    /// Fresh unit for compiling `lir` on `target`.
+    pub fn new(target: &'a TargetDesc, tables: &'a Arc<Tables>, lir: &Lir) -> Self {
+        CompilationUnit {
+            target,
+            tables,
+            vars: lir.vars.clone(),
+            code: Code {
+                insns: Vec::new(),
+                layout: Default::default(),
+                target: target.name.clone(),
+                name: lir.name.to_string(),
+            },
+            lir: lir.clone(),
+            statements: 0,
+            variants: 0,
+            covered: 0,
+        }
+    }
+}
+
+/// One named transformation of a [`CompilationUnit`].
+pub trait Pass: Send + Sync {
+    /// The registered name (used for display, enable/disable and
+    /// [`CompileError::Verify`] attribution).
+    fn name(&self) -> &'static str;
+
+    /// Applies the pass.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] the underlying phase raises.
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError>;
+
+    /// Pass-specific invariant over the unit, checked *in addition to*
+    /// [`Code::verify`] when the plan runs in strict mode.
+    ///
+    /// # Errors
+    ///
+    /// The violated invariant, attributed to this pass by the runner.
+    fn postcondition(&self, unit: &CompilationUnit<'_>) -> Result<(), StructureError> {
+        let _ = unit;
+        Ok(())
+    }
+}
+
+/// A declarative, ordered pass pipeline.
+///
+/// `PassPlan::from_options` reproduces exactly what the boolean knobs on
+/// [`CompileOptions`] used to hard-wire; [`o0`](PassPlan::o0)/
+/// [`o1`](PassPlan::o1)/[`o2`](PassPlan::o2) are conventional presets;
+/// [`without`](PassPlan::without) and [`with_pass`](PassPlan::with_pass)
+/// edit a plan per pass — the ablation bench drives every axis this way.
+#[derive(Clone)]
+pub struct PassPlan {
+    passes: Vec<Arc<dyn Pass>>,
+    strict: bool,
+}
+
+impl fmt::Debug for PassPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassPlan")
+            .field("passes", &self.names())
+            .field("strict", &self.strict)
+            .finish()
+    }
+}
+
+impl Default for PassPlan {
+    fn default() -> Self {
+        PassPlan::from_options(&CompileOptions::default())
+    }
+}
+
+impl PassPlan {
+    /// The plan equivalent to compiling with `opts` — the single source
+    /// of truth the boolean-steered pipeline now delegates to.
+    pub fn from_options(opts: &CompileOptions) -> Self {
+        let mut passes: Vec<Arc<dyn Pass>> = Vec::new();
+        if opts.fold_constants {
+            passes.push(Arc::new(FoldPass));
+        }
+        if opts.cse {
+            passes.push(Arc::new(TreeifyPass));
+        }
+        passes.push(Arc::new(SelectPass {
+            rules: opts.rules,
+            variant_limit: opts.variant_limit,
+        }));
+        passes.push(Arc::new(LayoutPass));
+        if opts.offset_assignment {
+            passes.push(Arc::new(OffsetPass));
+        }
+        if opts.bank_assignment {
+            passes.push(Arc::new(BanksPass));
+        }
+        passes.push(Arc::new(AddressPass));
+        if opts.compact {
+            passes.push(Arc::new(CompactPass { schedule: opts.schedule }));
+            passes.push(Arc::new(HoistPass));
+        }
+        passes.push(Arc::new(ModesPass { strategy: opts.mode_strategy }));
+        if opts.use_rpt {
+            passes.push(Arc::new(RptPass));
+        }
+        PassPlan { passes, strict: cfg!(debug_assertions) }
+    }
+
+    /// `O0`: every optimization off — the naive macro-expander end of the
+    /// ablation axis ([`CompileOptions::nothing`]).
+    pub fn o0() -> Self {
+        PassPlan::from_options(&CompileOptions::nothing())
+    }
+
+    /// `O1`: code-level optimizations (variants, CSE, compaction,
+    /// hardware repeat) without the memory-layout ones (offset and bank
+    /// assignment).
+    pub fn o1() -> Self {
+        PassPlan::from_options(&CompileOptions {
+            offset_assignment: false,
+            bank_assignment: false,
+            ..CompileOptions::default()
+        })
+    }
+
+    /// `O2`: everything on ([`CompileOptions::default`]).
+    pub fn o2() -> Self {
+        PassPlan::from_options(&CompileOptions::default())
+    }
+
+    /// Removes every pass named `name`. Unknown names are a no-op, so
+    /// ablation axes compose freely.
+    #[must_use]
+    pub fn without(mut self, name: &str) -> Self {
+        self.passes.retain(|p| p.name() != name);
+        self
+    }
+
+    /// Appends a (possibly custom) pass to the end of the plan.
+    #[must_use]
+    pub fn with_pass(mut self, pass: Arc<dyn Pass>) -> Self {
+        self.passes.push(pass);
+        self
+    }
+
+    /// Replaces the pass named `name` in place (first match) or appends
+    /// when absent.
+    #[must_use]
+    pub fn replacing(mut self, name: &str, pass: Arc<dyn Pass>) -> Self {
+        match self.passes.iter().position(|p| p.name() == name) {
+            Some(ix) => self.passes[ix] = pass,
+            None => self.passes.push(pass),
+        }
+        self
+    }
+
+    /// Sets strict inter-pass verification explicitly (defaults to on in
+    /// debug builds, off in release).
+    #[must_use]
+    pub fn strict(mut self, on: bool) -> Self {
+        self.strict = on;
+        self
+    }
+
+    /// Whether the runner verifies between passes.
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    /// The registered pass names, in execution order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// The passes themselves.
+    pub fn passes(&self) -> &[Arc<dyn Pass>] {
+        &self.passes
+    }
+
+    /// Runs the plan over `unit`, filling `timings` with one
+    /// [`PassRecord`] per executed pass (plus the legacy phase buckets).
+    ///
+    /// # Errors
+    ///
+    /// The first pass failure, or — in strict mode — the first
+    /// [`CompileError::Verify`] naming the pass whose output broke an
+    /// invariant.
+    pub fn run(
+        &self,
+        unit: &mut CompilationUnit<'_>,
+        timings: &mut PhaseTimings,
+    ) -> Result<(), CompileError> {
+        for pass in &self.passes {
+            let before = CodeStats::of(&unit.code);
+            let t = Instant::now();
+            pass.run(unit)?;
+            let time = t.elapsed();
+            if self.strict {
+                let attribute =
+                    |error| CompileError::Verify { pass: pass.name().to_string(), error };
+                unit.code.verify().map_err(attribute)?;
+                pass.postcondition(unit).map_err(attribute)?;
+            }
+            timings.record_pass(PassRecord {
+                name: pass.name().to_string(),
+                time,
+                runs: 1,
+                before,
+                after: CodeStats::of(&unit.code),
+            });
+        }
+        if !self.strict {
+            // the pre-pass-manager pipeline always verified the final
+            // code; keep that guarantee even with inter-pass checks off
+            unit.code
+                .verify()
+                .map_err(|e| CompileError::Verify { pass: "pipeline".into(), error: e })?;
+        }
+        timings.statements = unit.statements;
+        timings.variants = unit.variants;
+        timings.covered = unit.covered;
+        timings.insns = unit.code.insns.len();
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// The built-in passes
+// --------------------------------------------------------------------------
+
+/// Constant folding over the LIR ([`record_ir::fold`]). Off by default:
+/// the paper measures RECORD without "standard optimization techniques".
+struct FoldPass;
+
+impl Pass for FoldPass {
+    fn name(&self) -> &'static str {
+        "fold"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        let width = unit.target.word_width;
+        fn walk(items: &mut [LirItem], width: u32) {
+            for item in items {
+                match item {
+                    LirItem::Assign(a) => a.src = fold::fold(&a.src, width),
+                    LirItem::Loop { body, .. } => walk(body, width),
+                }
+            }
+        }
+        walk(&mut unit.lir.body, width);
+        Ok(())
+    }
+}
+
+/// Data-flow-graph construction and tree decomposition (CSE): shares
+/// common subexpressions within each straight-line block, materializing
+/// them as temporaries appended to the unit's storage.
+struct TreeifyPass;
+
+impl Pass for TreeifyPass {
+    fn name(&self) -> &'static str {
+        "treeify"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        let mut next_temp = 0usize;
+        fn flush(
+            block: &mut Vec<AssignStmt>,
+            out: &mut Vec<LirItem>,
+            next_temp: &mut usize,
+            vars: &mut Vec<VarInfo>,
+        ) {
+            if block.is_empty() {
+                return;
+            }
+            let (forest, next) = record_ir::treeify::treeify(block, *next_temp);
+            *next_temp = next;
+            block.clear();
+            for t in &forest.temps {
+                vars.push(VarInfo {
+                    name: t.clone(),
+                    len: 1,
+                    kind: StorageKind::Var,
+                    bank: None,
+                    is_fix: true,
+                });
+            }
+            out.extend(forest.assigns.into_iter().map(LirItem::Assign));
+        }
+        fn walk(
+            items: Vec<LirItem>,
+            next_temp: &mut usize,
+            vars: &mut Vec<VarInfo>,
+        ) -> Vec<LirItem> {
+            let mut out = Vec::with_capacity(items.len());
+            let mut block: Vec<AssignStmt> = Vec::new();
+            for item in items {
+                match item {
+                    LirItem::Assign(a) => block.push(a),
+                    LirItem::Loop { var, count, body } => {
+                        flush(&mut block, &mut out, next_temp, vars);
+                        let body = walk(body, next_temp, vars);
+                        out.push(LirItem::Loop { var, count, body });
+                    }
+                }
+            }
+            flush(&mut block, &mut out, next_temp, vars);
+            out
+        }
+        let body = std::mem::take(&mut unit.lir.body);
+        unit.lir.body = walk(body, &mut next_temp, &mut unit.vars);
+        Ok(())
+    }
+}
+
+/// Variant enumeration, BURS covering and code emission — the heart of
+/// the paper's retargetable selection (§4). Consumes the LIR into
+/// [`CompilationUnit::code`]; spill scratch cells join the storage list.
+struct SelectPass {
+    rules: RuleSet,
+    variant_limit: usize,
+}
+
+impl Pass for SelectPass {
+    fn name(&self) -> &'static str {
+        "select"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        let target = unit.target;
+        let mut emitter = Emitter::with_tables(target, Arc::clone(unit.tables));
+        let body = std::mem::take(&mut unit.lir.body);
+        let mut insns: Vec<Insn> = Vec::new();
+        let result = self.emit_rec(
+            &body,
+            target,
+            &mut emitter,
+            &mut insns,
+            &mut unit.statements,
+            &mut unit.variants,
+            &mut unit.covered,
+        );
+        unit.lir.body = body;
+        result?;
+        for s in emitter.scratch_symbols() {
+            unit.vars.push(VarInfo {
+                name: s.clone(),
+                len: 1,
+                kind: StorageKind::Var,
+                bank: None,
+                is_fix: true,
+            });
+        }
+        unit.code.insns = insns;
+        Ok(())
+    }
+}
+
+impl SelectPass {
+    #[allow(clippy::too_many_arguments)]
+    fn emit_rec(
+        &self,
+        items: &[LirItem],
+        target: &TargetDesc,
+        emitter: &mut Emitter<'_>,
+        out: &mut Vec<Insn>,
+        statements: &mut usize,
+        variants: &mut usize,
+        covered: &mut usize,
+    ) -> Result<(), CompileError> {
+        for item in items {
+            match item {
+                LirItem::Assign(stmt) => {
+                    let (insns, stats) =
+                        emitter.emit_assign(stmt, &self.rules, self.variant_limit, false)?;
+                    *variants += stats.variants;
+                    *covered += stats.covered;
+                    *statements += 1;
+                    out.extend(insns);
+                }
+                LirItem::Loop { var, count, body } => {
+                    let init = target.loop_ctrl.init_cost;
+                    out.push(Insn::ctrl(
+                        InsnKind::LoopStart { var: var.clone(), count: *count },
+                        format!("LOOP #{count}"),
+                        init.words,
+                        init.cycles,
+                    ));
+                    self.emit_rec(body, target, emitter, out, statements, variants, covered)?;
+                    let end = target.loop_ctrl.end_cost;
+                    out.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLP", end.words, end.cycles));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Declaration-order storage layout: scalars first, then arrays, packed
+/// from address zero per bank.
+struct LayoutPass;
+
+impl Pass for LayoutPass {
+    fn name(&self) -> &'static str {
+        "layout"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        let ordered = order_vars(&unit.vars, &unit.code, false);
+        unit.code.layout = record_opt::layout_in_order(
+            ordered.iter().map(|v| (v.name.clone(), v.len, v.bank)),
+            unit.target,
+        )?;
+        Ok(())
+    }
+
+    fn postcondition(&self, unit: &CompilationUnit<'_>) -> Result<(), StructureError> {
+        placed(unit)
+    }
+}
+
+/// Simple offset assignment: reorders scalars along the access sequence
+/// (SOA) so auto-increment chains replace explicit pointer loads, then
+/// rebuilds the layout in that order.
+struct OffsetPass;
+
+impl Pass for OffsetPass {
+    fn name(&self) -> &'static str {
+        "offset"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        let ordered = order_vars(&unit.vars, &unit.code, true);
+        unit.code.layout = record_opt::layout_in_order(
+            ordered.iter().map(|v| (v.name.clone(), v.len, v.bank)),
+            unit.target,
+        )?;
+        Ok(())
+    }
+
+    fn postcondition(&self, unit: &CompilationUnit<'_>) -> Result<(), StructureError> {
+        placed(unit)
+    }
+}
+
+/// Memory-bank assignment for dual-bank targets: places array operand
+/// pairs in opposite banks so parallel moves can dual-fetch.
+struct BanksPass;
+
+impl Pass for BanksPass {
+    fn name(&self) -> &'static str {
+        "banks"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        if unit.target.memory.banks == 2 {
+            let fixed: HashMap<Symbol, Bank> =
+                unit.vars.iter().filter_map(|v| v.bank.map(|b| (v.name.clone(), b))).collect();
+            record_opt::assign_banks(&mut unit.code, unit.target, &fixed);
+        }
+        Ok(())
+    }
+
+    fn postcondition(&self, unit: &CompilationUnit<'_>) -> Result<(), StructureError> {
+        if unit.target.memory.banks < 2 {
+            for entry in unit.code.layout.entries() {
+                if entry.bank == Bank::Y {
+                    return Err(StructureError::BadBank { sym: entry.sym.clone() });
+                }
+            }
+        }
+        placed(unit)
+    }
+}
+
+/// AGU addressing: resolves every symbolic memory operand to a direct or
+/// register-indirect access, inserting address-register bookkeeping.
+struct AddressPass;
+
+impl Pass for AddressPass {
+    fn name(&self) -> &'static str {
+        "address"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        record_opt::assign_addresses(&mut unit.code, unit.target)?;
+        Ok(())
+    }
+
+    fn postcondition(&self, unit: &CompilationUnit<'_>) -> Result<(), StructureError> {
+        // nothing may remain unresolved once addressing has run
+        for (i, insn) in unit.code.insns.iter().enumerate() {
+            if has_unresolved(insn) {
+                return Err(StructureError::UnresolvedOperand { index: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compaction: instruction fusion plus either list scheduling or
+/// adjacent parallel-move packing, per the plan's [`ScheduleMode`].
+struct CompactPass {
+    schedule: Option<ScheduleMode>,
+}
+
+impl Pass for CompactPass {
+    fn name(&self) -> &'static str {
+        "compact"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        record_opt::fuse(&mut unit.code, unit.target);
+        match self.schedule {
+            Some(mode) => {
+                record_opt::schedule(&mut unit.code, unit.target, mode);
+            }
+            None => {
+                record_opt::pack_moves(&mut unit.code, unit.target);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Loop-invariant prefix hoisting (runs only when compaction does, as in
+/// the original pipeline).
+struct HoistPass;
+
+impl Pass for HoistPass {
+    fn name(&self) -> &'static str {
+        "hoist"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        record_opt::hoist_invariant_prefix(&mut unit.code);
+        Ok(())
+    }
+}
+
+/// Residual control: inserts the mode-change instructions each
+/// instruction's `mode_req` demands, lazily or per use.
+struct ModesPass {
+    strategy: ModeStrategy,
+}
+
+impl Pass for ModesPass {
+    fn name(&self) -> &'static str {
+        "modes"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        record_opt::insert_mode_changes(&mut unit.code, unit.target, self.strategy);
+        Ok(())
+    }
+
+    fn postcondition(&self, unit: &CompilationUnit<'_>) -> Result<(), StructureError> {
+        verify_modes(&unit.code, unit.target)
+    }
+}
+
+/// Hardware-repeat conversion: single-instruction loops become
+/// `RPT`-style zero-overhead repeats where the target supports them.
+struct RptPass;
+
+impl Pass for RptPass {
+    fn name(&self) -> &'static str {
+        "rpt"
+    }
+
+    fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        convert_rpt(&mut unit.code, unit.target);
+        Ok(())
+    }
+}
+
+// --------------------------------------------------------------------------
+// Shared postcondition helpers
+// --------------------------------------------------------------------------
+
+/// Every memory operand's base symbol must be placed in the layout
+/// (spill pointer cells are appended by the address pass itself, so this
+/// holds after every layout-shaping pass).
+fn placed(unit: &CompilationUnit<'_>) -> Result<(), StructureError> {
+    for insn in &unit.code.insns {
+        let mut err = None;
+        visit_mems(insn, &mut |m| {
+            if err.is_none() && unit.code.layout.entry(&m.base).is_none() {
+                err = Some(StructureError::Unplaced { sym: m.base.clone() });
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+fn has_unresolved(insn: &Insn) -> bool {
+    let mut any = false;
+    visit_mems(insn, &mut |m| {
+        if m.mode == AddrMode::Unresolved {
+            any = true;
+        }
+    });
+    any
+}
+
+fn visit_mems(insn: &Insn, f: &mut impl FnMut(&record_isa::MemLoc)) {
+    if let InsnKind::Compute { dst, expr } = &insn.kind {
+        for l in expr.reads() {
+            if let Loc::Mem(m) = l {
+                f(m);
+            }
+        }
+        if let Loc::Mem(m) = dst {
+            f(m);
+        }
+    }
+    for p in &insn.parallel {
+        visit_mems(p, f);
+    }
+}
+
+/// Linear mode-state scan: starting from the target's power-on defaults,
+/// every instruction's `mode_req` must hold under the `SetMode`s inserted
+/// so far, and the state at each loop back edge must equal the state at
+/// loop entry (otherwise iterations would run under varying modes).
+fn verify_modes(code: &Code, target: &TargetDesc) -> Result<(), StructureError> {
+    let mut state: Vec<bool> = target.modes.iter().map(|m| m.default_on).collect();
+    let mut stack: Vec<Vec<bool>> = Vec::new();
+    for (i, insn) in code.insns.iter().enumerate() {
+        match &insn.kind {
+            InsnKind::SetMode { mode, on } => match state.get_mut(*mode) {
+                Some(slot) => *slot = *on,
+                None => return Err(StructureError::UnknownMode { mode: *mode }),
+            },
+            InsnKind::LoopStart { .. } => stack.push(state.clone()),
+            InsnKind::LoopEnd => {
+                let entry = stack.pop().ok_or(StructureError::UnmatchedLoopEnd { index: i })?;
+                if let Some(mode) = state.iter().zip(&entry).position(|(a, b)| a != b) {
+                    return Err(StructureError::ModeLoopImbalance { index: i, mode });
+                }
+            }
+            _ => {}
+        }
+        if let Some((mode, on)) = insn.mode_req {
+            match state.get(mode) {
+                Some(&actual) if actual == on => {}
+                Some(_) => return Err(StructureError::ModeUnsatisfied { index: i, mode }),
+                None => return Err(StructureError::UnknownMode { mode }),
+            }
+        }
+    }
+    Ok(())
+}

@@ -5,16 +5,15 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use record_burg::Tables;
-use record_ir::lir::{Lir, LirItem, StorageKind, VarInfo};
+use record_ir::lir::{Lir, VarInfo};
 use record_ir::transform::RuleSet;
-use record_ir::{dfl, lower, AssignStmt, Bank, Symbol};
+use record_ir::{dfl, lower, Symbol};
 use record_isa::netlist::Netlist;
 use record_isa::{Code, Insn, InsnKind, Loc, TargetDesc};
 use record_ise::ToTargetOptions;
 use record_opt::compact::ScheduleMode;
 use record_opt::modes::ModeStrategy;
 
-use crate::select::Emitter;
 use crate::timing::PhaseTimings;
 use crate::CompileError;
 
@@ -119,7 +118,7 @@ impl Compiler {
     ///
     /// [`CompileError::Target`] if the description fails validation.
     pub fn for_target(target: TargetDesc) -> Result<Self, CompileError> {
-        target.validate().map_err(CompileError::Target)?;
+        target.validate().map_err(|e| CompileError::Target(crate::TargetError::Invalid(e)))?;
         let tables = Arc::new(Tables::build(&target));
         Ok(Compiler { target, tables })
     }
@@ -138,10 +137,12 @@ impl Compiler {
         netlist: &Netlist,
         opts: &ToTargetOptions,
     ) -> Result<(Self, usize), CompileError> {
-        let insns =
-            record_ise::normalize(record_ise::extract(netlist).map_err(CompileError::Target)?);
-        let (target, skipped) =
-            record_ise::to_target(name, netlist, &insns, opts).map_err(CompileError::Target)?;
+        let insns = record_ise::normalize(
+            record_ise::extract(netlist)
+                .map_err(|e| CompileError::Target(crate::TargetError::Invalid(e)))?,
+        );
+        let (target, skipped) = record_ise::to_target(name, netlist, &insns, opts)
+            .map_err(|e| CompileError::Target(crate::TargetError::Invalid(e)))?;
         let tables = Arc::new(Tables::build(&target));
         Ok((Compiler { target, tables }, skipped))
     }
@@ -223,185 +224,38 @@ impl Compiler {
         lir: &Lir,
         opts: &CompileOptions,
     ) -> Result<(Code, PhaseTimings), CompileError> {
+        self.compile_plan_timed(lir, &crate::PassPlan::from_options(opts))
+    }
+
+    /// Compiles by running an explicit [`PassPlan`](crate::PassPlan) —
+    /// the primitive every other `compile_*` entry point delegates to.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; in strict plans a broken pass surfaces as
+    /// [`CompileError::Verify`] naming the pass.
+    pub fn compile_plan(&self, lir: &Lir, plan: &crate::PassPlan) -> Result<Code, CompileError> {
+        self.compile_plan_timed(lir, plan).map(|(code, _)| code)
+    }
+
+    /// Compiles by running an explicit [`PassPlan`](crate::PassPlan),
+    /// reporting per-pass timings and before/after code statistics.
+    ///
+    /// # Errors
+    ///
+    /// See [`compile_plan`](Compiler::compile_plan).
+    pub fn compile_plan_timed(
+        &self,
+        lir: &Lir,
+        plan: &crate::PassPlan,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
         let start = Instant::now();
         let mut timings = PhaseTimings::default();
-        let mut emitter = Emitter::with_tables(&self.target, Arc::clone(&self.tables));
-        let mut temps: Vec<Symbol> = Vec::new();
-        let mut next_temp = 0usize;
-        let mut insns: Vec<Insn> = Vec::new();
-        emit_items(
-            &lir.body,
-            &self.target,
-            &mut emitter,
-            opts,
-            &mut next_temp,
-            &mut temps,
-            &mut insns,
-            &mut timings,
-        )?;
-
-        let mut code = Code {
-            insns,
-            layout: Default::default(),
-            target: self.target.name.clone(),
-            name: lir.name.to_string(),
-        };
-
-        // --- storage: program variables + treeify temps + spill scratch ---
-        let mut vars: Vec<VarInfo> = lir.vars.clone();
-        for t in &temps {
-            vars.push(VarInfo {
-                name: t.clone(),
-                len: 1,
-                kind: StorageKind::Var,
-                bank: None,
-                is_fix: true,
-            });
-        }
-        for s in emitter.scratch_symbols() {
-            vars.push(VarInfo {
-                name: s.clone(),
-                len: 1,
-                kind: StorageKind::Var,
-                bank: None,
-                is_fix: true,
-            });
-        }
-
-        // --- layout (offset assignment orders the scalars) -----------------
-        let t_layout = Instant::now();
-        let ordered = order_vars(&vars, &code, opts.offset_assignment);
-        code.layout = record_opt::layout::layout_in_order(
-            ordered.iter().map(|v| (v.name.clone(), v.len, v.bank)),
-            &self.target,
-        )
-        .map_err(CompileError::Layout)?;
-        timings.layout = t_layout.elapsed();
-
-        // --- bank assignment ------------------------------------------------
-        let t_banks = Instant::now();
-        if self.target.memory.banks == 2 && opts.bank_assignment {
-            let fixed: HashMap<Symbol, Bank> =
-                vars.iter().filter_map(|v| v.bank.map(|b| (v.name.clone(), b))).collect();
-            record_opt::assign_banks(&mut code, &self.target, &fixed);
-        }
-        timings.banks = t_banks.elapsed();
-
-        // --- addressing -------------------------------------------------------
-        let t_address = Instant::now();
-        record_opt::assign_addresses(&mut code, &self.target).map_err(CompileError::Address)?;
-        timings.address = t_address.elapsed();
-
-        // --- compaction ---------------------------------------------------------
-        let t_compact = Instant::now();
-        if opts.compact {
-            record_opt::fuse(&mut code, &self.target);
-            match opts.schedule {
-                Some(mode) => {
-                    record_opt::schedule(&mut code, &self.target, mode);
-                }
-                None => {
-                    record_opt::pack_moves(&mut code, &self.target);
-                }
-            }
-        }
-
-        // --- loop-invariant hoisting --------------------------------------------
-        if opts.compact {
-            record_opt::hoist_invariant_prefix(&mut code);
-        }
-        timings.compact = t_compact.elapsed();
-
-        // --- mode-change insertion -----------------------------------------------
-        let t_modes = Instant::now();
-        record_opt::insert_mode_changes(&mut code, &self.target, opts.mode_strategy);
-        timings.modes = t_modes.elapsed();
-
-        // --- hardware repeat conversion ------------------------------------------
-        // After mode insertion: the lazy pass hoists a loop body's
-        // single-polarity mode requirement into the preheader, so an
-        // eligible single-instruction body stays single-instruction and a
-        // mode change can never land between RPT and its body.
-        let t_rpt = Instant::now();
-        if opts.use_rpt {
-            convert_rpt(&mut code, &self.target);
-        }
-        timings.compact += t_rpt.elapsed();
-
-        code.check_structure().map_err(CompileError::Layout)?;
-        timings.insns = code.insns.len();
+        let mut unit = crate::pass::CompilationUnit::new(&self.target, &self.tables, lir);
+        plan.run(&mut unit, &mut timings)?;
         timings.total = start.elapsed();
-        Ok((code, timings))
+        Ok((unit.code, timings))
     }
-}
-
-/// Recursively emits a LIR item list.
-#[allow(clippy::too_many_arguments)]
-fn emit_items(
-    items: &[LirItem],
-    target: &TargetDesc,
-    emitter: &mut Emitter<'_>,
-    opts: &CompileOptions,
-    next_temp: &mut usize,
-    temps: &mut Vec<Symbol>,
-    out: &mut Vec<Insn>,
-    timings: &mut PhaseTimings,
-) -> Result<(), CompileError> {
-    // group consecutive assignments into straight-line blocks
-    let mut block: Vec<AssignStmt> = Vec::new();
-    let flush = |block: &mut Vec<AssignStmt>,
-                 emitter: &mut Emitter<'_>,
-                 next_temp: &mut usize,
-                 temps: &mut Vec<Symbol>,
-                 out: &mut Vec<Insn>,
-                 timings: &mut PhaseTimings|
-     -> Result<(), CompileError> {
-        if block.is_empty() {
-            return Ok(());
-        }
-        let stmts: Vec<AssignStmt> = if opts.cse {
-            let t_treeify = Instant::now();
-            let (forest, next) = record_ir::treeify::treeify(block, *next_temp);
-            timings.treeify += t_treeify.elapsed();
-            *next_temp = next;
-            temps.extend(forest.temps.iter().cloned());
-            forest.assigns
-        } else {
-            block.clone()
-        };
-        block.clear();
-        let t_select = Instant::now();
-        for stmt in &stmts {
-            let (insns, stats) =
-                emitter.emit_assign(stmt, &opts.rules, opts.variant_limit, opts.fold_constants)?;
-            timings.variants += stats.variants;
-            timings.covered += stats.covered;
-            out.extend(insns);
-        }
-        timings.statements += stmts.len();
-        timings.select += t_select.elapsed();
-        Ok(())
-    };
-
-    for item in items {
-        match item {
-            LirItem::Assign(a) => block.push(a.clone()),
-            LirItem::Loop { var, count, body } => {
-                flush(&mut block, emitter, next_temp, temps, out, timings)?;
-                let init = target.loop_ctrl.init_cost;
-                out.push(Insn::ctrl(
-                    InsnKind::LoopStart { var: var.clone(), count: *count },
-                    format!("LOOP #{count}"),
-                    init.words,
-                    init.cycles,
-                ));
-                emit_items(body, target, emitter, opts, next_temp, temps, out, timings)?;
-                let end = target.loop_ctrl.end_cost;
-                out.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLP", end.words, end.cycles));
-            }
-        }
-    }
-    flush(&mut block, emitter, next_temp, temps, out, timings)
 }
 
 /// Orders variables for layout: scalars first (SOA order when enabled,
@@ -412,7 +266,7 @@ fn emit_items(
 /// generated temporary) or the SOA access sequence mentions a symbol
 /// repeatedly; zero-length variables are kept (they occupy a name but no
 /// storage) rather than silently dropped from the layout.
-fn order_vars(vars: &[VarInfo], code: &Code, soa: bool) -> Vec<VarInfo> {
+pub(crate) fn order_vars(vars: &[VarInfo], code: &Code, soa: bool) -> Vec<VarInfo> {
     let by_name: HashMap<&Symbol, &VarInfo> = vars.iter().map(|v| (&v.name, v)).collect();
     let mut out: Vec<VarInfo> = Vec::with_capacity(vars.len());
     let mut seen: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
@@ -535,6 +389,8 @@ fn references_counter(insn: &Insn, var: &Symbol) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use record_ir::lir::StorageKind;
+    use record_ir::Bank;
     use record_sim::run_program;
     use std::collections::HashMap as Map;
 
@@ -560,7 +416,7 @@ mod tests {
     fn compiles_and_validates_fir() {
         let compiler = tic25_compiler();
         let code = compiler.compile_source(FIR_SRC).unwrap();
-        code.check_structure().unwrap();
+        code.verify().unwrap();
         // run against the reference dot product
         let x: Vec<i64> = (1..=8).collect();
         let c: Vec<i64> = (1..=8).map(|v| v * 3).collect();
@@ -641,7 +497,7 @@ mod tests {
                  begin for i in 0..N-1 loop b[i] := a[i]; end loop; end",
             )
             .unwrap();
-        code.check_structure().unwrap();
+        code.verify().unwrap();
 
         // hand-built single-insn loop
         let target = compiler.target().clone();
@@ -734,7 +590,7 @@ mod tests {
         record_opt::insert_mode_changes(&mut code, &target, ModeStrategy::Lazy);
         let n = convert_rpt(&mut code, &target);
         assert_eq!(n, 1, "{}", code.render());
-        code.check_structure().unwrap();
+        code.verify().unwrap();
         assert!(matches!(code.insns[0].kind, InsnKind::SetMode { on: true, .. }));
         assert!(matches!(code.insns[1].kind, InsnKind::Rpt { count: 4 }));
     }

@@ -129,8 +129,9 @@ pub fn table1_in(session: &Session) -> Result<Table1, CompileError> {
     let recs = session.compile_batch(&target, &lirs)?;
 
     for ((kernel, lir), rec) in kernels.iter().zip(&lirs).zip(recs) {
-        let hand = handasm::hand_code(kernel.name)
-            .ok_or_else(|| CompileError::Target(format!("no hand code for {}", kernel.name)))?;
+        let hand = handasm::hand_code(kernel.name).ok_or_else(|| {
+            CompileError::Target(crate::TargetError::NoHandCode { kernel: kernel.name.into() })
+        })?;
         let base = baseline::compile(lir)?;
         let rec = rec?;
 
@@ -139,17 +140,22 @@ pub fn table1_in(session: &Session) -> Result<Table1, CompileError> {
             let inputs = kernel.inputs(42);
             let expected = kernel.reference(&inputs);
             let (out, run) = run_program(code, &target, &inputs).map_err(|e| {
-                CompileError::Target(format!("{} simulation failed: {e}", kernel.name))
+                CompileError::Target(crate::TargetError::SimulationFailed {
+                    kernel: kernel.name.into(),
+                    detail: e.to_string(),
+                })
             })?;
             for (name, _) in kernel.outputs() {
                 let sym = record_ir::Symbol::new(*name);
                 if out.get(&sym) != expected.get(&sym) {
-                    return Err(CompileError::Target(format!(
-                        "{} variant {ix} output {name} mismatch: {:?} vs {:?}",
-                        kernel.name,
-                        out.get(&sym),
-                        expected.get(&sym)
-                    )));
+                    return Err(CompileError::Target(crate::TargetError::OutputMismatch {
+                        detail: format!(
+                            "{} variant {ix} output {name} mismatch: {:?} vs {:?}",
+                            kernel.name,
+                            out.get(&sym),
+                            expected.get(&sym)
+                        ),
+                    }));
                 }
             }
             cycles[ix] = run.cycles;
@@ -208,6 +214,28 @@ impl fmt::Display for PhaseBreakdown {
         writeln!(f, "{:-^78}", "")?;
         writeln!(f, "aggregate profile:")?;
         writeln!(f, "{}", self.total)?;
+        if !self.total.passes.is_empty() {
+            writeln!(f, "  per-pass trace (summed over {} kernels):", self.rows.len())?;
+            writeln!(
+                f,
+                "  {:<10} {:>4} {:>9} {:>7} {:>7} {:>6} {:>6} {:>5}",
+                "pass", "runs", "time(µs)", "insns", "Δinsns", "Δwords", "‖ops", "regs"
+            )?;
+            for p in &self.total.passes {
+                writeln!(
+                    f,
+                    "  {:<10} {:>4} {:>9.1} {:>7} {:>+7} {:>+6} {:>6} {:>5}",
+                    p.name,
+                    p.runs,
+                    us(p.time),
+                    p.after.insns,
+                    p.after.insns as i64 - p.before.insns as i64,
+                    p.after.words as i64 - p.before.words as i64,
+                    p.after.parallel_ops,
+                    p.after.regs_used
+                )?;
+            }
+        }
         write!(
             f,
             "  compiler cache: {} hit(s), {} miss(es) across {} compile(s)",
@@ -283,5 +311,27 @@ mod tests {
         assert_eq!(pb.stats.compiles, 10);
         let text = pb.to_string();
         assert!(text.contains("aggregate profile"), "{text}");
+    }
+
+    #[test]
+    fn phase_breakdown_lists_dynamic_passes_with_stats() {
+        let pb = phase_breakdown().unwrap();
+        // the default plan's passes appear, aggregated by name
+        let names: Vec<&str> = pb.total.passes.iter().map(|p| p.name.as_str()).collect();
+        for want in ["treeify", "select", "layout", "offset", "address", "compact", "modes", "rpt"]
+        {
+            assert!(names.contains(&want), "missing pass {want}: {names:?}");
+        }
+        for p in &pb.total.passes {
+            assert_eq!(p.runs, 10, "{}: one run per kernel", p.name);
+        }
+        // select creates all the instructions it reports
+        let select = pb.total.passes.iter().find(|p| p.name == "select").unwrap();
+        assert_eq!(select.before.insns, 0);
+        assert!(select.after.insns > 0);
+        // per-pass rows render in the report text
+        let text = pb.to_string();
+        assert!(text.contains("per-pass trace"), "{text}");
+        assert!(text.contains("select"), "{text}");
     }
 }

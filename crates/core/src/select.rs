@@ -119,9 +119,9 @@ impl<'t> Emitter<'t> {
             // operand into an explicit memory temporary and retry — each
             // split strictly shrinks the tree, so this terminates.
             let Some((first, second)) = self.split_statement(&cur) else {
-                return Err(CompileError::Target(format!(
-                    "statement `{cur}` miscompiles and cannot be split further"
-                )));
+                return Err(CompileError::Target(crate::TargetError::Unsplittable {
+                    stmt: cur.to_string(),
+                }));
             };
             // process `first` next, then re-attempt `second` (LIFO order)
             work.push(second);
@@ -293,10 +293,9 @@ impl<'t> Emitter<'t> {
         };
         let candidates: Vec<_> = self.target.stores.iter().map(|s| (s.nt, s.cost)).collect();
         if candidates.is_empty() {
-            return Err(CompileError::Target(format!(
-                "target {} has no store rules",
-                self.target.name
-            )));
+            return Err(CompileError::Target(crate::TargetError::NoStoreRules {
+                target: self.target.name.to_string(),
+            }));
         }
 
         let mut best: Option<(Cost, usize, record_burg::Cover, Tree)> = None;
@@ -473,7 +472,9 @@ impl<'t> Emitter<'t> {
                 Ok(Loc::Mem(MemLoc::scalar(sym)))
             }
             NonTermKind::Imm { .. } => {
-                Err(CompileError::Target(format!("rule {} produces an immediate", rule.id)))
+                Err(CompileError::Target(crate::TargetError::RuleProducesImmediate {
+                    rule: rule.id.to_string(),
+                }))
             }
         }
     }

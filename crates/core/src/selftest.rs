@@ -132,7 +132,9 @@ pub fn generate(target: &TargetDesc, seed: u64) -> Result<SelfTest, CompileError
         }
     }
     if covered.is_empty() {
-        return Err(CompileError::Target(format!("no rule of {} is testable", target.name)));
+        return Err(CompileError::Target(crate::TargetError::NoTestableRule {
+            target: target.name.to_string(),
+        }));
     }
 
     // place the operand cell, the response words and the scratch cells
@@ -152,9 +154,9 @@ pub fn generate(target: &TargetDesc, seed: u64) -> Result<SelfTest, CompileError
 
     // compute the fault-free signature by executing the program
     let mut machine = Machine::new(target);
-    machine
-        .run(&code)
-        .map_err(|e| CompileError::Target(format!("self-test does not execute: {e}")))?;
+    machine.run(&code).map_err(|e| {
+        CompileError::Target(crate::TargetError::SelfTest { detail: e.to_string() })
+    })?;
     let mut signature = 0i64;
     for i in 0..response {
         let v = machine.peek(&Symbol::new(format!("$r{i}")), 0, &code).unwrap_or(0);

@@ -227,7 +227,7 @@ impl Session {
     /// The accumulated per-phase timings of every successful compile
     /// routed through this session.
     pub fn timings(&self) -> PhaseTimings {
-        *self.timings.lock().expect("timings lock")
+        self.timings.lock().expect("timings lock").clone()
     }
 
     fn record(&self, timings: &PhaseTimings) {

@@ -10,8 +10,93 @@
 use std::fmt;
 use std::time::Duration;
 
-/// Wall-clock time and work counters, broken down by pipeline phase.
+use record_isa::{Code, InsnKind, Loc};
+
+/// A snapshot of code-shape counters, taken before and after each pass so
+/// a [`PassRecord`] can show what the pass actually did to the code.
+///
+/// Snapshots are additive: [`CodeStats::absorb`] sums them, so aggregated
+/// records (a whole [`Session`](crate::Session)) stay meaningful as
+/// totals.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodeStats {
+    /// Instructions (bundles count once).
+    pub insns: usize,
+    /// Code size in words.
+    pub words: u32,
+    /// Explicit no-ops.
+    pub nops: usize,
+    /// Sub-operations riding in parallel bundles (bundle fill).
+    pub parallel_ops: usize,
+    /// Distinct registers referenced.
+    pub regs_used: usize,
+}
+
+impl CodeStats {
+    /// Measures `code`.
+    pub fn of(code: &Code) -> Self {
+        let mut stats = CodeStats { words: code.size_words(), ..Default::default() };
+        let mut regs = std::collections::HashSet::new();
+        for insn in &code.insns {
+            stats.insns += 1;
+            count_insn(insn, &mut stats, &mut regs);
+        }
+        stats.regs_used = regs.len();
+        stats
+    }
+
+    /// Adds `other` into `self` (for session-level aggregation).
+    pub fn absorb(&mut self, other: &CodeStats) {
+        self.insns += other.insns;
+        self.words += other.words;
+        self.nops += other.nops;
+        self.parallel_ops += other.parallel_ops;
+        self.regs_used = self.regs_used.max(other.regs_used);
+    }
+}
+
+fn count_insn(
+    insn: &record_isa::Insn,
+    stats: &mut CodeStats,
+    regs: &mut std::collections::HashSet<record_isa::RegId>,
+) {
+    if insn.text == "NOP" {
+        stats.nops += 1;
+    }
+    if let InsnKind::Compute { dst, expr } = &insn.kind {
+        if let Loc::Reg(r) = dst {
+            regs.insert(*r);
+        }
+        for l in expr.reads() {
+            if let Loc::Reg(r) = l {
+                regs.insert(*r);
+            }
+        }
+    }
+    for p in &insn.parallel {
+        stats.parallel_ops += 1;
+        count_insn(p, stats, regs);
+    }
+}
+
+/// One dynamically-registered pass's contribution to a compile (or, after
+/// [`PhaseTimings::absorb`], to a whole batch/session).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassRecord {
+    /// The pass name (as registered in the `PassPlan`).
+    pub name: String,
+    /// Wall-clock time spent in the pass.
+    pub time: Duration,
+    /// How many compiles ran this pass (1 for a single compile).
+    pub runs: usize,
+    /// Code shape before the pass (summed across runs).
+    pub before: CodeStats,
+    /// Code shape after the pass (summed across runs).
+    pub after: CodeStats,
+}
+
+/// Wall-clock time and work counters, broken down by pipeline phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseTimings {
     /// DFL lexing + parsing (zero when compiling from a prebuilt LIR).
     pub parse: Duration,
@@ -43,6 +128,11 @@ pub struct PhaseTimings {
     pub covered: usize,
     /// Instructions in the final code.
     pub insns: usize,
+    /// Per-pass records in execution order, as registered by the
+    /// `PassPlan` that drove the compile. The fixed-name fields above are
+    /// maintained as coarse buckets for backward compatibility; this is
+    /// the full dynamic trace.
+    pub passes: Vec<PassRecord>,
 }
 
 impl PhaseTimings {
@@ -62,6 +152,37 @@ impl PhaseTimings {
         self.variants += other.variants;
         self.covered += other.covered;
         self.insns += other.insns;
+        for r in &other.passes {
+            match self.passes.iter_mut().find(|p| p.name == r.name) {
+                Some(p) => {
+                    p.time += r.time;
+                    p.runs += r.runs;
+                    p.before.absorb(&r.before);
+                    p.after.absorb(&r.after);
+                }
+                None => self.passes.push(r.clone()),
+            }
+        }
+    }
+
+    /// Folds one pass's measurement into the matching legacy phase bucket
+    /// (several passes share a bucket, mirroring the pre-pass-manager
+    /// phase boundaries) and appends its dynamic [`PassRecord`].
+    pub(crate) fn record_pass(&mut self, record: PassRecord) {
+        let bucket = match record.name.as_str() {
+            "treeify" => Some(&mut self.treeify),
+            "fold" | "select" => Some(&mut self.select),
+            "layout" | "offset" => Some(&mut self.layout),
+            "banks" => Some(&mut self.banks),
+            "address" => Some(&mut self.address),
+            "compact" | "hoist" | "rpt" => Some(&mut self.compact),
+            "modes" => Some(&mut self.modes),
+            _ => None, // custom passes appear only in the dynamic trace
+        };
+        if let Some(bucket) = bucket {
+            *bucket += record.time;
+        }
+        self.passes.push(record);
     }
 
     /// The phases in pipeline order, with display names.

@@ -474,9 +474,19 @@ impl Code {
         out
     }
 
-    /// Checks the structural invariant: `LoopStart`/`LoopEnd` are balanced
-    /// and `Rpt` is followed by a repeatable instruction.
-    pub fn check_structure(&self) -> Result<(), String> {
+    /// Checks the structural invariants: `LoopStart`/`LoopEnd` are
+    /// balanced, `Rpt` is followed by a repeatable instruction, and no
+    /// `Compute` (or parallel sub-operation) writes to an immediate.
+    ///
+    /// This is the inter-pass verifier of the pass manager: when a
+    /// `PassPlan` (crates/core) runs in strict mode it is invoked after
+    /// every pass, so a pass that breaks an invariant fails at its own
+    /// boundary instead of in the simulator.
+    ///
+    /// # Errors
+    ///
+    /// The first [`StructureError`] found, in instruction order.
+    pub fn verify(&self) -> Result<(), StructureError> {
         let mut depth = 0i32;
         for (i, insn) in self.insns.iter().enumerate() {
             match &insn.kind {
@@ -484,22 +494,168 @@ impl Code {
                 InsnKind::LoopEnd => {
                     depth -= 1;
                     if depth < 0 {
-                        return Err(format!("unmatched LoopEnd at {i}"));
+                        return Err(StructureError::UnmatchedLoopEnd { index: i });
                     }
                 }
                 InsnKind::Rpt { .. } => match self.insns.get(i + 1).map(|n| &n.kind) {
                     Some(InsnKind::Compute { .. }) | Some(InsnKind::ArAdd { .. }) => {}
-                    _ => return Err(format!("Rpt at {i} not followed by a repeatable insn")),
+                    _ => return Err(StructureError::RptNotRepeatable { index: i }),
                 },
                 _ => {}
             }
+            if writes_immediate(insn) {
+                return Err(StructureError::WriteToImmediate { index: i });
+            }
         }
         if depth != 0 {
-            return Err(format!("{depth} unclosed LoopStart(s)"));
+            return Err(StructureError::UnclosedLoops { count: depth as u32 });
         }
         Ok(())
     }
 }
+
+fn writes_immediate(insn: &Insn) -> bool {
+    if matches!(&insn.kind, InsnKind::Compute { dst: Loc::Imm(_), .. }) {
+        return true;
+    }
+    insn.parallel.iter().any(writes_immediate)
+}
+
+/// A violation of [`Code`]'s structural invariants.
+///
+/// Produced by [`Code::verify`], by the per-pass postcondition checks of
+/// the pass manager, and by the simulator when it trips over malformed
+/// code at execution time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StructureError {
+    /// A `LoopEnd` with no matching `LoopStart`.
+    UnmatchedLoopEnd {
+        /// Instruction index.
+        index: usize,
+    },
+    /// `LoopStart`s left open at the end of the program.
+    UnclosedLoops {
+        /// How many loops never closed.
+        count: u32,
+    },
+    /// An `Rpt` not followed by a repeatable instruction.
+    RptNotRepeatable {
+        /// Instruction index of the `Rpt`.
+        index: usize,
+    },
+    /// A `Compute` whose destination is an immediate.
+    WriteToImmediate {
+        /// Instruction index.
+        index: usize,
+    },
+    /// (execution) A `LoopEnd` reached with no active loop.
+    StrayLoopEnd,
+    /// (execution) An `Rpt` as the final instruction.
+    RptAtEnd,
+    /// (execution) An `Rpt` repeating a non-repeatable instruction.
+    RptOver {
+        /// Debug rendering of the offending instruction kind.
+        kind: String,
+    },
+    /// A `SetMode` referencing a mode the target does not declare.
+    UnknownMode {
+        /// The undeclared mode index.
+        mode: usize,
+    },
+    /// An address register that does not exist on the target.
+    NoSuchAddressRegister {
+        /// The register number.
+        ar: u16,
+        /// The target name.
+        target: String,
+    },
+    /// (execution) A write to an immediate destination.
+    ImmediateDestination,
+    /// (execution) A zero-trip `LoopStart` whose `LoopEnd` is missing.
+    NoMatchingLoopEnd {
+        /// Instruction index of the `LoopStart`.
+        index: usize,
+    },
+    /// A symbol used by the code but absent from the data layout
+    /// (postcondition of the layout/offset passes).
+    Unplaced {
+        /// The unplaced symbol.
+        sym: Symbol,
+    },
+    /// A memory operand still unresolved after address assignment
+    /// (postcondition of the address pass).
+    UnresolvedOperand {
+        /// Instruction index.
+        index: usize,
+    },
+    /// A bank-Y placement on a single-bank target (postcondition of the
+    /// bank-assignment pass).
+    BadBank {
+        /// The offending symbol.
+        sym: Symbol,
+    },
+    /// An instruction whose mode requirement is not met by the inserted
+    /// mode changes (postcondition of the mode pass).
+    ModeUnsatisfied {
+        /// Instruction index.
+        index: usize,
+        /// The mode index.
+        mode: usize,
+    },
+    /// Mode state at a loop back edge differs from the state at loop
+    /// entry, so iterations would execute under varying modes.
+    ModeLoopImbalance {
+        /// Instruction index of the `LoopEnd`.
+        index: usize,
+        /// The mode index.
+        mode: usize,
+    },
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::UnmatchedLoopEnd { index } => write!(f, "unmatched LoopEnd at {index}"),
+            StructureError::UnclosedLoops { count } => write!(f, "{count} unclosed LoopStart(s)"),
+            StructureError::RptNotRepeatable { index } => {
+                write!(f, "Rpt at {index} not followed by a repeatable insn")
+            }
+            StructureError::WriteToImmediate { index } => {
+                write!(f, "instruction {index} writes to an immediate")
+            }
+            StructureError::StrayLoopEnd => f.write_str("stray LoopEnd"),
+            StructureError::RptAtEnd => f.write_str("Rpt at end of code"),
+            StructureError::RptOver { kind } => write!(f, "Rpt over non-repeatable {kind}"),
+            StructureError::UnknownMode { mode } => {
+                write!(f, "SetMode references mode {mode}, but the target declares none such")
+            }
+            StructureError::NoSuchAddressRegister { ar, target } => {
+                write!(f, "AR{ar} does not exist on {target}")
+            }
+            StructureError::ImmediateDestination => f.write_str("write to immediate"),
+            StructureError::NoMatchingLoopEnd { index } => {
+                write!(f, "no matching LoopEnd for LoopStart at {index}")
+            }
+            StructureError::Unplaced { sym } => {
+                write!(f, "symbol `{sym}` not placed in data layout")
+            }
+            StructureError::UnresolvedOperand { index } => {
+                write!(f, "operand of instruction {index} still unresolved after addressing")
+            }
+            StructureError::BadBank { sym } => {
+                write!(f, "`{sym}` placed in bank Y on a single-bank target")
+            }
+            StructureError::ModeUnsatisfied { index, mode } => {
+                write!(f, "instruction {index} executes with mode {mode} in the wrong state")
+            }
+            StructureError::ModeLoopImbalance { index, mode } => {
+                write!(f, "mode {mode} state at LoopEnd {index} differs from loop entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
 
 #[cfg(test)]
 mod tests {
@@ -563,14 +719,14 @@ mod tests {
         code.insns.push(Insn::nop());
         code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 2, 2));
         assert_eq!(code.size_words(), 6);
-        assert!(code.check_structure().is_ok());
+        assert!(code.verify().is_ok());
     }
 
     #[test]
     fn structure_catches_unbalanced_loops() {
         let mut code = Code::default();
         code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLOOP", 1, 1));
-        assert!(code.check_structure().is_err());
+        assert!(code.verify().is_err());
 
         let mut code = Code::default();
         code.insns.push(Insn::ctrl(
@@ -579,17 +735,17 @@ mod tests {
             1,
             1,
         ));
-        assert!(code.check_structure().is_err());
+        assert!(code.verify().is_err());
     }
 
     #[test]
     fn structure_checks_rpt_target() {
         let mut code = Code::default();
         code.insns.push(Insn::ctrl(InsnKind::Rpt { count: 4 }, "RPTK 4", 1, 1));
-        assert!(code.check_structure().is_err());
+        assert!(code.verify().is_err());
         code.insns.push(Insn::nop());
         // Nop is not repeatable in our model either (must be Compute/ArAdd)
-        assert!(code.check_structure().is_err());
+        assert!(code.verify().is_err());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod target;
 pub mod targets;
 pub mod taxonomy;
 
-pub use code::{Code, DataLayout, Insn, InsnKind, SemExpr};
+pub use code::{Code, DataLayout, Insn, InsnKind, SemExpr, StructureError};
 pub use loc::{AddrMode, Loc, MemLoc};
 pub use nonterm::{NonTerm, NonTermId, NonTermKind};
 pub use pattern::{Cost, PatNode, Predicate, Rhs, Rule, RuleId};

@@ -18,10 +18,90 @@
 //!   the [`offset`](crate::offset) pass minimizes by reordering storage.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use record_ir::Symbol;
 use record_isa::target::AguDesc;
 use record_isa::{AddrMode, Code, DataLayout, Insn, InsnKind, Loc, MemLoc, TargetDesc};
+
+/// A structured address-assignment failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddressError {
+    /// The target has neither a direct addressing mode nor an AGU.
+    NoAddressingMechanism {
+        /// The target name.
+        target: String,
+    },
+    /// A `LoopEnd` with no open `LoopStart` reached the address pass.
+    UnmatchedLoopEnd,
+    /// A `LoopStart` never closed before the end of the program.
+    UnclosedLoopStart,
+    /// A referenced symbol is absent from the data layout.
+    Unplaced {
+        /// The unplaced symbol.
+        sym: Symbol,
+    },
+    /// A loop-variant operand appeared outside any loop.
+    StrayLoopVariant {
+        /// Rendering of the offending operand.
+        operand: String,
+    },
+    /// No address register is free for the scalar pointer chain.
+    NoScalarRegister,
+    /// Loop-variant accesses exist but the target has no AGU.
+    NoAgu {
+        /// The target name.
+        target: String,
+    },
+    /// Streams outnumber address registers and no spare is left.
+    OutOfAddressRegisters {
+        /// The target name.
+        target: String,
+    },
+    /// One instruction reads two spilled streams at once.
+    TwoSpilledStreams {
+        /// The instruction text.
+        insn: String,
+    },
+}
+
+impl fmt::Display for AddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddressError::NoAddressingMechanism { target } => {
+                write!(f, "target {target} has neither direct addressing nor an AGU")
+            }
+            AddressError::UnmatchedLoopEnd => f.write_str("unmatched LoopEnd"),
+            AddressError::UnclosedLoopStart => f.write_str("unclosed LoopStart"),
+            AddressError::Unplaced { sym } => {
+                write!(f, "symbol `{sym}` not placed in data layout")
+            }
+            AddressError::StrayLoopVariant { operand } => {
+                write!(
+                    f,
+                    "loop-variant operand {operand} outside any loop or without a stream register"
+                )
+            }
+            AddressError::NoScalarRegister => {
+                f.write_str("no address register available for scalars")
+            }
+            AddressError::NoAgu { target } => {
+                write!(f, "loop-variant accesses on target {target} without AGU")
+            }
+            AddressError::OutOfAddressRegisters { target } => {
+                write!(f, "out of address registers: no register left for loop streams on {target}")
+            }
+            AddressError::TwoSpilledStreams { insn } => {
+                write!(
+                    f,
+                    "instruction `{insn}` reads two spilled streams; out of address registers"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AddressError {}
 
 /// Counters describing what address assignment did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -46,7 +126,10 @@ pub struct AddressStats {
 /// Returns an error when a symbol is unplaced, when loop-variant accesses
 /// exist but the target has no AGU (or runs out of address registers), or
 /// when a target without direct addressing lacks an AGU.
-pub fn assign_addresses(code: &mut Code, target: &TargetDesc) -> Result<AddressStats, String> {
+pub fn assign_addresses(
+    code: &mut Code,
+    target: &TargetDesc,
+) -> Result<AddressStats, AddressError> {
     let mut stats = AddressStats::default();
     let layout = code.layout.clone();
     let insns = std::mem::take(&mut code.insns);
@@ -71,7 +154,7 @@ pub fn assign_addresses(code: &mut Code, target: &TargetDesc) -> Result<AddressS
         new_cells: Vec::new(),
     };
     if !ctx.has_direct && ctx.agu.is_none() {
-        return Err(format!("target {} has neither direct addressing nor an AGU", target.name));
+        return Err(AddressError::NoAddressingMechanism { target: target.name.to_string() });
     }
 
     let mut out = Vec::new();
@@ -93,7 +176,7 @@ enum Node {
     Loop { start: Insn, body: Vec<Node>, end: Insn },
 }
 
-fn parse_structure(insns: Vec<Insn>) -> Result<Vec<Node>, String> {
+fn parse_structure(insns: Vec<Insn>) -> Result<Vec<Node>, AddressError> {
     let mut stack: Vec<(Insn, Vec<Node>)> = Vec::new();
     let mut cur: Vec<Node> = Vec::new();
     for insn in insns {
@@ -102,7 +185,7 @@ fn parse_structure(insns: Vec<Insn>) -> Result<Vec<Node>, String> {
                 stack.push((insn, std::mem::take(&mut cur)));
             }
             InsnKind::LoopEnd => {
-                let (start, outer) = stack.pop().ok_or_else(|| "unmatched LoopEnd".to_string())?;
+                let (start, outer) = stack.pop().ok_or(AddressError::UnmatchedLoopEnd)?;
                 let body = std::mem::replace(&mut cur, outer);
                 cur.push(Node::Loop { start, body, end: insn });
             }
@@ -110,7 +193,7 @@ fn parse_structure(insns: Vec<Insn>) -> Result<Vec<Node>, String> {
         }
     }
     if !stack.is_empty() {
-        return Err("unclosed LoopStart".into());
+        return Err(AddressError::UnclosedLoopStart);
     }
     Ok(cur)
 }
@@ -135,10 +218,8 @@ struct Ctx<'a> {
 type ScalarPos = Option<i64>;
 
 impl<'a> Ctx<'a> {
-    fn addr_of(&self, sym: &Symbol, disp: i64) -> Result<(record_ir::Bank, u16), String> {
-        self.layout
-            .addr_of(sym, disp)
-            .ok_or_else(|| format!("symbol `{sym}` not placed in data layout"))
+    fn addr_of(&self, sym: &Symbol, disp: i64) -> Result<(record_ir::Bank, u16), AddressError> {
+        self.layout.addr_of(sym, disp).ok_or_else(|| AddressError::Unplaced { sym: sym.clone() })
     }
 
     /// Processes a sequence of nodes, appending rewritten instructions to
@@ -149,7 +230,7 @@ impl<'a> Ctx<'a> {
         nodes: Vec<Node>,
         out: &mut Vec<Insn>,
         mut pos: ScalarPos,
-    ) -> Result<ScalarPos, String> {
+    ) -> Result<ScalarPos, AddressError> {
         // Pre-scan: the scalar accesses of this sequence in order, so each
         // access can set its post-modify toward the next one.
         let mut idx = 0usize;
@@ -179,16 +260,14 @@ impl<'a> Ctx<'a> {
         idx: &mut usize,
         mut pos: ScalarPos,
         out: &mut Vec<Insn>,
-    ) -> Result<ScalarPos, String> {
+    ) -> Result<ScalarPos, AddressError> {
         let mut mems = insn_mem_operands(insn);
         for m in mems.iter_mut() {
             if m.mode != AddrMode::Unresolved {
                 continue; // already assigned (stream operand)
             }
             if m.index.is_some() {
-                return Err(format!(
-                    "loop-variant operand {m} outside any loop or without a stream register"
-                ));
+                return Err(AddressError::StrayLoopVariant { operand: m.to_string() });
             }
             let (bank, addr) = self.addr_of(&m.base, m.disp)?;
             m.bank = bank;
@@ -198,9 +277,7 @@ impl<'a> Ctx<'a> {
                 continue;
             }
             // scalar-pointer chain
-            let ar = self
-                .scalar_ar
-                .ok_or_else(|| "no address register available for scalars".to_string())?;
+            let ar = self.scalar_ar.ok_or(AddressError::NoScalarRegister)?;
             let agu = self.agu.expect("checked: !has_direct implies AGU");
             if pos != Some(addr as i64) {
                 out.push(ar_load(self.target, ar, &m.base, m.disp));
@@ -229,7 +306,7 @@ impl<'a> Ctx<'a> {
         end: Insn,
         out: &mut Vec<Insn>,
         pos: ScalarPos,
-    ) -> Result<ScalarPos, String> {
+    ) -> Result<ScalarPos, AddressError> {
         let var = match &start.kind {
             InsnKind::LoopStart { var, .. } => var.clone(),
             _ => unreachable!("loop node starts with LoopStart"),
@@ -241,9 +318,10 @@ impl<'a> Ctx<'a> {
         let agu = if streams.is_empty() {
             self.agu
         } else {
-            Some(self.agu.ok_or_else(|| {
-                format!("loop-variant accesses on target {} without AGU", self.target.name)
-            })?)
+            Some(
+                self.agu
+                    .ok_or_else(|| AddressError::NoAgu { target: self.target.name.to_string() })?,
+            )
         };
 
         // 2. allocate + preload a register per stream; when streams
@@ -258,10 +336,9 @@ impl<'a> Ctx<'a> {
             (streams.len(), None)
         } else {
             if capacity == 0 {
-                return Err(format!(
-                    "out of address registers: no register left for loop streams on {}",
-                    self.target.name
-                ));
+                return Err(AddressError::OutOfAddressRegisters {
+                    target: self.target.name.to_string(),
+                });
             }
             (capacity - 1, Some(first_stream_ar + capacity as u16 - 1))
         };
@@ -414,7 +491,7 @@ fn rewrite_spilled(
     spare: u16,
     layout: &DataLayout,
     stats: &mut AddressStats,
-) -> Result<Vec<Node>, String> {
+) -> Result<Vec<Node>, AddressError> {
     let mut out = Vec::with_capacity(nodes.len());
     for node in nodes {
         match node {
@@ -428,16 +505,14 @@ fn rewrite_spilled(
                     let Some(cell) = spilled.get(&key) else { continue };
                     if let Some(prev) = &cell_needed {
                         if prev != cell {
-                            return Err(format!(
-                                "instruction `{}` reads two spilled streams; \
-                                 out of address registers",
-                                insn.text
-                            ));
+                            return Err(AddressError::TwoSpilledStreams {
+                                insn: insn.text.clone(),
+                            });
                         }
                     }
                     let (bank, _) = layout
                         .addr_of(&m.base, m.disp)
-                        .ok_or_else(|| format!("symbol `{}` not placed", m.base))?;
+                        .ok_or_else(|| AddressError::Unplaced { sym: m.base.clone() })?;
                     m.bank = bank;
                     m.mode = AddrMode::Indirect { ar: spare, post: 0 };
                     stats.indirect += 1;
@@ -485,7 +560,7 @@ fn collect_mems<'i>(insn: &'i mut Insn, out: &mut Vec<&'i mut MemLoc>) {
 /// The addresses of the scalar (unresolved, loop-invariant) accesses of a
 /// node sequence, in execution order, *stopping at loop boundaries* (loop
 /// bodies handle their own chains).
-fn scalar_access_addrs(nodes: &[Node], ctx: &Ctx<'_>) -> Result<Vec<i64>, String> {
+fn scalar_access_addrs(nodes: &[Node], ctx: &Ctx<'_>) -> Result<Vec<i64>, AddressError> {
     let mut out = Vec::new();
     for node in nodes {
         if let Node::Plain(insn) = node {
@@ -531,7 +606,7 @@ fn rewrite_streams(
     layout: &DataLayout,
     last_access: &mut HashMap<u16, (usize, usize, bool)>,
     stats: &mut AddressStats,
-) -> Result<(), String> {
+) -> Result<(), AddressError> {
     for (node_ix, node) in nodes.iter_mut().enumerate() {
         match node {
             Node::Plain(insn) => {
@@ -544,7 +619,7 @@ fn rewrite_streams(
                         let ar = *ar;
                         let (bank, _) = layout
                             .addr_of(&m.base, m.disp)
-                            .ok_or_else(|| format!("symbol `{}` not placed", m.base))?;
+                            .ok_or_else(|| AddressError::Unplaced { sym: m.base.clone() })?;
                         m.bank = bank;
                         m.mode = AddrMode::Indirect { ar, post: 0 };
                         stats.indirect += 1;
@@ -711,7 +786,7 @@ mod tests {
         let mut code = Code::default();
         code.insns.push(mov(mem("y"), mem("x")));
         let err = assign_addresses(&mut code, &t).unwrap_err();
-        assert!(err.contains("not placed"));
+        assert!(matches!(err, AddressError::Unplaced { ref sym } if sym.as_str() == "x"), "{err}");
     }
 
     #[test]
@@ -721,7 +796,7 @@ mod tests {
         code.insns.push(mov(mem("y"), stream("a", "i", 0)));
         layout_for(&mut code, &[("a", 4), ("y", 1)]);
         let err = assign_addresses(&mut code, &t).unwrap_err();
-        assert!(err.contains("outside any loop"));
+        assert!(matches!(err, AddressError::StrayLoopVariant { .. }), "{err}");
     }
 
     #[test]

@@ -914,7 +914,7 @@ mod tests {
         assert_eq!(n, 1);
         assert_eq!(code.insns[0].text, "LACK 7");
         assert!(matches!(code.insns[1].kind, InsnKind::LoopStart { .. }));
-        code.check_structure().unwrap();
+        code.verify().unwrap();
     }
 
     #[test]

@@ -1,8 +1,55 @@
 //! Data-memory layout construction.
 
+use std::fmt;
+
 use record_ir::lir::VarInfo;
 use record_ir::{Bank, Symbol};
 use record_isa::{DataLayout, TargetDesc};
+
+/// A structured data-layout failure, carrying the offending symbol and
+/// bank rather than a pre-formatted string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A bank-Y placement was requested on a single-bank target.
+    BankUnavailable {
+        /// The symbol asking for bank Y.
+        sym: Symbol,
+        /// The target name.
+        target: String,
+    },
+    /// A bank ran out of words.
+    BankOverflow {
+        /// The bank that overflowed.
+        bank: Bank,
+        /// The symbol that did not fit.
+        sym: Symbol,
+        /// Words the symbol needs.
+        len: u32,
+        /// The first free address when placement was attempted.
+        addr: u32,
+    },
+    /// The same symbol was declared twice.
+    DuplicateSymbol {
+        /// The symbol.
+        sym: Symbol,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::BankUnavailable { sym, target } => {
+                write!(f, "`{sym}` requests bank Y but target {target} has one bank")
+            }
+            LayoutError::BankOverflow { bank, sym, len, addr } => {
+                write!(f, "bank {bank} overflows: `{sym}` needs {len} words at {addr}")
+            }
+            LayoutError::DuplicateSymbol { sym } => write!(f, "`{sym}` declared twice"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
 
 /// Places variables in declaration order, packing each bank from address
 /// zero. Bank hints from the source are honoured; unhinted variables go
@@ -30,9 +77,12 @@ use record_isa::{DataLayout, TargetDesc};
 /// let target = record_isa::targets::tic25::target();
 /// let layout = record_opt::declaration_layout(&vars, &target)?;
 /// assert_eq!(layout.addr_of(&Symbol::new("x"), 0), Some((record_ir::Bank::X, 0)));
-/// # Ok::<(), String>(())
+/// # Ok::<(), record_opt::LayoutError>(())
 /// ```
-pub fn declaration_layout(vars: &[VarInfo], target: &TargetDesc) -> Result<DataLayout, String> {
+pub fn declaration_layout(
+    vars: &[VarInfo],
+    target: &TargetDesc,
+) -> Result<DataLayout, LayoutError> {
     layout_in_order(vars.iter().map(|v| (v.name.clone(), v.len, v.bank)), target)
 }
 
@@ -45,21 +95,21 @@ pub fn declaration_layout(vars: &[VarInfo], target: &TargetDesc) -> Result<DataL
 pub fn layout_in_order(
     vars: impl IntoIterator<Item = (Symbol, u32, Option<Bank>)>,
     target: &TargetDesc,
-) -> Result<DataLayout, String> {
+) -> Result<DataLayout, LayoutError> {
     let mut layout = DataLayout::new();
     let mut next = [0u32; 2];
     for (sym, len, bank) in vars {
         let bank = bank.unwrap_or(Bank::X);
         if bank == Bank::Y && target.memory.banks < 2 {
-            return Err(format!("`{sym}` requests bank Y but target {} has one bank", target.name));
+            return Err(LayoutError::BankUnavailable { sym, target: target.name.to_string() });
         }
         let slot = bank as usize;
         let addr = next[slot];
         if addr + len > target.memory.words_per_bank as u32 {
-            return Err(format!("bank {bank} overflows: `{sym}` needs {len} words at {addr}"));
+            return Err(LayoutError::BankOverflow { bank, sym, len, addr });
         }
         if layout.entry(&sym).is_some() {
-            return Err(format!("`{sym}` declared twice"));
+            return Err(LayoutError::DuplicateSymbol { sym });
         }
         layout.place(sym, addr as u16, len, bank);
         next[slot] += len;
@@ -108,7 +158,7 @@ mod tests {
     fn rejects_bank_y_on_single_bank_target() {
         let t = record_isa::targets::tic25::target();
         let err = layout_in_order(vec![(sym("a"), 1, Some(Bank::Y))], &t).unwrap_err();
-        assert!(err.contains("one bank"));
+        assert_eq!(err, LayoutError::BankUnavailable { sym: sym("a"), target: "tic25".into() });
     }
 
     #[test]
@@ -116,13 +166,13 @@ mod tests {
         let t = record_isa::targets::tic25::target();
         let words = t.memory.words_per_bank as u32;
         let err = layout_in_order(vec![(sym("big"), words + 1, None)], &t).unwrap_err();
-        assert!(err.contains("overflows"));
+        assert!(matches!(err, LayoutError::BankOverflow { len, .. } if len == words + 1));
     }
 
     #[test]
     fn rejects_duplicates() {
         let t = record_isa::targets::tic25::target();
         let err = layout_in_order(vec![(sym("a"), 1, None), (sym("a"), 1, None)], &t).unwrap_err();
-        assert!(err.contains("twice"));
+        assert_eq!(err, LayoutError::DuplicateSymbol { sym: sym("a") });
     }
 }

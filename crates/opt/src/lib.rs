@@ -30,9 +30,9 @@ pub mod layout;
 pub mod modes;
 pub mod offset;
 
-pub use address::{assign_addresses, AddressStats};
+pub use address::{assign_addresses, AddressError, AddressStats};
 pub use banks::{assign_banks, BankStats};
 pub use compact::{fuse, hoist_invariant_prefix, pack_moves, schedule, ScheduleMode};
-pub use layout::declaration_layout;
+pub use layout::{declaration_layout, layout_in_order, LayoutError};
 pub use modes::{insert_mode_changes, ModeStrategy};
 pub use offset::{goa, soa_cost, soa_order};

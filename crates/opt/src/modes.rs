@@ -287,7 +287,7 @@ mod tests {
         // set before the sat op, clear before the wrap op; state at the
         // back edge equals entry state (off), so no restore is needed
         assert_eq!(n, 2);
-        code.check_structure().unwrap();
+        code.verify().unwrap();
     }
 
     #[test]
@@ -313,7 +313,7 @@ mod tests {
             code.insns.push(body());
             let n = insert_mode_changes(&mut code, &t(), strategy);
             assert!(n >= 1, "{strategy:?} inserted nothing");
-            code.check_structure().unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
+            code.verify().unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
             assert!(matches!(code.insns[0].kind, InsnKind::SetMode { on: true, .. }));
             assert!(matches!(code.insns[1].kind, InsnKind::Rpt { .. }));
         }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use record_ir::{Bank, Symbol};
-use record_isa::{AddrMode, Code, Insn, InsnKind, Loc, MemLoc, RegId, TargetDesc};
+use record_isa::{AddrMode, Code, Insn, InsnKind, Loc, MemLoc, RegId, StructureError, TargetDesc};
 
 /// An error raised during simulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +38,7 @@ pub enum SimError {
     /// The step budget was exhausted (runaway loop guard).
     StepLimit,
     /// Structural problem (unbalanced loops, repeat without target).
-    Structure(String),
+    Structure(StructureError),
 }
 
 impl fmt::Display for SimError {
@@ -177,7 +177,7 @@ impl<'t> Machine<'t> {
     ///
     /// Any [`SimError`]; the machine state is left as-at-failure.
     pub fn run(&mut self, code: &Code) -> Result<RunResult, SimError> {
-        code.check_structure().map_err(SimError::Structure)?;
+        code.verify().map_err(SimError::Structure)?;
         let mut result = RunResult::default();
         let mut pc = 0usize;
         // (loop-start pc, trip count, counter symbol, iteration)
@@ -210,7 +210,7 @@ impl<'t> Machine<'t> {
                     result.cycles += insn.cycles as u64;
                     result.insns += 1;
                     let (start, count, var, iter) =
-                        loops.pop().ok_or_else(|| SimError::Structure("stray LoopEnd".into()))?;
+                        loops.pop().ok_or(SimError::Structure(StructureError::StrayLoopEnd))?;
                     let next_iter = iter + 1;
                     if next_iter < count {
                         counters.insert(var.clone(), next_iter as i64);
@@ -227,7 +227,7 @@ impl<'t> Machine<'t> {
                     let body = code
                         .insns
                         .get(pc + 1)
-                        .ok_or_else(|| SimError::Structure("Rpt at end of code".into()))?
+                        .ok_or(SimError::Structure(StructureError::RptAtEnd))?
                         .clone();
                     for _ in 0..*count {
                         steps += 1;
@@ -241,11 +241,10 @@ impl<'t> Machine<'t> {
                     pc += 2;
                 }
                 InsnKind::SetMode { mode, on } => {
-                    let slot = self.modes.get_mut(*mode).ok_or_else(|| {
-                        SimError::Structure(format!(
-                            "SetMode references mode {mode}, but the target declares none such"
-                        ))
-                    })?;
+                    let slot = self
+                        .modes
+                        .get_mut(*mode)
+                        .ok_or(SimError::Structure(StructureError::UnknownMode { mode: *mode }))?;
                     *slot = *on;
                     result.cycles += insn.cycles as u64;
                     result.insns += 1;
@@ -354,7 +353,9 @@ impl<'t> Machine<'t> {
                 self.ars[*ar as usize] += delta;
                 Ok(())
             }
-            other => Err(SimError::Structure(format!("Rpt over non-repeatable {other:?}"))),
+            other => {
+                Err(SimError::Structure(StructureError::RptOver { kind: format!("{other:?}") }))
+            }
         }
     }
 
@@ -362,7 +363,10 @@ impl<'t> Machine<'t> {
         if (ar as usize) < self.ars.len() {
             Ok(())
         } else {
-            Err(SimError::Structure(format!("AR{ar} does not exist on {}", self.target.name)))
+            Err(SimError::Structure(StructureError::NoSuchAddressRegister {
+                ar,
+                target: self.target.name.to_string(),
+            }))
         }
     }
 
@@ -492,7 +496,7 @@ impl<'t> Machine<'t> {
         counters: &HashMap<Symbol, i64>,
     ) -> Result<(), SimError> {
         match loc {
-            Loc::Imm(_) => Err(SimError::Structure("write to immediate".into())),
+            Loc::Imm(_) => Err(SimError::Structure(StructureError::ImmediateDestination)),
             Loc::Reg(r) => {
                 self.regs.insert(*r, value);
                 Ok(())
@@ -568,7 +572,7 @@ fn matching_end(code: &Code, start: usize) -> Result<usize, SimError> {
             _ => {}
         }
     }
-    Err(SimError::Structure("no matching LoopEnd".into()))
+    Err(SimError::Structure(StructureError::NoMatchingLoopEnd { index: start }))
 }
 
 #[cfg(test)]

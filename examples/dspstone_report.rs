@@ -1,9 +1,12 @@
 //! Regenerates the paper's Table 1: size of compiled programs in relation
 //! to assembly code (%), for the target-specific baseline compiler and
 //! for RECORD, over the ten DSPStone kernels — plus the Section 3.1 cycle
-//! overhead factors and a per-phase timing profile of the compiler
-//! itself (parse → lower → treeify → select → layout → address →
-//! compact → modes), gathered through a shared compilation [`Session`].
+//! overhead factors and a timing profile of the compiler itself,
+//! gathered through a shared compilation [`Session`]: the legacy phase
+//! buckets (parse → lower → treeify → select → layout → address →
+//! compact → modes) plus the dynamic per-pass trace — one row per pass
+//! registered in the driving `PassPlan`, with before/after instruction
+//! counts, size deltas, bundle fill and register usage.
 //!
 //! [`Session`]: record::Session
 //!
