@@ -120,6 +120,25 @@ pub enum CompileError {
         /// What the verifier found.
         error: StructureError,
     },
+    /// A pass (or batch job) panicked; the panic was caught at the pass
+    /// boundary and converted into this error, so one poisoned kernel
+    /// cannot tear down its batch.
+    Internal {
+        /// Name of the pass (or `"batch"` for a panic outside any pass)
+        /// that panicked.
+        pass: String,
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// A pass exhausted a resource budget ([`crate::Budgets`]) and was
+    /// aborted rather than allowed to hang or blow up memory.
+    Budget {
+        /// Name of the pass that ran out.
+        pass: String,
+        /// The exhausted resource (`"steps"`, `"deadline"`,
+        /// `"variants"`, `"lir-nodes"`).
+        resource: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -137,6 +156,12 @@ impl fmt::Display for CompileError {
             CompileError::Target(m) => write!(f, "invalid target description: {m}"),
             CompileError::Verify { pass, error } => {
                 write!(f, "pass `{pass}` broke a structural invariant: {error}")
+            }
+            CompileError::Internal { pass, message } => {
+                write!(f, "internal error: pass `{pass}` panicked: {message}")
+            }
+            CompileError::Budget { pass, resource } => {
+                write!(f, "pass `{pass}` exceeded its {resource} budget")
             }
         }
     }
@@ -195,6 +220,16 @@ mod tests {
         let ir_err = record_ir::dfl::parse("program").unwrap_err();
         let e: CompileError = ir_err.into();
         assert!(matches!(e, CompileError::Frontend(_)));
+    }
+
+    #[test]
+    fn internal_and_budget_errors_name_the_pass() {
+        let e = CompileError::Internal { pass: "compact".into(), message: "boom".into() };
+        assert!(e.to_string().contains("compact"), "{e}");
+        assert!(e.to_string().contains("boom"), "{e}");
+        let e = CompileError::Budget { pass: "select".into(), resource: "variants".into() };
+        assert!(e.to_string().contains("select"), "{e}");
+        assert!(e.to_string().contains("variants"), "{e}");
     }
 
     #[test]

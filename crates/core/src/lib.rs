@@ -67,6 +67,6 @@ mod error;
 
 pub use error::{CompileError, TargetError};
 pub use pass::{CompilationUnit, Pass, PassPlan};
-pub use pipeline::{CompileOptions, Compiler};
+pub use pipeline::{Budgets, CompileOptions, Compiler};
 pub use session::{Session, SessionStats};
-pub use timing::{CodeStats, PassRecord, PhaseTimings};
+pub use timing::{CodeStats, PassRecord, PhaseTimings, SalvageRecord};

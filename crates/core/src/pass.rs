@@ -29,7 +29,7 @@ use record_isa::{AddrMode, Code, Insn, InsnKind, Loc, StructureError, TargetDesc
 use record_opt::compact::ScheduleMode;
 use record_opt::modes::ModeStrategy;
 
-use crate::pipeline::{convert_rpt, order_vars, CompileOptions};
+use crate::pipeline::{convert_rpt, order_vars, order_vars_budgeted, Budgets, CompileOptions};
 use crate::select::Emitter;
 use crate::timing::{CodeStats, PassRecord, PhaseTimings};
 use crate::CompileError;
@@ -58,6 +58,9 @@ pub struct CompilationUnit<'a> {
     pub variants: usize,
     /// Variants that produced a legal cover.
     pub covered: usize,
+    /// Resource caps the passes must respect (copied from the plan by
+    /// the runner before the first pass executes).
+    pub budgets: Budgets,
 }
 
 impl<'a> CompilationUnit<'a> {
@@ -77,6 +80,7 @@ impl<'a> CompilationUnit<'a> {
             statements: 0,
             variants: 0,
             covered: 0,
+            budgets: Budgets::unlimited(),
         }
     }
 }
@@ -104,6 +108,14 @@ pub trait Pass: Send + Sync {
         let _ = unit;
         Ok(())
     }
+
+    /// Whether the pass is a *best-effort* optimization the driver may
+    /// drop to salvage a failing compile. Mandatory pipeline stages
+    /// (and custom passes, by default) return `false`: their failure
+    /// fails the compile outright.
+    fn best_effort(&self) -> bool {
+        false
+    }
 }
 
 /// A declarative, ordered pass pipeline.
@@ -117,6 +129,8 @@ pub trait Pass: Send + Sync {
 pub struct PassPlan {
     passes: Vec<Arc<dyn Pass>>,
     strict: bool,
+    budgets: Budgets,
+    salvage: bool,
 }
 
 impl fmt::Debug for PassPlan {
@@ -124,6 +138,8 @@ impl fmt::Debug for PassPlan {
         f.debug_struct("PassPlan")
             .field("passes", &self.names())
             .field("strict", &self.strict)
+            .field("budgets", &self.budgets)
+            .field("salvage", &self.salvage)
             .finish()
     }
 }
@@ -145,10 +161,7 @@ impl PassPlan {
         if opts.cse {
             passes.push(Arc::new(TreeifyPass));
         }
-        passes.push(Arc::new(SelectPass {
-            rules: opts.rules,
-            variant_limit: opts.variant_limit,
-        }));
+        passes.push(Arc::new(SelectPass { rules: opts.rules, variant_limit: opts.variant_limit }));
         passes.push(Arc::new(LayoutPass));
         if opts.offset_assignment {
             passes.push(Arc::new(OffsetPass));
@@ -165,7 +178,7 @@ impl PassPlan {
         if opts.use_rpt {
             passes.push(Arc::new(RptPass));
         }
-        PassPlan { passes, strict: cfg!(debug_assertions) }
+        PassPlan { passes, strict: cfg!(debug_assertions), budgets: opts.budgets, salvage: true }
     }
 
     /// `O0`: every optimization off — the naive macro-expander end of the
@@ -229,6 +242,43 @@ impl PassPlan {
         self.strict
     }
 
+    /// Sets the resource caps the passes run under.
+    #[must_use]
+    pub fn with_budgets(mut self, budgets: Budgets) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// The resource caps the passes run under.
+    pub fn budgets(&self) -> &Budgets {
+        &self.budgets
+    }
+
+    /// Enables or disables graceful degradation: with salvaging on (the
+    /// default), a failing *best-effort* pass is dropped and the plan
+    /// retried by [`Compiler::compile_plan_timed`](crate::Compiler::compile_plan_timed)
+    /// instead of failing the compile.
+    #[must_use]
+    pub fn salvaging(mut self, on: bool) -> Self {
+        self.salvage = on;
+        self
+    }
+
+    /// Whether the driver may drop failing best-effort passes.
+    pub fn allows_salvage(&self) -> bool {
+        self.salvage
+    }
+
+    /// This plan with every best-effort pass removed — the plainest
+    /// (mandatory-stages-only) pipeline it can degrade to; used as the
+    /// reference compile when validating salvaged output.
+    #[must_use]
+    pub fn mandatory_only(&self) -> Self {
+        let mut plan = self.clone();
+        plan.passes.retain(|p| !p.best_effort());
+        plan
+    }
+
     /// The registered pass names, in execution order.
     pub fn names(&self) -> Vec<&'static str> {
         self.passes.iter().map(|p| p.name()).collect()
@@ -242,6 +292,11 @@ impl PassPlan {
     /// Runs the plan over `unit`, filling `timings` with one
     /// [`PassRecord`] per executed pass (plus the legacy phase buckets).
     ///
+    /// Each pass runs inside `catch_unwind`: a panic is converted to
+    /// [`CompileError::Internal`] naming the pass, so a poisoned kernel
+    /// reports an error instead of unwinding through the caller (the
+    /// unit may be left half-rewritten — rebuild it before retrying).
+    ///
     /// # Errors
     ///
     /// The first pass failure, or — in strict mode — the first
@@ -252,16 +307,57 @@ impl PassPlan {
         unit: &mut CompilationUnit<'_>,
         timings: &mut PhaseTimings,
     ) -> Result<(), CompileError> {
+        self.run_inner(unit, timings).map_err(|f| f.error)
+    }
+
+    /// [`run`](PassPlan::run) keeping failure attribution: which pass
+    /// failed and whether it was best-effort (salvageable). The salvage
+    /// loop in `Compiler::compile_plan_timed` keys off this.
+    pub(crate) fn run_inner(
+        &self,
+        unit: &mut CompilationUnit<'_>,
+        timings: &mut PhaseTimings,
+    ) -> Result<(), PassFailure> {
+        unit.budgets = self.budgets;
+        if let Some(cap) = self.budgets.max_lir_nodes {
+            let nodes = lir_nodes(&unit.lir.body);
+            if nodes > cap {
+                return Err(PassFailure::anonymous(CompileError::Budget {
+                    pass: "pipeline".into(),
+                    resource: "lir-nodes".into(),
+                }));
+            }
+        }
         for pass in &self.passes {
             let before = CodeStats::of(&unit.code);
             let t = Instant::now();
-            pass.run(unit)?;
+            let outcome =
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pass.run(unit))) {
+                    Ok(result) => result,
+                    Err(payload) => Err(CompileError::Internal {
+                        pass: pass.name().to_string(),
+                        message: panic_message(payload.as_ref()),
+                    }),
+                };
             let time = t.elapsed();
+            outcome.map_err(|error| PassFailure {
+                pass: Some(pass.name()),
+                best_effort: pass.best_effort(),
+                error,
+            })?;
             if self.strict {
                 let attribute =
                     |error| CompileError::Verify { pass: pass.name().to_string(), error };
-                unit.code.verify().map_err(attribute)?;
-                pass.postcondition(unit).map_err(attribute)?;
+                unit.code.verify().map_err(attribute).map_err(|error| PassFailure {
+                    pass: Some(pass.name()),
+                    best_effort: pass.best_effort(),
+                    error,
+                })?;
+                pass.postcondition(unit).map_err(attribute).map_err(|error| PassFailure {
+                    pass: Some(pass.name()),
+                    best_effort: pass.best_effort(),
+                    error,
+                })?;
             }
             timings.record_pass(PassRecord {
                 name: pass.name().to_string(),
@@ -274,9 +370,9 @@ impl PassPlan {
         if !self.strict {
             // the pre-pass-manager pipeline always verified the final
             // code; keep that guarantee even with inter-pass checks off
-            unit.code
-                .verify()
-                .map_err(|e| CompileError::Verify { pass: "pipeline".into(), error: e })?;
+            unit.code.verify().map_err(|e| {
+                PassFailure::anonymous(CompileError::Verify { pass: "pipeline".into(), error: e })
+            })?;
         }
         timings.statements = unit.statements;
         timings.variants = unit.variants;
@@ -284,6 +380,57 @@ impl PassPlan {
         timings.insns = unit.code.insns.len();
         Ok(())
     }
+}
+
+/// A pass failure with attribution, as produced by
+/// [`PassPlan::run_inner`]: `pass` is `None` for failures outside any
+/// single pass (the LIR-size gate, the final non-strict verify).
+pub(crate) struct PassFailure {
+    pub pass: Option<&'static str>,
+    pub best_effort: bool,
+    pub error: CompileError,
+}
+
+impl PassFailure {
+    fn anonymous(error: CompileError) -> Self {
+        PassFailure { pass: None, best_effort: false, error }
+    }
+}
+
+/// Renders a caught panic payload (the `String`/`&str` cases cover
+/// `panic!`/`assert!`; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Total tree-node count of a LIR body (the budgeted "DFG size").
+fn lir_nodes(items: &[LirItem]) -> usize {
+    fn tree_nodes(t: &record_ir::Tree) -> usize {
+        match t {
+            record_ir::Tree::Bin(_, a, b) => 1 + tree_nodes(a) + tree_nodes(b),
+            record_ir::Tree::Un(_, a) => 1 + tree_nodes(a),
+            _ => 1,
+        }
+    }
+    items
+        .iter()
+        .map(|item| match item {
+            LirItem::Assign(a) => 1 + tree_nodes(&a.src),
+            LirItem::Loop { body, .. } => 1 + lir_nodes(body),
+        })
+        .sum()
+}
+
+/// A [`SearchBudget`](record_opt::SearchBudget) for one pass execution:
+/// the given step cap plus the plan's per-pass wall-clock deadline.
+fn search_budget(max_steps: Option<u64>, budgets: &Budgets) -> record_opt::SearchBudget {
+    record_opt::SearchBudget::new(max_steps, budgets.pass_deadline.map(|d| Instant::now() + d))
 }
 
 // --------------------------------------------------------------------------
@@ -390,6 +537,8 @@ impl Pass for SelectPass {
 
     fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
         let target = unit.target;
+        let budgets = unit.budgets;
+        let budget = search_budget(None, &budgets);
         let mut emitter = Emitter::with_tables(target, Arc::clone(unit.tables));
         let body = std::mem::take(&mut unit.lir.body);
         let mut insns: Vec<Insn> = Vec::new();
@@ -401,6 +550,8 @@ impl Pass for SelectPass {
             &mut unit.statements,
             &mut unit.variants,
             &mut unit.covered,
+            &budget,
+            budgets.max_variants,
         );
         unit.lir.body = body;
         result?;
@@ -429,7 +580,13 @@ impl SelectPass {
         statements: &mut usize,
         variants: &mut usize,
         covered: &mut usize,
+        budget: &record_opt::SearchBudget,
+        max_variants: Option<usize>,
     ) -> Result<(), CompileError> {
+        let exceeded = |resource: &str| CompileError::Budget {
+            pass: "select".into(),
+            resource: resource.to_string(),
+        };
         for item in items {
             match item {
                 LirItem::Assign(stmt) => {
@@ -439,6 +596,15 @@ impl SelectPass {
                     *covered += stats.covered;
                     *statements += 1;
                     out.extend(insns);
+                    // one statement per charge: enough granularity for
+                    // the per-pass deadline without touching the clock
+                    // inside variant enumeration
+                    budget
+                        .charge(stats.variants.max(1) as u64)
+                        .map_err(|e| exceeded(e.resource))?;
+                    if max_variants.is_some_and(|cap| *variants > cap) {
+                        return Err(exceeded("variants"));
+                    }
                 }
                 LirItem::Loop { var, count, body } => {
                     let init = target.loop_ctrl.init_cost;
@@ -448,7 +614,17 @@ impl SelectPass {
                         init.words,
                         init.cycles,
                     ));
-                    self.emit_rec(body, target, emitter, out, statements, variants, covered)?;
+                    self.emit_rec(
+                        body,
+                        target,
+                        emitter,
+                        out,
+                        statements,
+                        variants,
+                        covered,
+                        budget,
+                        max_variants,
+                    )?;
                     let end = target.loop_ctrl.end_cost;
                     out.push(Insn::ctrl(InsnKind::LoopEnd, "ENDLP", end.words, end.cycles));
                 }
@@ -492,7 +668,10 @@ impl Pass for OffsetPass {
     }
 
     fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
-        let ordered = order_vars(&unit.vars, &unit.code, true);
+        let budget = search_budget(unit.budgets.max_search_steps, &unit.budgets);
+        let ordered = order_vars_budgeted(&unit.vars, &unit.code, true, &budget).map_err(|e| {
+            CompileError::Budget { pass: "offset".into(), resource: e.resource.into() }
+        })?;
         unit.code.layout = record_opt::layout_in_order(
             ordered.iter().map(|v| (v.name.clone(), v.len, v.bank)),
             unit.target,
@@ -502,6 +681,10 @@ impl Pass for OffsetPass {
 
     fn postcondition(&self, unit: &CompilationUnit<'_>) -> Result<(), StructureError> {
         placed(unit)
+    }
+
+    fn best_effort(&self) -> bool {
+        true
     }
 }
 
@@ -518,7 +701,12 @@ impl Pass for BanksPass {
         if unit.target.memory.banks == 2 {
             let fixed: HashMap<Symbol, Bank> =
                 unit.vars.iter().filter_map(|v| v.bank.map(|b| (v.name.clone(), b))).collect();
-            record_opt::assign_banks(&mut unit.code, unit.target, &fixed);
+            let budget = search_budget(unit.budgets.max_search_steps, &unit.budgets);
+            record_opt::assign_banks_budgeted(&mut unit.code, unit.target, &fixed, &budget)
+                .map_err(|e| CompileError::Budget {
+                    pass: "banks".into(),
+                    resource: e.resource.into(),
+                })?;
         }
         Ok(())
     }
@@ -532,6 +720,10 @@ impl Pass for BanksPass {
             }
         }
         placed(unit)
+    }
+
+    fn best_effort(&self) -> bool {
+        true
     }
 }
 
@@ -575,13 +767,23 @@ impl Pass for CompactPass {
         record_opt::fuse(&mut unit.code, unit.target);
         match self.schedule {
             Some(mode) => {
-                record_opt::schedule(&mut unit.code, unit.target, mode);
+                let budget = search_budget(unit.budgets.max_schedule_steps, &unit.budgets);
+                record_opt::schedule_budgeted(&mut unit.code, unit.target, mode, &budget).map_err(
+                    |e| CompileError::Budget {
+                        pass: "compact".into(),
+                        resource: e.resource.into(),
+                    },
+                )?;
             }
             None => {
                 record_opt::pack_moves(&mut unit.code, unit.target);
             }
         }
         Ok(())
+    }
+
+    fn best_effort(&self) -> bool {
+        true
     }
 }
 
@@ -597,6 +799,10 @@ impl Pass for HoistPass {
     fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
         record_opt::hoist_invariant_prefix(&mut unit.code);
         Ok(())
+    }
+
+    fn best_effort(&self) -> bool {
+        true
     }
 }
 
@@ -619,6 +825,10 @@ impl Pass for ModesPass {
     fn postcondition(&self, unit: &CompilationUnit<'_>) -> Result<(), StructureError> {
         verify_modes(&unit.code, unit.target)
     }
+
+    fn best_effort(&self) -> bool {
+        true
+    }
 }
 
 /// Hardware-repeat conversion: single-instruction loops become
@@ -633,6 +843,10 @@ impl Pass for RptPass {
     fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
         convert_rpt(&mut unit.code, unit.target);
         Ok(())
+    }
+
+    fn best_effort(&self) -> bool {
+        true
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use record_burg::Tables;
 use record_ir::lir::{Lir, VarInfo};
@@ -14,8 +14,59 @@ use record_ise::ToTargetOptions;
 use record_opt::compact::ScheduleMode;
 use record_opt::modes::ModeStrategy;
 
-use crate::timing::PhaseTimings;
+use crate::timing::{PhaseTimings, SalvageRecord};
 use crate::CompileError;
+
+/// Resource budgets for one compilation: hard caps that turn the
+/// superlinear searches (variant enumeration, branch-and-bound
+/// compaction, offset/bank search) and oversized inputs into a prompt
+/// [`CompileError::Budget`] instead of a hang or memory blow-up.
+///
+/// Every field is optional; the default ([`Budgets::unlimited`]) changes
+/// nothing. [`Budgets::service`] is a preset sized for compiling
+/// untrusted kernels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budgets {
+    /// Cap on LIR tree nodes entering the backend (checked before the
+    /// first pass; resource `"lir-nodes"`).
+    pub max_lir_nodes: Option<usize>,
+    /// Cap on tree variants enumerated across the whole program during
+    /// selection (resource `"variants"`).
+    pub max_variants: Option<usize>,
+    /// Step cap for compaction's branch-and-bound scheduler (resource
+    /// `"steps"` on pass `compact`).
+    pub max_schedule_steps: Option<u64>,
+    /// Step cap for the offset- and bank-assignment searches (resource
+    /// `"steps"` on passes `offset`/`banks`).
+    pub max_search_steps: Option<u64>,
+    /// Wall-clock deadline applied to each search-based pass
+    /// individually (resource `"deadline"`).
+    pub pass_deadline: Option<Duration>,
+    /// Simulator step cap used when validating salvaged output
+    /// bit-exactly (defaults to [`record_sim::DEFAULT_MAX_STEPS`]).
+    pub max_sim_steps: Option<u64>,
+}
+
+impl Budgets {
+    /// No caps at all — identical behavior to the pre-budget pipeline.
+    pub fn unlimited() -> Self {
+        Budgets::default()
+    }
+
+    /// A preset sized for a service compiling untrusted kernels: large
+    /// enough that every DSPStone kernel compiles untouched, small
+    /// enough that adversarial inputs fail in well under a second.
+    pub fn service() -> Self {
+        Budgets {
+            max_lir_nodes: Some(1_000_000),
+            max_variants: Some(1_000_000),
+            max_schedule_steps: Some(5_000_000),
+            max_search_steps: Some(20_000_000),
+            pass_deadline: Some(Duration::from_secs(10)),
+            max_sim_steps: Some(record_sim::DEFAULT_MAX_STEPS),
+        }
+    }
+}
 
 /// Everything a compilation can toggle — one knob per optimization the
 /// paper catalogues, so the ablation benches can isolate each design
@@ -46,6 +97,8 @@ pub struct CompileOptions {
     /// Bundle-schedule straight-line segments (parallel-move targets);
     /// `None` uses the cheaper adjacent-packing pass.
     pub schedule: Option<ScheduleMode>,
+    /// Resource caps ([`Budgets::unlimited`] by default).
+    pub budgets: Budgets,
 }
 
 impl Default for CompileOptions {
@@ -61,6 +114,7 @@ impl Default for CompileOptions {
             mode_strategy: ModeStrategy::Lazy,
             use_rpt: true,
             schedule: None,
+            budgets: Budgets::unlimited(),
         }
     }
 }
@@ -80,6 +134,7 @@ impl CompileOptions {
             mode_strategy: ModeStrategy::PerUse,
             use_rpt: false,
             schedule: None,
+            budgets: Budgets::unlimited(),
         }
     }
 }
@@ -241,21 +296,124 @@ impl Compiler {
     /// Compiles by running an explicit [`PassPlan`](crate::PassPlan),
     /// reporting per-pass timings and before/after code statistics.
     ///
+    /// When a *best-effort* pass (an optimization: offset, banks,
+    /// compact, hoist, modes, rpt) panics, fails strict verification or
+    /// exhausts its budget, the compile is **salvaged**: the plan is
+    /// retried from a fresh unit with that pass removed, the event is
+    /// recorded in [`PhaseTimings::salvages`], and the degraded output
+    /// is validated bit-exactly against a mandatory-passes-only compile
+    /// on the simulator. Mandatory passes (fold, treeify, select,
+    /// layout, address) and custom passes still hard-fail. Salvaging can
+    /// be disabled per plan with
+    /// [`PassPlan::salvaging`](crate::PassPlan::salvaging).
+    ///
     /// # Errors
     ///
-    /// See [`compile_plan`](Compiler::compile_plan).
+    /// See [`compile_plan`](Compiler::compile_plan); additionally
+    /// [`CompileError::Internal`] for a panicking pass that could not be
+    /// salvaged (or whose salvage failed validation) and
+    /// [`CompileError::Budget`] for an exhausted resource cap.
     pub fn compile_plan_timed(
         &self,
         lir: &Lir,
         plan: &crate::PassPlan,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let start = Instant::now();
+        let mut plan = plan.clone();
+        let mut salvages: Vec<SalvageRecord> = Vec::new();
+        loop {
+            // always restart from a fresh unit: a panicking pass may
+            // have left the previous unit half-rewritten
+            let mut timings = PhaseTimings::default();
+            let mut unit = crate::pass::CompilationUnit::new(&self.target, &self.tables, lir);
+            match plan.run_inner(&mut unit, &mut timings) {
+                Ok(()) => {
+                    if !salvages.is_empty() {
+                        self.validate_salvage(lir, &plan, &unit.code, &salvages)?;
+                    }
+                    timings.salvages = salvages;
+                    timings.total = start.elapsed();
+                    return Ok((unit.code, timings));
+                }
+                Err(failure) => {
+                    let pass = match failure.pass {
+                        Some(name) if failure.best_effort && plan.allows_salvage() => name,
+                        _ => return Err(failure.error),
+                    };
+                    salvages.push(SalvageRecord {
+                        pass: pass.to_string(),
+                        reason: failure.error.to_string(),
+                    });
+                    plan = plan.without(pass);
+                }
+            }
+        }
+    }
+
+    /// Bit-exact validation of a salvaged compile: the same LIR is
+    /// compiled with every best-effort pass stripped (mandatory passes
+    /// only — the plainest code this plan can produce) and both programs
+    /// run on the simulator with deterministic pseudo-random inputs; any
+    /// output divergence rejects the salvage.
+    fn validate_salvage(
+        &self,
+        lir: &Lir,
+        plan: &crate::PassPlan,
+        salvaged: &Code,
+        salvages: &[SalvageRecord],
+    ) -> Result<(), CompileError> {
+        let culprit = salvages.last().map(|s| s.pass.clone()).unwrap_or_default();
+        let fail = |message: String| CompileError::Internal { pass: culprit.clone(), message };
+
+        let baseline_plan = plan.mandatory_only();
         let mut timings = PhaseTimings::default();
         let mut unit = crate::pass::CompilationUnit::new(&self.target, &self.tables, lir);
-        plan.run(&mut unit, &mut timings)?;
-        timings.total = start.elapsed();
-        Ok((unit.code, timings))
+        baseline_plan
+            .run(&mut unit, &mut timings)
+            .map_err(|e| fail(format!("salvage validation baseline failed to compile: {e}")))?;
+
+        let inputs = deterministic_inputs(lir);
+        let max_steps = plan.budgets().max_sim_steps.unwrap_or(record_sim::DEFAULT_MAX_STEPS);
+        let run = |code: &Code, label: &str| {
+            record_sim::run_program_with_steps(code, &self.target, &inputs, max_steps)
+                .map(|(out, _)| out)
+                .map_err(|e| fail(format!("salvage validation: {label} run failed: {e}")))
+        };
+        let got = run(salvaged, "salvaged")?;
+        let want = run(&unit.code, "baseline")?;
+        for v in &lir.vars {
+            if got.get(&v.name) != want.get(&v.name) {
+                return Err(fail(format!(
+                    "salvage validation mismatch on `{}`: {:?} vs baseline {:?}",
+                    v.name,
+                    got.get(&v.name),
+                    want.get(&v.name)
+                )));
+            }
+        }
+        Ok(())
     }
+}
+
+/// Deterministic pseudo-random inputs for salvage validation: every
+/// `in` variable gets splitmix64-derived values, identical across runs.
+fn deterministic_inputs(lir: &Lir) -> HashMap<Symbol, Vec<i64>> {
+    let mut state = 0x5EED_BA5E_D00D_F00Du64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    lir.vars
+        .iter()
+        .filter(|v| v.kind == record_ir::lir::StorageKind::In)
+        .map(|v| {
+            let values = (0..v.len.max(1)).map(|_| (next() % 65_536) as i64 - 32_768).collect();
+            (v.name.clone(), values)
+        })
+        .collect()
 }
 
 /// Orders variables for layout: scalars first (SOA order when enabled,
@@ -267,6 +425,17 @@ impl Compiler {
 /// repeatedly; zero-length variables are kept (they occupy a name but no
 /// storage) rather than silently dropped from the layout.
 pub(crate) fn order_vars(vars: &[VarInfo], code: &Code, soa: bool) -> Vec<VarInfo> {
+    order_vars_budgeted(vars, code, soa, &record_opt::SearchBudget::unlimited())
+        .expect("unlimited budget never fires")
+}
+
+/// [`order_vars`] with the SOA search running under a [`record_opt::SearchBudget`].
+pub(crate) fn order_vars_budgeted(
+    vars: &[VarInfo],
+    code: &Code,
+    soa: bool,
+    budget: &record_opt::SearchBudget,
+) -> Result<Vec<VarInfo>, record_opt::BudgetExceeded> {
     let by_name: HashMap<&Symbol, &VarInfo> = vars.iter().map(|v| (&v.name, v)).collect();
     let mut out: Vec<VarInfo> = Vec::with_capacity(vars.len());
     let mut seen: std::collections::HashSet<Symbol> = std::collections::HashSet::new();
@@ -276,7 +445,7 @@ pub(crate) fn order_vars(vars: &[VarInfo], code: &Code, soa: bool) -> Vec<VarInf
         for insn in &code.insns {
             collect_scalar_accesses(insn, &by_name, &mut accesses);
         }
-        let order = record_opt::soa_order(&accesses);
+        let order = record_opt::soa_order_budgeted(&accesses, budget)?;
         for sym in &order {
             if let Some(v) = by_name.get(sym) {
                 if seen.insert(v.name.clone()) {
@@ -297,7 +466,7 @@ pub(crate) fn order_vars(vars: &[VarInfo], code: &Code, soa: bool) -> Vec<VarInf
             out.push(v.clone());
         }
     }
-    out
+    Ok(out)
 }
 
 fn collect_scalar_accesses(

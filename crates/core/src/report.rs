@@ -236,11 +236,21 @@ impl fmt::Display for PhaseBreakdown {
                 )?;
             }
         }
+        if !self.total.salvages.is_empty() {
+            writeln!(f, "  degradation trace ({} pass(es) dropped):", self.total.salvages.len())?;
+            for s in &self.total.salvages {
+                writeln!(f, "    dropped `{}`: {}", s.pass, s.reason)?;
+            }
+        }
         write!(
             f,
             "  compiler cache: {} hit(s), {} miss(es) across {} compile(s)",
             self.stats.hits, self.stats.misses, self.stats.compiles
-        )
+        )?;
+        if self.stats.salvaged_passes > 0 {
+            write!(f, ", {} salvaged pass(es)", self.stats.salvaged_passes)?;
+        }
+        Ok(())
     }
 }
 

@@ -29,7 +29,7 @@ use record_ir::lir::Lir;
 use record_isa::{Code, TargetDesc};
 
 use crate::timing::PhaseTimings;
-use crate::{CompileError, CompileOptions, Compiler};
+use crate::{CompileError, CompileOptions, Compiler, PassPlan};
 
 /// Cache and counter snapshot of a [`Session`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,6 +42,9 @@ pub struct SessionStats {
     pub targets: usize,
     /// Programs compiled through the session (batch or single).
     pub compiles: usize,
+    /// Best-effort passes dropped to salvage compiles (graceful
+    /// degradation events across the whole session).
+    pub salvaged_passes: usize,
 }
 
 /// A compilation service: per-target compiler cache + parallel batch
@@ -64,12 +67,15 @@ pub struct SessionStats {
 /// ```
 pub struct Session {
     options: CompileOptions,
+    /// Overrides `options` when set: every compile runs this exact plan.
+    plan: Option<PassPlan>,
     /// Buckets by [`cache_key`]; entries within a bucket are confirmed
     /// by full `TargetDesc` equality, so key collisions are harmless.
     compilers: RwLock<HashMap<u64, Vec<Arc<Compiler>>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     compiles: AtomicUsize,
+    salvaged: AtomicUsize,
     timings: Mutex<PhaseTimings>,
 }
 
@@ -90,12 +96,24 @@ impl Session {
     pub fn with_options(options: CompileOptions) -> Self {
         Session {
             options,
+            plan: None,
             compilers: RwLock::new(HashMap::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
             compiles: AtomicUsize::new(0),
+            salvaged: AtomicUsize::new(0),
             timings: Mutex::new(PhaseTimings::default()),
         }
+    }
+
+    /// Routes every compile in this session through an explicit
+    /// [`PassPlan`] instead of the plan derived from the options —
+    /// the hook for injecting custom passes (or custom budgets) into
+    /// batch compilation.
+    #[must_use]
+    pub fn with_plan(mut self, plan: PassPlan) -> Self {
+        self.plan = Some(plan);
+        self
     }
 
     /// The options every compile in this session uses.
@@ -143,7 +161,7 @@ impl Session {
     /// See [`CompileError`].
     pub fn compile(&self, target: &TargetDesc, lir: &Lir) -> Result<Code, CompileError> {
         let compiler = self.compiler_for(target)?;
-        let (code, timings) = compiler.compile_with_timed(lir, &self.options)?;
+        let (code, timings) = self.compile_lir(&compiler, lir)?;
         self.record(&timings);
         Ok(code)
     }
@@ -171,7 +189,7 @@ impl Session {
         source: &str,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let compiler = self.compiler_for(target)?;
-        let (code, timings) = Self::compile_one_source(&compiler, &self.options, source)?;
+        let (code, timings) = self.compile_one_source(&compiler, source)?;
         self.record(&timings);
         Ok((code, timings))
     }
@@ -194,7 +212,7 @@ impl Session {
         programs: &[Lir],
     ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
         let compiler = self.compiler_for(target)?;
-        self.run_batch(programs.len(), |i| compiler.compile_with_timed(&programs[i], &self.options))
+        self.run_batch(programs.len(), |i| self.compile_lir(&compiler, &programs[i]))
     }
 
     /// [`compile_batch`](Session::compile_batch) over source texts:
@@ -209,9 +227,7 @@ impl Session {
         sources: &[&str],
     ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
         let compiler = self.compiler_for(target)?;
-        self.run_batch(sources.len(), |i| {
-            Self::compile_one_source(&compiler, &self.options, sources[i])
-        })
+        self.run_batch(sources.len(), |i| self.compile_one_source(&compiler, sources[i]))
     }
 
     /// Snapshot of the cache and compile counters.
@@ -221,6 +237,7 @@ impl Session {
             misses: self.misses.load(Ordering::Relaxed),
             targets: self.compilers.read().expect("cache lock").values().map(Vec::len).sum(),
             compiles: self.compiles.load(Ordering::Relaxed),
+            salvaged_passes: self.salvaged.load(Ordering::Relaxed),
         }
     }
 
@@ -232,12 +249,27 @@ impl Session {
 
     fn record(&self, timings: &PhaseTimings) {
         self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.salvaged.fetch_add(timings.salvages.len(), Ordering::Relaxed);
         self.timings.lock().expect("timings lock").absorb(timings);
     }
 
-    fn compile_one_source(
+    /// The one compile primitive every session entry point funnels into:
+    /// the explicit plan when one is set, the options-derived plan
+    /// otherwise.
+    fn compile_lir(
+        &self,
         compiler: &Compiler,
-        options: &CompileOptions,
+        lir: &Lir,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
+        match &self.plan {
+            Some(plan) => compiler.compile_plan_timed(lir, plan),
+            None => compiler.compile_with_timed(lir, &self.options),
+        }
+    }
+
+    fn compile_one_source(
+        &self,
+        compiler: &Compiler,
         source: &str,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let t_parse = std::time::Instant::now();
@@ -246,7 +278,7 @@ impl Session {
         let t_lower = std::time::Instant::now();
         let lir = record_ir::lower::lower(&ast)?;
         let lower = t_lower.elapsed();
-        let (code, mut timings) = compiler.compile_with_timed(&lir, options)?;
+        let (code, mut timings) = self.compile_lir(compiler, &lir)?;
         timings.parse = parse;
         timings.lower = lower;
         timings.total += parse + lower;
@@ -255,6 +287,12 @@ impl Session {
 
     /// Fans `n` jobs out over scoped worker threads (work-stealing by
     /// atomic index) and collects the results into index-aligned slots.
+    ///
+    /// Each job runs under `catch_unwind`: a panic that escapes the
+    /// compiler's own pass-level isolation (or fires in the frontend)
+    /// becomes [`CompileError::Internal`] in that job's slot, so one
+    /// poisoned kernel can never tear down the batch or leave its worker
+    /// thread dead.
     fn run_batch<F>(
         &self,
         n: usize,
@@ -277,7 +315,14 @@ impl Session {
                     if i >= n {
                         break;
                     }
-                    let outcome = match job(i) {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i)))
+                        .unwrap_or_else(|payload| {
+                            Err(CompileError::Internal {
+                                pass: "batch".into(),
+                                message: crate::pass::panic_message(payload.as_ref()),
+                            })
+                        });
+                    let outcome = match result {
                         Ok((code, timings)) => {
                             self.record(&timings);
                             Ok(code)

@@ -95,6 +95,17 @@ pub struct PassRecord {
     pub after: CodeStats,
 }
 
+/// One graceful-degradation event: a best-effort pass failed (panic,
+/// budget exhaustion or strict-verify violation) and was dropped from the
+/// plan before the compile was retried.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SalvageRecord {
+    /// The pass that was dropped.
+    pub pass: String,
+    /// The failure that caused the drop, rendered.
+    pub reason: String,
+}
+
 /// Wall-clock time and work counters, broken down by pipeline phase.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseTimings {
@@ -133,6 +144,9 @@ pub struct PhaseTimings {
     /// maintained as coarse buckets for backward compatibility; this is
     /// the full dynamic trace.
     pub passes: Vec<PassRecord>,
+    /// Graceful-degradation trail: one record per best-effort pass the
+    /// driver dropped to salvage this compile (empty on a clean compile).
+    pub salvages: Vec<SalvageRecord>,
 }
 
 impl PhaseTimings {
@@ -163,6 +177,7 @@ impl PhaseTimings {
                 None => self.passes.push(r.clone()),
             }
         }
+        self.salvages.extend(other.salvages.iter().cloned());
     }
 
     /// Folds one pass's measurement into the matching legacy phase bucket

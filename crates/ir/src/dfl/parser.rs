@@ -12,13 +12,23 @@ use super::token::{Keyword, Token, TokenKind};
 ///
 /// Returns [`Error::Parse`] with the offending line on malformed input.
 pub fn parse_tokens(tokens: &[Token]) -> Result<Program, Error> {
-    let mut p = Parser { tokens, pos: 0 };
+    if tokens.is_empty() {
+        return Err(Error::parse(1, "empty token stream"));
+    }
+    let mut p = Parser { tokens, pos: 0, depth: 0 };
     p.program()
 }
+
+/// Maximum expression nesting (parenthesis/operand depth). Recursive
+/// descent uses the call stack; without a limit a long `((((…` run is a
+/// stack overflow — an abort no caller can catch — instead of a parse
+/// error.
+const MAX_EXPR_DEPTH: u32 = 200;
 
 struct Parser<'a> {
     tokens: &'a [Token],
     pos: usize,
+    depth: u32,
 }
 
 impl<'a> Parser<'a> {
@@ -204,7 +214,13 @@ impl<'a> Parser<'a> {
     /// Expression grammar, lowest precedence first:
     /// `|` < `^` < `&` < `<< >>` < `+ -` < `* /` < unary.
     fn expr(&mut self) -> Result<Expr, Error> {
-        self.bitor()
+        if self.depth >= MAX_EXPR_DEPTH {
+            return Err(Error::parse(self.line(), "expression nested too deeply"));
+        }
+        self.depth += 1;
+        let result = self.bitor();
+        self.depth -= 1;
+        result
     }
 
     fn bitor(&mut self) -> Result<Expr, Error> {
@@ -280,13 +296,27 @@ impl<'a> Parser<'a> {
     }
 
     fn unary(&mut self) -> Result<Expr, Error> {
-        if self.eat(&TokenKind::Minus) {
-            return Ok(Expr::un(UnOp::Neg, self.unary()?));
+        // iterative, so a `~~~~…x` run costs heap, not call stack here —
+        // but the tree it builds is still walked recursively by lowering
+        // and printing, so the chain counts against the nesting cap too
+        let mut ops = Vec::new();
+        loop {
+            if self.eat(&TokenKind::Minus) {
+                ops.push(UnOp::Neg);
+            } else if self.eat(&TokenKind::Tilde) {
+                ops.push(UnOp::Not);
+            } else {
+                break;
+            }
+            if self.depth + ops.len() as u32 > MAX_EXPR_DEPTH {
+                return Err(Error::parse(self.line(), "expression nested too deeply"));
+            }
         }
-        if self.eat(&TokenKind::Tilde) {
-            return Ok(Expr::un(UnOp::Not, self.unary()?));
+        let mut e = self.postfix()?;
+        for op in ops.into_iter().rev() {
+            e = Expr::un(op, e);
         }
-        self.postfix()
+        Ok(e)
     }
 
     fn postfix(&mut self) -> Result<Expr, Error> {
@@ -314,11 +344,16 @@ impl<'a> Parser<'a> {
                 }
                 if self.eat(&TokenKind::At) {
                     match self.bump().clone() {
-                        TokenKind::Num(k) if k >= 1 => return Ok(Expr::Delay(name, k as u32)),
+                        TokenKind::Num(k) if (1..=i64::from(u32::MAX)).contains(&k) => {
+                            return Ok(Expr::Delay(name, k as u32))
+                        }
                         other => {
                             return Err(Error::parse(
                                 line,
-                                format!("delay `@` needs a positive literal, found {other}"),
+                                format!(
+                                    "delay `@` needs a positive literal (at most 2^32-1), \
+                                     found {other}"
+                                ),
                             ))
                         }
                     }
@@ -449,6 +484,42 @@ mod tests {
     #[test]
     fn rejects_bad_delay() {
         assert!(parse("program p; var x,y: fix; begin y := x@0; end").is_err());
+    }
+
+    #[test]
+    fn empty_token_stream_is_an_error_not_a_panic() {
+        assert!(parse_tokens(&[]).is_err());
+    }
+
+    #[test]
+    fn deep_parentheses_are_a_parse_error_not_a_stack_overflow() {
+        let depth = 5_000;
+        let src = format!(
+            "program p; var y: fix; begin y := {}1{}; end",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let e = parse(&src).unwrap_err();
+        assert!(e.to_string().contains("nested too deeply"), "{e}");
+    }
+
+    #[test]
+    fn long_unary_chains_are_a_parse_error_not_an_overflow() {
+        // `~` rather than `-`: a `--` run would lex as a comment. A
+        // 10,000-deep chain would overflow downstream tree walks
+        // (lowering, drop), so it must be rejected at the cap …
+        let src = format!("program p; var x, y: fix; begin y := {}x; end", "~".repeat(10_000));
+        let e = parse(&src).unwrap_err();
+        assert!(e.to_string().contains("nested too deeply"), "{e}");
+        // … while chains comfortably under the cap still parse
+        let src = format!("program p; var x, y: fix; begin y := {}x; end", "~".repeat(100));
+        assert!(parse(&src).is_ok());
+    }
+
+    #[test]
+    fn oversized_delay_is_rejected() {
+        let e = parse("program p; var x,y: fix; begin y := x@4294967296; end").unwrap_err();
+        assert!(e.to_string().contains("delay"), "{e}");
     }
 
     #[test]

@@ -299,6 +299,11 @@ impl Lowerer {
                 if v.len != 1 {
                     return Err(Error::sema(format!("delay applied to array `{name}`")));
                 }
+                // each delay step materializes one history cell; an absurd
+                // depth would be an OOM, not a program
+                if *k > 1 << 20 {
+                    return Err(Error::sema(format!("delay depth {k} of `{name}` out of range")));
+                }
                 let entry = self.delays.entry(name.clone()).or_insert(0);
                 *entry = (*entry).max(*k);
                 Ok(Tree::var(delay_name(name, *k)))
@@ -344,9 +349,11 @@ impl Lowerer {
             ))
         })?;
         let base = *self.rebase.get(var.as_str()).unwrap_or(&0);
+        let range =
+            || Error::sema(format!("line {line}: index offset of `{array}` overflows 64 bits"));
         if down {
             // actual counter = i0 + base, so  offset - i  =  (offset - base) - i0
-            let offset = offset - base;
+            let offset = offset.checked_sub(base).ok_or_else(range)?;
             if offset < 0 || offset >= len as i64 {
                 return Err(Error::sema(format!(
                     "line {line}: descending index starts at {offset}, outside `{array}[{len}]`"
@@ -354,7 +361,7 @@ impl Lowerer {
             }
             Ok(Index::RevVar { var, offset })
         } else {
-            Ok(Index::Var { var, offset: offset + base })
+            Ok(Index::Var { var, offset: offset.checked_add(base).ok_or_else(range)? })
         }
     }
 
@@ -379,8 +386,8 @@ impl Lowerer {
             },
             Expr::Bin(BinOp::Sub, a, b) => match (&**a, &**b) {
                 (Expr::Name(n), rhs) => {
-                    let c = self.eval_const(rhs)?;
-                    counter(n).map(|s| (s, -c, false))
+                    let c = self.eval_const(rhs)?.checked_neg()?;
+                    counter(n).map(|s| (s, c, false))
                 }
                 (lhs, Expr::Name(n)) => {
                     let c = self.eval_const(lhs)?;

@@ -95,8 +95,11 @@ impl BinOp {
             BinOp::Xor => wrap(a ^ b),
             BinOp::Shl => wrap(a.wrapping_shl((b as u32) % width.max(1))),
             BinOp::Shr => wrap(a.wrapping_shr((b as u32) % width.max(1))),
-            BinOp::SatAdd => saturate(a + b, width),
-            BinOp::SatSub => saturate(a - b, width),
+            // saturating_* in i64 first: `a + b` overflows i64 (a debug
+            // panic) before `saturate` clamps to the word width, and an
+            // i64-saturated sum clamps to the same word-width rail
+            BinOp::SatAdd => saturate(a.saturating_add(b), width),
+            BinOp::SatSub => saturate(a.saturating_sub(b), width),
             BinOp::Min => a.min(b),
             BinOp::Max => a.max(b),
         }
@@ -316,6 +319,12 @@ mod tests {
         assert_eq!(BinOp::Add.eval(30000, 10000, 16), wrap_to_width(40000, 16));
         assert_eq!(BinOp::SatAdd.eval(30000, 10000, 16), 32767);
         assert_eq!(BinOp::SatSub.eval(-30000, 10000, 16), -32768);
+    }
+
+    #[test]
+    fn sat_ops_do_not_overflow_i64() {
+        assert_eq!(BinOp::SatAdd.eval(i64::MAX, i64::MAX, 16), 32767);
+        assert_eq!(BinOp::SatSub.eval(i64::MIN, i64::MAX, 16), -32768);
     }
 
     #[test]

@@ -20,6 +20,8 @@ use record_ir::{Bank, Symbol};
 use record_isa::code::LayoutEntry;
 use record_isa::{Code, InsnKind, Loc, TargetDesc};
 
+use crate::budget::{BudgetExceeded, SearchBudget};
+
 /// Statistics from bank assignment.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BankStats {
@@ -41,9 +43,27 @@ pub fn assign_banks(
     target: &TargetDesc,
     fixed: &HashMap<Symbol, Bank>,
 ) -> BankStats {
+    assign_banks_budgeted(code, target, fixed, &SearchBudget::unlimited())
+        .expect("unlimited budget never fires")
+}
+
+/// [`assign_banks`] under a [`SearchBudget`]: the greedy placement and
+/// the local-improvement loop charge one step per conflict-graph edge
+/// they evaluate. On exhaustion the code is left **unmodified** (layout
+/// and operands are only rewritten once the search completes).
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] if the budget runs out mid-search.
+pub fn assign_banks_budgeted(
+    code: &mut Code,
+    target: &TargetDesc,
+    fixed: &HashMap<Symbol, Bank>,
+    budget: &SearchBudget,
+) -> Result<BankStats, BudgetExceeded> {
     let mut stats = BankStats::default();
     if target.memory.banks < 2 {
-        return stats;
+        return Ok(stats);
     }
 
     // --- gather pair weights ---------------------------------------------
@@ -77,6 +97,7 @@ pub fn assign_banks(
         if assignment.contains_key(sym) {
             continue;
         }
+        budget.charge(weights.len().max(1) as u64)?;
         // gain of each bank = weight to already-placed neighbours in the
         // other bank
         let mut gain = [0i64, 0i64];
@@ -111,6 +132,8 @@ pub fn assign_banks(
             if fixed.contains_key(sym) {
                 continue;
             }
+            // each flip trial recomputes the full cross-bank weight
+            budget.charge(2 * weights.len().max(1) as u64)?;
             let before = cross(&assignment);
             let old = assignment[sym];
             assignment.insert(sym.clone(), old.other());
@@ -142,7 +165,7 @@ pub fn assign_banks(
     for insn in &mut code.insns {
         rewrite_banks(insn, &assignment);
     }
-    stats
+    Ok(stats)
 }
 
 fn rewrite_banks(insn: &mut record_isa::Insn, assignment: &HashMap<Symbol, Bank>) {

@@ -1,0 +1,142 @@
+//! Cooperative resource budgets for the search-based optimizations.
+//!
+//! Compaction's branch-and-bound scheduler and the offset-/bank-
+//! assignment searches are superlinear in the worst case. A
+//! [`SearchBudget`] bounds them: the search charges one unit per
+//! elementary step (a DFS node, a bundle candidate, a flip evaluation)
+//! and aborts with [`BudgetExceeded`] instead of running away. Budgets
+//! are cooperative — they cost one counter increment per step and an
+//! occasional clock read — and an unlimited budget
+//! ([`SearchBudget::unlimited`]) never fires, so the unbudgeted entry
+//! points keep their exact historical behavior.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::Instant;
+
+/// How often (in charged steps) the deadline clock is consulted; reading
+/// the clock on every step would dominate small searches.
+const DEADLINE_CHECK_INTERVAL: u64 = 1024;
+
+/// A search exhausted its budget; `resource` names which bound fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The exhausted resource: `"steps"` or `"deadline"`.
+    pub resource: &'static str,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "search budget exceeded: {}", self.resource)
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A step/deadline allowance shared across one optimization search.
+///
+/// Interior mutability keeps the budget threadable through `&self`
+/// recursion without plumbing `&mut` everywhere.
+#[derive(Debug)]
+pub struct SearchBudget {
+    max_steps: Option<u64>,
+    deadline: Option<Instant>,
+    steps: Cell<u64>,
+    next_clock_check: Cell<u64>,
+}
+
+impl SearchBudget {
+    /// A budget with the given step cap and wall-clock deadline; `None`
+    /// means unbounded for that resource.
+    pub fn new(max_steps: Option<u64>, deadline: Option<Instant>) -> Self {
+        SearchBudget {
+            max_steps,
+            deadline,
+            steps: Cell::new(0),
+            next_clock_check: Cell::new(DEADLINE_CHECK_INTERVAL),
+        }
+    }
+
+    /// A budget that never fires.
+    pub fn unlimited() -> Self {
+        SearchBudget::new(None, None)
+    }
+
+    /// Steps charged so far.
+    pub fn steps(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Charges `n` elementary search steps.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] once the step cap is passed or the deadline has
+    /// elapsed (the deadline is polled every `DEADLINE_CHECK_INTERVAL`
+    /// steps, not on every charge).
+    pub fn charge(&self, n: u64) -> Result<(), BudgetExceeded> {
+        let steps = self.steps.get().saturating_add(n);
+        self.steps.set(steps);
+        if let Some(max) = self.max_steps {
+            if steps > max {
+                return Err(BudgetExceeded { resource: "steps" });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if steps >= self.next_clock_check.get() {
+                self.next_clock_check.set(steps.saturating_add(DEADLINE_CHECK_INTERVAL));
+                if Instant::now() >= deadline {
+                    return Err(BudgetExceeded { resource: "deadline" });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unlimited_never_fires() {
+        let b = SearchBudget::unlimited();
+        for _ in 0..10_000 {
+            b.charge(1).unwrap();
+        }
+        assert_eq!(b.steps(), 10_000);
+    }
+
+    #[test]
+    fn step_cap_fires_at_the_boundary() {
+        let b = SearchBudget::new(Some(10), None);
+        for _ in 0..10 {
+            b.charge(1).unwrap();
+        }
+        let err = b.charge(1).unwrap_err();
+        assert_eq!(err.resource, "steps");
+        assert!(err.to_string().contains("steps"));
+    }
+
+    #[test]
+    fn elapsed_deadline_fires() {
+        let b = SearchBudget::new(None, Some(Instant::now() - Duration::from_millis(1)));
+        // the clock is only polled every DEADLINE_CHECK_INTERVAL steps
+        let mut fired = None;
+        for _ in 0..=DEADLINE_CHECK_INTERVAL {
+            if let Err(e) = b.charge(1) {
+                fired = Some(e);
+                break;
+            }
+        }
+        assert_eq!(fired.expect("deadline must fire within one interval").resource, "deadline");
+    }
+
+    #[test]
+    fn bulk_charges_count() {
+        let b = SearchBudget::new(Some(100), None);
+        b.charge(100).unwrap();
+        assert_eq!(b.charge(1).unwrap_err().resource, "steps");
+    }
+}

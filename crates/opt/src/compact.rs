@@ -19,6 +19,8 @@
 use record_isa::target::ParallelDesc;
 use record_isa::{Code, Insn, InsnKind, Loc, MemLoc, RegId, TargetDesc};
 
+use crate::budget::{BudgetExceeded, SearchBudget};
+
 /// Which scheduling algorithm [`schedule`] uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ScheduleMode {
@@ -397,25 +399,43 @@ pub struct ScheduleStats {
 /// aggregate statistics. Only targets with a parallel-move format are
 /// affected (others are returned unchanged with equal counts).
 pub fn schedule(code: &mut Code, target: &TargetDesc, mode: ScheduleMode) -> ScheduleStats {
+    schedule_budgeted(code, target, mode, &SearchBudget::unlimited())
+        .expect("unlimited budget never fires")
+}
+
+/// [`schedule`] under a [`SearchBudget`]: the branch-and-bound search
+/// charges one step per DFS node and per bundle candidate it enumerates,
+/// so pathological segments abort instead of exploring an exponential
+/// space. On exhaustion the code is left **unmodified**.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] if the budget runs out mid-search.
+pub fn schedule_budgeted(
+    code: &mut Code,
+    target: &TargetDesc,
+    mode: ScheduleMode,
+    budget: &SearchBudget,
+) -> Result<ScheduleStats, BudgetExceeded> {
     let mut stats = ScheduleStats::default();
     let Some(pd) = target.parallel.clone() else {
         let n = code.insns.len();
-        return ScheduleStats { insns_before: n, bundles_after: n };
+        return Ok(ScheduleStats { insns_before: n, bundles_after: n });
     };
-    let insns = std::mem::take(&mut code.insns);
+    let insns = &code.insns;
     let mut out = Vec::with_capacity(insns.len());
     let mut segment: Vec<Insn> = Vec::new();
     for insn in insns {
         if matches!(insn.kind, InsnKind::Compute { .. }) {
-            segment.push(insn);
+            segment.push(insn.clone());
         } else {
-            flush_segment(&mut segment, &pd, mode, &mut out, &mut stats);
-            out.push(insn);
+            flush_segment(&mut segment, &pd, mode, &mut out, &mut stats, budget)?;
+            out.push(insn.clone());
         }
     }
-    flush_segment(&mut segment, &pd, mode, &mut out, &mut stats);
+    flush_segment(&mut segment, &pd, mode, &mut out, &mut stats, budget)?;
     code.insns = out;
-    stats
+    Ok(stats)
 }
 
 fn flush_segment(
@@ -424,16 +444,17 @@ fn flush_segment(
     mode: ScheduleMode,
     out: &mut Vec<Insn>,
     stats: &mut ScheduleStats,
-) {
+    budget: &SearchBudget,
+) -> Result<(), BudgetExceeded> {
     if segment.is_empty() {
-        return;
+        return Ok(());
     }
     let seg = std::mem::take(segment);
     stats.insns_before += seg.len();
     let bundles = match mode {
         ScheduleMode::List => list_schedule(&seg, pd),
         ScheduleMode::BranchAndBound { max_segment } if seg.len() <= max_segment => {
-            branch_and_bound(&seg, pd)
+            branch_and_bound(&seg, pd, budget)?
         }
         ScheduleMode::BranchAndBound { .. } => list_schedule(&seg, pd),
     };
@@ -441,6 +462,7 @@ fn flush_segment(
     for bundle in bundles {
         out.push(build_bundle(&seg, bundle));
     }
+    Ok(())
 }
 
 /// A bundle: indices into the segment; the first is the host.
@@ -526,7 +548,11 @@ fn list_schedule(seg: &[Insn], pd: &ParallelDesc) -> Vec<Bundle> {
     bundles
 }
 
-fn branch_and_bound(seg: &[Insn], pd: &ParallelDesc) -> Vec<Bundle> {
+fn branch_and_bound(
+    seg: &[Insn],
+    pd: &ParallelDesc,
+    budget: &SearchBudget,
+) -> Result<Vec<Bundle>, BudgetExceeded> {
     let n = seg.len();
     let dep = dep_matrix(seg);
     let mut best: Vec<Bundle> = list_schedule(seg, pd);
@@ -541,15 +567,18 @@ fn branch_and_bound(seg: &[Insn], pd: &ParallelDesc) -> Vec<Bundle> {
         start: usize,
         bundle: &mut Bundle,
         out: &mut Vec<Bundle>,
-    ) {
+        budget: &SearchBudget,
+    ) -> Result<(), BudgetExceeded> {
         for (k, &cand) in ready.iter().enumerate().skip(start) {
             if bundle.is_empty() || fits(seg, pd, bundle, cand) {
+                budget.charge(1)?;
                 bundle.push(cand);
                 out.push(bundle.clone());
-                enumerate_bundles(seg, pd, ready, k + 1, bundle, out);
+                enumerate_bundles(seg, pd, ready, k + 1, bundle, out, budget)?;
                 bundle.pop();
             }
         }
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -562,26 +591,28 @@ fn branch_and_bound(seg: &[Insn], pd: &ParallelDesc) -> Vec<Bundle> {
         current: &mut Vec<Bundle>,
         best: &mut Vec<Bundle>,
         width: usize,
-    ) {
+        budget: &SearchBudget,
+    ) -> Result<(), BudgetExceeded> {
+        budget.charge(1)?;
         let n = seg.len();
         if done == n {
             if current.len() < best.len() {
                 *best = current.clone();
             }
-            return;
+            return Ok(());
         }
         // lower bound prune
         let remaining = n - done;
         let lb = current.len() + remaining.div_ceil(width);
         if lb >= best.len() {
-            return;
+            return Ok(());
         }
         let ready: Vec<usize> = (0..n)
             .filter(|&i| !scheduled[i] && (0..i).all(|p| !dep[p][i] || scheduled[p]))
             .collect();
         let mut candidates = Vec::new();
         let mut scratch = Vec::new();
-        enumerate_bundles(seg, pd, &ready, 0, &mut scratch, &mut candidates);
+        enumerate_bundles(seg, pd, &ready, 0, &mut scratch, &mut candidates, budget)?;
         // try bigger bundles first
         candidates.sort_by_key(|b| std::cmp::Reverse(b.len()));
         for bundle in candidates {
@@ -589,16 +620,17 @@ fn branch_and_bound(seg: &[Insn], pd: &ParallelDesc) -> Vec<Bundle> {
                 scheduled[i] = true;
             }
             current.push(bundle.clone());
-            dfs(seg, pd, dep, scheduled, done + bundle.len(), current, best, width);
+            dfs(seg, pd, dep, scheduled, done + bundle.len(), current, best, width, budget)?;
             current.pop();
             for &i in &bundle {
                 scheduled[i] = false;
             }
         }
+        Ok(())
     }
 
-    dfs(seg, pd, &dep, &mut scheduled, 0, &mut current, &mut best, width);
-    best
+    dfs(seg, pd, &dep, &mut scheduled, 0, &mut current, &mut best, width, budget)?;
+    Ok(best)
 }
 
 fn build_bundle(seg: &[Insn], bundle: Bundle) -> Insn {

@@ -22,17 +22,27 @@
 //!
 //! Every pass both mutates the code and returns a statistics struct, so
 //! the ablation benches in `record-bench` can quantify each design choice.
+//!
+//! The search-based passes (compaction's branch-and-bound, the offset
+//! and bank searches) additionally come in `_budgeted` variants that
+//! charge elementary steps against a [`SearchBudget`] and abort with
+//! [`BudgetExceeded`] instead of running away — the unbudgeted entry
+//! points delegate to them with an unlimited budget.
 
 pub mod address;
 pub mod banks;
+pub mod budget;
 pub mod compact;
 pub mod layout;
 pub mod modes;
 pub mod offset;
 
 pub use address::{assign_addresses, AddressError, AddressStats};
-pub use banks::{assign_banks, BankStats};
-pub use compact::{fuse, hoist_invariant_prefix, pack_moves, schedule, ScheduleMode};
+pub use banks::{assign_banks, assign_banks_budgeted, BankStats};
+pub use budget::{BudgetExceeded, SearchBudget};
+pub use compact::{
+    fuse, hoist_invariant_prefix, pack_moves, schedule, schedule_budgeted, ScheduleMode,
+};
 pub use layout::{declaration_layout, layout_in_order, LayoutError};
 pub use modes::{insert_mode_changes, ModeStrategy};
-pub use offset::{goa, soa_cost, soa_order};
+pub use offset::{goa, soa_cost, soa_order, soa_order_budgeted};

@@ -16,6 +16,8 @@ use std::collections::HashMap;
 
 use record_ir::Symbol;
 
+use crate::budget::{BudgetExceeded, SearchBudget};
+
 /// Computes a storage order for the accessed scalars using Liao's
 /// maximum-weight path-cover heuristic.
 ///
@@ -40,6 +42,19 @@ use record_ir::Symbol;
 /// assert!(soa_cost(&order, &acc, 1) <= soa_cost(&decl, &acc, 1));
 /// ```
 pub fn soa_order(accesses: &[Symbol]) -> Vec<Symbol> {
+    soa_order_budgeted(accesses, &SearchBudget::unlimited()).expect("unlimited budget never fires")
+}
+
+/// [`soa_order`] under a [`SearchBudget`]: charges one step per access
+/// and per access-graph edge examined during the path cover.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] if the budget runs out mid-search.
+pub fn soa_order_budgeted(
+    accesses: &[Symbol],
+    budget: &SearchBudget,
+) -> Result<Vec<Symbol>, BudgetExceeded> {
     let mut first_seen: Vec<Symbol> = Vec::new();
     let mut index: HashMap<&Symbol, usize> = HashMap::new();
     for a in accesses {
@@ -50,8 +65,9 @@ pub fn soa_order(accesses: &[Symbol]) -> Vec<Symbol> {
     }
     let n = first_seen.len();
     if n <= 2 {
-        return first_seen;
+        return Ok(first_seen);
     }
+    budget.charge(accesses.len() as u64)?;
 
     // access graph
     let mut weight: HashMap<(usize, usize), u32> = HashMap::new();
@@ -78,6 +94,7 @@ pub fn soa_order(accesses: &[Symbol]) -> Vec<Symbol> {
     }
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for ((u, v), _) in edges {
+        budget.charge(1)?;
         if degree[u] >= 2 || degree[v] >= 2 {
             continue;
         }
@@ -121,7 +138,7 @@ pub fn soa_order(accesses: &[Symbol]) -> Vec<Symbol> {
             order.push(first_seen[i].clone());
         }
     }
-    order
+    Ok(order)
 }
 
 /// The number of explicit address-register operations a single AGU

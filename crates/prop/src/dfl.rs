@@ -1,0 +1,323 @@
+//! Fuzz-input generation for the mini-DFL language.
+//!
+//! Two complementary sources of inputs:
+//!
+//! * [`gen_program`] — a *grammar-based* generator that emits well-formed
+//!   DFL programs: declarations first, then assignments and bounded `for`
+//!   loops whose array indexes provably stay in bounds. These programs
+//!   are meant to survive the whole pipeline, so they drive differential
+//!   compilation (O0 vs O2 vs salvaged plans must compute the same
+//!   outputs on the simulator).
+//! * [`mutate`] — a *token-level* mutator that takes any source text,
+//!   splits it into rough tokens and randomly deletes, duplicates, swaps,
+//!   replaces and inserts them. The result is usually ill-formed; the
+//!   frontend must reject it with a structured error, never a panic.
+//!
+//! Both draw from this crate's deterministic [`Rng`], so every fuzz case
+//! is replayable from its seed.
+
+use crate::Rng;
+
+/// Everything the statement generator may reference.
+struct Scope {
+    /// Readable scalar names (`in` + `var`).
+    scalars: Vec<String>,
+    /// Writable scalar names (`var` + `out`).
+    sinks: Vec<String>,
+    /// Arrays as `(name, len, writable)`.
+    arrays: Vec<(String, i64, bool)>,
+    /// Active loop counters as `(name, inclusive upper bound)`.
+    counters: Vec<(String, i64)>,
+}
+
+/// Generates a well-formed DFL program: in-bounds array indexing, loop
+/// nesting of at most two, expression depth of at most three, and only
+/// operators every backend pass and the simulator agree on.
+pub fn gen_program(rng: &mut Rng) -> String {
+    let mut scope =
+        Scope { scalars: Vec::new(), sinks: Vec::new(), arrays: Vec::new(), counters: Vec::new() };
+    let mut decls = String::new();
+
+    let n = 2 + rng.usize(5) as i64; // the `const N` used for lengths/bounds
+    decls.push_str(&format!("  const N := {n};\n"));
+
+    for i in 0..1 + rng.usize(2) {
+        let name = format!("x{i}");
+        decls.push_str(&format!("  in {name}: fix;\n"));
+        scope.scalars.push(name);
+    }
+    for i in 0..rng.usize(3) {
+        let name = format!("t{i}");
+        decls.push_str(&format!("  var {name}: fix;\n"));
+        scope.scalars.push(name.clone());
+        scope.sinks.push(name);
+    }
+    for i in 0..1 + rng.usize(2) {
+        let name = format!("y{i}");
+        decls.push_str(&format!("  out {name}: fix;\n"));
+        scope.sinks.push(name);
+    }
+    for i in 0..rng.usize(3) {
+        let name = format!("a{i}");
+        let (len, len_text) = if rng.usize(3) == 0 {
+            (n, "N".to_string())
+        } else {
+            let l = 2 + rng.usize(6) as i64;
+            (l, l.to_string())
+        };
+        let writable = rng.bool();
+        let kind = if writable { "var" } else { "in" };
+        decls.push_str(&format!("  {kind} {name}: fix[{len_text}];\n"));
+        scope.arrays.push((name, len, writable));
+    }
+
+    let mut body = String::new();
+    let top_stmts = 1 + rng.usize(4);
+    gen_stmts(rng, &mut scope, &mut body, top_stmts, 0);
+
+    format!("program fz;\n{decls}begin\n{body}end\n")
+}
+
+fn gen_stmts(rng: &mut Rng, scope: &mut Scope, out: &mut String, count: usize, depth: usize) {
+    let indent = "  ".repeat(depth + 1);
+    for _ in 0..count {
+        // a nested loop needs an array long enough to stream over
+        let can_loop = depth < 2 && scope.arrays.iter().any(|(_, len, _)| *len >= 2);
+        if can_loop && rng.usize(4) == 0 {
+            let hi = {
+                let max_len = scope.arrays.iter().map(|(_, l, _)| *l).max().unwrap_or(2);
+                1 + rng.usize((max_len - 1).max(1) as usize) as i64
+            };
+            let counter = format!("i{}", scope.counters.len());
+            out.push_str(&format!("{indent}for {counter} in 0..{hi} loop\n"));
+            scope.counters.push((counter, hi));
+            let inner = 1 + rng.usize(2);
+            gen_stmts(rng, scope, out, inner, depth + 1);
+            scope.counters.pop();
+            out.push_str(&format!("{indent}end loop;\n"));
+        } else {
+            let dst = gen_sink(rng, scope);
+            let expr = gen_expr(rng, scope, 3);
+            out.push_str(&format!("{indent}{dst} := {expr};\n"));
+        }
+    }
+}
+
+/// A writable destination: a scalar sink or an in-bounds element of a
+/// writable array.
+fn gen_sink(rng: &mut Rng, scope: &Scope) -> String {
+    let writable: Vec<&(String, i64, bool)> = scope.arrays.iter().filter(|(_, _, w)| *w).collect();
+    if !writable.is_empty() && rng.usize(3) == 0 {
+        let (name, len, _) = writable[rng.usize(writable.len())];
+        let idx = gen_index(rng, scope, *len);
+        return format!("{name}[{idx}]");
+    }
+    if scope.sinks.is_empty() {
+        // degenerate scope: fall back to a scalar the prelude always has
+        return "y0".to_string();
+    }
+    scope.sinks[rng.usize(scope.sinks.len())].clone()
+}
+
+/// An index expression guaranteed in `0..len`: a literal, a loop counter
+/// whose bound fits, or `counter + c` with the slack accounted for.
+fn gen_index(rng: &mut Rng, scope: &Scope, len: i64) -> String {
+    let usable: Vec<&(String, i64)> = scope.counters.iter().filter(|(_, hi)| *hi < len).collect();
+    if !usable.is_empty() && rng.bool() {
+        let (name, hi) = usable[rng.usize(usable.len())];
+        let slack = len - 1 - hi;
+        if slack > 0 && rng.bool() {
+            let c = 1 + rng.usize(slack as usize) as i64;
+            return format!("{name} + {c}");
+        }
+        return name.clone();
+    }
+    rng.usize(len as usize).to_string()
+}
+
+fn gen_expr(rng: &mut Rng, scope: &Scope, depth: usize) -> String {
+    if depth == 0 || rng.usize(3) == 0 {
+        return gen_leaf(rng, scope);
+    }
+    match rng.usize(8) {
+        // parenthesized so a negative-literal leaf cannot form `--`,
+        // which the lexer would treat as a comment
+        0 => format!("-({})", gen_leaf(rng, scope)),
+        1 => format!("sat({})", gen_expr(rng, scope, depth - 1)),
+        2 => format!(
+            "sadd({}, {})",
+            gen_expr(rng, scope, depth - 1),
+            gen_expr(rng, scope, depth - 1)
+        ),
+        _ => {
+            let op = *rng.pick(&["+", "-", "*"]);
+            format!(
+                "({} {} {})",
+                gen_expr(rng, scope, depth - 1),
+                op,
+                gen_expr(rng, scope, depth - 1)
+            )
+        }
+    }
+}
+
+fn gen_leaf(rng: &mut Rng, scope: &Scope) -> String {
+    match rng.usize(4) {
+        0 => rng.i64_in(-8, 9).to_string(),
+        1 if !scope.arrays.is_empty() => {
+            let (name, len, _) = &scope.arrays[rng.usize(scope.arrays.len())];
+            let idx = gen_index(rng, scope, *len);
+            format!("{name}[{idx}]")
+        }
+        2 if !scope.scalars.is_empty() && rng.usize(8) == 0 => {
+            // an occasional delay taps one sample of history
+            let name = &scope.scalars[rng.usize(scope.scalars.len())];
+            format!("{name}@{}", 1 + rng.usize(2))
+        }
+        _ if !scope.scalars.is_empty() => scope.scalars[rng.usize(scope.scalars.len())].clone(),
+        _ => "1".to_string(),
+    }
+}
+
+/// Replacement/insertion material for [`mutate`], chosen to probe the
+/// frontend's edges: keywords out of place, extreme literals, operators
+/// that pair up into comments, unknown intrinsics.
+const TOKEN_POOL: &[&str] = &[
+    "program",
+    "var",
+    "in",
+    "out",
+    "const",
+    "begin",
+    "end",
+    "for",
+    "loop",
+    "do",
+    "fix",
+    "int",
+    "bank",
+    ":=",
+    ":",
+    ";",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+    "@",
+    "+",
+    "-",
+    "*",
+    "/",
+    "&",
+    "|",
+    "^",
+    "~",
+    "<<",
+    ">>",
+    "..",
+    "0",
+    "1",
+    "9223372036854775807",
+    "4294967296",
+    "0xffffffffffffffff",
+    "1048577",
+    "x0",
+    "a0",
+    "y0",
+    "N",
+    "sat",
+    "sadd",
+    "frob",
+];
+
+/// Token-level mutation: `rounds` random edits (delete, duplicate, swap,
+/// replace, insert) over a rough tokenization of `source`. The output is
+/// valid UTF-8 but rarely valid DFL — exactly what the frontend's error
+/// paths need.
+pub fn mutate(source: &str, rng: &mut Rng, rounds: usize) -> String {
+    let mut tokens = rough_tokens(source);
+    for _ in 0..rounds {
+        if tokens.is_empty() {
+            tokens.push(TOKEN_POOL[rng.usize(TOKEN_POOL.len())].to_string());
+            continue;
+        }
+        let i = rng.usize(tokens.len());
+        match rng.usize(5) {
+            0 => {
+                tokens.remove(i);
+            }
+            1 => {
+                let t = tokens[i].clone();
+                tokens.insert(i, t);
+            }
+            2 => {
+                let j = rng.usize(tokens.len());
+                tokens.swap(i, j);
+            }
+            3 => tokens[i] = TOKEN_POOL[rng.usize(TOKEN_POOL.len())].to_string(),
+            _ => tokens.insert(i, TOKEN_POOL[rng.usize(TOKEN_POOL.len())].to_string()),
+        }
+    }
+    tokens.join(" ")
+}
+
+/// Splits source into identifier/number runs and single punctuation
+/// characters, dropping whitespace — coarse, but mutation does not need
+/// lexical fidelity.
+fn rough_tokens(source: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in source.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            current.push(c);
+        } else {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            if !c.is_whitespace() {
+                tokens.push(c.to_string());
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = gen_program(&mut Rng::new(1));
+        let b = gen_program(&mut Rng::new(1));
+        assert_eq!(a, b);
+        assert!(a.starts_with("program fz;"));
+        assert!(a.contains("begin"));
+    }
+
+    #[test]
+    fn generated_programs_vary_with_the_seed() {
+        let a = gen_program(&mut Rng::new(1));
+        let b = gen_program(&mut Rng::new(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mutate_is_deterministic_and_total() {
+        let base = gen_program(&mut Rng::new(3));
+        let a = mutate(&base, &mut Rng::new(4), 6);
+        let b = mutate(&base, &mut Rng::new(4), 6);
+        assert_eq!(a, b);
+        // mutation of an empty string still produces something
+        assert!(!mutate("", &mut Rng::new(5), 3).is_empty());
+    }
+
+    #[test]
+    fn rough_tokens_split_words_and_punctuation() {
+        assert_eq!(rough_tokens("y := x1 + 2;"), vec!["y", ":", "=", "x1", "+", "2", ";"]);
+    }
+}

@@ -12,6 +12,8 @@
 //! case in isolation, construct `Rng::new(seed)` with the seed from the
 //! panic message.
 
+pub mod dfl;
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A splitmix64 PRNG: tiny, fast, and with full 64-bit avalanche, so

@@ -101,6 +101,11 @@ pub struct Machine<'t> {
     trace: Option<Vec<String>>,
 }
 
+/// The default runaway-loop guard of [`Machine::new`] (in executed
+/// steps); override it per machine with [`Machine::with_max_steps`] or
+/// per run with [`run_program_with_steps`].
+pub const DEFAULT_MAX_STEPS: u64 = 10_000_000;
+
 impl<'t> Machine<'t> {
     /// Creates a machine with zeroed storage and default mode states.
     pub fn new(target: &'t TargetDesc) -> Self {
@@ -112,7 +117,7 @@ impl<'t> Machine<'t> {
             ars: vec![0; n_ars],
             mem: [vec![0; words], vec![0; words]],
             modes: target.modes.iter().map(|m| m.default_on).collect(),
-            max_steps: 10_000_000,
+            max_steps: DEFAULT_MAX_STEPS,
             trace: None,
         }
     }
@@ -537,7 +542,24 @@ pub fn run_program(
     target: &TargetDesc,
     inputs: &HashMap<Symbol, Vec<i64>>,
 ) -> Result<(HashMap<Symbol, Vec<i64>>, RunResult), SimError> {
-    let mut machine = Machine::new(target);
+    run_program_with_steps(code, target, inputs, DEFAULT_MAX_STEPS)
+}
+
+/// [`run_program`] with an explicit step budget instead of
+/// [`DEFAULT_MAX_STEPS`] — validation harnesses pick a budget matched
+/// to the program under test so a miscompiled infinite loop fails fast.
+///
+/// # Errors
+///
+/// See [`run_program`]; additionally [`SimError::StepLimit`] once
+/// `max_steps` is exhausted.
+pub fn run_program_with_steps(
+    code: &Code,
+    target: &TargetDesc,
+    inputs: &HashMap<Symbol, Vec<i64>>,
+    max_steps: u64,
+) -> Result<(HashMap<Symbol, Vec<i64>>, RunResult), SimError> {
+    let mut machine = Machine::new(target).with_max_steps(max_steps);
     for (sym, values) in inputs {
         for (i, v) in values.iter().enumerate() {
             machine.poke(sym, i as u32, *v, code)?;

@@ -1,0 +1,73 @@
+//! Seeded fuzz smoke run for CI and local replays.
+//!
+//! Runs the deterministic frontend and differential fuzzers with fixed
+//! seeds, prints their reports, and exits nonzero if any case panicked,
+//! miscompared, or escaped the structured-error contract.
+//!
+//! ```text
+//! cargo run --release --example fuzz_smoke -- --frontend 10000 --differential 200
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--frontend N` — frontend panic-freedom cases (default 2000)
+//! * `--differential N` — differential cases per target (default 50)
+//! * `--seed HEX` — base seed for both runs (default `0xC0DE`)
+
+use std::process::ExitCode;
+
+use record_repro::fuzz;
+
+fn main() -> ExitCode {
+    let mut frontend = 2000usize;
+    let mut differential = 50usize;
+    let mut seed = 0xC0DEu64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--frontend" => frontend = parse(&value(&mut args)),
+            "--differential" => differential = parse(&value(&mut args)),
+            "--seed" => {
+                let v = value(&mut args);
+                seed = u64::from_str_radix(v.trim_start_matches("0x"), 16).unwrap_or_else(|_| {
+                    eprintln!("bad seed {v:?} (want hex)");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!("fuzz smoke: seed {seed:#x}, {frontend} frontend + {differential} differential cases");
+
+    let front = fuzz::run_frontend_fuzz(frontend, seed);
+    println!("frontend:     {front}");
+
+    let diff = fuzz::run_differential_fuzz(differential, seed.rotate_left(32));
+    println!("differential: {diff}");
+
+    if front.clean() && diff.clean() {
+        println!("fuzz smoke clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fuzz smoke FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn parse(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad count {s:?}");
+        std::process::exit(2);
+    })
+}

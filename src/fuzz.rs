@@ -1,0 +1,318 @@
+//! Fuzzing harness for the whole toolchain.
+//!
+//! Two drivers, both deterministic (seeded [`record_prop::Rng`] streams)
+//! so that CI runs and local replays exercise identical inputs:
+//!
+//! * [`run_frontend_fuzz`] — *panic freedom*: arbitrary byte soup, plus
+//!   token-level mutations of well-formed programs, must flow through
+//!   lexer → parser → lowering and come back as `Ok` or a structured
+//!   [`record_ir::Error`] — never a panic.
+//! * [`run_differential_fuzz`] — *semantic stability*: grammar-generated
+//!   programs are compiled under the `O0` plan, the `O2` plan, and an
+//!   `O2` plan poisoned with an always-panicking best-effort pass (so the
+//!   salvage path runs); every plan that compiles must simulate to the
+//!   same outputs on the same inputs, on both shipped targets.
+//!
+//! Failures carry the replay seed, and the regression corpus under
+//! `tests/corpus/` pins previously-found inputs forever.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use record::{CompilationUnit, CompileError, Compiler, Pass, PassPlan};
+use record_ir::lir::{Lir, StorageKind};
+use record_ir::Symbol;
+use record_isa::{Code, TargetDesc};
+use record_prop::{dfl, Rng};
+
+/// A best-effort pass that always panics — the poison pill the
+/// differential fuzzer injects to force the graceful-degradation path.
+pub struct FlakyPass;
+
+impl Pass for FlakyPass {
+    fn name(&self) -> &'static str {
+        "flaky"
+    }
+
+    fn run(&self, _unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
+        panic!("injected fuzz failure");
+    }
+
+    fn best_effort(&self) -> bool {
+        true
+    }
+}
+
+/// Outcome counters plus the (hopefully empty) failure list of one fuzz
+/// run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    /// Inputs tried.
+    pub cases: usize,
+    /// Inputs the frontend rejected with a structured error.
+    pub rejected: usize,
+    /// Programs that compiled under every plan and simulated identically.
+    pub compared: usize,
+    /// Programs skipped for benign reasons (e.g. an optimization plan
+    /// reporting a capacity error the baseline plan does not hit).
+    pub skipped: usize,
+    /// Human-readable descriptions of every failure, with replay seeds.
+    pub failures: Vec<String>,
+}
+
+impl FuzzReport {
+    /// True when no case panicked or miscompared.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} case(s): {} rejected, {} compared, {} skipped, {} failure(s)",
+            self.cases,
+            self.rejected,
+            self.compared,
+            self.skipped,
+            self.failures.len()
+        )?;
+        for failure in &self.failures {
+            write!(f, "\n  {failure}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One frontend fuzz input: byte soup, a well-formed program, or a
+/// token-mutated program, weighted toward mutations (they reach deepest).
+pub fn frontend_input(rng: &mut Rng) -> String {
+    match rng.usize(4) {
+        0 => rng.wild_string(200),
+        1 => dfl::gen_program(rng),
+        _ => {
+            let base = dfl::gen_program(rng);
+            let rounds = 1 + rng.usize(8);
+            dfl::mutate(&base, rng, rounds)
+        }
+    }
+}
+
+/// Feeds `source` through lexer → parser → lowering; `Err` means a panic
+/// escaped (the message names it), `Ok(true)` means the program lowered,
+/// `Ok(false)` means it was rejected with a structured error.
+pub fn check_frontend(source: &str) -> Result<bool, String> {
+    let outcome = std::panic::catch_unwind(|| match record_ir::dfl::parse(source) {
+        Ok(ast) => record_ir::lower::lower(&ast).is_ok(),
+        Err(_) => false,
+    });
+    outcome.map_err(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic>")
+            .to_string()
+    })
+}
+
+/// Runs `f` with the panic hook silenced, restoring it afterwards.
+///
+/// The fuzz drivers *expect* panics (the injected [`FlakyPass`] fires on
+/// every salvage exercise) and catch all of them; without this the
+/// default hook would spray a backtrace per case. The hook is
+/// process-wide state, so fuzz runs briefly mute panic reporting
+/// everywhere.
+fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let saved = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    std::panic::set_hook(saved);
+    result
+}
+
+/// Runs `iterations` frontend panic-freedom cases derived from
+/// `base_seed`.
+pub fn run_frontend_fuzz(iterations: usize, base_seed: u64) -> FuzzReport {
+    with_quiet_panics(|| {
+        let mut report = FuzzReport::default();
+        for case in 0..iterations {
+            let seed = Rng::new(base_seed ^ case as u64).next_u64();
+            let mut rng = Rng::new(seed);
+            let source = frontend_input(&mut rng);
+            report.cases += 1;
+            match check_frontend(&source) {
+                Ok(true) => report.compared += 1,
+                Ok(false) => report.rejected += 1,
+                Err(panic) => report.failures.push(format!(
+                    "frontend panic (replay seed {seed:#018x}): {panic}; input: {}",
+                    truncate(&source, 160)
+                )),
+            }
+        }
+        report
+    })
+}
+
+/// The three plans every generated program must agree under.
+fn plans() -> [(&'static str, PassPlan); 3] {
+    [
+        ("O0", PassPlan::o0().strict(true)),
+        ("O2", PassPlan::o2().strict(true)),
+        ("O2+flaky", PassPlan::o2().strict(true).with_pass(Arc::new(FlakyPass))),
+    ]
+}
+
+/// Deterministic simulator inputs for the program's `in` storage.
+fn sim_inputs(lir: &Lir, rng: &mut Rng) -> HashMap<Symbol, Vec<i64>> {
+    lir.vars
+        .iter()
+        .filter(|v| v.kind == StorageKind::In)
+        .map(|v| {
+            let values = (0..v.len.max(1)).map(|_| rng.i64_in(-100, 101)).collect();
+            (v.name.clone(), values)
+        })
+        .collect()
+}
+
+/// `(symbol, values)` pairs for a program's `out` storage.
+type Outputs = Vec<(Symbol, Vec<i64>)>;
+
+/// The simulated values of the program's `out` storage under `code`.
+fn run_outputs(
+    code: &Code,
+    target: &TargetDesc,
+    lir: &Lir,
+    inputs: &HashMap<Symbol, Vec<i64>>,
+) -> Result<Outputs, String> {
+    let (outs, _) =
+        record_sim::run_program_with_steps(code, target, inputs, record_sim::DEFAULT_MAX_STEPS)
+            .map_err(|e| format!("simulation failed: {e}"))?;
+    Ok(lir
+        .vars
+        .iter()
+        .filter(|v| v.kind == StorageKind::Out)
+        .map(|v| (v.name.clone(), outs.get(&v.name).cloned().unwrap_or_default()))
+        .collect())
+}
+
+/// One differential case: compiles `source` under every plan in
+/// `plans` and requires identical simulator outputs. `Ok(true)` means
+/// the comparison ran, `Ok(false)` that the case was skipped (frontend
+/// rejection, or a plan hitting a benign capacity error), `Err` a
+/// panic, miscompare, or salvage-validation failure.
+pub fn check_differential(
+    compiler: &Compiler,
+    target: &TargetDesc,
+    source: &str,
+    rng: &mut Rng,
+) -> Result<bool, String> {
+    let lir = match record_ir::dfl::parse(source).and_then(|ast| record_ir::lower::lower(&ast)) {
+        Ok(lir) => lir,
+        Err(_) => return Ok(false),
+    };
+    let mut compiled: Vec<(&'static str, Code)> = Vec::new();
+    for (name, plan) in plans() {
+        match compiler.compile_plan(&lir, &plan) {
+            Ok(code) => compiled.push((name, code)),
+            // a poisoned-pass compile must *never* fail: salvage drops the
+            // flaky pass and retries. For the straight plans, capacity
+            // errors (no cover, register pressure) are legitimate
+            // rejections — but panics and verifier escapes are bugs.
+            Err(e @ (CompileError::Internal { .. } | CompileError::Verify { .. })) => {
+                return Err(format!("plan {name} on {}: {e}", target.name))
+            }
+            Err(_) => return Ok(false),
+        }
+    }
+    let inputs = sim_inputs(&lir, rng);
+    let mut reference: Option<(&'static str, Outputs)> = None;
+    for (name, code) in &compiled {
+        let outs = run_outputs(code, target, &lir, &inputs)
+            .map_err(|e| format!("plan {name} on {}: {e}", target.name))?;
+        match &reference {
+            None => reference = Some((name, outs)),
+            Some((ref_name, ref_outs)) => {
+                if outs != *ref_outs {
+                    return Err(format!(
+                        "miscompare on {}: plan {name} disagrees with {ref_name}: \
+                         {outs:?} vs {ref_outs:?}",
+                        target.name
+                    ));
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// Runs `iterations` differential cases derived from `base_seed` on each
+/// of the shipped targets (`tic25`, `dsp56k`).
+///
+/// # Panics
+///
+/// Panics only if a target description fails validation — a build error,
+/// not a fuzz finding.
+pub fn run_differential_fuzz(iterations: usize, base_seed: u64) -> FuzzReport {
+    let targets = [record_isa::targets::tic25::target(), record_isa::targets::dsp56k::target()];
+    let compilers: Vec<Compiler> = targets
+        .iter()
+        .map(|t| Compiler::for_target(t.clone()).expect("shipped targets validate"))
+        .collect();
+    with_quiet_panics(|| {
+        let mut report = FuzzReport::default();
+        for case in 0..iterations {
+            let seed = Rng::new(base_seed ^ case as u64).next_u64();
+            let mut rng = Rng::new(seed);
+            let source = dfl::gen_program(&mut rng);
+            for (target, compiler) in targets.iter().zip(&compilers) {
+                report.cases += 1;
+                match check_differential(compiler, target, &source, &mut rng) {
+                    Ok(true) => report.compared += 1,
+                    Ok(false) => report.skipped += 1,
+                    Err(e) => report
+                        .failures
+                        .push(format!("differential (replay seed {seed:#018x}): {e}")),
+                }
+            }
+        }
+        report
+    })
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        return s.to_string();
+    }
+    let mut end = max;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_inputs_are_deterministic_per_seed() {
+        let a = frontend_input(&mut Rng::new(9));
+        let b = frontend_input(&mut Rng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_programs_usually_lower() {
+        let mut lowered = 0;
+        for seed in 0..40u64 {
+            let src = dfl::gen_program(&mut Rng::new(seed));
+            if check_frontend(&src) == Ok(true) {
+                lowered += 1;
+            }
+        }
+        assert!(lowered >= 30, "only {lowered}/40 generated programs lowered");
+    }
+}

@@ -1,4 +1,6 @@
 //! Umbrella crate for the RECORD reproduction workspace.
+pub mod fuzz;
+
 pub use record as compiler;
 pub use record_burg as burg;
 pub use record_dspstone as dspstone;
