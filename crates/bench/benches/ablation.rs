@@ -211,13 +211,19 @@ fn print_ablations() {
 
 /// CI smoke: one kernel under the `O0` and default plans, with strict
 /// inter-pass verification forced on, validated against the reference.
+/// Also drops a machine-readable summary at the repo root
+/// (`BENCH_ablation.json`) so CI can archive the numbers.
 fn smoke() {
     let compiler = Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
     let lir = lir_of("fir");
     let kernel = record_dspstone::kernel("fir").unwrap();
     let inputs = kernel.inputs(42);
     let expected = kernel.reference(&inputs);
-    for (name, plan) in [("O0", PassPlan::o0()), ("default", PassPlan::default())] {
+    let mut json =
+        String::from("{\"bench\":\"ablation\",\"kernel\":\"fir\",\"target\":\"tic25\",\"plans\":[");
+    for (i, (name, plan)) in
+        [("O0", PassPlan::o0()), ("default", PassPlan::default())].into_iter().enumerate()
+    {
         let plan = plan.strict(true);
         let (code, timings) = compiler.compile_plan_timed(&lir, &plan).unwrap();
         let (out, _) = run_program(&code, compiler.target(), &inputs).unwrap();
@@ -232,7 +238,22 @@ fn smoke() {
             timings.passes.len(),
             timings.total
         );
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"plan\":\"{name}\",\"words\":{},\"insns\":{},\"passes\":{},\"time_us\":{}}}",
+            code.size_words(),
+            code.insns.len(),
+            timings.passes.len(),
+            timings.total.as_micros()
+        ));
     }
+    json.push_str("]}\n");
+    record_trace::json::validate(&json).expect("ablation summary is well-formed JSON");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ablation.json");
+    std::fs::write(path, &json).expect("write BENCH_ablation.json");
+    println!("wrote {path}");
     println!("ablation smoke OK");
 }
 

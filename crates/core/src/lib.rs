@@ -26,6 +26,12 @@
 //!   options, from the `O0`/`O1`/`O2` presets, or edited per pass by
 //!   name, and in strict mode the runner verifies structural invariants
 //!   between passes,
+//! * [`Session`] is compilation as a service: a per-target compiler
+//!   cache, a parallel batch driver, and the observability layer —
+//!   attach a [`Tracer`] ([`Session::with_tracer`](Session::with_tracer))
+//!   for per-compile span trees (exported as JSON-lines or Chrome
+//!   trace-event format) and read [`Session::metrics`](Session::metrics)
+//!   for counters/gauges/histograms in Prometheus text form,
 //! * [`baseline`] is the *target-specific comparison compiler* standing in
 //!   for the mid-90s TI C compiler of Table 1: no algebraic variants, no
 //!   AGU streams, a memory-resident loop counter and per-access address
@@ -68,5 +74,8 @@ mod error;
 pub use error::{CompileError, TargetError};
 pub use pass::{CompilationUnit, Pass, PassPlan};
 pub use pipeline::{Budgets, CompileOptions, Compiler};
+pub use record_trace::{
+    span, AttrValue, Event, Metric, MetricsRegistry, Span, SpanRecorder, TraceRecord, Tracer,
+};
 pub use session::{Session, SessionStats};
 pub use timing::{CodeStats, PassRecord, PhaseTimings, SalvageRecord};

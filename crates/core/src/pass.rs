@@ -28,6 +28,7 @@ use record_ir::{fold, AssignStmt, Bank, Symbol};
 use record_isa::{AddrMode, Code, Insn, InsnKind, Loc, StructureError, TargetDesc};
 use record_opt::compact::ScheduleMode;
 use record_opt::modes::ModeStrategy;
+use record_trace::SpanRecorder;
 
 use crate::pipeline::{convert_rpt, order_vars, order_vars_budgeted, Budgets, CompileOptions};
 use crate::select::Emitter;
@@ -61,6 +62,12 @@ pub struct CompilationUnit<'a> {
     /// Resource caps the passes must respect (copied from the plan by
     /// the runner before the first pass executes).
     pub budgets: Budgets,
+    /// The compile's span recorder. The runner opens one span per pass
+    /// on it; passes may attach extra attributes or events (e.g. the
+    /// search passes record `search_steps`). Disabled (a no-op) unless
+    /// the driver installed an enabled recorder — see
+    /// [`Compiler::compile_plan_traced`](crate::Compiler::compile_plan_traced).
+    pub trace: SpanRecorder,
 }
 
 impl<'a> CompilationUnit<'a> {
@@ -81,6 +88,7 @@ impl<'a> CompilationUnit<'a> {
             variants: 0,
             covered: 0,
             budgets: Budgets::unlimited(),
+            trace: SpanRecorder::disabled(),
         }
     }
 }
@@ -322,6 +330,10 @@ impl PassPlan {
         if let Some(cap) = self.budgets.max_lir_nodes {
             let nodes = lir_nodes(&unit.lir.body);
             if nodes > cap {
+                unit.trace.event(
+                    "budget-exceeded",
+                    &[("pass", "pipeline".into()), ("resource", "lir-nodes".into())],
+                );
                 return Err(PassFailure::anonymous(CompileError::Budget {
                     pass: "pipeline".into(),
                     resource: "lir-nodes".into(),
@@ -330,6 +342,7 @@ impl PassPlan {
         }
         for pass in &self.passes {
             let before = CodeStats::of(&unit.code);
+            unit.trace.open(pass.name());
             let t = Instant::now();
             let outcome =
                 match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pass.run(unit))) {
@@ -340,31 +353,44 @@ impl PassPlan {
                     }),
                 };
             let time = t.elapsed();
+            let outcome = outcome.and_then(|()| {
+                if self.strict {
+                    let attribute =
+                        |error| CompileError::Verify { pass: pass.name().to_string(), error };
+                    unit.code.verify().map_err(attribute)?;
+                    pass.postcondition(unit).map_err(attribute)?;
+                }
+                Ok(())
+            });
+            let after = CodeStats::of(&unit.code);
+            if unit.trace.is_enabled() {
+                unit.trace.attr("insns_before", before.insns);
+                unit.trace.attr("insns_after", after.insns);
+                unit.trace.attr("words_before", before.words);
+                unit.trace.attr("words_after", after.words);
+                if let Err(error) = &outcome {
+                    let event = match error {
+                        CompileError::Budget { .. } => "budget-exceeded",
+                        CompileError::Verify { .. } => "verify-failure",
+                        CompileError::Internal { .. } => "pass-panic",
+                        _ => "pass-error",
+                    };
+                    unit.trace.event(event, &[("error", error.to_string().into())]);
+                    unit.trace.attr("error", error.to_string());
+                }
+            }
+            unit.trace.close();
             outcome.map_err(|error| PassFailure {
                 pass: Some(pass.name()),
                 best_effort: pass.best_effort(),
                 error,
             })?;
-            if self.strict {
-                let attribute =
-                    |error| CompileError::Verify { pass: pass.name().to_string(), error };
-                unit.code.verify().map_err(attribute).map_err(|error| PassFailure {
-                    pass: Some(pass.name()),
-                    best_effort: pass.best_effort(),
-                    error,
-                })?;
-                pass.postcondition(unit).map_err(attribute).map_err(|error| PassFailure {
-                    pass: Some(pass.name()),
-                    best_effort: pass.best_effort(),
-                    error,
-                })?;
-            }
             timings.record_pass(PassRecord {
                 name: pass.name().to_string(),
                 time,
                 runs: 1,
                 before,
-                after: CodeStats::of(&unit.code),
+                after,
             });
         }
         if !self.strict {
@@ -554,6 +580,7 @@ impl Pass for SelectPass {
             budgets.max_variants,
         );
         unit.lir.body = body;
+        unit.trace.attr("search_steps", budget.steps());
         result?;
         for s in emitter.scratch_symbols() {
             unit.vars.push(VarInfo {
@@ -669,8 +696,11 @@ impl Pass for OffsetPass {
 
     fn run(&self, unit: &mut CompilationUnit<'_>) -> Result<(), CompileError> {
         let budget = search_budget(unit.budgets.max_search_steps, &unit.budgets);
-        let ordered = order_vars_budgeted(&unit.vars, &unit.code, true, &budget).map_err(|e| {
-            CompileError::Budget { pass: "offset".into(), resource: e.resource.into() }
+        let result = order_vars_budgeted(&unit.vars, &unit.code, true, &budget);
+        unit.trace.attr("search_steps", budget.steps());
+        let ordered = result.map_err(|e| CompileError::Budget {
+            pass: "offset".into(),
+            resource: e.resource.into(),
         })?;
         unit.code.layout = record_opt::layout_in_order(
             ordered.iter().map(|v| (v.name.clone(), v.len, v.bank)),
@@ -702,11 +732,13 @@ impl Pass for BanksPass {
             let fixed: HashMap<Symbol, Bank> =
                 unit.vars.iter().filter_map(|v| v.bank.map(|b| (v.name.clone(), b))).collect();
             let budget = search_budget(unit.budgets.max_search_steps, &unit.budgets);
-            record_opt::assign_banks_budgeted(&mut unit.code, unit.target, &fixed, &budget)
-                .map_err(|e| CompileError::Budget {
-                    pass: "banks".into(),
-                    resource: e.resource.into(),
-                })?;
+            let result =
+                record_opt::assign_banks_budgeted(&mut unit.code, unit.target, &fixed, &budget);
+            unit.trace.attr("search_steps", budget.steps());
+            result.map_err(|e| CompileError::Budget {
+                pass: "banks".into(),
+                resource: e.resource.into(),
+            })?;
         }
         Ok(())
     }
@@ -768,12 +800,13 @@ impl Pass for CompactPass {
         match self.schedule {
             Some(mode) => {
                 let budget = search_budget(unit.budgets.max_schedule_steps, &unit.budgets);
-                record_opt::schedule_budgeted(&mut unit.code, unit.target, mode, &budget).map_err(
-                    |e| CompileError::Budget {
-                        pass: "compact".into(),
-                        resource: e.resource.into(),
-                    },
-                )?;
+                let result =
+                    record_opt::schedule_budgeted(&mut unit.code, unit.target, mode, &budget);
+                unit.trace.attr("search_steps", budget.steps());
+                result.map_err(|e| CompileError::Budget {
+                    pass: "compact".into(),
+                    resource: e.resource.into(),
+                })?;
             }
             None => {
                 record_opt::pack_moves(&mut unit.code, unit.target);

@@ -318,28 +318,66 @@ impl Compiler {
         lir: &Lir,
         plan: &crate::PassPlan,
     ) -> Result<(Code, PhaseTimings), CompileError> {
+        self.compile_plan_traced(lir, plan, None)
+    }
+
+    /// [`compile_plan_timed`](Compiler::compile_plan_timed) with span
+    /// recording: when `tracer` is given, the compile submits one
+    /// `compile` root span (attributes `kernel`, `target`, and on
+    /// completion `insns`/`words` or `error`) whose children are the
+    /// executed passes, with `salvage` events marking every dropped
+    /// best-effort pass. With `tracer` `None` the recorder is disabled
+    /// and the cost is a branch per pass.
+    ///
+    /// # Errors
+    ///
+    /// See [`compile_plan_timed`](Compiler::compile_plan_timed).
+    pub fn compile_plan_traced(
+        &self,
+        lir: &Lir,
+        plan: &crate::PassPlan,
+        tracer: Option<&record_trace::Tracer>,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
         let start = Instant::now();
+        let mut recorder = match tracer {
+            Some(t) => t.recorder(),
+            None => record_trace::SpanRecorder::disabled(),
+        };
+        recorder.open("compile");
+        recorder.attr("kernel", lir.name.to_string());
+        recorder.attr("target", self.target.name.clone());
         let mut plan = plan.clone();
         let mut salvages: Vec<SalvageRecord> = Vec::new();
-        loop {
+        let result = loop {
             // always restart from a fresh unit: a panicking pass may
             // have left the previous unit half-rewritten
             let mut timings = PhaseTimings::default();
             let mut unit = crate::pass::CompilationUnit::new(&self.target, &self.tables, lir);
-            match plan.run_inner(&mut unit, &mut timings) {
+            // the recorder rides inside the unit while the passes run
+            // (its open `compile` span survives salvage retries)
+            unit.trace = std::mem::take(&mut recorder);
+            let run = plan.run_inner(&mut unit, &mut timings);
+            recorder = std::mem::take(&mut unit.trace);
+            match run {
                 Ok(()) => {
                     if !salvages.is_empty() {
-                        self.validate_salvage(lir, &plan, &unit.code, &salvages)?;
+                        if let Err(e) = self.validate_salvage(lir, &plan, &unit.code, &salvages) {
+                            break Err(e);
+                        }
                     }
                     timings.salvages = salvages;
                     timings.total = start.elapsed();
-                    return Ok((unit.code, timings));
+                    break Ok((unit.code, timings));
                 }
                 Err(failure) => {
                     let pass = match failure.pass {
                         Some(name) if failure.best_effort && plan.allows_salvage() => name,
-                        _ => return Err(failure.error),
+                        _ => break Err(failure.error),
                     };
+                    recorder.event(
+                        "salvage",
+                        &[("pass", pass.into()), ("reason", failure.error.to_string().into())],
+                    );
                     salvages.push(SalvageRecord {
                         pass: pass.to_string(),
                         reason: failure.error.to_string(),
@@ -347,7 +385,19 @@ impl Compiler {
                     plan = plan.without(pass);
                 }
             }
+        };
+        match &result {
+            Ok((code, _)) => {
+                recorder.attr("insns", code.insns.len());
+                recorder.attr("words", code.size_words());
+            }
+            Err(e) => recorder.attr("error", e.to_string()),
         }
+        recorder.close();
+        if let Some(t) = tracer {
+            t.submit(recorder);
+        }
+        result
     }
 
     /// Bit-exact validation of a salvaged compile: the same LIR is

@@ -215,19 +215,32 @@ impl fmt::Display for PhaseBreakdown {
         writeln!(f, "aggregate profile:")?;
         writeln!(f, "{}", self.total)?;
         if !self.total.passes.is_empty() {
-            writeln!(f, "  per-pass trace (summed over {} kernels):", self.rows.len())?;
             writeln!(
                 f,
-                "  {:<10} {:>4} {:>9} {:>7} {:>7} {:>6} {:>6} {:>5}",
-                "pass", "runs", "time(µs)", "insns", "Δinsns", "Δwords", "‖ops", "regs"
+                "  per-pass trace (summed over {} kernels; times in µs):",
+                self.rows.len()
+            )?;
+            writeln!(
+                f,
+                "  {:<10} {:>4} {:>10} {:>9} {:>7} {:>7} {:>6} {:>6} {:>5}",
+                "pass",
+                "runs",
+                "total(µs)",
+                "mean(µs)",
+                "insns",
+                "Δinsns",
+                "Δwords",
+                "‖ops",
+                "regs"
             )?;
             for p in &self.total.passes {
                 writeln!(
                     f,
-                    "  {:<10} {:>4} {:>9.1} {:>7} {:>+7} {:>+6} {:>6} {:>5}",
+                    "  {:<10} {:>4} {:>10.1} {:>9.1} {:>7} {:>+7} {:>+6} {:>6} {:>5}",
                     p.name,
                     p.runs,
                     us(p.time),
+                    us(p.time) / p.runs.max(1) as f64,
                     p.after.insns,
                     p.after.insns as i64 - p.before.insns as i64,
                     p.after.words as i64 - p.before.words as i64,
@@ -261,14 +274,102 @@ impl fmt::Display for PhaseBreakdown {
 ///
 /// Any compilation error.
 pub fn phase_breakdown() -> Result<PhaseBreakdown, CompileError> {
+    phase_breakdown_in(&Session::new())
+}
+
+/// [`phase_breakdown`] through an existing session — compiles ride the
+/// session's compiler cache and feed its tracer and metrics registry,
+/// so a caller that wants the trace of exactly these compiles can attach
+/// a [`Tracer`](crate::Tracer) first. Note the aggregate rows cover
+/// *everything* the session has compiled, not just this call.
+///
+/// # Errors
+///
+/// Any compilation error.
+pub fn phase_breakdown_in(session: &Session) -> Result<PhaseBreakdown, CompileError> {
     let target = record_isa::targets::tic25::target();
-    let session = Session::new();
     let mut rows = Vec::new();
     for kernel in record_dspstone::kernels() {
         let (_, timings) = session.compile_source_timed(&target, kernel.source)?;
         rows.push((kernel.name, timings));
     }
     Ok(PhaseBreakdown { rows, total: session.timings(), stats: session.stats() })
+}
+
+/// One kernel's compiled size on one target — the machine-readable
+/// counterpart of Table 1, as exported by `dspstone_report --json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelSize {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Target the kernel was compiled for.
+    pub target: String,
+    /// Instructions in the compiled code (bundles count once).
+    pub insns: usize,
+    /// Code size in words.
+    pub words: u32,
+    /// Size relative to the TMS320C25 hand-assembly reference for the
+    /// same kernel (the Table 1 denominator). Hand references exist only
+    /// for the tic25, so rows for other targets are normalized against
+    /// the same yardstick — comparable across targets, but only the
+    /// tic25 rows are an apples-to-apples "overhead over hand code".
+    pub relative_to_handasm: f64,
+}
+
+/// Compiles every DSPStone kernel for both bundled targets (TMS320C25
+/// and DSP56k) through `session` and reports per-kernel code sizes.
+///
+/// # Errors
+///
+/// Any compilation error, or a missing hand-assembly reference.
+pub fn kernel_size_report(session: &Session) -> Result<Vec<KernelSize>, CompileError> {
+    let mut out = Vec::new();
+    for target in [record_isa::targets::tic25::target(), record_isa::targets::dsp56k::target()] {
+        let kernels = record_dspstone::kernels();
+        let lirs = kernels
+            .iter()
+            .map(|k| Ok(lower::lower(&dfl::parse(k.source)?)?))
+            .collect::<Result<Vec<_>, CompileError>>()?;
+        let codes = session.compile_batch(&target, &lirs)?;
+        for (kernel, code) in kernels.iter().zip(codes) {
+            let code = code?;
+            let hand = handasm::hand_code(kernel.name).ok_or_else(|| {
+                CompileError::Target(crate::TargetError::NoHandCode { kernel: kernel.name.into() })
+            })?;
+            out.push(KernelSize {
+                kernel: kernel.name,
+                target: target.name.clone(),
+                insns: code.insns.len(),
+                words: code.size_words(),
+                relative_to_handasm: f64::from(code.size_words())
+                    / f64::from(hand.size_words().max(1)),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Renders [`kernel_size_report`] rows as one JSON document:
+/// `{"kernels": [{"kernel": …, "target": …, "insns": …, "words": …,
+/// "relative_to_handasm": …}, …]}`.
+pub fn render_kernel_sizes_json(rows: &[KernelSize]) -> String {
+    use record_trace::json;
+    let mut out = String::from("{\"kernels\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"kernel\":");
+        json::push_str_lit(&mut out, r.kernel);
+        out.push_str(",\"target\":");
+        json::push_str_lit(&mut out, &r.target);
+        out.push_str(&format!(",\"insns\":{},\"words\":{}", r.insns, r.words));
+        out.push_str(",\"relative_to_handasm\":");
+        json::push_f64(&mut out, r.relative_to_handasm);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
 }
 
 #[cfg(test)]
@@ -324,6 +425,25 @@ mod tests {
     }
 
     #[test]
+    fn kernel_sizes_cover_both_targets_and_render_valid_json() {
+        let session = Session::new();
+        let rows = kernel_size_report(&session).unwrap();
+        assert_eq!(rows.len(), 20, "10 kernels × 2 targets");
+        for r in &rows {
+            assert!(r.insns > 0, "{}/{} emitted nothing", r.kernel, r.target);
+            assert!(r.words > 0, "{}/{}", r.kernel, r.target);
+            assert!(r.relative_to_handasm > 0.0, "{}/{}", r.kernel, r.target);
+        }
+        // tic25 rows are the Table 1 comparison: never below hand assembly
+        for r in rows.iter().filter(|r| r.target == "tic25") {
+            assert!(r.relative_to_handasm >= 1.0, "{}: {}", r.kernel, r.relative_to_handasm);
+        }
+        let json = render_kernel_sizes_json(&rows);
+        record_trace::json::validate(&json).unwrap_or_else(|e| panic!("{e}:\n{json}"));
+        assert!(json.contains("\"target\":\"dsp56k\""), "{json}");
+    }
+
+    #[test]
     fn phase_breakdown_lists_dynamic_passes_with_stats() {
         let pb = phase_breakdown().unwrap();
         // the default plan's passes appear, aggregated by name
@@ -343,5 +463,8 @@ mod tests {
         let text = pb.to_string();
         assert!(text.contains("per-pass trace"), "{text}");
         assert!(text.contains("select"), "{text}");
+        // total AND mean columns, with units labeled
+        assert!(text.contains("total(µs)"), "{text}");
+        assert!(text.contains("mean(µs)"), "{text}");
     }
 }

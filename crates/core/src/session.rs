@@ -27,9 +27,46 @@ use std::thread;
 
 use record_ir::lir::Lir;
 use record_isa::{Code, TargetDesc};
+use record_trace::{MetricsRegistry, Tracer};
 
 use crate::timing::PhaseTimings;
 use crate::{CompileError, CompileOptions, Compiler, PassPlan};
+
+/// Bucket bounds (µs) for the `record_compile_latency_us` histogram.
+const LATENCY_BUCKETS_US: &[f64] = &[
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+    500_000.0,
+];
+
+/// Bucket bounds for the per-kernel code-size histograms
+/// (`record_kernel_insns`, `record_kernel_words`).
+const SIZE_BUCKETS: &[f64] = &[4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+
+/// Bucket bounds for `record_bundle_fill` (operations per issued
+/// instruction; 1.0 = no parallelism).
+const FILL_BUCKETS: &[f64] = &[1.0, 1.25, 1.5, 2.0, 3.0, 4.0];
+
+/// Feeds one successful compile's [`PhaseTimings`] into a registry —
+/// shared by the single-compile path (straight into the session
+/// registry) and the batch workers (into a worker-local registry merged
+/// at join).
+fn observe_compile(metrics: &MetricsRegistry, timings: &PhaseTimings) {
+    metrics.inc("record_compiles_total");
+    metrics.add("record_salvaged_passes_total", timings.salvages.len() as u64);
+    metrics.observe(
+        "record_compile_latency_us",
+        LATENCY_BUCKETS_US,
+        timings.total.as_secs_f64() * 1e6,
+    );
+    metrics.observe("record_kernel_insns", SIZE_BUCKETS, timings.insns as f64);
+    if let Some(last) = timings.passes.last() {
+        metrics.observe("record_kernel_words", SIZE_BUCKETS, f64::from(last.after.words));
+        if last.after.insns > 0 {
+            let ops = (last.after.insns + last.after.parallel_ops) as f64;
+            metrics.observe("record_bundle_fill", FILL_BUCKETS, ops / last.after.insns as f64);
+        }
+    }
+}
 
 /// Cache and counter snapshot of a [`Session`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -77,6 +114,12 @@ pub struct Session {
     compiles: AtomicUsize,
     salvaged: AtomicUsize,
     timings: Mutex<PhaseTimings>,
+    /// When set, every compile records a span tree into this tracer and
+    /// cache lookups emit `cache-hit`/`cache-miss` instant events.
+    tracer: Option<Arc<Tracer>>,
+    /// Counters, gauges and histograms fed by every compile routed
+    /// through the session (see [`Session::metrics`]).
+    metrics: MetricsRegistry,
 }
 
 impl Default for Session {
@@ -103,7 +146,44 @@ impl Session {
             compiles: AtomicUsize::new(0),
             salvaged: AtomicUsize::new(0),
             timings: Mutex::new(PhaseTimings::default()),
+            tracer: None,
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Attaches a [`Tracer`]: every subsequent compile submits a
+    /// `compile` span tree (one child span per executed pass) to it, and
+    /// compiler-cache lookups emit `cache-hit`/`cache-miss` instants.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use record::{Session, Tracer};
+    ///
+    /// let tracer = Arc::new(Tracer::new());
+    /// let session = Session::new().with_tracer(Arc::clone(&tracer));
+    /// let target = record_isa::targets::tic25::target();
+    /// session.compile_source(&target, "program p; var x, y: fix; begin y := x + 1; end")?;
+    /// assert_eq!(tracer.traces().len(), 1);
+    /// # Ok::<(), record::CompileError>(())
+    /// ```
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// The session's metrics registry: compile/salvage/cache counters,
+    /// hit-ratio and salvage-rate gauges, and latency/size/fill
+    /// histograms, aggregated across every compile (batch workers fold
+    /// their observations in at join). Render it with
+    /// [`MetricsRegistry::render_prometheus`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Routes every compile in this session through an explicit
@@ -138,9 +218,19 @@ impl Session {
             .and_then(|bucket| bucket.iter().find(|c| c.target() == target))
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.inc("record_cache_hits_total");
+            self.update_rate_gauges();
+            if let Some(t) = &self.tracer {
+                t.instant("cache-hit", &[("target", target.name.as_str().into())]);
+            }
             return Ok(Arc::clone(compiler));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc("record_cache_misses_total");
+        self.update_rate_gauges();
+        if let Some(t) = &self.tracer {
+            t.instant("cache-miss", &[("target", target.name.as_str().into())]);
+        }
         let compiler = Arc::new(Compiler::for_target(target.clone())?);
         let mut cache = self.compilers.write().expect("cache lock");
         let bucket = cache.entry(key).or_default();
@@ -161,7 +251,7 @@ impl Session {
     /// See [`CompileError`].
     pub fn compile(&self, target: &TargetDesc, lir: &Lir) -> Result<Code, CompileError> {
         let compiler = self.compiler_for(target)?;
-        let (code, timings) = self.compile_lir(&compiler, lir)?;
+        let (code, timings) = self.count_errors(self.compile_lir(&compiler, lir))?;
         self.record(&timings);
         Ok(code)
     }
@@ -189,7 +279,7 @@ impl Session {
         source: &str,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let compiler = self.compiler_for(target)?;
-        let (code, timings) = self.compile_one_source(&compiler, source)?;
+        let (code, timings) = self.count_errors(self.compile_one_source(&compiler, source))?;
         self.record(&timings);
         Ok((code, timings))
     }
@@ -212,6 +302,7 @@ impl Session {
         programs: &[Lir],
     ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
         let compiler = self.compiler_for(target)?;
+        self.note_batch_reuse(programs.len());
         self.run_batch(programs.len(), |i| self.compile_lir(&compiler, &programs[i]))
     }
 
@@ -227,6 +318,7 @@ impl Session {
         sources: &[&str],
     ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
         let compiler = self.compiler_for(target)?;
+        self.note_batch_reuse(sources.len());
         self.run_batch(sources.len(), |i| self.compile_one_source(&compiler, sources[i]))
     }
 
@@ -251,6 +343,46 @@ impl Session {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         self.salvaged.fetch_add(timings.salvages.len(), Ordering::Relaxed);
         self.timings.lock().expect("timings lock").absorb(timings);
+        observe_compile(&self.metrics, timings);
+        self.update_rate_gauges();
+    }
+
+    /// Counts a failed compile into `record_compile_errors_total`
+    /// (successes pass through untouched).
+    fn count_errors<T>(&self, result: Result<T, CompileError>) -> Result<T, CompileError> {
+        if result.is_err() {
+            self.metrics.inc("record_compile_errors_total");
+        }
+        result
+    }
+
+    /// Credits the cache with the reuse a batch actually gets: program
+    /// `i > 0` compiles against the compiler the batch looked up once,
+    /// where the equivalent sequential compiles would each have hit the
+    /// cache. Keeping the ledger this way makes batch and sequential
+    /// hit ratios identical, instead of a batch of `n` counting a single
+    /// lookup.
+    fn note_batch_reuse(&self, n: usize) {
+        let extra = n.saturating_sub(1);
+        if extra > 0 {
+            self.hits.fetch_add(extra, Ordering::Relaxed);
+            self.metrics.add("record_cache_hits_total", extra as u64);
+            self.update_rate_gauges();
+        }
+    }
+
+    /// Refreshes the derived gauges from the counters they summarize.
+    fn update_rate_gauges(&self) {
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        if hits + misses > 0 {
+            self.metrics.set_gauge("record_cache_hit_ratio", hits as f64 / (hits + misses) as f64);
+        }
+        let compiles = self.compiles.load(Ordering::Relaxed);
+        if compiles > 0 {
+            let salvaged = self.salvaged.load(Ordering::Relaxed);
+            self.metrics.set_gauge("record_salvage_rate", salvaged as f64 / compiles as f64);
+        }
     }
 
     /// The one compile primitive every session entry point funnels into:
@@ -261,9 +393,12 @@ impl Session {
         compiler: &Compiler,
         lir: &Lir,
     ) -> Result<(Code, PhaseTimings), CompileError> {
+        let tracer = self.tracer.as_deref();
         match &self.plan {
-            Some(plan) => compiler.compile_plan_timed(lir, plan),
-            None => compiler.compile_with_timed(lir, &self.options),
+            Some(plan) => compiler.compile_plan_traced(lir, plan, tracer),
+            None => {
+                compiler.compile_plan_traced(lir, &PassPlan::from_options(&self.options), tracer)
+            }
         }
     }
 
@@ -293,6 +428,11 @@ impl Session {
     /// becomes [`CompileError::Internal`] in that job's slot, so one
     /// poisoned kernel can never tear down the batch or leave its worker
     /// thread dead.
+    ///
+    /// Workers accumulate their timings, counters and metric
+    /// observations *locally* and fold them into the session once, when
+    /// they run out of work — the shared locks are taken once per worker
+    /// instead of once per compile, and nothing is dropped on join.
     fn run_batch<F>(
         &self,
         n: usize,
@@ -310,26 +450,48 @@ impl Session {
         let next = AtomicUsize::new(0);
         thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i)))
-                        .unwrap_or_else(|payload| {
-                            Err(CompileError::Internal {
-                                pass: "batch".into(),
-                                message: crate::pass::panic_message(payload.as_ref()),
-                            })
-                        });
-                    let outcome = match result {
-                        Ok((code, timings)) => {
-                            self.record(&timings);
-                            Ok(code)
+                scope.spawn(|| {
+                    let mut local_timings = PhaseTimings::default();
+                    let local_metrics = MetricsRegistry::new();
+                    let mut local_compiles = 0usize;
+                    let mut local_salvaged = 0usize;
+                    let mut did_anything = false;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
                         }
-                        Err(e) => Err(e),
-                    };
-                    *slots[i].lock().expect("slot lock") = Some(outcome);
+                        did_anything = true;
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i)))
+                                .unwrap_or_else(|payload| {
+                                    Err(CompileError::Internal {
+                                        pass: "batch".into(),
+                                        message: crate::pass::panic_message(payload.as_ref()),
+                                    })
+                                });
+                        let outcome = match result {
+                            Ok((code, timings)) => {
+                                local_compiles += 1;
+                                local_salvaged += timings.salvages.len();
+                                local_timings.absorb(&timings);
+                                observe_compile(&local_metrics, &timings);
+                                Ok(code)
+                            }
+                            Err(e) => {
+                                local_metrics.inc("record_compile_errors_total");
+                                Err(e)
+                            }
+                        };
+                        *slots[i].lock().expect("slot lock") = Some(outcome);
+                    }
+                    if did_anything {
+                        self.compiles.fetch_add(local_compiles, Ordering::Relaxed);
+                        self.salvaged.fetch_add(local_salvaged, Ordering::Relaxed);
+                        self.timings.lock().expect("timings lock").absorb(&local_timings);
+                        self.metrics.merge(&local_metrics);
+                        self.update_rate_gauges();
+                    }
                 });
             }
         });
@@ -484,6 +646,44 @@ mod tests {
             let (out, _) = run_program(code, &target, &inputs).unwrap();
             assert_eq!(out[&Symbol::new("y")], vec![5 * (i as i64 + 2) + i as i64]);
         }
+    }
+
+    #[test]
+    fn batch_hit_ratio_matches_sequential() {
+        let target = record_isa::targets::tic25::target();
+        let sources: Vec<String> = (0..8).map(src).collect();
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+
+        let sequential = Session::new();
+        for s in &refs {
+            sequential.compile_source(&target, s).unwrap();
+        }
+        let batch = Session::new();
+        batch.compile_batch_sources(&target, &refs).unwrap();
+
+        let (s, b) = (sequential.stats(), batch.stats());
+        assert_eq!((b.hits, b.misses), (s.hits, s.misses), "batch {b:?} vs sequential {s:?}");
+        assert_eq!(b.misses, 1);
+        assert_eq!(b.hits, 7);
+        // the metrics registry agrees with the atomic counters
+        assert_eq!(batch.metrics().counter("record_cache_hits_total"), 7);
+        assert_eq!(batch.metrics().counter("record_cache_misses_total"), 1);
+        assert_eq!(batch.metrics().counter("record_compiles_total"), 8);
+    }
+
+    #[test]
+    fn metrics_count_compiles_and_errors() {
+        let session = Session::new();
+        let target = record_isa::targets::tic25::target();
+        session.compile_source(&target, &src(0)).unwrap();
+        assert!(session.compile_source(&target, "program broken; begin nope").is_err());
+        let m = session.metrics();
+        assert_eq!(m.counter("record_compiles_total"), 1);
+        assert_eq!(m.counter("record_compile_errors_total"), 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("record_compile_latency_us_bucket"), "{text}");
+        assert!(text.contains("record_cache_hit_ratio"), "{text}");
+        assert!(text.contains("record_kernel_insns_count 1"), "{text}");
     }
 
     #[test]

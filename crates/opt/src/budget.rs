@@ -23,11 +23,14 @@ const DEADLINE_CHECK_INTERVAL: u64 = 1024;
 pub struct BudgetExceeded {
     /// The exhausted resource: `"steps"` or `"deadline"`.
     pub resource: &'static str,
+    /// Steps the search had charged when the bound fired (feeds the
+    /// `budget-exceeded` trace events).
+    pub steps: u64,
 }
 
 impl fmt::Display for BudgetExceeded {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "search budget exceeded: {}", self.resource)
+        write!(f, "search budget exceeded: {} (after {} steps)", self.resource, self.steps)
     }
 }
 
@@ -79,14 +82,14 @@ impl SearchBudget {
         self.steps.set(steps);
         if let Some(max) = self.max_steps {
             if steps > max {
-                return Err(BudgetExceeded { resource: "steps" });
+                return Err(BudgetExceeded { resource: "steps", steps });
             }
         }
         if let Some(deadline) = self.deadline {
             if steps >= self.next_clock_check.get() {
                 self.next_clock_check.set(steps.saturating_add(DEADLINE_CHECK_INTERVAL));
                 if Instant::now() >= deadline {
-                    return Err(BudgetExceeded { resource: "deadline" });
+                    return Err(BudgetExceeded { resource: "deadline", steps });
                 }
             }
         }

@@ -1,0 +1,308 @@
+//! Hand-rolled JSON: escaping, number formatting, and a tiny validating
+//! parser.
+//!
+//! The build container has no crates.io access, so the exporters cannot
+//! depend on `serde`; this module supplies the small slice of JSON the
+//! tracing layer actually needs: writing string literals and numbers
+//! ([`push_str_lit`], [`push_f64`]) and checking that a produced document
+//! — or a JSON-lines stream — is well-formed ([`validate`],
+//! [`validate_jsonl`]). The validator is also what CI and the golden
+//! tests use to assert the Chrome-trace output parses.
+
+use std::fmt;
+
+/// Appends `s` to `out` as a JSON string literal, quotes included.
+///
+/// Control characters, quotes and backslashes are escaped per RFC 8259;
+/// everything else (including multi-byte UTF-8) passes through verbatim.
+pub fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number. Non-finite values (which JSON cannot
+/// represent) become `null`; integral values print without a fraction.
+pub fn push_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+/// Where and why a document failed validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending input.
+    pub pos: usize,
+    /// What the parser expected or rejected.
+    pub what: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.pos, self.what)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Maximum array/object nesting the validator accepts (it recurses).
+const MAX_DEPTH: usize = 512;
+
+/// Checks that `s` is exactly one well-formed JSON document.
+///
+/// # Errors
+///
+/// [`JsonError`] locating the first violation.
+pub fn validate(s: &str) -> Result<(), JsonError> {
+    let bytes = s.as_bytes();
+    let mut pos = skip_ws(bytes, 0);
+    pos = value(bytes, pos, 0)?;
+    pos = skip_ws(bytes, pos);
+    if pos != bytes.len() {
+        return Err(JsonError { pos, what: "trailing characters after document" });
+    }
+    Ok(())
+}
+
+/// Checks that every non-empty line of `s` is a well-formed JSON document
+/// (the JSON-lines contract of [`Tracer::write_jsonl`](crate::Tracer::write_jsonl)).
+///
+/// # Errors
+///
+/// The first offending line's error, with `pos` relative to that line.
+pub fn validate_jsonl(s: &str) -> Result<(), JsonError> {
+    for line in s.lines() {
+        if !line.trim().is_empty() {
+            validate(line)?;
+        }
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+/// Parses one value starting at `pos`, returning the position just past
+/// it.
+fn value(b: &[u8], pos: usize, depth: usize) -> Result<usize, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError { pos, what: "nesting too deep" });
+    }
+    match b.get(pos) {
+        None => Err(JsonError { pos, what: "unexpected end of input" }),
+        Some(b'{') => object(b, pos, depth),
+        Some(b'[') => array(b, pos, depth),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, pos),
+        Some(_) => Err(JsonError { pos, what: "expected a value" }),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, JsonError> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Ok(pos + lit.len())
+    } else {
+        Err(JsonError { pos, what: "bad literal (true/false/null)" })
+    }
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, JsonError> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    match b.get(pos) {
+        Some(b'0') => pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(b.get(pos), Some(b'0'..=b'9')) {
+                pos += 1;
+            }
+        }
+        _ => return Err(JsonError { pos: start, what: "bad number" }),
+    }
+    if b.get(pos) == Some(&b'.') {
+        pos += 1;
+        if !matches!(b.get(pos), Some(b'0'..=b'9')) {
+            return Err(JsonError { pos, what: "digit expected after decimal point" });
+        }
+        while matches!(b.get(pos), Some(b'0'..=b'9')) {
+            pos += 1;
+        }
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        if !matches!(b.get(pos), Some(b'0'..=b'9')) {
+            return Err(JsonError { pos, what: "digit expected in exponent" });
+        }
+        while matches!(b.get(pos), Some(b'0'..=b'9')) {
+            pos += 1;
+        }
+    }
+    Ok(pos)
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, JsonError> {
+    pos += 1; // opening quote
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = b
+                        .get(pos + 2..pos + 6)
+                        .ok_or(JsonError { pos, what: "truncated \\u escape" })?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(JsonError { pos, what: "bad \\u escape" });
+                    }
+                    pos += 6;
+                }
+                _ => return Err(JsonError { pos, what: "bad escape" }),
+            },
+            0x00..=0x1F => return Err(JsonError { pos, what: "raw control character in string" }),
+            _ => pos += 1,
+        }
+    }
+    Err(JsonError { pos, what: "unterminated string" })
+}
+
+fn array(b: &[u8], mut pos: usize, depth: usize) -> Result<usize, JsonError> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos, depth + 1)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(JsonError { pos, what: "expected ',' or ']'" }),
+        }
+    }
+}
+
+fn object(b: &[u8], mut pos: usize, depth: usize) -> Result<usize, JsonError> {
+    pos = skip_ws(b, pos + 1);
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(JsonError { pos, what: "expected a string key" });
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(JsonError { pos, what: "expected ':'" });
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos, depth + 1)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(JsonError { pos, what: "expected ',' or '}'" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_through_the_validator() {
+        for nasty in ["plain", "quo\"te", "back\\slash", "new\nline", "tab\tcr\r", "nul\u{01}"] {
+            let mut out = String::new();
+            push_str_lit(&mut out, nasty);
+            validate(&out).unwrap_or_else(|e| panic!("{nasty:?} -> {out}: {e}"));
+        }
+        let mut out = String::new();
+        push_str_lit(&mut out, "a\"b\nc");
+        assert_eq!(out, "\"a\\\"b\\nc\"");
+    }
+
+    #[test]
+    fn numbers_render_valid_json() {
+        for (v, want) in [(1.0, "1"), (-2.5, "-2.5"), (0.0, "0"), (f64::NAN, "null")] {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            assert_eq!(out, want);
+            validate(&out).unwrap();
+        }
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_documents() {
+        for doc in [
+            "null",
+            "true",
+            "-12.5e3",
+            "\"hi\\u0041\"",
+            "[]",
+            "[1, 2, [3]]",
+            "{}",
+            "{\"a\": {\"b\": [1, \"x\", null]}, \"c\": false}",
+            "  {\"trailing_ws\": 1}  ",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{'a': 1}",
+            "nul",
+            "01",
+            "1.",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "[1] trailing",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate(doc).is_err(), "accepted {doc:?}");
+        }
+    }
+
+    #[test]
+    fn jsonl_checks_every_line() {
+        validate_jsonl("{\"a\":1}\n{\"b\":2}\n\n").unwrap();
+        assert!(validate_jsonl("{\"a\":1}\n{oops}\n").is_err());
+    }
+}

@@ -1,0 +1,736 @@
+//! `record-trace` — dependency-free structured tracing and metrics.
+//!
+//! The compiler's evaluation (Table 1, the phase breakdown, the ablation
+//! benches) hinges on *measuring* it. This crate supplies the
+//! machine-readable layer those measurements flow through:
+//!
+//! * [`SpanRecorder`] — a cheap, single-threaded builder of hierarchical
+//!   [`Span`] trees with typed [`Event`]s and attributes. A disabled
+//!   recorder ([`SpanRecorder::disabled`]) is a no-op costing one branch
+//!   per call, so tracing can stay threaded through the hot path
+//!   unconditionally.
+//! * [`Tracer`] — the shared, thread-safe collector: every compile's
+//!   finished span tree is [`submit`](Tracer::submit)ted to it, tagged
+//!   with a per-thread lane so batch workers stay distinguishable.
+//! * [`MetricsRegistry`] — counters, gauges and fixed-bucket histograms
+//!   with deterministic ordering (see [`metrics`]).
+//! * Exporters — JSON-lines ([`Tracer::write_jsonl`]), Chrome trace-event
+//!   format ([`Tracer::write_chrome_trace`], loadable in Perfetto or
+//!   `chrome://tracing`) and Prometheus-style text
+//!   ([`MetricsRegistry::write_prometheus`]). All JSON is hand-rolled
+//!   ([`json`]) — no serde — and validated by the vendored checker
+//!   ([`json::validate`]).
+//!
+//! Everything is deterministic modulo timestamps; [`Tracer::fake_clock`]
+//! replaces wall time with a tick-per-call counter for byte-stable
+//! golden tests.
+//!
+//! ```
+//! use record_trace::Tracer;
+//!
+//! let tracer = Tracer::fake_clock();
+//! let mut rec = tracer.recorder();
+//! rec.open("compile");
+//! rec.attr("kernel", "fir");
+//! rec.open("select");
+//! rec.event("cover", &[("variants", 12i64.into())]);
+//! rec.close();
+//! rec.close();
+//! tracer.submit(rec);
+//! let mut out = Vec::new();
+//! tracer.write_chrome_trace(&mut out).unwrap();
+//! record_trace::json::validate(std::str::from_utf8(&out).unwrap()).unwrap();
+//! ```
+
+pub mod json;
+pub mod metrics;
+
+pub use metrics::{Histogram, Metric, MetricsRegistry};
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+// --------------------------------------------------------------------------
+// Clock
+// --------------------------------------------------------------------------
+
+/// A microsecond clock shared by a [`Tracer`] and its recorders: either
+/// wall time relative to the tracer's creation, or — for byte-stable
+/// tests — a fake that advances one microsecond per reading.
+#[derive(Clone, Debug)]
+pub struct Clock(Arc<ClockInner>);
+
+#[derive(Debug)]
+enum ClockInner {
+    Real(Instant),
+    Fake(AtomicU64),
+}
+
+impl Clock {
+    /// Wall time, in microseconds since this call.
+    pub fn real() -> Self {
+        Clock(Arc::new(ClockInner::Real(Instant::now())))
+    }
+
+    /// A deterministic clock: the first reading is 0, each subsequent
+    /// reading is one microsecond later, regardless of wall time.
+    pub fn fake() -> Self {
+        Clock(Arc::new(ClockInner::Fake(AtomicU64::new(0))))
+    }
+
+    /// The current timestamp in microseconds.
+    pub fn now_us(&self) -> u64 {
+        match &*self.0 {
+            ClockInner::Real(base) => base.elapsed().as_micros() as u64,
+            ClockInner::Fake(ticks) => ticks.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Spans and events
+// --------------------------------------------------------------------------
+
+/// A typed attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Signed integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(i64::from(v))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+fn push_attr_value(out: &mut String, v: &AttrValue) {
+    match v {
+        AttrValue::Int(i) => out.push_str(&i.to_string()),
+        AttrValue::Float(f) => json::push_f64(out, *f),
+        AttrValue::Str(s) => json::push_str_lit(out, s),
+        AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn push_attrs(out: &mut String, attrs: &[(String, AttrValue)]) {
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_str_lit(out, k);
+        out.push(':');
+        push_attr_value(out, v);
+    }
+    out.push('}');
+}
+
+/// A point-in-time occurrence inside (or outside) a span: salvage,
+/// budget exceedance, cache hit/miss, verify failure, ….
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Event name.
+    pub name: String,
+    /// Timestamp, microseconds on the owning tracer's clock.
+    pub ts_us: u64,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// One node of a trace: a named, timed region with attributes, events
+/// and child spans.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// Span name (for compiler passes: the `PassRecord` name).
+    pub name: String,
+    /// Start timestamp, microseconds.
+    pub start_us: u64,
+    /// End timestamp, microseconds (`>= start_us`).
+    pub end_us: u64,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+    /// Events recorded while this span was the innermost open one.
+    pub events: Vec<Event>,
+    /// Nested spans, in open order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Duration in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// The first attribute named `key`, if any.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Depth-first pre-order visit of this span and its descendants.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Span, usize)) {
+        fn go<'a>(s: &'a Span, depth: usize, f: &mut impl FnMut(&'a Span, usize)) {
+            f(s, depth);
+            for c in &s.children {
+                go(c, depth + 1, f);
+            }
+        }
+        go(self, 0, f);
+    }
+}
+
+// --------------------------------------------------------------------------
+// SpanRecorder
+// --------------------------------------------------------------------------
+
+/// A cheap, single-threaded span-tree builder.
+///
+/// One recorder accompanies one compilation: the driver opens the root
+/// span, each pass opens a child, events and attributes attach to the
+/// innermost open span, and the finished tree is
+/// [`Tracer::submit`]ted. The disabled recorder (the [`Default`]) makes
+/// every method a no-op, so instrumentation can stay unconditional.
+#[derive(Debug, Default)]
+pub struct SpanRecorder {
+    clock: Option<Clock>,
+    stack: Vec<Span>,
+    roots: Vec<Span>,
+    loose: Vec<Event>,
+}
+
+impl SpanRecorder {
+    /// A recorder that records nothing (every call is a cheap no-op).
+    pub fn disabled() -> Self {
+        SpanRecorder::default()
+    }
+
+    /// A recorder stamping times from `clock` (usually obtained via
+    /// [`Tracer::recorder`]).
+    pub fn enabled(clock: Clock) -> Self {
+        SpanRecorder { clock: Some(clock), ..Default::default() }
+    }
+
+    /// Whether this recorder is actually recording.
+    pub fn is_enabled(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// Opens a span named `name` nested under the innermost open span.
+    pub fn open(&mut self, name: &str) {
+        let Some(clock) = &self.clock else { return };
+        self.stack.push(Span {
+            name: name.to_string(),
+            start_us: clock.now_us(),
+            end_us: 0,
+            attrs: Vec::new(),
+            events: Vec::new(),
+            children: Vec::new(),
+        });
+    }
+
+    /// Closes the innermost open span.
+    pub fn close(&mut self) {
+        let Some(clock) = &self.clock else { return };
+        let Some(mut span) = self.stack.pop() else {
+            debug_assert!(false, "close() without an open span");
+            return;
+        };
+        span.end_us = clock.now_us().max(span.start_us);
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(span),
+            None => self.roots.push(span),
+        }
+    }
+
+    /// Attaches `key = value` to the innermost open span.
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if self.clock.is_none() {
+            return;
+        }
+        if let Some(span) = self.stack.last_mut() {
+            span.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Records an instant event on the innermost open span (or at the
+    /// trace's top level when no span is open).
+    pub fn event(&mut self, name: &str, attrs: &[(&str, AttrValue)]) {
+        let Some(clock) = &self.clock else { return };
+        let event = Event {
+            name: name.to_string(),
+            ts_us: clock.now_us(),
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        match self.stack.last_mut() {
+            Some(span) => span.events.push(event),
+            None => self.loose.push(event),
+        }
+    }
+
+    /// Opens a span and returns a guard that closes it on drop — the
+    /// scope-based alternative to explicit [`open`](Self::open)/
+    /// [`close`](Self::close) (see also the [`span!`](crate::span) macro).
+    pub fn span(&mut self, name: &str) -> SpanGuard<'_> {
+        self.open(name);
+        SpanGuard { rec: self }
+    }
+
+    /// Closes any still-open spans (attributing `error` to each when
+    /// given) and returns the finished root spans plus top-level events.
+    pub fn finish(mut self, error: Option<&str>) -> (Vec<Span>, Vec<Event>) {
+        while !self.stack.is_empty() {
+            if let Some(e) = error {
+                self.attr("unclosed_error", e);
+            }
+            self.close();
+        }
+        (self.roots, self.loose)
+    }
+}
+
+/// Closes its span when dropped; created by [`SpanRecorder::span`].
+pub struct SpanGuard<'a> {
+    rec: &'a mut SpanRecorder,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches `key = value` to the guarded span.
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        self.rec.attr(key, value);
+    }
+
+    /// Records an event on the guarded span.
+    pub fn event(&mut self, name: &str, attrs: &[(&str, AttrValue)]) {
+        self.rec.event(name, attrs);
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.rec.close();
+    }
+}
+
+/// Opens a scope-guarded span with optional inline attributes:
+///
+/// ```
+/// use record_trace::{span, Tracer};
+///
+/// let tracer = Tracer::fake_clock();
+/// let mut rec = tracer.recorder();
+/// {
+///     let _g = span!(rec, "select", kernel = "fir", target = "tic25");
+/// } // span closes here
+/// tracer.submit(rec);
+/// assert_eq!(tracer.traces()[0].root.name, "select");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut guard = $rec.span($name);
+        $(guard.attr(stringify!($key), $value);)*
+        guard
+    }};
+}
+
+// --------------------------------------------------------------------------
+// Tracer
+// --------------------------------------------------------------------------
+
+/// One finished compilation trace: the root [`Span`] plus the lane
+/// (1-based worker-thread index) it was recorded on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// 1-based lane (one per submitting thread, in first-submission
+    /// order; single-threaded runs always use lane 1).
+    pub lane: usize,
+    /// The trace itself.
+    pub root: Span,
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    lanes: HashMap<ThreadId, usize>,
+    traces: Vec<TraceRecord>,
+    instants: Vec<(usize, Event)>,
+}
+
+/// The shared, thread-safe trace collector.
+///
+/// Recorders are handed out per compile ([`recorder`](Tracer::recorder)),
+/// filled single-threadedly, and [`submit`](Tracer::submit)ted back;
+/// instant events outside any compile (cache hits/misses) go through
+/// [`instant`](Tracer::instant). Exporters render everything collected
+/// so far.
+#[derive(Debug)]
+pub struct Tracer {
+    clock: Clock,
+    inner: Mutex<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer stamping wall-clock microseconds (relative to creation).
+    pub fn new() -> Self {
+        Tracer { clock: Clock::real(), inner: Mutex::new(TracerInner::default()) }
+    }
+
+    /// A tracer whose clock advances one microsecond per reading —
+    /// deterministic timestamps for byte-stable golden tests.
+    pub fn fake_clock() -> Self {
+        Tracer { clock: Clock::fake(), inner: Mutex::new(TracerInner::default()) }
+    }
+
+    /// The tracer's clock (shared with its recorders).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// A fresh enabled recorder on this tracer's clock.
+    pub fn recorder(&self) -> SpanRecorder {
+        SpanRecorder::enabled(self.clock.clone())
+    }
+
+    /// Adopts a finished recorder: its root spans become
+    /// [`TraceRecord`]s on the submitting thread's lane. Any span left
+    /// open is closed first.
+    pub fn submit(&self, recorder: SpanRecorder) {
+        let (roots, loose) = recorder.finish(None);
+        if roots.is_empty() && loose.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("tracer lock");
+        let lane = lane_of(&mut inner);
+        for root in roots {
+            inner.traces.push(TraceRecord { lane, root });
+        }
+        for event in loose {
+            inner.instants.push((lane, event));
+        }
+    }
+
+    /// Records a top-level instant event (outside any compile's span
+    /// tree) — e.g. a compiler-cache hit or miss.
+    pub fn instant(&self, name: &str, attrs: &[(&str, AttrValue)]) {
+        let event = Event {
+            name: name.to_string(),
+            ts_us: self.clock.now_us(),
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        };
+        let mut inner = self.inner.lock().expect("tracer lock");
+        let lane = lane_of(&mut inner);
+        inner.instants.push((lane, event));
+    }
+
+    /// Snapshot of every submitted trace, in submission order.
+    pub fn traces(&self) -> Vec<TraceRecord> {
+        self.inner.lock().expect("tracer lock").traces.clone()
+    }
+
+    /// Snapshot of the top-level instant events, as `(lane, event)`.
+    pub fn instants(&self) -> Vec<(usize, Event)> {
+        self.inner.lock().expect("tracer lock").instants.clone()
+    }
+
+    /// Writes every span and event as JSON lines: one object per line,
+    /// spans depth-first (`type:"span"`, with `lane`, `depth`,
+    /// `start_us`, `dur_us`, `attrs`), each span's events directly after
+    /// it (`type:"event"`, with `span` naming the owner), then the
+    /// top-level instants.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from `w`.
+    pub fn write_jsonl(&self, w: &mut dyn Write) -> io::Result<()> {
+        let mut out = String::new();
+        let inner = self.inner.lock().expect("tracer lock");
+        for rec in &inner.traces {
+            rec.root.walk(&mut |span, depth| {
+                out.push_str("{\"type\":\"span\",\"lane\":");
+                out.push_str(&rec.lane.to_string());
+                out.push_str(",\"depth\":");
+                out.push_str(&depth.to_string());
+                out.push_str(",\"name\":");
+                json::push_str_lit(&mut out, &span.name);
+                out.push_str(",\"start_us\":");
+                out.push_str(&span.start_us.to_string());
+                out.push_str(",\"dur_us\":");
+                out.push_str(&span.dur_us().to_string());
+                out.push_str(",\"attrs\":");
+                push_attrs(&mut out, &span.attrs);
+                out.push_str("}\n");
+                for event in &span.events {
+                    push_jsonl_event(&mut out, rec.lane, Some(&span.name), event);
+                }
+            });
+        }
+        for (lane, event) in &inner.instants {
+            push_jsonl_event(&mut out, *lane, None, event);
+        }
+        w.write_all(out.as_bytes())
+    }
+
+    /// Writes the collected traces in Chrome trace-event format — a
+    /// `{"traceEvents": [...]}` document loadable in Perfetto
+    /// (<https://ui.perfetto.dev>) or `chrome://tracing`. Spans become
+    /// `ph:"X"` complete events on one `tid` lane per submitting thread;
+    /// span events and top-level instants become `ph:"i"` instants.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from `w`.
+    pub fn write_chrome_trace(&self, w: &mut dyn Write) -> io::Result<()> {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let inner = self.inner.lock().expect("tracer lock");
+        let lanes: usize = inner.lanes.len().max(1);
+        for lane in 1..=lanes {
+            push_sep(&mut out, &mut first);
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"worker-{lane}\"}}}}"
+            ));
+        }
+        for rec in &inner.traces {
+            rec.root.walk(&mut |span, _| {
+                push_sep(&mut out, &mut first);
+                out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+                out.push_str(&rec.lane.to_string());
+                out.push_str(",\"name\":");
+                json::push_str_lit(&mut out, &span.name);
+                out.push_str(",\"ts\":");
+                out.push_str(&span.start_us.to_string());
+                out.push_str(",\"dur\":");
+                out.push_str(&span.dur_us().to_string());
+                out.push_str(",\"args\":");
+                push_attrs(&mut out, &span.attrs);
+                out.push('}');
+                for event in &span.events {
+                    push_sep(&mut out, &mut first);
+                    push_chrome_instant(&mut out, rec.lane, event);
+                }
+            });
+        }
+        for (lane, event) in &inner.instants {
+            push_sep(&mut out, &mut first);
+            push_chrome_instant(&mut out, *lane, event);
+        }
+        out.push_str("]}\n");
+        w.write_all(out.as_bytes())
+    }
+}
+
+fn lane_of(inner: &mut TracerInner) -> usize {
+    let next = inner.lanes.len() + 1;
+    *inner.lanes.entry(std::thread::current().id()).or_insert(next)
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+}
+
+fn push_jsonl_event(out: &mut String, lane: usize, span: Option<&str>, event: &Event) {
+    out.push_str("{\"type\":\"event\",\"lane\":");
+    out.push_str(&lane.to_string());
+    if let Some(span) = span {
+        out.push_str(",\"span\":");
+        json::push_str_lit(out, span);
+    }
+    out.push_str(",\"name\":");
+    json::push_str_lit(out, &event.name);
+    out.push_str(",\"ts_us\":");
+    out.push_str(&event.ts_us.to_string());
+    out.push_str(",\"attrs\":");
+    push_attrs(out, &event.attrs);
+    out.push_str("}\n");
+}
+
+fn push_chrome_instant(out: &mut String, lane: usize, event: &Event) {
+    out.push_str("{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":");
+    out.push_str(&lane.to_string());
+    out.push_str(",\"name\":");
+    json::push_str_lit(out, &event.name);
+    out.push_str(",\"ts\":");
+    out.push_str(&event.ts_us.to_string());
+    out.push_str(",\"args\":");
+    push_attrs(out, &event.attrs);
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tracer() -> Tracer {
+        let tracer = Tracer::fake_clock();
+        let mut rec = tracer.recorder();
+        rec.open("compile");
+        rec.attr("kernel", "fir");
+        rec.open("select");
+        rec.event("cover", &[("variants", 3i64.into())]);
+        rec.close();
+        rec.close();
+        tracer.submit(rec);
+        tracer.instant("cache-hit", &[("target", "tic25".into())]);
+        tracer
+    }
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        let tracer = sample_tracer();
+        let traces = tracer.traces();
+        assert_eq!(traces.len(), 1);
+        let root = &traces[0].root;
+        assert_eq!(root.name, "compile");
+        assert_eq!(root.attr("kernel"), Some(&AttrValue::Str("fir".into())));
+        assert_eq!(root.children.len(), 1);
+        let select = &root.children[0];
+        assert_eq!(select.name, "select");
+        assert!(root.start_us < select.start_us);
+        assert!(select.end_us <= root.end_us);
+        assert_eq!(select.events.len(), 1);
+        assert_eq!(tracer.instants().len(), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let mut rec = SpanRecorder::disabled();
+        rec.open("x");
+        rec.attr("k", 1i64);
+        rec.event("e", &[]);
+        rec.close();
+        let (roots, loose) = rec.finish(None);
+        assert!(roots.is_empty() && loose.is_empty());
+    }
+
+    #[test]
+    fn finish_closes_abandoned_spans_with_the_error() {
+        let tracer = Tracer::fake_clock();
+        let mut rec = tracer.recorder();
+        rec.open("compile");
+        rec.open("banks");
+        let (roots, _) = rec.finish(Some("boom"));
+        assert_eq!(roots.len(), 1);
+        assert_eq!(
+            roots[0].children[0].attr("unclosed_error"),
+            Some(&AttrValue::Str("boom".into()))
+        );
+        assert!(roots[0].end_us >= roots[0].children[0].end_us);
+    }
+
+    #[test]
+    fn exports_are_valid_json() {
+        let tracer = sample_tracer();
+        let mut jsonl = Vec::new();
+        tracer.write_jsonl(&mut jsonl).unwrap();
+        let jsonl = String::from_utf8(jsonl).unwrap();
+        json::validate_jsonl(&jsonl).unwrap_or_else(|e| panic!("{e}:\n{jsonl}"));
+        assert!(jsonl.contains("\"type\":\"span\""));
+        assert!(jsonl.contains("\"span\":\"select\""), "event names its span: {jsonl}");
+
+        let mut chrome = Vec::new();
+        tracer.write_chrome_trace(&mut chrome).unwrap();
+        let chrome = String::from_utf8(chrome).unwrap();
+        json::validate(&chrome).unwrap_or_else(|e| panic!("{e}:\n{chrome}"));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"ph\":\"i\""));
+        assert!(chrome.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn fake_clock_makes_output_byte_stable() {
+        let render = || {
+            let tracer = sample_tracer();
+            let mut out = Vec::new();
+            tracer.write_jsonl(&mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        assert_eq!(render(), render());
+    }
+
+    #[test]
+    fn span_macro_guards_a_scope() {
+        let tracer = Tracer::fake_clock();
+        let mut rec = tracer.recorder();
+        {
+            let mut g = span!(rec, "outer", kernel = "k");
+            g.event("tick", &[]);
+        }
+        tracer.submit(rec);
+        let traces = tracer.traces();
+        assert_eq!(traces[0].root.name, "outer");
+        assert_eq!(traces[0].root.events.len(), 1);
+    }
+
+    #[test]
+    fn lanes_distinguish_threads() {
+        let tracer = Tracer::fake_clock();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let mut rec = tracer.recorder();
+                    rec.open("compile");
+                    rec.close();
+                    tracer.submit(rec);
+                });
+            }
+        });
+        let lanes: std::collections::HashSet<usize> =
+            tracer.traces().iter().map(|t| t.lane).collect();
+        assert_eq!(lanes.len(), 2, "each thread gets its own lane");
+    }
+}

@@ -1,0 +1,281 @@
+//! A session-level metrics registry: counters, gauges and fixed-bucket
+//! histograms with deterministic (sorted-name) ordering.
+//!
+//! The registry is thread-safe behind one mutex; for hot paths (the
+//! batch compile workers) the intended pattern is a *worker-local*
+//! registry that is [`merge`](MetricsRegistry::merge)d into the shared
+//! one when the worker joins, so the lock is taken once per worker
+//! rather than once per observation.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+use crate::json;
+
+/// One named metric's current value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time value (last write wins).
+    Gauge(f64),
+    /// A fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+/// A fixed-bucket histogram: `bounds` are ascending upper bounds, with an
+/// implicit `+Inf` bucket at the end, so `counts.len() == bounds.len() + 1`.
+/// Bucket counts are stored non-cumulatively; the Prometheus exporter
+/// renders the conventional cumulative `_bucket` series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Ascending upper bounds (exclusive of the implicit `+Inf`).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Sum of every observed value.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend: {bounds:?}");
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0, count: 0 }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let ix = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
+        self.counts[ix] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn absorb(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.bounds, other.bounds, "merging histograms with different buckets");
+        if self.bounds == other.bounds {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += b;
+            }
+            self.sum += other.sum;
+            self.count += other.count;
+        }
+    }
+}
+
+/// A thread-safe registry of named metrics with deterministic ordering.
+///
+/// ```
+/// use record_trace::MetricsRegistry;
+///
+/// let m = MetricsRegistry::new();
+/// m.inc("compiles_total");
+/// m.observe("latency_us", &[100.0, 1000.0], 250.0);
+/// let text = m.render_prometheus();
+/// assert!(text.contains("compiles_total 1"));
+/// assert!(text.contains("latency_us_bucket{le=\"1000\"} 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to the counter `name` (created at zero on first use).
+    pub fn add(&self, name: &str, n: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match inner.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += n,
+            other => debug_assert!(false, "{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Adds 1 to the counter `name`.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the gauge `name` to `v` (last write wins).
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match inner.entry(name.to_string()).or_insert(Metric::Gauge(v)) {
+            Metric::Gauge(g) => *g = v,
+            other => debug_assert!(false, "{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records `v` into the histogram `name`, creating it with `bounds`
+    /// on first use (later calls must pass the same bounds).
+    pub fn observe(&self, name: &str, bounds: &[f64], v: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match inner
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.observe(v),
+            other => debug_assert!(false, "{name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// The current value of `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.inner.lock().expect("metrics lock").get(name).cloned()
+    }
+
+    /// Convenience: the counter `name`'s value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(Metric::Counter(c)) => c,
+            _ => 0,
+        }
+    }
+
+    /// Every metric, sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, Metric> {
+        self.inner.lock().expect("metrics lock").clone()
+    }
+
+    /// Folds `other` into `self`: counters and histograms add, gauges
+    /// take `other`'s value. This is the worker-join aggregation path.
+    pub fn merge(&self, other: &MetricsRegistry) {
+        let theirs = other.snapshot();
+        let mut inner = self.inner.lock().expect("metrics lock");
+        for (name, metric) in theirs {
+            match (inner.get_mut(&name), metric) {
+                (Some(Metric::Counter(a)), Metric::Counter(b)) => *a += b,
+                (Some(Metric::Gauge(a)), Metric::Gauge(b)) => *a = b,
+                (Some(Metric::Histogram(a)), Metric::Histogram(ref b)) => a.absorb(b),
+                (Some(existing), incoming) => {
+                    debug_assert!(false, "{name}: merging {incoming:?} into {existing:?}")
+                }
+                (None, metric) => {
+                    inner.insert(name, metric);
+                }
+            }
+        }
+    }
+
+    /// Renders the registry as flat Prometheus-style exposition text,
+    /// metrics sorted by name, histograms as cumulative `_bucket` /
+    /// `_sum` / `_count` series.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.snapshot() {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {c}\n"));
+                }
+                Metric::Gauge(g) => {
+                    let mut v = String::new();
+                    json::push_f64(&mut v, g);
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                        cumulative += count;
+                        let mut b = String::new();
+                        json::push_f64(&mut b, *bound);
+                        out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    let mut sum = String::new();
+                    json::push_f64(&mut sum, h.sum);
+                    out.push_str(&format!("{name}_sum {sum}\n{name}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// Writes [`render_prometheus`](Self::render_prometheus) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from `w`.
+    pub fn write_prometheus(&self, w: &mut dyn Write) -> io::Result<()> {
+        w.write_all(self.render_prometheus().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register() {
+        let m = MetricsRegistry::new();
+        m.inc("a_total");
+        m.add("a_total", 4);
+        m.set_gauge("ratio", 0.5);
+        m.set_gauge("ratio", 0.75);
+        assert_eq!(m.get("a_total"), Some(Metric::Counter(5)));
+        assert_eq!(m.get("ratio"), Some(Metric::Gauge(0.75)));
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_fill_correctly() {
+        let m = MetricsRegistry::new();
+        let bounds = [10.0, 100.0];
+        for v in [5.0, 10.0, 11.0, 250.0] {
+            m.observe("h", &bounds, v);
+        }
+        let Some(Metric::Histogram(h)) = m.get("h") else { panic!("missing histogram") };
+        assert_eq!(h.counts, vec![2, 1, 1], "10.0 lands in the le=10 bucket");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 276.0);
+        assert_eq!(h.mean(), 69.0);
+    }
+
+    #[test]
+    fn merge_folds_worker_registries() {
+        let shared = MetricsRegistry::new();
+        shared.add("n_total", 1);
+        shared.observe("h", &[10.0], 3.0);
+        let local = MetricsRegistry::new();
+        local.add("n_total", 2);
+        local.observe("h", &[10.0], 30.0);
+        local.set_gauge("g", 9.0);
+        shared.merge(&local);
+        assert_eq!(shared.get("n_total"), Some(Metric::Counter(3)));
+        assert_eq!(shared.get("g"), Some(Metric::Gauge(9.0)));
+        let Some(Metric::Histogram(h)) = shared.get("h") else { panic!() };
+        assert_eq!(h.counts, vec![1, 1]);
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn prometheus_text_is_sorted_and_cumulative() {
+        let m = MetricsRegistry::new();
+        m.observe("zz_lat", &[1.0, 2.0], 0.5);
+        m.observe("zz_lat", &[1.0, 2.0], 1.5);
+        m.observe("zz_lat", &[1.0, 2.0], 99.0);
+        m.inc("aa_total");
+        let text = m.render_prometheus();
+        let aa = text.find("aa_total").unwrap();
+        let zz = text.find("zz_lat").unwrap();
+        assert!(aa < zz, "sorted by name:\n{text}");
+        assert!(text.contains("zz_lat_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("zz_lat_bucket{le=\"2\"} 2\n"), "cumulative: {text}");
+        assert!(text.contains("zz_lat_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("zz_lat_count 3\n"), "{text}");
+    }
+}

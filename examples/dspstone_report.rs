@@ -16,9 +16,36 @@
 //! ```sh
 //! cargo run --example dspstone_report
 //! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--json PATH` — per-kernel `{insns, words, relative_to_handasm}`
+//!   for all ten kernels on both shipped targets, as one JSON document
+//! * `--trace PATH` — Chrome trace-event dump of every compile the run
+//!   performed (span per pass, instant per cache event); open it at
+//!   <https://ui.perfetto.dev> or `chrome://tracing`
+
+use std::sync::Arc;
+
+use record::{Session, Tracer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let table = record::report::table1()?;
+    let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--json" => json_path = Some(value()?),
+            "--trace" => trace_path = Some(value()?),
+            other => return Err(format!("unknown flag {other:?}").into()),
+        }
+    }
+
+    let tracer = Arc::new(Tracer::new());
+    let session = Session::new().with_tracer(tracer.clone());
+
+    let table = record::report::table1_in(&session)?;
     println!("{table}");
 
     println!("Section 3.1 cycle overhead (baseline compiler vs hand assembly):");
@@ -43,7 +70,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nWhere compilation time goes (tic25, one Session, cached BURS tables):");
-    let breakdown = record::report::phase_breakdown()?;
+    let breakdown = record::report::phase_breakdown_in(&session)?;
     println!("{breakdown}");
+
+    if let Some(path) = &json_path {
+        let rows = record::report::kernel_size_report(&session)?;
+        let json = record::report::render_kernel_sizes_json(&rows);
+        record_trace::json::validate(&json).expect("kernel size JSON is well-formed");
+        std::fs::write(path, json)?;
+        println!("wrote {path} ({} kernel rows)", rows.len());
+    }
+    if let Some(path) = &trace_path {
+        let mut f = std::fs::File::create(path)?;
+        tracer.write_chrome_trace(&mut f)?;
+        println!("wrote {path} ({} compile traces)", tracer.traces().len());
+    }
     Ok(())
 }

@@ -13,15 +13,21 @@
 //! * `--frontend N` — frontend panic-freedom cases (default 2000)
 //! * `--differential N` — differential cases per target (default 50)
 //! * `--seed HEX` — base seed for both runs (default `0xC0DE`)
+//! * `--json PATH` — write both reports as one JSON object to `PATH`
+//! * `--trace PATH` — write a Chrome trace (one span per fuzz run, one
+//!   instant per failure) to `PATH`; open it at <https://ui.perfetto.dev>
 
 use std::process::ExitCode;
 
+use record::Tracer;
 use record_repro::fuzz;
 
 fn main() -> ExitCode {
     let mut frontend = 2000usize;
     let mut differential = 50usize;
     let mut seed = 0xC0DEu64;
+    let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -41,6 +47,8 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 });
             }
+            "--json" => json_path = Some(value(&mut args)),
+            "--trace" => trace_path = Some(value(&mut args)),
             other => {
                 eprintln!("unknown flag {other:?}");
                 return ExitCode::from(2);
@@ -50,11 +58,37 @@ fn main() -> ExitCode {
 
     println!("fuzz smoke: seed {seed:#x}, {frontend} frontend + {differential} differential cases");
 
-    let front = fuzz::run_frontend_fuzz(frontend, seed);
+    let tracer = trace_path.as_ref().map(|_| Tracer::new());
+    let front = fuzz::run_frontend_fuzz_traced(frontend, seed, tracer.as_ref());
     println!("frontend:     {front}");
 
-    let diff = fuzz::run_differential_fuzz(differential, seed.rotate_left(32));
+    let diff =
+        fuzz::run_differential_fuzz_traced(differential, seed.rotate_left(32), tracer.as_ref());
     println!("differential: {diff}");
+
+    if let Some(path) = &json_path {
+        let json = format!(
+            "{{\"seed\":\"{seed:#x}\",\"frontend\":{},\"differential\":{},\"clean\":{}}}\n",
+            front.render_json(),
+            diff.render_json(),
+            front.clean() && diff.clean()
+        );
+        record_trace::json::validate(&json).expect("fuzz report JSON is well-formed");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        if let Err(e) =
+            std::fs::File::create(path).and_then(|mut f| tracer.write_chrome_trace(&mut f))
+        {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
 
     if front.clean() && diff.clean() {
         println!("fuzz smoke clean");

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use record::{CompilationUnit, CompileError, Compiler, Pass, PassPlan};
+use record::{CompilationUnit, CompileError, Compiler, Pass, PassPlan, Tracer};
 use record_ir::lir::{Lir, StorageKind};
 use record_ir::Symbol;
 use record_isa::{Code, TargetDesc};
@@ -65,6 +65,41 @@ impl FuzzReport {
     /// True when no case panicked or miscompared.
     pub fn clean(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// The report as one JSON object (counters plus the failure list),
+    /// for the `fuzz_smoke --json` artifact.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"cases\":");
+        out.push_str(&self.cases.to_string());
+        out.push_str(",\"rejected\":");
+        out.push_str(&self.rejected.to_string());
+        out.push_str(",\"compared\":");
+        out.push_str(&self.compared.to_string());
+        out.push_str(",\"skipped\":");
+        out.push_str(&self.skipped.to_string());
+        out.push_str(",\"clean\":");
+        out.push_str(if self.clean() { "true" } else { "false" });
+        out.push_str(",\"failures\":[");
+        for (i, failure) in self.failures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            record_trace::json::push_str_lit(&mut out, failure);
+        }
+        out.push_str("]}");
+        debug_assert!(record_trace::json::validate(&out).is_ok());
+        out
+    }
+
+    /// Stamps the final counters onto the innermost open span of `rec`.
+    fn close_span(&self, rec: &mut record::SpanRecorder) {
+        rec.attr("cases", self.cases);
+        rec.attr("rejected", self.rejected);
+        rec.attr("compared", self.compared);
+        rec.attr("skipped", self.skipped);
+        rec.attr("failures", self.failures.len());
+        rec.close();
     }
 }
 
@@ -136,7 +171,22 @@ fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
 /// Runs `iterations` frontend panic-freedom cases derived from
 /// `base_seed`.
 pub fn run_frontend_fuzz(iterations: usize, base_seed: u64) -> FuzzReport {
-    with_quiet_panics(|| {
+    run_frontend_fuzz_traced(iterations, base_seed, None)
+}
+
+/// [`run_frontend_fuzz`], optionally recording the run as one
+/// `frontend-fuzz` span on `tracer` (final counters as attributes, one
+/// `fuzz-failure` event per failing case).
+pub fn run_frontend_fuzz_traced(
+    iterations: usize,
+    base_seed: u64,
+    tracer: Option<&Tracer>,
+) -> FuzzReport {
+    let mut rec = tracer.map(Tracer::recorder).unwrap_or_default();
+    rec.open("frontend-fuzz");
+    rec.attr("iterations", iterations);
+    rec.attr("seed", format!("{base_seed:#x}"));
+    let report = with_quiet_panics(|| {
         let mut report = FuzzReport::default();
         for case in 0..iterations {
             let seed = Rng::new(base_seed ^ case as u64).next_u64();
@@ -146,14 +196,23 @@ pub fn run_frontend_fuzz(iterations: usize, base_seed: u64) -> FuzzReport {
             match check_frontend(&source) {
                 Ok(true) => report.compared += 1,
                 Ok(false) => report.rejected += 1,
-                Err(panic) => report.failures.push(format!(
-                    "frontend panic (replay seed {seed:#018x}): {panic}; input: {}",
-                    truncate(&source, 160)
-                )),
+                Err(panic) => {
+                    let failure = format!(
+                        "frontend panic (replay seed {seed:#018x}): {panic}; input: {}",
+                        truncate(&source, 160)
+                    );
+                    rec.event("fuzz-failure", &[("detail", failure.as_str().into())]);
+                    report.failures.push(failure);
+                }
             }
         }
         report
-    })
+    });
+    report.close_span(&mut rec);
+    if let Some(t) = tracer {
+        t.submit(rec);
+    }
+    report
 }
 
 /// The three plans every generated program must agree under.
@@ -256,12 +315,32 @@ pub fn check_differential(
 /// Panics only if a target description fails validation — a build error,
 /// not a fuzz finding.
 pub fn run_differential_fuzz(iterations: usize, base_seed: u64) -> FuzzReport {
+    run_differential_fuzz_traced(iterations, base_seed, None)
+}
+
+/// [`run_differential_fuzz`], optionally recording the run as one
+/// `differential-fuzz` span on `tracer` (final counters as attributes,
+/// one `fuzz-failure` event per failing case).
+///
+/// # Panics
+///
+/// See [`run_differential_fuzz`].
+pub fn run_differential_fuzz_traced(
+    iterations: usize,
+    base_seed: u64,
+    tracer: Option<&Tracer>,
+) -> FuzzReport {
     let targets = [record_isa::targets::tic25::target(), record_isa::targets::dsp56k::target()];
     let compilers: Vec<Compiler> = targets
         .iter()
         .map(|t| Compiler::for_target(t.clone()).expect("shipped targets validate"))
         .collect();
-    with_quiet_panics(|| {
+    let mut rec = tracer.map(Tracer::recorder).unwrap_or_default();
+    rec.open("differential-fuzz");
+    rec.attr("iterations", iterations);
+    rec.attr("seed", format!("{base_seed:#x}"));
+    rec.attr("targets", targets.len());
+    let report = with_quiet_panics(|| {
         let mut report = FuzzReport::default();
         for case in 0..iterations {
             let seed = Rng::new(base_seed ^ case as u64).next_u64();
@@ -272,14 +351,21 @@ pub fn run_differential_fuzz(iterations: usize, base_seed: u64) -> FuzzReport {
                 match check_differential(compiler, target, &source, &mut rng) {
                     Ok(true) => report.compared += 1,
                     Ok(false) => report.skipped += 1,
-                    Err(e) => report
-                        .failures
-                        .push(format!("differential (replay seed {seed:#018x}): {e}")),
+                    Err(e) => {
+                        let failure = format!("differential (replay seed {seed:#018x}): {e}");
+                        rec.event("fuzz-failure", &[("detail", failure.as_str().into())]);
+                        report.failures.push(failure);
+                    }
                 }
             }
         }
         report
-    })
+    });
+    report.close_span(&mut rec);
+    if let Some(t) = tracer {
+        t.submit(rec);
+    }
+    report
 }
 
 fn truncate(s: &str, max: usize) -> String {
@@ -302,6 +388,17 @@ mod tests {
         let a = frontend_input(&mut Rng::new(9));
         let b = frontend_input(&mut Rng::new(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_fuzz_records_a_span_and_valid_json() {
+        let tracer = Tracer::fake_clock();
+        let report = run_frontend_fuzz_traced(5, 0xC0DE, Some(&tracer));
+        let traces = tracer.traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].root.name, "frontend-fuzz");
+        assert_eq!(traces[0].root.attr("cases"), Some(&record::AttrValue::Int(5)));
+        record_trace::json::validate(&report.render_json()).unwrap();
     }
 
     #[test]

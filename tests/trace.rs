@@ -1,0 +1,160 @@
+//! Integration and golden-file tests for the structured tracing layer.
+//!
+//! The golden files under `tests/golden/` pin the exact bytes of the
+//! JSONL and Chrome-trace exporters for a hand-built span tree on the
+//! deterministic fake clock. Regenerate them after an intentional format
+//! change with `UPDATE_GOLDEN=1 cargo test --test trace`.
+
+use std::sync::Arc;
+
+use record::{AttrValue, Compiler, PassPlan, Session, Tracer};
+use record_repro::fuzz::FlakyPass;
+use record_trace::json;
+
+/// The deterministic sample trace behind the golden files: nested spans,
+/// a typed event, and attribute strings that need every escape class
+/// (quote, backslash, newline, tab, control character).
+fn golden_tracer() -> Tracer {
+    let tracer = Tracer::fake_clock();
+    let mut rec = tracer.recorder();
+    rec.open("compile");
+    rec.attr("kernel", "evil \"kernel\"\nname\twith\\escapes\u{1}");
+    rec.attr("target", "tic25");
+    rec.open("select");
+    rec.attr("search_steps", 42usize);
+    rec.event("budget-exceeded", &[("error", "variants cap".into())]);
+    rec.close();
+    rec.open("compact");
+    rec.attr("fill", 1.5f64);
+    rec.close();
+    rec.close();
+    tracer.submit(rec);
+    tracer.instant("cache-miss", &[("target", "tic25".into())]);
+    tracer
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {path}: {e}"));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden file (UPDATE_GOLDEN=1 regenerates)"
+    );
+}
+
+#[test]
+fn jsonl_export_matches_golden_file() {
+    let tracer = golden_tracer();
+    let mut out = Vec::new();
+    tracer.write_jsonl(&mut out).unwrap();
+    let out = String::from_utf8(out).unwrap();
+    json::validate_jsonl(&out).unwrap_or_else(|e| panic!("{e}:\n{out}"));
+    check_golden("trace.jsonl", &out);
+}
+
+#[test]
+fn chrome_trace_export_matches_golden_file() {
+    let tracer = golden_tracer();
+    let mut out = Vec::new();
+    tracer.write_chrome_trace(&mut out).unwrap();
+    let out = String::from_utf8(out).unwrap();
+    json::validate(&out).unwrap_or_else(|e| panic!("{e}:\n{out}"));
+    check_golden("trace_chrome.json", &out);
+}
+
+const FIR_LIKE: &str = "program p;
+    const N = 4;
+    in x: fix[N]; in c: fix[N];
+    out y: fix;
+    begin
+      y := 0;
+      for i in 0..N-1 loop y := y + c[i] * x[i]; end loop;
+    end";
+
+/// Acceptance criterion: the span tree of a traced `Session::compile`
+/// names every pass the plan actually executed, in order.
+#[test]
+fn session_compile_span_tree_covers_every_pass() {
+    let tracer = Arc::new(Tracer::fake_clock());
+    let session = Session::new().with_tracer(tracer.clone());
+    let target = record_isa::targets::tic25::target();
+    let (_code, timings) = session.compile_source_timed(&target, FIR_LIKE).unwrap();
+
+    let traces = tracer.traces();
+    assert_eq!(traces.len(), 1, "one compile, one trace");
+    let root = &traces[0].root;
+    assert_eq!(root.name, "compile");
+    assert_eq!(root.attr("kernel"), Some(&AttrValue::Str("p".into())));
+    assert_eq!(root.attr("target"), Some(&AttrValue::Str("tic25".into())));
+
+    let span_names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+    let pass_names: Vec<&str> = timings.passes.iter().map(|p| p.name.as_str()).collect();
+    assert!(!pass_names.is_empty());
+    assert_eq!(span_names, pass_names, "one child span per executed pass, in order");
+
+    for child in &root.children {
+        assert!(child.attr("insns_before").is_some(), "{}: missing code-shape attrs", child.name);
+        assert!(child.start_us >= root.start_us && child.end_us <= root.end_us);
+    }
+    // the cache miss for the freshly built compiler is an instant event
+    assert!(tracer.instants().iter().any(|(_, e)| e.name == "cache-miss"));
+}
+
+/// A poisoned best-effort pass leaves a `salvage` event on the compile's
+/// root span — the degradation is visible in the trace, not just in the
+/// salvage records.
+#[test]
+fn salvage_shows_up_as_an_event() {
+    let saved = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let tracer = Tracer::fake_clock();
+    let compiler = Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
+    let lir = record_ir::lower::lower(&record_ir::dfl::parse(FIR_LIKE).unwrap()).unwrap();
+    let plan = PassPlan::o2().strict(true).with_pass(Arc::new(FlakyPass));
+    let result = compiler.compile_plan_traced(&lir, &plan, Some(&tracer));
+    std::panic::set_hook(saved);
+    result.unwrap();
+
+    let traces = tracer.traces();
+    assert_eq!(traces.len(), 1);
+    let root = &traces[0].root;
+    let salvage =
+        root.events.iter().find(|e| e.name == "salvage").expect("salvage event on the root span");
+    assert_eq!(
+        salvage.attrs.iter().find(|(k, _)| k == "pass").map(|(_, v)| v),
+        Some(&AttrValue::Str("flaky".into()))
+    );
+    // the retried compile ran the surviving passes under the same root
+    assert!(root.children.iter().any(|c| c.name == "select"));
+    // the flaky pass's own span records the failure before the retry
+    let flaky = root.children.iter().find(|c| c.name == "flaky").expect("span for the failed pass");
+    assert!(flaky.events.iter().any(|e| e.name == "pass-panic"));
+}
+
+/// Kernel names laundered straight into JSON strings must be escaped —
+/// both exporters stay parseable with quotes and newlines in the name.
+#[test]
+fn exports_escape_hostile_kernel_names() {
+    let tracer = Tracer::fake_clock();
+    let compiler = Compiler::for_target(record_isa::targets::tic25::target()).unwrap();
+    let mut lir = record_ir::lower::lower(&record_ir::dfl::parse(FIR_LIKE).unwrap()).unwrap();
+    lir.name = record_ir::Symbol::new("evil \"kernel\"\nname");
+    compiler.compile_plan_traced(&lir, &PassPlan::default(), Some(&tracer)).unwrap();
+
+    let mut jsonl = Vec::new();
+    tracer.write_jsonl(&mut jsonl).unwrap();
+    let jsonl = String::from_utf8(jsonl).unwrap();
+    json::validate_jsonl(&jsonl).unwrap_or_else(|e| panic!("{e}:\n{jsonl}"));
+    assert!(jsonl.contains(r#"evil \"kernel\"\nname"#), "escaped name present:\n{jsonl}");
+
+    let mut chrome = Vec::new();
+    tracer.write_chrome_trace(&mut chrome).unwrap();
+    let chrome = String::from_utf8(chrome).unwrap();
+    json::validate(&chrome).unwrap_or_else(|e| panic!("{e}:\n{chrome}"));
+    assert!(chrome.contains(r#"evil \"kernel\"\nname"#));
+}
