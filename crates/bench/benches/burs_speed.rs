@@ -3,11 +3,18 @@
 //! second) and the cost of enumerating and matching algebraic variants
 //! per statement, which is RECORD's whole selection strategy.
 
+//!
+//! `cargo bench --bench burs_speed -- smoke` runs the CI smoke subset:
+//! the streamed/interned hot path is checked against the boxed reference
+//! (same variant counts, same best cover) and the deterministic work
+//! counters — dedup hits, memoized labels, skipped enumeration — are
+//! printed and asserted non-trivial.
+
 use record_bench::criterion;
 use record_bench::{black_box, Criterion};
-use record_burg::Matcher;
-use record_ir::transform::{variants, RuleSet};
-use record_ir::{BinOp, Tree};
+use record_burg::{LabelCache, Matcher};
+use record_ir::transform::{variants, variants_interned, RuleSet, VariantStream};
+use record_ir::{BinOp, Tree, TreePool};
 
 fn statement_tree() -> Tree {
     // dr := cr + ar*br - ai*bi — a typical Table 1 statement
@@ -49,6 +56,57 @@ fn print_stats() {
     );
 }
 
+/// CI smoke: the interned hot path (hash-consed pool + streamed
+/// enumeration + memoized labelling) must agree with the boxed reference
+/// on every variant count and best-cover weight, and its deterministic
+/// work counters must show it actually saved work.
+fn smoke() {
+    let target = record_isa::targets::tic25::target();
+    let matcher = Matcher::new(&target);
+    let acc = target.nt("acc").unwrap();
+    let tree = statement_tree();
+
+    let mut pool = TreePool::new();
+    let mut cache = LabelCache::new();
+    for limit in [1usize, 8, 32, 128] {
+        let boxed = variants(&tree, &RuleSet::all(), limit);
+        let ids = variants_interned(&mut pool, &tree, &RuleSet::all(), limit);
+        assert_eq!(boxed.len(), ids.len(), "limit {limit}: streamed count diverges");
+        for (v, &id) in boxed.iter().zip(&ids) {
+            let reference = matcher.cover(v, acc).map(|c| c.cost.weight());
+            let interned =
+                matcher.cover_interned(&pool, id, &mut cache, acc).map(|c| c.cost.weight());
+            assert_eq!(reference, interned, "limit {limit}: cover diverges on a variant");
+        }
+        println!(
+            "smoke limit {limit:>4}: {:>4} variants, pool {:>4} nodes, {:>5} dedup hits, labels {:>4} computed / {:>5} memoized",
+            ids.len(),
+            pool.len(),
+            pool.dedup_hits(),
+            cache.misses(),
+            cache.hits()
+        );
+    }
+    assert!(pool.dedup_hits() > 0, "hash-consing never deduplicated a node");
+    assert!(cache.hits() > 0, "label memoization never hit");
+
+    // Budget-aware streaming: stop after two yielded variants (the
+    // original plus one rewrite) and count the enumeration work the
+    // eager path would have wasted.
+    let mut stream = VariantStream::new(&mut pool, &tree, RuleSet::all(), 128);
+    for _ in 0..2 {
+        let id = stream.next(&mut pool).expect("variant streams on demand");
+        let _ = matcher.cover_interned(&pool, id, &mut cache, acc);
+    }
+    assert!(stream.pending() > 0, "early stop skipped no buffered variants");
+    println!(
+        "smoke early-stop: 2 variants consumed, {} generated-but-unread skipped, {} rewrite steps charged",
+        stream.pending(),
+        stream.steps()
+    );
+    println!("burs_speed smoke OK");
+}
+
 fn bench(c: &mut Criterion) {
     let target = record_isa::targets::tic25::target();
     let matcher = Matcher::new(&target);
@@ -59,8 +117,24 @@ fn bench(c: &mut Criterion) {
     group.bench_function("label_and_reduce", |b| {
         b.iter(|| black_box(matcher.cover(black_box(&tree), acc).unwrap()))
     });
+    let mut pool = TreePool::new();
+    let root = pool.intern(&tree);
+    group.bench_function("label_and_reduce_interned", |b| {
+        b.iter(|| {
+            let mut cache = LabelCache::new();
+            black_box(matcher.cover_interned(&pool, root, &mut cache, acc).unwrap())
+        })
+    });
+    let mut warm = LabelCache::new();
+    matcher.cover_interned(&pool, root, &mut warm, acc);
+    group.bench_function("label_and_reduce_memoized", |b| {
+        b.iter(|| black_box(matcher.cover_interned(&pool, root, &mut warm, acc).unwrap()))
+    });
     group.bench_function("enumerate_32_variants", |b| {
         b.iter(|| black_box(variants(black_box(&tree), &RuleSet::all(), 32)))
+    });
+    group.bench_function("enumerate_32_variants_streamed", |b| {
+        b.iter(|| black_box(variants_interned(&mut pool, black_box(&tree), &RuleSet::all(), 32)))
     });
     group.bench_function("select_over_32_variants", |b| {
         b.iter(|| {
@@ -68,10 +142,29 @@ fn bench(c: &mut Criterion) {
             vs.iter().filter_map(|v| matcher.cover(v, acc).map(|c| c.cost.weight())).min()
         })
     });
+    group.bench_function("select_over_32_variants_interned", |b| {
+        b.iter(|| {
+            let mut stream = VariantStream::new(&mut pool, black_box(&tree), RuleSet::all(), 32);
+            let mut best = None;
+            while let Some(id) = stream.next(&mut pool) {
+                let w = matcher.cover_interned(&pool, id, &mut warm, acc).map(|c| c.cost.weight());
+                best = match (best, w) {
+                    (None, w) => w,
+                    (Some(b), Some(w)) => Some(if w < b { w } else { b }),
+                    (b, None) => b,
+                };
+            }
+            black_box(best)
+        })
+    });
     group.finish();
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "smoke") {
+        smoke();
+        return;
+    }
     print_stats();
     let mut c = criterion();
     bench(&mut c);

@@ -4,8 +4,8 @@
 
 use record_bench::criterion;
 use record_bench::{black_box, Criterion};
-use record_burg::Matcher;
-use record_ir::{BinOp, Tree};
+use record_burg::{LabelCache, Matcher};
+use record_ir::{BinOp, Tree, TreePool};
 
 /// `y + c1*x1 + c2*x2 + …` — the canonical DSP chain, `k` products long.
 fn mac_chain(k: usize) -> Tree {
@@ -57,6 +57,18 @@ fn bench(c: &mut Criterion) {
         let tree = mac_chain(k);
         group.bench_function(format!("label_reduce_mac{k}"), |b| {
             b.iter(|| black_box(matcher.cover(black_box(&tree), acc).unwrap()))
+        });
+    }
+    // Memoized counterpart: the MAC chain's shared sub-chains label once
+    // and replay from the cache — the Fig. 4–5 hot path as selection
+    // actually runs it (hash-consed pool + warm label cache).
+    let mut pool = TreePool::new();
+    let mut cache = LabelCache::new();
+    for k in [1usize, 4, 16] {
+        let root = pool.intern(&mac_chain(k));
+        matcher.cover_interned(&pool, root, &mut cache, acc);
+        group.bench_function(format!("label_reduce_mac{k}_memoized"), |b| {
+            b.iter(|| black_box(matcher.cover_interned(&pool, root, &mut cache, acc).unwrap()))
         });
     }
     group.finish();

@@ -1,6 +1,9 @@
 //! Labels: the per-node dynamic-programming state.
 
-use record_ir::Tree;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use record_ir::{Tree, TreeId};
 use record_isa::{Cost, NonTermId, RuleId};
 
 /// The cheapest known derivation of a node to one nonterminal.
@@ -52,5 +55,95 @@ impl<'a> Labeled<'a> {
     /// Total number of nodes in the labelled tree.
     pub fn node_count(&self) -> usize {
         1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+}
+
+/// A labelled *interned* tree node — the hash-consed counterpart of
+/// [`Labeled`].
+///
+/// Label state is context-free (the bottom-up dynamic program depends
+/// only on the subtree and the grammar), so nodes are shared behind
+/// `Arc` and memoized per [`TreeId`] in a [`LabelCache`]: a subtree that
+/// appears in many variants is labelled exactly once.
+#[derive(Debug)]
+pub struct LabeledNode {
+    /// The interned tree node this label belongs to.
+    pub id: TreeId,
+    /// Labels of the node's children, in order (shared via the cache).
+    pub children: Vec<Arc<LabeledNode>>,
+    /// `entries[nt]` is the best derivation to nonterminal `nt`, if any.
+    pub entries: Vec<Option<Entry>>,
+}
+
+impl LabeledNode {
+    /// The best cost of deriving this node to `nt`, if derivable.
+    pub fn cost(&self, nt: NonTermId) -> Option<Cost> {
+        self.entries[nt.index()].map(|e| e.cost)
+    }
+
+    /// The winning rule for `nt`, if derivable.
+    pub fn rule(&self, nt: NonTermId) -> Option<RuleId> {
+        self.entries[nt.index()].map(|e| e.rule)
+    }
+}
+
+/// Memoized label states, keyed by interned [`TreeId`].
+///
+/// Valid for one (pool, grammar) pair: the selector keeps one cache per
+/// target next to its [`TreePool`](record_ir::TreePool). `hits` counts
+/// labellings answered from the cache (work avoided by sharing);
+/// `misses` counts label states actually computed.
+#[derive(Debug, Default)]
+pub struct LabelCache {
+    map: HashMap<TreeId, Arc<LabeledNode>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LabelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LabelCache::default()
+    }
+
+    /// Labellings answered from the cache — the `labels_memoized` counter.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Label states computed from scratch — the `labels_computed` counter.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached label states.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing has been labelled yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up the label state for `id`, counting a hit on success.
+    pub fn lookup(&mut self, id: TreeId) -> Option<Arc<LabeledNode>> {
+        let found = self.map.get(&id).cloned();
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Records a freshly computed label state, counting a miss.
+    pub fn store(&mut self, id: TreeId, node: Arc<LabeledNode>) {
+        self.misses += 1;
+        self.map.insert(id, node);
+    }
+
+    /// Drops all cached states (counters are preserved). Required when
+    /// the backing pool or grammar changes.
+    pub fn clear(&mut self) {
+        self.map.clear();
     }
 }

@@ -28,5 +28,5 @@ pub mod label;
 pub mod matcher;
 
 pub use cover::{Cover, CoverNode, Operand};
-pub use label::{Entry, Labeled};
+pub use label::{Entry, LabelCache, Labeled, LabeledNode};
 pub use matcher::{Matcher, Tables};

@@ -2,11 +2,11 @@
 
 use std::sync::Arc;
 
-use record_ir::{Op, Tree};
+use record_ir::{Op, Tree, TreeId, TreeNode, TreePool};
 use record_isa::{Cost, NonTermId, PatNode, Predicate, Rhs, RuleId, TargetDesc};
 
 use crate::cover::{Cover, CoverNode, Operand};
-use crate::label::{Entry, Labeled};
+use crate::label::{Entry, LabelCache, Labeled, LabeledNode};
 
 /// The generated matcher tables for one target grammar: pattern rules
 /// indexed by root operator and chain rules by source nonterminal.
@@ -296,6 +296,223 @@ impl<'t> Matcher<'t> {
         let root = self.reduce(&labeled, nt)?;
         Some((nt, Cover { root, cost: derive_cost }))
     }
+
+    // -----------------------------------------------------------------
+    // Interned path: identical algorithm over hash-consed TreeIds, with
+    // label states memoized per subtree in a LabelCache. Shared subtrees
+    // across variants are labelled exactly once.
+    // -----------------------------------------------------------------
+
+    /// Interned counterpart of [`label`](Matcher::label): labels `id`
+    /// bottom-up, answering every already-seen subtree from `cache`.
+    ///
+    /// Label state is context-free, so memoization is exact — the entries
+    /// equal what [`label`](Matcher::label) computes on the extracted
+    /// boxed tree. The cache must be used with one pool and one grammar.
+    pub fn label_interned(
+        &self,
+        pool: &TreePool,
+        id: TreeId,
+        cache: &mut LabelCache,
+    ) -> Arc<LabeledNode> {
+        if let Some(hit) = cache.lookup(id) {
+            return hit;
+        }
+        let children: Vec<Arc<LabeledNode>> = pool
+            .node(id)
+            .children()
+            .into_iter()
+            .map(|c| self.label_interned(pool, c, cache))
+            .collect();
+        let mut entries: Vec<Option<Entry>> = vec![None; self.tables.n_nts];
+
+        // 1. structural pattern rules rooted at this operator
+        for rule_id in &self.tables.rules_by_op[pool.op(id).index()] {
+            let rule = self.target.rule(*rule_id);
+            let pat = match &rule.rhs {
+                Rhs::Pat(p) => p,
+                Rhs::Chain(_) => unreachable!("indexed as pattern"),
+            };
+            if let Some(cost) = self.match_cost_interned(pat, pool, id, &children, rule.pred) {
+                let total = cost.add(rule.cost);
+                improve(&mut entries, rule.lhs, total, *rule_id);
+            }
+        }
+
+        // 2. chain-rule closure to a fixpoint
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for rule_id in &self.tables.chains {
+                let rule = self.target.rule(*rule_id);
+                let src = match &rule.rhs {
+                    Rhs::Chain(nt) => *nt,
+                    Rhs::Pat(PatNode::Nt(nt)) => *nt,
+                    _ => unreachable!("indexed as chain"),
+                };
+                if let Some(e) = entries[src.index()] {
+                    let total = e.cost.add(rule.cost);
+                    if improve(&mut entries, rule.lhs, total, *rule_id) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let node = Arc::new(LabeledNode { id, children, entries });
+        cache.store(id, node.clone());
+        node
+    }
+
+    fn match_cost_interned(
+        &self,
+        pat: &PatNode,
+        pool: &TreePool,
+        id: TreeId,
+        children: &[Arc<LabeledNode>],
+        pred: Option<Predicate>,
+    ) -> Option<Cost> {
+        let mut consts = Vec::new();
+        let (op, pat_children) = match pat {
+            PatNode::Op(op, c) => (*op, c),
+            PatNode::Nt(_) => unreachable!("bare-Nt patterns are indexed as chains"),
+        };
+        if pool.op(id) != op {
+            return None;
+        }
+        if let TreeNode::Const(v) = pool.node(id) {
+            consts.push(*v);
+        }
+        let mut cost = Cost::zero();
+        for (pc, nc) in pat_children.iter().zip(children.iter()) {
+            cost = cost.add(self.match_rec_interned(pc, pool, nc, &mut consts)?);
+        }
+        if let Some(p) = pred {
+            let first = consts.first()?;
+            if !p.check_const(*first) {
+                return None;
+            }
+        }
+        Some(cost)
+    }
+
+    fn match_rec_interned(
+        &self,
+        pat: &PatNode,
+        pool: &TreePool,
+        node: &LabeledNode,
+        consts: &mut Vec<i64>,
+    ) -> Option<Cost> {
+        match pat {
+            PatNode::Nt(nt) => node.cost(*nt),
+            PatNode::Op(op, children) => {
+                if pool.op(node.id) != *op {
+                    return None;
+                }
+                if let TreeNode::Const(v) = pool.node(node.id) {
+                    consts.push(*v);
+                }
+                let mut total = Cost::zero();
+                for (pc, nc) in children.iter().zip(node.children.iter()) {
+                    total = total.add(self.match_rec_interned(pc, pool, nc, consts)?);
+                }
+                Some(total)
+            }
+        }
+    }
+
+    /// Interned counterpart of [`reduce`](Matcher::reduce).
+    pub fn reduce_interned(
+        &self,
+        pool: &TreePool,
+        labeled: &LabeledNode,
+        goal: NonTermId,
+    ) -> Option<CoverNode> {
+        let entry = labeled.entries[goal.index()]?;
+        let rule = self.target.rule(entry.rule);
+        match &rule.rhs {
+            Rhs::Chain(src) | Rhs::Pat(PatNode::Nt(src)) => {
+                let inner = self.reduce_interned(pool, labeled, *src)?;
+                Some(CoverNode { rule: entry.rule, operands: vec![Operand::Derived(inner)] })
+            }
+            Rhs::Pat(pat) => {
+                let mut operands = Vec::new();
+                self.reduce_pattern_interned(pat, pool, labeled, &mut operands)?;
+                Some(CoverNode { rule: entry.rule, operands })
+            }
+        }
+    }
+
+    fn reduce_pattern_interned(
+        &self,
+        pat: &PatNode,
+        pool: &TreePool,
+        node: &LabeledNode,
+        operands: &mut Vec<Operand>,
+    ) -> Option<()> {
+        match pat {
+            PatNode::Nt(nt) => {
+                let child = self.reduce_interned(pool, node, *nt)?;
+                operands.push(Operand::Derived(child));
+                Some(())
+            }
+            PatNode::Op(op, children) => {
+                debug_assert_eq!(pool.op(node.id), *op, "reduce follows the label");
+                match pool.node(node.id) {
+                    TreeNode::Const(v) => operands.push(Operand::Const(*v)),
+                    TreeNode::Mem(m) => operands.push(Operand::Mem(m.clone())),
+                    TreeNode::Temp(t) => operands.push(Operand::Temp(t.clone())),
+                    _ => {}
+                }
+                for (pc, nc) in children.iter().zip(node.children.iter()) {
+                    self.reduce_pattern_interned(pc, pool, nc, operands)?;
+                }
+                Some(())
+            }
+        }
+    }
+
+    /// Interned counterpart of [`cover`](Matcher::cover).
+    pub fn cover_interned(
+        &self,
+        pool: &TreePool,
+        id: TreeId,
+        cache: &mut LabelCache,
+        goal: NonTermId,
+    ) -> Option<Cover> {
+        let labeled = self.label_interned(pool, id, cache);
+        let cost = labeled.cost(goal)?;
+        let root = self.reduce_interned(pool, &labeled, goal)?;
+        Some(Cover { root, cost })
+    }
+
+    /// Interned counterpart of [`best_cover`](Matcher::best_cover):
+    /// identical tie-breaking (strict improvement, first candidate wins).
+    pub fn best_cover_interned(
+        &self,
+        pool: &TreePool,
+        id: TreeId,
+        cache: &mut LabelCache,
+        candidates: &[(NonTermId, Cost)],
+    ) -> Option<(NonTermId, Cover)> {
+        let labeled = self.label_interned(pool, id, cache);
+        let mut best: Option<(NonTermId, Cost, Cost)> = None; // (nt, derive, total)
+        for (nt, extra) in candidates {
+            if let Some(c) = labeled.cost(*nt) {
+                let total = c.add(*extra);
+                let better = match &best {
+                    None => true,
+                    Some((_, _, bt)) => total.weight() < bt.weight(),
+                };
+                if better {
+                    best = Some((*nt, c, total));
+                }
+            }
+        }
+        let (nt, derive_cost, _) = best?;
+        let root = self.reduce_interned(pool, &labeled, nt)?;
+        Some((nt, Cover { root, cost: derive_cost }))
+    }
 }
 
 fn improve(entries: &mut [Option<Entry>], nt: NonTermId, cost: Cost, rule: RuleId) -> bool {
@@ -517,6 +734,86 @@ mod tests {
             m.best_cover(&tree, &[(acc, Cost::new(1, 1)), (mem, Cost::zero())]).unwrap();
         assert_eq!(nt, mem);
         assert_eq!(cover.cost.words, 0);
+    }
+
+    /// Every boxed-path test tree, matched through the interned path,
+    /// must produce the identical cover (rule-for-rule, operand-for-
+    /// operand) — the byte-identity guarantee rests on this.
+    #[test]
+    fn interned_cover_equals_boxed_cover() {
+        let trees = vec![
+            fig4_tree(),
+            Tree::bin(
+                BinOp::Add,
+                Tree::bin(BinOp::Mul, Tree::var("x"), Tree::var("y")),
+                Tree::constant(9),
+            ),
+            Tree::constant(5),
+            Tree::constant(3000),
+            Tree::bin(
+                BinOp::Mul,
+                Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b")),
+                Tree::bin(BinOp::Add, Tree::var("c"), Tree::var("d")),
+            ),
+            Tree::bin(
+                BinOp::Shl,
+                Tree::bin(BinOp::Add, Tree::var("x"), Tree::var("y")),
+                Tree::constant(1),
+            ),
+        ];
+        for target in [fig4_target(), record_isa::targets::tic25::target()] {
+            let m = Matcher::new(&target);
+            let mut pool = record_ir::TreePool::new();
+            let mut cache = LabelCache::new();
+            for tree in &trees {
+                let id = pool.intern(tree);
+                for nt_ix in 0..target.nonterms.len() {
+                    let goal = record_isa::NonTermId(nt_ix as u16);
+                    let boxed = m.cover(tree, goal);
+                    let interned = m.cover_interned(&pool, id, &mut cache, goal);
+                    assert_eq!(interned, boxed, "target {} tree {tree} nt {nt_ix}", target.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interned_best_cover_equals_boxed() {
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let acc = t.nt("acc").unwrap();
+        let mem = t.nt("mem").unwrap();
+        let candidates = [(acc, Cost::new(1, 1)), (mem, Cost::zero())];
+        let mut pool = record_ir::TreePool::new();
+        let mut cache = LabelCache::new();
+        for tree in [Tree::var("x"), fig4_tree()] {
+            let id = pool.intern(&tree);
+            assert_eq!(
+                m.best_cover_interned(&pool, id, &mut cache, &candidates),
+                m.best_cover(&tree, &candidates),
+            );
+        }
+    }
+
+    #[test]
+    fn label_cache_memoizes_shared_subtrees() {
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let acc = t.nt("acc").unwrap();
+        let mut pool = record_ir::TreePool::new();
+        let mut cache = LabelCache::new();
+        // Two variants sharing the (c*x) subtree: y + c*x and (c*x) + y.
+        let prod = Tree::bin(BinOp::Mul, Tree::var("c"), Tree::var("x"));
+        let v1 = Tree::bin(BinOp::Add, Tree::var("y"), prod.clone());
+        let v2 = Tree::bin(BinOp::Add, prod, Tree::var("y"));
+        let id1 = pool.intern(&v1);
+        let id2 = pool.intern(&v2);
+        m.cover_interned(&pool, id1, &mut cache, acc).unwrap();
+        let misses_after_first = cache.misses();
+        m.cover_interned(&pool, id2, &mut cache, acc).unwrap();
+        // Second variant recomputes only its root: c, x, y, c*x all hit.
+        assert_eq!(cache.misses() - misses_after_first, 1, "only the new root is labelled");
+        assert!(cache.hits() >= 2, "shared subtrees answered from cache");
     }
 
     #[test]

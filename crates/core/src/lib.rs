@@ -72,7 +72,7 @@ pub mod timing;
 mod error;
 
 pub use error::{CompileError, TargetError};
-pub use pass::{CompilationUnit, Pass, PassPlan};
+pub use pass::{reference_select_pass, CompilationUnit, Pass, PassPlan};
 pub use pipeline::{Budgets, CompileOptions, Compiler};
 pub use record_trace::{
     span, AttrValue, Event, Metric, MetricsRegistry, Span, SpanRecorder, TraceRecord, Tracer,

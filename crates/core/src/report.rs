@@ -372,6 +372,121 @@ pub fn render_kernel_sizes_json(rows: &[KernelSize]) -> String {
     out
 }
 
+/// One kernel's deterministic selection-work profile on one target — the
+/// row format of `BENCH_compile.json`, the artifact the CI perf gate
+/// diffs against `tests/golden/bench_baseline.json`.
+///
+/// Wall time (`wall_us`) is reported for humans but never gated; every
+/// other field is a deterministic counter, identical across machines for
+/// the same source tree, so a >5 % regression is a real algorithmic
+/// change and not scheduler noise.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelBench {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Target the kernel was compiled for.
+    pub target: String,
+    /// End-to-end compile wall time in microseconds (informational only).
+    pub wall_us: f64,
+    /// Statements selected.
+    pub statements: usize,
+    /// Tree variants enumerated across all statements.
+    pub variants: usize,
+    /// Variants that produced a legal cover.
+    pub covered: usize,
+    /// Distinct tree nodes interned by the hash-consing pool.
+    pub interned_nodes: u64,
+    /// Node constructions answered by the pool without allocating.
+    pub dedup_hits: u64,
+    /// BURS label states computed from scratch.
+    pub labels_computed: u64,
+    /// BURS labellings answered from the memo cache.
+    pub labels_memoized: u64,
+    /// Generated variants skipped by the cost-floor short-circuit.
+    pub variants_pruned: u64,
+    /// Candidate rewrites generated by variant enumeration.
+    pub search_steps: u64,
+    /// Instructions in the compiled code (bundles count once).
+    pub insns: usize,
+    /// Code size in words.
+    pub words: u32,
+}
+
+/// Compiles every DSPStone kernel for both bundled targets through
+/// `session` and reports per-kernel wall time plus the deterministic
+/// selection-work counters.
+///
+/// Kernels are compiled sequentially (not batched) so each row's
+/// [`PhaseTimings`] — and therefore its counters —
+/// belongs to exactly one kernel.
+///
+/// # Errors
+///
+/// Any compilation error.
+pub fn kernel_bench_report(session: &Session) -> Result<Vec<KernelBench>, CompileError> {
+    let mut out = Vec::new();
+    for target in [record_isa::targets::tic25::target(), record_isa::targets::dsp56k::target()] {
+        for kernel in record_dspstone::kernels() {
+            let (code, t) = session.compile_source_timed(&target, kernel.source)?;
+            out.push(KernelBench {
+                kernel: kernel.name,
+                target: target.name.clone(),
+                wall_us: t.total.as_secs_f64() * 1e6,
+                statements: t.statements,
+                variants: t.variants,
+                covered: t.covered,
+                interned_nodes: t.interned_nodes,
+                dedup_hits: t.dedup_hits,
+                labels_computed: t.labels_computed,
+                labels_memoized: t.labels_memoized,
+                variants_pruned: t.variants_pruned,
+                search_steps: t.search_steps,
+                insns: code.insns.len(),
+                words: code.size_words(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Renders [`kernel_bench_report`] rows as the `BENCH_compile.json`
+/// document: `{"schema": "record-bench/v1", "kernels": [{…}, …]}`.
+pub fn render_kernel_bench_json(rows: &[KernelBench]) -> String {
+    use record_trace::json;
+    let mut out = String::from("{\"schema\":\"record-bench/v1\",\"kernels\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"kernel\":");
+        json::push_str_lit(&mut out, r.kernel);
+        out.push_str(",\"target\":");
+        json::push_str_lit(&mut out, &r.target);
+        out.push_str(",\"wall_us\":");
+        json::push_f64(&mut out, r.wall_us);
+        out.push_str(&format!(
+            ",\"statements\":{},\"variants\":{},\"covered\":{}",
+            r.statements, r.variants, r.covered
+        ));
+        out.push_str(&format!(
+            ",\"interned_nodes\":{},\"dedup_hits\":{}",
+            r.interned_nodes, r.dedup_hits
+        ));
+        out.push_str(&format!(
+            ",\"labels_computed\":{},\"labels_memoized\":{}",
+            r.labels_computed, r.labels_memoized
+        ));
+        out.push_str(&format!(
+            ",\"variants_pruned\":{},\"search_steps\":{}",
+            r.variants_pruned, r.search_steps
+        ));
+        out.push_str(&format!(",\"insns\":{},\"words\":{}", r.insns, r.words));
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +556,36 @@ mod tests {
         let json = render_kernel_sizes_json(&rows);
         record_trace::json::validate(&json).unwrap_or_else(|e| panic!("{e}:\n{json}"));
         assert!(json.contains("\"target\":\"dsp56k\""), "{json}");
+    }
+
+    #[test]
+    fn kernel_bench_report_counts_selection_work_and_renders_valid_json() {
+        let session = Session::new();
+        let rows = kernel_bench_report(&session).unwrap();
+        assert_eq!(rows.len(), 20, "10 kernels × 2 targets");
+        let mut kernels_with_dedup = std::collections::HashSet::new();
+        let mut kernels_with_memo = std::collections::HashSet::new();
+        for r in &rows {
+            assert!(r.statements > 0, "{}/{} selected nothing", r.kernel, r.target);
+            assert!(r.variants >= r.statements, "{}/{}", r.kernel, r.target);
+            assert!(r.interned_nodes > 0, "{}/{} interned nothing", r.kernel, r.target);
+            assert!(r.labels_computed > 0, "{}/{} labelled nothing", r.kernel, r.target);
+            assert!(r.insns > 0 && r.words > 0, "{}/{}", r.kernel, r.target);
+            if r.dedup_hits > 0 {
+                kernels_with_dedup.insert(r.kernel);
+            }
+            if r.labels_memoized > 0 {
+                kernels_with_memo.insert(r.kernel);
+            }
+        }
+        // The acceptance bar: hash-consing and label memoization must pay
+        // off on at least 8 of the 10 kernels.
+        assert!(kernels_with_dedup.len() >= 8, "dedup on {:?}", kernels_with_dedup);
+        assert!(kernels_with_memo.len() >= 8, "memo on {:?}", kernels_with_memo);
+        let json = render_kernel_bench_json(&rows);
+        record_trace::json::validate(&json).unwrap_or_else(|e| panic!("{e}:\n{json}"));
+        assert!(json.contains("\"schema\":\"record-bench/v1\""), "{json}");
+        assert!(json.contains("\"labels_memoized\""), "{json}");
     }
 
     #[test]

@@ -59,6 +59,13 @@ fn observe_compile(metrics: &MetricsRegistry, timings: &PhaseTimings) {
         timings.total.as_secs_f64() * 1e6,
     );
     metrics.observe("record_kernel_insns", SIZE_BUCKETS, timings.insns as f64);
+    metrics.add("record_variants_total", timings.variants as u64);
+    metrics.add("record_variants_pruned_total", timings.variants_pruned);
+    metrics.add("record_interned_nodes_total", timings.interned_nodes);
+    metrics.add("record_dedup_hits_total", timings.dedup_hits);
+    metrics.add("record_labels_computed_total", timings.labels_computed);
+    metrics.add("record_labels_memoized_total", timings.labels_memoized);
+    metrics.add("record_search_steps_total", timings.search_steps);
     if let Some(last) = timings.passes.last() {
         metrics.observe("record_kernel_words", SIZE_BUCKETS, f64::from(last.after.words));
         if last.after.insns > 0 {

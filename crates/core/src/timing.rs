@@ -137,6 +137,19 @@ pub struct PhaseTimings {
     pub variants: usize,
     /// Variants that produced a legal cover.
     pub covered: usize,
+    /// Distinct tree nodes interned by selection's hash-consing pool.
+    pub interned_nodes: u64,
+    /// Tree-node constructions answered by the pool (allocation avoided).
+    pub dedup_hits: u64,
+    /// BURS label states computed from scratch during selection.
+    pub labels_computed: u64,
+    /// BURS labellings answered from the memo cache (labelling avoided).
+    pub labels_memoized: u64,
+    /// Generated variants skipped by the cost-floor short-circuit (or a
+    /// search budget).
+    pub variants_pruned: u64,
+    /// Candidate rewrites generated by variant enumeration.
+    pub search_steps: u64,
     /// Instructions in the final code.
     pub insns: usize,
     /// Per-pass records in execution order, as registered by the
@@ -165,6 +178,12 @@ impl PhaseTimings {
         self.statements += other.statements;
         self.variants += other.variants;
         self.covered += other.covered;
+        self.interned_nodes += other.interned_nodes;
+        self.dedup_hits += other.dedup_hits;
+        self.labels_computed += other.labels_computed;
+        self.labels_memoized += other.labels_memoized;
+        self.variants_pruned += other.variants_pruned;
+        self.search_steps += other.search_steps;
         self.insns += other.insns;
         for r in &other.passes {
             match self.passes.iter_mut().find(|p| p.name == r.name) {
@@ -237,7 +256,20 @@ impl fmt::Display for PhaseTimings {
             f,
             "  {} statements, {} variants ({} covered), {} instructions",
             self.statements, self.variants, self.covered, self.insns
-        )
+        )?;
+        if self.interned_nodes > 0 || self.labels_computed > 0 {
+            write!(
+                f,
+                "\n  {} interned nodes ({} dedup hits), {} labels ({} memoized), {} variants pruned, {} search steps",
+                self.interned_nodes,
+                self.dedup_hits,
+                self.labels_computed,
+                self.labels_memoized,
+                self.variants_pruned,
+                self.search_steps
+            )?;
+        }
+        Ok(())
     }
 }
 

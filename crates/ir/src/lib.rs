@@ -47,6 +47,7 @@ pub mod lir;
 pub mod lower;
 pub mod mem;
 pub mod ops;
+pub mod pool;
 pub mod symbol;
 pub mod transform;
 pub mod tree;
@@ -58,5 +59,6 @@ pub use error::Error;
 pub use lir::{AssignStmt, Lir, LirItem};
 pub use mem::{Bank, Index, MemRef};
 pub use ops::{BinOp, Op, UnOp};
+pub use pool::{TreeId, TreeNode, TreePool};
 pub use symbol::Symbol;
 pub use tree::Tree;

@@ -15,6 +15,7 @@
 use std::collections::HashSet;
 use std::collections::VecDeque;
 
+use crate::pool::{TreeId, TreeNode, TreePool};
 use crate::{BinOp, Tree, UnOp};
 
 /// Which rewrite rules the enumerator may apply.
@@ -232,6 +233,294 @@ fn exact_log2(c: i64) -> Option<i64> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Interned enumeration over a hash-consing TreePool.
+//
+// The functions below mirror the boxed rewriters above exactly — same rules,
+// same emission order — but operate on interned [`TreeId`]s, so a rewrite
+// allocates only the rebuilt spine and de-duplication is an integer compare.
+// `VariantStream` is the lazy counterpart of [`variants`]: it yields the same
+// sequence of trees, one at a time, so the caller can stop early (budget
+// exhausted, or a cover proven unbeatable) without paying for the rest.
+// ---------------------------------------------------------------------------
+
+fn bin_parts(pool: &TreePool, id: TreeId) -> Option<(BinOp, TreeId, TreeId)> {
+    match pool.node(id) {
+        TreeNode::Bin(op, a, b) => Some((*op, *a, *b)),
+        _ => None,
+    }
+}
+
+fn un_parts(pool: &TreePool, id: TreeId) -> Option<(UnOp, TreeId)> {
+    match pool.node(id) {
+        TreeNode::Un(op, a) => Some((*op, *a)),
+        _ => None,
+    }
+}
+
+fn const_val(pool: &TreePool, id: TreeId) -> Option<i64> {
+    match pool.node(id) {
+        TreeNode::Const(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn neg_child(pool: &TreePool, id: TreeId) -> Option<TreeId> {
+    match pool.node(id) {
+        TreeNode::Un(UnOp::Neg, a) => Some(*a),
+        _ => None,
+    }
+}
+
+/// Interned counterpart of [`single_step`]: all trees reachable from `id` by
+/// one rule application at one node, in the same order the boxed rewriter
+/// produces them.
+pub fn single_step_interned(pool: &mut TreePool, id: TreeId, rules: &RuleSet) -> Vec<TreeId> {
+    let mut out = Vec::new();
+    rewrite_at_each_node_interned(pool, id, rules, &mut out);
+    out
+}
+
+fn rewrite_at_each_node_interned(
+    pool: &mut TreePool,
+    id: TreeId,
+    rules: &RuleSet,
+    out: &mut Vec<TreeId>,
+) {
+    root_rewrites_interned(pool, id, rules, out);
+    if let Some((op, a, b)) = bin_parts(pool, id) {
+        let mut ra = Vec::new();
+        rewrite_at_each_node_interned(pool, a, rules, &mut ra);
+        for na in ra {
+            let t = pool.bin(op, na, b);
+            out.push(t);
+        }
+        let mut rb = Vec::new();
+        rewrite_at_each_node_interned(pool, b, rules, &mut rb);
+        for nb in rb {
+            let t = pool.bin(op, a, nb);
+            out.push(t);
+        }
+    } else if let Some((op, a)) = un_parts(pool, id) {
+        let mut ra = Vec::new();
+        rewrite_at_each_node_interned(pool, a, rules, &mut ra);
+        for na in ra {
+            let t = pool.un(op, na);
+            out.push(t);
+        }
+    }
+}
+
+fn root_rewrites_interned(pool: &mut TreePool, id: TreeId, rules: &RuleSet, out: &mut Vec<TreeId>) {
+    if let Some((op, a, b)) = bin_parts(pool, id) {
+        if rules.commutativity && op.is_commutative() {
+            let t = pool.bin(op, b, a);
+            out.push(t);
+        }
+        if rules.associativity && op.is_associative() {
+            // (x op y) op b  ->  x op (y op b)
+            if let Some((inner, x, y)) = bin_parts(pool, a) {
+                if inner == op {
+                    let yb = pool.bin(op, y, b);
+                    let t = pool.bin(op, x, yb);
+                    out.push(t);
+                }
+            }
+            // a op (x op y)  ->  (a op x) op y
+            if let Some((inner, x, y)) = bin_parts(pool, b) {
+                if inner == op {
+                    let ax = pool.bin(op, a, x);
+                    let t = pool.bin(op, ax, y);
+                    out.push(t);
+                }
+            }
+        }
+        if rules.mul_shift && op == BinOp::Mul {
+            // x * 2^k -> x << k (and the mirrored operand order)
+            if let Some(c) = const_val(pool, b) {
+                if let Some(k) = exact_log2(c) {
+                    let kk = pool.constant(k);
+                    let t = pool.bin(BinOp::Shl, a, kk);
+                    out.push(t);
+                }
+            }
+            if let Some(c) = const_val(pool, a) {
+                if let Some(k) = exact_log2(c) {
+                    let kk = pool.constant(k);
+                    let t = pool.bin(BinOp::Shl, b, kk);
+                    out.push(t);
+                }
+            }
+        }
+        if rules.mul_shift && op == BinOp::Shl {
+            // x << k -> x * 2^k for small k
+            if let Some(k) = const_val(pool, b) {
+                if (0..=30).contains(&k) {
+                    let c = pool.constant(1i64 << k);
+                    let t = pool.bin(BinOp::Mul, a, c);
+                    out.push(t);
+                }
+            }
+        }
+        if rules.sub_neg && op == BinOp::Sub {
+            // a - b -> a + neg(b)
+            let nb = pool.un(UnOp::Neg, b);
+            let t = pool.bin(BinOp::Add, a, nb);
+            out.push(t);
+        }
+        if rules.sub_neg && op == BinOp::Add {
+            // a + neg(b) -> a - b ; neg(a) + b -> b - a
+            if let Some(inner) = neg_child(pool, b) {
+                let t = pool.bin(BinOp::Sub, a, inner);
+                out.push(t);
+            }
+            if let Some(inner) = neg_child(pool, a) {
+                let t = pool.bin(BinOp::Sub, b, inner);
+                out.push(t);
+            }
+        }
+    } else if rules.sub_neg {
+        // neg(neg(x)) -> x
+        if let Some(a) = neg_child(pool, id) {
+            if let Some(inner) = neg_child(pool, a) {
+                out.push(inner);
+            }
+        }
+    }
+}
+
+/// Lazy, interned counterpart of [`variants`].
+///
+/// Yields the same breadth-first sequence of distinct trees — original
+/// first, then single-rule successors in generation order — but one at a
+/// time from a hash-consed pool, so:
+///
+/// * nothing beyond the next frontier is materialized; abandoning the
+///   stream early (search budget exhausted, or the current best cover
+///   provably unbeatable) skips the remaining enumeration entirely,
+/// * de-duplication is a `TreeId` hash-set instead of deep tree hashing,
+/// * rewrites share all untouched subtrees with their parents.
+///
+/// The pool is passed to [`next`](VariantStream::next) per call rather
+/// than borrowed by the stream, so the caller is free to read interned
+/// trees between yields.
+///
+/// ```
+/// use record_ir::pool::TreePool;
+/// use record_ir::transform::{variants, RuleSet, VariantStream};
+/// use record_ir::{BinOp, Tree};
+///
+/// let t = Tree::bin(BinOp::Add, Tree::var("a"), Tree::var("b"));
+/// let mut pool = TreePool::new();
+/// let mut stream = VariantStream::new(&mut pool, &t, RuleSet::all(), 16);
+/// let mut got = Vec::new();
+/// while let Some(id) = stream.next(&mut pool) {
+///     got.push(pool.to_tree(id));
+/// }
+/// assert_eq!(got, variants(&t, &RuleSet::all(), 16));
+/// ```
+#[derive(Debug)]
+pub struct VariantStream {
+    rules: RuleSet,
+    limit: usize,
+    yielded: usize,
+    steps: u64,
+    seen: HashSet<TreeId>,
+    /// Distinct successors generated but not yet yielded.
+    ready: VecDeque<TreeId>,
+    /// Yielded trees awaiting breadth-first expansion.
+    queue: VecDeque<TreeId>,
+    /// The original tree, until the first `next` call yields it.
+    root: Option<TreeId>,
+}
+
+impl VariantStream {
+    /// Interns `tree` into `pool` and prepares enumeration of up to
+    /// `limit` distinct variants (the original included).
+    pub fn new(pool: &mut TreePool, tree: &Tree, rules: RuleSet, limit: usize) -> Self {
+        let root = pool.intern(tree);
+        VariantStream::from_id(root, rules, limit)
+    }
+
+    /// Enumerates from an already-interned root.
+    pub fn from_id(root: TreeId, rules: RuleSet, limit: usize) -> Self {
+        let mut seen = HashSet::new();
+        seen.insert(root);
+        VariantStream {
+            rules,
+            limit,
+            yielded: 0,
+            steps: 0,
+            seen,
+            ready: VecDeque::new(),
+            queue: VecDeque::new(),
+            root: Some(root),
+        }
+    }
+
+    /// The next distinct variant, or `None` when the limit is reached or
+    /// the rewrite space is exhausted.
+    pub fn next(&mut self, pool: &mut TreePool) -> Option<TreeId> {
+        if self.yielded >= self.limit {
+            return None;
+        }
+        if let Some(root) = self.root.take() {
+            self.yielded += 1;
+            self.queue.push_back(root);
+            return Some(root);
+        }
+        loop {
+            if let Some(id) = self.ready.pop_front() {
+                self.yielded += 1;
+                self.queue.push_back(id);
+                return Some(id);
+            }
+            let cur = self.queue.pop_front()?;
+            let successors = single_step_interned(pool, cur, &self.rules);
+            self.steps += successors.len() as u64;
+            for next in successors {
+                if self.seen.insert(next) {
+                    self.ready.push_back(next);
+                }
+            }
+        }
+    }
+
+    /// Number of variants yielded so far.
+    pub fn yielded(&self) -> usize {
+        self.yielded
+    }
+
+    /// Candidate rewrites generated so far (before de-duplication) — the
+    /// enumeration work performed, suitable for search-budget charging.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Distinct variants already generated but not yet yielded. When the
+    /// caller abandons the stream early this is a deterministic lower
+    /// bound on the enumeration it skipped.
+    pub fn pending(&self) -> usize {
+        self.ready.len()
+    }
+}
+
+/// Eager helper: drains a [`VariantStream`], returning the interned ids.
+/// Yields exactly the trees [`variants`] would produce, in order.
+pub fn variants_interned(
+    pool: &mut TreePool,
+    tree: &Tree,
+    rules: &RuleSet,
+    limit: usize,
+) -> Vec<TreeId> {
+    let mut stream = VariantStream::new(pool, tree, *rules, limit);
+    let mut out = Vec::new();
+    while let Some(id) = stream.next(pool) {
+        out.push(id);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,5 +639,100 @@ mod tests {
         let t = Tree::un(UnOp::Neg, Tree::un(UnOp::Neg, v("a")));
         let vs = variants(&t, &RuleSet::all(), 10);
         assert!(vs.contains(&v("a")));
+    }
+
+    /// The streaming interned enumerator must reproduce the boxed BFS
+    /// sequence exactly — order included — for every rule subset.
+    #[test]
+    fn stream_matches_boxed_enumeration() {
+        let samples = vec![
+            Tree::bin(BinOp::Add, v("a"), v("b")),
+            Tree::bin(BinOp::Sub, v("a"), v("b")),
+            Tree::bin(BinOp::Mul, v("a"), Tree::constant(8)),
+            Tree::bin(BinOp::Add, Tree::bin(BinOp::Add, v("a"), v("b")), v("c")),
+            Tree::bin(
+                BinOp::Add,
+                Tree::bin(BinOp::Mul, v("a"), Tree::constant(4)),
+                Tree::bin(BinOp::Sub, v("c"), Tree::bin(BinOp::Mul, v("b"), v("d"))),
+            ),
+            Tree::un(UnOp::Neg, Tree::un(UnOp::Neg, v("a"))),
+            Tree::bin(BinOp::SatAdd, Tree::bin(BinOp::SatAdd, v("a"), v("b")), v("c")),
+        ];
+        let rule_sets = [
+            RuleSet::all(),
+            RuleSet::none(),
+            RuleSet { commutativity: true, ..RuleSet::none() },
+            RuleSet { associativity: true, ..RuleSet::none() },
+            RuleSet { mul_shift: true, sub_neg: true, ..RuleSet::none() },
+        ];
+        for t in &samples {
+            for rules in &rule_sets {
+                for limit in [1, 2, 5, 64] {
+                    let boxed = variants(t, rules, limit);
+                    let mut pool = TreePool::new();
+                    let streamed: Vec<Tree> = variants_interned(&mut pool, t, rules, limit)
+                        .into_iter()
+                        .map(|id| pool.to_tree(id))
+                        .collect();
+                    assert_eq!(streamed, boxed, "tree {t} rules {rules:?} limit {limit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_yields_distinct_ids() {
+        let t = Tree::bin(
+            BinOp::Add,
+            Tree::bin(BinOp::Add, v("a"), v("b")),
+            Tree::bin(BinOp::Add, v("c"), v("d")),
+        );
+        let mut pool = TreePool::new();
+        let ids = variants_interned(&mut pool, &t, &RuleSet::all(), 100);
+        let unique: HashSet<_> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len(), "no duplicate variants");
+    }
+
+    #[test]
+    fn stream_counts_work_and_respects_limit() {
+        let t = Tree::bin(
+            BinOp::Add,
+            Tree::bin(BinOp::Add, v("a"), v("b")),
+            Tree::bin(BinOp::Add, v("c"), v("d")),
+        );
+        let mut pool = TreePool::new();
+        let mut stream = VariantStream::new(&mut pool, &t, RuleSet::all(), 5);
+        let mut n = 0;
+        while stream.next(&mut pool).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert_eq!(stream.yielded(), 5);
+        assert!(stream.steps() > 0, "expansion work was counted");
+        // abandoning early leaves pending successors observable
+        let mut stream2 = VariantStream::new(&mut pool, &t, RuleSet::all(), 100);
+        stream2.next(&mut pool);
+        stream2.next(&mut pool);
+        assert!(stream2.pending() > 0);
+    }
+
+    #[test]
+    fn interned_rewrites_share_untouched_subtrees() {
+        // Commuting the root of (a+b)+(c+d) must reuse both child ids.
+        let lhs = Tree::bin(BinOp::Add, v("a"), v("b"));
+        let rhs = Tree::bin(BinOp::Add, v("c"), v("d"));
+        let t = Tree::bin(BinOp::Add, lhs, rhs);
+        let mut pool = TreePool::new();
+        let root = pool.intern(&t);
+        let nodes_before = pool.len();
+        let succ = single_step_interned(
+            &mut pool,
+            root,
+            &RuleSet { commutativity: true, ..RuleSet::none() },
+        );
+        // 3 commuted forms (root, left child, right child), but only 3 new
+        // *root* spines: every leaf and untouched child is shared.
+        assert_eq!(succ.len(), 3);
+        assert!(pool.len() - nodes_before <= succ.len() + 2);
     }
 }

@@ -98,6 +98,207 @@ pub fn validate_jsonl(s: &str) -> Result<(), JsonError> {
     Ok(())
 }
 
+/// A parsed JSON value — the minimal tree the perf-gate tooling needs to
+/// diff two benchmark documents without a serde dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers included).
+    Number(f64),
+    /// A string, with escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in source order (keys are not deduplicated).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (first match), `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` as exactly one JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// [`JsonError`] locating the first violation.
+pub fn parse(s: &str) -> Result<Value, JsonError> {
+    validate(s)?;
+    let bytes = s.as_bytes();
+    let pos = skip_ws(bytes, 0);
+    let (v, _) = parse_value(bytes, pos)?;
+    Ok(v)
+}
+
+/// Parses the (pre-validated) value at `pos`, returning it and the
+/// position just past it. Validation has already run, so structural
+/// errors here are unreachable; the `Err` arm only covers `\u` escapes
+/// that decode to unpaired surrogates.
+fn parse_value(b: &[u8], pos: usize) -> Result<(Value, usize), JsonError> {
+    match b.get(pos) {
+        Some(b'{') => {
+            let mut members = Vec::new();
+            let mut pos = skip_ws(b, pos + 1);
+            if b.get(pos) == Some(&b'}') {
+                return Ok((Value::Object(members), pos + 1));
+            }
+            loop {
+                let (key, p) = parse_string(b, pos)?;
+                pos = skip_ws(b, p);
+                pos = skip_ws(b, pos + 1); // ':'
+                let (v, p) = parse_value(b, pos)?;
+                members.push((key, v));
+                pos = skip_ws(b, p);
+                match b.get(pos) {
+                    Some(b',') => pos = skip_ws(b, pos + 1),
+                    _ => return Ok((Value::Object(members), pos + 1)), // '}'
+                }
+            }
+        }
+        Some(b'[') => {
+            let mut items = Vec::new();
+            let mut pos = skip_ws(b, pos + 1);
+            if b.get(pos) == Some(&b']') {
+                return Ok((Value::Array(items), pos + 1));
+            }
+            loop {
+                let (v, p) = parse_value(b, pos)?;
+                items.push(v);
+                pos = skip_ws(b, p);
+                match b.get(pos) {
+                    Some(b',') => pos = skip_ws(b, pos + 1),
+                    _ => return Ok((Value::Array(items), pos + 1)), // ']'
+                }
+            }
+        }
+        Some(b'"') => {
+            let (s, p) = parse_string(b, pos)?;
+            Ok((Value::String(s), p))
+        }
+        Some(b't') => Ok((Value::Bool(true), pos + 4)),
+        Some(b'f') => Ok((Value::Bool(false), pos + 5)),
+        Some(b'n') => Ok((Value::Null, pos + 4)),
+        _ => {
+            let end = number(b, pos).expect("pre-validated number");
+            let text = std::str::from_utf8(&b[pos..end]).expect("ASCII number");
+            let n = text.parse::<f64>().map_err(|_| JsonError { pos, what: "bad number" })?;
+            Ok((Value::Number(n), end))
+        }
+    }
+}
+
+/// Decodes the (pre-validated) string literal at `pos`.
+fn parse_string(b: &[u8], mut pos: usize) -> Result<(String, usize), JsonError> {
+    let start = pos;
+    pos += 1; // opening quote
+    let mut out = String::new();
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok((out, pos + 1)),
+            b'\\' => match b[pos + 1] {
+                b'"' => {
+                    out.push('"');
+                    pos += 2;
+                }
+                b'\\' => {
+                    out.push('\\');
+                    pos += 2;
+                }
+                b'/' => {
+                    out.push('/');
+                    pos += 2;
+                }
+                b'b' => {
+                    out.push('\u{08}');
+                    pos += 2;
+                }
+                b'f' => {
+                    out.push('\u{0C}');
+                    pos += 2;
+                }
+                b'n' => {
+                    out.push('\n');
+                    pos += 2;
+                }
+                b'r' => {
+                    out.push('\r');
+                    pos += 2;
+                }
+                b't' => {
+                    out.push('\t');
+                    pos += 2;
+                }
+                _ => {
+                    // \uXXXX, possibly a surrogate pair
+                    let hex = std::str::from_utf8(&b[pos + 2..pos + 6]).expect("hex digits");
+                    let mut code = u32::from_str_radix(hex, 16).expect("pre-validated hex");
+                    pos += 6;
+                    if (0xD800..0xDC00).contains(&code)
+                        && b.get(pos) == Some(&b'\\')
+                        && b.get(pos + 1) == Some(&b'u')
+                    {
+                        let hex2 = std::str::from_utf8(&b[pos + 2..pos + 6]).expect("hex digits");
+                        let low = u32::from_str_radix(hex2, 16).expect("pre-validated hex");
+                        if (0xDC00..0xE000).contains(&low) {
+                            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            pos += 6;
+                        }
+                    }
+                    out.push(char::from_u32(code).ok_or(JsonError {
+                        pos: start,
+                        what: "\\u escape is an unpaired surrogate",
+                    })?);
+                }
+            },
+            _ => {
+                // copy one UTF-8 scalar verbatim
+                let len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                out.push_str(std::str::from_utf8(&b[pos..pos + len]).expect("valid UTF-8 input"));
+                pos += len;
+            }
+        }
+    }
+    unreachable!("pre-validated string is terminated")
+}
+
 fn skip_ws(b: &[u8], mut pos: usize) -> usize {
     while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
         pos += 1;
@@ -297,6 +498,29 @@ mod tests {
             "{\"a\":1,}",
         ] {
             assert!(validate(doc).is_err(), "accepted {doc:?}");
+        }
+    }
+
+    #[test]
+    fn parser_builds_the_value_tree() {
+        let v = parse("{\"a\": [1, -2.5, \"x\\n\"], \"b\": {\"c\": true}, \"d\": null}").unwrap();
+        assert_eq!(
+            v.get("a").and_then(Value::as_array),
+            Some(&[Value::Number(1.0), Value::Number(-2.5), Value::String("x\n".into())][..])
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Value::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Value::Null));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap(), Value::String("😀".into()));
+        assert!(parse("{oops}").is_err());
+    }
+
+    #[test]
+    fn parser_round_trips_rendered_strings() {
+        for nasty in ["plain", "quo\"te", "back\\slash", "new\nline", "tab\tcr\r", "nul\u{01}"] {
+            let mut out = String::new();
+            push_str_lit(&mut out, nasty);
+            assert_eq!(parse(&out).unwrap(), Value::String(nasty.into()), "{out}");
         }
     }
 

@@ -21,6 +21,10 @@
 //!
 //! * `--json PATH` — per-kernel `{insns, words, relative_to_handasm}`
 //!   for all ten kernels on both shipped targets, as one JSON document
+//! * `--bench-json PATH` — per-kernel wall time plus the deterministic
+//!   selection-work counters (variants, labels computed/memoized, dedup
+//!   hits, search steps, insns, words); this is the `BENCH_compile.json`
+//!   artifact the CI perf gate diffs against its committed baseline
 //! * `--trace PATH` — Chrome trace-event dump of every compile the run
 //!   performed (span per pass, instant per cache event); open it at
 //!   <https://ui.perfetto.dev> or `chrome://tracing`
@@ -31,12 +35,14 @@ use record::{Session, Tracer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut json_path: Option<String> = None;
+    let mut bench_json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("missing value for {flag}"));
         match flag.as_str() {
             "--json" => json_path = Some(value()?),
+            "--bench-json" => bench_json_path = Some(value()?),
             "--trace" => trace_path = Some(value()?),
             other => return Err(format!("unknown flag {other:?}").into()),
         }
@@ -79,6 +85,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         record_trace::json::validate(&json).expect("kernel size JSON is well-formed");
         std::fs::write(path, json)?;
         println!("wrote {path} ({} kernel rows)", rows.len());
+    }
+    if let Some(path) = &bench_json_path {
+        let rows = record::report::kernel_bench_report(&session)?;
+        let json = record::report::render_kernel_bench_json(&rows);
+        record_trace::json::validate(&json).expect("bench JSON is well-formed");
+        std::fs::write(path, json)?;
+        println!("wrote {path} ({} bench rows)", rows.len());
     }
     if let Some(path) = &trace_path {
         let mut f = std::fs::File::create(path)?;

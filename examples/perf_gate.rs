@@ -1,0 +1,145 @@
+//! CI perf-regression gate over `BENCH_compile.json`.
+//!
+//! Compares a freshly generated benchmark report (see `dspstone_report
+//! --bench-json`) against the committed baseline
+//! (`tests/golden/bench_baseline.json`) and fails — exit code 1 — when
+//! any *deterministic* counter regresses by more than the tolerance.
+//!
+//! Counters gate in the direction that means "the compiler did worse":
+//!
+//! * **work counters** (`statements`, `variants`, `covered`,
+//!   `interned_nodes`, `labels_computed`, `search_steps`, `insns`,
+//!   `words`) regress by *increasing* — the selector enumerated,
+//!   labelled, or emitted more than it used to;
+//! * **savings counters** (`dedup_hits`, `labels_memoized`,
+//!   `variants_pruned`) regress by *decreasing* — hash-consing or
+//!   memoization stopped paying off.
+//!
+//! Wall-clock time (`wall_us`) is printed for context but **never
+//! gated**: it varies with the runner, while every gated counter is a
+//! pure function of the source tree, so a >5 % move is an algorithmic
+//! change, not scheduler noise.
+//!
+//! ```sh
+//! cargo run --example perf_gate -- \
+//!     --current BENCH_compile.json \
+//!     --baseline tests/golden/bench_baseline.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use record_trace::json::{parse, Value};
+
+/// Counters that regress by increasing (more work / bigger code).
+const WORK: [&str; 8] = [
+    "statements",
+    "variants",
+    "covered",
+    "interned_nodes",
+    "labels_computed",
+    "search_steps",
+    "insns",
+    "words",
+];
+
+/// Counters that regress by decreasing (lost savings).
+const SAVINGS: [&str; 3] = ["dedup_hits", "labels_memoized", "variants_pruned"];
+
+fn load(path: &str) -> Result<BTreeMap<(String, String), Value>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let rows = doc
+        .get("kernels")
+        .and_then(Value::as_array)
+        .ok_or(format!("{path}: no \"kernels\" array"))?;
+    let mut out = BTreeMap::new();
+    for row in rows {
+        let kernel = row.get("kernel").and_then(Value::as_str).ok_or("row without kernel")?;
+        let target = row.get("target").and_then(Value::as_str).ok_or("row without target")?;
+        out.insert((kernel.to_string(), target.to_string()), row.clone());
+    }
+    Ok(out)
+}
+
+fn counter(row: &Value, name: &str) -> f64 {
+    row.get(name).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn run() -> Result<bool, String> {
+    let mut current_path = String::from("BENCH_compile.json");
+    let mut baseline_path = String::from("tests/golden/bench_baseline.json");
+    let mut tolerance = 0.05f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--current" => current_path = value()?,
+            "--baseline" => baseline_path = value()?,
+            "--tolerance" => {
+                tolerance = value()?.parse().map_err(|e| format!("bad tolerance: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let current = load(&current_path)?;
+    let baseline = load(&baseline_path)?;
+
+    let mut ok = true;
+    for key in baseline.keys() {
+        if !current.contains_key(key) {
+            println!("FAIL {}/{}: kernel missing from current report", key.0, key.1);
+            ok = false;
+        }
+    }
+    let mut wall_cur = 0.0;
+    let mut wall_base = 0.0;
+    for ((kernel, target), cur) in &current {
+        let Some(base) = baseline.get(&(kernel.clone(), target.clone())) else {
+            println!("note {kernel}/{target}: new kernel, no baseline (not gated)");
+            continue;
+        };
+        wall_cur += counter(cur, "wall_us");
+        wall_base += counter(base, "wall_us");
+        for name in WORK {
+            let (c, b) = (counter(cur, name), counter(base, name));
+            if c > b * (1.0 + tolerance) {
+                println!(
+                    "FAIL {kernel}/{target}: {name} rose {b} -> {c} (> {:.0}%)",
+                    tolerance * 100.0
+                );
+                ok = false;
+            }
+        }
+        for name in SAVINGS {
+            let (c, b) = (counter(cur, name), counter(base, name));
+            if c < b * (1.0 - tolerance) {
+                println!("FAIL {kernel}/{target}: {name} fell {b} -> {c}");
+                ok = false;
+            }
+        }
+    }
+    println!(
+        "wall time (informational, never gated): {:.0} µs now vs {:.0} µs at baseline",
+        wall_cur, wall_base
+    );
+    println!(
+        "perf gate: {} rows checked against {baseline_path}, tolerance {:.0}% — {}",
+        current.len(),
+        tolerance * 100.0,
+        if ok { "OK" } else { "REGRESSED" }
+    );
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

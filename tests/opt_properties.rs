@@ -45,7 +45,7 @@ fn build_code(steps: &[Step], target: &TargetDesc) -> Code {
     let mem = |j: usize| {
         let mut m = MemLoc::scalar(MEMS[j]);
         // alternate banks so parallel packing has opportunities
-        m.bank = if j.is_multiple_of(2) { record_ir::Bank::X } else { record_ir::Bank::Y };
+        m.bank = if j % 2 == 0 { record_ir::Bank::X } else { record_ir::Bank::Y };
         // resolved direct addressing keeps the passes honest
         m.mode = record_isa::AddrMode::Direct(j as u16);
         m
