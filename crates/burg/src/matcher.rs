@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use record_ir::{Op, Tree, TreeId, TreeNode, TreePool};
 use record_isa::{Cost, NonTermId, PatNode, Predicate, Rhs, RuleId, TargetDesc};
+use record_trace::codec;
 
 use crate::cover::{Cover, CoverNode, Operand};
 use crate::label::{Entry, LabelCache, Labeled, LabeledNode};
@@ -15,7 +16,7 @@ use crate::label::{Entry, LabelCache, Labeled, LabeledNode};
 /// offline. They are immutable once built, so a single `Arc<Tables>` can
 /// back any number of [`Matcher`]s — including matchers running
 /// concurrently on different threads.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Tables {
     /// Pattern rules indexed by root operator (`Op::index`).
     rules_by_op: Vec<Vec<RuleId>>,
@@ -23,6 +24,13 @@ pub struct Tables {
     chains: Vec<RuleId>,
     n_nts: usize,
 }
+
+/// Magic bytes of a serialized [`Tables`] file.
+const TABLES_MAGIC: &[u8; 8] = b"RECBURS\0";
+/// Format version of a serialized [`Tables`] file. Bump on any layout
+/// change *and* whenever [`Op::index`] numbering changes — the on-disk
+/// index is meaningless under a different operator numbering.
+const TABLES_VERSION: u32 = 1;
 
 impl Tables {
     /// Generates the tables for a target grammar.
@@ -56,6 +64,86 @@ impl Tables {
     /// Number of indexed chain rules (diagnostic).
     pub fn n_chain_rules(&self) -> usize {
         self.chains.len()
+    }
+
+    /// Serializes the tables into a self-contained, checksummed binary
+    /// blob (versioned header, length-prefixed rule lists, FNV trailer —
+    /// see [`record_trace::codec`]). Loading the blob back with
+    /// [`from_bytes`](Tables::from_bytes) skips the per-target
+    /// generation step entirely: the cold-start cost the paper's iburg
+    /// pays offline becomes a file read.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = codec::ByteWriter::new();
+        w.u32(self.n_nts as u32);
+        w.u32(self.rules_by_op.len() as u32);
+        for rules in &self.rules_by_op {
+            w.u32(rules.len() as u32);
+            for r in rules {
+                w.u32(r.0);
+            }
+        }
+        w.u32(self.chains.len() as u32);
+        for r in &self.chains {
+            w.u32(r.0);
+        }
+        codec::seal(TABLES_MAGIC, TABLES_VERSION, &w.into_bytes())
+    }
+
+    /// Deserializes tables written by [`to_bytes`](Tables::to_bytes).
+    ///
+    /// Every failure mode of a file on disk — truncation, a flipped bit,
+    /// a stale format version, an operator-count mismatch with the
+    /// running build — comes back as a [`codec::CodecError`], never a
+    /// panic: cache layers treat it as a miss and regenerate.
+    ///
+    /// # Errors
+    ///
+    /// [`codec::CodecError`] on any malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, codec::CodecError> {
+        let payload = codec::unseal(TABLES_MAGIC, TABLES_VERSION, bytes)?;
+        let mut r = codec::ByteReader::new(payload);
+        let n_nts = r.u32()? as usize;
+        let n_ops = r.seq_len(4)?;
+        if n_ops != Op::COUNT {
+            return Err(codec::CodecError {
+                pos: 4,
+                what: format!("tables index {n_ops} operators, this build has {}", Op::COUNT),
+            });
+        }
+        let mut rules_by_op = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            let n = r.seq_len(4)?;
+            let mut rules = Vec::with_capacity(n);
+            for _ in 0..n {
+                rules.push(RuleId(r.u32()?));
+            }
+            rules_by_op.push(rules);
+        }
+        let n_chains = r.seq_len(4)?;
+        let mut chains = Vec::with_capacity(n_chains);
+        for _ in 0..n_chains {
+            chains.push(RuleId(r.u32()?));
+        }
+        r.finish()?;
+        Ok(Tables { rules_by_op, chains, n_nts })
+    }
+
+    /// Whether these (possibly deserialized) tables are structurally
+    /// plausible for `target`: same nonterminal count, every indexed
+    /// rule id within the target's rule table. This is the load-time
+    /// sanity gate for tables read from disk — it cannot prove the
+    /// tables were generated from *this* grammar (the cache keys files
+    /// by a full-content fingerprint for that), but it does guarantee
+    /// that every table lookup the matcher performs stays in bounds.
+    pub fn is_consistent_with(&self, target: &TargetDesc) -> bool {
+        self.n_nts == target.nonterms.len()
+            && self.rules_by_op.len() == Op::COUNT
+            && self
+                .rules_by_op
+                .iter()
+                .flatten()
+                .chain(&self.chains)
+                .all(|r| (r.0 as usize) < target.rules.len())
     }
 }
 
@@ -832,5 +920,72 @@ mod tests {
         );
         let cover = m.cover(&tree2, acc).unwrap();
         assert_eq!(cover.cost, cover.root.cost(&t));
+    }
+
+    #[test]
+    fn tables_round_trip_structurally_equal() {
+        for target in [record_isa::targets::tic25::target(), record_isa::targets::dsp56k::target()]
+        {
+            let built = Tables::build(&target);
+            let loaded = Tables::from_bytes(&built.to_bytes()).unwrap();
+            assert_eq!(built, loaded, "{}", target.name);
+            assert!(loaded.is_consistent_with(&target));
+        }
+    }
+
+    #[test]
+    fn loaded_tables_select_byte_identically() {
+        let t = record_isa::targets::tic25::target();
+        let built = Matcher::new(&t);
+        let loaded = Tables::from_bytes(&Tables::build(&t).to_bytes()).unwrap();
+        let from_disk = Matcher::with_tables(&t, Arc::new(loaded));
+        let acc = t.nt("acc").unwrap();
+        for tree in [
+            fig4_tree(),
+            Tree::bin(
+                BinOp::Add,
+                Tree::var("y"),
+                Tree::bin(BinOp::Mul, Tree::var("c"), Tree::var("x")),
+            ),
+            Tree::un(record_ir::UnOp::Neg, Tree::var("x")),
+        ] {
+            let a = built.cover(&tree, acc);
+            let b = from_disk.cover(&tree, acc);
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(format!("{a:?}"), format!("{b:?}"), "covers diverge on {tree}");
+                }
+                (a, b) => assert_eq!(a.is_none(), b.is_none(), "coverability diverges on {tree}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_tables_bytes_error_instead_of_panicking() {
+        let t = record_isa::targets::tic25::target();
+        let bytes = Tables::build(&t).to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(Tables::from_bytes(&bad).is_err(), "bit flip at {i} accepted");
+        }
+        for cut in 0..bytes.len() {
+            assert!(Tables::from_bytes(&bytes[..cut]).is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn inconsistent_tables_are_detected() {
+        let tic = record_isa::targets::tic25::target();
+        let tables = Tables::build(&tic);
+        assert!(tables.is_consistent_with(&tic));
+        // fewer rules than the tables index → ids out of range
+        let mut shrunk = tic.clone();
+        shrunk.rules.truncate(1);
+        assert!(!tables.is_consistent_with(&shrunk));
+        // different grammar size → nonterminal count mismatch
+        let mut grown = tic.clone();
+        grown.nonterms.push(grown.nonterms[0].clone());
+        assert!(!tables.is_consistent_with(&grown));
     }
 }

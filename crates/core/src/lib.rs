@@ -59,6 +59,7 @@
 //! ```
 
 pub mod baseline;
+pub mod cache;
 pub mod emit;
 pub mod handasm;
 pub mod pass;
@@ -71,6 +72,7 @@ pub mod timing;
 
 mod error;
 
+pub use cache::{CacheKey, CacheStats, CompileCache};
 pub use error::{CompileError, TargetError};
 pub use pass::{reference_select_pass, CompilationUnit, Pass, PassPlan};
 pub use pipeline::{Budgets, CompileOptions, Compiler};

@@ -1,7 +1,7 @@
 //! The RECORD compiler pipeline (Fig. 2 of the paper).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use record_burg::Tables;
@@ -161,6 +161,9 @@ pub struct Compiler {
     /// emitters running concurrently on other threads. Cloning a
     /// `Compiler` clones the handle, not the tables.
     tables: Arc<Tables>,
+    /// Lazily computed [`stable_fingerprint`](Compiler::stable_fingerprint);
+    /// cloning a compiler keeps the cached value.
+    fingerprint: OnceLock<u64>,
 }
 
 impl Compiler {
@@ -175,7 +178,29 @@ impl Compiler {
     pub fn for_target(target: TargetDesc) -> Result<Self, CompileError> {
         target.validate().map_err(|e| CompileError::Target(crate::TargetError::Invalid(e)))?;
         let tables = Arc::new(Tables::build(&target));
-        Ok(Compiler { target, tables })
+        Ok(Compiler { target, tables, fingerprint: OnceLock::new() })
+    }
+
+    /// Generates a compiler from a target description plus
+    /// **pre-built** BURS tables — the warm-start path: tables
+    /// deserialized from the on-disk cache skip
+    /// [`Tables::build`] entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Target`] if the description fails validation or
+    /// the tables do not structurally match it (wrong rule count,
+    /// nonterminal count, or out-of-range rule ids — e.g. tables cached
+    /// for a different revision of the target).
+    pub fn with_tables(target: TargetDesc, tables: Arc<Tables>) -> Result<Self, CompileError> {
+        target.validate().map_err(|e| CompileError::Target(crate::TargetError::Invalid(e)))?;
+        if !tables.is_consistent_with(&target) {
+            return Err(CompileError::Target(crate::TargetError::Invalid(format!(
+                "pre-built BURS tables do not match target `{}`",
+                target.name
+            ))));
+        }
+        Ok(Compiler { target, tables, fingerprint: OnceLock::new() })
     }
 
     /// Generates a compiler from an RT-level netlist via instruction-set
@@ -199,7 +224,7 @@ impl Compiler {
         let (target, skipped) = record_ise::to_target(name, netlist, &insns, opts)
             .map_err(|e| CompileError::Target(crate::TargetError::Invalid(e)))?;
         let tables = Arc::new(Tables::build(&target));
-        Ok((Compiler { target, tables }, skipped))
+        Ok((Compiler { target, tables, fingerprint: OnceLock::new() }, skipped))
     }
 
     /// The target this compiler was generated for.
@@ -210,6 +235,20 @@ impl Compiler {
     /// The generated BURS matcher tables (shared, immutable).
     pub fn tables(&self) -> &Arc<Tables> {
         &self.tables
+    }
+
+    /// A stable 64-bit fingerprint of the target description — the
+    /// cross-process half of a compile-cache key and the name of the
+    /// target's on-disk BURS table file. Computed once (FNV-1a over the
+    /// `TargetDesc`'s `Hash` derivation, *not* the randomly keyed
+    /// `DefaultHasher`) and cached in the compiler.
+    pub fn stable_fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            use std::hash::{Hash, Hasher};
+            let mut h = record_trace::codec::StableHasher::new();
+            self.target.hash(&mut h);
+            h.finish()
+        })
     }
 
     /// Compiles a lowered program with default options.

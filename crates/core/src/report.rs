@@ -263,6 +263,15 @@ impl fmt::Display for PhaseBreakdown {
         if self.stats.salvaged_passes > 0 {
             write!(f, ", {} salvaged pass(es)", self.stats.salvaged_passes)?;
         }
+        let s = &self.stats;
+        if s.code_hits + s.code_misses + s.code_corruptions > 0 {
+            write!(
+                f,
+                "\n  compile cache: {} hit(s), {} miss(es), {} eviction(s), \
+                 {} corruption(s), {} table load(s)",
+                s.code_hits, s.code_misses, s.code_evictions, s.code_corruptions, s.tables_loaded
+            )?;
+        }
         Ok(())
     }
 }
@@ -487,6 +496,30 @@ pub fn render_kernel_bench_json(rows: &[KernelBench]) -> String {
     out
 }
 
+/// Renders a [`Session`]'s compile-cache counters as the
+/// `record-cache/v1` JSON document the CI cold-vs-warm step uploads and
+/// the perf gate diffs (via `perf_gate --cache-current`):
+/// `{"schema": "record-cache/v1", "code_hits": …, "code_misses": …,
+/// "code_evictions": …, "code_corruptions": …, "tables_loaded": …,
+/// "compiles": …}`.
+///
+/// Every field is deterministic for a fixed compile sequence, so the
+/// gate treats misses/evictions/corruptions as work (must not rise) and
+/// hits/table-loads as savings (must not fall).
+pub fn render_cache_stats_json(stats: &SessionStats) -> String {
+    format!(
+        "{{\"schema\":\"record-cache/v1\",\"code_hits\":{},\"code_misses\":{},\
+         \"code_evictions\":{},\"code_corruptions\":{},\"tables_loaded\":{},\
+         \"compiles\":{}}}\n",
+        stats.code_hits,
+        stats.code_misses,
+        stats.code_evictions,
+        stats.code_corruptions,
+        stats.tables_loaded,
+        stats.compiles
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -586,6 +619,49 @@ mod tests {
         record_trace::json::validate(&json).unwrap_or_else(|e| panic!("{e}:\n{json}"));
         assert!(json.contains("\"schema\":\"record-bench/v1\""), "{json}");
         assert!(json.contains("\"labels_memoized\""), "{json}");
+    }
+
+    #[test]
+    fn cache_stats_json_is_valid_and_complete() {
+        let stats = SessionStats {
+            code_hits: 80,
+            code_misses: 2,
+            tables_loaded: 8,
+            compiles: 82,
+            ..Default::default()
+        };
+        let json = render_cache_stats_json(&stats);
+        record_trace::json::validate(&json).unwrap_or_else(|e| panic!("{e}:\n{json}"));
+        let doc = record_trace::json::parse(&json).unwrap();
+        assert_eq!(doc.get("schema").and_then(|v| v.as_str()), Some("record-cache/v1"));
+        for (field, want) in [
+            ("code_hits", 80.0),
+            ("code_misses", 2.0),
+            ("code_evictions", 0.0),
+            ("code_corruptions", 0.0),
+            ("tables_loaded", 8.0),
+            ("compiles", 82.0),
+        ] {
+            assert_eq!(doc.get(field).and_then(|v| v.as_f64()), Some(want), "{field}");
+        }
+    }
+
+    #[test]
+    fn phase_breakdown_renders_compile_cache_line_only_when_used() {
+        let silent = phase_breakdown().unwrap();
+        assert!(
+            !silent.to_string().contains("compile cache:"),
+            "cache line must not render for cache-less sessions"
+        );
+
+        let session = Session::new().with_code_cache(16);
+        let pb1 = phase_breakdown_in(&session).unwrap();
+        let text = pb1.to_string();
+        assert!(text.contains("compile cache:"), "{text}");
+        assert!(text.contains("10 miss(es)"), "{text}");
+        let pb2 = phase_breakdown_in(&session).unwrap();
+        let text = pb2.to_string();
+        assert!(text.contains("10 hit(s), 10 miss(es)"), "{text}");
     }
 
     #[test]

@@ -29,8 +29,14 @@ use record_ir::lir::Lir;
 use record_isa::{Code, TargetDesc};
 use record_trace::{MetricsRegistry, Tracer};
 
+use crate::cache::{self, CacheKey, CacheStats, CompileCache};
 use crate::timing::PhaseTimings;
 use crate::{CompileError, CompileOptions, Compiler, PassPlan};
+
+/// In-memory entry bound of the code cache when
+/// [`Session::with_cache_dir`] is called without a preceding
+/// [`Session::with_code_cache`].
+const DEFAULT_CODE_CACHE_CAPACITY: usize = 256;
 
 /// Bucket bounds (µs) for the `record_compile_latency_us` histogram.
 const LATENCY_BUCKETS_US: &[f64] = &[
@@ -89,6 +95,18 @@ pub struct SessionStats {
     /// Best-effort passes dropped to salvage compiles (graceful
     /// degradation events across the whole session).
     pub salvaged_passes: usize,
+    /// Code-cache hits: compiles answered without running any pass
+    /// (zero unless [`Session::with_code_cache`]/[`Session::with_cache_dir`]
+    /// enabled the cache).
+    pub code_hits: u64,
+    /// Code-cache lookups that had to compile.
+    pub code_misses: u64,
+    /// In-memory code-cache entries dropped by the LRU bound.
+    pub code_evictions: u64,
+    /// On-disk cache entries rejected as corrupt and deleted.
+    pub code_corruptions: u64,
+    /// BURS table sets loaded from the disk cache instead of generated.
+    pub tables_loaded: u64,
 }
 
 /// A compilation service: per-target compiler cache + parallel batch
@@ -127,6 +145,10 @@ pub struct Session {
     /// Counters, gauges and histograms fed by every compile routed
     /// through the session (see [`Session::metrics`]).
     metrics: MetricsRegistry,
+    /// The opt-in two-level compile cache ([`Session::with_code_cache`] /
+    /// [`Session::with_cache_dir`]). `None` (the default) preserves the
+    /// always-compile behaviour exactly.
+    code_cache: Option<Mutex<CompileCache>>,
 }
 
 impl Default for Session {
@@ -155,7 +177,49 @@ impl Session {
             timings: Mutex::new(PhaseTimings::default()),
             tracer: None,
             metrics: MetricsRegistry::new(),
+            code_cache: None,
         }
+    }
+
+    /// Enables the in-memory compile cache: compiled [`Code`] is keyed
+    /// by `(program, target, plan)` fingerprints and a repeat compile of
+    /// a structurally identical program returns the cached (byte-
+    /// identical) code without running a single pass. At most `capacity`
+    /// entries stay resident (LRU).
+    ///
+    /// ```
+    /// use record::Session;
+    ///
+    /// let session = Session::new().with_code_cache(64);
+    /// let target = record_isa::targets::tic25::target();
+    /// let src = "program p; var x, y: fix; begin y := x + 1; end";
+    /// let a = session.compile_source(&target, src)?;
+    /// let b = session.compile_source(&target, src)?; // code-cache hit
+    /// assert_eq!(a.render(), b.render());
+    /// assert_eq!(session.stats().code_hits, 1);
+    /// # Ok::<(), record::CompileError>(())
+    /// ```
+    #[must_use]
+    pub fn with_code_cache(mut self, capacity: usize) -> Self {
+        self.code_cache = Some(Mutex::new(CompileCache::new(capacity)));
+        self
+    }
+
+    /// Enables the on-disk store under `dir` (implies
+    /// [`with_code_cache`](Session::with_code_cache) with a default
+    /// capacity when not already enabled): compiled code *and* generated
+    /// BURS tables persist across processes, so a later session
+    /// cold-starts a known target by loading its tables and answers
+    /// repeat compiles from disk. Corrupt files are treated as misses
+    /// and deleted, never as errors.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        let cache = match self.code_cache.take() {
+            Some(m) => m.into_inner().expect("code cache lock"),
+            None => CompileCache::new(DEFAULT_CODE_CACHE_CAPACITY),
+        };
+        self.code_cache = Some(Mutex::new(cache.with_dir(dir)));
+        self
     }
 
     /// Attaches a [`Tracer`]: every subsequent compile submits a
@@ -238,7 +302,7 @@ impl Session {
         if let Some(t) = &self.tracer {
             t.instant("cache-miss", &[("target", target.name.as_str().into())]);
         }
-        let compiler = Arc::new(Compiler::for_target(target.clone())?);
+        let compiler = Arc::new(self.generate_compiler(target)?);
         let mut cache = self.compilers.write().expect("cache lock");
         let bucket = cache.entry(key).or_default();
         // another thread may have won the race; keep the first entry so
@@ -248,6 +312,55 @@ impl Session {
         }
         bucket.push(Arc::clone(&compiler));
         Ok(compiler)
+    }
+
+    /// Builds the compiler for a target the session has not seen:
+    /// tables come from the disk cache when one is configured and holds
+    /// a consistent set (a file load, skipping table generation —
+    /// `record_tables_loaded_total` counts these), and are stored back
+    /// after generation otherwise.
+    fn generate_compiler(&self, target: &TargetDesc) -> Result<Compiler, CompileError> {
+        let Some(cache) = &self.code_cache else {
+            return Compiler::for_target(target.clone());
+        };
+        let fp = cache::target_fingerprint(target);
+        let loaded = {
+            let mut guard = cache.lock().expect("code cache lock");
+            let loaded = guard.load_tables(fp, target);
+            self.apply_cache_metrics(guard.stats());
+            loaded
+        };
+        if let Some(tables) = loaded {
+            if let Ok(compiler) = Compiler::with_tables(target.clone(), Arc::new(tables)) {
+                if let Some(t) = &self.tracer {
+                    t.instant("tables-loaded", &[("target", target.name.as_str().into())]);
+                }
+                return Ok(compiler);
+            }
+        }
+        let compiler = Compiler::for_target(target.clone())?;
+        let mut guard = cache.lock().expect("code cache lock");
+        guard.store_tables(fp, compiler.tables());
+        Ok(compiler)
+    }
+
+    /// Folds the code cache's absolute counters into the metrics
+    /// registry by delta. Callers hold (or just released) the cache
+    /// lock, and every call site locks the cache around the compute —
+    /// so concurrent deltas never double-count.
+    fn apply_cache_metrics(&self, stats: CacheStats) {
+        for (name, value) in [
+            ("record_code_cache_hits_total", stats.hits),
+            ("record_code_cache_misses_total", stats.misses),
+            ("record_code_cache_evictions_total", stats.evictions),
+            ("record_code_cache_corruptions_total", stats.corruptions),
+            ("record_tables_loaded_total", stats.tables_loaded),
+        ] {
+            let current = self.metrics.counter(name);
+            if value > current {
+                self.metrics.add(name, value - current);
+            }
+        }
     }
 
     /// Compiles a lowered program with the session's options, through the
@@ -331,12 +444,22 @@ impl Session {
 
     /// Snapshot of the cache and compile counters.
     pub fn stats(&self) -> SessionStats {
+        let code = self
+            .code_cache
+            .as_ref()
+            .map(|c| c.lock().expect("code cache lock").stats())
+            .unwrap_or_default();
         SessionStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             targets: self.compilers.read().expect("cache lock").values().map(Vec::len).sum(),
             compiles: self.compiles.load(Ordering::Relaxed),
             salvaged_passes: self.salvaged.load(Ordering::Relaxed),
+            code_hits: code.hits,
+            code_misses: code.misses,
+            code_evictions: code.evictions,
+            code_corruptions: code.corruptions,
+            tables_loaded: code.tables_loaded,
         }
     }
 
@@ -348,6 +471,14 @@ impl Session {
 
     fn record(&self, timings: &PhaseTimings) {
         self.compiles.fetch_add(1, Ordering::Relaxed);
+        if timings.from_cache {
+            // a cache hit is a compile (the caller got code) but did no
+            // phase work: count it, keep the zeroed timings out of the
+            // aggregate and the latency/size histograms
+            self.metrics.inc("record_compiles_total");
+            self.update_rate_gauges();
+            return;
+        }
         self.salvaged.fetch_add(timings.salvages.len(), Ordering::Relaxed);
         self.timings.lock().expect("timings lock").absorb(timings);
         observe_compile(&self.metrics, timings);
@@ -394,19 +525,54 @@ impl Session {
 
     /// The one compile primitive every session entry point funnels into:
     /// the explicit plan when one is set, the options-derived plan
-    /// otherwise.
+    /// otherwise. With the code cache enabled, the compile is keyed and
+    /// looked up first — a hit returns the stored code without running
+    /// any pass (`from_cache` timings, `labels_computed == 0`), and a
+    /// miss stores the freshly compiled code for next time.
     fn compile_lir(
         &self,
         compiler: &Compiler,
         lir: &Lir,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let tracer = self.tracer.as_deref();
-        match &self.plan {
-            Some(plan) => compiler.compile_plan_traced(lir, plan, tracer),
+        let options_plan;
+        let plan = match &self.plan {
+            Some(plan) => plan,
             None => {
-                compiler.compile_plan_traced(lir, &PassPlan::from_options(&self.options), tracer)
+                options_plan = PassPlan::from_options(&self.options);
+                &options_plan
             }
+        };
+        let Some(cache) = &self.code_cache else {
+            return compiler.compile_plan_traced(lir, plan, tracer);
+        };
+        let key = CacheKey {
+            program: record_ir::fingerprint::program_fingerprint(lir),
+            target: compiler.stable_fingerprint(),
+            plan: plan.fingerprint(),
+        };
+        let hit = {
+            let mut guard = cache.lock().expect("code cache lock");
+            let hit = guard.lookup(&key, lir, &compiler.target().name);
+            self.apply_cache_metrics(guard.stats());
+            hit
+        };
+        if let Some(code) = hit {
+            if let Some(t) = tracer {
+                t.instant("code-cache-hit", &[("program", lir.name.as_str().into())]);
+            }
+            return Ok((code, PhaseTimings { from_cache: true, ..PhaseTimings::default() }));
         }
+        if let Some(t) = tracer {
+            t.instant("code-cache-miss", &[("program", lir.name.as_str().into())]);
+        }
+        let result = compiler.compile_plan_traced(lir, plan, tracer);
+        if let Ok((code, _)) = &result {
+            let mut guard = cache.lock().expect("code cache lock");
+            guard.insert(key, lir, &compiler.target().name, code);
+            self.apply_cache_metrics(guard.stats());
+        }
+        result
     }
 
     fn compile_one_source(
@@ -480,9 +646,13 @@ impl Session {
                         let outcome = match result {
                             Ok((code, timings)) => {
                                 local_compiles += 1;
-                                local_salvaged += timings.salvages.len();
-                                local_timings.absorb(&timings);
-                                observe_compile(&local_metrics, &timings);
+                                if timings.from_cache {
+                                    local_metrics.inc("record_compiles_total");
+                                } else {
+                                    local_salvaged += timings.salvages.len();
+                                    local_timings.absorb(&timings);
+                                    observe_compile(&local_metrics, &timings);
+                                }
                                 Ok(code)
                             }
                             Err(e) => {
@@ -698,6 +868,99 @@ mod tests {
         let session = Session::new();
         let target = record_isa::targets::tic25::target();
         assert!(session.compile_batch(&target, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn code_cache_hit_skips_selection_entirely() {
+        let session = Session::new().with_code_cache(16);
+        let target = record_isa::targets::tic25::target();
+        let (cold, cold_t) = session.compile_source_timed(&target, &src(0)).unwrap();
+        assert!(!cold_t.from_cache);
+        assert!(cold_t.labels_computed > 0, "cold compile does real selection");
+        let (warm, warm_t) = session.compile_source_timed(&target, &src(0)).unwrap();
+        assert!(warm_t.from_cache);
+        assert_eq!(warm_t.labels_computed, 0, "warm hit must not label a single tree");
+        assert!(warm_t.passes.is_empty(), "no pass ran on the hit path");
+        assert_eq!(warm.render(), cold.render());
+        let stats = session.stats();
+        assert_eq!((stats.code_hits, stats.code_misses), (1, 1));
+        assert_eq!(stats.compiles, 2, "a hit still counts as a compile");
+        assert_eq!(session.metrics().counter("record_code_cache_hits_total"), 1);
+        assert_eq!(session.metrics().counter("record_code_cache_misses_total"), 1);
+        assert_eq!(session.metrics().counter("record_compiles_total"), 2);
+        // the timing aggregate describes work done: one compile's worth
+        assert_eq!(session.timings().statements, cold_t.statements);
+    }
+
+    #[test]
+    fn code_cache_distinguishes_plan_and_program() {
+        let target = record_isa::targets::tic25::target();
+        let o0 = Session::new().with_plan(PassPlan::o0()).with_code_cache(16);
+        o0.compile_source(&target, &src(0)).unwrap();
+        o0.compile_source(&target, &src(1)).unwrap();
+        // two distinct programs: no sharing
+        assert_eq!(o0.stats().code_hits, 0);
+        assert_eq!(o0.stats().code_misses, 2);
+    }
+
+    #[test]
+    fn without_code_cache_every_compile_is_fresh() {
+        let session = Session::new();
+        let target = record_isa::targets::tic25::target();
+        let (_, t1) = session.compile_source_timed(&target, &src(0)).unwrap();
+        let (_, t2) = session.compile_source_timed(&target, &src(0)).unwrap();
+        assert!(!t1.from_cache && !t2.from_cache);
+        assert_eq!(session.stats().code_hits, 0);
+        assert_eq!(session.metrics().counter("record_code_cache_hits_total"), 0);
+    }
+
+    #[test]
+    fn disk_cache_warm_starts_a_second_session() {
+        let dir = std::env::temp_dir().join(format!("record-session-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let target = record_isa::targets::tic25::target();
+
+        let first = Session::new().with_cache_dir(&dir);
+        let a = first.compile_source(&target, &src(0)).unwrap();
+        assert_eq!(first.stats().tables_loaded, 0, "nothing on disk yet");
+
+        // a brand-new session (cold memory) shares the directory: BURS
+        // tables load from disk and the compile is answered from disk
+        let second = Session::new().with_cache_dir(&dir);
+        let (b, t) = second.compile_source_timed(&target, &src(0)).unwrap();
+        assert!(t.from_cache);
+        assert_eq!(b.render(), a.render());
+        let stats = second.stats();
+        assert_eq!(stats.code_hits, 1);
+        assert_eq!(stats.tables_loaded, 1, "cold start loaded tables instead of generating");
+        assert_eq!(second.metrics().counter("record_tables_loaded_total"), 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_through_code_cache_is_byte_identical() {
+        let session = Session::new().with_code_cache(32);
+        let target = record_isa::targets::tic25::target();
+        let sources: Vec<String> = (0..4).map(src).collect();
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let cold: Vec<String> = session
+            .compile_batch_sources(&target, &refs)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap().render())
+            .collect();
+        let warm: Vec<String> = session
+            .compile_batch_sources(&target, &refs)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.unwrap().render())
+            .collect();
+        assert_eq!(cold, warm);
+        let stats = session.stats();
+        assert_eq!(stats.code_hits, 4);
+        assert_eq!(stats.code_misses, 4);
+        assert_eq!(session.metrics().counter("record_compiles_total"), 8);
     }
 
     #[test]

@@ -152,6 +152,12 @@ pub struct PhaseTimings {
     pub search_steps: u64,
     /// Instructions in the final code.
     pub insns: usize,
+    /// `true` when this "compile" was answered by the session's compile
+    /// cache: no phase ran, every duration and counter above is zero.
+    /// [`Session`](crate::Session) counts it as a compile but keeps it
+    /// out of the timing aggregate and the latency/size histograms,
+    /// which describe work actually performed.
+    pub from_cache: bool,
     /// Per-pass records in execution order, as registered by the
     /// `PassPlan` that drove the compile. The fixed-name fields above are
     /// maintained as coarse buckets for backward compatibility; this is

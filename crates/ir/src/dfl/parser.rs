@@ -128,7 +128,11 @@ impl<'a> Parser<'a> {
             TokenKind::Keyword(Keyword::Var) => VarKind::Var,
             TokenKind::Keyword(Keyword::In) => VarKind::In,
             TokenKind::Keyword(Keyword::Out) => VarKind::Out,
-            _ => unreachable!("caller checked"),
+            other => {
+                // the caller dispatched on these keywords; keep a parse
+                // error rather than a panic in case that ever drifts
+                return Err(Error::parse(line, format!("expected var/in/out, found {other}")));
+            }
         };
         let mut names = vec![self.ident()?];
         while self.eat(&TokenKind::Comma) {
@@ -385,7 +389,8 @@ impl<'a> Parser<'a> {
                     "abs" => UnOp::Abs,
                     _ => UnOp::Round,
                 };
-                Ok(Expr::un(op, args.pop().expect("checked length")))
+                let a = args.pop().ok_or_else(|| arity_err(1))?;
+                Ok(Expr::un(op, a))
             }
             "sadd" | "ssub" | "min" | "max" => {
                 if args.len() != 2 {
@@ -397,8 +402,8 @@ impl<'a> Parser<'a> {
                     "min" => BinOp::Min,
                     _ => BinOp::Max,
                 };
-                let b = args.pop().expect("checked length");
-                let a = args.pop().expect("checked length");
+                let b = args.pop().ok_or_else(|| arity_err(2))?;
+                let a = args.pop().ok_or_else(|| arity_err(2))?;
                 Ok(Expr::bin(op, a, b))
             }
             other => Err(Error::parse(line, format!("unknown intrinsic `{other}`"))),

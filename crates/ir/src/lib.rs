@@ -42,6 +42,7 @@
 
 pub mod dfg;
 pub mod dfl;
+pub mod fingerprint;
 pub mod fold;
 pub mod lir;
 pub mod lower;

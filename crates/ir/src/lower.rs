@@ -152,20 +152,21 @@ impl Lowerer {
             }
         }
 
-        let mut vars: Vec<VarInfo> = self
-            .var_order
-            .iter()
-            .map(|name| {
-                let v = &self.vars[name];
-                VarInfo {
-                    name: Symbol::new(name),
-                    len: v.len,
-                    kind: v.kind,
-                    bank: v.bank,
-                    is_fix: v.is_fix,
-                }
-            })
-            .collect();
+        let mut vars: Vec<VarInfo> = Vec::with_capacity(self.var_order.len());
+        for name in &self.var_order {
+            // every var_order entry was inserted into `vars` alongside it;
+            // a structured error beats an index panic if that ever drifts
+            let v = self.vars.get(name).ok_or_else(|| {
+                Error::lower(format!("internal: declared variable `{name}` lost during lowering"))
+            })?;
+            vars.push(VarInfo {
+                name: Symbol::new(name),
+                len: v.len,
+                kind: v.kind,
+                bank: v.bank,
+                is_fix: v.is_fix,
+            });
+        }
         for (signal, max_d) in &delayed {
             let is_fix = self.vars.get(signal).map(|v| v.is_fix).unwrap_or(true);
             for d in 1..=*max_d {

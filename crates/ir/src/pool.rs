@@ -203,6 +203,14 @@ impl TreePool {
         }
     }
 
+    /// Every interned node with its id, in arena (insertion) order — the
+    /// canonical flattened form of everything interned so far. Children
+    /// always precede their parents, so a single forward walk sees each
+    /// node after its subtrees.
+    pub fn iter(&self) -> impl Iterator<Item = (TreeId, &TreeNode)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (TreeId(i as u32), n))
+    }
+
     /// Number of nodes in the tree denoted by `id` (counting shared
     /// subtrees once per occurrence, like [`Tree::node_count`]).
     pub fn node_count(&self, id: TreeId) -> usize {

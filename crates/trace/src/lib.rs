@@ -42,10 +42,11 @@
 //! record_trace::json::validate(std::str::from_utf8(&out).unwrap()).unwrap();
 //! ```
 
+pub mod codec;
 pub mod json;
 pub mod metrics;
 
-pub use metrics::{Histogram, Metric, MetricsRegistry};
+pub use metrics::{Histogram, Metric, MetricsRegistry, MERGE_ERRORS};
 
 use std::collections::HashMap;
 use std::io::{self, Write};

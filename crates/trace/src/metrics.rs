@@ -13,6 +13,12 @@ use std::sync::Mutex;
 
 use crate::json;
 
+/// Counter bumped (in the destination registry) for every metric a
+/// [`MetricsRegistry::merge`] had to refuse — a histogram arriving with
+/// different bucket bounds, or a metric arriving under a name already
+/// registered as a different type.
+pub const MERGE_ERRORS: &str = "trace_merge_errors";
+
 /// One named metric's current value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Metric {
@@ -62,15 +68,24 @@ impl Histogram {
         }
     }
 
-    fn absorb(&mut self, other: &Histogram) {
-        debug_assert_eq!(self.bounds, other.bounds, "merging histograms with different buckets");
-        if self.bounds == other.bounds {
-            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-                *a += b;
-            }
-            self.sum += other.sum;
-            self.count += other.count;
+    /// Adds `other`'s observations into `self`. Returns `false` — and
+    /// changes *nothing* — when the bucket bounds differ: folding counts
+    /// into foreign buckets would silently corrupt the distribution,
+    /// which is exactly the bug this used to have (a `debug_assert!`
+    /// that release builds compiled away, followed by a wrong-bucket
+    /// merge). [`MetricsRegistry::merge`] turns a refusal into a
+    /// `trace_merge_errors` count.
+    #[must_use]
+    fn absorb(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
         }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        true
     }
 }
 
@@ -153,20 +168,39 @@ impl MetricsRegistry {
 
     /// Folds `other` into `self`: counters and histograms add, gauges
     /// take `other`'s value. This is the worker-join aggregation path.
+    ///
+    /// An incompatible pair — a counter arriving under a gauge's name,
+    /// or two histograms with different bucket bounds — **refuses to
+    /// merge**: the existing metric is left untouched, the incoming one
+    /// dropped, and the [`MERGE_ERRORS`] counter (`trace_merge_errors`)
+    /// incremented in `self`, so the corruption is counted instead of
+    /// silently folded into the wrong buckets.
     pub fn merge(&self, other: &MetricsRegistry) {
         let theirs = other.snapshot();
         let mut inner = self.inner.lock().expect("metrics lock");
+        let mut refused = 0u64;
         for (name, metric) in theirs {
             match (inner.get_mut(&name), metric) {
                 (Some(Metric::Counter(a)), Metric::Counter(b)) => *a += b,
                 (Some(Metric::Gauge(a)), Metric::Gauge(b)) => *a = b,
-                (Some(Metric::Histogram(a)), Metric::Histogram(ref b)) => a.absorb(b),
-                (Some(existing), incoming) => {
-                    debug_assert!(false, "{name}: merging {incoming:?} into {existing:?}")
+                (Some(Metric::Histogram(a)), Metric::Histogram(ref b)) => {
+                    if !a.absorb(b) {
+                        refused += 1;
+                    }
                 }
+                (Some(_), _) => refused += 1,
                 (None, metric) => {
                     inner.insert(name, metric);
                 }
+            }
+        }
+        if refused > 0 {
+            // if the error counter itself was registered as something
+            // else, there is nothing sane left to do but leave it alone
+            if let Metric::Counter(c) =
+                inner.entry(MERGE_ERRORS.to_string()).or_insert(Metric::Counter(0))
+            {
+                *c += refused;
             }
         }
     }
@@ -260,6 +294,37 @@ mod tests {
         let Some(Metric::Histogram(h)) = shared.get("h") else { panic!() };
         assert_eq!(h.counts, vec![1, 1]);
         assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn merge_refuses_mismatched_histogram_buckets() {
+        // regression: this used to debug_assert (stripped in release) and
+        // then fold the counts into the wrong buckets anyway
+        let shared = MetricsRegistry::new();
+        shared.observe("h", &[10.0, 100.0], 3.0);
+        let local = MetricsRegistry::new();
+        local.observe("h", &[5.0], 3.0);
+        shared.merge(&local);
+        let Some(Metric::Histogram(h)) = shared.get("h") else { panic!() };
+        assert_eq!(h.bounds, vec![10.0, 100.0], "destination buckets untouched");
+        assert_eq!(h.count, 1, "foreign observations not folded in");
+        assert_eq!(shared.counter(MERGE_ERRORS), 1);
+    }
+
+    #[test]
+    fn merge_refuses_type_mismatches_and_counts_them() {
+        let shared = MetricsRegistry::new();
+        shared.inc("x");
+        shared.set_gauge("y", 1.0);
+        let local = MetricsRegistry::new();
+        local.set_gauge("x", 2.0); // counter vs gauge
+        local.inc("y"); // gauge vs counter
+        local.inc("z"); // clean
+        shared.merge(&local);
+        assert_eq!(shared.get("x"), Some(Metric::Counter(1)), "counter survives");
+        assert_eq!(shared.get("y"), Some(Metric::Gauge(1.0)), "gauge survives");
+        assert_eq!(shared.counter("z"), 1);
+        assert_eq!(shared.counter(MERGE_ERRORS), 2);
     }
 
     #[test]

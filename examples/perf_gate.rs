@@ -20,10 +20,18 @@
 //! pure function of the source tree, so a >5 % move is an algorithmic
 //! change, not scheduler noise.
 //!
+//! With `--cache-current PATH` the gate additionally diffs a
+//! `record-cache/v1` counter document (from `cache_stats --json`)
+//! against the baseline's top-level `"cache"` object: misses, evictions
+//! and corruptions must not rise; hits and table loads must not fall.
+//! The compile sequence the `cache_stats` example runs is fixed, so
+//! these counters are just as deterministic as the selection work.
+//!
 //! ```sh
 //! cargo run --example perf_gate -- \
 //!     --current BENCH_compile.json \
-//!     --baseline tests/golden/bench_baseline.json
+//!     --baseline tests/golden/bench_baseline.json \
+//!     --cache-current cache_stats.json
 //! ```
 
 use std::collections::BTreeMap;
@@ -46,6 +54,15 @@ const WORK: [&str; 8] = [
 /// Counters that regress by decreasing (lost savings).
 const SAVINGS: [&str; 3] = ["dedup_hits", "labels_memoized", "variants_pruned"];
 
+/// Compile-cache counters (`record-cache/v1`) that regress by increasing:
+/// more misses, evictions or corrupt entries for the same compile
+/// sequence means the cache stopped answering.
+const CACHE_WORK: [&str; 3] = ["code_misses", "code_evictions", "code_corruptions"];
+
+/// Compile-cache counters that regress by decreasing: fewer hits or
+/// table loads means compiles that used to be cached no longer are.
+const CACHE_SAVINGS: [&str; 2] = ["code_hits", "tables_loaded"];
+
 fn load(path: &str) -> Result<BTreeMap<(String, String), Value>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -66,9 +83,58 @@ fn counter(row: &Value, name: &str) -> f64 {
     row.get(name).and_then(Value::as_f64).unwrap_or(0.0)
 }
 
+fn load_doc(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Gates the compile-cache counters of a `record-cache/v1` document
+/// (produced by `cache_stats --json`) against the `"cache"` object of
+/// the committed baseline. Only runs when `--cache-current` is passed,
+/// so baselines predating the compile cache keep gating cleanly.
+fn gate_cache(
+    cache_current_path: &str,
+    baseline_path: &str,
+    tolerance: f64,
+) -> Result<bool, String> {
+    let current = load_doc(cache_current_path)?;
+    if current.get("schema").and_then(Value::as_str) != Some("record-cache/v1") {
+        return Err(format!("{cache_current_path}: not a record-cache/v1 document"));
+    }
+    let baseline = load_doc(baseline_path)?;
+    let base = baseline
+        .get("cache")
+        .ok_or(format!("{baseline_path}: no \"cache\" object to gate against"))?;
+
+    let mut ok = true;
+    for name in CACHE_WORK {
+        let (c, b) = (counter(&current, name), counter(base, name));
+        if c > b * (1.0 + tolerance) {
+            println!("FAIL cache: {name} rose {b} -> {c} (> {:.0}%)", tolerance * 100.0);
+            ok = false;
+        }
+    }
+    for name in CACHE_SAVINGS {
+        let (c, b) = (counter(&current, name), counter(base, name));
+        if c < b * (1.0 - tolerance) {
+            println!("FAIL cache: {name} fell {b} -> {c}");
+            ok = false;
+        }
+    }
+    println!(
+        "cache gate: {} hits / {} misses over {} compiles vs baseline — {}",
+        counter(&current, "code_hits"),
+        counter(&current, "code_misses"),
+        counter(&current, "compiles"),
+        if ok { "OK" } else { "REGRESSED" }
+    );
+    Ok(ok)
+}
+
 fn run() -> Result<bool, String> {
     let mut current_path = String::from("BENCH_compile.json");
     let mut baseline_path = String::from("tests/golden/bench_baseline.json");
+    let mut cache_current_path: Option<String> = None;
     let mut tolerance = 0.05f64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -76,6 +142,7 @@ fn run() -> Result<bool, String> {
         match flag.as_str() {
             "--current" => current_path = value()?,
             "--baseline" => baseline_path = value()?,
+            "--cache-current" => cache_current_path = Some(value()?),
             "--tolerance" => {
                 tolerance = value()?.parse().map_err(|e| format!("bad tolerance: {e}"))?
             }
@@ -124,6 +191,9 @@ fn run() -> Result<bool, String> {
         "wall time (informational, never gated): {:.0} µs now vs {:.0} µs at baseline",
         wall_cur, wall_base
     );
+    if let Some(path) = &cache_current_path {
+        ok &= gate_cache(path, &baseline_path, tolerance)?;
+    }
     println!(
         "perf gate: {} rows checked against {baseline_path}, tolerance {:.0}% — {}",
         current.len(),
