@@ -4,7 +4,14 @@
 use std::fmt;
 
 use record_ir::{MemRef, Symbol};
-use record_isa::{Cost, RuleId, TargetDesc};
+use record_isa::{Cost, NonTermId, RuleId, TargetDesc};
+
+/// The sentinel rule id marking a reference to a shared (cut) value in
+/// DAG covering. It is not an index into any target's rule table: a
+/// [`CoverNode`] carrying it has exactly one [`Operand::Shared`] operand
+/// and emits no instruction — the value was computed once for the whole
+/// block and parked in a register.
+pub const SHARED_RULE: RuleId = RuleId(u32::MAX);
 
 /// One operand of a rule application, aligned with
 /// [`Rule::leaves`](record_isa::Rule::leaves).
@@ -19,6 +26,14 @@ pub enum Operand {
     Mem(MemRef),
     /// A temporary bound directly from the subject tree.
     Temp(Symbol),
+    /// A shared block-level value (DAG covering): computed once for the
+    /// block and read from the register it was parked in.
+    Shared {
+        /// Index into the block's shared-value table.
+        slot: usize,
+        /// The nonterminal (register class) the value is parked in.
+        nt: NonTermId,
+    },
 }
 
 /// A rule application with its operands.
@@ -31,8 +46,13 @@ pub struct CoverNode {
 }
 
 impl CoverNode {
-    /// Total cost: this rule plus all sub-derivations.
+    /// Total cost: this rule plus all sub-derivations. A shared-value
+    /// reference ([`SHARED_RULE`]) costs nothing here — its definition
+    /// is accounted once, where the block emits it.
     pub fn cost(&self, target: &TargetDesc) -> Cost {
+        if self.rule == SHARED_RULE {
+            return Cost::zero();
+        }
         let mut total = target.rule(self.rule).cost;
         for op in &self.operands {
             if let Operand::Derived(child) = op {
@@ -45,6 +65,9 @@ impl CoverNode {
     /// The number of rule applications with non-zero cost — "the number of
     /// covering patterns" in the paper's phrasing.
     pub fn pattern_count(&self, target: &TargetDesc) -> usize {
+        if self.rule == SHARED_RULE {
+            return 0;
+        }
         let own = usize::from(target.rule(self.rule).cost.weight() > 0);
         own + self
             .operands
@@ -59,6 +82,11 @@ impl CoverNode {
     /// Renders the derivation as an S-expression of rule assembly
     /// templates — handy in tests and examples.
     pub fn dump(&self, target: &TargetDesc) -> String {
+        if let Some(Operand::Shared { slot, .. }) = self.operands.first() {
+            if self.rule == SHARED_RULE {
+                return format!("$dag{slot}");
+            }
+        }
         let rule = target.rule(self.rule);
         let mut parts: Vec<String> = Vec::new();
         for op in &self.operands {
@@ -67,6 +95,7 @@ impl CoverNode {
                 Operand::Const(v) => parts.push(format!("#{v}")),
                 Operand::Mem(m) => parts.push(m.to_string()),
                 Operand::Temp(t) => parts.push(t.to_string()),
+                Operand::Shared { slot, .. } => parts.push(format!("$dag{slot}")),
             }
         }
         if parts.is_empty() {

@@ -27,6 +27,6 @@ pub mod cover;
 pub mod label;
 pub mod matcher;
 
-pub use cover::{Cover, CoverNode, Operand};
+pub use cover::{Cover, CoverNode, Operand, SHARED_RULE};
 pub use label::{Entry, LabelCache, Labeled, LabeledNode};
-pub use matcher::{Matcher, Tables};
+pub use matcher::{CutSet, Matcher, Tables};

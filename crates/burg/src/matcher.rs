@@ -1,13 +1,25 @@
 //! The matcher: table generation, bottom-up labelling, top-down reduction.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use record_ir::{Op, Tree, TreeId, TreeNode, TreePool};
 use record_isa::{Cost, NonTermId, PatNode, Predicate, Rhs, RuleId, TargetDesc};
 use record_trace::codec;
 
-use crate::cover::{Cover, CoverNode, Operand};
+use crate::cover::{Cover, CoverNode, Operand, SHARED_RULE};
 use crate::label::{Entry, LabelCache, Labeled, LabeledNode};
+
+/// The cut set for DAG covering: interned subtrees whose value is
+/// computed once per block and parked in a register. Each cut maps the
+/// subtree to its shared-value slot and the nonterminal it is parked in.
+///
+/// Labelling under a cut set seeds a zero-cost [`SHARED_RULE`] entry at
+/// every cut node *before* chain closure, so consumers reach the parked
+/// value through the grammar's ordinary move chains. Labels computed
+/// under a cut set are only valid for that cut set — use a transient
+/// [`LabelCache`] per configuration, never the long-lived one.
+pub type CutSet = HashMap<TreeId, (usize, NonTermId)>;
 
 /// The generated matcher tables for one target grammar: pattern rules
 /// indexed by root operator and chain rules by source nonterminal.
@@ -403,6 +415,35 @@ impl<'t> Matcher<'t> {
         id: TreeId,
         cache: &mut LabelCache,
     ) -> Arc<LabeledNode> {
+        self.label_interned_impl(pool, id, cache, None)
+    }
+
+    /// Labels `id` under a DAG cut set: every cut node additionally gets
+    /// a zero-cost [`SHARED_RULE`] entry at its parked nonterminal,
+    /// seeded between pattern matching and chain closure so move chains
+    /// from the parked register apply. Multi-level patterns may still
+    /// match *through* a cut node — that is the recompute alternative
+    /// the cost comparison weighs against the share.
+    ///
+    /// `cache` must be transient (fresh per cut configuration): entries
+    /// computed under one cut set are wrong for any other.
+    pub fn label_interned_cut(
+        &self,
+        pool: &TreePool,
+        id: TreeId,
+        cache: &mut LabelCache,
+        cuts: &CutSet,
+    ) -> Arc<LabeledNode> {
+        self.label_interned_impl(pool, id, cache, Some(cuts))
+    }
+
+    fn label_interned_impl(
+        &self,
+        pool: &TreePool,
+        id: TreeId,
+        cache: &mut LabelCache,
+        cuts: Option<&CutSet>,
+    ) -> Arc<LabeledNode> {
         if let Some(hit) = cache.lookup(id) {
             return hit;
         }
@@ -410,7 +451,7 @@ impl<'t> Matcher<'t> {
             .node(id)
             .children()
             .into_iter()
-            .map(|c| self.label_interned(pool, c, cache))
+            .map(|c| self.label_interned_impl(pool, c, cache, cuts))
             .collect();
         let mut entries: Vec<Option<Entry>> = vec![None; self.tables.n_nts];
 
@@ -425,6 +466,12 @@ impl<'t> Matcher<'t> {
                 let total = cost.add(rule.cost);
                 improve(&mut entries, rule.lhs, total, *rule_id);
             }
+        }
+
+        // 1b. a cut node's value is already parked: free at its
+        // nonterminal, before chains so moves out of it close normally
+        if let Some((_, nt)) = cuts.and_then(|c| c.get(&id)) {
+            improve(&mut entries, *nt, Cost::zero(), SHARED_RULE);
         }
 
         // 2. chain-rule closure to a fixpoint
@@ -516,16 +563,48 @@ impl<'t> Matcher<'t> {
         labeled: &LabeledNode,
         goal: NonTermId,
     ) -> Option<CoverNode> {
+        self.reduce_interned_impl(pool, labeled, goal, None)
+    }
+
+    /// Reduces labels computed by
+    /// [`label_interned_cut`](Matcher::label_interned_cut): wherever the
+    /// label chose the zero-cost shared entry, the derivation bottoms
+    /// out in a [`SHARED_RULE`] node referencing the parked value.
+    pub fn reduce_interned_cut(
+        &self,
+        pool: &TreePool,
+        labeled: &LabeledNode,
+        goal: NonTermId,
+        cuts: &CutSet,
+    ) -> Option<CoverNode> {
+        self.reduce_interned_impl(pool, labeled, goal, Some(cuts))
+    }
+
+    fn reduce_interned_impl(
+        &self,
+        pool: &TreePool,
+        labeled: &LabeledNode,
+        goal: NonTermId,
+        cuts: Option<&CutSet>,
+    ) -> Option<CoverNode> {
         let entry = labeled.entries[goal.index()]?;
+        if entry.rule == SHARED_RULE {
+            let (slot, nt) = *cuts.expect("shared entry without a cut set").get(&labeled.id)?;
+            debug_assert_eq!(nt, goal, "shared entries live at the parked nonterminal");
+            return Some(CoverNode {
+                rule: SHARED_RULE,
+                operands: vec![Operand::Shared { slot, nt }],
+            });
+        }
         let rule = self.target.rule(entry.rule);
         match &rule.rhs {
             Rhs::Chain(src) | Rhs::Pat(PatNode::Nt(src)) => {
-                let inner = self.reduce_interned(pool, labeled, *src)?;
+                let inner = self.reduce_interned_impl(pool, labeled, *src, cuts)?;
                 Some(CoverNode { rule: entry.rule, operands: vec![Operand::Derived(inner)] })
             }
             Rhs::Pat(pat) => {
                 let mut operands = Vec::new();
-                self.reduce_pattern_interned(pat, pool, labeled, &mut operands)?;
+                self.reduce_pattern_interned(pat, pool, labeled, &mut operands, cuts)?;
                 Some(CoverNode { rule: entry.rule, operands })
             }
         }
@@ -537,10 +616,11 @@ impl<'t> Matcher<'t> {
         pool: &TreePool,
         node: &LabeledNode,
         operands: &mut Vec<Operand>,
+        cuts: Option<&CutSet>,
     ) -> Option<()> {
         match pat {
             PatNode::Nt(nt) => {
-                let child = self.reduce_interned(pool, node, *nt)?;
+                let child = self.reduce_interned_impl(pool, node, *nt, cuts)?;
                 operands.push(Operand::Derived(child));
                 Some(())
             }
@@ -553,7 +633,7 @@ impl<'t> Matcher<'t> {
                     _ => {}
                 }
                 for (pc, nc) in children.iter().zip(node.children.iter()) {
-                    self.reduce_pattern_interned(pc, pool, nc, operands)?;
+                    self.reduce_pattern_interned(pc, pool, nc, operands, cuts)?;
                 }
                 Some(())
             }
@@ -574,6 +654,21 @@ impl<'t> Matcher<'t> {
         Some(Cover { root, cost })
     }
 
+    /// Cut-aware counterpart of [`cover_interned`](Matcher::cover_interned).
+    pub fn cover_interned_cut(
+        &self,
+        pool: &TreePool,
+        id: TreeId,
+        cache: &mut LabelCache,
+        goal: NonTermId,
+        cuts: &CutSet,
+    ) -> Option<Cover> {
+        let labeled = self.label_interned_cut(pool, id, cache, cuts);
+        let cost = labeled.cost(goal)?;
+        let root = self.reduce_interned_cut(pool, &labeled, goal, cuts)?;
+        Some(Cover { root, cost })
+    }
+
     /// Interned counterpart of [`best_cover`](Matcher::best_cover):
     /// identical tie-breaking (strict improvement, first candidate wins).
     pub fn best_cover_interned(
@@ -583,7 +678,32 @@ impl<'t> Matcher<'t> {
         cache: &mut LabelCache,
         candidates: &[(NonTermId, Cost)],
     ) -> Option<(NonTermId, Cover)> {
-        let labeled = self.label_interned(pool, id, cache);
+        self.best_cover_interned_impl(pool, id, cache, candidates, None)
+    }
+
+    /// Cut-aware counterpart of
+    /// [`best_cover_interned`](Matcher::best_cover_interned); same
+    /// tie-breaking. `cache` must be transient per cut configuration.
+    pub fn best_cover_interned_cut(
+        &self,
+        pool: &TreePool,
+        id: TreeId,
+        cache: &mut LabelCache,
+        candidates: &[(NonTermId, Cost)],
+        cuts: &CutSet,
+    ) -> Option<(NonTermId, Cover)> {
+        self.best_cover_interned_impl(pool, id, cache, candidates, Some(cuts))
+    }
+
+    fn best_cover_interned_impl(
+        &self,
+        pool: &TreePool,
+        id: TreeId,
+        cache: &mut LabelCache,
+        candidates: &[(NonTermId, Cost)],
+        cuts: Option<&CutSet>,
+    ) -> Option<(NonTermId, Cover)> {
+        let labeled = self.label_interned_impl(pool, id, cache, cuts);
         let mut best: Option<(NonTermId, Cost, Cost)> = None; // (nt, derive, total)
         for (nt, extra) in candidates {
             if let Some(c) = labeled.cost(*nt) {
@@ -598,7 +718,7 @@ impl<'t> Matcher<'t> {
             }
         }
         let (nt, derive_cost, _) = best?;
-        let root = self.reduce_interned(pool, &labeled, nt)?;
+        let root = self.reduce_interned_impl(pool, &labeled, nt, cuts)?;
         Some((nt, Cover { root, cost: derive_cost }))
     }
 }
@@ -902,6 +1022,93 @@ mod tests {
         // Second variant recomputes only its root: c, x, y, c*x all hit.
         assert_eq!(cache.misses() - misses_after_first, 1, "only the new root is labelled");
         assert!(cache.hits() >= 2, "shared subtrees answered from cache");
+    }
+
+    #[test]
+    fn empty_cut_set_matches_the_plain_path() {
+        let t = record_isa::targets::tic25::target();
+        let m = Matcher::new(&t);
+        let mut pool = record_ir::TreePool::new();
+        let cuts = CutSet::new();
+        for tree in [fig4_tree(), Tree::var("x"), Tree::constant(5)] {
+            let id = pool.intern(&tree);
+            for nt_ix in 0..t.nonterms.len() {
+                let goal = record_isa::NonTermId(nt_ix as u16);
+                let mut plain_cache = LabelCache::new();
+                let mut cut_cache = LabelCache::new();
+                assert_eq!(
+                    m.cover_interned_cut(&pool, id, &mut cut_cache, goal, &cuts),
+                    m.cover_interned(&pool, id, &mut plain_cache, goal),
+                    "tree {tree} nt {nt_ix}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cut_node_labels_free_at_its_nonterminal() {
+        let t = fig4_target();
+        let m = Matcher::new(&t);
+        let reg = t.nt("reg").unwrap();
+        let mut pool = record_ir::TreePool::new();
+        // sub plainly costs MOVE a + ADDI 5 = 2 words to reg; cutting it
+        // leaves the consumer only ADDI 9 = 1 word.
+        let sub = Tree::bin(BinOp::Add, Tree::var("a"), Tree::constant(5));
+        let whole = Tree::bin(BinOp::Add, sub.clone(), Tree::constant(9));
+        let sub_id = pool.intern(&sub);
+        let id = pool.intern(&whole);
+        let mut cuts = CutSet::new();
+        cuts.insert(sub_id, (0, reg));
+
+        let mut cache = LabelCache::new();
+        let labeled = m.label_interned_cut(&pool, sub_id, &mut cache, &cuts);
+        let e = labeled.entries[reg.index()].unwrap();
+        assert_eq!(e.rule, SHARED_RULE);
+        assert_eq!(e.cost.weight(), 0);
+
+        // the consumer's reduction bottoms out in the shared reference
+        let mut cache = LabelCache::new();
+        let cover = m.cover_interned_cut(&pool, id, &mut cache, reg, &cuts).unwrap();
+        fn has_shared(node: &CoverNode) -> bool {
+            node.rule == SHARED_RULE
+                || node.operands.iter().any(|o| match o {
+                    Operand::Derived(c) => has_shared(c),
+                    Operand::Shared { .. } => true,
+                    _ => false,
+                })
+        }
+        assert!(has_shared(&cover.root), "{}", cover.root.dump(&t));
+        // the plain cover must be strictly costlier than the cut one
+        let mut plain = LabelCache::new();
+        let uncut = m.cover_interned(&pool, id, &mut plain, reg).unwrap();
+        assert!(cover.cost.weight() < uncut.cost.weight());
+    }
+
+    #[test]
+    fn chain_rules_close_over_the_shared_entry() {
+        // dsp56k: park a value in x; consumers needing a reach it through
+        // the a←x move chain at the chain's cost, not by recomputation.
+        let t = record_isa::targets::dsp56k::target();
+        let m = Matcher::new(&t);
+        let x = t.nt("x").unwrap();
+        let a = t.nt("a").unwrap();
+        let mut pool = record_ir::TreePool::new();
+        let leaf = Tree::var("v");
+        let id = pool.intern(&leaf);
+        let mut cuts = CutSet::new();
+        cuts.insert(id, (0, x));
+        let mut cache = LabelCache::new();
+        let labeled = m.label_interned_cut(&pool, id, &mut cache, &cuts);
+        let free = labeled.entries[x.index()].unwrap();
+        assert_eq!(free.rule, SHARED_RULE);
+        let via_chain = labeled.entries[a.index()].unwrap();
+        assert!(via_chain.cost.weight() > 0, "reaching a costs a move");
+        let mut plain = LabelCache::new();
+        let uncut = m.label_interned(&pool, id, &mut plain);
+        assert!(
+            via_chain.cost.weight() <= uncut.entries[a.index()].unwrap().cost.weight(),
+            "the parked value is never worse than recomputing"
+        );
     }
 
     #[test]

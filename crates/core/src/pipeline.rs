@@ -97,6 +97,11 @@ pub struct CompileOptions {
     /// Bundle-schedule straight-line segments (parallel-move targets);
     /// `None` uses the cheaper adjacent-packing pass.
     pub schedule: Option<ScheduleMode>,
+    /// Cover straight-line blocks as DAGs over the interned pool:
+    /// soundly repeated subtrees may be computed once into a parked
+    /// register instead of once per statement. On by default; the
+    /// reference selection pass always runs with it off.
+    pub dag_cover: bool,
     /// Resource caps ([`Budgets::unlimited`] by default).
     pub budgets: Budgets,
 }
@@ -114,6 +119,7 @@ impl Default for CompileOptions {
             mode_strategy: ModeStrategy::Lazy,
             use_rpt: true,
             schedule: None,
+            dag_cover: true,
             budgets: Budgets::unlimited(),
         }
     }
@@ -134,6 +140,7 @@ impl CompileOptions {
             mode_strategy: ModeStrategy::PerUse,
             use_rpt: false,
             schedule: None,
+            dag_cover: false,
             budgets: Budgets::unlimited(),
         }
     }

@@ -415,6 +415,12 @@ pub struct KernelBench {
     pub variants_pruned: u64,
     /// Candidate rewrites generated by variant enumeration.
     pub search_steps: u64,
+    /// Soundly shareable multi-use subtrees found by block DAG analysis.
+    pub shared_subtrees: u64,
+    /// DAG sharing candidates computed once into a parked register.
+    pub shares_taken: u64,
+    /// DAG sharing candidates recomputed at every use instead.
+    pub recomputes_chosen: u64,
     /// Instructions in the compiled code (bundles count once).
     pub insns: usize,
     /// Code size in words.
@@ -450,6 +456,9 @@ pub fn kernel_bench_report(session: &Session) -> Result<Vec<KernelBench>, Compil
                 labels_memoized: t.labels_memoized,
                 variants_pruned: t.variants_pruned,
                 search_steps: t.search_steps,
+                shared_subtrees: t.shared_subtrees,
+                shares_taken: t.shares_taken,
+                recomputes_chosen: t.recomputes_chosen,
                 insns: code.insns.len(),
                 words: code.size_words(),
             });
@@ -488,6 +497,10 @@ pub fn render_kernel_bench_json(rows: &[KernelBench]) -> String {
         out.push_str(&format!(
             ",\"variants_pruned\":{},\"search_steps\":{}",
             r.variants_pruned, r.search_steps
+        ));
+        out.push_str(&format!(
+            ",\"shared_subtrees\":{},\"shares_taken\":{},\"recomputes_chosen\":{}",
+            r.shared_subtrees, r.shares_taken, r.recomputes_chosen
         ));
         out.push_str(&format!(",\"insns\":{},\"words\":{}", r.insns, r.words));
         out.push('}');

@@ -72,6 +72,9 @@ fn observe_compile(metrics: &MetricsRegistry, timings: &PhaseTimings) {
     metrics.add("record_labels_computed_total", timings.labels_computed);
     metrics.add("record_labels_memoized_total", timings.labels_memoized);
     metrics.add("record_search_steps_total", timings.search_steps);
+    metrics.add("record_shared_subtrees_total", timings.shared_subtrees);
+    metrics.add("record_shares_taken_total", timings.shares_taken);
+    metrics.add("record_recomputes_chosen_total", timings.recomputes_chosen);
     if let Some(last) = timings.passes.last() {
         metrics.observe("record_kernel_words", SIZE_BUCKETS, f64::from(last.after.words));
         if last.after.insns > 0 {

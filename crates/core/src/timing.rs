@@ -150,6 +150,12 @@ pub struct PhaseTimings {
     pub variants_pruned: u64,
     /// Candidate rewrites generated by variant enumeration.
     pub search_steps: u64,
+    /// Soundly shareable multi-use subtrees found by block DAG analysis.
+    pub shared_subtrees: u64,
+    /// DAG sharing candidates computed once into a parked register.
+    pub shares_taken: u64,
+    /// DAG sharing candidates recomputed at every use instead.
+    pub recomputes_chosen: u64,
     /// Instructions in the final code.
     pub insns: usize,
     /// `true` when this "compile" was answered by the session's compile
@@ -190,6 +196,9 @@ impl PhaseTimings {
         self.labels_memoized += other.labels_memoized;
         self.variants_pruned += other.variants_pruned;
         self.search_steps += other.search_steps;
+        self.shared_subtrees += other.shared_subtrees;
+        self.shares_taken += other.shares_taken;
+        self.recomputes_chosen += other.recomputes_chosen;
         self.insns += other.insns;
         for r in &other.passes {
             match self.passes.iter_mut().find(|p| p.name == r.name) {
@@ -273,6 +282,13 @@ impl fmt::Display for PhaseTimings {
                 self.labels_memoized,
                 self.variants_pruned,
                 self.search_steps
+            )?;
+        }
+        if self.shared_subtrees > 0 {
+            write!(
+                f,
+                "\n  {} shared subtrees ({} shares taken, {} recomputed)",
+                self.shared_subtrees, self.shares_taken, self.recomputes_chosen
             )?;
         }
         Ok(())

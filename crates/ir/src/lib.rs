@@ -11,6 +11,9 @@
 //!   shared operator vocabulary ([`ops`]),
 //! * decomposition of data-flow graphs into trees at multi-use points
 //!   ([`treeify`]), the standard preprocessing step before BURS covering,
+//! * block-level DAG construction over the interned pool ([`blockdag`]):
+//!   common-subtree detection across statements with a store-version
+//!   soundness analysis, the input to DAG covering in the back end,
 //! * algebraic transformation rules and bounded variant enumeration
 //!   ([`transform`]), which RECORD uses to offer the tree matcher several
 //!   equivalent trees and keep the cheapest cover,
@@ -40,6 +43,7 @@
 //! # Ok::<(), record_ir::Error>(())
 //! ```
 
+pub mod blockdag;
 pub mod dfg;
 pub mod dfl;
 pub mod fingerprint;
@@ -56,6 +60,7 @@ pub mod treeify;
 
 mod error;
 
+pub use blockdag::{BlockDag, SharedValue};
 pub use error::Error;
 pub use lir::{AssignStmt, Lir, LirItem};
 pub use mem::{Bank, Index, MemRef};

@@ -8,12 +8,16 @@
 //! Counters gate in the direction that means "the compiler did worse":
 //!
 //! * **work counters** (`statements`, `variants`, `covered`,
-//!   `interned_nodes`, `labels_computed`, `search_steps`, `insns`,
-//!   `words`) regress by *increasing* — the selector enumerated,
-//!   labelled, or emitted more than it used to;
+//!   `interned_nodes`, `labels_computed`, `search_steps`,
+//!   `recomputes_chosen`, `insns`, `words`) regress by *increasing* —
+//!   the selector enumerated, labelled, recomputed, or emitted more than
+//!   it used to;
 //! * **savings counters** (`dedup_hits`, `labels_memoized`,
-//!   `variants_pruned`) regress by *decreasing* — hash-consing or
-//!   memoization stopped paying off.
+//!   `variants_pruned`, `shared_subtrees`, `shares_taken`) regress by
+//!   *decreasing* — hash-consing or memoization stopped paying off, the
+//!   block DAG builder stopped finding shareable values, or the emitter
+//!   stopped taking shares it used to take (e.g. dsp56k MAC kernels
+//!   falling back to recomputation).
 //!
 //! Wall-clock time (`wall_us`) is printed for context but **never
 //! gated**: it varies with the runner, while every gated counter is a
@@ -40,19 +44,21 @@ use std::process::ExitCode;
 use record_trace::json::{parse, Value};
 
 /// Counters that regress by increasing (more work / bigger code).
-const WORK: [&str; 8] = [
+const WORK: [&str; 9] = [
     "statements",
     "variants",
     "covered",
     "interned_nodes",
     "labels_computed",
     "search_steps",
+    "recomputes_chosen",
     "insns",
     "words",
 ];
 
 /// Counters that regress by decreasing (lost savings).
-const SAVINGS: [&str; 3] = ["dedup_hits", "labels_memoized", "variants_pruned"];
+const SAVINGS: [&str; 5] =
+    ["dedup_hits", "labels_memoized", "variants_pruned", "shared_subtrees", "shares_taken"];
 
 /// Compile-cache counters (`record-cache/v1`) that regress by increasing:
 /// more misses, evictions or corrupt entries for the same compile

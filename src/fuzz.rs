@@ -8,10 +8,12 @@
 //!   lexer → parser → lowering and come back as `Ok` or a structured
 //!   [`record_ir::Error`] — never a panic.
 //! * [`run_differential_fuzz`] — *semantic stability*: grammar-generated
-//!   programs are compiled under the `O0` plan, the `O2` plan, and an
-//!   `O2` plan poisoned with an always-panicking best-effort pass (so the
-//!   salvage path runs); every plan that compiles must simulate to the
-//!   same outputs on the same inputs, on both shipped targets.
+//!   programs are compiled under the `O0` plan, the `O2` plan (which
+//!   covers blocks as DAGs), an `O2` plan running the per-statement
+//!   reference selector (the DAG-covering oracle), and an `O2` plan
+//!   poisoned with an always-panicking best-effort pass (so the salvage
+//!   path runs); every plan that compiles must simulate to the same
+//!   outputs on the same inputs, on both shipped targets.
 //!
 //! Failures carry the replay seed, and the regression corpus under
 //! `tests/corpus/` pins previously-found inputs forever.
@@ -20,7 +22,10 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use record::{CompilationUnit, CompileError, Compiler, Pass, PassPlan, Tracer};
+use record::{
+    reference_select_pass, CompilationUnit, CompileError, CompileOptions, Compiler, Pass, PassPlan,
+    Tracer,
+};
 use record_ir::lir::{Lir, StorageKind};
 use record_ir::Symbol;
 use record_isa::{Code, TargetDesc};
@@ -215,11 +220,21 @@ pub fn run_frontend_fuzz_traced(
     report
 }
 
-/// The three plans every generated program must agree under.
-fn plans() -> [(&'static str, PassPlan); 3] {
+/// The four plans every generated program must agree under. `O2-ref`
+/// swaps the block-level DAG selector for the per-statement reference
+/// selector, so every generated program differentially checks DAG
+/// covering against the golden oracle on the simulator.
+fn plans() -> [(&'static str, PassPlan); 4] {
+    let opts = CompileOptions::default();
     [
         ("O0", PassPlan::o0().strict(true)),
         ("O2", PassPlan::o2().strict(true)),
+        (
+            "O2-ref",
+            PassPlan::from_options(&opts)
+                .replacing("select", reference_select_pass(opts.rules, opts.variant_limit))
+                .strict(true),
+        ),
         ("O2+flaky", PassPlan::o2().strict(true).with_pass(Arc::new(FlakyPass))),
     ]
 }

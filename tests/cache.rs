@@ -91,6 +91,47 @@ fn program_target_and_plan_edits_each_miss() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Toggling `dag_cover` alone is a plan edit: a session with DAG
+/// covering off must never be served code cached by a session with it
+/// on (the knob is folded into the plan fingerprint). The probe kernel
+/// is one where the two selectors genuinely emit different code on
+/// dsp56k, so serving a stale entry would be observable.
+#[test]
+fn dag_cover_toggle_misses_the_cache() {
+    use record::CompileOptions;
+    let [_, dsp56k] = targets();
+    let kernel = record_dspstone::kernel("complex_multiply").expect("known kernel");
+
+    let dir = scratch_dir("dag-toggle");
+    let on = Session::new()
+        .with_plan(PassPlan::from_options(&CompileOptions::default()))
+        .with_cache_dir(&dir);
+    let dag_code = on.compile_source(&dsp56k, kernel.source).unwrap();
+
+    let off = Session::new()
+        .with_plan(PassPlan::from_options(&CompileOptions {
+            dag_cover: false,
+            ..CompileOptions::default()
+        }))
+        .with_cache_dir(&dir);
+    let tree_code = off.compile_source(&dsp56k, kernel.source).unwrap();
+    assert_eq!(off.stats().code_hits, 0, "dag_cover toggle must not hit");
+    assert_eq!(off.stats().code_misses, 1);
+    assert_ne!(
+        dag_code.render(),
+        tree_code.render(),
+        "probe kernel must distinguish the selectors, or this test proves nothing"
+    );
+
+    // and the warm lookups still work per plan, each serving its own code
+    let (warm_on, t_on) = on.compile_source_timed(&dsp56k, kernel.source).unwrap();
+    let (warm_off, t_off) = off.compile_source_timed(&dsp56k, kernel.source).unwrap();
+    assert!(t_on.from_cache && t_off.from_cache, "same-plan recompiles must hit");
+    assert_eq!(warm_on.render(), dag_code.render());
+    assert_eq!(warm_off.render(), tree_code.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Corrupt on-disk code entries — flipped payload bytes and truncation —
 /// are misses that recompile correctly, never errors or wrong code.
 #[test]

@@ -34,6 +34,7 @@ fn random_options(rng: &mut Rng) -> CompileOptions {
             Some(ScheduleMode::List),
             Some(ScheduleMode::BranchAndBound { max_segment: 8 }),
         ]),
+        dag_cover: rng.bool(),
         budgets: record::Budgets::unlimited(),
     }
 }
