@@ -128,9 +128,14 @@ impl CompileCache {
     }
 
     /// Adds an on-disk store under `dir` (created on first write).
+    /// Stale temp files from writers that died mid-write are swept on
+    /// attach: they were never renamed into place, so deleting them can
+    /// never lose a committed entry.
     #[must_use]
     pub fn with_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.dir = Some(dir.into());
+        let dir = dir.into();
+        sweep_tmp_files(&dir);
+        self.dir = Some(dir);
         self
     }
 
@@ -263,17 +268,96 @@ impl CompileCache {
         let _ = std::fs::remove_file(path);
     }
 
-    /// Best-effort atomic write: unique temp file, then rename. Two
+    /// Best-effort atomic write: unique temp file (pid *and* a
+    /// process-wide counter, so two threads of one process can never
+    /// interleave writes into the same temp), fsync, then rename. A
+    /// crash at any point leaves either the old state or the complete
+    /// new file — never a truncated entry under the final name — and
+    /// the orphaned temp is swept on the next [`with_dir`] attach. Two
     /// processes racing on the same entry both write the same content,
     /// so whichever rename lands last is equally good.
     fn write_file(&self, name: &str, bytes: &[u8]) {
+        use std::io::Write as _;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
         let Some(dir) = &self.dir else { return };
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        let tmp = dir.join(format!("{name}.tmp.{}", std::process::id()));
-        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, dir.join(name)).is_err() {
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!("{name}.tmp.{}.{seq}", std::process::id()));
+        let committed = std::fs::File::create(&tmp)
+            .and_then(|mut f| {
+                f.write_all(bytes)?;
+                // without the fsync, rename can land before the data and
+                // a power cut leaves a short file under the *final* name
+                f.sync_all()
+            })
+            .and_then(|()| std::fs::rename(&tmp, dir.join(name)))
+            .is_ok();
+        if !committed {
             let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Offline integrity scrub of a cache directory: every code entry is
+    /// fully decoded, every BURS table set deserialized, and every stale
+    /// temp file removed. Undecodable files are deleted and counted, so
+    /// after a scrub every remaining file is loadable — the post-drain
+    /// guarantee the compile daemon checks before reporting a clean
+    /// exit. Unrecognized file names are left alone.
+    pub fn scrub_dir(dir: &Path) -> ScrubStats {
+        let mut stats = ScrubStats::default();
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return stats;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+            if name.contains(".tmp.") {
+                if std::fs::remove_file(&path).is_ok() {
+                    stats.tmps_removed += 1;
+                }
+                continue;
+            }
+            let valid = if name.starts_with("code-") && name.ends_with(".bin") {
+                stats.code_entries += 1;
+                std::fs::read(&path).is_ok_and(|b| decode_entry(&b).is_ok())
+            } else if name.starts_with("burs-") && name.ends_with(".bin") {
+                stats.table_entries += 1;
+                std::fs::read(&path).is_ok_and(|b| Tables::from_bytes(&b).is_ok())
+            } else {
+                continue;
+            };
+            if !valid {
+                stats.corrupt_removed += 1;
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        stats
+    }
+}
+
+/// What a [`CompileCache::scrub_dir`] pass found and fixed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Code entries examined (valid ones are counted too).
+    pub code_entries: usize,
+    /// BURS table files examined.
+    pub table_entries: usize,
+    /// Undecodable files deleted.
+    pub corrupt_removed: usize,
+    /// Orphaned mid-write temp files deleted.
+    pub tmps_removed: usize,
+}
+
+/// Deletes `*.tmp.*` leftovers from writers that died mid-write.
+fn sweep_tmp_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.contains(".tmp.")) {
+            let _ = std::fs::remove_file(&path);
         }
     }
 }

@@ -72,7 +72,7 @@ pub mod timing;
 
 mod error;
 
-pub use cache::{CacheKey, CacheStats, CompileCache};
+pub use cache::{CacheKey, CacheStats, CompileCache, ScrubStats};
 pub use error::{CompileError, TargetError};
 pub use pass::{reference_select_pass, CompilationUnit, Pass, PassPlan};
 pub use pipeline::{Budgets, CompileOptions, Compiler};

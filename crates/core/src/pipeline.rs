@@ -42,6 +42,15 @@ pub struct Budgets {
     /// Wall-clock deadline applied to each search-based pass
     /// individually (resource `"deadline"`).
     pub pass_deadline: Option<Duration>,
+    /// Absolute wall-clock deadline for the *whole* compile: checked
+    /// before every pass and folded into each pass's search budget, so
+    /// a job admitted late (a queued batch slot, a daemon request) stops
+    /// promptly with `Budget { resource: "deadline" }` instead of
+    /// running to completion. Excluded from
+    /// [`PassPlan::fingerprint`](crate::PassPlan::fingerprint): a deadline only decides *whether*
+    /// a compile finishes, never what code it produces, so cached code
+    /// stays shareable across requests with different deadlines.
+    pub hard_deadline: Option<std::time::Instant>,
     /// Simulator step cap used when validating salvaged output
     /// bit-exactly (defaults to [`record_sim::DEFAULT_MAX_STEPS`]).
     pub max_sim_steps: Option<u64>,
@@ -63,8 +72,20 @@ impl Budgets {
             max_schedule_steps: Some(5_000_000),
             max_search_steps: Some(20_000_000),
             pass_deadline: Some(Duration::from_secs(10)),
+            hard_deadline: None,
             max_sim_steps: Some(record_sim::DEFAULT_MAX_STEPS),
         }
+    }
+
+    /// This budget set with the whole-compile wall-clock deadline set to
+    /// `at` (the earlier one wins when one is already set).
+    #[must_use]
+    pub fn with_deadline(mut self, at: std::time::Instant) -> Self {
+        self.hard_deadline = Some(match self.hard_deadline {
+            Some(existing) => existing.min(at),
+            None => at,
+        });
+        self
     }
 }
 

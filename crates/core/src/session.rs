@@ -374,7 +374,7 @@ impl Session {
     /// See [`CompileError`].
     pub fn compile(&self, target: &TargetDesc, lir: &Lir) -> Result<Code, CompileError> {
         let compiler = self.compiler_for(target)?;
-        let (code, timings) = self.count_errors(self.compile_lir(&compiler, lir))?;
+        let (code, timings) = self.count_errors(self.compile_lir(&compiler, lir, None))?;
         self.record(&timings);
         Ok(code)
     }
@@ -401,8 +401,39 @@ impl Session {
         target: &TargetDesc,
         source: &str,
     ) -> Result<(Code, PhaseTimings), CompileError> {
+        self.compile_source_inner(target, source, None)
+    }
+
+    /// [`compile_source_timed`](Session::compile_source_timed) under an
+    /// absolute wall-clock deadline: the pipeline checks `deadline` at
+    /// every pass boundary and clamps each search budget to it, so a
+    /// request past its budget returns [`CompileError::Budget`] with
+    /// resource `"deadline"` instead of running to completion. A request
+    /// that is *already* expired fails before any work (including the
+    /// cache lookup) happens. This is the per-request admission
+    /// primitive the compile daemon serves from.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_source_deadline(
+        &self,
+        target: &TargetDesc,
+        source: &str,
+        deadline: std::time::Instant,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
+        self.compile_source_inner(target, source, Some(deadline))
+    }
+
+    fn compile_source_inner(
+        &self,
+        target: &TargetDesc,
+        source: &str,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
         let compiler = self.compiler_for(target)?;
-        let (code, timings) = self.count_errors(self.compile_one_source(&compiler, source))?;
+        let (code, timings) =
+            self.count_errors(self.compile_one_source(&compiler, source, deadline))?;
         self.record(&timings);
         Ok((code, timings))
     }
@@ -426,7 +457,31 @@ impl Session {
     ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
         let compiler = self.compiler_for(target)?;
         self.note_batch_reuse(programs.len());
-        self.run_batch(programs.len(), |i| self.compile_lir(&compiler, &programs[i]))
+        self.run_batch(programs.len(), None, |i| self.compile_lir(&compiler, &programs[i], None))
+    }
+
+    /// [`compile_batch`](Session::compile_batch) under an absolute
+    /// wall-clock deadline for the whole batch. Jobs that have not
+    /// started when the deadline passes — and jobs whose in-flight
+    /// pipeline crosses it at a pass boundary — fill their slot with
+    /// [`CompileError::Budget`] (resource `"deadline"`) instead of
+    /// running to completion; already-finished neighbours keep their
+    /// results. Per-pass deadlines still apply on top.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Target`] if the target description is invalid.
+    pub fn compile_batch_deadline(
+        &self,
+        target: &TargetDesc,
+        programs: &[Lir],
+        deadline: std::time::Instant,
+    ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
+        let compiler = self.compiler_for(target)?;
+        self.note_batch_reuse(programs.len());
+        self.run_batch(programs.len(), Some(deadline), |i| {
+            self.compile_lir(&compiler, &programs[i], Some(deadline))
+        })
     }
 
     /// [`compile_batch`](Session::compile_batch) over source texts:
@@ -442,7 +497,29 @@ impl Session {
     ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
         let compiler = self.compiler_for(target)?;
         self.note_batch_reuse(sources.len());
-        self.run_batch(sources.len(), |i| self.compile_one_source(&compiler, sources[i]))
+        self.run_batch(sources.len(), None, |i| {
+            self.compile_one_source(&compiler, sources[i], None)
+        })
+    }
+
+    /// [`compile_batch_sources`](Session::compile_batch_sources) under
+    /// an absolute wall-clock deadline (see
+    /// [`compile_batch_deadline`](Session::compile_batch_deadline)).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Target`] if the target description is invalid.
+    pub fn compile_batch_sources_deadline(
+        &self,
+        target: &TargetDesc,
+        sources: &[&str],
+        deadline: std::time::Instant,
+    ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
+        let compiler = self.compiler_for(target)?;
+        self.note_batch_reuse(sources.len());
+        self.run_batch(sources.len(), Some(deadline), |i| {
+            self.compile_one_source(&compiler, sources[i], Some(deadline))
+        })
     }
 
     /// Snapshot of the cache and compile counters.
@@ -536,15 +613,40 @@ impl Session {
         &self,
         compiler: &Compiler,
         lir: &Lir,
+        deadline: Option<std::time::Instant>,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let tracer = self.tracer.as_deref();
+        // kernel names are caller-supplied (hostile, in the daemon) —
+        // they flow into a label value here and are escaped by the
+        // exporter, never interpolated raw
+        self.metrics.inc_with("record_kernel_compiles_total", &[("kernel", lir.name.as_str())]);
+        if let Some(at) = deadline {
+            if std::time::Instant::now() >= at {
+                // already expired on arrival: refuse before any work,
+                // the cache lookup included
+                return Err(CompileError::Budget {
+                    pass: "admission".into(),
+                    resource: "deadline".into(),
+                });
+            }
+        }
         let options_plan;
-        let plan = match &self.plan {
+        let base_plan = match &self.plan {
             Some(plan) => plan,
             None => {
                 options_plan = PassPlan::from_options(&self.options);
                 &options_plan
             }
+        };
+        // the hard deadline is excluded from the plan fingerprint, so
+        // cloning it in never fragments the code cache
+        let deadline_plan;
+        let plan = match deadline {
+            Some(at) => {
+                deadline_plan = base_plan.clone().deadline(at);
+                &deadline_plan
+            }
+            None => base_plan,
         };
         let Some(cache) = &self.code_cache else {
             return compiler.compile_plan_traced(lir, plan, tracer);
@@ -582,6 +684,7 @@ impl Session {
         &self,
         compiler: &Compiler,
         source: &str,
+        deadline: Option<std::time::Instant>,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let t_parse = std::time::Instant::now();
         let ast = record_ir::dfl::parse(source)?;
@@ -589,7 +692,7 @@ impl Session {
         let t_lower = std::time::Instant::now();
         let lir = record_ir::lower::lower(&ast)?;
         let lower = t_lower.elapsed();
-        let (code, mut timings) = self.compile_lir(compiler, &lir)?;
+        let (code, mut timings) = self.compile_lir(compiler, &lir, deadline)?;
         timings.parse = parse;
         timings.lower = lower;
         timings.total += parse + lower;
@@ -612,6 +715,7 @@ impl Session {
     fn run_batch<F>(
         &self,
         n: usize,
+        deadline: Option<std::time::Instant>,
         job: F,
     ) -> Result<Vec<Result<Code, CompileError>>, CompileError>
     where
@@ -638,14 +742,23 @@ impl Session {
                             break;
                         }
                         did_anything = true;
-                        let result =
+                        // a job claimed after the batch deadline never
+                        // starts: its slot reports the blown budget and
+                        // the worker moves on to drain the queue fast
+                        let result = if deadline.is_some_and(|at| std::time::Instant::now() >= at) {
+                            Err(CompileError::Budget {
+                                pass: "batch".into(),
+                                resource: "deadline".into(),
+                            })
+                        } else {
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i)))
                                 .unwrap_or_else(|payload| {
                                     Err(CompileError::Internal {
                                         pass: "batch".into(),
                                         message: crate::pass::panic_message(payload.as_ref()),
                                     })
-                                });
+                                })
+                        };
                         let outcome = match result {
                             Ok((code, timings)) => {
                                 local_compiles += 1;

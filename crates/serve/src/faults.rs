@@ -1,0 +1,115 @@
+//! Deterministic fault injection for soak testing.
+//!
+//! When armed, the injector fires one of three faults on a small,
+//! seeded fraction of requests: a forced panic inside the request
+//! handler (exercising panic isolation), a stall that blows the
+//! request deadline (exercising the wall-clock budget machinery), or a
+//! torn write in the on-disk compile cache (exercising the
+//! corruption-as-miss discipline and the drain-time scrub). The stream
+//! of faults is a pure function of the seed — splitmix64 via
+//! [`record_prop::Rng`] — so a failing soak replays exactly.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use record_prop::Rng;
+
+/// Substring planted in every injected panic payload. The protocol
+/// layer maps panics carrying it to the `injected` error code instead
+/// of `internal`, so CI can assert zero *real* internals while faults
+/// are being forced.
+pub const FAULT_MARKER: &str = "injected-fault";
+
+/// One injected fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside the request handler with a [`FAULT_MARKER`] payload.
+    Panic,
+    /// Sleep for the given milliseconds before compiling, so the request
+    /// deadline expires mid-flight.
+    Stall(u64),
+    /// Corrupt one committed file in the on-disk compile cache.
+    TornCache,
+}
+
+impl Fault {
+    /// Stable label for the `recordd_faults_injected_total{kind=…}`
+    /// counter.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Fault::Panic => "panic",
+            Fault::Stall(_) => "stall",
+            Fault::TornCache => "torn-cache",
+        }
+    }
+}
+
+/// Seeded fault source shared by the worker threads.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: Mutex<Rng>,
+    /// Fire one fault roughly every `period` draws (so the soak stays
+    /// mostly healthy traffic with a steady trickle of chaos).
+    period: usize,
+}
+
+impl FaultInjector {
+    /// Creates an injector firing roughly one fault per `period`
+    /// requests, deterministically from `seed`.
+    pub fn new(seed: u64, period: usize) -> Self {
+        FaultInjector { rng: Mutex::new(Rng::new(seed)), period: period.max(1) }
+    }
+
+    /// Draws the fault decision for one request. `None` means the
+    /// request proceeds untouched.
+    pub fn draw(&self) -> Option<Fault> {
+        let mut rng = self.rng.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if rng.usize(self.period) != 0 {
+            return None;
+        }
+        Some(match rng.usize(3) {
+            0 => Fault::Panic,
+            1 => Fault::Stall(50 + rng.usize(150) as u64),
+            _ => Fault::TornCache,
+        })
+    }
+
+    /// Picks a victim among `candidates` for a torn-cache fault.
+    pub fn pick_victim(&self, candidates: &[PathBuf]) -> Option<PathBuf> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut rng = self.rng.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        Some(candidates[rng.usize(candidates.len())].clone())
+    }
+}
+
+/// Applies a torn-cache fault: truncates one committed cache entry to
+/// half its length, simulating a writer killed mid-write *without* the
+/// atomic-rename discipline. The cache treats the remains as a miss;
+/// the drain-time scrub deletes them. Returns `true` when a file was
+/// actually torn.
+pub fn tear_cache_file(injector: &FaultInjector, dir: &Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    let candidates: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".bin") && !n.contains(".tmp."))
+        })
+        .collect();
+    let Some(victim) = injector.pick_victim(&candidates) else {
+        return false;
+    };
+    let Ok(bytes) = std::fs::read(&victim) else {
+        return false;
+    };
+    if bytes.len() < 2 {
+        return false;
+    }
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).is_ok()
+}

@@ -1,0 +1,33 @@
+//! Compile-as-a-service for the RECORD reproduction, with no
+//! dependencies beyond `std`.
+//!
+//! `record-serve` wraps the [`record::Session`] compile engine in a
+//! small, crash-only TCP daemon speaking line-delimited JSON: one
+//! request line in, one response line out, plus an HTTP `/metrics`
+//! Prometheus endpoint on the same port. The design goal is
+//! *robustness under hostile traffic*, not throughput tricks — every
+//! failure mode has an explicit, documented error code, and the
+//! process survives anything a client (or an injected fault) throws at
+//! it:
+//!
+//! - bounded admission with explicit `overloaded` shedding,
+//! - per-request wall-clock deadlines enforced inside the pipeline,
+//! - read timeouts and request-size caps (slow-loris / allocation-bomb
+//!   defense),
+//! - `catch_unwind` panic isolation per request and per connection,
+//! - graceful drain on SIGTERM/SIGINT with a cache scrub, so the
+//!   on-disk compile cache is loadable after any shutdown,
+//! - deterministic fault injection ([`faults`]) for soak testing.
+//!
+//! The layering mirrors the testing strategy: [`protocol`] is the pure
+//! codec, [`server::Service`] is the socket-free request engine the
+//! table tests drive byte-by-byte, and [`server::Server`] is the thin
+//! TCP front end the soak hammers.
+
+pub mod faults;
+pub mod protocol;
+pub mod server;
+pub mod signals;
+
+pub use protocol::{codes, error_code, parse_request, Op, ProtoError, Request};
+pub use server::{resolve_target, ServeReport, Server, ServerConfig, Service};

@@ -1,0 +1,636 @@
+//! The daemon: bounded admission, worker pool, graceful drain.
+//!
+//! Architecture is deliberately boring: one nonblocking accept loop
+//! feeding a bounded connection queue (`ConnQueue`), a fixed pool of
+//! worker threads each serving whole connections, and a [`Service`]
+//! that turns request lines into response lines with no I/O of its
+//! own. The split matters for testing — `tests/serve.rs` drives
+//! [`Service::handle_line`] directly with hostile bytes and never
+//! opens a socket for the protocol table.
+//!
+//! Robustness invariants, each pinned by a test or the soak gate:
+//!
+//! - **Admission is bounded.** A full queue sheds at accept time with
+//!   an explicit `overloaded` response; memory per connection is capped
+//!   by [`crate::protocol::MAX_REQUEST_BYTES`].
+//! - **Requests carry deadlines.** Every compile runs under a
+//!   wall-clock deadline (client-supplied or the server default)
+//!   enforced at pass boundaries by the core pipeline.
+//! - **Panics never kill the process.** Request handling is wrapped in
+//!   `catch_unwind` (as is each connection, belt and braces); a panic
+//!   becomes an `internal` — or `injected`, for forced faults — error
+//!   response.
+//! - **Drain is crash-only.** Shutdown stops accepting, finishes
+//!   in-flight requests, scrubs the on-disk cache (deleting anything a
+//!   torn write left undecodable) and reports; the cache on disk is
+//!   loadable afterwards by construction.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use record::{Budgets, CompileCache, PassPlan, ScrubStats, Session};
+use record_isa::TargetDesc;
+use record_trace::MetricsRegistry;
+
+use crate::faults::{self, Fault, FaultInjector, FAULT_MARKER};
+use crate::protocol::{self, codes, Op, Request};
+use crate::signals;
+
+/// Latency histogram bounds, microseconds.
+const LATENCY_BOUNDS_US: &[f64] =
+    &[100.0, 1_000.0, 10_000.0, 50_000.0, 100_000.0, 500_000.0, 1_000_000.0, 5_000_000.0];
+
+/// Everything the daemon can be told at startup.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7425` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads, each serving whole connections.
+    pub workers: usize,
+    /// Admission-queue depth; accepted connections beyond it are shed.
+    pub queue_depth: usize,
+    /// Per-connection read (and write) timeout — the slow-loris bound.
+    pub read_timeout: Duration,
+    /// Wall-clock compile budget when a request names none.
+    pub default_deadline: Duration,
+    /// On-disk compile cache directory (shared by every plan session).
+    pub cache_dir: Option<PathBuf>,
+    /// Arms fault injection with this seed when set.
+    pub fault_seed: Option<u64>,
+    /// Roughly one fault per this many requests (when armed).
+    pub fault_period: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7425".into(),
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(16)),
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            default_deadline: Duration::from_secs(2),
+            cache_dir: None,
+            fault_seed: None,
+            fault_period: 16,
+        }
+    }
+}
+
+/// Resolves a target name from the shared `recordc`/`recordd`
+/// vocabulary: `tic25`, `dsp56k`, `risc<N>`, `asip-dsp`, `asip-min`,
+/// `asip-default`.
+///
+/// # Errors
+///
+/// A human-readable message naming the unknown target.
+pub fn resolve_target(name: &str) -> Result<TargetDesc, String> {
+    use record_isa::targets::{asip, dsp56k, simple_risc, tic25};
+    match name {
+        "tic25" => Ok(tic25::target()),
+        "dsp56k" => Ok(dsp56k::target()),
+        "asip-dsp" => Ok(asip::build(&asip::AsipParams::dsp())),
+        "asip-min" => Ok(asip::build(&asip::AsipParams::minimal())),
+        "asip-default" => Ok(asip::build(&asip::AsipParams::default())),
+        other => {
+            if let Some(n) = other.strip_prefix("risc") {
+                let n: u16 = n.parse().map_err(|_| format!("bad register count in `{other}`"))?;
+                if n == 0 {
+                    return Err("risc needs at least one register".into());
+                }
+                return Ok(simple_risc::target(n));
+            }
+            Err(format!("unknown target `{other}`"))
+        }
+    }
+}
+
+/// One response line plus the code it carries (for accounting).
+struct Reply {
+    code: &'static str,
+    line: String,
+}
+
+/// The request-level engine: sessions per plan preset, metrics, fault
+/// injection. Pure request-line-in / response-line-out — all socket
+/// handling lives in [`Server`], which is what lets the protocol table
+/// test drive this directly.
+pub struct Service {
+    /// One session per plan preset, all sharing the disk cache dir.
+    sessions: Vec<(&'static str, Session)>,
+    metrics: MetricsRegistry,
+    cache_dir: Option<PathBuf>,
+    default_deadline: Duration,
+    faults: Option<FaultInjector>,
+}
+
+impl Service {
+    /// Builds the engine: one [`Session`] per plan preset (`o0`, `o1`,
+    /// `o2`; `default` aliases `o2`), every plan under
+    /// [`Budgets::service`] caps, non-strict verification, and the
+    /// shared on-disk cache when configured.
+    pub fn new(config: &ServerConfig) -> Self {
+        let presets: [(&'static str, PassPlan); 3] =
+            [("o0", PassPlan::o0()), ("o1", PassPlan::o1()), ("o2", PassPlan::o2())];
+        let sessions = presets
+            .into_iter()
+            .map(|(name, plan)| {
+                let mut session =
+                    Session::new().with_plan(plan.with_budgets(Budgets::service()).strict(false));
+                if let Some(dir) = &config.cache_dir {
+                    session = session.with_cache_dir(dir.clone());
+                }
+                (name, session)
+            })
+            .collect();
+        Service {
+            sessions,
+            metrics: MetricsRegistry::new(),
+            cache_dir: config.cache_dir.clone(),
+            default_deadline: config.default_deadline,
+            faults: config.fault_seed.map(|seed| FaultInjector::new(seed, config.fault_period)),
+        }
+    }
+
+    /// The daemon-level metrics registry (`recordd_*` series).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Handles one request line, never panicking: the whole handler
+    /// runs under `catch_unwind` and a panic becomes an `internal` (or
+    /// `injected`, when the payload carries the fault marker) error
+    /// response. Also does the per-request accounting.
+    pub fn handle_line(&self, line: &str) -> String {
+        let started = Instant::now();
+        let reply = panic::catch_unwind(AssertUnwindSafe(|| self.handle_line_inner(line)))
+            .unwrap_or_else(|payload| {
+                let message = panic_text(payload.as_ref());
+                let code =
+                    if message.contains(FAULT_MARKER) { codes::INJECTED } else { codes::INTERNAL };
+                Reply { code, line: protocol::error_response("", code, &message) }
+            });
+        self.metrics.inc_with("recordd_requests_total", &[("code", reply.code)]);
+        self.metrics.observe(
+            "recordd_request_latency_us",
+            LATENCY_BOUNDS_US,
+            started.elapsed().as_micros() as f64,
+        );
+        reply.line
+    }
+
+    fn handle_line_inner(&self, line: &str) -> Reply {
+        let request = match protocol::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                return Reply {
+                    code: e.code,
+                    line: protocol::error_response(&e.id, e.code, &e.message),
+                };
+            }
+        };
+        match request.op {
+            Op::Ping => Reply { code: "pong", line: protocol::pong(&request.id) },
+            Op::Compile => self.handle_compile(&request),
+        }
+    }
+
+    fn handle_compile(&self, request: &Request) -> Reply {
+        let started = Instant::now();
+        let deadline =
+            started + request.deadline_ms.map_or(self.default_deadline, Duration::from_millis);
+        if let Some(injector) = &self.faults {
+            if let Some(fault) = injector.draw() {
+                self.metrics.inc_with("recordd_faults_injected_total", &[("kind", fault.kind())]);
+                self.apply_fault(injector, fault, deadline);
+            }
+        }
+        let Some(session) = self.session_for(&request.plan) else {
+            let message = format!("unknown plan `{}` (default|o0|o1|o2)", clip(&request.plan));
+            return Reply {
+                code: codes::UNKNOWN_PLAN,
+                line: protocol::error_response(&request.id, codes::UNKNOWN_PLAN, &message),
+            };
+        };
+        let target = match resolve_target(&request.target) {
+            Ok(t) => t,
+            Err(message) => {
+                return Reply {
+                    code: codes::UNKNOWN_TARGET,
+                    line: protocol::error_response(&request.id, codes::UNKNOWN_TARGET, &message),
+                };
+            }
+        };
+        match session.compile_source_deadline(&target, &request.program, deadline) {
+            Ok((code, _timings)) => {
+                let elapsed_us = started.elapsed().as_micros() as u64;
+                let line = protocol::ok_response(
+                    &request.id,
+                    &request.target,
+                    &code.name,
+                    code.size_words(),
+                    code.len(),
+                    elapsed_us,
+                    &code.render(),
+                );
+                Reply { code: "ok", line }
+            }
+            Err(e) => {
+                let code = protocol::error_code(&e);
+                Reply { code, line: protocol::error_response(&request.id, code, &e.to_string()) }
+            }
+        }
+    }
+
+    fn apply_fault(&self, injector: &FaultInjector, fault: Fault, deadline: Instant) {
+        match fault {
+            Fault::Panic => panic!("{FAULT_MARKER}: forced request panic"),
+            Fault::Stall(extra_ms) => {
+                // sleep just past the request deadline so the pipeline's
+                // wall-clock budget machinery is what surfaces the fault
+                let past_deadline = deadline.saturating_duration_since(Instant::now())
+                    + Duration::from_millis(extra_ms);
+                std::thread::sleep(past_deadline.min(Duration::from_millis(1_500)));
+            }
+            Fault::TornCache => {
+                if let Some(dir) = &self.cache_dir {
+                    faults::tear_cache_file(injector, dir);
+                }
+            }
+        }
+    }
+
+    fn session_for(&self, plan: &str) -> Option<&Session> {
+        let name = match plan.to_ascii_lowercase().as_str() {
+            "default" | "o2" => "o2",
+            "o0" => "o0",
+            "o1" => "o1",
+            _ => return None,
+        };
+        self.sessions.iter().find(|(n, _)| *n == name).map(|(_, s)| s)
+    }
+
+    /// Renders the full Prometheus exposition: the daemon's own
+    /// `recordd_*` series followed by the per-plan sessions merged into
+    /// one `record_*`/`trace_*` view.
+    pub fn render_metrics(&self) -> String {
+        let merged = MetricsRegistry::new();
+        for (_, session) in &self.sessions {
+            merged.merge(session.metrics());
+        }
+        let mut out = self.metrics.render_prometheus();
+        out.push_str(&merged.render_prometheus());
+        out
+    }
+
+    /// Drain-time cache scrub: decode-checks every on-disk entry and
+    /// deletes anything a torn write left unloadable. `None` when the
+    /// daemon runs without a disk cache.
+    pub fn scrub(&self) -> Option<ScrubStats> {
+        self.cache_dir.as_deref().map(CompileCache::scrub_dir)
+    }
+}
+
+fn clip(s: &str) -> &str {
+    let mut end = s.len().min(64);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// What a completed serve lifecycle did, for the drain summary.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeReport {
+    /// Connections accepted (shed ones included).
+    pub connections: u64,
+    /// Requests answered, across every response code.
+    pub requests: u64,
+    /// Connections shed with `overloaded` at admission.
+    pub shed: u64,
+    /// Connection handlers that panicked outside request handling.
+    pub connection_panics: u64,
+    /// Drain-time cache scrub result (when a disk cache is configured).
+    pub scrub: Option<ScrubStats>,
+}
+
+/// Bounded connection queue: accept pushes, workers pop, shutdown
+/// closes. Closing wakes every worker; pops keep draining queued
+/// connections after close so accepted clients are never dropped
+/// unserved.
+struct ConnQueue {
+    state: Mutex<ConnQueueState>,
+    ready: Condvar,
+    depth: usize,
+}
+
+struct ConnQueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(depth: usize) -> Self {
+        ConnQueue {
+            state: Mutex::new(ConnQueueState { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Returns the stream back (for shedding) when the queue is full or
+    /// closed; reports the new depth otherwise.
+    fn push(&self, stream: TcpStream) -> Result<usize, TcpStream> {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.closed || state.items.len() >= self.depth {
+            return Err(stream);
+        }
+        state.items.push_back(stream);
+        let len = state.items.len();
+        drop(state);
+        self.ready.notify_one();
+        Ok(len)
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(stream) = state.items.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner).items.len()
+    }
+}
+
+/// The TCP front end around a [`Service`].
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listen socket and builds the service.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (address in use, permission).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let service = Arc::new(Service::new(&config));
+        Ok(Server { listener, service, config })
+    }
+
+    /// The bound address (useful after binding port `:0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname` failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The request engine, for embedders that want metrics access while
+    /// the server runs on another thread.
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
+    /// Runs until [`signals::request_shutdown`] (or SIGTERM/SIGINT once
+    /// [`signals::install`] was called), then drains: stops accepting,
+    /// serves every queued and in-flight connection to completion,
+    /// scrubs the disk cache, and returns the lifecycle report.
+    pub fn run(self) -> ServeReport {
+        let queue = ConnQueue::new(self.config.queue_depth);
+        let service = &self.service;
+        let config = &self.config;
+        std::thread::scope(|scope| {
+            for _ in 0..config.workers.max(1) {
+                scope.spawn(|| worker_loop(&queue, service, config));
+            }
+            accept_loop(&self.listener, &queue, service, config);
+            queue.close();
+            // scoped threads join here: drain completes before we return
+        });
+        let scrub = self.service.scrub();
+        let metrics = self.service.metrics();
+        ServeReport {
+            connections: metrics.counter("recordd_connections_total"),
+            requests: metrics.counter_sum("recordd_requests_total"),
+            shed: metrics.counter("recordd_shed_total"),
+            connection_panics: metrics.counter("recordd_connection_panics_total"),
+            scrub,
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &ConnQueue,
+    service: &Service,
+    config: &ServerConfig,
+) {
+    while !signals::shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                service.metrics().inc("recordd_connections_total");
+                match queue.push(stream) {
+                    Ok(depth) => {
+                        service.metrics().set_gauge("recordd_queue_depth", depth as f64);
+                    }
+                    Err(stream) => shed(service, stream, config),
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => {
+                service.metrics().inc("recordd_accept_errors_total");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Explicit-rejection load shedding: the client gets one `overloaded`
+/// line and a clean close instead of a hung or reset connection.
+fn shed(service: &Service, mut stream: TcpStream, config: &ServerConfig) {
+    service.metrics().inc("recordd_shed_total");
+    let _ = stream.set_write_timeout(Some(config.read_timeout.min(Duration::from_secs(1))));
+    let line = protocol::error_response("", codes::OVERLOADED, "admission queue full, retry later");
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+}
+
+fn worker_loop(queue: &ConnQueue, service: &Service, config: &ServerConfig) {
+    while let Some(stream) = queue.pop() {
+        service.metrics().set_gauge("recordd_queue_depth", queue.len() as f64);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(service, config, stream);
+        }));
+        if outcome.is_err() {
+            service.metrics().inc("recordd_connection_panics_total");
+        }
+    }
+}
+
+enum LineRead {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// The line exceeded the cap; the stream cannot be re-synchronized.
+    TooLong,
+    /// Clean end of stream.
+    Eof,
+    /// Read error — timeouts (slow loris) and resets land here.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. The bound is
+/// enforced *while reading*: a hostile peer can never make the server
+/// buffer more than `max` bytes, no matter how much it sends.
+fn read_line_bounded(reader: &mut impl BufRead, max: usize, buf: &mut Vec<u8>) -> LineRead {
+    buf.clear();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Failed,
+        };
+        if chunk.is_empty() {
+            return if buf.is_empty() { LineRead::Eof } else { LineRead::Line };
+        }
+        if let Some(ix) = chunk.iter().position(|&b| b == b'\n') {
+            if buf.len() + ix > max {
+                return LineRead::TooLong;
+            }
+            buf.extend_from_slice(&chunk[..ix]);
+            reader.consume(ix + 1);
+            return LineRead::Line;
+        }
+        let n = chunk.len();
+        if buf.len() + n > max {
+            return LineRead::TooLong;
+        }
+        buf.extend_from_slice(chunk);
+        reader.consume(n);
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+fn serve_connection(service: &Service, config: &ServerConfig, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.read_timeout));
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut buf = Vec::new();
+    loop {
+        match read_line_bounded(&mut reader, protocol::MAX_REQUEST_BYTES, &mut buf) {
+            LineRead::Eof | LineRead::Failed => break,
+            LineRead::TooLong => {
+                service.metrics().inc_with("recordd_requests_total", &[("code", codes::TOO_LARGE)]);
+                let line = protocol::error_response(
+                    "",
+                    codes::TOO_LARGE,
+                    &format!("request line exceeds {} bytes", protocol::MAX_REQUEST_BYTES),
+                );
+                let _ = write_line(&mut writer, &line);
+                break; // cannot re-synchronize a half-read line
+            }
+            LineRead::Line => {
+                if buf.starts_with(b"GET ") {
+                    serve_http(service, &mut reader, &mut writer, &buf);
+                    break;
+                }
+                let response = match std::str::from_utf8(&buf) {
+                    Ok(line) => service.handle_line(line.trim_end()),
+                    Err(_) => {
+                        service
+                            .metrics()
+                            .inc_with("recordd_requests_total", &[("code", codes::BAD_REQUEST)]);
+                        protocol::error_response("", codes::BAD_REQUEST, "request is not UTF-8")
+                    }
+                };
+                if write_line(&mut writer, &response).is_err() {
+                    break; // abrupt disconnect mid-response
+                }
+            }
+        }
+        if signals::shutdown_requested() {
+            break; // finish the in-flight request, then drain
+        }
+    }
+}
+
+/// A minimal HTTP/1.0 responder so `curl http://…/metrics` works on
+/// the same port. Only `GET /metrics` and `GET /healthz` exist; the
+/// connection always closes after one response.
+fn serve_http(
+    service: &Service,
+    reader: &mut impl BufRead,
+    writer: &mut TcpStream,
+    request_line: &[u8],
+) {
+    service.metrics().inc("recordd_http_requests_total");
+    // drain the (bounded) header block so the peer sees a clean close
+    let mut header = Vec::new();
+    for _ in 0..100 {
+        match read_line_bounded(reader, 8 * 1024, &mut header) {
+            LineRead::Line if !header.is_empty() && header != b"\r" => {}
+            _ => break,
+        }
+    }
+    let path = request_line
+        .split(|&b| b == b' ')
+        .nth(1)
+        .and_then(|p| std::str::from_utf8(p).ok())
+        .unwrap_or("/");
+    let (status, body) = match path {
+        "/metrics" => ("200 OK", service.render_metrics()),
+        "/healthz" => ("200 OK", "ok\n".to_string()),
+        _ => ("404 Not Found", "not found\n".to_string()),
+    };
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = writer.write_all(head.as_bytes());
+    let _ = writer.write_all(body.as_bytes());
+    let _ = writer.flush();
+}

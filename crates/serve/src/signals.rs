@@ -1,0 +1,51 @@
+//! Minimal signal-driven shutdown flag, with no `libc` crate.
+//!
+//! `std` already links the platform C library, so a plain `extern`
+//! declaration of `signal(2)` is all the FFI needed. The handler does
+//! the only thing that is async-signal-safe here: store into an
+//! `AtomicBool` the accept loop polls. Non-Unix builds compile the
+//! same API with installation as a no-op — tests and embedders drive
+//! [`request_shutdown`] directly instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a drain has been requested (by signal or programmatically).
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests a graceful drain, exactly as SIGTERM would.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag. For tests and embedders that run several server
+/// lifecycles in one process; the daemon never calls this.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM / SIGINT handlers (no-op off Unix). Safe to
+/// call more than once.
+pub fn install() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_signal(_signum: i32) {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        let handler = on_signal as *const () as usize;
+        // SAFETY: `signal` with a handler that only stores an atomic is
+        // async-signal-safe; we never inspect the previous disposition.
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}

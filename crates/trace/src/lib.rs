@@ -46,7 +46,9 @@ pub mod codec;
 pub mod json;
 pub mod metrics;
 
-pub use metrics::{Histogram, Metric, MetricsRegistry, MERGE_ERRORS};
+pub use metrics::{
+    escape_label_value, labeled_key, Histogram, Metric, MetricsRegistry, MERGE_ERRORS,
+};
 
 use std::collections::HashMap;
 use std::io::{self, Write};

@@ -19,6 +19,58 @@ use crate::json;
 /// registered as a different type.
 pub const MERGE_ERRORS: &str = "trace_merge_errors";
 
+/// Escapes a label *value* for the Prometheus exposition format:
+/// backslash, double quote and line feed must be written as `\\`, `\"`
+/// and `\n` — label values are attacker-influenced (kernel names flow
+/// into them), and an unescaped quote or newline would let one hostile
+/// name corrupt the whole scrape.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The canonical registry key for `name` under `labels`:
+/// `name{k="v",...}` with each value escaped by [`escape_label_value`].
+/// With no labels the key is just `name`. Labeled and unlabeled series
+/// of the same name coexist; [`MetricsRegistry::merge`] matches on the
+/// full key, so per-label series fold independently.
+pub fn labeled_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut key = String::with_capacity(name.len() + 16 * labels.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push_str("=\"");
+        key.push_str(&escape_label_value(v));
+        key.push('"');
+    }
+    key.push('}');
+    key
+}
+
+/// Splits a registry key into its base name and (when present) the
+/// brace-delimited label part, `", "`-joinable into bucket lines.
+fn split_key(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(ix) => (&key[..ix], Some(&key[ix + 1..key.len() - 1])),
+        None => (key, None),
+    }
+}
+
 /// One named metric's current value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Metric {
@@ -126,6 +178,47 @@ impl MetricsRegistry {
         self.add(name, 1);
     }
 
+    /// Adds `n` to the counter `name` under `labels` (one independent
+    /// series per distinct label set; values escaped at key time, so
+    /// hostile label values can never break the exposition text).
+    pub fn add_with(&self, name: &str, labels: &[(&str, &str)], n: u64) {
+        self.add(&labeled_key(name, labels), n);
+    }
+
+    /// Adds 1 to the counter `name` under `labels`.
+    pub fn inc_with(&self, name: &str, labels: &[(&str, &str)]) {
+        self.add_with(name, labels, 1);
+    }
+
+    /// Sets the gauge `name` under `labels` to `v`.
+    pub fn set_gauge_with(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.set_gauge(&labeled_key(name, labels), v);
+    }
+
+    /// Records `v` into the histogram `name` under `labels`.
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], v: f64) {
+        self.observe(&labeled_key(name, labels), bounds, v);
+    }
+
+    /// Convenience: the counter `name` under `labels` (0 when absent).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counter(&labeled_key(name, labels))
+    }
+
+    /// Sums every counter series of `name` across all label sets (the
+    /// bare unlabeled series included).
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner
+            .iter()
+            .filter(|(key, _)| split_key(key).0 == name)
+            .filter_map(|(_, m)| match m {
+                Metric::Counter(c) => Some(c),
+                _ => None,
+            })
+            .sum()
+    }
+
     /// Sets the gauge `name` to `v` (last write wins).
     pub fn set_gauge(&self, name: &str, v: f64) {
         let mut inner = self.inner.lock().expect("metrics lock");
@@ -207,34 +300,67 @@ impl MetricsRegistry {
 
     /// Renders the registry as flat Prometheus-style exposition text,
     /// metrics sorted by name, histograms as cumulative `_bucket` /
-    /// `_sum` / `_count` series.
+    /// `_sum` / `_count` series. Labeled series (registered through the
+    /// `*_with` methods) render with their label sets; a `# TYPE` line
+    /// is emitted once per base name even when many label sets share it.
+    /// Every metric block — and the document itself — ends with a
+    /// trailing newline, and label values arrive pre-escaped
+    /// ([`escape_label_value`]), so hostile kernel names can never smear
+    /// one series into the next.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for (name, metric) in self.snapshot() {
+        let mut typed_bases = std::collections::BTreeSet::new();
+        for (key, metric) in self.snapshot() {
+            let (base, labels) = split_key(&key);
+            let mut typed = |t: &str, out: &mut String| {
+                if typed_bases.insert(base.to_string()) {
+                    out.push_str(&format!("# TYPE {base} {t}\n"));
+                }
+            };
             match metric {
                 Metric::Counter(c) => {
-                    out.push_str(&format!("# TYPE {name} counter\n{name} {c}\n"));
+                    typed("counter", &mut out);
+                    out.push_str(&format!("{key} {c}\n"));
                 }
                 Metric::Gauge(g) => {
+                    typed("gauge", &mut out);
                     let mut v = String::new();
                     json::push_f64(&mut v, g);
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                    out.push_str(&format!("{key} {v}\n"));
                 }
                 Metric::Histogram(h) => {
-                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    typed("histogram", &mut out);
+                    // `le` joins any existing labels inside one brace set
+                    let with_le = |le: &str| match labels {
+                        Some(l) => format!("{base}_bucket{{{l},le=\"{le}\"}}"),
+                        None => format!("{base}_bucket{{le=\"{le}\"}}"),
+                    };
                     let mut cumulative = 0u64;
                     for (bound, count) in h.bounds.iter().zip(&h.counts) {
                         cumulative += count;
                         let mut b = String::new();
                         json::push_f64(&mut b, *bound);
-                        out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cumulative}\n"));
+                        out.push_str(&format!("{} {cumulative}\n", with_le(&b)));
                     }
-                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{} {}\n", with_le("+Inf"), h.count));
                     let mut sum = String::new();
                     json::push_f64(&mut sum, h.sum);
-                    out.push_str(&format!("{name}_sum {sum}\n{name}_count {}\n", h.count));
+                    let series = |suffix: &str| match labels {
+                        Some(l) => format!("{base}_{suffix}{{{l}}}"),
+                        None => format!("{base}_{suffix}"),
+                    };
+                    out.push_str(&format!(
+                        "{} {sum}\n{} {}\n",
+                        series("sum"),
+                        series("count"),
+                        h.count
+                    ));
                 }
             }
+        }
+        debug_assert!(out.is_empty() || out.ends_with('\n'));
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
         }
         out
     }

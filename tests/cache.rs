@@ -242,3 +242,96 @@ fn warm_start_answers_the_suite_from_disk() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Satellite: atomic commit discipline. The disk write protocol is
+/// write-temp → fsync → rename, so a writer killed at *any* point
+/// before the rename leaves only a `*.tmp.*` orphan and never a
+/// truncated file under a committed name. This test plants all three
+/// crash states by hand and checks each is contained: temps are swept
+/// on attach, torn committed files (the non-atomic failure mode the
+/// fault injector simulates) read as misses, and the good entry keeps
+/// serving hits through it all.
+#[test]
+fn killed_mid_write_leaves_no_committed_garbage() {
+    let dir = scratch_dir("kill-mid-write");
+    let target = record_isa::targets::tic25::target();
+    let kernel = record_dspstone::kernels().into_iter().next().unwrap();
+    Session::new().with_cache_dir(&dir).compile_source(&target, kernel.source).unwrap();
+    let committed = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.file_name().unwrap().to_str().unwrap().starts_with("code-"))
+        .expect("the compile committed a code entry");
+    let good_bytes = std::fs::read(&committed).unwrap();
+
+    // crash state A: killed mid write_all — a partial temp
+    std::fs::write(dir.join("code-feed.bin.tmp.4242.0"), &good_bytes[..good_bytes.len() / 3])
+        .unwrap();
+    // crash state B: killed after fsync, before rename — a complete temp
+    std::fs::write(dir.join("code-feed.bin.tmp.4242.1"), &good_bytes).unwrap();
+    // crash state C: what a NON-atomic writer would leave — a torn file
+    // under a committed name (this is the state the protocol prevents)
+    std::fs::write(
+        dir.join("code-00000000000000aa-00000000000000bb-00000000000000cc.bin"),
+        &good_bytes[..good_bytes.len() / 2],
+    )
+    .unwrap();
+
+    // a fresh attach sweeps both temps without touching committed files
+    let session = Session::new().with_cache_dir(&dir);
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert!(leftovers.is_empty(), "temps survived the attach sweep: {leftovers:?}");
+
+    // the good entry still serves a byte-identical warm hit
+    let (_, t) = session.compile_source_timed(&target, kernel.source).unwrap();
+    assert!(t.from_cache, "the committed entry must still hit after the crash debris");
+
+    // the offline scrub deletes exactly the torn committed file
+    let stats = record::CompileCache::scrub_dir(&dir);
+    assert_eq!(stats.corrupt_removed, 1, "{stats:?}");
+    assert_eq!(stats.tmps_removed, 0, "attach already swept the temps: {stats:?}");
+    assert!(committed.exists(), "scrub must keep the loadable entry");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The scrub is a full integrity pass: torn code entries, undecodable
+/// BURS tables, and stale temps are all counted and removed, and what
+/// survives is loadable — a second session warm-starts from it. This
+/// is the drain-time guarantee `recordd --check-cache` builds on.
+#[test]
+fn scrub_dir_removes_every_kind_of_damage() {
+    let dir = scratch_dir("scrub-all");
+    let target = record_isa::targets::tic25::target();
+    let kernel = record_dspstone::kernels().into_iter().next().unwrap();
+    Session::new().with_cache_dir(&dir).compile_source(&target, kernel.source).unwrap();
+
+    std::fs::write(dir.join("burs-00000000deadbeef.bin"), b"not a table").unwrap();
+    std::fs::write(
+        dir.join("code-000000000000dead-000000000000beef-000000000000f00d.bin"),
+        b"RECCODE\0garbage",
+    )
+    .unwrap();
+    std::fs::write(dir.join("burs-feed.bin.tmp.7.7"), b"half").unwrap();
+    std::fs::write(dir.join("README"), b"unrelated file, leave me alone").unwrap();
+
+    let stats = record::CompileCache::scrub_dir(&dir);
+    assert_eq!(stats.code_entries, 2, "{stats:?}");
+    assert_eq!(stats.table_entries, 2, "{stats:?}");
+    assert_eq!(stats.corrupt_removed, 2, "{stats:?}");
+    assert_eq!(stats.tmps_removed, 1, "{stats:?}");
+    assert!(dir.join("README").exists(), "scrub must not touch unrecognized files");
+
+    // scrubbing is idempotent and what survived is loadable
+    assert_eq!(record::CompileCache::scrub_dir(&dir).corrupt_removed, 0);
+    let session = Session::new().with_cache_dir(&dir);
+    let (_, t) = session.compile_source_timed(&target, kernel.source).unwrap();
+    assert!(t.from_cache, "the scrubbed cache must warm-start");
+    assert_eq!(session.stats().code_corruptions, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -320,3 +320,64 @@ fn session_stats_default_reports_no_salvage() {
     let timings: PhaseTimings = session.timings();
     assert!(timings.salvages.is_empty());
 }
+
+/// Satellite: wall-clock deadlines thread through the whole batch
+/// path. An already-expired deadline fills *every* slot with the
+/// structured budget error — resource `"deadline"` — before any
+/// compilation work happens, and the batch call itself still succeeds.
+#[test]
+fn expired_batch_deadline_fills_every_slot_structurally() {
+    let session = Session::new();
+    let target = record_isa::targets::tic25::target();
+    let sources = [KERNEL, SCALAR_KERNEL, KERNEL, SCALAR_KERNEL];
+    let results = session
+        .compile_batch_sources_deadline(&target, &sources, std::time::Instant::now())
+        .expect("an expired deadline is a per-slot failure, not a batch error");
+    assert_eq!(results.len(), sources.len());
+    for (i, slot) in results.iter().enumerate() {
+        match slot {
+            Err(CompileError::Budget { resource, .. }) => {
+                assert_eq!(resource, "deadline", "slot {i}");
+            }
+            other => panic!("slot {i}: expected a deadline budget error, got {other:?}"),
+        }
+    }
+    assert_eq!(session.stats().compiles, 0, "expired slots must not reach the pipeline");
+}
+
+/// The mirror image: a generous deadline changes nothing — every slot
+/// compiles exactly as the deadline-free batch path would.
+#[test]
+fn generous_batch_deadline_compiles_every_slot() {
+    let session = Session::new();
+    let target = record_isa::targets::tic25::target();
+    let sources = [KERNEL, SCALAR_KERNEL];
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(600);
+    let results = session.compile_batch_sources_deadline(&target, &sources, deadline).unwrap();
+    let baseline = session.compile_batch_sources(&target, &sources).unwrap();
+    for (i, (got, want)) in results.iter().zip(&baseline).enumerate() {
+        let got = got.as_ref().expect("deadline slot compiles");
+        let want = want.as_ref().expect("baseline slot compiles");
+        assert_eq!(got.render(), want.render(), "slot {i}: deadline changed the output");
+    }
+}
+
+/// Single compiles admission-check the deadline before any work — the
+/// error names the `admission` stage, so a service can distinguish
+/// "never started" from "ran out mid-pipeline".
+#[test]
+fn expired_single_deadline_fails_at_admission() {
+    let session = Session::new();
+    let target = record_isa::targets::tic25::target();
+    match session.compile_source_deadline(&target, KERNEL, std::time::Instant::now()) {
+        Err(CompileError::Budget { pass, resource }) => {
+            assert_eq!(pass, "admission");
+            assert_eq!(resource, "deadline");
+        }
+        other => panic!("expected an admission deadline error, got {other:?}"),
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(600);
+    let (code, timings) = session.compile_source_deadline(&target, KERNEL, deadline).unwrap();
+    assert!(!code.is_empty());
+    assert!(!timings.from_cache);
+}

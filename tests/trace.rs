@@ -158,3 +158,60 @@ fn exports_escape_hostile_kernel_names() {
     json::validate(&chrome).unwrap_or_else(|e| panic!("{e}:\n{chrome}"));
     assert!(chrome.contains(r#"evil \"kernel\"\nname"#));
 }
+
+/// The deterministic registry behind the Prometheus golden file: every
+/// metric shape (counter, gauge, histogram), labeled and unlabeled
+/// series sharing a base name, and label values needing every escape
+/// class the exposition format defines (backslash, quote, newline).
+fn golden_registry() -> record_trace::MetricsRegistry {
+    let m = record_trace::MetricsRegistry::new();
+    m.inc("record_compiles_total");
+    m.inc_with("record_kernel_compiles_total", &[("kernel", "fir")]);
+    m.add_with("record_kernel_compiles_total", &[("kernel", "fir")], 2);
+    m.inc_with("record_kernel_compiles_total", &[("kernel", "evil \"kernel\"\nwith\\escapes")]);
+    m.set_gauge("record_queue_depth", 3.0);
+    m.set_gauge_with("record_worker_busy", &[("worker", "w\"0"), ("host", "a\\b")], 1.0);
+    m.observe("record_latency_us", &[10.0, 100.0], 250.0);
+    m.observe_with("record_latency_us", &[("plan", "o2\nsneaky")], &[10.0, 100.0], 7.0);
+    m.observe_with("record_latency_us", &[("plan", "o2\nsneaky")], &[10.0, 100.0], 42.0);
+    m
+}
+
+/// Satellite regression: hostile label values (kernel names reach
+/// labels via session metrics) must be escaped per the exposition
+/// format, `# TYPE` must appear exactly once per base name even when
+/// labeled and unlabeled series interleave in sort order, and the
+/// output must end in a newline. All pinned byte-for-byte.
+#[test]
+fn prometheus_export_matches_golden_file() {
+    let m = golden_registry();
+    let out = m.render_prometheus();
+    assert!(out.ends_with('\n'), "exposition must end with a newline:\n{out:?}");
+    for base in ["record_compiles_total", "record_kernel_compiles_total", "record_latency_us"] {
+        let type_lines = out.lines().filter(|l| l.starts_with(&format!("# TYPE {base} "))).count();
+        assert_eq!(type_lines, 1, "{base}: TYPE must appear exactly once:\n{out}");
+    }
+    // raw newline inside a label value would break line-oriented parsers
+    for line in out.lines() {
+        assert!(!line.ends_with('\\') || line.contains("\\\\"), "torn escape in: {line}");
+    }
+    check_golden("metrics.prom", &out);
+
+    // write_prometheus is the same bytes through the io::Write path
+    let mut via_writer = Vec::new();
+    m.write_prometheus(&mut via_writer).unwrap();
+    assert_eq!(String::from_utf8(via_writer).unwrap(), out);
+}
+
+/// The label helpers themselves: escaping is exact and `counter_sum`
+/// folds every series of a base name.
+#[test]
+fn label_escaping_and_counter_sum() {
+    assert_eq!(record_trace::escape_label_value("plain"), "plain");
+    assert_eq!(record_trace::escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    assert_eq!(record_trace::labeled_key("m", &[("k", "v\"x")]), "m{k=\"v\\\"x\"}");
+    let m = golden_registry();
+    assert_eq!(m.counter_sum("record_kernel_compiles_total"), 4);
+    assert_eq!(m.counter_sum("record_compiles_total"), 1);
+    assert_eq!(m.counter_sum("record_latency_us"), 0, "histograms are not counters");
+}
