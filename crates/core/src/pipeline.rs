@@ -405,11 +405,34 @@ impl Compiler {
         plan: &crate::PassPlan,
         tracer: Option<&record_trace::Tracer>,
     ) -> Result<(Code, PhaseTimings), CompileError> {
-        let start = Instant::now();
         let mut recorder = match tracer {
             Some(t) => t.recorder(),
             None => record_trace::SpanRecorder::disabled(),
         };
+        let result = self.compile_plan_recorded(lir, plan, &mut recorder);
+        if let Some(t) = tracer {
+            t.submit(recorder);
+        }
+        result
+    }
+
+    /// [`compile_plan_timed`](Compiler::compile_plan_timed) recording
+    /// into a caller-owned [`SpanRecorder`] — the request-scoped variant
+    /// servers use: the caller keeps ownership of the recorder (and of
+    /// where its spans end up, e.g. a flight-recorder ring) instead of
+    /// submitting to a shared [`Tracer`](record_trace::Tracer). With a
+    /// disabled recorder the cost is a branch per pass.
+    ///
+    /// # Errors
+    ///
+    /// See [`compile_plan_timed`](Compiler::compile_plan_timed).
+    pub fn compile_plan_recorded(
+        &self,
+        lir: &Lir,
+        plan: &crate::PassPlan,
+        recorder: &mut record_trace::SpanRecorder,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
+        let start = Instant::now();
         recorder.open("compile");
         recorder.attr("kernel", lir.name.to_string());
         recorder.attr("target", self.target.name.clone());
@@ -422,9 +445,9 @@ impl Compiler {
             let mut unit = crate::pass::CompilationUnit::new(&self.target, &self.tables, lir);
             // the recorder rides inside the unit while the passes run
             // (its open `compile` span survives salvage retries)
-            unit.trace = std::mem::take(&mut recorder);
+            unit.trace = std::mem::take(recorder);
             let run = plan.run_inner(&mut unit, &mut timings);
-            recorder = std::mem::take(&mut unit.trace);
+            *recorder = std::mem::take(&mut unit.trace);
             match run {
                 Ok(()) => {
                     if !salvages.is_empty() {
@@ -461,9 +484,6 @@ impl Compiler {
             Err(e) => recorder.attr("error", e.to_string()),
         }
         recorder.close();
-        if let Some(t) = tracer {
-            t.submit(recorder);
-        }
         result
     }
 

@@ -27,7 +27,7 @@ use std::thread;
 
 use record_ir::lir::Lir;
 use record_isa::{Code, TargetDesc};
-use record_trace::{MetricsRegistry, Tracer};
+use record_trace::{MetricsRegistry, SpanRecorder, Tracer};
 
 use crate::cache::{self, CacheKey, CacheStats, CompileCache};
 use crate::timing::PhaseTimings;
@@ -374,7 +374,9 @@ impl Session {
     /// See [`CompileError`].
     pub fn compile(&self, target: &TargetDesc, lir: &Lir) -> Result<Code, CompileError> {
         let compiler = self.compiler_for(target)?;
-        let (code, timings) = self.count_errors(self.compile_lir(&compiler, lir, None))?;
+        let mut rec = SpanRecorder::disabled();
+        let (code, timings) =
+            self.count_errors(self.compile_lir(&compiler, lir, None, &mut rec))?;
         self.record(&timings);
         Ok(code)
     }
@@ -401,7 +403,7 @@ impl Session {
         target: &TargetDesc,
         source: &str,
     ) -> Result<(Code, PhaseTimings), CompileError> {
-        self.compile_source_inner(target, source, None)
+        self.compile_source_inner(target, source, None, &mut SpanRecorder::disabled())
     }
 
     /// [`compile_source_timed`](Session::compile_source_timed) under an
@@ -422,7 +424,32 @@ impl Session {
         source: &str,
         deadline: std::time::Instant,
     ) -> Result<(Code, PhaseTimings), CompileError> {
-        self.compile_source_inner(target, source, Some(deadline))
+        let mut rec = SpanRecorder::disabled();
+        self.compile_source_inner(target, source, Some(deadline), &mut rec)
+    }
+
+    /// [`compile_source_deadline`](Session::compile_source_deadline)
+    /// recording into a caller-owned [`SpanRecorder`] — the request-
+    /// scoped tracing hook the compile daemon uses: the caller hands in
+    /// one recorder per request (no per-request [`Tracer`] allocation)
+    /// and gets `parse`/`lower`/`compile` span trees plus
+    /// `code-cache-hit`/`code-cache-miss` events back through it. When
+    /// the recorder is *enabled* it takes precedence over the session
+    /// tracer for this compile (the request owns its spans; submitting
+    /// them to the shared tracer too would double-count); a disabled
+    /// recorder leaves the tracer path exactly as before.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`].
+    pub fn compile_source_deadline_recorded(
+        &self,
+        target: &TargetDesc,
+        source: &str,
+        deadline: std::time::Instant,
+        rec: &mut SpanRecorder,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
+        self.compile_source_inner(target, source, Some(deadline), rec)
     }
 
     fn compile_source_inner(
@@ -430,10 +457,11 @@ impl Session {
         target: &TargetDesc,
         source: &str,
         deadline: Option<std::time::Instant>,
+        rec: &mut SpanRecorder,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let compiler = self.compiler_for(target)?;
         let (code, timings) =
-            self.count_errors(self.compile_one_source(&compiler, source, deadline))?;
+            self.count_errors(self.compile_one_source(&compiler, source, deadline, rec))?;
         self.record(&timings);
         Ok((code, timings))
     }
@@ -457,7 +485,9 @@ impl Session {
     ) -> Result<Vec<Result<Code, CompileError>>, CompileError> {
         let compiler = self.compiler_for(target)?;
         self.note_batch_reuse(programs.len());
-        self.run_batch(programs.len(), None, |i| self.compile_lir(&compiler, &programs[i], None))
+        self.run_batch(programs.len(), None, |i| {
+            self.compile_lir(&compiler, &programs[i], None, &mut SpanRecorder::disabled())
+        })
     }
 
     /// [`compile_batch`](Session::compile_batch) under an absolute
@@ -480,7 +510,7 @@ impl Session {
         let compiler = self.compiler_for(target)?;
         self.note_batch_reuse(programs.len());
         self.run_batch(programs.len(), Some(deadline), |i| {
-            self.compile_lir(&compiler, &programs[i], Some(deadline))
+            self.compile_lir(&compiler, &programs[i], Some(deadline), &mut SpanRecorder::disabled())
         })
     }
 
@@ -498,7 +528,7 @@ impl Session {
         let compiler = self.compiler_for(target)?;
         self.note_batch_reuse(sources.len());
         self.run_batch(sources.len(), None, |i| {
-            self.compile_one_source(&compiler, sources[i], None)
+            self.compile_one_source(&compiler, sources[i], None, &mut SpanRecorder::disabled())
         })
     }
 
@@ -518,7 +548,12 @@ impl Session {
         let compiler = self.compiler_for(target)?;
         self.note_batch_reuse(sources.len());
         self.run_batch(sources.len(), Some(deadline), |i| {
-            self.compile_one_source(&compiler, sources[i], Some(deadline))
+            self.compile_one_source(
+                &compiler,
+                sources[i],
+                Some(deadline),
+                &mut SpanRecorder::disabled(),
+            )
         })
     }
 
@@ -614,6 +649,7 @@ impl Session {
         compiler: &Compiler,
         lir: &Lir,
         deadline: Option<std::time::Instant>,
+        rec: &mut SpanRecorder,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let tracer = self.tracer.as_deref();
         // kernel names are caller-supplied (hostile, in the daemon) —
@@ -649,7 +685,7 @@ impl Session {
             None => base_plan,
         };
         let Some(cache) = &self.code_cache else {
-            return compiler.compile_plan_traced(lir, plan, tracer);
+            return self.compile_plan_dispatch(compiler, lir, plan, rec);
         };
         let key = CacheKey {
             program: record_ir::fingerprint::program_fingerprint(lir),
@@ -663,15 +699,17 @@ impl Session {
             hit
         };
         if let Some(code) = hit {
+            rec.event("code-cache-hit", &[("program", lir.name.as_str().into())]);
             if let Some(t) = tracer {
                 t.instant("code-cache-hit", &[("program", lir.name.as_str().into())]);
             }
             return Ok((code, PhaseTimings { from_cache: true, ..PhaseTimings::default() }));
         }
+        rec.event("code-cache-miss", &[("program", lir.name.as_str().into())]);
         if let Some(t) = tracer {
             t.instant("code-cache-miss", &[("program", lir.name.as_str().into())]);
         }
-        let result = compiler.compile_plan_traced(lir, plan, tracer);
+        let result = self.compile_plan_dispatch(compiler, lir, plan, rec);
         if let Ok((code, _)) = &result {
             let mut guard = cache.lock().expect("code cache lock");
             guard.insert(key, lir, &compiler.target().name, code);
@@ -685,18 +723,49 @@ impl Session {
         compiler: &Compiler,
         source: &str,
         deadline: Option<std::time::Instant>,
+        rec: &mut SpanRecorder,
     ) -> Result<(Code, PhaseTimings), CompileError> {
         let t_parse = std::time::Instant::now();
-        let ast = record_ir::dfl::parse(source)?;
+        rec.open("parse");
+        let ast = record_ir::dfl::parse(source);
+        if let Err(e) = &ast {
+            rec.attr("error", e.to_string());
+        }
+        rec.close();
+        let ast = ast?;
         let parse = t_parse.elapsed();
         let t_lower = std::time::Instant::now();
-        let lir = record_ir::lower::lower(&ast)?;
+        rec.open("lower");
+        let lir = record_ir::lower::lower(&ast);
+        if let Err(e) = &lir {
+            rec.attr("error", e.to_string());
+        }
+        rec.close();
+        let lir = lir?;
         let lower = t_lower.elapsed();
-        let (code, mut timings) = self.compile_lir(compiler, &lir, deadline)?;
+        let (code, mut timings) = self.compile_lir(compiler, &lir, deadline, rec)?;
         timings.parse = parse;
         timings.lower = lower;
         timings.total += parse + lower;
         Ok((code, timings))
+    }
+
+    /// Runs the pipeline through whichever recorder is live for this
+    /// compile: an enabled request-scoped recorder wins over the session
+    /// tracer (the request owns its spans; submitting them to the shared
+    /// tracer too would double-count the compile).
+    fn compile_plan_dispatch(
+        &self,
+        compiler: &Compiler,
+        lir: &Lir,
+        plan: &PassPlan,
+        rec: &mut SpanRecorder,
+    ) -> Result<(Code, PhaseTimings), CompileError> {
+        if rec.is_enabled() {
+            compiler.compile_plan_recorded(lir, plan, rec)
+        } else {
+            compiler.compile_plan_traced(lir, plan, self.tracer.as_deref())
+        }
     }
 
     /// Fans `n` jobs out over scoped worker threads (work-stealing by

@@ -30,4 +30,4 @@ pub mod server;
 pub mod signals;
 
 pub use protocol::{codes, error_code, parse_request, Op, ProtoError, Request};
-pub use server::{resolve_target, ServeReport, Server, ServerConfig, Service};
+pub use server::{resolve_target, RequestMeta, ServeReport, Server, ServerConfig, Service};

@@ -9,9 +9,15 @@
 //!
 //! ```text
 //! → {"op":"compile","id":"r1","target":"tic25","plan":"o2","deadline_ms":500,"program":"..."}
-//! ← {"id":"r1","status":"ok","code":"ok","target":"tic25","kernel":"fir","words":12,"insns":9,"elapsed_us":431,"asm":"..."}
-//! ← {"id":"r1","status":"error","code":"deadline","message":"..."}
+//! ← {"id":"r1","rid":"r-0000002a","status":"ok","code":"ok","target":"tic25","kernel":"fir","words":12,"insns":9,"elapsed_us":431,"asm":"..."}
+//! ← {"id":"r1","rid":"r-0000002b","status":"error","code":"deadline","message":"..."}
 //! ```
+//!
+//! `id` is the client's correlation id, echoed verbatim; `rid` is the
+//! *server's* request id (`r-` + 8 hex digits), present on **every**
+//! response — successes, errors, sheds, pings — and in the daemon's
+//! access log and flight recorder, so a client-reported failure joins
+//! against server-side records by `rid` alone.
 
 use record::CompileError;
 use record_trace::json::{self, Value};
@@ -223,8 +229,11 @@ pub fn error_code(e: &CompileError) -> &'static str {
 }
 
 /// Renders the success response line (without the trailing newline).
+/// `rid` is the server-assigned request id (see the module docs).
+#[allow(clippy::too_many_arguments)]
 pub fn ok_response(
     id: &str,
+    rid: &str,
     target: &str,
     kernel: &str,
     words: u32,
@@ -235,6 +244,8 @@ pub fn ok_response(
     let mut out = String::with_capacity(asm.len() + 128);
     out.push_str("{\"id\":");
     json::push_str_lit(&mut out, id);
+    out.push_str(",\"rid\":");
+    json::push_str_lit(&mut out, rid);
     out.push_str(",\"status\":\"ok\",\"code\":\"ok\",\"target\":");
     json::push_str_lit(&mut out, target);
     out.push_str(",\"kernel\":");
@@ -248,10 +259,13 @@ pub fn ok_response(
 }
 
 /// Renders an error response line (without the trailing newline).
-pub fn error_response(id: &str, code: &str, message: &str) -> String {
+/// `rid` is the server-assigned request id (see the module docs).
+pub fn error_response(id: &str, rid: &str, code: &str, message: &str) -> String {
     let mut out = String::with_capacity(message.len() + 64);
     out.push_str("{\"id\":");
     json::push_str_lit(&mut out, id);
+    out.push_str(",\"rid\":");
+    json::push_str_lit(&mut out, rid);
     out.push_str(",\"status\":\"error\",\"code\":");
     json::push_str_lit(&mut out, code);
     out.push_str(",\"message\":");
@@ -261,11 +275,14 @@ pub fn error_response(id: &str, code: &str, message: &str) -> String {
     out
 }
 
-/// Renders the ping response line.
-pub fn pong(id: &str) -> String {
+/// Renders the ping response line. `rid` is the server-assigned
+/// request id (see the module docs).
+pub fn pong(id: &str, rid: &str) -> String {
     let mut out = String::new();
     out.push_str("{\"id\":");
     json::push_str_lit(&mut out, id);
+    out.push_str(",\"rid\":");
+    json::push_str_lit(&mut out, rid);
     out.push_str(",\"status\":\"ok\",\"code\":\"pong\"}");
     out
 }

@@ -1,0 +1,420 @@
+//! The flight recorder: an always-on, bounded-memory ring of completed
+//! request records for live daemon introspection and post-mortems.
+//!
+//! A server records one [`RequestRecord`] per finished request —
+//! including sheds, deadline expiries, wire-level rejections and caught
+//! panics — into a [`FlightRecorder`]. The ring holds the last
+//! `capacity` records and evicts the oldest on overflow, so memory is
+//! bounded no matter how long the daemon runs, and recording is one
+//! short mutex hold (no allocation beyond the record itself, whose span
+//! tree is bounded by the pass count).
+//!
+//! Three renderings serve the live endpoints:
+//!
+//! * [`render_chrome_trace`](FlightRecorder::render_chrome_trace) — the
+//!   last N requests as a Perfetto-loadable Chrome trace (`GET /trace`):
+//!   one `request <rid>` span per record on its worker's lane, with the
+//!   compile's per-pass span tree nested inside and loose events
+//!   (cache hits, salvages) as instants.
+//! * [`render_requests_jsonl`](FlightRecorder::render_requests_jsonl) —
+//!   the ring as one access-log JSON line per request
+//!   (`GET /requests`), the same line format the daemon's on-disk
+//!   access log uses, so a client-reported `rid` joins against either.
+//! * [`render_stats_json`](FlightRecorder::render_stats_json) — the
+//!   ring's own accounting (capacity, resident, recorded, evicted) for
+//!   `GET /stats`.
+//!
+//! Timestamps come from the recorder's [`Clock`]; construct with
+//! [`FlightRecorder::fake_clock`] for byte-stable golden tests.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::{json, render_chrome_doc, Clock, Event, Span, SpanRecorder, TraceRecord};
+
+/// Longest string stored per text field of a record — request ids are
+/// server-generated, but peer addresses, target/plan/kernel names and
+/// outcome codes can be attacker-influenced, and the ring must stay
+/// bounded-memory under hostile traffic.
+const MAX_FIELD_BYTES: usize = 64;
+
+/// One completed request, as the flight recorder remembers it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestRecord {
+    /// Server-generated request id (`r-xxxxxxxx`, hex sequence number),
+    /// echoed in the wire response and the access log.
+    pub rid: String,
+    /// 1-based worker lane the request was served on (0 = unknown, e.g.
+    /// a shed at the accept loop).
+    pub lane: usize,
+    /// Client address (`ip:port`), empty when unknown.
+    pub peer: String,
+    /// Outcome code: `ok`, `pong`, or one of the documented error codes
+    /// (`overloaded`, `deadline`, `internal`, ...).
+    pub code: String,
+    /// Requested target name (empty for non-compile requests).
+    pub target: String,
+    /// Requested plan preset (empty for non-compile requests).
+    pub plan: String,
+    /// Compiled kernel name (empty unless the compile succeeded).
+    pub kernel: String,
+    /// Whether the compile was answered by the code cache.
+    pub cache_hit: bool,
+    /// Request start, microseconds on the recorder's clock.
+    pub start_us: u64,
+    /// Request end, microseconds on the recorder's clock.
+    pub end_us: u64,
+    /// Time the connection waited in the admission queue before a worker
+    /// picked it up (attributed to the connection's first request).
+    pub queue_us: u64,
+    /// Time spent reading the request line off the socket.
+    pub read_us: u64,
+    /// Time spent inside the compile pipeline.
+    pub compile_us: u64,
+    /// Time spent rendering the response line.
+    pub serialize_us: u64,
+    /// Per-phase span trees recorded while handling the request (parse,
+    /// lower, compile-with-pass-children). Empty for non-compile
+    /// requests and failures before the pipeline.
+    pub spans: Vec<Span>,
+    /// Loose instant events recorded outside any span (cache hits and
+    /// misses).
+    pub events: Vec<Event>,
+}
+
+impl RequestRecord {
+    /// A zeroed record carrying only the id — callers fill in what the
+    /// request's path through the server actually produced.
+    pub fn new(rid: String) -> Self {
+        RequestRecord {
+            rid,
+            lane: 0,
+            peer: String::new(),
+            code: String::new(),
+            target: String::new(),
+            plan: String::new(),
+            kernel: String::new(),
+            cache_hit: false,
+            start_us: 0,
+            end_us: 0,
+            queue_us: 0,
+            read_us: 0,
+            compile_us: 0,
+            serialize_us: 0,
+            spans: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Total wall time of the request in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Renders this record as one access-log JSON line (no trailing
+    /// newline) — the shared format of `GET /requests` and the daemon's
+    /// on-disk access log.
+    pub fn render_jsonl_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"rid\":");
+        json::push_str_lit(&mut out, &self.rid);
+        out.push_str(",\"lane\":");
+        out.push_str(&self.lane.to_string());
+        out.push_str(",\"peer\":");
+        json::push_str_lit(&mut out, &self.peer);
+        out.push_str(",\"code\":");
+        json::push_str_lit(&mut out, &self.code);
+        out.push_str(",\"target\":");
+        json::push_str_lit(&mut out, &self.target);
+        out.push_str(",\"plan\":");
+        json::push_str_lit(&mut out, &self.plan);
+        out.push_str(",\"kernel\":");
+        json::push_str_lit(&mut out, &self.kernel);
+        out.push_str(&format!(
+            ",\"cache_hit\":{},\"start_us\":{},\"dur_us\":{},\"queue_us\":{},\"read_us\":{},\
+             \"compile_us\":{},\"serialize_us\":{}}}",
+            self.cache_hit,
+            self.start_us,
+            self.dur_us(),
+            self.queue_us,
+            self.read_us,
+            self.compile_us,
+            self.serialize_us,
+        ));
+        debug_assert!(json::validate(&out).is_ok());
+        out
+    }
+
+    /// Clips every free-text field to [`MAX_FIELD_BYTES`] (on a char
+    /// boundary) so one hostile request can never grow the ring.
+    fn clipped(mut self) -> Self {
+        for field in
+            [&mut self.peer, &mut self.code, &mut self.target, &mut self.plan, &mut self.kernel]
+        {
+            if field.len() > MAX_FIELD_BYTES {
+                let mut end = MAX_FIELD_BYTES;
+                while !field.is_char_boundary(end) {
+                    end -= 1;
+                }
+                field.truncate(end);
+            }
+        }
+        self
+    }
+
+    /// The synthetic root span `/trace` renders for this record: the
+    /// request envelope with the latency split as attributes and the
+    /// recorded phase spans as children.
+    fn as_span(&self) -> Span {
+        Span {
+            name: format!("request {}", self.rid),
+            start_us: self.start_us,
+            end_us: self.end_us.max(self.start_us),
+            attrs: vec![
+                ("rid".into(), self.rid.clone().into()),
+                ("peer".into(), self.peer.clone().into()),
+                ("code".into(), self.code.clone().into()),
+                ("target".into(), self.target.clone().into()),
+                ("plan".into(), self.plan.clone().into()),
+                ("kernel".into(), self.kernel.clone().into()),
+                ("cache_hit".into(), self.cache_hit.into()),
+                ("queue_us".into(), self.queue_us.into()),
+                ("read_us".into(), self.read_us.into()),
+                ("compile_us".into(), self.compile_us.into()),
+                ("serialize_us".into(), self.serialize_us.into()),
+            ],
+            events: self.events.clone(),
+            children: self.spans.clone(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FlightInner {
+    ring: VecDeque<RequestRecord>,
+    recorded: u64,
+    evicted: u64,
+}
+
+/// The bounded ring of completed requests. Thread-safe; every operation
+/// is one short mutex hold.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    clock: Clock,
+    capacity: usize,
+    seq: AtomicU64,
+    inner: Mutex<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` requests, stamping wall
+    /// time.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_clock(capacity, Clock::real())
+    }
+
+    /// A recorder on the deterministic fake clock (one microsecond per
+    /// reading) for byte-stable golden tests.
+    pub fn fake_clock(capacity: usize) -> Self {
+        Self::with_clock(capacity, Clock::fake())
+    }
+
+    fn with_clock(capacity: usize, clock: Clock) -> Self {
+        FlightRecorder {
+            clock,
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            inner: Mutex::new(FlightInner::default()),
+        }
+    }
+
+    /// The recorder's clock — share it with anything whose timestamps
+    /// must line up with the recorded spans.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The current timestamp in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock.now_us()
+    }
+
+    /// A fresh enabled [`SpanRecorder`] on this recorder's clock, for
+    /// capturing one request's phase spans.
+    pub fn recorder(&self) -> SpanRecorder {
+        SpanRecorder::enabled(self.clock.clone())
+    }
+
+    /// The next request id: `r-xxxxxxxx` with a monotonically increasing
+    /// hex sequence, unique within the process.
+    pub fn next_rid(&self) -> String {
+        format!("r-{:08x}", self.seq.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Records one completed request, evicting the oldest record when
+    /// the ring is full. Free-text fields are clipped to a fixed bound
+    /// first.
+    pub fn record(&self, record: RequestRecord) {
+        let record = record.clipped();
+        let mut inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.recorded += 1;
+        if inner.ring.len() >= self.capacity {
+            inner.ring.pop_front();
+            inner.evicted += 1;
+        }
+        inner.ring.push_back(record);
+    }
+
+    /// Ring capacity (records resident at most).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records currently resident in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).ring.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total requests ever recorded (evicted ones included).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recorded
+    }
+
+    /// Records evicted to keep the ring within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).evicted
+    }
+
+    /// Snapshot of the resident records, oldest first.
+    pub fn snapshot(&self) -> Vec<RequestRecord> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .ring
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The resident ring as a Perfetto-loadable Chrome trace document:
+    /// one `request <rid>` span per record on its worker's lane, phase
+    /// spans nested inside, loose events as instants.
+    pub fn render_chrome_trace(&self) -> String {
+        let records = self.snapshot();
+        let lanes = records.iter().map(|r| r.lane).max().unwrap_or(0).max(1);
+        let traces: Vec<TraceRecord> = records
+            .iter()
+            .map(|r| TraceRecord { lane: r.lane.max(1), root: r.as_span() })
+            .collect();
+        render_chrome_doc(lanes, &traces, &[])
+    }
+
+    /// The resident ring as access-log JSON lines, oldest first, one
+    /// request per line.
+    pub fn render_requests_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.snapshot() {
+            out.push_str(&record.render_jsonl_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The recorder's own accounting as one JSON object.
+    pub fn render_stats_json(&self) -> String {
+        let inner = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        format!(
+            "{{\"capacity\":{},\"resident\":{},\"recorded\":{},\"evicted\":{}}}",
+            self.capacity,
+            inner.ring.len(),
+            inner.recorded,
+            inner.evicted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(rid: &str, code: &str) -> RequestRecord {
+        let mut r = RequestRecord::new(rid.to_string());
+        r.code = code.to_string();
+        r
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let flight = FlightRecorder::fake_clock(3);
+        for i in 0..5 {
+            flight.record(record(&format!("r-{i:08x}"), "ok"));
+        }
+        let rids: Vec<String> = flight.snapshot().into_iter().map(|r| r.rid).collect();
+        assert_eq!(rids, ["r-00000002", "r-00000003", "r-00000004"]);
+        assert_eq!(flight.len(), 3);
+        assert_eq!(flight.recorded(), 5);
+        assert_eq!(flight.evicted(), 2);
+    }
+
+    #[test]
+    fn rids_are_unique_and_monotone() {
+        let flight = FlightRecorder::fake_clock(8);
+        let a = flight.next_rid();
+        let b = flight.next_rid();
+        assert_eq!(a, "r-00000001");
+        assert_eq!(b, "r-00000002");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hostile_fields_are_clipped() {
+        let mut r = record("r-00000001", "ok");
+        r.kernel = "k".repeat(10_000);
+        r.peer = "é".repeat(1_000); // multi-byte: clip must stay on a boundary
+        let flight = FlightRecorder::fake_clock(2);
+        flight.record(r);
+        let got = &flight.snapshot()[0];
+        assert!(got.kernel.len() <= MAX_FIELD_BYTES);
+        assert!(got.peer.len() <= MAX_FIELD_BYTES);
+        assert!(got.peer.chars().all(|c| c == 'é'));
+    }
+
+    #[test]
+    fn renderings_are_valid_and_cover_the_ring() {
+        let flight = FlightRecorder::fake_clock(4);
+        let mut ok = record("r-00000001", "ok");
+        ok.lane = 2;
+        ok.start_us = flight.now_us();
+        let mut rec = flight.recorder();
+        rec.open("compile");
+        rec.open("select");
+        rec.close();
+        rec.close();
+        let (spans, events) = rec.finish(None);
+        ok.spans = spans;
+        ok.events = events;
+        ok.end_us = flight.now_us();
+        flight.record(ok);
+        flight.record(record("r-00000002", "overloaded"));
+
+        let chrome = flight.render_chrome_trace();
+        json::validate(&chrome).unwrap_or_else(|e| panic!("{e}:\n{chrome}"));
+        assert!(chrome.contains("request r-00000001"));
+        assert!(chrome.contains("\"select\""), "phase spans nest inside: {chrome}");
+        assert!(chrome.contains("request r-00000002"));
+
+        let jsonl = flight.render_requests_jsonl();
+        json::validate_jsonl(&jsonl).unwrap_or_else(|e| panic!("{e}:\n{jsonl}"));
+        assert_eq!(jsonl.lines().count(), 2);
+
+        let stats = flight.render_stats_json();
+        json::validate(&stats).unwrap_or_else(|e| panic!("{e}:\n{stats}"));
+        assert!(stats.contains("\"resident\":2"));
+    }
+}

@@ -43,9 +43,11 @@
 //! ```
 
 pub mod codec;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 
+pub use flight::{FlightRecorder, RequestRecord};
 pub use metrics::{
     escape_label_value, labeled_key, Histogram, Metric, MetricsRegistry, MERGE_ERRORS,
 };
@@ -534,44 +536,56 @@ impl Tracer {
     ///
     /// Any I/O error from `w`.
     pub fn write_chrome_trace(&self, w: &mut dyn Write) -> io::Result<()> {
-        let mut out = String::from("{\"traceEvents\":[");
-        let mut first = true;
         let inner = self.inner.lock().expect("tracer lock");
-        let lanes: usize = inner.lanes.len().max(1);
-        for lane in 1..=lanes {
-            push_sep(&mut out, &mut first);
-            out.push_str(&format!(
-                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
-                 \"args\":{{\"name\":\"worker-{lane}\"}}}}"
-            ));
-        }
-        for rec in &inner.traces {
-            rec.root.walk(&mut |span, _| {
-                push_sep(&mut out, &mut first);
-                out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
-                out.push_str(&rec.lane.to_string());
-                out.push_str(",\"name\":");
-                json::push_str_lit(&mut out, &span.name);
-                out.push_str(",\"ts\":");
-                out.push_str(&span.start_us.to_string());
-                out.push_str(",\"dur\":");
-                out.push_str(&span.dur_us().to_string());
-                out.push_str(",\"args\":");
-                push_attrs(&mut out, &span.attrs);
-                out.push('}');
-                for event in &span.events {
-                    push_sep(&mut out, &mut first);
-                    push_chrome_instant(&mut out, rec.lane, event);
-                }
-            });
-        }
-        for (lane, event) in &inner.instants {
-            push_sep(&mut out, &mut first);
-            push_chrome_instant(&mut out, *lane, event);
-        }
-        out.push_str("]}\n");
+        let out = render_chrome_doc(inner.lanes.len().max(1), &inner.traces, &inner.instants);
         w.write_all(out.as_bytes())
     }
+}
+
+/// Renders a complete Chrome trace-event document from finished trace
+/// records plus loose instant events — the shared body behind
+/// [`Tracer::write_chrome_trace`] and the flight recorder's `/trace`
+/// export ([`flight::FlightRecorder::render_chrome_trace`]).
+pub(crate) fn render_chrome_doc(
+    lanes: usize,
+    traces: &[TraceRecord],
+    instants: &[(usize, Event)],
+) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for lane in 1..=lanes.max(1) {
+        push_sep(&mut out, &mut first);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"worker-{lane}\"}}}}"
+        ));
+    }
+    for rec in traces {
+        rec.root.walk(&mut |span, _| {
+            push_sep(&mut out, &mut first);
+            out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":");
+            out.push_str(&rec.lane.to_string());
+            out.push_str(",\"name\":");
+            json::push_str_lit(&mut out, &span.name);
+            out.push_str(",\"ts\":");
+            out.push_str(&span.start_us.to_string());
+            out.push_str(",\"dur\":");
+            out.push_str(&span.dur_us().to_string());
+            out.push_str(",\"args\":");
+            push_attrs(&mut out, &span.attrs);
+            out.push('}');
+            for event in &span.events {
+                push_sep(&mut out, &mut first);
+                push_chrome_instant(&mut out, rec.lane, event);
+            }
+        });
+    }
+    for (lane, event) in instants {
+        push_sep(&mut out, &mut first);
+        push_chrome_instant(&mut out, *lane, event);
+    }
+    out.push_str("]}\n");
+    out
 }
 
 fn lane_of(inner: &mut TracerInner) -> usize {

@@ -99,12 +99,15 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(bounds: &[f64]) -> Self {
+    /// An empty histogram over ascending upper `bounds` (an implicit
+    /// `+Inf` bucket is appended).
+    pub fn new(bounds: &[f64]) -> Self {
         debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend: {bounds:?}");
         Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0, count: 0 }
     }
 
-    fn observe(&mut self, v: f64) {
+    /// Records one observation into its bucket.
+    pub fn observe(&mut self, v: f64) {
         let ix = self.bounds.iter().position(|&b| v <= b).unwrap_or(self.bounds.len());
         self.counts[ix] += 1;
         self.sum += v;
@@ -118,6 +121,39 @@ impl Histogram {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated by deterministic
+    /// linear interpolation within the fixed buckets — the same
+    /// estimate `histogram_quantile` computes server-side, but without
+    /// a Prometheus in the loop, so p50/p99 gates can run in tests and
+    /// CI on the raw registry.
+    ///
+    /// The distribution is assumed non-negative (the first bucket
+    /// interpolates from 0); a quantile landing in the implicit `+Inf`
+    /// bucket reports the highest finite bound, which *under*-estimates
+    /// — pick bounds that comfortably cover any value a gate must
+    /// detect. Empty histograms report 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let before = cumulative;
+            cumulative += c;
+            if c > 0 && cumulative as f64 >= rank {
+                if i == self.bounds.len() {
+                    return self.bounds.last().copied().unwrap_or(0.0);
+                }
+                let upper = self.bounds[i];
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = ((rank - before as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
     }
 
     /// Adds `other`'s observations into `self`. Returns `false` — and
@@ -403,6 +439,49 @@ mod tests {
         assert_eq!(h.count, 4);
         assert_eq!(h.sum, 276.0);
         assert_eq!(h.mean(), 69.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 100.0, 1000.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        // 10 observations spread evenly through the (10, 100] bucket
+        for _ in 0..10 {
+            h.observe(50.0);
+        }
+        // rank 5 of 10, all in one bucket: halfway through (10, 100]
+        assert_eq!(h.quantile(0.5), 55.0);
+        assert_eq!(h.quantile(1.0), 100.0, "p100 is the bucket's upper bound");
+        // first bucket interpolates from zero
+        let mut lo = Histogram::new(&[10.0, 100.0]);
+        lo.observe(1.0);
+        lo.observe(2.0);
+        assert_eq!(lo.quantile(0.5), 5.0, "half of (0, 10]");
+        // a quantile in the +Inf bucket reports the last finite bound
+        let mut inf = Histogram::new(&[10.0]);
+        inf.observe(1e9);
+        assert_eq!(inf.quantile(0.99), 10.0);
+        // deterministic: same observations, same estimate
+        assert_eq!(h.quantile(0.99), h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0, 1000.0]);
+        for v in [0.5, 3.0, 7.0, 20.0, 80.0, 500.0, 900.0, 5000.0] {
+            h.observe(v);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            assert!(
+                h.quantile(w[0]) <= h.quantile(w[1]),
+                "quantile must be monotone: q={} -> {}, q={} -> {}",
+                w[0],
+                h.quantile(w[0]),
+                w[1],
+                h.quantile(w[1])
+            );
+        }
     }
 
     #[test]

@@ -31,11 +31,23 @@
 //! The compile sequence the `cache_stats` example runs is fixed, so
 //! these counters are just as deterministic as the selection work.
 //!
+//! With `--soak-latency PATH` the gate reads a `load_gen --json` report
+//! and checks its `p50_us`/`p99_us` compile-latency quantiles against
+//! the **absolute** bounds in the baseline's top-level `"latency"`
+//! object (`p50_bound_us`, `p99_bound_us`). Unlike the counters these
+//! are wall-clock, so the bounds are deliberately generous and this
+//! mode only runs in the serve-soak CI job — the deterministic counter
+//! gate stays the primary regression tripwire. `--latency-only` skips
+//! the counter/cache gates entirely for that job.
+//!
 //! ```sh
 //! cargo run --example perf_gate -- \
 //!     --current BENCH_compile.json \
 //!     --baseline tests/golden/bench_baseline.json \
 //!     --cache-current cache_stats.json
+//! cargo run --example perf_gate -- \
+//!     --latency-only --soak-latency load_gen_report.json \
+//!     --baseline tests/golden/bench_baseline.json
 //! ```
 
 use std::collections::BTreeMap;
@@ -137,10 +149,48 @@ fn gate_cache(
     Ok(ok)
 }
 
+/// Gates a `load_gen --json` report's compile-latency quantiles against
+/// the **absolute** bounds in the baseline's top-level `"latency"`
+/// object. Wall-clock, so the bounds are generous by design; only the
+/// soak CI job runs this.
+fn gate_latency(soak_path: &str, baseline_path: &str) -> Result<bool, String> {
+    let report = load_doc(soak_path)?;
+    let baseline = load_doc(baseline_path)?;
+    let bounds = baseline
+        .get("latency")
+        .ok_or(format!("{baseline_path}: no \"latency\" object to gate against"))?;
+    let samples = counter(&report, "samples");
+    if samples == 0.0 {
+        println!("FAIL latency: soak report has zero latency samples");
+        return Ok(false);
+    }
+    let mut ok = true;
+    for (name, bound_name) in [("p50_us", "p50_bound_us"), ("p99_us", "p99_bound_us")] {
+        let got = counter(&report, name);
+        let bound = counter(bounds, bound_name);
+        if bound <= 0.0 {
+            return Err(format!("{baseline_path}: latency.{bound_name} missing or zero"));
+        }
+        if got > bound {
+            println!("FAIL latency: {name} {got:.0}µs exceeds absolute bound {bound:.0}µs");
+            ok = false;
+        }
+    }
+    println!(
+        "latency gate: p50 {:.0}µs / p99 {:.0}µs over {samples:.0} samples — {}",
+        counter(&report, "p50_us"),
+        counter(&report, "p99_us"),
+        if ok { "OK" } else { "REGRESSED" }
+    );
+    Ok(ok)
+}
+
 fn run() -> Result<bool, String> {
     let mut current_path = String::from("BENCH_compile.json");
     let mut baseline_path = String::from("tests/golden/bench_baseline.json");
     let mut cache_current_path: Option<String> = None;
+    let mut soak_latency_path: Option<String> = None;
+    let mut latency_only = false;
     let mut tolerance = 0.05f64;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -149,11 +199,19 @@ fn run() -> Result<bool, String> {
             "--current" => current_path = value()?,
             "--baseline" => baseline_path = value()?,
             "--cache-current" => cache_current_path = Some(value()?),
+            "--soak-latency" => soak_latency_path = Some(value()?),
+            "--latency-only" => latency_only = true,
             "--tolerance" => {
                 tolerance = value()?.parse().map_err(|e| format!("bad tolerance: {e}"))?
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+
+    if latency_only {
+        let path = soak_latency_path
+            .ok_or("--latency-only needs --soak-latency PATH to gate".to_string())?;
+        return gate_latency(&path, &baseline_path);
     }
 
     let current = load(&current_path)?;
@@ -199,6 +257,9 @@ fn run() -> Result<bool, String> {
     );
     if let Some(path) = &cache_current_path {
         ok &= gate_cache(path, &baseline_path, tolerance)?;
+    }
+    if let Some(path) = &soak_latency_path {
+        ok &= gate_latency(path, &baseline_path)?;
     }
     println!(
         "perf gate: {} rows checked against {baseline_path}, tolerance {:.0}% — {}",

@@ -15,14 +15,21 @@
 //!   --fault-period <N>        ~one fault per N requests (default 16)
 //!   --metrics-out <FILE>      write the final Prometheus exposition on drain
 //!   --summary-out <FILE>      write the drain summary JSON on drain
+//!   --flight-ring <N>         flight-recorder capacity, requests (default 512)
+//!   --access-log <FILE>       append one JSONL line per request (same format as /requests)
+//!   --trace-out <FILE>        write the flight recorder as a Chrome trace on drain
+//!                             (and on any non-injected panic)
 //!   --check-cache <DIR>       offline: scrub DIR and exit (2 if anything was corrupt)
 //! ```
 //!
 //! The daemon speaks line-delimited JSON (one request per line, one
-//! response per request) plus HTTP `GET /metrics` / `GET /healthz` on
-//! the same port. SIGTERM or SIGINT triggers a graceful drain: stop
-//! accepting, finish in-flight requests, scrub the cache, flush
-//! metrics, exit 0.
+//! response per request) plus HTTP `GET /metrics` / `GET /healthz` /
+//! `GET /trace` / `GET /requests` / `GET /stats` on the same port.
+//! SIGTERM or SIGINT triggers a graceful drain: stop accepting, finish
+//! in-flight requests, scrub the cache, flush metrics and the final
+//! flight-recorder dump, exit 0. A *real* (non-injected) panic also
+//! flushes the flight recorder to `--trace-out` before the per-request
+//! isolation swallows it, so post-mortems are self-contained.
 //!
 //! ```sh
 //! recordd --addr 127.0.0.1:7425 --cache-dir /tmp/record-cache &
@@ -41,13 +48,15 @@ struct Args {
     config: ServerConfig,
     metrics_out: Option<String>,
     summary_out: Option<String>,
+    trace_out: Option<String>,
     check_cache: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: recordd [--addr A] [--workers N] [--queue N] [--read-timeout-ms N] \
      [--default-deadline-ms N] [--cache-dir DIR] [--faults on|off] [--fault-seed HEX] \
-     [--fault-period N] [--metrics-out FILE] [--summary-out FILE] [--check-cache DIR]"
+     [--fault-period N] [--metrics-out FILE] [--summary-out FILE] [--flight-ring N] \
+     [--access-log FILE] [--trace-out FILE] [--check-cache DIR]"
 }
 
 fn parse_u64(s: &str) -> Result<u64, String> {
@@ -64,6 +73,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         config: ServerConfig::default(),
         metrics_out: None,
         summary_out: None,
+        trace_out: None,
         check_cache: None,
     };
     let mut faults_on = false;
@@ -99,6 +109,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             "--summary-out" => args.summary_out = Some(value("--summary-out")?),
+            "--flight-ring" => {
+                args.config.flight_capacity = parse_u64(&value("--flight-ring")?)?.max(1) as usize;
+            }
+            "--access-log" => args.config.access_log = Some(value("--access-log")?.into()),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--check-cache" => args.check_cache = Some(value("--check-cache")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
@@ -115,6 +130,10 @@ fn summary_json(report: &record_serve::ServeReport) -> String {
     out.push_str(&format!(
         "{{\"connections\":{},\"requests\":{},\"shed\":{},\"connection_panics\":{}",
         report.connections, report.requests, report.shed, report.connection_panics
+    ));
+    out.push_str(&format!(
+        ",\"request_latency_us\":{{\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        report.request_p50_us, report.request_p90_us, report.request_p99_us
     ));
     match &report.scrub {
         Some(s) => out.push_str(&format!(
@@ -147,12 +166,30 @@ fn real_main() -> Result<(), String> {
     }
 
     signals::install();
-    // every panic is caught (per request and per connection); keep the
-    // log one line per event instead of a full default-hook backtrace
-    std::panic::set_hook(Box::new(|info| eprintln!("recordd: caught panic: {info}")));
     let server = Server::bind(args.config.clone()).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| format!("local_addr: {e}"))?;
     let service = server.service();
+    // every panic is caught (per request and per connection); keep the
+    // log one line per event instead of a full default-hook backtrace.
+    // A *real* panic (no fault-injection marker) additionally flushes
+    // the flight recorder, so the trace leading up to the bug survives
+    // even though the process keeps running.
+    let hook_service = service.clone();
+    let hook_trace_out = args.trace_out.clone();
+    std::panic::set_hook(Box::new(move |info| {
+        eprintln!("recordd: caught panic: {info}");
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains(record_serve::faults::FAULT_MARKER));
+        if !injected {
+            if let Some(path) = &hook_trace_out {
+                let _ = std::fs::write(path, hook_service.flight().render_chrome_trace());
+            }
+        }
+    }));
     println!("recordd listening on {addr}");
     let _ = std::io::stdout().flush();
 
@@ -163,6 +200,10 @@ fn real_main() -> Result<(), String> {
     }
     if let Some(path) = &args.summary_out {
         std::fs::write(path, summary_json(&report)).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if let Some(path) = &args.trace_out {
+        std::fs::write(path, service.flight().render_chrome_trace())
+            .map_err(|e| format!("{path}: {e}"))?;
     }
     println!(
         "recordd drained: {} connections, {} requests, {} shed, {} connection panics",

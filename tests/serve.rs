@@ -13,10 +13,16 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::Mutex;
 use std::time::Duration;
 
 use record_serve::{codes, Server, ServerConfig, Service};
 use record_trace::json;
+
+/// Socket tests share the process-wide shutdown latch in
+/// [`record_serve::signals`], so they must not overlap: each one takes
+/// this lock before touching the latch.
+static SOCKET_TESTS: Mutex<()> = Mutex::new(());
 
 const FIR: &str = "\
 program fir;
@@ -35,6 +41,7 @@ end
 
 fn service() -> Service {
     Service::new(&ServerConfig { addr: String::new(), ..ServerConfig::default() })
+        .expect("a service with no access log cannot fail to build")
 }
 
 fn code_of(response: &str) -> String {
@@ -129,6 +136,45 @@ fn valid_compile_round_trips() {
     );
 }
 
+/// Every wire response — success, error, and ping alike — carries a
+/// server-minted request id in the pinned `r-` + 8 lowercase hex digit
+/// format, unique per response. Log-correlation tooling greps for this
+/// shape, so the format is part of the wire contract.
+#[test]
+fn every_response_carries_a_unique_pinned_rid() {
+    let is_pinned_rid = |rid: &str| {
+        rid.len() == 10
+            && rid.starts_with("r-")
+            && rid[2..].chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())
+    };
+    let svc = service();
+    let mut compile = String::from("{\"id\":\"c1\",\"program\":");
+    json::push_str_lit(&mut compile, FIR);
+    compile.push('}');
+    let lines = [
+        "{\"op\":\"ping\"}",
+        compile.as_str(),
+        "not json",
+        "{\"target\":\"z80\",\"program\":\"p\"}",
+    ];
+    let mut seen = Vec::new();
+    for line in lines {
+        let response = svc.handle_line(line);
+        let value = json::parse(&response).unwrap();
+        let rid = value
+            .get("rid")
+            .and_then(json::Value::as_str)
+            .unwrap_or_else(|| panic!("response has no rid: {response}"))
+            .to_string();
+        assert!(is_pinned_rid(&rid), "rid {rid:?} is not r- + 8 lowercase hex: {response}");
+        assert!(!seen.contains(&rid), "rid {rid:?} repeated");
+        seen.push(rid);
+    }
+    // the rid is also how the response joins the flight ring
+    let recorded: Vec<String> = svc.flight().snapshot().into_iter().map(|r| r.rid).collect();
+    assert_eq!(recorded, seen, "wire rids and flight-ring rids must match one-to-one");
+}
+
 /// Plan presets are distinct sessions: `o0` output is larger than `o2`
 /// for a kernel the optimizer improves, and `default` aliases `o2`.
 #[test]
@@ -158,6 +204,7 @@ fn plan_presets_route_to_distinct_pipelines() {
 /// gracefully and account for everything in the report.
 #[test]
 fn socket_lifecycle_serves_and_drains() {
+    let _serial = SOCKET_TESTS.lock().unwrap();
     record_serve::signals::reset();
     let server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
@@ -250,4 +297,96 @@ fn socket_lifecycle_serves_and_drains() {
     assert!(report.connections >= 4, "{report:?}");
     assert!(report.requests >= 5, "{report:?}");
     assert_eq!(report.connection_panics, 0, "{report:?}");
+}
+
+/// The three introspection endpoints answer valid documents *while*
+/// compile requests are in flight: `/trace` is one Chrome-trace JSON
+/// object, `/requests` is one JSONL line per resident record, and
+/// `/stats` is structured JSON with the latency quantiles.
+#[test]
+fn introspection_endpoints_stay_valid_under_live_traffic() {
+    let _serial = SOCKET_TESTS.lock().unwrap();
+    record_serve::signals::reset();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 8,
+        read_timeout: Duration::from_millis(500),
+        flight_capacity: 16,
+        ..ServerConfig::default()
+    })
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server.run());
+
+    let http_get = |path: &str| -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes()).unwrap();
+        let mut raw = String::new();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        while reader.read_line(&mut line).is_ok_and(|n| n > 0) {
+            raw.push_str(&line);
+            line.clear();
+        }
+        let (head, body) = raw.split_once("\r\n\r\n").expect("response has a header block");
+        (head.to_string(), body.to_string())
+    };
+
+    // keep compile traffic flowing from another thread while we poll
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut compile = String::from("{\"id\":\"live\",\"program\":");
+            json::push_str_lit(&mut compile, FIR);
+            compile.push('}');
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                stream.write_all(compile.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                assert_eq!(code_of(response.trim_end()), "ok");
+            }
+        });
+
+        for _ in 0..3 {
+            let (head, body) = http_get("/trace");
+            assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+            assert!(head.contains("application/json"), "{head}");
+            json::validate(&body).unwrap_or_else(|e| panic!("/trace invalid ({e}): {body}"));
+            assert!(body.contains("traceEvents"), "{body}");
+
+            let (head, body) = http_get("/requests");
+            assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+            assert!(head.contains("application/x-ndjson"), "{head}");
+            json::validate_jsonl(&body)
+                .unwrap_or_else(|e| panic!("/requests invalid ({e}): {body}"));
+
+            let (head, body) = http_get("/stats");
+            assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+            json::validate(&body).unwrap_or_else(|e| panic!("/stats invalid ({e}): {body}"));
+            let stats = json::parse(&body).unwrap();
+            assert!(stats.get("flight").is_some(), "{body}");
+            assert!(stats.get("request_latency_us").and_then(|v| v.get("p99")).is_some(), "{body}");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    // by now at least one compile answered, so the ring is non-empty
+    // and its records show up on /requests with the pinned rid shape
+    let (_, body) = http_get("/requests");
+    let first = json::parse(body.lines().next().expect("ring is non-empty")).unwrap();
+    let rid = first.get("rid").and_then(json::Value::as_str).unwrap_or("");
+    assert!(rid.starts_with("r-") && rid.len() == 10, "bad rid on /requests: {body}");
+
+    record_serve::signals::request_shutdown();
+    let report = handle.join().expect("the server thread must not panic");
+    record_serve::signals::reset();
+    assert_eq!(report.connection_panics, 0, "{report:?}");
+    assert!(report.requests >= 1, "{report:?}");
+    assert!(report.request_p99_us > 0.0, "drain report carries quantiles: {report:?}");
 }
