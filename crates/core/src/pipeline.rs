@@ -417,7 +417,8 @@ impl Compiler {
     }
 
     /// [`compile_plan_timed`](Compiler::compile_plan_timed) recording
-    /// into a caller-owned [`SpanRecorder`] — the request-scoped variant
+    /// into a caller-owned [`SpanRecorder`](record_trace::SpanRecorder) —
+    /// the request-scoped variant
     /// servers use: the caller keeps ownership of the recorder (and of
     /// where its spans end up, e.g. a flight-recorder ring) instead of
     /// submitting to a shared [`Tracer`](record_trace::Tracer). With a

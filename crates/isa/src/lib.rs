@@ -21,11 +21,14 @@
 //! * [`netlist`] — RT-level structural processor models, the input of
 //!   instruction-set extraction (`record-ise`),
 //! * [`taxonomy`] — the "processor cube" of Fig. 1,
+//! * [`cube`] — the cube as a *generator*: seeded derivation of
+//!   valid-by-construction target families spanning the cube's axes,
 //! * [`targets`] — four concrete processor models: a TMS320C25-like DSP
 //!   core, a dual-bank parallel-move DSP, a homogeneous RISC core and a
 //!   parametric ASIP generator.
 
 pub mod code;
+pub mod cube;
 pub mod loc;
 pub mod netlist;
 pub mod netlist_text;

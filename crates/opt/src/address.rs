@@ -433,9 +433,14 @@ impl<'a> Ctx<'a> {
         self.next_stream_ar = first_stream_ar;
 
         // after the loop the scalar pointer position is whatever the last
-        // iteration left (exit_pos), unless the body had no scalar
-        // accesses, in which case it is unchanged
-        Ok(if body_scalars.is_empty() { pos } else { exit_pos })
+        // iteration left. `exit_pos` already threads through nested loops
+        // (process_seq consults process_loop recursively), so it is the
+        // honest answer even when this body has no *top-level* scalar
+        // accesses: a nested loop may still have moved the pointer, and
+        // reporting the pre-loop position there plans the following
+        // post-modify walk from a stale address (a silent cross-variable
+        // clobber found by the cube fuzzer).
+        Ok(exit_pos)
     }
 }
 
@@ -865,6 +870,42 @@ mod tests {
             assert!(!adds.is_empty(), "expected explicit stream advances");
             assert!(adds.windows(2).all(|w| w[0] < w[1]), "unsorted: {adds:?}");
         }
+    }
+
+    #[test]
+    fn nested_loop_scalar_moves_are_visible_after_the_loop() {
+        // Regression (found by the cube fuzzer): when every scalar access
+        // of a loop sits in a *nested* loop, the outer loop used to report
+        // the scalar pointer unchanged. The access after the nest then
+        // skipped its reload and went through a pointer the nest had
+        // moved — a silent read/write of the wrong variable.
+        let t = record_isa::targets::dsp56k::target();
+        let mut code = Code::default();
+        // pre-loop access chain leaves the pointer at x (addr 1)
+        code.insns.push(mov(mem("x"), mem("q")));
+        for var in ["i0", "i1"] {
+            code.insns.push(Insn::ctrl(
+                InsnKind::LoopStart { var: Symbol::new(var), count: 3 },
+                "LOOP 3",
+                2,
+                2,
+            ));
+        }
+        // the nest's only scalar access moves the pointer to y (addr 2)
+        code.insns.push(mov(mem("y"), mem("y")));
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "END", 2, 3));
+        code.insns.push(Insn::ctrl(InsnKind::LoopEnd, "END", 2, 3));
+        // tail access to x must reload: the pointer no longer points there
+        code.insns.push(mov(mem("z"), mem("x")));
+        layout_for(&mut code, &[("q", 1), ("x", 1), ("y", 1), ("z", 1)]);
+        assign_addresses(&mut code, &t).unwrap();
+        let tail_end = code.insns.len() - 1;
+        let reloads_x_after_nest = code.insns[..tail_end]
+            .iter()
+            .rev()
+            .take_while(|i| !matches!(i.kind, InsnKind::LoopEnd))
+            .any(|i| matches!(&i.kind, InsnKind::ArLoad { base, .. } if base.as_str() == "x"));
+        assert!(reloads_x_after_nest, "stale pointer after the nest: {:#?}", code.insns);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Processor-cube sweep: seeded target generation + differential fuzzing.
+//!
+//! Derives a stream of cube targets from a seed, compiles a fixed program
+//! suite (DSPStone smoke subset + grammar-generated programs) on each of
+//! them under O0 / O2 / reference-selector plans, cross-checks simulator
+//! outputs, prints a per-corner survival table, and exits nonzero on any
+//! failure.
+//!
+//! ```text
+//! cargo run --release --example cube_sweep -- --seed 0xDAC97 --targets 200
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--targets N` — cube targets to derive (default 50)
+//! * `--programs N` — generated programs per target, on top of the
+//!   DSPStone smoke subset (default 8)
+//! * `--seed HEX` — base seed for target and program streams
+//!   (default `0xDAC97`)
+//! * `--no-dspstone` — skip the DSPStone smoke subset
+//! * `--no-minimize` — report failing programs unminimized
+//! * `--json PATH` — write the survival report as JSON to `PATH`
+//! * `--corpus-dir DIR` — write each minimized failure as a replayable
+//!   `.dfl` corpus entry under `DIR`
+//! * `--trace PATH` — write a Chrome trace to `PATH`
+
+use std::process::ExitCode;
+
+use record::Tracer;
+use record_repro::fuzz;
+
+fn main() -> ExitCode {
+    let mut cfg = fuzz::TargetFuzzConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut corpus_dir: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = |args: &mut dyn Iterator<Item = String>| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--targets" => cfg.targets = parse(&value(&mut args)),
+            "--programs" => cfg.programs = parse(&value(&mut args)),
+            "--seed" => {
+                let v = value(&mut args);
+                cfg.base_seed =
+                    u64::from_str_radix(v.trim_start_matches("0x"), 16).unwrap_or_else(|_| {
+                        eprintln!("bad seed {v:?} (want hex)");
+                        std::process::exit(2);
+                    });
+            }
+            "--no-dspstone" => cfg.dspstone = false,
+            "--no-minimize" => cfg.minimize = false,
+            "--json" => json_path = Some(value(&mut args)),
+            "--corpus-dir" => corpus_dir = Some(value(&mut args)),
+            "--trace" => trace_path = Some(value(&mut args)),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!(
+        "cube sweep: seed {:#x}, {} target(s), {} generated program(s){}",
+        cfg.base_seed,
+        cfg.targets,
+        cfg.programs,
+        if cfg.dspstone { " + DSPStone smoke subset" } else { "" }
+    );
+
+    let tracer = trace_path.as_ref().map(|_| Tracer::new());
+    let report = fuzz::run_target_fuzz_traced(&cfg, tracer.as_ref());
+    println!("sweep: {report}");
+
+    println!("\nper-corner survival (corner = regfile/banks/agu/moves/sat):");
+    println!(
+        "  {:<28} {:>7} {:>9} {:>8} {:>7}",
+        "corner", "targets", "compared", "skipped", "failed"
+    );
+    for (corner, stat) in &report.corners {
+        println!(
+            "  {:<28} {:>7} {:>9} {:>8} {:>7}",
+            corner, stat.targets, stat.compared, stat.skipped, stat.failed
+        );
+    }
+
+    if let Some(dir) = &corpus_dir {
+        for failure in &report.failures {
+            if failure.program.is_empty() {
+                continue; // target-invalid failures carry no program
+            }
+            match fuzz::write_target_corpus(std::path::Path::new(dir), failure) {
+                Ok(path) => println!("wrote corpus entry {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write corpus entry under {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let mut json = report.render_json(cfg.base_seed);
+        json.push('\n');
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        if let Err(e) =
+            std::fs::File::create(path).and_then(|mut f| tracer.write_chrome_trace(&mut f))
+        {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if report.clean() {
+        println!("cube sweep clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("cube sweep FAILED ({} failure(s))", report.failures.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn parse(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad count {s:?}");
+        std::process::exit(2);
+    })
+}
